@@ -1,0 +1,84 @@
+// Ablation: the paper credits FAST's quality to the CPN-Dominate list
+// ("the major strength of the algorithm", §6). This bench swaps the static
+// list policy (CPN-Dominate vs plain b-level / t-level / static-level
+// orders) while keeping both scheduling phases identical, and reports the
+// final schedule length normalized to CPN-Dominate.
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "fast/fast.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/laplace.hpp"
+#include "workloads/random_layered.hpp"
+
+int main() {
+  using namespace fastsched;
+
+  struct Policy {
+    fast::ListPolicy policy;
+    const char* name;
+  };
+  const Policy policies[] = {
+      {fast::ListPolicy::kCpnDominate, "CPN-Dominate"},
+      {fast::ListPolicy::kBLevel, "b-level"},
+      {fast::ListPolicy::kTLevel, "t-level"},
+      {fast::ListPolicy::kStaticLevel, "static-level"},
+  };
+
+  Table table(
+      "Final schedule length by list policy (normalized, CPN-Dominate = "
+      "1.00; mean of 5 seeds)");
+  {
+    std::vector<std::string> header{"workload"};
+    for (const auto& p : policies) header.emplace_back(p.name);
+    table.add_row(std::move(header));
+  }
+
+  const auto run_one = [](const graph::TaskGraph& g, fast::ListPolicy policy,
+                          std::uint64_t seed) {
+    fast::FastOptions opts;
+    opts.list_policy = policy;
+    opts.seed = seed;
+    opts.num_procs = 64;
+    return fast::run_fast(g, opts).final_length;
+  };
+
+  const auto sweep = [&](const std::string& label,
+                         const graph::TaskGraph& g) {
+    std::vector<std::string> row{label};
+    std::vector<double> base;
+    for (const auto& p : policies) {
+      std::vector<double> ratios;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const double len = run_one(g, p.policy, seed);
+        if (p.policy == fast::ListPolicy::kCpnDominate) {
+          base.push_back(len);
+          ratios.push_back(1.0);
+        } else {
+          ratios.push_back(len / base[seed - 1]);
+        }
+      }
+      row.push_back(Table::num(mean(ratios), 3));
+    }
+    table.add_row(std::move(row));
+  };
+
+  sweep("gauss32", workloads::gaussian_elimination_dag(32));
+  sweep("laplace32", workloads::laplace_dag(32));
+  sweep("fft512", workloads::fft_dag(512));
+  for (const double ccr : {0.5, 2.0, 10.0}) {
+    workloads::RandomDagParams params;
+    params.num_nodes = 800;
+    params.ccr = ccr;
+    params.avg_out_degree = 5.0;
+    params.seed = 11;
+    sweep("rand800/ccr" + Table::num(ccr, 1),
+          workloads::random_layered_dag(params));
+  }
+
+  std::cout << table;
+  return 0;
+}

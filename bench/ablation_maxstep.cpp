@@ -1,0 +1,67 @@
+// Ablation: how does FAST's final schedule length depend on the local
+// search budget MAXSTEP? The paper fixes MAXSTEP = 64 and claims ~100
+// suffices "even for huge DAGs with tens of thousands of nodes"; this
+// bench sweeps the budget over random and application DAGs and reports the
+// improvement over the initial schedule.
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "fast/fast.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/random_layered.hpp"
+
+int main() {
+  using namespace fastsched;
+
+  const int steps[] = {0, 16, 64, 100, 256, 1024};
+  constexpr int kTrials = 5;
+
+  const auto sweep = [&](const std::string& label, const graph::TaskGraph& g,
+                         Table& table) {
+    std::vector<std::string> row{label};
+    for (const int max_steps : steps) {
+      std::vector<double> gains;
+      for (int t = 0; t < kTrials; ++t) {
+        fast::FastOptions opts;
+        opts.max_steps = max_steps;
+        opts.seed = static_cast<std::uint64_t>(t + 1);
+        opts.num_procs = 64;
+        const auto r = fast::run_fast(g, opts);
+        gains.push_back(100.0 * (r.initial_length - r.final_length) /
+                        r.initial_length);
+      }
+      row.push_back(Table::num(mean(gains), 2) + "%");
+    }
+    table.add_row(std::move(row));
+  };
+
+  Table table(
+      "FAST local-search gain over the initial schedule vs MAXSTEP\n"
+      "(mean of 5 seeds; paper default MAXSTEP = 64)");
+  std::vector<std::string> header{"workload"};
+  for (const int s : steps) header.push_back("s=" + std::to_string(s));
+  table.add_row(std::move(header));
+
+  sweep("gauss16", workloads::gaussian_elimination_dag(16), table);
+  sweep("gauss32", workloads::gaussian_elimination_dag(32), table);
+  for (const double ccr : {0.5, 2.0, 10.0}) {
+    workloads::RandomDagParams params;
+    params.num_nodes = 500;
+    params.ccr = ccr;
+    params.avg_out_degree = 5.0;
+    params.seed = 42;
+    sweep("rand500/ccr" + Table::num(ccr, 1),
+          workloads::random_layered_dag(params), table);
+  }
+  workloads::RandomDagParams dense;
+  dense.num_nodes = 2000;
+  dense.ccr = 1.0;
+  dense.avg_out_degree = 36.0;
+  dense.seed = 7;
+  sweep("rand2000/dense", workloads::random_layered_dag(dense), table);
+
+  std::cout << table;
+  return 0;
+}

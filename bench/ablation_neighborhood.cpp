@@ -1,0 +1,74 @@
+// Ablation: the paper restricts the search neighbourhood to the *blocking
+// node list* (IBNs + OBNs) "because these nodes have the potential to
+// block the CPNs". This bench compares the paper's random-blocking-node
+// policy against moving any node and against steepest descent over the
+// processor dimension, at equal step budgets.
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "fast/fast.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/laplace.hpp"
+#include "workloads/random_layered.hpp"
+
+int main() {
+  using namespace fastsched;
+
+  struct Policy {
+    fast::NeighborhoodPolicy policy;
+    const char* name;
+  };
+  const Policy policies[] = {
+      {fast::NeighborhoodPolicy::kRandomBlockingRandomProc,
+       "blocking/random (paper)"},
+      {fast::NeighborhoodPolicy::kRandomNodeRandomProc, "any-node/random"},
+      {fast::NeighborhoodPolicy::kBestProcForRandomBlocking,
+       "blocking/steepest"},
+  };
+
+  Table table(
+      "Search gain over the initial schedule by neighbourhood policy\n"
+      "(MAXSTEP = 64, mean of 8 seeds)");
+  {
+    std::vector<std::string> header{"workload"};
+    for (const auto& p : policies) header.emplace_back(p.name);
+    table.add_row(std::move(header));
+  }
+
+  const auto sweep = [&](const std::string& label,
+                         const graph::TaskGraph& g) {
+    std::vector<std::string> row{label};
+    for (const auto& p : policies) {
+      std::vector<double> gains;
+      for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        fast::FastOptions opts;
+        opts.neighborhood = p.policy;
+        opts.seed = seed;
+        opts.num_procs = 64;
+        const auto r = fast::run_fast(g, opts);
+        gains.push_back(100.0 * (r.initial_length - r.final_length) /
+                        r.initial_length);
+      }
+      row.push_back(Table::num(mean(gains), 2) + "%");
+    }
+    table.add_row(std::move(row));
+  };
+
+  sweep("gauss16", workloads::gaussian_elimination_dag(16));
+  sweep("gauss32", workloads::gaussian_elimination_dag(32));
+  sweep("laplace16", workloads::laplace_dag(16));
+  for (const double ccr : {0.5, 5.0}) {
+    workloads::RandomDagParams params;
+    params.num_nodes = 600;
+    params.ccr = ccr;
+    params.avg_out_degree = 5.0;
+    params.seed = 23;
+    sweep("rand600/ccr" + Table::num(ccr, 1),
+          workloads::random_layered_dag(params));
+  }
+
+  std::cout << table;
+  return 0;
+}

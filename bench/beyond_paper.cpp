@@ -1,0 +1,77 @@
+// Extension bench: the full 11-algorithm comparison. The paper evaluates
+// FAST against four baselines; its companion study compared 21 scheduling
+// heuristics. This bench runs every algorithm in this library's registry —
+// FAST, PFAST, FAST-SA, MD, ETF, DLS, DSC, HLFET, MCP, LC, EZ — over the
+// three applications and a dense random DAG, reporting schedule lengths
+// normalized to FAST and scheduling times.
+
+#include <iostream>
+#include <map>
+
+#include "baselines/registry.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "sched/validation.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/laplace.hpp"
+#include "workloads/random_layered.hpp"
+
+int main() {
+  using namespace fastsched;
+
+  struct Workload {
+    std::string name;
+    graph::TaskGraph g;
+  };
+  workloads::RandomDagParams rp;
+  rp.num_nodes = 800;
+  rp.ccr = 1.0;
+  rp.avg_out_degree = 8.0;
+  rp.seed = 1996;
+  const std::vector<Workload> workloads_list = []{
+    std::vector<Workload> w;
+    w.push_back({"gauss16", workloads::gaussian_elimination_dag(16)});
+    w.push_back({"laplace16", workloads::laplace_dag(16)});
+    w.push_back({"fft256", workloads::fft_dag(256)});
+    workloads::RandomDagParams p;
+    p.num_nodes = 800;
+    p.ccr = 1.0;
+    p.avg_out_degree = 8.0;
+    p.seed = 1996;
+    w.push_back({"rand800", workloads::random_layered_dag(p)});
+    return w;
+  }();
+
+  Table lengths("Schedule length normalized to FAST = 1.000");
+  Table times("Scheduling time (ms, after warmup)");
+  {
+    std::vector<std::string> header{"Algorithm"};
+    for (const auto& w : workloads_list) header.push_back(w.name);
+    lengths.add_row(header);
+    times.add_row(std::move(header));
+  }
+
+  std::map<std::string, double> fast_len;
+  for (const auto& name : baselines::scheduler_names()) {
+    const auto scheduler = baselines::make_scheduler(name);
+    std::vector<std::string> len_row{name};
+    std::vector<std::string> time_row{name};
+    for (const auto& w : workloads_list) {
+      sched::SchedulerOptions opts;
+      opts.num_procs = 64;
+      (void)scheduler->run(w.g, opts);  // warmup
+      Timer timer;
+      const auto s = scheduler->run(w.g, opts);
+      const double ms = timer.millis();
+      sched::require_valid(w.g, s);
+      if (name == "FAST") fast_len[w.name] = s.length();
+      len_row.push_back(Table::num(s.length() / fast_len[w.name], 3));
+      time_row.push_back(Table::num(ms, 3));
+    }
+    lengths.add_row(std::move(len_row));
+    times.add_row(std::move(time_row));
+  }
+  std::cout << lengths << '\n' << times;
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension bench: schedule quality of every algorithm as a function of
+// the communication-to-computation ratio. The paper only fixes "denser"
+// random DAGs; this sweep locates the crossovers — clustering algorithms
+// (DSC) should gain ground as CCR rises, greedy EST algorithms (ETF/DLS)
+// as it falls.
+
+#include <iostream>
+#include <map>
+
+#include "baselines/registry.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sched/validation.hpp"
+#include "workloads/random_layered.hpp"
+
+int main() {
+  using namespace fastsched;
+
+  constexpr std::size_t kNodes = 600;
+  constexpr int kTrials = 5;
+  const double ccrs[] = {0.1, 0.5, 1.0, 2.0, 5.0, 10.0};
+
+  Table table(
+      "Schedule length by CCR, normalized to FAST = 1.00\n"
+      "(600-node random DAGs, mean of 5 instances, 64 processors)");
+  {
+    std::vector<std::string> header{"Algorithm"};
+    for (const double ccr : ccrs) header.push_back("CCR " + Table::num(ccr, 1));
+    table.add_row(std::move(header));
+  }
+
+  const std::vector<std::string> algos = {"FAST", "DSC", "ETF", "DLS",
+                                          "PFAST"};
+  std::map<std::string, std::vector<double>> ratio_by_algo;
+
+  for (const double ccr : ccrs) {
+    std::map<std::string, std::vector<double>> lengths;
+    for (int t = 0; t < kTrials; ++t) {
+      workloads::RandomDagParams params;
+      params.num_nodes = kNodes;
+      params.ccr = ccr;
+      params.avg_out_degree = 5.0;
+      params.seed = static_cast<std::uint64_t>(100 * t + 7);
+      const graph::TaskGraph g = workloads::random_layered_dag(params);
+      for (const auto& algo : algos) {
+        sched::SchedulerOptions opts;
+        opts.num_procs = 64;
+        const auto s = baselines::make_scheduler(algo)->run(g, opts);
+        sched::require_valid(g, s);
+        lengths[algo].push_back(s.length());
+      }
+    }
+    for (const auto& algo : algos) {
+      std::vector<double> ratios;
+      for (int t = 0; t < kTrials; ++t) {
+        ratios.push_back(lengths[algo][t] / lengths["FAST"][t]);
+      }
+      ratio_by_algo[algo].push_back(geometric_mean(ratios));
+    }
+  }
+
+  for (const auto& algo : algos) {
+    std::vector<std::string> row{algo};
+    for (const double r : ratio_by_algo[algo]) row.push_back(Table::num(r, 3));
+    table.add_row(std::move(row));
+  }
+  std::cout << table;
+  return 0;
+}

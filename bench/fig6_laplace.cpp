@@ -1,0 +1,26 @@
+// Reproduces the paper's Figure 6: Laplace equation solver on matrix
+// dimensions 4, 8, 16, 32 (v = 18, 66, 258, 1026).
+//
+// Expected shape (paper): FAST best on executed time (up to 25% margin);
+// DSC uses many more processors; MD slowest to schedule by ~O(v).
+
+#include "paper_tables.hpp"
+#include "workloads/laplace.hpp"
+
+int main() {
+  using namespace fastsched;
+  bench::FigureSpec spec;
+  spec.title = "Figure 6: Laplace equation solver (simulated Intel Paragon)";
+  spec.size_label = "Matrix Dimension";
+  spec.sizes = {4, 8, 16, 32};
+  spec.algorithms = {"FAST", "DSC", "MD", "ETF", "DLS"};
+  spec.make_dag = [](int n) {
+    return workloads::laplace_dag(n, workloads::TimingDatabase::paragon());
+  };
+  // Schedule for the machine being run on: a 64-node partition.
+  spec.proc_budget = [](const graph::TaskGraph&) { return std::size_t{64}; };
+  spec.machine = sim::MachineModel::paragon();
+  spec.machine_procs_cap = 64;
+  bench::run_figure(spec);
+  return 0;
+}

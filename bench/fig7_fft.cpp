@@ -1,0 +1,26 @@
+// Reproduces the paper's Figure 7: FFT on 16, 64, 128, 512 points
+// (v = 14, 34, 82, 194).
+//
+// Expected shape (paper): FAST best on executed time; all algorithms use
+// modest processor counts; MD again far slower to run.
+
+#include "paper_tables.hpp"
+#include "workloads/fft.hpp"
+
+int main() {
+  using namespace fastsched;
+  bench::FigureSpec spec;
+  spec.title = "Figure 7: Fast Fourier Transform (simulated Intel Paragon)";
+  spec.size_label = "Number of Points";
+  spec.sizes = {16, 64, 128, 512};
+  spec.algorithms = {"FAST", "DSC", "MD", "ETF", "DLS"};
+  spec.make_dag = [](int points) {
+    return workloads::fft_dag(points, workloads::TimingDatabase::paragon());
+  };
+  // Schedule for the machine being run on: a 64-node partition.
+  spec.proc_budget = [](const graph::TaskGraph&) { return std::size_t{64}; };
+  spec.machine = sim::MachineModel::paragon();
+  spec.machine_procs_cap = 64;
+  bench::run_figure(spec);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// google-benchmark microbenches for the O(v + e) graph-attribute kernels
+// the whole library rests on: t-level/b-level computation, full LevelInfo,
+// node classification, and CPN-Dominate list construction. These back the
+// paper's complexity claims: time per edge should be flat across sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "fast/cpn_dominate.hpp"
+#include "graph/classification.hpp"
+#include "graph/levels.hpp"
+#include "workloads/random_layered.hpp"
+
+namespace {
+
+using namespace fastsched;
+
+graph::TaskGraph make_graph(std::int64_t nodes) {
+  workloads::RandomDagParams params;
+  params.num_nodes = static_cast<std::size_t>(nodes);
+  params.avg_out_degree = 16.0;
+  params.seed = 42;
+  return workloads::random_layered_dag(params);
+}
+
+void BM_TLevels(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::compute_t_levels(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_TLevels)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_BLevels(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::compute_b_levels(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_BLevels)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_FullLevels(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::compute_levels(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_FullLevels)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_Classification(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  const auto levels = graph::compute_levels(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::classify_nodes(g, levels));
+  }
+}
+BENCHMARK(BM_Classification)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_CpnDominateList(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  const auto levels = graph::compute_levels(g);
+  const auto classes = graph::classify_nodes(g, levels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fast::build_cpn_dominate_list(g, levels, classes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_CpnDominateList)->Arg(1000)->Arg(4000)->Arg(16000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// google-benchmark microbenches for the scheduling algorithms themselves,
+// backing the complexity comparison of paper §3/§5: FAST and DSC should
+// scale near-linearly in e, ETF/DLS super-linearly, and the per-move cost
+// of FAST's local search should be O(v + e).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/registry.hpp"
+#include "fast/cpn_dominate.hpp"
+#include "fast/evaluator.hpp"
+#include "fast/initial_schedule.hpp"
+#include "workloads/random_layered.hpp"
+
+namespace {
+
+using namespace fastsched;
+
+graph::TaskGraph make_graph(std::int64_t nodes, double degree = 8.0) {
+  workloads::RandomDagParams params;
+  params.num_nodes = static_cast<std::size_t>(nodes);
+  params.avg_out_degree = degree;
+  params.seed = 42;
+  return workloads::random_layered_dag(params);
+}
+
+void run_scheduler(benchmark::State& state, const char* name) {
+  const auto g = make_graph(state.range(0));
+  const auto scheduler = baselines::make_scheduler(name);
+  sched::SchedulerOptions opts;
+  opts.num_procs = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler->run(g, opts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+
+void BM_Fast(benchmark::State& state) { run_scheduler(state, "FAST"); }
+BENCHMARK(BM_Fast)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_Pfast(benchmark::State& state) { run_scheduler(state, "PFAST"); }
+BENCHMARK(BM_Pfast)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_Dsc(benchmark::State& state) { run_scheduler(state, "DSC"); }
+BENCHMARK(BM_Dsc)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_Etf(benchmark::State& state) { run_scheduler(state, "ETF"); }
+BENCHMARK(BM_Etf)->Arg(500)->Arg(2000);
+
+void BM_Dls(benchmark::State& state) { run_scheduler(state, "DLS"); }
+BENCHMARK(BM_Dls)->Arg(500)->Arg(2000);
+
+void BM_Md(benchmark::State& state) { run_scheduler(state, "MD"); }
+BENCHMARK(BM_Md)->Arg(200)->Arg(500);
+
+// One local-search move = one O(v + e) evaluator replay.
+void BM_EvaluatorReplay(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  const auto levels = graph::compute_levels(g);
+  const auto classes = graph::classify_nodes(g, levels);
+  auto list = fast::build_cpn_dominate_list(g, levels, classes);
+  const auto initial = fast::initial_schedule(g, list, 64);
+  fast::AssignmentEvaluator eval(g, std::move(list), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(initial.assignment));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_EvaluatorReplay)->Arg(500)->Arg(2000)->Arg(8000)->Arg(32000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

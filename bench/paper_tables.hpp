@@ -1,0 +1,165 @@
+#pragma once
+
+/// Shared harness for reproducing the paper's result tables (Figures 5–8).
+/// Each "figure" is three tables over a size sweep:
+///   (a) normalized execution times (simulated run on the machine model,
+///       normalized to FAST = 1.00),
+///   (b) number of processors used,
+///   (c) scheduling algorithm running times (seconds of host wall-clock).
+
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "sched/validation.hpp"
+#include "sim/event_sim.hpp"
+
+namespace fastsched::bench {
+
+struct Cell {
+  double exec_time = 0;      ///< simulated execution time
+  double sched_len = 0;      ///< Gantt schedule length
+  std::size_t procs = 0;     ///< processors used
+  double sched_seconds = 0;  ///< scheduler wall-clock
+  bool available = true;     ///< false = N.A. (like DSC's large cases)
+};
+
+struct FigureSpec {
+  std::string title;              ///< e.g. "Figure 5: Gaussian elimination"
+  std::string size_label;         ///< e.g. "Matrix Dimension"
+  std::vector<int> sizes;
+  std::vector<std::string> algorithms;  ///< row order
+  /// Builds the workload DAG for a size.
+  std::function<graph::TaskGraph(int)> make_dag;
+  /// Processor budget per size (0 = one per task).
+  std::function<std::size_t(const graph::TaskGraph&)> proc_budget =
+      [](const graph::TaskGraph&) { return std::size_t{0}; };
+  /// Machine model used for the simulated execution (table (a)).
+  sim::MachineModel machine = sim::MachineModel::paragon();
+  /// When > 0, mark an algorithm's cell N.A. if it used more processors
+  /// than this (the paper's DSC-exceeded-the-Paragon situation).
+  std::size_t machine_procs_cap = 0;
+  /// Report simulated execution time (Figures 5-7) or raw schedule length
+  /// (Figure 8) in table (a).
+  bool use_execution_time = true;
+  /// Annotate the scheduling-time header with edge counts (the paper's
+  /// Figure 8(c)) instead of task counts (Figures 5-7(c)).
+  bool label_edges_in_times = false;
+};
+
+inline void run_figure(const FigureSpec& spec) {
+  std::map<std::string, std::vector<Cell>> results;
+
+  std::vector<std::size_t> task_counts;
+  std::vector<std::size_t> edge_counts;
+  for (const int size : spec.sizes) {
+    const graph::TaskGraph g = spec.make_dag(size);
+    task_counts.push_back(g.num_nodes());
+    edge_counts.push_back(g.num_edges());
+    const std::size_t budget = spec.proc_budget(g);
+    for (const auto& algo : spec.algorithms) {
+      const auto scheduler = baselines::make_scheduler(algo);
+      sched::SchedulerOptions opts;
+      opts.num_procs = budget;
+      // Untimed warmup run so the first algorithm does not absorb the
+      // cold-cache cost of first-touching the graph.
+      (void)scheduler->run(g, opts);
+      Timer timer;
+      const sched::Schedule s = scheduler->run(g, opts);
+      Cell cell;
+      cell.sched_seconds = timer.seconds();
+      sched::require_valid(g, s);
+      cell.sched_len = s.length();
+      cell.procs = s.procs_used();
+      const sim::SimResult sim = sim::simulate(g, s, spec.machine);
+      cell.exec_time = sim.makespan;
+      if (spec.machine_procs_cap > 0 && cell.procs > spec.machine_procs_cap) {
+        cell.available = false;  // would not fit on the machine
+      }
+      results[algo].push_back(cell);
+    }
+  }
+
+  const auto header = [&] {
+    std::vector<std::string> row{"Algorithm"};
+    for (const int size : spec.sizes) row.push_back(std::to_string(size));
+    return row;
+  };
+  const auto header_with_tasks = [&] {
+    std::vector<std::string> row{"Algorithm"};
+    for (std::size_t i = 0; i < spec.sizes.size(); ++i) {
+      const std::size_t count =
+          spec.label_edges_in_times ? edge_counts[i] : task_counts[i];
+      row.push_back(std::to_string(spec.sizes[i]) + " (" +
+                    std::to_string(count) +
+                    (spec.label_edges_in_times ? " edges)" : ")"));
+    }
+    return row;
+  };
+
+  std::cout << "==== " << spec.title << " ====\n\n";
+
+  // (a) normalized execution times / schedule lengths, FAST = 1.00.
+  {
+    const char* what = spec.use_execution_time
+                           ? "(a) Normalized execution times (simulated "
+                             "machine; FAST = 1.00)"
+                           : "(a) Normalized schedule lengths (FAST = 1.00)";
+    Table t(what);
+    t.add_row(header());
+    for (const auto& algo : spec.algorithms) {
+      std::vector<std::string> row{algo};
+      for (std::size_t i = 0; i < spec.sizes.size(); ++i) {
+        const Cell& cell = results[algo][i];
+        const Cell& base = results[spec.algorithms.front()][i];
+        if (!cell.available) {
+          row.push_back("N.A.");
+          continue;
+        }
+        const double value = spec.use_execution_time ? cell.exec_time
+                                                     : cell.sched_len;
+        const double base_value = spec.use_execution_time ? base.exec_time
+                                                          : base.sched_len;
+        row.push_back(Table::num(value / base_value, 2));
+      }
+      t.add_row(std::move(row));
+    }
+    std::cout << t << '\n';
+  }
+
+  // (b) processors used.
+  {
+    Table t("(b) Number of processors used");
+    t.add_row(header());
+    for (const auto& algo : spec.algorithms) {
+      std::vector<std::string> row{algo};
+      for (std::size_t i = 0; i < spec.sizes.size(); ++i) {
+        row.push_back(
+            Table::num(static_cast<long long>(results[algo][i].procs)));
+      }
+      t.add_row(std::move(row));
+    }
+    std::cout << t << '\n';
+  }
+
+  // (c) scheduling times.
+  {
+    Table t("(c) Scheduling times (seconds, this host)");
+    t.add_row(header_with_tasks());
+    for (const auto& algo : spec.algorithms) {
+      std::vector<std::string> row{algo};
+      for (std::size_t i = 0; i < spec.sizes.size(); ++i) {
+        row.push_back(Table::num(results[algo][i].sched_seconds, 4));
+      }
+      t.add_row(std::move(row));
+    }
+    std::cout << t << '\n';
+  }
+}
+
+}  // namespace fastsched::bench

@@ -1,0 +1,86 @@
+// Compares every scheduling algorithm in the library on one workload:
+// schedule length, processors, speedup, scheduling time, and simulated
+// execution time on the Paragon-like machine.
+//
+//   $ ./build/examples/compare_algorithms --workload gauss --size 16
+//   $ ./build/examples/compare_algorithms --workload random --size 1000 --ccr 2
+//   $ ./build/examples/compare_algorithms --workload fft --size 128 --gantt
+
+#include <iostream>
+
+#include "baselines/registry.hpp"
+#include "casch/pipeline.hpp"
+#include "graph/stats.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "sched/gantt.hpp"
+#include "sched/metrics.hpp"
+#include "sched/validation.hpp"
+#include "sim/event_sim.hpp"
+#include "workloads/random_layered.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fastsched;
+
+  CliParser cli("compare_algorithms: run all schedulers on one workload");
+  cli.add_option("workload", "gauss",
+                 "gauss | laplace | fft | random");
+  cli.add_option("size", "16",
+                 "matrix dim (gauss/laplace), points (fft), nodes (random)");
+  cli.add_option("ccr", "1.0", "CCR target for random workloads");
+  cli.add_option("procs", "64", "processor budget for bounded algorithms");
+  cli.add_option("seed", "1", "random seed");
+  cli.add_flag("gantt", "also draw each schedule as an ASCII Gantt chart");
+  if (!cli.parse(argc, argv)) return 0;
+
+  try {
+    const std::string workload = cli.get("workload");
+    const int size = static_cast<int>(cli.get_int("size"));
+    graph::TaskGraph g = [&] {
+      if (workload == "random") {
+        workloads::RandomDagParams params;
+        params.num_nodes = static_cast<std::size_t>(size);
+        params.ccr = cli.get_double("ccr");
+        params.avg_out_degree = 6.0;
+        params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+        return workloads::random_layered_dag(params);
+      }
+      return casch::build_application_dag(
+          casch::parse_application(workload), size,
+          workloads::TimingDatabase::paragon());
+    }();
+
+    std::cout << "workload " << workload << "(" << size << "):\n"
+              << graph::format_stats(graph::compute_stats(g)) << '\n';
+
+    Table table;
+    table.add_row({"Algorithm", "Length", "Executed", "Procs", "Speedup",
+                   "SLR", "SchedTime(ms)"});
+    for (const auto& scheduler : baselines::all_schedulers()) {
+      sched::SchedulerOptions opts;
+      opts.num_procs = static_cast<std::size_t>(cli.get_int("procs"));
+      opts.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+      Timer timer;
+      const sched::Schedule s = scheduler->run(g, opts);
+      const double ms = timer.millis();
+      sched::require_valid(g, s);
+      const auto metrics = sched::compute_metrics(g, s);
+      const auto sim = sim::simulate(g, s, sim::MachineModel::paragon());
+      table.add_row({scheduler->name(), Table::num(s.length(), 1),
+                     Table::num(sim.makespan, 1),
+                     Table::num(static_cast<long long>(s.procs_used())),
+                     Table::num(metrics.speedup, 2),
+                     Table::num(metrics.slr, 2), Table::num(ms, 3)});
+      if (cli.get_flag("gantt")) {
+        std::cout << "[" << scheduler->name() << "]\n"
+                  << sched::render_gantt(g, s, 64) << '\n';
+      }
+    }
+    std::cout << table;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file bounded_common.hpp
+/// Shared machinery for the bounded-processor greedy baselines (ETF, DLS):
+/// ready-set maintenance and earliest-start-time computation for
+/// (ready node, processor) pairs under the non-insertion (processor
+/// ready-time) model used throughout the paper.
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/levels.hpp"
+#include "sched/schedule.hpp"
+
+namespace fastsched::baselines::detail {
+
+using graph::Adjacency;
+using graph::Cost;
+using graph::NodeId;
+using graph::TaskGraph;
+using sched::ProcId;
+using sched::Schedule;
+
+/// Incremental state for greedy bounded scheduling.
+class BoundedState {
+ public:
+  BoundedState(const TaskGraph& g, std::size_t num_procs)
+      : g_(g),
+        num_procs_(num_procs),
+        finish_(g.num_nodes(), 0.0),
+        proc_of_(g.num_nodes(), sched::kUnassignedProc),
+        ready_time_(num_procs, 0.0),
+        pending_parents_(g.num_nodes(), 0),
+        schedule_(g.num_nodes(), num_procs) {
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      pending_parents_[n] = g.in_degree(n);
+      if (pending_parents_[n] == 0) ready_.push_back(n);
+    }
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& ready() const noexcept {
+    return ready_;
+  }
+  [[nodiscard]] bool done() const noexcept { return scheduled_ == g_.num_nodes(); }
+  [[nodiscard]] std::size_t num_procs() const noexcept { return num_procs_; }
+
+  /// Data arrival time of ready node `n` on processor `p` (paper §4.2).
+  [[nodiscard]] Cost dat(NodeId n, ProcId p) const {
+    Cost best = 0.0;
+    for (const Adjacency& q : g_.predecessors(n)) {
+      best = std::max(best,
+                      finish_[q.node] + (proc_of_[q.node] == p ? 0.0 : q.cost));
+    }
+    return best;
+  }
+
+  /// Earliest start time of ready node `n` on processor `p`.
+  [[nodiscard]] Cost est(NodeId n, ProcId p) const {
+    return std::max(dat(n, p), ready_time_[p]);
+  }
+
+  /// Finds the processor minimizing EST for `n` in O(p + in-degree):
+  /// processors hosting no parent share one DAT value, so only parent
+  /// processors need individual treatment.
+  [[nodiscard]] std::pair<ProcId, Cost> best_proc(NodeId n) const {
+    // DAT for processors hosting none of n's parents.
+    Cost dat_remote = 0.0;
+    for (const Adjacency& q : g_.predecessors(n)) {
+      dat_remote = std::max(dat_remote, finish_[q.node] + q.cost);
+    }
+    ProcId best_p = 0;
+    Cost best = std::numeric_limits<Cost>::max();
+    for (ProcId p = 0; p < num_procs_; ++p) {
+      const Cost start = std::max(dat_remote, ready_time_[p]);
+      if (start < best) {
+        best = start;
+        best_p = p;
+      }
+    }
+    // Parent processors can beat the remote DAT thanks to zeroed edges.
+    for (const Adjacency& q : g_.predecessors(n)) {
+      const ProcId p = proc_of_[q.node];
+      const Cost start = est(n, p);
+      if (start < best || (start == best && p < best_p)) {
+        best = start;
+        best_p = p;
+      }
+    }
+    return {best_p, best};
+  }
+
+  /// Commits node `n` to processor `p` at its EST and updates the ready set.
+  void place(NodeId n, ProcId p) {
+    const Cost start = est(n, p);
+    const Cost fin = start + g_.weight(n);
+    finish_[n] = fin;
+    proc_of_[n] = p;
+    ready_time_[p] = fin;
+    schedule_.assign(n, p, start, fin);
+    ++scheduled_;
+
+    ready_.erase(std::find(ready_.begin(), ready_.end(), n));
+    for (const Adjacency& s : g_.successors(n)) {
+      if (--pending_parents_[s.node] == 0) ready_.push_back(s.node);
+    }
+  }
+
+  [[nodiscard]] Schedule take_schedule() && { return std::move(schedule_); }
+
+ private:
+  const TaskGraph& g_;
+  std::size_t num_procs_;
+  std::vector<Cost> finish_;
+  std::vector<ProcId> proc_of_;
+  std::vector<Cost> ready_time_;
+  std::vector<std::size_t> pending_parents_;
+  std::vector<NodeId> ready_;
+  std::size_t scheduled_ = 0;
+  Schedule schedule_;
+};
+
+}  // namespace fastsched::baselines::detail

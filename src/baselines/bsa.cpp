@@ -1,0 +1,133 @@
+#include "baselines/bsa.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "fast/cpn_dominate.hpp"
+#include "fast/evaluator.hpp"
+#include "graph/classification.hpp"
+
+namespace fastsched::baselines {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+using sched::ProcId;
+
+/// Mesh neighbours of processor `p` (2–4 of them).
+void neighbours(const sim::MeshConfig& mesh, ProcId p,
+                std::vector<ProcId>& out) {
+  out.clear();
+  const int x = static_cast<int>(p) % mesh.width;
+  const int y = static_cast<int>(p) / mesh.width;
+  if (x + 1 < mesh.width) out.push_back(p + 1);
+  if (x > 0) out.push_back(p - 1);
+  if (y + 1 < mesh.height) out.push_back(p + static_cast<ProcId>(mesh.width));
+  if (y > 0) out.push_back(p - static_cast<ProcId>(mesh.width));
+}
+
+}  // namespace
+
+sched::Schedule BsaScheduler::run(const graph::TaskGraph& g,
+                                  const sched::SchedulerOptions& options) const {
+  const std::size_t v = g.num_nodes();
+  const std::size_t num_procs =
+      options.num_procs > 0
+          ? std::min<std::size_t>(options.num_procs,
+                                  static_cast<std::size_t>(mesh_.procs()))
+          : static_cast<std::size_t>(mesh_.procs());
+  if (v == 0) return sched::Schedule(0, std::max<std::size_t>(num_procs, 1));
+
+  // Serial injection: everything on the pivot (processor 0) in
+  // CPN-Dominate order.
+  const graph::LevelInfo levels = graph::compute_levels(g);
+  const auto classes = graph::classify_nodes(g, levels);
+  auto list = fast::build_cpn_dominate_list(g, levels, classes);
+  fast::AssignmentEvaluator evaluator(g, list, num_procs);
+  std::vector<ProcId> assignment(v, 0);
+  Cost length = evaluator.evaluate(assignment);
+
+  // Per-task start times under the current assignment (recomputed from a
+  // materialized schedule after each accepted migration batch).
+  const auto starts_of = [&](const std::vector<ProcId>& a) {
+    const sched::Schedule s = evaluator.materialize(a);
+    std::vector<Cost> starts(v);
+    for (NodeId n = 0; n < v; ++n) starts[n] = s.start(n);
+    return starts;
+  };
+  std::vector<Cost> starts = starts_of(assignment);
+
+  // Breadth-first processor order over the mesh from the pivot.
+  std::vector<ProcId> bfs_order;
+  {
+    std::vector<bool> seen(num_procs, false);
+    std::deque<ProcId> queue{0};
+    seen[0] = true;
+    std::vector<ProcId> adj;
+    while (!queue.empty()) {
+      const ProcId p = queue.front();
+      queue.pop_front();
+      bfs_order.push_back(p);
+      neighbours(mesh_, p, adj);
+      for (const ProcId q : adj) {
+        if (q < num_procs && !seen[q]) {
+          seen[q] = true;
+          queue.push_back(q);
+        }
+      }
+    }
+  }
+
+  // Bubbling passes: for each processor in BFS order, try to migrate each
+  // of its tasks (in list order) to an adjacent processor when that
+  // strictly shortens the schedule, or keeps it equal while strictly
+  // reducing the task's own start time (the published "bubble" condition).
+  // Sweeps repeat until quiescent (bounded by the mesh diameter): a task
+  // reaches distance-k processors only after k sweeps.
+  std::vector<ProcId> adj;
+  const auto run_sweep = [&] {
+    for (const ProcId p : bfs_order) {
+      neighbours(mesh_, p, adj);
+      adj.erase(std::remove_if(adj.begin(), adj.end(),
+                               [&](ProcId q) { return q >= num_procs; }),
+                adj.end());
+      if (adj.empty()) continue;
+      for (const NodeId n : list) {
+        if (assignment[n] != p) continue;
+        ProcId best_proc = p;
+        Cost best_length = length;
+        Cost best_start = starts[n];
+        for (const ProcId q : adj) {
+          assignment[n] = q;
+          const Cost candidate = evaluator.evaluate(assignment);
+          if (graph::definitely_less(candidate, best_length)) {
+            best_length = candidate;
+            best_proc = q;
+          } else if (graph::approx_equal(candidate, best_length)) {
+            const sched::Schedule trial = evaluator.materialize(assignment);
+            if (graph::definitely_less(trial.start(n), best_start)) {
+              best_start = trial.start(n);
+              best_proc = q;
+            }
+          }
+        }
+        assignment[n] = best_proc;
+        if (best_proc != p) {
+          length = evaluator.evaluate(assignment);
+          starts = starts_of(assignment);
+        }
+      }
+    }
+  };
+
+  const int max_sweeps = mesh_.width + mesh_.height;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    const Cost length_before_sweep = length;
+    run_sweep();
+    if (!graph::definitely_less(length, length_before_sweep)) break;
+  }
+
+  return evaluator.materialize(assignment);
+}
+
+}  // namespace fastsched::baselines

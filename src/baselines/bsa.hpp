@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file bsa.hpp
+/// BSA (Bubble Scheduling and Allocation; Kwok & Ahmad 1995) — the FAST
+/// authors' topology-aware scheduler, the only algorithm in this library
+/// that sees the processor network. All tasks start serialized on a pivot
+/// processor (in CPN-Dominate order, reusing FAST's list machinery); then
+/// processors are visited in breadth-first order over the mesh from the
+/// pivot, and each task on the current processor "bubbles" to an adjacent
+/// processor when that strictly reduces its start time (or, per the
+/// published refinement, when the task's data-arrival time already exceeds
+/// its current start, indicating it gains nothing from locality).
+///
+/// Start times are re-evaluated after every migration with the same
+/// O(v + e) list replay FAST uses, so one bubbling pass costs
+/// O(p · v · (v + e)) in the worst case — BSA sits on the expensive side
+/// of the ladder, like MD and DCP.
+
+#include "sched/scheduler.hpp"
+#include "sim/mesh.hpp"
+
+namespace fastsched::baselines {
+
+class BsaScheduler final : public sched::Scheduler {
+ public:
+  /// `mesh` defines the processor adjacency; the budget in
+  /// SchedulerOptions is capped by the mesh size.
+  explicit BsaScheduler(sim::MeshConfig mesh = sim::MeshConfig::paragon64())
+      : mesh_(mesh) {}
+
+  [[nodiscard]] std::string name() const override { return "BSA"; }
+
+  [[nodiscard]] sched::Schedule run(
+      const graph::TaskGraph& g,
+      const sched::SchedulerOptions& options) const override;
+
+ private:
+  sim::MeshConfig mesh_;
+};
+
+}  // namespace fastsched::baselines

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file clustering_common.hpp
+/// Shared machinery for the clustering baselines (LC, EZ): given a
+/// node→cluster assignment, order the nodes topologically (highest b-level
+/// first within the ready set) and replay them against per-cluster ready
+/// times, charging zero for intra-cluster edges. Returns the resulting
+/// start/finish times — the standard way a clustering is evaluated as a
+/// schedule on one processor per cluster.
+
+#include <queue>
+#include <vector>
+
+#include "graph/levels.hpp"
+#include "sched/schedule.hpp"
+
+namespace fastsched::baselines::detail {
+
+struct ClusterReplay {
+  std::vector<graph::Cost> start;
+  std::vector<graph::Cost> finish;
+  graph::Cost makespan = 0;
+};
+
+/// Replays `cluster_of` (one cluster id per node, ids < num_clusters).
+/// `b_level` supplies the priority used to order the ready set.
+inline ClusterReplay replay_clusters(const graph::TaskGraph& g,
+                                     const std::vector<std::uint32_t>& cluster_of,
+                                     std::size_t num_clusters,
+                                     const std::vector<graph::Cost>& b_level) {
+  using graph::Adjacency;
+  using graph::Cost;
+  using graph::NodeId;
+
+  const std::size_t v = g.num_nodes();
+  ClusterReplay out;
+  out.start.assign(v, 0.0);
+  out.finish.assign(v, 0.0);
+
+  std::vector<Cost> ready(num_clusters, 0.0);
+  std::vector<std::size_t> pending(v);
+  // Max-heap over (b-level, ~id): highest priority ready node first.
+  using Entry = std::pair<Cost, NodeId>;
+  std::priority_queue<Entry> queue;
+  for (NodeId n = 0; n < v; ++n) {
+    pending[n] = g.in_degree(n);
+    if (pending[n] == 0) queue.emplace(b_level[n], n);
+  }
+
+  while (!queue.empty()) {
+    const NodeId n = queue.top().second;
+    queue.pop();
+    const std::uint32_t c = cluster_of[n];
+    Cost dat = 0.0;
+    for (const Adjacency& q : g.predecessors(n)) {
+      dat = std::max(dat, out.finish[q.node] +
+                              (cluster_of[q.node] == c ? 0.0 : q.cost));
+    }
+    const Cost start = std::max(dat, ready[c]);
+    out.start[n] = start;
+    out.finish[n] = start + g.weight(n);
+    ready[c] = out.finish[n];
+    out.makespan = std::max(out.makespan, out.finish[n]);
+    for (const Adjacency& s : g.successors(n)) {
+      if (--pending[s.node] == 0) queue.emplace(b_level[s.node], s.node);
+    }
+  }
+  return out;
+}
+
+/// Builds a Schedule from a cluster replay (cluster c = processor c).
+inline sched::Schedule clusters_to_schedule(
+    const graph::TaskGraph& g, const std::vector<std::uint32_t>& cluster_of,
+    std::size_t num_clusters, const ClusterReplay& replay) {
+  sched::Schedule s(g.num_nodes(), std::max<std::size_t>(num_clusters, 1));
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    s.assign(n, static_cast<sched::ProcId>(cluster_of[n]), replay.start[n],
+             replay.finish[n]);
+  }
+  return s;
+}
+
+}  // namespace fastsched::baselines::detail

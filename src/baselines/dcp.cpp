@@ -1,0 +1,202 @@
+#include "baselines/dcp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "baselines/timeline.hpp"
+
+namespace fastsched::baselines {
+namespace {
+
+using graph::Adjacency;
+using graph::Cost;
+using graph::NodeId;
+using graph::TaskGraph;
+using sched::ProcId;
+using sched::Schedule;
+
+constexpr Cost kInf = std::numeric_limits<Cost>::max();
+
+struct DynamicTimes {
+  std::vector<Cost> aest;  ///< absolute earliest start
+  std::vector<Cost> alst;  ///< absolute latest start
+};
+
+/// AEST/ALST on the partially-scheduled graph: scheduled nodes pinned to
+/// their actual start times, co-located scheduled edges zeroed.
+DynamicTimes compute_times(const TaskGraph& g,
+                           const std::vector<bool>& scheduled,
+                           const std::vector<ProcId>& proc_of,
+                           const std::vector<Cost>& start_of) {
+  const std::size_t v = g.num_nodes();
+  const auto effective = [&](NodeId a, NodeId b, Cost c) -> Cost {
+    return scheduled[a] && scheduled[b] && proc_of[a] == proc_of[b] ? 0.0 : c;
+  };
+
+  DynamicTimes out;
+  out.aest.assign(v, 0.0);
+  for (const NodeId n : g.topological_order()) {
+    if (scheduled[n]) {
+      out.aest[n] = start_of[n];
+      continue;
+    }
+    Cost best = 0.0;
+    for (const Adjacency& p : g.predecessors(n)) {
+      best = std::max(best, out.aest[p.node] + g.weight(p.node) +
+                                effective(p.node, n, p.cost));
+    }
+    out.aest[n] = best;
+  }
+
+  std::vector<Cost> down(v, 0.0);
+  const auto topo = g.topological_order();
+  Cost cp = 0.0;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId n = *it;
+    Cost best = 0.0;
+    for (const Adjacency& s : g.successors(n)) {
+      best = std::max(best, effective(n, s.node, s.cost) + down[s.node]);
+    }
+    down[n] = g.weight(n) + best;
+    cp = std::max(cp, out.aest[n] + down[n]);
+  }
+  out.alst.resize(v);
+  for (NodeId n = 0; n < v; ++n) {
+    out.alst[n] = scheduled[n] ? start_of[n] : cp - down[n];
+  }
+  return out;
+}
+
+}  // namespace
+
+Schedule DcpScheduler::run(const graph::TaskGraph& g,
+                           const sched::SchedulerOptions&) const {
+  const std::size_t v = g.num_nodes();
+  const std::size_t num_procs = std::max<std::size_t>(v, 1);
+  Schedule schedule(v, num_procs);
+  if (v == 0) return schedule;
+
+  std::vector<bool> scheduled(v, false);
+  std::vector<ProcId> proc_of(v, sched::kUnassignedProc);
+  std::vector<Cost> start_of(v, 0.0);
+  std::vector<Cost> finish_of(v, 0.0);
+  std::vector<std::size_t> pending(v);
+  std::vector<Timeline> timelines(num_procs);
+  std::size_t procs_touched = 0;
+  for (NodeId n = 0; n < v; ++n) pending[n] = g.in_degree(n);
+
+  std::vector<ProcId> candidates;
+  std::vector<bool> candidate_mark(num_procs, false);
+
+  for (std::size_t step = 0; step < v; ++step) {
+    const DynamicTimes times =
+        compute_times(g, scheduled, proc_of, start_of);
+
+    // Head of the dynamic critical path among schedulable nodes: the
+    // smallest ALST, ties to the smallest AEST, then id.
+    NodeId pick = graph::kInvalidNode;
+    for (NodeId n = 0; n < v; ++n) {
+      if (scheduled[n] || pending[n] != 0) continue;
+      if (pick == graph::kInvalidNode ||
+          graph::definitely_less(times.alst[n], times.alst[pick]) ||
+          (graph::approx_equal(times.alst[n], times.alst[pick]) &&
+           (graph::definitely_less(times.aest[n], times.aest[pick]) ||
+            (graph::approx_equal(times.aest[n], times.aest[pick]) &&
+             n < pick)))) {
+        pick = n;
+      }
+    }
+    FASTSCHED_ASSERT(pick != graph::kInvalidNode);
+
+    // Critical child: the unscheduled child with the smallest ALST.
+    NodeId crit_child = graph::kInvalidNode;
+    Cost crit_edge = 0.0;
+    for (const Adjacency& s : g.successors(pick)) {
+      if (scheduled[s.node]) continue;
+      if (crit_child == graph::kInvalidNode ||
+          times.alst[s.node] < times.alst[crit_child]) {
+        crit_child = s.node;
+        crit_edge = s.cost;
+      }
+    }
+
+    // Candidate processors: parents' processors + one fresh.
+    candidates.clear();
+    for (const Adjacency& q : g.predecessors(pick)) {
+      const ProcId pp = proc_of[q.node];
+      if (!candidate_mark[pp]) {
+        candidate_mark[pp] = true;
+        candidates.push_back(pp);
+      }
+    }
+    if (procs_touched < num_procs) {
+      const auto fresh = static_cast<ProcId>(procs_touched);
+      if (!candidate_mark[fresh]) {
+        candidate_mark[fresh] = true;
+        candidates.push_back(fresh);
+      }
+    }
+    if (candidates.empty()) {
+      candidate_mark[0] = true;
+      candidates.push_back(0);
+    }
+
+    const Cost w = g.weight(pick);
+    ProcId best_proc = candidates.front();
+    Cost best_start = 0.0;
+    Cost best_key = kInf;
+    for (const ProcId p : candidates) {
+      Cost dat = 0.0;
+      for (const Adjacency& q : g.predecessors(pick)) {
+        dat = std::max(dat,
+                       finish_of[q.node] + (proc_of[q.node] == p ? 0.0 : q.cost));
+      }
+      const Cost start = timelines[p].earliest_fit(dat, w);
+
+      // Look-ahead: estimated start of the critical child if it joined
+      // this processor right after pick (its message from pick zeroed; its
+      // other parents' messages conservatively cross-processor).
+      Cost child_est = 0.0;
+      if (crit_child != graph::kInvalidNode) {
+        (void)crit_edge;
+        Cost child_dat = start + w;  // data from pick, zeroed on p
+        for (const Adjacency& q : g.predecessors(crit_child)) {
+          if (q.node == pick) continue;
+          if (scheduled[q.node]) {
+            child_dat = std::max(
+                child_dat,
+                finish_of[q.node] + (proc_of[q.node] == p ? 0.0 : q.cost));
+          } else {
+            child_dat = std::max(child_dat,
+                                 times.aest[q.node] + g.weight(q.node) + q.cost);
+          }
+        }
+        child_est =
+            timelines[p].earliest_fit(std::max(child_dat, start + w),
+                                      g.weight(crit_child));
+      }
+      const Cost key = start + child_est;
+      if (graph::definitely_less(key, best_key)) {
+        best_key = key;
+        best_start = start;
+        best_proc = p;
+      }
+    }
+    for (const ProcId p : candidates) candidate_mark[p] = false;
+
+    timelines[best_proc].insert(best_start, best_start + w);
+    if (best_proc == static_cast<ProcId>(procs_touched) &&
+        procs_touched < num_procs) {
+      ++procs_touched;
+    }
+    scheduled[pick] = true;
+    proc_of[pick] = best_proc;
+    start_of[pick] = best_start;
+    finish_of[pick] = best_start + w;
+    schedule.assign(pick, best_proc, best_start, best_start + w);
+    for (const Adjacency& s : g.successors(pick)) --pending[s.node];
+  }
+  return schedule;
+}
+
+}  // namespace fastsched::baselines

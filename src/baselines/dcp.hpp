@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file dcp.hpp
+/// DCP (Dynamic Critical Path; Kwok & Ahmad, TPDS 1996) — the FAST
+/// authors' own high-quality O(v³) scheduler, published the same year,
+/// included here because the FAST paper positions itself as the
+/// low-complexity alternative to exactly this class of algorithm.
+///
+/// Each step recomputes AEST/ALST (absolute earliest/latest start times)
+/// on the partially-scheduled graph — scheduled nodes pinned, co-located
+/// edges zeroed — and selects the schedulable node with the smallest ALST
+/// (the head of the *dynamic* critical path; ties to smaller AEST). The
+/// processor choice uses DCP's hallmark look-ahead: among the processors
+/// of the node's parents plus one fresh, minimize the node's insertion
+/// start time *plus* the estimated start of its critical child if that
+/// child were placed on the same processor.
+///
+/// Simplification (as with MD, documented in DESIGN.md): candidates are
+/// restricted to nodes whose parents are already scheduled, preserving the
+/// selection rule while guaranteeing valid schedules by construction.
+
+#include "sched/scheduler.hpp"
+
+namespace fastsched::baselines {
+
+class DcpScheduler final : public sched::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "DCP"; }
+
+  [[nodiscard]] bool unbounded_processors() const override { return true; }
+
+  [[nodiscard]] sched::Schedule run(
+      const graph::TaskGraph& g,
+      const sched::SchedulerOptions& options) const override;
+};
+
+}  // namespace fastsched::baselines

@@ -1,0 +1,41 @@
+#include "baselines/dls.hpp"
+
+#include "baselines/bounded_common.hpp"
+
+namespace fastsched::baselines {
+
+sched::Schedule DlsScheduler::run(const graph::TaskGraph& g,
+                                  const sched::SchedulerOptions& options) const {
+  using detail::BoundedState;
+  using graph::Cost;
+  using graph::NodeId;
+  using sched::ProcId;
+
+  const std::size_t num_procs = sched::effective_procs(g, options);
+  BoundedState state(g, num_procs);
+  const std::vector<Cost> sl = graph::compute_static_levels(g);
+
+  while (!state.done()) {
+    NodeId best_node = graph::kInvalidNode;
+    ProcId best_proc = 0;
+    Cost best_dl = 0.0;
+    for (const NodeId n : state.ready()) {
+      // Maximizing SL(n) − EST(n, p) over p means minimizing EST for a
+      // fixed node, so the per-node inner loop reuses the EST minimizer.
+      const auto [p, est] = state.best_proc(n);
+      const Cost dl = sl[n] - est;
+      const bool better = best_node == graph::kInvalidNode ||
+                          graph::definitely_less(best_dl, dl) ||
+                          (graph::approx_equal(dl, best_dl) && n < best_node);
+      if (better) {
+        best_node = n;
+        best_proc = p;
+        best_dl = dl;
+      }
+    }
+    state.place(best_node, best_proc);
+  }
+  return std::move(state).take_schedule();
+}
+
+}  // namespace fastsched::baselines

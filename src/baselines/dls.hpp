@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file dls.hpp
+/// The DLS (Dynamic Level Scheduling) baseline of Sih & Lee (paper §3.3):
+/// at each step pick the (ready node, processor) pair maximizing the
+/// dynamic level DL(n, p) = SL(n) − EST(n, p), where SL is the static
+/// (computation-only) b-level. O(p·e·v).
+
+#include "sched/scheduler.hpp"
+
+namespace fastsched::baselines {
+
+class DlsScheduler final : public sched::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "DLS"; }
+
+  [[nodiscard]] sched::Schedule run(
+      const graph::TaskGraph& g,
+      const sched::SchedulerOptions& options) const override;
+};
+
+}  // namespace fastsched::baselines

@@ -1,0 +1,234 @@
+#include "baselines/dsc.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "graph/levels.hpp"
+
+namespace fastsched::baselines {
+namespace {
+
+using graph::Adjacency;
+using graph::Cost;
+using graph::NodeId;
+using graph::TaskGraph;
+using sched::ProcId;
+using sched::Schedule;
+
+constexpr Cost kInf = std::numeric_limits<Cost>::max();
+constexpr std::uint32_t kNoCluster = std::numeric_limits<std::uint32_t>::max();
+
+/// Max-priority queue with lazy invalidation: entries carry the priority
+/// they were pushed with; stale entries (priority changed since push) are
+/// skipped on pop.
+class LazyMaxQueue {
+ public:
+  void push(Cost priority, NodeId n) { heap_.emplace(priority, n); }
+
+  /// Pops the highest-priority entry whose recorded priority still matches
+  /// `current` and for which `alive` holds. Returns kInvalidNode when empty.
+  template <typename PriorityFn, typename AliveFn>
+  NodeId pop_valid(PriorityFn current, AliveFn alive) {
+    while (!heap_.empty()) {
+      const auto [prio, n] = heap_.top();
+      if (!alive(n) || !graph::approx_equal(prio, current(n))) {
+        heap_.pop();
+        continue;
+      }
+      heap_.pop();
+      return n;
+    }
+    return graph::kInvalidNode;
+  }
+
+  /// Highest valid entry without removing it.
+  template <typename PriorityFn, typename AliveFn>
+  std::pair<NodeId, Cost> peek_valid(PriorityFn current, AliveFn alive) {
+    while (!heap_.empty()) {
+      const auto [prio, n] = heap_.top();
+      if (!alive(n) || !graph::approx_equal(prio, current(n))) {
+        heap_.pop();
+        continue;
+      }
+      return {n, prio};
+    }
+    return {graph::kInvalidNode, -kInf};
+  }
+
+ private:
+  // (priority, ~node) so that ties break toward the smaller node id.
+  struct Entry {
+    Cost priority;
+    NodeId node;
+    bool operator<(const Entry& other) const {
+      if (priority != other.priority) return priority < other.priority;
+      return node > other.node;
+    }
+  };
+  std::priority_queue<Entry> heap_;
+
+  // Allow structured bindings on top().
+  friend struct EntryAccess;
+};
+
+}  // namespace
+
+Schedule DscScheduler::run(const graph::TaskGraph& g,
+                           const sched::SchedulerOptions&) const {
+  const std::size_t v = g.num_nodes();
+  const std::size_t num_procs = std::max<std::size_t>(v, 1);
+  Schedule schedule(v, num_procs);
+  if (v == 0) return schedule;
+
+  // b-levels are static during the DSC pass: nodes are examined in
+  // topological order (only free nodes get scheduled), so every path below
+  // an unexamined node consists of unzeroed edges.
+  const std::vector<Cost> blevel = graph::compute_b_levels(g);
+
+  // t-level estimate, refined as parents get scheduled: for a free node it
+  // is exact (max over parents of finish + cost, cluster-blind); priority =
+  // tlevel + blevel.
+  std::vector<Cost> tlevel(v, 0.0);
+  const auto priority = [&](NodeId n) { return tlevel[n] + blevel[n]; };
+
+  std::vector<std::uint32_t> cluster_of(v, kNoCluster);
+  std::vector<Cost> cluster_ready;  // finish time of last task per cluster
+  std::vector<Cost> start_of(v, 0.0);
+  std::vector<Cost> finish_of(v, 0.0);
+  std::vector<bool> examined(v, false);
+  std::vector<std::size_t> pending(v);
+
+  LazyMaxQueue free_queue;
+  LazyMaxQueue partial_queue;  // >= 1 parent examined, not yet free
+  std::vector<bool> in_partial(v, false);
+
+  for (NodeId n = 0; n < v; ++n) {
+    pending[n] = g.in_degree(n);
+    if (pending[n] == 0) free_queue.push(priority(n), n);
+  }
+
+  const auto is_free = [&](NodeId n) {
+    return !examined[n] && pending[n] == 0;
+  };
+  const auto is_partial = [&](NodeId n) {
+    return !examined[n] && pending[n] != 0;
+  };
+
+  // Start time of `n` if appended to cluster `c` (kNoCluster = fresh).
+  const auto est_on = [&](NodeId n, std::uint32_t c) {
+    Cost dat = 0.0;
+    for (const Adjacency& q : g.predecessors(n)) {
+      dat = std::max(dat, finish_of[q.node] +
+                              (cluster_of[q.node] == c ? 0.0 : q.cost));
+    }
+    const Cost ready = c == kNoCluster ? 0.0 : cluster_ready[c];
+    return std::max(dat, ready);
+  };
+
+  std::vector<std::uint32_t> candidates;
+  for (std::size_t step = 0; step < v; ++step) {
+    const NodeId nf = free_queue.pop_valid(priority, is_free);
+    FASTSCHED_ASSERT_MSG(nf != graph::kInvalidNode, "free list ran dry");
+
+    // Candidate cluster: per the original minimization procedure, DSC
+    // examines the incoming edges in descending arrival order and tries to
+    // zero the ones from the head — i.e. the cluster of the last-arriving
+    // parent. (Offering every parent cluster would be a stronger greedy
+    // than the published algorithm.)
+    candidates.clear();
+    {
+      NodeId last_parent = graph::kInvalidNode;
+      Cost last_arrival = -1.0;
+      for (const Adjacency& q : g.predecessors(nf)) {
+        const Cost arrival = finish_of[q.node] + q.cost;
+        if (arrival > last_arrival) {
+          last_arrival = arrival;
+          last_parent = q.node;
+        }
+      }
+      if (last_parent != graph::kInvalidNode) {
+        candidates.push_back(cluster_of[last_parent]);
+      }
+    }
+    const Cost est_fresh = est_on(nf, kNoCluster);
+
+    // DSRW: when the top partially-free node outranks nf and is a child of
+    // nf, pick the cluster minimizing that child's future data-arrival
+    // time; otherwise minimize nf's own start. In both cases a merge must
+    // not start nf later than a fresh cluster would.
+    const auto [np, np_prio] = partial_queue.peek_valid(priority, is_partial);
+    NodeId guarded_child = graph::kInvalidNode;
+    Cost guarded_edge = 0.0;
+    if (np != graph::kInvalidNode && np_prio > priority(nf) &&
+        !graph::approx_equal(np_prio, priority(nf))) {
+      for (const Adjacency& s : g.successors(nf)) {
+        if (s.node == np) {
+          guarded_child = np;
+          guarded_edge = s.cost;
+          break;
+        }
+      }
+    }
+
+    std::uint32_t best_cluster = kNoCluster;
+    Cost best_est = est_fresh;
+    Cost best_key = guarded_child != graph::kInvalidNode
+                        ? est_fresh + g.weight(nf) + guarded_edge
+                        : est_fresh;
+    for (const std::uint32_t c : candidates) {
+      const Cost est = est_on(nf, c);
+      if (graph::definitely_less(est_fresh, est)) continue;  // merge delays nf
+      // Arrival at the guarded child assumes the cross-cluster cost: the
+      // warranty must hold even if the child ends up elsewhere.
+      const Cost key = guarded_child != graph::kInvalidNode
+                           ? est + g.weight(nf) + guarded_edge
+                           : est;
+      if (graph::definitely_less(key, best_key)) {
+        best_cluster = c;
+        best_est = est;
+        best_key = key;
+      }
+    }
+
+    std::uint32_t target = best_cluster;
+    if (target == kNoCluster) {
+      target = static_cast<std::uint32_t>(cluster_ready.size());
+      cluster_ready.push_back(0.0);
+    }
+
+    const Cost start = best_cluster == kNoCluster ? est_fresh : best_est;
+    const Cost finish = start + g.weight(nf);
+    cluster_of[nf] = target;
+    cluster_ready[target] = finish;
+    start_of[nf] = start;
+    finish_of[nf] = finish;
+    examined[nf] = true;
+    tlevel[nf] = start;
+
+    // Update children: refresh t-level estimates, promote to free.
+    for (const Adjacency& s : g.successors(nf)) {
+      const NodeId c = s.node;
+      tlevel[c] = std::max(tlevel[c], finish + s.cost);
+      --pending[c];
+      if (pending[c] == 0) {
+        free_queue.push(priority(c), c);
+      } else if (!in_partial[c]) {
+        in_partial[c] = true;
+        partial_queue.push(priority(c), c);
+      } else {
+        partial_queue.push(priority(c), c);  // refreshed priority entry
+      }
+    }
+  }
+
+  FASTSCHED_ASSERT(cluster_ready.size() <= num_procs);
+  for (NodeId n = 0; n < v; ++n) {
+    schedule.assign(n, static_cast<ProcId>(cluster_of[n]), start_of[n],
+                    finish_of[n]);
+  }
+  return schedule;
+}
+
+}  // namespace fastsched::baselines

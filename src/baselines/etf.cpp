@@ -1,0 +1,43 @@
+#include "baselines/etf.hpp"
+
+#include "baselines/bounded_common.hpp"
+
+namespace fastsched::baselines {
+
+sched::Schedule EtfScheduler::run(const graph::TaskGraph& g,
+                                  const sched::SchedulerOptions& options) const {
+  using detail::BoundedState;
+  using graph::Cost;
+  using graph::NodeId;
+  using sched::ProcId;
+
+  const std::size_t num_procs = sched::effective_procs(g, options);
+  BoundedState state(g, num_procs);
+  const std::vector<Cost> sl = graph::compute_static_levels(g);
+
+  while (!state.done()) {
+    NodeId best_node = graph::kInvalidNode;
+    ProcId best_proc = 0;
+    Cost best_est = 0.0;
+    for (const NodeId n : state.ready()) {
+      const auto [p, est] = state.best_proc(n);
+      const bool better =
+          best_node == graph::kInvalidNode ||
+          graph::definitely_less(est, best_est) ||
+          // Tie on EST: higher static level wins (paper §3.2); remaining
+          // ties to the lower id for determinism.
+          (graph::approx_equal(est, best_est) &&
+           (sl[n] > sl[best_node] ||
+            (graph::approx_equal(sl[n], sl[best_node]) && n < best_node)));
+      if (better) {
+        best_node = n;
+        best_proc = p;
+        best_est = est;
+      }
+    }
+    state.place(best_node, best_proc);
+  }
+  return std::move(state).take_schedule();
+}
+
+}  // namespace fastsched::baselines

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file etf.hpp
+/// The ETF (Earliest Task First) baseline of Hwang, Chow, Anger & Lee
+/// (paper §3.2): at each step compute the earliest start time of every
+/// ready node over every processor and schedule the (node, processor) pair
+/// with the smallest start time; ties go to the node with the higher static
+/// level. O(p·v²).
+
+#include "sched/scheduler.hpp"
+
+namespace fastsched::baselines {
+
+class EtfScheduler final : public sched::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "ETF"; }
+
+  [[nodiscard]] sched::Schedule run(
+      const graph::TaskGraph& g,
+      const sched::SchedulerOptions& options) const override;
+};
+
+}  // namespace fastsched::baselines

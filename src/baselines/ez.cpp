@@ -1,0 +1,99 @@
+#include "baselines/ez.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/clustering_common.hpp"
+
+namespace fastsched::baselines {
+namespace {
+
+/// Plain union-find over cluster ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+sched::Schedule EzScheduler::run(const graph::TaskGraph& g,
+                                 const sched::SchedulerOptions&) const {
+  using graph::Cost;
+  using graph::EdgeId;
+  using graph::NodeId;
+
+  const std::size_t v = g.num_nodes();
+  if (v == 0) return sched::Schedule(0, 1);
+
+  const std::vector<Cost> b_level = graph::compute_b_levels(g);
+
+  // Edges in descending cost order (ties by id for determinism).
+  std::vector<EdgeId> edges(g.num_edges());
+  std::iota(edges.begin(), edges.end(), 0u);
+  std::sort(edges.begin(), edges.end(), [&](EdgeId a, EdgeId b) {
+    if (g.edge_cost(a) != g.edge_cost(b)) {
+      return g.edge_cost(a) > g.edge_cost(b);
+    }
+    return a < b;
+  });
+
+  UnionFind uf(v);
+  std::vector<std::uint32_t> cluster_of(v);
+  const auto materialize_clusters = [&] {
+    for (NodeId n = 0; n < v; ++n) cluster_of[n] = uf.find(n);
+  };
+
+  materialize_clusters();
+  Cost current = detail::replay_clusters(g, cluster_of, v, b_level).makespan;
+
+  for (const EdgeId e : edges) {
+    const std::uint32_t a = uf.find(g.edge_source(e));
+    const std::uint32_t b = uf.find(g.edge_target(e));
+    if (a == b) continue;  // already zeroed transitively
+
+    // Tentative merge: evaluate, keep only if not worse.
+    std::vector<std::uint32_t> trial = cluster_of;
+    for (NodeId n = 0; n < v; ++n) {
+      if (trial[n] == a) trial[n] = b;
+    }
+    const Cost candidate =
+        detail::replay_clusters(g, trial, v, b_level).makespan;
+    if (!graph::definitely_less(current, candidate)) {
+      uf.unite(a, b);
+      cluster_of = std::move(trial);
+      current = candidate;
+    }
+  }
+
+  // Compact cluster ids to a dense range for the final schedule.
+  std::vector<std::uint32_t> dense(v, 0);
+  std::uint32_t num_clusters = 0;
+  {
+    std::vector<std::uint32_t> remap(v, UINT32_MAX);
+    for (NodeId n = 0; n < v; ++n) {
+      const std::uint32_t c = cluster_of[n];
+      if (remap[c] == UINT32_MAX) remap[c] = num_clusters++;
+      dense[n] = remap[c];
+    }
+  }
+  const auto replay =
+      detail::replay_clusters(g, dense, num_clusters, b_level);
+  return detail::clusters_to_schedule(g, dense, num_clusters, replay);
+}
+
+}  // namespace fastsched::baselines

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file ez.hpp
+/// EZ (Edge Zeroing; Sarkar 1989) — the classic cost-driven clustering
+/// scheduler from the paper's research context. Edges are examined in
+/// descending communication cost; an edge is "zeroed" (its endpoints'
+/// clusters merged) iff the merge does not increase the schedule length,
+/// re-estimated after each tentative merge by a b-level-ordered replay.
+/// O(e·(v + e)).
+
+#include "sched/scheduler.hpp"
+
+namespace fastsched::baselines {
+
+class EzScheduler final : public sched::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "EZ"; }
+
+  [[nodiscard]] bool unbounded_processors() const override { return true; }
+
+  [[nodiscard]] sched::Schedule run(
+      const graph::TaskGraph& g,
+      const sched::SchedulerOptions& options) const override;
+};
+
+}  // namespace fastsched::baselines

@@ -1,0 +1,33 @@
+#include "baselines/hlfet.hpp"
+
+#include "baselines/bounded_common.hpp"
+
+namespace fastsched::baselines {
+
+sched::Schedule HlfetScheduler::run(
+    const graph::TaskGraph& g, const sched::SchedulerOptions& options) const {
+  using detail::BoundedState;
+  using graph::Cost;
+  using graph::NodeId;
+
+  const std::size_t num_procs = sched::effective_procs(g, options);
+  BoundedState state(g, num_procs);
+  const std::vector<Cost> sl = graph::compute_static_levels(g);
+
+  while (!state.done()) {
+    // Highest static level among ready nodes; ties to the smaller id.
+    NodeId best = graph::kInvalidNode;
+    for (const NodeId n : state.ready()) {
+      if (best == graph::kInvalidNode || sl[n] > sl[best] ||
+          (graph::approx_equal(sl[n], sl[best]) && n < best)) {
+        best = n;
+      }
+    }
+    const auto [proc, est] = state.best_proc(best);
+    (void)est;
+    state.place(best, proc);
+  }
+  return std::move(state).take_schedule();
+}
+
+}  // namespace fastsched::baselines

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file hlfet.hpp
+/// HLFET (Highest Level First with Estimated Times; Adam, Chandy & Dickson
+/// 1974) — the grandfather of list schedulers and part of the 21-algorithm
+/// comparison study the paper builds on. At each step the ready node with
+/// the highest static level is scheduled to the processor allowing its
+/// earliest start time (non-insertion). O(p·v²) like ETF, but with a
+/// static priority: it never reconsiders EST across ready nodes, which is
+/// exactly what ETF improved upon.
+
+#include "sched/scheduler.hpp"
+
+namespace fastsched::baselines {
+
+class HlfetScheduler final : public sched::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "HLFET"; }
+
+  [[nodiscard]] sched::Schedule run(
+      const graph::TaskGraph& g,
+      const sched::SchedulerOptions& options) const override;
+};
+
+}  // namespace fastsched::baselines

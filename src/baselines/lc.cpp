@@ -1,0 +1,76 @@
+#include "baselines/lc.hpp"
+
+#include <algorithm>
+
+#include "baselines/clustering_common.hpp"
+
+namespace fastsched::baselines {
+
+sched::Schedule LcScheduler::run(const graph::TaskGraph& g,
+                                 const sched::SchedulerOptions&) const {
+  using graph::Adjacency;
+  using graph::Cost;
+  using graph::NodeId;
+
+  const std::size_t v = g.num_nodes();
+  if (v == 0) return sched::Schedule(0, 1);
+
+  std::vector<std::uint32_t> cluster_of(v, 0);
+  std::vector<bool> clustered(v, false);
+  std::uint32_t next_cluster = 0;
+  std::size_t remaining = v;
+
+  // Longest-path extraction over the unclustered subgraph. Edges to or
+  // from clustered nodes are ignored (their nodes already belong to a
+  // linear cluster); edge costs count because unclustered neighbours would
+  // communicate.
+  std::vector<Cost> down(v);
+  std::vector<NodeId> next_on_path(v);
+  const auto topo = g.topological_order();
+
+  while (remaining > 0) {
+    // Downward longest path (weight + comm) within unclustered nodes.
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const NodeId n = *it;
+      if (clustered[n]) continue;
+      Cost best = 0.0;
+      NodeId best_next = graph::kInvalidNode;
+      for (const Adjacency& s : g.successors(n)) {
+        if (clustered[s.node]) continue;
+        const Cost via = s.cost + down[s.node];
+        if (via > best || (via == best && best_next == graph::kInvalidNode)) {
+          best = via;
+          best_next = s.node;
+        }
+      }
+      down[n] = g.weight(n) + best;
+      next_on_path[n] = best_next;
+    }
+    // Head of the longest path: the unclustered node with the largest
+    // `down` that has no unclustered parent on a longer prefix — simply
+    // the global max of `down` among nodes whose unclustered parents do
+    // not extend it (taking the global max is sufficient: any prefix
+    // extension would have a larger value).
+    NodeId head = graph::kInvalidNode;
+    for (NodeId n = 0; n < v; ++n) {
+      if (clustered[n]) continue;
+      if (head == graph::kInvalidNode || down[n] > down[head]) head = n;
+    }
+    FASTSCHED_ASSERT(head != graph::kInvalidNode);
+
+    const std::uint32_t cluster = next_cluster++;
+    for (NodeId n = head; n != graph::kInvalidNode; n = next_on_path[n]) {
+      FASTSCHED_ASSERT(!clustered[n]);
+      clustered[n] = true;
+      cluster_of[n] = cluster;
+      --remaining;
+    }
+  }
+
+  const std::vector<Cost> b_level = graph::compute_b_levels(g);
+  const auto replay =
+      detail::replay_clusters(g, cluster_of, next_cluster, b_level);
+  return detail::clusters_to_schedule(g, cluster_of, next_cluster, replay);
+}
+
+}  // namespace fastsched::baselines

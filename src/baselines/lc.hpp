@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file lc.hpp
+/// LC (Linear Clustering; Kim & Browne 1988) — a classic clustering
+/// scheduler from the paper's research context. Repeatedly: find the
+/// longest (computation + communication) path through the still-unmarked
+/// nodes, collapse it into one cluster (zeroing its internal edges), mark
+/// its nodes, and iterate until every node is clustered. Clusters map 1:1
+/// to processors; start times come from a b-level-ordered replay.
+/// O(v·(v + e)).
+
+#include "sched/scheduler.hpp"
+
+namespace fastsched::baselines {
+
+class LcScheduler final : public sched::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "LC"; }
+
+  [[nodiscard]] bool unbounded_processors() const override { return true; }
+
+  [[nodiscard]] sched::Schedule run(
+      const graph::TaskGraph& g,
+      const sched::SchedulerOptions& options) const override;
+};
+
+}  // namespace fastsched::baselines

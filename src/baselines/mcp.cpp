@@ -1,0 +1,86 @@
+#include "baselines/mcp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "baselines/timeline.hpp"
+#include "graph/levels.hpp"
+
+namespace fastsched::baselines {
+
+sched::Schedule McpScheduler::run(const graph::TaskGraph& g,
+                                  const sched::SchedulerOptions& options) const {
+  using graph::Adjacency;
+  using graph::Cost;
+  using graph::NodeId;
+  using sched::ProcId;
+
+  const std::size_t v = g.num_nodes();
+  const std::size_t num_procs = sched::effective_procs(g, options);
+  sched::Schedule schedule(v, num_procs);
+  if (v == 0) return schedule;
+
+  const graph::LevelInfo levels = graph::compute_levels(g);
+
+  // Secondary key: the smallest ALAP among a node's children (infinite for
+  // exits), per Wu & Gajski's tie-break. Topological rank resolves exact
+  // ties so the list always remains a valid topological order.
+  std::vector<Cost> child_alap(v, std::numeric_limits<Cost>::max());
+  for (NodeId n = 0; n < v; ++n) {
+    for (const Adjacency& s : g.successors(n)) {
+      child_alap[n] = std::min(child_alap[n], levels.alap[s.node]);
+    }
+  }
+  std::vector<std::size_t> topo_rank(v);
+  {
+    const auto topo = g.topological_order();
+    for (std::size_t i = 0; i < topo.size(); ++i) topo_rank[topo[i]] = i;
+  }
+
+  std::vector<NodeId> list(v);
+  for (NodeId n = 0; n < v; ++n) list[n] = n;
+  std::sort(list.begin(), list.end(), [&](NodeId a, NodeId b) {
+    if (!graph::approx_equal(levels.alap[a], levels.alap[b])) {
+      return levels.alap[a] < levels.alap[b];
+    }
+    if (!graph::approx_equal(child_alap[a], child_alap[b])) {
+      return child_alap[a] < child_alap[b];
+    }
+    return topo_rank[a] < topo_rank[b];
+  });
+
+  std::vector<Timeline> timelines(num_procs);
+  std::vector<Cost> finish(v, 0.0);
+  std::vector<ProcId> proc_of(v, sched::kUnassignedProc);
+  std::size_t procs_touched = 0;
+
+  for (const NodeId n : list) {
+    const Cost w = g.weight(n);
+    // Earliest insertion slot over the touched processors plus one fresh.
+    const std::size_t scan = std::min(procs_touched + 1, num_procs);
+    ProcId best_proc = 0;
+    Cost best_start = std::numeric_limits<Cost>::max();
+    for (ProcId p = 0; p < scan; ++p) {
+      Cost dat = 0.0;
+      for (const Adjacency& q : g.predecessors(n)) {
+        dat = std::max(dat,
+                       finish[q.node] + (proc_of[q.node] == p ? 0.0 : q.cost));
+      }
+      const Cost s = timelines[p].earliest_fit(dat, w);
+      if (graph::definitely_less(s, best_start)) {
+        best_start = s;
+        best_proc = p;
+      }
+    }
+    timelines[best_proc].insert(best_start, best_start + w);
+    if (best_proc == procs_touched && procs_touched < num_procs) {
+      ++procs_touched;
+    }
+    finish[n] = best_start + w;
+    proc_of[n] = best_proc;
+    schedule.assign(n, best_proc, best_start, best_start + w);
+  }
+  return schedule;
+}
+
+}  // namespace fastsched::baselines

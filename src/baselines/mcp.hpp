@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file mcp.hpp
+/// MCP (Modified Critical Path; Wu & Gajski 1990) — the list-scheduling
+/// sibling of MD from the same paper, also part of the authors' comparison
+/// study. Nodes are ordered by increasing ALAP time (latest possible start
+/// bounded by the CP length, ties broken by the smallest ALAP among their
+/// children, then by id) and each is placed, in list order, into the
+/// earliest idle slot across all processors (insertion allowed). O(v² log v).
+
+#include "sched/scheduler.hpp"
+
+namespace fastsched::baselines {
+
+class McpScheduler final : public sched::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "MCP"; }
+
+  [[nodiscard]] sched::Schedule run(
+      const graph::TaskGraph& g,
+      const sched::SchedulerOptions& options) const override;
+};
+
+}  // namespace fastsched::baselines

@@ -1,0 +1,165 @@
+#include "baselines/md.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "baselines/timeline.hpp"
+
+namespace fastsched::baselines {
+namespace {
+
+using graph::Adjacency;
+using graph::Cost;
+using graph::NodeId;
+using graph::TaskGraph;
+using sched::ProcId;
+using sched::Schedule;
+
+constexpr Cost kInf = std::numeric_limits<Cost>::max();
+
+/// Recomputes ASAP, ALAP and the dynamic CP length on the partially
+/// scheduled graph: scheduled nodes are pinned to their actual start times
+/// and edges joining two co-located scheduled nodes cost zero.
+struct DynamicLevels {
+  std::vector<Cost> asap;
+  std::vector<Cost> alap;
+};
+
+DynamicLevels compute_dynamic_levels(const TaskGraph& g,
+                                     const std::vector<bool>& scheduled,
+                                     const std::vector<ProcId>& proc_of,
+                                     const std::vector<Cost>& start_of) {
+  const std::size_t v = g.num_nodes();
+  const auto effective = [&](NodeId a, NodeId b, Cost c) -> Cost {
+    const bool zeroed = scheduled[a] && scheduled[b] &&
+                        proc_of[a] == proc_of[b];
+    return zeroed ? 0.0 : c;
+  };
+
+  DynamicLevels out;
+  out.asap.assign(v, 0.0);
+  for (const NodeId n : g.topological_order()) {
+    if (scheduled[n]) {
+      out.asap[n] = start_of[n];
+      continue;
+    }
+    Cost best = 0.0;
+    for (const Adjacency& p : g.predecessors(n)) {
+      best = std::max(best, out.asap[p.node] + g.weight(p.node) +
+                                effective(p.node, n, p.cost));
+    }
+    out.asap[n] = best;
+  }
+
+  // Downward path length (b-level analogue) with effective costs.
+  std::vector<Cost> down(v, 0.0);
+  const auto topo = g.topological_order();
+  Cost cp = 0.0;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId n = *it;
+    Cost best = 0.0;
+    for (const Adjacency& s : g.successors(n)) {
+      best = std::max(best, effective(n, s.node, s.cost) + down[s.node]);
+    }
+    down[n] = g.weight(n) + best;
+    cp = std::max(cp, out.asap[n] + down[n]);
+  }
+
+  out.alap.resize(v);
+  for (NodeId n = 0; n < v; ++n) {
+    out.alap[n] = scheduled[n] ? start_of[n] : cp - down[n];
+  }
+  return out;
+}
+
+}  // namespace
+
+Schedule MdScheduler::run(const graph::TaskGraph& g,
+                          const sched::SchedulerOptions&) const {
+  const std::size_t v = g.num_nodes();
+  // Unbounded pool: one processor per node is always enough.
+  const std::size_t num_procs = std::max<std::size_t>(v, 1);
+  Schedule schedule(v, num_procs);
+  if (v == 0) return schedule;
+
+  std::vector<bool> scheduled(v, false);
+  std::vector<ProcId> proc_of(v, sched::kUnassignedProc);
+  std::vector<Cost> start_of(v, 0.0);
+  std::vector<Cost> finish_of(v, 0.0);
+  std::vector<std::size_t> pending(v);
+  std::vector<Timeline> timelines(num_procs);
+  std::size_t procs_touched = 0;
+
+  for (NodeId n = 0; n < v; ++n) pending[n] = g.in_degree(n);
+
+  for (std::size_t step = 0; step < v; ++step) {
+    const DynamicLevels levels =
+        compute_dynamic_levels(g, scheduled, proc_of, start_of);
+
+    // Select the schedulable node with minimum relative mobility.
+    NodeId pick = graph::kInvalidNode;
+    Cost pick_mobility = kInf;
+    for (NodeId n = 0; n < v; ++n) {
+      if (scheduled[n] || pending[n] != 0) continue;
+      const Cost w = std::max(g.weight(n), Cost{1e-12});
+      const Cost mobility = (levels.alap[n] - levels.asap[n]) / w;
+      if (mobility < pick_mobility - 1e-12 ||
+          (graph::approx_equal(mobility, pick_mobility) && n < pick)) {
+        pick = n;
+        pick_mobility = mobility;
+      }
+    }
+    FASTSCHED_ASSERT_MSG(pick != graph::kInvalidNode,
+                         "no schedulable node left");
+
+    const Cost w = g.weight(pick);
+    // Scan processors in index order; the mobility window is
+    // [ASAP, ALAP + w). A processor "accommodates" the node when it has an
+    // idle slot of length w inside the window at or after the node's data
+    // arrival time.
+    const std::size_t scan_limit = std::min(procs_touched + 1, num_procs);
+    ProcId chosen = sched::kUnassignedProc;
+    Cost chosen_start = kInf;
+    ProcId fallback = 0;
+    Cost fallback_start = kInf;
+    for (ProcId p = 0; p < scan_limit; ++p) {
+      Cost dat = 0.0;
+      for (const Adjacency& q : g.predecessors(pick)) {
+        dat = std::max(dat,
+                       finish_of[q.node] + (proc_of[q.node] == p ? 0.0 : q.cost));
+      }
+      // The true lower bound is the data-arrival time; the ASAP value
+      // still carries the unzeroed communication estimate and only shapes
+      // the accommodation window's upper edge (ALAP) below.
+      const Cost s = timelines[p].earliest_fit(dat, w);
+      if (s < fallback_start) {
+        fallback_start = s;
+        fallback = p;
+      }
+      const bool within_window =
+          s <= levels.alap[pick] || graph::approx_equal(s, levels.alap[pick]);
+      if (within_window) {
+        chosen = p;
+        chosen_start = s;
+        break;  // first processor that accommodates wins
+      }
+    }
+    if (chosen == sched::kUnassignedProc) {
+      chosen = fallback;
+      chosen_start = fallback_start;
+    }
+
+    timelines[chosen].insert(chosen_start, chosen_start + w);
+    if (chosen == procs_touched && procs_touched < num_procs) ++procs_touched;
+    scheduled[pick] = true;
+    proc_of[pick] = chosen;
+    start_of[pick] = chosen_start;
+    finish_of[pick] = chosen_start + w;
+    schedule.assign(pick, chosen, chosen_start, chosen_start + w);
+    for (const Adjacency& s : g.successors(pick)) --pending[s.node];
+  }
+  return schedule;
+}
+
+}  // namespace fastsched::baselines

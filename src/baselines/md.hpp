@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file md.hpp
+/// The MD (Mobility Directed) baseline of Wu & Gajski (paper §3.1).
+///
+/// Each step recomputes ASAP/ALAP times on the partially-scheduled graph
+/// (edges between co-located scheduled nodes count zero; scheduled nodes
+/// are pinned to their actual start times) and selects the schedulable node
+/// with the smallest *relative mobility* (ALAP − ASAP)/w — i.e. a node on
+/// the current critical path. The node goes to the *first* processor (by
+/// index) owning an idle slot that can accommodate it inside its mobility
+/// window; if no processor can, the earliest feasible slot anywhere is
+/// used. The per-step level recomputation makes the algorithm O(v·e) ≈
+/// O(v³) — the paper's complexity — and the first-fit placement is what
+/// makes MD both frugal with processors and mediocre on schedule length.
+///
+/// Faithfulness note (documented in DESIGN.md): the original MD may place a
+/// node before all of its parents are placed and repair slots afterwards;
+/// we restrict the candidate set to nodes whose parents are scheduled,
+/// which preserves the selection rule (minimum relative mobility among
+/// schedulable nodes) while guaranteeing valid schedules by construction.
+
+#include "sched/scheduler.hpp"
+
+namespace fastsched::baselines {
+
+class MdScheduler final : public sched::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "MD"; }
+
+  [[nodiscard]] bool unbounded_processors() const override { return true; }
+
+  [[nodiscard]] sched::Schedule run(
+      const graph::TaskGraph& g,
+      const sched::SchedulerOptions& options) const override;
+};
+
+}  // namespace fastsched::baselines

@@ -1,0 +1,56 @@
+#include "baselines/registry.hpp"
+
+#include "baselines/bsa.hpp"
+#include "baselines/dcp.hpp"
+#include "baselines/dls.hpp"
+#include "baselines/dsc.hpp"
+#include "baselines/etf.hpp"
+#include "baselines/ez.hpp"
+#include "baselines/hlfet.hpp"
+#include "baselines/lc.hpp"
+#include "baselines/mcp.hpp"
+#include "baselines/md.hpp"
+#include "fast/fast.hpp"
+#include "fast/annealing.hpp"
+#include "fast/parallel_fast.hpp"
+
+namespace fastsched::baselines {
+
+sched::SchedulerPtr make_scheduler(const std::string& name) {
+  if (name == "FAST") return std::make_unique<fast::FastScheduler>();
+  if (name == "PFAST") return std::make_unique<fast::ParallelFastScheduler>();
+  if (name == "FAST-SA") return std::make_unique<fast::AnnealingFastScheduler>();
+  if (name == "MD") return std::make_unique<MdScheduler>();
+  if (name == "ETF") return std::make_unique<EtfScheduler>();
+  if (name == "DLS") return std::make_unique<DlsScheduler>();
+  if (name == "DSC") return std::make_unique<DscScheduler>();
+  if (name == "HLFET") return std::make_unique<HlfetScheduler>();
+  if (name == "MCP") return std::make_unique<McpScheduler>();
+  if (name == "LC") return std::make_unique<LcScheduler>();
+  if (name == "EZ") return std::make_unique<EzScheduler>();
+  if (name == "DCP") return std::make_unique<DcpScheduler>();
+  if (name == "BSA") return std::make_unique<BsaScheduler>();
+  throw Error("unknown scheduler: " + name +
+              " (expected FAST, PFAST, FAST-SA, MD, ETF, DLS, DSC, HLFET, MCP, LC, EZ, DCP or BSA)");
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"FAST", "DSC", "MD", "ETF", "DLS", "PFAST", "FAST-SA", "HLFET",
+          "MCP", "LC", "EZ", "DCP", "BSA"};
+}
+
+std::vector<sched::SchedulerPtr> all_schedulers() {
+  std::vector<sched::SchedulerPtr> out;
+  for (const auto& name : scheduler_names()) out.push_back(make_scheduler(name));
+  return out;
+}
+
+std::vector<sched::SchedulerPtr> paper_schedulers() {
+  std::vector<sched::SchedulerPtr> out;
+  for (const auto& name : {"FAST", "DSC", "MD", "ETF", "DLS"}) {
+    out.push_back(make_scheduler(name));
+  }
+  return out;
+}
+
+}  // namespace fastsched::baselines

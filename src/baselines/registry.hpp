@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file registry.hpp
+/// Name-based construction of every scheduler in the library, used by the
+/// bench harness, examples and the CASCH pipeline to sweep "all algorithms"
+/// the way the paper's evaluation does.
+
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace fastsched::baselines {
+
+/// Constructs a scheduler by name: "FAST", "PFAST", "MD", "ETF", "DLS",
+/// "DSC". Throws `fastsched::Error` on unknown names.
+[[nodiscard]] sched::SchedulerPtr make_scheduler(const std::string& name);
+
+/// All registered scheduler names, in the paper's presentation order
+/// (FAST first, then DSC, MD, ETF, DLS, then the PFAST extension).
+[[nodiscard]] std::vector<std::string> scheduler_names();
+
+/// Instantiates every scheduler from `scheduler_names()`.
+[[nodiscard]] std::vector<sched::SchedulerPtr> all_schedulers();
+
+/// The paper's comparison set only (no PFAST): FAST, DSC, MD, ETF, DLS.
+[[nodiscard]] std::vector<sched::SchedulerPtr> paper_schedulers();
+
+}  // namespace fastsched::baselines

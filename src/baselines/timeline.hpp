@@ -1,0 +1,11 @@
+#pragma once
+
+/// \file timeline.hpp
+/// Backwards-compatible alias: Timeline now lives in sched/timeline.hpp so
+/// both the baselines (MD, MCP) and fast's insertion ablation can use it.
+
+#include "sched/timeline.hpp"
+
+namespace fastsched::baselines {
+using sched::Timeline;
+}  // namespace fastsched::baselines

@@ -1,0 +1,82 @@
+#include "casch/codegen.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sched/validation.hpp"
+
+namespace fastsched::casch {
+
+std::size_t Program::message_count() const {
+  std::size_t sends = 0;
+  for (const auto& prog : per_proc) {
+    for (const Instruction& ins : prog) {
+      if (ins.op == Instruction::Op::kSend) ++sends;
+    }
+  }
+  return sends;
+}
+
+Program generate_program(const graph::TaskGraph& g, const sched::Schedule& s) {
+  sched::require_valid(g, s);
+  FASTSCHED_REQUIRE(s.is_complete(), "cannot generate code for a partial schedule");
+
+  Program program;
+  program.per_proc.resize(s.num_procs());
+
+  for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
+    // Tasks in execution (start-time) order.
+    const auto tasks = s.tasks_on(p);
+    std::vector<graph::NodeId> order(tasks.begin(), tasks.end());
+    std::stable_sort(order.begin(), order.end(),
+                     [&](graph::NodeId a, graph::NodeId b) {
+                       return s.start(a) < s.start(b);
+                     });
+    auto& prog = program.per_proc[p];
+    for (const graph::NodeId n : order) {
+      // Receive every remote input first, in producer-id order.
+      for (const graph::Adjacency& q : g.predecessors(n)) {
+        if (s.proc(q.node) == p) continue;
+        prog.push_back(Instruction{Instruction::Op::kRecv, n, q.node,
+                                   s.proc(q.node), q.cost});
+      }
+      prog.push_back(Instruction{Instruction::Op::kExec, n, n, p, 0.0});
+      // Send to every remote consumer.
+      for (const graph::Adjacency& c : g.successors(n)) {
+        if (s.proc(c.node) == p) continue;
+        prog.push_back(Instruction{Instruction::Op::kSend, n, c.node,
+                                   s.proc(c.node), c.cost});
+      }
+    }
+  }
+  return program;
+}
+
+std::string render_program(const graph::TaskGraph& g, const Program& program) {
+  std::ostringstream os;
+  for (sched::ProcId p = 0; p < program.per_proc.size(); ++p) {
+    const auto& prog = program.per_proc[p];
+    if (prog.empty()) continue;
+    os << "processor P" << p << ":\n";
+    for (const Instruction& ins : prog) {
+      switch (ins.op) {
+        case Instruction::Op::kExec:
+          os << "  exec " << g.name(ins.task) << "  // w=" << g.weight(ins.task)
+             << '\n';
+          break;
+        case Instruction::Op::kSend:
+          os << "  send " << g.name(ins.task) << " -> " << g.name(ins.peer_task)
+             << " @P" << ins.peer_proc << "  // c=" << ins.payload << '\n';
+          break;
+        case Instruction::Op::kRecv:
+          os << "  recv " << g.name(ins.peer_task) << " -> "
+             << g.name(ins.task) << " from P" << ins.peer_proc
+             << "  // c=" << ins.payload << '\n';
+          break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace fastsched::casch

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file codegen.hpp
+/// Scheduled-code generation — the final stage of the CASCH tool the paper
+/// used ("generates the parallel code in a scheduled form for the Intel
+/// Paragon", §5). Given a task graph and a schedule, emits one program per
+/// processor as an SPMD instruction listing: EXEC for tasks (in schedule
+/// order), SEND immediately after a producer for every remote consumer,
+/// and RECV immediately before a consumer for every remote producer.
+/// The listing is exactly what `sim::simulate` executes; it exists so the
+/// pipeline's output is inspectable and so message-matching invariants
+/// (every SEND has exactly one matching RECV) can be tested.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace fastsched::casch {
+
+/// One instruction of the generated program.
+struct Instruction {
+  enum class Op : std::uint8_t { kExec, kSend, kRecv };
+  Op op;
+  graph::NodeId task;           ///< kExec: the task to run
+  graph::NodeId peer_task;      ///< kSend: consumer; kRecv: producer
+  sched::ProcId peer_proc;      ///< the remote processor involved
+  graph::Cost payload;          ///< message cost (kSend/kRecv), 0 for kExec
+};
+
+/// The per-processor programs for one scheduled application.
+struct Program {
+  std::vector<std::vector<Instruction>> per_proc;  ///< indexed by processor
+
+  /// Total SEND (== RECV) instruction count across processors.
+  [[nodiscard]] std::size_t message_count() const;
+};
+
+/// Generates the program. The schedule must be complete and valid.
+[[nodiscard]] Program generate_program(const graph::TaskGraph& g,
+                                       const sched::Schedule& s);
+
+/// Pretty-prints the program as pseudo-SPMD source text.
+[[nodiscard]] std::string render_program(const graph::TaskGraph& g,
+                                         const Program& program);
+
+}  // namespace fastsched::casch

@@ -1,0 +1,96 @@
+#include "casch/pipeline.hpp"
+
+#include <sstream>
+
+#include "baselines/registry.hpp"
+#include "common/timer.hpp"
+#include "sched/validation.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/laplace.hpp"
+
+namespace fastsched::casch {
+
+Application parse_application(const std::string& name) {
+  if (name == "gauss" || name == "gaussian") return Application::kGaussian;
+  if (name == "laplace") return Application::kLaplace;
+  if (name == "fft") return Application::kFft;
+  throw Error("unknown application: " + name +
+              " (expected gauss, laplace or fft)");
+}
+
+std::string application_name(Application app) {
+  switch (app) {
+    case Application::kGaussian:
+      return "gaussian";
+    case Application::kLaplace:
+      return "laplace";
+    case Application::kFft:
+      return "fft";
+  }
+  FASTSCHED_ASSERT(false);
+  return {};
+}
+
+graph::TaskGraph build_application_dag(Application app, int size,
+                                       const workloads::TimingDatabase& db) {
+  switch (app) {
+    case Application::kGaussian:
+      return workloads::gaussian_elimination_dag(size, db);
+    case Application::kLaplace:
+      return workloads::laplace_dag(size, db);
+    case Application::kFft:
+      return workloads::fft_dag(size, db);
+  }
+  FASTSCHED_ASSERT(false);
+  return graph::TaskGraphBuilder{}.build();
+}
+
+PipelineReport run_pipeline(const PipelineConfig& config) {
+  PipelineReport report;
+  report.algorithm = config.algorithm;
+  report.application = application_name(config.app);
+  report.size = config.size;
+
+  const graph::TaskGraph g =
+      build_application_dag(config.app, config.size, config.timing);
+  report.num_tasks = g.num_nodes();
+  report.num_edges = g.num_edges();
+
+  const sched::SchedulerPtr scheduler =
+      baselines::make_scheduler(config.algorithm);
+  sched::SchedulerOptions options;
+  options.num_procs = config.num_procs;
+  options.seed = config.seed;
+
+  Timer timer;
+  const sched::Schedule schedule = scheduler->run(g, options);
+  report.scheduling_seconds = timer.seconds();
+
+  sched::require_valid(g, schedule);
+  report.schedule_length = schedule.length();
+  report.procs_used = schedule.procs_used();
+  report.metrics = sched::compute_metrics(g, schedule);
+
+  const sim::SimResult sim = sim::simulate(g, schedule, config.machine);
+  report.execution_time = sim.makespan;
+  report.messages = sim.messages;
+  return report;
+}
+
+std::string format_report(const PipelineReport& report) {
+  std::ostringstream os;
+  os << report.application << "(" << report.size << ") scheduled by "
+     << report.algorithm << ": " << report.num_tasks << " tasks, "
+     << report.num_edges << " edges\n"
+     << "  scheduling time : " << report.scheduling_seconds * 1e3 << " ms\n"
+     << "  schedule length : " << report.schedule_length << "\n"
+     << "  executed time   : " << report.execution_time << " (simulated, "
+     << report.messages << " messages)\n"
+     << "  processors used : " << report.procs_used << "\n"
+     << "  speedup " << report.metrics.speedup << ", efficiency "
+     << report.metrics.efficiency << ", SLR " << report.metrics.slr << "\n";
+  return os.str();
+}
+
+}  // namespace fastsched::casch

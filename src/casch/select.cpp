@@ -1,0 +1,64 @@
+#include "casch/select.hpp"
+
+#include <algorithm>
+
+#include "baselines/registry.hpp"
+#include "common/timer.hpp"
+#include "sched/validation.hpp"
+#include "sim/event_sim.hpp"
+
+namespace fastsched::casch {
+
+std::vector<std::string> default_candidates() {
+  return {"FAST", "DSC", "DCP", "MCP", "DLS"};
+}
+
+SelectionResult select_best(const graph::TaskGraph& g,
+                            const std::vector<std::string>& algorithms,
+                            const sched::SchedulerOptions& options,
+                            const sim::MachineModel& machine) {
+  FASTSCHED_REQUIRE(!algorithms.empty(), "no candidate algorithms given");
+
+  struct Candidate {
+    SelectionEntry entry;
+    sched::Schedule schedule{0, 1};
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(algorithms.size());
+
+  for (const auto& name : algorithms) {
+    const auto scheduler = baselines::make_scheduler(name);
+    Timer timer;
+    sched::Schedule s = scheduler->run(g, options);
+    Candidate c;
+    c.entry.algorithm = name;
+    c.entry.scheduling_seconds = timer.seconds();
+    sched::require_valid(g, s);
+    c.entry.schedule_length = s.length();
+    c.entry.procs_used = s.procs_used();
+    c.entry.execution_time = sim::simulate(g, s, machine).makespan;
+    c.schedule = std::move(s);
+    candidates.push_back(std::move(c));
+  }
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (!graph::approx_equal(a.entry.execution_time,
+                                              b.entry.execution_time)) {
+                       return a.entry.execution_time < b.entry.execution_time;
+                     }
+                     if (!graph::approx_equal(a.entry.schedule_length,
+                                              b.entry.schedule_length)) {
+                       return a.entry.schedule_length < b.entry.schedule_length;
+                     }
+                     return a.entry.scheduling_seconds <
+                            b.entry.scheduling_seconds;
+                   });
+
+  SelectionResult result;
+  result.schedule = std::move(candidates.front().schedule);
+  for (auto& c : candidates) result.ranking.push_back(std::move(c.entry));
+  return result;
+}
+
+}  // namespace fastsched::casch

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file select.hpp
+/// Algorithm auto-selection — CASCH's interactive mode let users run and
+/// compare several schedulers on one application; this is the programmatic
+/// equivalent: run a set of algorithms, validate each schedule, rank by
+/// simulated execution time on the machine model (falling back to schedule
+/// length when two are within tolerance), and return the winner with the
+/// full ranking.
+
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sim/machine_model.hpp"
+
+namespace fastsched::casch {
+
+struct SelectionEntry {
+  std::string algorithm;
+  double schedule_length = 0;
+  double execution_time = 0;  ///< simulated on the machine model
+  std::size_t procs_used = 0;
+  double scheduling_seconds = 0;
+};
+
+struct SelectionResult {
+  /// Ranking, best first (by execution time, ties by schedule length,
+  /// then by scheduling time).
+  std::vector<SelectionEntry> ranking;
+  /// The winner's schedule.
+  sched::Schedule schedule{0, 1};
+
+  [[nodiscard]] const SelectionEntry& best() const { return ranking.front(); }
+};
+
+/// Runs every algorithm in `algorithms` (registry names) on `g` and ranks
+/// the results. Throws if `algorithms` is empty or any name is unknown.
+[[nodiscard]] SelectionResult select_best(
+    const graph::TaskGraph& g, const std::vector<std::string>& algorithms,
+    const sched::SchedulerOptions& options = {},
+    const sim::MachineModel& machine = sim::MachineModel::paragon());
+
+/// The default candidate set for auto-selection: the fast algorithms first
+/// (FAST, DSC), then the quality-oriented ones (DCP, MCP, DLS).
+[[nodiscard]] std::vector<std::string> default_candidates();
+
+}  // namespace fastsched::casch

@@ -1,0 +1,119 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fastsched {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  FASTSCHED_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{default_value, default_value, help, false, false};
+  order_.push_back(name);
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  FASTSCHED_REQUIRE(!options_.count(name), "duplicate flag: " + name);
+  options_[name] = Option{"", "", help, true, false};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    FASTSCHED_REQUIRE(it != options_.end(), "unknown option: --" + name);
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      FASTSCHED_REQUIRE(!has_value, "flag --" + name + " takes no value");
+      opt.seen = true;
+      continue;
+    }
+    if (!has_value) {
+      FASTSCHED_REQUIRE(i + 1 < argc, "option --" + name + " needs a value");
+      value = argv[++i];
+    }
+    opt.value = std::move(value);
+    opt.seen = true;
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  FASTSCHED_REQUIRE(it != options_.end(), "unregistered option: " + name);
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t result = std::stoll(v, &pos);
+    FASTSCHED_REQUIRE(pos == v.size(), "trailing characters");
+    return result;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("option --" + name + " expects an integer, got '" + v + "'");
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const double result = std::stod(v, &pos);
+    FASTSCHED_REQUIRE(pos == v.size(), "trailing characters");
+    return result;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("option --" + name + " expects a number, got '" + v + "'");
+  }
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  const auto it = options_.find(name);
+  FASTSCHED_REQUIRE(it != options_.end() && it->second.is_flag,
+                    "unregistered flag: " + name);
+  return it->second.seen;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    if (!opt.is_flag) os << " <value> (default: " << opt.default_value << ")";
+    os << "\n      " << opt.help << '\n';
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+}  // namespace fastsched

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal command-line option parsing shared by the examples, tools and
+/// bench binaries. Supports `--name value`, `--name=value` and boolean
+/// `--flag` options plus `--help` text generation.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fastsched {
+
+/// Declarative option parser. Register options with defaults, then call
+/// `parse`. Unknown options raise `fastsched::Error`.
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Registers a string-valued option (also used for numeric options; typed
+  /// getters convert on access).
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Registers a boolean flag (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) when `--help` was
+  /// requested; callers should then exit 0.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Option {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fastsched

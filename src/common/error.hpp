@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file error.hpp
+/// Error-handling primitives shared across the fastsched library.
+///
+/// The library throws `fastsched::Error` (a `std::runtime_error`) for
+/// recoverable user-facing failures (malformed graphs, bad CLI input) and
+/// uses `FASTSCHED_ASSERT` for internal invariants that indicate a bug.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fastsched {
+
+/// Exception type for all user-facing library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "fastsched internal assertion failed: (" << expr << ") at " << file
+     << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+/// Internal invariant check. Active in all build types: scheduling decisions
+/// are cheap relative to the invariants they protect, and silent corruption
+/// of a schedule is far more expensive than the branch.
+#define FASTSCHED_ASSERT(expr)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::fastsched::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (false)
+
+#define FASTSCHED_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::fastsched::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (false)
+
+/// Throw a `fastsched::Error` when a user-facing precondition fails.
+#define FASTSCHED_REQUIRE(expr, msg)                    \
+  do {                                                  \
+    if (!(expr)) throw ::fastsched::Error((msg));       \
+  } while (false)
+
+}  // namespace fastsched

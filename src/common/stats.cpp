@@ -1,0 +1,61 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fastsched {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (const double v : values) {
+      const double d = v - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) {
+    FASTSCHED_REQUIRE(v > 0.0, "geometric_mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+}  // namespace fastsched

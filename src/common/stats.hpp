@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small statistics helpers for aggregating repeated measurements in the
+/// benchmark harness (multiple random-DAG instances per table cell).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fastsched {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes summary statistics over `values`. An empty span yields a
+/// zero-initialized Summary.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Geometric mean; requires all values positive. Used for normalized-ratio
+/// aggregation (ratios should be averaged geometrically).
+[[nodiscard]] double geometric_mean(std::span<const double> values);
+
+/// Median (averages the two middle elements for even sizes).
+[[nodiscard]] double median(std::vector<double> values);
+
+}  // namespace fastsched

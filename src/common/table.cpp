@@ -1,0 +1,67 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace fastsched {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::num(long long value) { return std::to_string(value); }
+
+void Table::render(std::ostream& os) const {
+  std::size_t arity = 0;
+  for (const auto& row : rows_) arity = std::max(arity, row.size());
+
+  std::vector<std::size_t> widths(arity, 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!title_.empty()) os << title_ << '\n';
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < arity; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cell;
+    }
+    os << '\n';
+  };
+
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    emit(rows_[r]);
+    if (r == 0 && rows_.size() > 1) {
+      std::size_t total = 0;
+      for (const auto w : widths) total += w + 2;
+      os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+    }
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  table.render(os);
+  return os;
+}
+
+}  // namespace fastsched

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file table.hpp
+/// Fixed-width ASCII table rendering used by the benchmark harness to print
+/// the paper's result tables (Figures 5–8) in a layout that mirrors the
+/// original paper.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fastsched {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with a fixed precision. The first added row is treated as the header.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  /// Appends a row of cells. All rows should have the same arity; shorter
+  /// rows are padded with empty cells at render time.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` digits after the point.
+  static std::string num(double value, int precision = 2);
+
+  /// Convenience: formats an integer.
+  static std::string num(long long value);
+
+  /// Renders the table (title, header, separator, body) to `os`.
+  void render(std::ostream& os) const;
+
+  /// Renders to a string.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace fastsched

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing used to report scheduler running times (the paper's
+/// Figures 5(c)–8(c)).
+
+#include <chrono>
+
+namespace fastsched {
+
+/// Monotonic stopwatch. Started on construction; `seconds()` returns the
+/// elapsed wall-clock time since construction or the last `reset()`.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fastsched

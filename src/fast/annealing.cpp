@@ -1,0 +1,110 @@
+#include "fast/annealing.hpp"
+
+#include <cmath>
+
+#include "fast/cpn_dominate.hpp"
+#include "fast/initial_schedule.hpp"
+#include "graph/classification.hpp"
+
+namespace fastsched::fast {
+
+AnnealingStats anneal(AssignmentEvaluator& evaluator,
+                      std::span<const NodeId> blocking,
+                      std::vector<ProcId>& assignment, Cost& length,
+                      const AnnealingOptions& options, Rng& rng) {
+  AnnealingStats stats;
+  stats.initial_length = length;
+  stats.best_length = length;
+
+  const std::size_t num_procs = evaluator.num_procs();
+  if (blocking.empty() || num_procs <= 1 || options.max_steps <= 0) {
+    return stats;
+  }
+
+  // Target pool: used processors + one fresh (same rationale as the
+  // hill-climbing search: empty processors are interchangeable).
+  std::vector<ProcId> targets;
+  const auto rebuild_targets = [&] {
+    targets.clear();
+    std::vector<bool> used(num_procs, false);
+    for (const ProcId p : assignment) used[p] = true;
+    ProcId fresh = sched::kUnassignedProc;
+    for (ProcId p = 0; p < num_procs; ++p) {
+      if (used[p]) {
+        targets.push_back(p);
+      } else if (fresh == sched::kUnassignedProc) {
+        fresh = p;
+      }
+    }
+    if (fresh != sched::kUnassignedProc) targets.push_back(fresh);
+  };
+  rebuild_targets();
+
+  std::vector<ProcId> best = assignment;
+  double temperature = options.initial_temperature_fraction * length;
+
+  for (int step = 0; step < options.max_steps; ++step) {
+    ++stats.steps;
+    if (step > 0 && step % options.steps_per_level == 0) {
+      temperature *= options.cooling;
+    }
+
+    const NodeId n = blocking[rng.uniform(blocking.size())];
+    const ProcId original = assignment[n];
+    const ProcId target = targets[rng.uniform(targets.size())];
+    if (target == original) continue;
+
+    assignment[n] = target;
+    const Cost candidate = evaluator.evaluate(assignment);
+    const Cost delta = candidate - length;
+    const bool downhill = graph::definitely_less(candidate, length);
+    const bool accept =
+        downhill ||
+        (temperature > 0 && rng.uniform01() < std::exp(-delta / temperature));
+    if (accept) {
+      ++stats.accepted;
+      if (!downhill && delta > 0) ++stats.uphill_accepted;
+      length = candidate;
+      rebuild_targets();
+      if (graph::definitely_less(length, stats.best_length)) {
+        stats.best_length = length;
+        best = assignment;
+      }
+    } else {
+      assignment[n] = original;
+    }
+  }
+
+  // Return the best solution visited, not the last accepted one.
+  if (graph::definitely_less(stats.best_length, length)) {
+    assignment = std::move(best);
+    length = stats.best_length;
+  }
+  stats.best_length = length;
+  return stats;
+}
+
+sched::Schedule AnnealingFastScheduler::run(
+    const graph::TaskGraph& g, const sched::SchedulerOptions& o) const {
+  const std::size_t num_procs =
+      o.num_procs > 0 ? o.num_procs : std::max<std::size_t>(1, g.num_nodes());
+  if (g.num_nodes() == 0) return sched::Schedule(0, num_procs);
+
+  const graph::LevelInfo levels = graph::compute_levels(g);
+  const auto classes = graph::classify_nodes(g, levels);
+  auto list = build_cpn_dominate_list(g, levels, classes);
+  std::vector<NodeId> blocking;
+  for (const NodeId n : list) {
+    if (classes[n] != graph::NodeClass::kCpn) blocking.push_back(n);
+  }
+
+  auto initial = initial_schedule(g, list, num_procs);
+  AssignmentEvaluator evaluator(g, std::move(list), num_procs);
+  Cost length = initial.length;
+  Rng rng(o.seed);
+  (void)anneal(evaluator, blocking, initial.assignment, length, options_,
+               rng);
+  return evaluator.materialize(initial.assignment);
+}
+
+}  // namespace fastsched::fast

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file annealing.hpp
+/// Simulated-annealing refinement — an extension addressing the paper's
+/// closing concession that FAST's hill-climbing search "may get stuck in a
+/// poor local minimum" (§6). The move set is identical to FAST's (transfer
+/// one blocking node to another processor, evaluated by one O(v + e) list
+/// replay), but worsening moves are accepted with probability
+/// exp(−Δ/T) under a geometric cooling schedule, and the best assignment
+/// ever visited is returned.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "fast/evaluator.hpp"
+#include "sched/scheduler.hpp"
+
+namespace fastsched::fast {
+
+struct AnnealingOptions {
+  /// Total moves attempted.
+  int max_steps = 4096;
+  /// Initial temperature as a fraction of the initial schedule length
+  /// (scale-free). Tuned low: the transfer landscape rewards near-greedy
+  /// walks with occasional small uphill hops, not hot wandering.
+  double initial_temperature_fraction = 0.005;
+  /// Geometric cooling applied every `steps_per_level` moves.
+  double cooling = 0.95;
+  int steps_per_level = 64;
+};
+
+struct AnnealingStats {
+  int steps = 0;
+  int accepted = 0;        ///< moves kept (including uphill)
+  int uphill_accepted = 0; ///< worsening moves kept
+  Cost initial_length = 0;
+  Cost best_length = 0;
+};
+
+/// Refines `assignment` in place and leaves it at the best solution
+/// visited. `blocking` defines the movable node set (as in FAST);
+/// `length` must match `assignment` on entry and is updated.
+AnnealingStats anneal(AssignmentEvaluator& evaluator,
+                      std::span<const NodeId> blocking,
+                      std::vector<ProcId>& assignment, Cost& length,
+                      const AnnealingOptions& options, Rng& rng);
+
+/// Scheduler adapter: FAST phases 0–1, then annealing instead of
+/// hill-climbing.
+class AnnealingFastScheduler final : public sched::Scheduler {
+ public:
+  explicit AnnealingFastScheduler(AnnealingOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "FAST-SA"; }
+
+  [[nodiscard]] sched::Schedule run(
+      const graph::TaskGraph& g,
+      const sched::SchedulerOptions& o) const override;
+
+ private:
+  AnnealingOptions options_;
+};
+
+}  // namespace fastsched::fast

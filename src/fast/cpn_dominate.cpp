@@ -1,0 +1,181 @@
+#include "fast/cpn_dominate.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace fastsched::fast {
+namespace {
+
+using graph::Adjacency;
+using graph::approx_equal;
+using graph::Cost;
+
+/// Priority used when choosing which unlisted ancestor to include first:
+/// larger b-level wins, ties go to the smaller t-level (paper step (5)),
+/// remaining ties to the smaller id for determinism.
+struct AncestorPriority {
+  const LevelInfo& levels;
+  bool operator()(NodeId a, NodeId b) const {
+    const Cost bla = levels.b_level[a];
+    const Cost blb = levels.b_level[b];
+    if (!approx_equal(bla, blb)) return bla > blb;
+    const Cost tla = levels.t_level[a];
+    const Cost tlb = levels.t_level[b];
+    if (!approx_equal(tla, tlb)) return tla < tlb;
+    return a < b;
+  }
+};
+
+}  // namespace
+
+std::vector<NodeId> build_cpn_dominate_list(
+    const TaskGraph& g, const LevelInfo& levels,
+    const std::vector<NodeClass>& classes) {
+  const std::size_t v = g.num_nodes();
+  FASTSCHED_REQUIRE(levels.is_cpn.size() == v && classes.size() == v,
+                    "levels/classes computed for a different graph");
+
+  const AncestorPriority prio{levels};
+
+  // Pre-sort each node's parents by inclusion priority once, so the
+  // "largest b-level unlisted parent" query is a cursor advance.
+  std::vector<std::vector<NodeId>> sorted_parents(v);
+  for (NodeId n = 0; n < v; ++n) {
+    auto& ps = sorted_parents[n];
+    ps.reserve(g.in_degree(n));
+    for (const Adjacency& a : g.predecessors(n)) ps.push_back(a.node);
+    std::sort(ps.begin(), ps.end(), prio);
+  }
+  std::vector<std::size_t> cursor(v, 0);
+
+  std::vector<NodeId> list;
+  list.reserve(v);
+  std::vector<bool> in_list(v, false);
+
+  const auto place = [&](NodeId n) {
+    in_list[n] = true;
+    list.push_back(n);
+  };
+
+  // Includes `target` after recursively including all of its unlisted
+  // ancestors, highest b-level first (iterative to bound stack depth).
+  std::vector<NodeId> stack;
+  const auto include_with_ancestors = [&](NodeId target) {
+    if (in_list[target]) return;
+    stack.push_back(target);
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      if (in_list[n]) {
+        stack.pop_back();
+        continue;
+      }
+      auto& cur = cursor[n];
+      const auto& ps = sorted_parents[n];
+      while (cur < ps.size() && in_list[ps[cur]]) ++cur;
+      if (cur == ps.size()) {
+        place(n);
+        stack.pop_back();
+      } else {
+        stack.push_back(ps[cur]);
+      }
+    }
+  };
+
+  // Steps (1)-(8): CPNs in path order, each preceded by its in-branch
+  // ancestors.
+  for (const NodeId cpn : levels.cpns_in_order) include_with_ancestors(cpn);
+
+  // Step (9): append OBNs in decreasing b-level order. The b-level of a
+  // parent always >= that of a child, so this is topologically safe; exact
+  // ties (possible only with zero weights/costs) are broken by topological
+  // rank.
+  std::vector<std::size_t> topo_rank(v);
+  {
+    const auto topo = g.topological_order();
+    for (std::size_t i = 0; i < topo.size(); ++i) topo_rank[topo[i]] = i;
+  }
+  std::vector<NodeId> obns;
+  for (NodeId n = 0; n < v; ++n) {
+    if (classes[n] == NodeClass::kObn) obns.push_back(n);
+  }
+  std::sort(obns.begin(), obns.end(), [&](NodeId a, NodeId b) {
+    const Cost bla = levels.b_level[a];
+    const Cost blb = levels.b_level[b];
+    if (!approx_equal(bla, blb)) return bla > blb;
+    return topo_rank[a] < topo_rank[b];
+  });
+  for (const NodeId n : obns) {
+    FASTSCHED_ASSERT_MSG(!in_list[n], "OBN already placed by CPN pass");
+    place(n);
+  }
+
+  FASTSCHED_ASSERT_MSG(list.size() == v, "CPN-Dominate list missed nodes");
+  return list;
+}
+
+std::vector<NodeId> build_list(const TaskGraph& g, const LevelInfo& levels,
+                               const std::vector<NodeClass>& classes,
+                               ListPolicy policy) {
+  if (policy == ListPolicy::kCpnDominate) {
+    return build_cpn_dominate_list(g, levels, classes);
+  }
+
+  // Single-priority policies: Kahn's algorithm with a priority queue over
+  // the ready set, which always yields a topological order.
+  const std::size_t v = g.num_nodes();
+  const auto priority = [&](NodeId n) -> Cost {
+    switch (policy) {
+      case ListPolicy::kBLevel:
+        return levels.b_level[n];
+      case ListPolicy::kTLevel:
+        return -levels.t_level[n];
+      case ListPolicy::kStaticLevel:
+        return levels.static_level[n];
+      case ListPolicy::kCpnDominate:
+        break;
+    }
+    FASTSCHED_ASSERT(false);
+    return 0;
+  };
+
+  using Entry = std::pair<Cost, NodeId>;  // (-priority, id) for min-heap
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+  std::vector<std::size_t> pending(v);
+  for (NodeId n = 0; n < v; ++n) {
+    pending[n] = g.in_degree(n);
+    if (pending[n] == 0) ready.emplace(-priority(n), n);
+  }
+
+  std::vector<NodeId> list;
+  list.reserve(v);
+  while (!ready.empty()) {
+    const NodeId n = ready.top().second;
+    ready.pop();
+    list.push_back(n);
+    for (const Adjacency& s : g.successors(n)) {
+      if (--pending[s.node] == 0) ready.emplace(-priority(s.node), s.node);
+    }
+  }
+  FASTSCHED_ASSERT(list.size() == v);
+  return list;
+}
+
+bool is_topological_list(const TaskGraph& g, const std::vector<NodeId>& list) {
+  if (list.size() != g.num_nodes()) return false;
+  std::vector<std::size_t> pos(g.num_nodes(), 0);
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const NodeId n = list[i];
+    if (n >= g.num_nodes() || seen[n]) return false;
+    seen[n] = true;
+    pos[n] = i;
+  }
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (const graph::Adjacency& s : g.successors(n)) {
+      if (pos[n] >= pos[s.node]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fastsched::fast

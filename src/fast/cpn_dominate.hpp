@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file cpn_dominate.hpp
+/// Construction of the CPN-Dominate scheduling list (paper §4.1): a static
+/// node order in which critical-path nodes appear as early as their
+/// in-branch ancestors allow, in-branch nodes are inserted before the CPN
+/// they feed in decreasing b-level order (ties broken by smaller t-level),
+/// and out-branch nodes are appended last in decreasing b-level order.
+///
+/// The list is always a topological order of the DAG, which is what makes
+/// the O(v + e) list-replay evaluator in evaluator.hpp correct.
+
+#include <vector>
+
+#include "graph/classification.hpp"
+#include "graph/levels.hpp"
+#include "graph/task_graph.hpp"
+
+namespace fastsched::fast {
+
+using graph::LevelInfo;
+using graph::NodeClass;
+using graph::NodeId;
+using graph::TaskGraph;
+
+/// Alternative static list orders. `kCpnDominate` is the paper's; the
+/// others exist for the list-policy ablation study (they order the whole
+/// node set by a single priority, restricted to valid topological orders).
+enum class ListPolicy {
+  kCpnDominate,  ///< paper §4.1
+  kBLevel,       ///< decreasing b-level
+  kTLevel,       ///< increasing t-level
+  kStaticLevel,  ///< decreasing static level
+};
+
+/// Builds the CPN-Dominate list in O(e log d) (d = max in-degree; the log
+/// comes from pre-sorting each node's parent list by priority once).
+[[nodiscard]] std::vector<NodeId> build_cpn_dominate_list(
+    const TaskGraph& g, const LevelInfo& levels,
+    const std::vector<NodeClass>& classes);
+
+/// Builds a static scheduling list under `policy`. All policies produce a
+/// topological order.
+[[nodiscard]] std::vector<NodeId> build_list(
+    const TaskGraph& g, const LevelInfo& levels,
+    const std::vector<NodeClass>& classes, ListPolicy policy);
+
+/// True iff `list` is a permutation of all nodes in topological order.
+[[nodiscard]] bool is_topological_list(const TaskGraph& g,
+                                       const std::vector<NodeId>& list);
+
+}  // namespace fastsched::fast

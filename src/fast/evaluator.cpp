@@ -1,0 +1,68 @@
+#include "fast/evaluator.hpp"
+
+#include <algorithm>
+
+#include "fast/cpn_dominate.hpp"
+
+namespace fastsched::fast {
+
+AssignmentEvaluator::AssignmentEvaluator(const TaskGraph& g,
+                                         std::vector<NodeId> list,
+                                         std::size_t num_procs)
+    : graph_(&g),
+      list_(std::move(list)),
+      num_procs_(num_procs),
+      finish_(g.num_nodes(), 0.0),
+      ready_(num_procs, 0.0) {
+  FASTSCHED_REQUIRE(num_procs_ > 0, "need at least one processor");
+  FASTSCHED_REQUIRE(is_topological_list(g, list_),
+                    "evaluator list must be a topological order of the graph");
+}
+
+Cost AssignmentEvaluator::evaluate(std::span<const ProcId> assignment) {
+  FASTSCHED_ASSERT(assignment.size() == graph_->num_nodes());
+  std::fill(ready_.begin(), ready_.end(), 0.0);
+
+  Cost length = 0.0;
+  for (const NodeId n : list_) {
+    const ProcId p = assignment[n];
+    Cost dat = 0.0;
+    for (const graph::Adjacency& q : graph_->predecessors(n)) {
+      const Cost arrival =
+          finish_[q.node] + (assignment[q.node] == p ? 0.0 : q.cost);
+      dat = std::max(dat, arrival);
+    }
+    const Cost start = std::max(dat, ready_[p]);
+    const Cost fin = start + graph_->weight(n);
+    finish_[n] = fin;
+    ready_[p] = fin;
+    length = std::max(length, fin);
+  }
+  return length;
+}
+
+Schedule AssignmentEvaluator::materialize(
+    std::span<const ProcId> assignment) const {
+  FASTSCHED_ASSERT(assignment.size() == graph_->num_nodes());
+  std::vector<Cost> finish(graph_->num_nodes(), 0.0);
+  std::vector<Cost> ready(num_procs_, 0.0);
+
+  Schedule s(graph_->num_nodes(), num_procs_);
+  for (const NodeId n : list_) {
+    const ProcId p = assignment[n];
+    Cost dat = 0.0;
+    for (const graph::Adjacency& q : graph_->predecessors(n)) {
+      const Cost arrival =
+          finish[q.node] + (assignment[q.node] == p ? 0.0 : q.cost);
+      dat = std::max(dat, arrival);
+    }
+    const Cost start = std::max(dat, ready[p]);
+    const Cost fin = start + graph_->weight(n);
+    finish[n] = fin;
+    ready[p] = fin;
+    s.assign(n, p, start, fin);
+  }
+  return s;
+}
+
+}  // namespace fastsched::fast

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file evaluator.hpp
+/// The O(v + e) schedule-length evaluator at the heart of FAST's local
+/// search (paper §4.4): a schedule is represented as (static topological
+/// list, processor assignment) and its length is obtained by replaying the
+/// list against per-processor ready times. One replay visits every edge
+/// once — exactly the cost the paper charges per search move.
+
+#include <span>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace fastsched::fast {
+
+using graph::Cost;
+using graph::NodeId;
+using graph::TaskGraph;
+using sched::ProcId;
+using sched::Schedule;
+
+/// Replays (list, assignment) pairs. Owns scratch buffers so repeated
+/// `evaluate` calls in the search loop do not allocate.
+class AssignmentEvaluator {
+ public:
+  /// `list` must be a topological order of all nodes of `g` (checked).
+  /// `num_procs` must be positive. The evaluator keeps a reference to `g`;
+  /// the graph must outlive it.
+  AssignmentEvaluator(const TaskGraph& g, std::vector<NodeId> list,
+                      std::size_t num_procs);
+
+  /// Schedule length of `assignment` (one ProcId per node, each
+  /// < num_procs). O(v + e), no allocation.
+  [[nodiscard]] Cost evaluate(std::span<const ProcId> assignment);
+
+  /// Builds the full Schedule (start/finish times per node) for
+  /// `assignment`.
+  [[nodiscard]] Schedule materialize(std::span<const ProcId> assignment) const;
+
+  [[nodiscard]] std::span<const NodeId> list() const noexcept { return list_; }
+  [[nodiscard]] std::size_t num_procs() const noexcept { return num_procs_; }
+  [[nodiscard]] const TaskGraph& graph() const noexcept { return *graph_; }
+
+ private:
+  const TaskGraph* graph_;
+  std::vector<NodeId> list_;
+  std::size_t num_procs_;
+  std::vector<Cost> finish_;  // scratch: finish time per node
+  std::vector<Cost> ready_;   // scratch: ready time per processor
+};
+
+}  // namespace fastsched::fast

@@ -1,0 +1,62 @@
+#include "fast/fast.hpp"
+
+namespace fastsched::fast {
+
+FastResult run_fast(const TaskGraph& g, const FastOptions& options) {
+  FastResult result;
+  if (g.num_nodes() == 0) return result;
+
+  const std::size_t num_procs =
+      options.num_procs > 0 ? options.num_procs : g.num_nodes();
+
+  // Phase 0: node attributes and the static scheduling list.
+  const graph::LevelInfo levels = graph::compute_levels(g);
+  const std::vector<graph::NodeClass> classes =
+      graph::classify_nodes(g, levels);
+  result.list = build_list(g, levels, classes, options.list_policy);
+
+  // Phase 1: initial schedule.
+  InitialScheduleResult initial =
+      initial_schedule(g, result.list, num_procs);
+  result.initial_length = initial.length;
+  result.assignment = std::move(initial.assignment);
+
+  // Phase 2: local search over the blocking-node list (IBNs + OBNs).
+  for (const NodeId n : result.list) {
+    if (classes[n] != graph::NodeClass::kCpn) result.blocking_list.push_back(n);
+  }
+
+  AssignmentEvaluator evaluator(g, result.list, num_procs);
+  Cost length = result.initial_length;
+  Rng rng(options.seed);
+  LocalSearchOptions search_options;
+  search_options.max_steps = options.max_steps;
+  search_options.policy = options.neighborhood;
+  result.search = local_search(evaluator, result.blocking_list,
+                               result.assignment, length, search_options, rng);
+  result.final_length = length;
+  FASTSCHED_ASSERT_MSG(
+      !graph::definitely_less(result.initial_length, result.final_length),
+      "local search must never worsen the schedule");
+  return result;
+}
+
+Schedule to_schedule(const TaskGraph& g, const FastResult& r,
+                     std::size_t num_procs) {
+  AssignmentEvaluator evaluator(g, r.list, num_procs);
+  return evaluator.materialize(r.assignment);
+}
+
+Schedule FastScheduler::run(const TaskGraph& g,
+                            const sched::SchedulerOptions& o) const {
+  FastOptions opts = options_;
+  if (o.num_procs > 0) opts.num_procs = o.num_procs;
+  opts.seed = o.seed;
+  const std::size_t num_procs =
+      opts.num_procs > 0 ? opts.num_procs : g.num_nodes();
+  if (g.num_nodes() == 0) return Schedule(0, num_procs);
+  const FastResult result = run_fast(g, opts);
+  return to_schedule(g, result, num_procs);
+}
+
+}  // namespace fastsched::fast

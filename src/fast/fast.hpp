@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file fast.hpp
+/// The FAST algorithm (paper §4): CPN-Dominate list → InitialSchedule →
+/// random local search. `run_fast` exposes every intermediate artifact for
+/// tests, examples and ablations; `FastScheduler` adapts it to the common
+/// `sched::Scheduler` interface.
+
+#include <cstdint>
+#include <vector>
+
+#include "fast/cpn_dominate.hpp"
+#include "fast/initial_schedule.hpp"
+#include "fast/local_search.hpp"
+#include "sched/scheduler.hpp"
+
+namespace fastsched::fast {
+
+struct FastOptions {
+  /// Processor budget; 0 = one processor per node.
+  std::size_t num_procs = 0;
+  /// Local-search step budget (MAXSTEP; the paper fixes 64).
+  int max_steps = 64;
+  /// RNG seed for the search.
+  std::uint64_t seed = 1;
+  /// Scheduling-list policy (kCpnDominate = the paper's).
+  ListPolicy list_policy = ListPolicy::kCpnDominate;
+  /// Move-generation policy (kRandomBlockingRandomProc = the paper's).
+  NeighborhoodPolicy neighborhood =
+      NeighborhoodPolicy::kRandomBlockingRandomProc;
+};
+
+/// Everything FAST computes, for inspection.
+struct FastResult {
+  std::vector<NodeId> list;           ///< the static scheduling list
+  std::vector<NodeId> blocking_list;  ///< IBNs + OBNs (paper step (2))
+  std::vector<ProcId> assignment;     ///< final processor per node
+  Cost initial_length = 0;            ///< after phase 1
+  Cost final_length = 0;              ///< after phase 2
+  LocalSearchStats search;            ///< search statistics
+};
+
+/// Runs both phases and returns all artifacts. O(e) for the paper's
+/// parameters (constant MAXSTEP, candidate processors limited to parents +
+/// one fresh).
+[[nodiscard]] FastResult run_fast(const TaskGraph& g,
+                                  const FastOptions& options = {});
+
+/// Materializes the final `FastResult` assignment into a Schedule.
+[[nodiscard]] Schedule to_schedule(const TaskGraph& g, const FastResult& r,
+                                   std::size_t num_procs);
+
+/// `sched::Scheduler` adapter.
+class FastScheduler final : public sched::Scheduler {
+ public:
+  explicit FastScheduler(FastOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "FAST"; }
+
+  [[nodiscard]] Schedule run(const TaskGraph& g,
+                             const sched::SchedulerOptions& o) const override;
+
+ private:
+  FastOptions options_;
+};
+
+}  // namespace fastsched::fast

@@ -1,0 +1,162 @@
+#include "fast/initial_schedule.hpp"
+
+#include "sched/timeline.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace fastsched::fast {
+
+InitialScheduleResult initial_schedule(const TaskGraph& g,
+                                       std::span<const NodeId> list,
+                                       std::size_t num_procs) {
+  FASTSCHED_REQUIRE(num_procs > 0, "need at least one processor");
+  const std::size_t v = g.num_nodes();
+  FASTSCHED_ASSERT(list.size() == v);
+
+  std::vector<ProcId> assignment(v, sched::kUnassignedProc);
+  std::vector<Cost> finish(v, 0.0);
+  std::vector<Cost> ready(num_procs, 0.0);
+  std::size_t procs_touched = 0;
+
+  // Lazy min-heap over (ready_time, proc) for the rare fallback when a
+  // parentless node arrives after the fresh-processor pool is exhausted.
+  using HeapEntry = std::pair<Cost, ProcId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      ready_heap;
+
+  // Scratch candidate set. Marks avoid duplicates when several parents
+  // share a processor.
+  std::vector<ProcId> candidates;
+  std::vector<bool> candidate_mark(num_procs, false);
+
+  Cost length = 0.0;
+  for (const NodeId n : list) {
+    candidates.clear();
+    for (const graph::Adjacency& q : g.predecessors(n)) {
+      const ProcId pp = assignment[q.node];
+      FASTSCHED_ASSERT_MSG(pp != sched::kUnassignedProc,
+                           "list is not topological");
+      if (!candidate_mark[pp]) {
+        candidate_mark[pp] = true;
+        candidates.push_back(pp);
+      }
+    }
+    if (procs_touched < num_procs) {
+      // One fresh processor. Ready time is zero by construction.
+      const auto fresh = static_cast<ProcId>(procs_touched);
+      if (!candidate_mark[fresh]) {
+        candidate_mark[fresh] = true;
+        candidates.push_back(fresh);
+      }
+    }
+    if (candidates.empty()) {
+      // Parentless node with the pool exhausted: fall back to the globally
+      // least-loaded processor.
+      while (!ready_heap.empty() &&
+             ready_heap.top().first != ready[ready_heap.top().second]) {
+        ready_heap.pop();
+      }
+      const ProcId p = ready_heap.empty() ? ProcId{0} : ready_heap.top().second;
+      candidate_mark[p] = true;
+      candidates.push_back(p);
+    }
+
+    // Earliest start among candidates; ties keep the first-examined
+    // candidate (a parent's processor rather than a fresh one).
+    ProcId best_proc = candidates.front();
+    Cost best_start = 0.0;
+    bool have_best = false;
+    for (const ProcId p : candidates) {
+      Cost dat = 0.0;
+      for (const graph::Adjacency& q : g.predecessors(n)) {
+        const Cost arrival =
+            finish[q.node] + (assignment[q.node] == p ? 0.0 : q.cost);
+        dat = std::max(dat, arrival);
+      }
+      const Cost start = std::max(dat, ready[p]);
+      if (!have_best || graph::definitely_less(start, best_start)) {
+        have_best = true;
+        best_start = start;
+        best_proc = p;
+      }
+    }
+    for (const ProcId p : candidates) candidate_mark[p] = false;
+
+    if (best_proc == static_cast<ProcId>(procs_touched)) ++procs_touched;
+    assignment[n] = best_proc;
+    finish[n] = best_start + g.weight(n);
+    ready[best_proc] = finish[n];
+    ready_heap.emplace(finish[n], best_proc);
+    length = std::max(length, finish[n]);
+  }
+
+  return InitialScheduleResult{std::move(assignment), length};
+}
+
+sched::Schedule initial_schedule_insertion(const TaskGraph& g,
+                                           std::span<const NodeId> list,
+                                           std::size_t num_procs) {
+  FASTSCHED_REQUIRE(num_procs > 0, "need at least one processor");
+  const std::size_t v = g.num_nodes();
+  FASTSCHED_ASSERT(list.size() == v);
+
+  sched::Schedule schedule(v, num_procs);
+  std::vector<ProcId> assignment(v, sched::kUnassignedProc);
+  std::vector<Cost> finish(v, 0.0);
+  std::vector<sched::Timeline> timelines(num_procs);
+  std::size_t procs_touched = 0;
+
+  std::vector<ProcId> candidates;
+  std::vector<bool> candidate_mark(num_procs, false);
+
+  for (const NodeId n : list) {
+    candidates.clear();
+    for (const graph::Adjacency& q : g.predecessors(n)) {
+      const ProcId pp = assignment[q.node];
+      if (!candidate_mark[pp]) {
+        candidate_mark[pp] = true;
+        candidates.push_back(pp);
+      }
+    }
+    if (procs_touched < num_procs) {
+      const auto fresh = static_cast<ProcId>(procs_touched);
+      if (!candidate_mark[fresh]) {
+        candidate_mark[fresh] = true;
+        candidates.push_back(fresh);
+      }
+    }
+    if (candidates.empty()) {
+      candidate_mark[0] = true;
+      candidates.push_back(0);
+    }
+
+    const Cost w = g.weight(n);
+    ProcId best_proc = candidates.front();
+    Cost best_start = 0.0;
+    bool have_best = false;
+    for (const ProcId p : candidates) {
+      Cost dat = 0.0;
+      for (const graph::Adjacency& q : g.predecessors(n)) {
+        dat = std::max(dat,
+                       finish[q.node] + (assignment[q.node] == p ? 0.0 : q.cost));
+      }
+      const Cost start = timelines[p].earliest_fit(dat, w);
+      if (!have_best || graph::definitely_less(start, best_start)) {
+        have_best = true;
+        best_start = start;
+        best_proc = p;
+      }
+    }
+    for (const ProcId p : candidates) candidate_mark[p] = false;
+
+    if (best_proc == static_cast<ProcId>(procs_touched)) ++procs_touched;
+    assignment[n] = best_proc;
+    finish[n] = best_start + w;
+    timelines[best_proc].insert(best_start, finish[n]);
+    schedule.assign(n, best_proc, best_start, finish[n]);
+  }
+  return schedule;
+}
+
+}  // namespace fastsched::fast

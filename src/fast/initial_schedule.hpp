@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file initial_schedule.hpp
+/// Phase 1 of FAST (paper §4.2): list-schedule the CPN-Dominate list onto
+/// processor ready times. For each node only the processors hosting its
+/// parents plus one fresh processor are examined, which keeps the whole
+/// phase O(e).
+
+#include <span>
+#include <vector>
+
+#include "fast/evaluator.hpp"
+
+namespace fastsched::fast {
+
+/// Output of the initial scheduling phase.
+struct InitialScheduleResult {
+  std::vector<ProcId> assignment;  ///< processor per node
+  Cost length = 0;                 ///< schedule length of the assignment
+};
+
+/// Runs InitialSchedule() over `list` (a topological order) with
+/// `num_procs` available processors.
+///
+/// Candidate processors per node, examined in this order: the processors of
+/// its parents (first occurrence order), then one fresh (so-far-unused)
+/// processor if the pool still has one. The earliest start time wins; ties
+/// keep the earliest-examined candidate. If a node has no parents and the
+/// pool is exhausted, the processor with the smallest ready time is used as
+/// a fallback (cannot occur when num_procs >= number of entry nodes).
+[[nodiscard]] InitialScheduleResult initial_schedule(const TaskGraph& g,
+                                                     std::span<const NodeId> list,
+                                                     std::size_t num_procs);
+
+/// Insertion variant for the ablation study: identical candidate set
+/// (parents' processors + one fresh), but each node goes into the earliest
+/// idle *slot* on the winning processor rather than after its ready time.
+/// This is exactly the option paper §4.2 rejects to stay O(e) — the slot
+/// search costs O(v) per node in the worst case. Returns the materialized
+/// schedule because an insertion result is no longer representable as a
+/// (list, assignment) pair for the O(v+e) replay evaluator.
+[[nodiscard]] sched::Schedule initial_schedule_insertion(
+    const TaskGraph& g, std::span<const NodeId> list, std::size_t num_procs);
+
+}  // namespace fastsched::fast

@@ -1,0 +1,92 @@
+#include "fast/local_search.hpp"
+
+namespace fastsched::fast {
+
+using fastsched::Rng;
+
+LocalSearchStats local_search(AssignmentEvaluator& evaluator,
+                              std::span<const NodeId> blocking,
+                              std::vector<ProcId>& assignment, Cost& length,
+                              const LocalSearchOptions& options, Rng& rng) {
+  LocalSearchStats stats;
+  stats.initial_length = length;
+  stats.final_length = length;
+
+  const std::size_t num_procs = evaluator.num_procs();
+  const std::size_t v = assignment.size();
+  const bool any_node =
+      options.policy == NeighborhoodPolicy::kRandomNodeRandomProc;
+  const std::size_t pool_size = any_node ? v : blocking.size();
+  if (pool_size == 0 || num_procs <= 1) {
+    return stats;  // no move can change anything
+  }
+
+  // Transfer targets: the processors the schedule currently uses plus one
+  // fresh processor. Drawing from the full pool would dilute the search
+  // with indistinguishable empty processors when the budget is generous
+  // ("more than enough processors", §5) — any single fresh target stands
+  // for all of them. Rebuilt after each accepted move.
+  std::vector<ProcId> targets;
+  const auto rebuild_targets = [&] {
+    targets.clear();
+    std::vector<bool> used(num_procs, false);
+    for (const ProcId p : assignment) used[p] = true;
+    ProcId fresh = sched::kUnassignedProc;
+    for (ProcId p = 0; p < num_procs; ++p) {
+      if (used[p]) {
+        targets.push_back(p);
+      } else if (fresh == sched::kUnassignedProc) {
+        fresh = p;
+      }
+    }
+    if (fresh != sched::kUnassignedProc) targets.push_back(fresh);
+  };
+  rebuild_targets();
+
+  for (int step = 0; step < options.max_steps; ++step) {
+    ++stats.steps;
+    const std::size_t pick = static_cast<std::size_t>(rng.uniform(pool_size));
+    const NodeId n = any_node ? static_cast<NodeId>(pick) : blocking[pick];
+    const ProcId original = assignment[n];
+
+    if (options.policy == NeighborhoodPolicy::kBestProcForRandomBlocking) {
+      // Ablation variant: steepest descent over the processor dimension.
+      ProcId best_proc = original;
+      Cost best_len = length;
+      for (ProcId p = 0; p < num_procs; ++p) {
+        if (p == original) continue;
+        assignment[n] = p;
+        const Cost candidate = evaluator.evaluate(assignment);
+        if (graph::definitely_less(candidate, best_len)) {
+          best_len = candidate;
+          best_proc = p;
+        }
+      }
+      assignment[n] = best_proc;
+      if (best_proc != original) {
+        ++stats.improvements;
+        length = best_len;
+      }
+      continue;
+    }
+
+    // Paper's move: transfer n to a random processor; revert unless the
+    // schedule length strictly improves.
+    const ProcId target = targets[rng.uniform(targets.size())];
+    if (target == original) continue;
+    assignment[n] = target;
+    const Cost candidate = evaluator.evaluate(assignment);
+    if (graph::definitely_less(candidate, length)) {
+      ++stats.improvements;
+      length = candidate;
+      rebuild_targets();
+    } else {
+      assignment[n] = original;
+    }
+  }
+
+  stats.final_length = length;
+  return stats;
+}
+
+}  // namespace fastsched::fast

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file local_search.hpp
+/// Phase 2 of FAST (paper §§4.3–4.4): random local neighbourhood search
+/// over node-to-processor transfers. The neighbourhood is defined by the
+/// static *blocking-node list* (all IBNs and OBNs — the nodes that may
+/// block a CPN on its processor). Each step transfers one random blocking
+/// node to one random processor and keeps the move only if the schedule
+/// length strictly improves. MAXSTEP = 64 in the paper.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fast/evaluator.hpp"
+
+namespace fastsched::fast {
+
+/// Move-generation policies. `kRandomBlockingRandomProc` is the paper's;
+/// the others exist for the neighbourhood ablation.
+enum class NeighborhoodPolicy {
+  kRandomBlockingRandomProc,  ///< paper §4.4: random node, random processor
+  kRandomNodeRandomProc,      ///< any node (incl. CPNs) may move
+  kBestProcForRandomBlocking, ///< random blocking node, best of all processors
+};
+
+struct LocalSearchOptions {
+  /// Number of search steps (the paper's MAXSTEP, fixed at 64 there).
+  int max_steps = 64;
+  NeighborhoodPolicy policy = NeighborhoodPolicy::kRandomBlockingRandomProc;
+};
+
+/// Outcome statistics for reporting and ablation benches.
+struct LocalSearchStats {
+  int steps = 0;         ///< moves attempted
+  int improvements = 0;  ///< moves kept
+  Cost initial_length = 0;
+  Cost final_length = 0;
+};
+
+/// Refines `assignment` in place. `blocking` is the neighbourhood node set
+/// (IBNs + OBNs for the paper's policy; ignored by kRandomNodeRandomProc).
+/// `length` must be the current length of `assignment` and is updated.
+/// Randomness is drawn from `rng`; the result is deterministic per seed.
+LocalSearchStats local_search(AssignmentEvaluator& evaluator,
+                              std::span<const NodeId> blocking,
+                              std::vector<ProcId>& assignment, Cost& length,
+                              const LocalSearchOptions& options, Rng& rng);
+
+}  // namespace fastsched::fast

@@ -1,0 +1,91 @@
+#include "fast/parallel_fast.hpp"
+
+#include <thread>
+
+namespace fastsched::fast {
+
+ParallelFastResult run_parallel_fast(const TaskGraph& g,
+                                     const ParallelFastOptions& options) {
+  ParallelFastResult result;
+  if (g.num_nodes() == 0) return result;
+
+  const std::size_t num_procs =
+      options.num_procs > 0 ? options.num_procs : g.num_nodes();
+  const std::size_t num_threads = std::max<std::size_t>(1, options.num_threads);
+
+  // Shared phase: attributes, list, initial schedule.
+  const graph::LevelInfo levels = graph::compute_levels(g);
+  const auto classes = graph::classify_nodes(g, levels);
+  result.list = build_list(g, levels, classes, options.list_policy);
+  const InitialScheduleResult initial =
+      initial_schedule(g, result.list, num_procs);
+  result.initial_length = initial.length;
+
+  std::vector<NodeId> blocking;
+  for (const NodeId n : result.list) {
+    if (classes[n] != graph::NodeClass::kCpn) blocking.push_back(n);
+  }
+
+  // Derive one independent RNG stream per thread before spawning so the
+  // streams do not depend on scheduling order.
+  Rng master(options.seed);
+  std::vector<Rng> streams;
+  streams.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) streams.push_back(master.split());
+
+  struct ThreadOutcome {
+    std::vector<ProcId> assignment;
+    Cost length = 0;
+  };
+  std::vector<ThreadOutcome> outcomes(num_threads);
+
+  LocalSearchOptions search_options;
+  search_options.max_steps = options.max_steps_per_thread;
+  search_options.policy = options.neighborhood;
+
+  const auto worker = [&](std::size_t t) {
+    // Each thread owns its evaluator (scratch buffers are not shared).
+    AssignmentEvaluator evaluator(g, result.list, num_procs);
+    ThreadOutcome& out = outcomes[t];
+    out.assignment = initial.assignment;
+    out.length = initial.length;
+    local_search(evaluator, blocking, out.assignment, out.length,
+                 search_options, streams[t]);
+  };
+
+  if (num_threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+    for (auto& th : threads) th.join();
+  }
+
+  // Deterministic reduction: shortest length, ties to the lowest thread.
+  std::size_t best = 0;
+  for (std::size_t t = 1; t < num_threads; ++t) {
+    if (graph::definitely_less(outcomes[t].length, outcomes[best].length)) {
+      best = t;
+    }
+  }
+  result.assignment = std::move(outcomes[best].assignment);
+  result.final_length = outcomes[best].length;
+  result.winning_thread = best;
+  return result;
+}
+
+Schedule ParallelFastScheduler::run(const TaskGraph& g,
+                                    const sched::SchedulerOptions& o) const {
+  ParallelFastOptions opts = options_;
+  if (o.num_procs > 0) opts.num_procs = o.num_procs;
+  opts.seed = o.seed;
+  const std::size_t num_procs =
+      opts.num_procs > 0 ? opts.num_procs : g.num_nodes();
+  if (g.num_nodes() == 0) return Schedule(0, num_procs);
+  const ParallelFastResult result = run_parallel_fast(g, opts);
+  AssignmentEvaluator evaluator(g, result.list, num_procs);
+  return evaluator.materialize(result.assignment);
+}
+
+}  // namespace fastsched::fast

@@ -1,0 +1,52 @@
+#include "graph/classification.hpp"
+
+#include <deque>
+
+namespace fastsched::graph {
+
+std::vector<NodeClass> classify_nodes(const TaskGraph& g,
+                                      const LevelInfo& levels) {
+  const std::size_t v = g.num_nodes();
+  FASTSCHED_REQUIRE(levels.is_cpn.size() == v,
+                    "levels were computed for a different graph");
+
+  std::vector<NodeClass> classes(v, NodeClass::kObn);
+  // Reverse BFS from all CPNs marks every node that reaches a CPN.
+  std::vector<bool> reaches_cpn(v, false);
+  std::deque<NodeId> queue;
+  for (NodeId n = 0; n < v; ++n) {
+    if (levels.is_cpn[n]) {
+      reaches_cpn[n] = true;
+      queue.push_back(n);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    for (const Adjacency& p : g.predecessors(n)) {
+      if (!reaches_cpn[p.node]) {
+        reaches_cpn[p.node] = true;
+        queue.push_back(p.node);
+      }
+    }
+  }
+  for (NodeId n = 0; n < v; ++n) {
+    if (levels.is_cpn[n]) {
+      classes[n] = NodeClass::kCpn;
+    } else if (reaches_cpn[n]) {
+      classes[n] = NodeClass::kIbn;
+    }
+  }
+  return classes;
+}
+
+std::vector<NodeId> nodes_of_class(const std::vector<NodeClass>& classes,
+                                   NodeClass wanted) {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < classes.size(); ++n) {
+    if (classes[n] == wanted) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace fastsched::graph

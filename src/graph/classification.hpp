@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file classification.hpp
+/// Node partitioning from paper §4.1: Critical-Path Nodes (CPN), In-Branch
+/// Nodes (IBN — non-CPNs from which a CPN is reachable), and Out-Branch
+/// Nodes (OBN — everything else). The IBN/OBN split drives both the
+/// CPN-Dominate list construction and FAST's blocking-node list.
+
+#include <vector>
+
+#include "graph/levels.hpp"
+#include "graph/task_graph.hpp"
+
+namespace fastsched::graph {
+
+enum class NodeClass : std::uint8_t { kCpn, kIbn, kObn };
+
+/// Classifies every node in O(v + e): CPNs come from `levels`; IBNs are the
+/// non-CPN ancestors of any CPN (reverse reachability from the CPN set);
+/// the rest are OBNs.
+[[nodiscard]] std::vector<NodeClass> classify_nodes(const TaskGraph& g,
+                                                    const LevelInfo& levels);
+
+/// Nodes of a given class, ascending by id.
+[[nodiscard]] std::vector<NodeId> nodes_of_class(
+    const std::vector<NodeClass>& classes, NodeClass wanted);
+
+}  // namespace fastsched::graph

@@ -1,0 +1,107 @@
+#include "graph/io.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace fastsched::graph {
+namespace {
+
+// Costs are written with enough digits to round-trip doubles exactly.
+void write_cost(std::ostream& os, Cost c) {
+  os << std::setprecision(17) << c;
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const TaskGraph& g) {
+  os << "# fastsched task graph: " << g.num_nodes() << " nodes, "
+     << g.num_edges() << " edges\n";
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    os << "node " << n << ' ';
+    write_cost(os, g.weight(n));
+    os << ' ' << g.name(n) << '\n';
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    os << "edge " << g.edge_source(e) << ' ' << g.edge_target(e) << ' ';
+    write_cost(os, g.edge_cost(e));
+    os << '\n';
+  }
+}
+
+std::string to_text(const TaskGraph& g) {
+  std::ostringstream os;
+  write_text(os, g);
+  return os.str();
+}
+
+TaskGraph read_text(std::istream& is) {
+  TaskGraphBuilder builder;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+    const std::string where = " (line " + std::to_string(line_no) + ")";
+    if (kind == "node") {
+      std::uint64_t id = 0;
+      Cost weight = 0;
+      std::string name;
+      FASTSCHED_REQUIRE(static_cast<bool>(ls >> id >> weight),
+                        "malformed node line" + where);
+      ls >> name;  // optional
+      FASTSCHED_REQUIRE(id == builder.num_nodes(),
+                        "node ids must be dense and in order" + where);
+      builder.add_node(weight, name);
+    } else if (kind == "edge") {
+      std::uint64_t src = 0;
+      std::uint64_t dst = 0;
+      Cost cost = 0;
+      FASTSCHED_REQUIRE(static_cast<bool>(ls >> src >> dst >> cost),
+                        "malformed edge line" + where);
+      FASTSCHED_REQUIRE(src < builder.num_nodes() && dst < builder.num_nodes(),
+                        "edge endpoint out of range" + where);
+      builder.add_edge(static_cast<NodeId>(src), static_cast<NodeId>(dst),
+                       cost);
+    } else {
+      throw Error("unknown record '" + kind + "'" + where);
+    }
+  }
+  return builder.build();
+}
+
+TaskGraph from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_text(is);
+}
+
+std::string to_dot(const TaskGraph& g, const LevelInfo* levels) {
+  std::ostringstream os;
+  os << "digraph taskgraph {\n  rankdir=TB;\n  node [shape=circle];\n";
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    os << "  " << n << " [label=\"" << g.name(n) << "\\n" << g.weight(n)
+       << '"';
+    if (levels != nullptr && levels->is_cpn[n]) {
+      os << ", style=filled, fillcolor=gray30, fontcolor=white";
+    }
+    os << "];\n";
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId s = g.edge_source(e);
+    const NodeId t = g.edge_target(e);
+    os << "  " << s << " -> " << t << " [label=\"" << g.edge_cost(e) << '"';
+    if (levels != nullptr && levels->is_cpn[s] && levels->is_cpn[t]) {
+      const bool on_cp = approx_equal(levels->t_level[s] + g.weight(s) +
+                                          g.edge_cost(e) + levels->b_level[t],
+                                      levels->cp_length);
+      if (on_cp) os << ", penwidth=2.5";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fastsched::graph

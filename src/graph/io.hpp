@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file io.hpp
+/// Task-graph serialization: a line-oriented text format (round-trippable)
+/// and Graphviz DOT export (CPNs rendered dark, as in the paper's Figure 1).
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/levels.hpp"
+#include "graph/task_graph.hpp"
+
+namespace fastsched::graph {
+
+/// Writes `g` in the text format:
+/// ```
+/// # comment lines start with '#'
+/// node <id> <weight> <name>
+/// edge <src-id> <dst-id> <cost>
+/// ```
+/// Ids are 0-based and dense; nodes appear before edges.
+void write_text(std::ostream& os, const TaskGraph& g);
+
+/// `write_text` into a string.
+[[nodiscard]] std::string to_text(const TaskGraph& g);
+
+/// Parses the text format. Throws `fastsched::Error` on malformed input.
+[[nodiscard]] TaskGraph read_text(std::istream& is);
+
+/// `read_text` from a string.
+[[nodiscard]] TaskGraph from_text(const std::string& text);
+
+/// Graphviz DOT rendering. When `levels` is non-null, CPNs are filled dark
+/// and CP edges are drawn bold (mirrors the paper's Figure 1 styling).
+[[nodiscard]] std::string to_dot(const TaskGraph& g,
+                                 const LevelInfo* levels = nullptr);
+
+}  // namespace fastsched::graph

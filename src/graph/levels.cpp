@@ -1,0 +1,107 @@
+#include "graph/levels.hpp"
+
+#include <algorithm>
+
+namespace fastsched::graph {
+
+std::vector<Cost> compute_t_levels(const TaskGraph& g) {
+  std::vector<Cost> tl(g.num_nodes(), 0.0);
+  for (const NodeId n : g.topological_order()) {
+    Cost best = 0.0;
+    for (const Adjacency& p : g.predecessors(n)) {
+      best = std::max(best, tl[p.node] + g.weight(p.node) + p.cost);
+    }
+    tl[n] = best;
+  }
+  return tl;
+}
+
+std::vector<Cost> compute_b_levels(const TaskGraph& g) {
+  std::vector<Cost> bl(g.num_nodes(), 0.0);
+  const auto topo = g.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId n = *it;
+    Cost best = 0.0;
+    for (const Adjacency& s : g.successors(n)) {
+      best = std::max(best, s.cost + bl[s.node]);
+    }
+    bl[n] = g.weight(n) + best;
+  }
+  return bl;
+}
+
+std::vector<Cost> compute_static_levels(const TaskGraph& g) {
+  std::vector<Cost> sl(g.num_nodes(), 0.0);
+  const auto topo = g.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId n = *it;
+    Cost best = 0.0;
+    for (const Adjacency& s : g.successors(n)) {
+      best = std::max(best, sl[s.node]);
+    }
+    sl[n] = g.weight(n) + best;
+  }
+  return sl;
+}
+
+LevelInfo compute_levels(const TaskGraph& g) {
+  LevelInfo info;
+  info.t_level = compute_t_levels(g);
+  info.b_level = compute_b_levels(g);
+  info.static_level = compute_static_levels(g);
+
+  const std::size_t v = g.num_nodes();
+  info.cp_length = 0.0;
+  for (NodeId n = 0; n < v; ++n) {
+    info.cp_length = std::max(info.cp_length, info.t_level[n] + info.b_level[n]);
+  }
+
+  info.alap.resize(v);
+  info.is_cpn.assign(v, false);
+  for (NodeId n = 0; n < v; ++n) {
+    info.alap[n] = info.cp_length - info.b_level[n];
+    info.is_cpn[n] =
+        approx_equal(info.t_level[n] + info.b_level[n], info.cp_length);
+  }
+
+  for (NodeId n = 0; n < v; ++n) {
+    if (info.is_cpn[n]) info.cpns_in_order.push_back(n);
+  }
+  std::stable_sort(info.cpns_in_order.begin(), info.cpns_in_order.end(),
+                   [&](NodeId a, NodeId b) {
+                     if (!approx_equal(info.t_level[a], info.t_level[b])) {
+                       return info.t_level[a] < info.t_level[b];
+                     }
+                     return a < b;
+                   });
+
+  // Canonical critical path: walk CP edges from the first entry CPN.
+  if (v > 0) {
+    NodeId cur = kInvalidNode;
+    for (const NodeId n : g.entry_nodes()) {
+      if (!info.is_cpn[n]) continue;
+      if (cur == kInvalidNode || info.b_level[n] > info.b_level[cur] ||
+          (approx_equal(info.b_level[n], info.b_level[cur]) && n < cur)) {
+        cur = n;
+      }
+    }
+    while (cur != kInvalidNode) {
+      info.critical_path.push_back(cur);
+      NodeId next = kInvalidNode;
+      for (const Adjacency& s : g.successors(cur)) {
+        const NodeId c = s.node;
+        if (!info.is_cpn[c]) continue;
+        // The edge lies on the CP iff it realizes both levels.
+        const bool on_cp =
+            approx_equal(info.t_level[cur] + g.weight(cur) + s.cost +
+                             info.b_level[c],
+                         info.cp_length);
+        if (on_cp && (next == kInvalidNode || c < next)) next = c;
+      }
+      cur = next;
+    }
+  }
+  return info;
+}
+
+}  // namespace fastsched::graph

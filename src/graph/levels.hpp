@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file levels.hpp
+/// Node attributes from paper §2: t-level (ASAP start time), b-level,
+/// static level (computation-only b-level), ALAP start time, the
+/// critical-path (CP) length, and the set of critical-path nodes (CPNs).
+///
+/// All attributes are computed in a single O(v + e) pass over a fixed
+/// topological order — the complexity budget the FAST algorithm relies on.
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace fastsched::graph {
+
+/// All level attributes of a task graph.
+struct LevelInfo {
+  /// Length of the longest path from an entry node to n, excluding w(n).
+  /// Equals the ASAP start time.
+  std::vector<Cost> t_level;
+  /// Length of the longest path from n to an exit node, including w(n).
+  std::vector<Cost> b_level;
+  /// b-level computed over computation costs only (SL in the paper).
+  std::vector<Cost> static_level;
+  /// ALAP start time = CP length − b-level.
+  std::vector<Cost> alap;
+  /// Length of the critical path (max over nodes of t-level + b-level).
+  Cost cp_length = 0;
+  /// is_cpn[n]: t-level(n) + b-level(n) == cp_length (within tolerance).
+  std::vector<bool> is_cpn;
+  /// All CPNs ordered by ascending t-level (ties by id). For a unique CP
+  /// this is exactly the path order; with parallel CPs it is the
+  /// deterministic generalization used by the CPN-Dominate list.
+  std::vector<NodeId> cpns_in_order;
+  /// One canonical critical path: starts at the entry CPN with the largest
+  /// b-level, repeatedly follows the CP edge (the child whose t-level is
+  /// produced by this node and whose t+b sum equals cp_length), breaking
+  /// ties by smallest node id.
+  std::vector<NodeId> critical_path;
+};
+
+/// Computes every attribute in LevelInfo in O(v + e).
+[[nodiscard]] LevelInfo compute_levels(const TaskGraph& g);
+
+/// t-level only (O(v + e)); used by algorithms that maintain their own
+/// incremental state.
+[[nodiscard]] std::vector<Cost> compute_t_levels(const TaskGraph& g);
+
+/// b-level only (O(v + e)).
+[[nodiscard]] std::vector<Cost> compute_b_levels(const TaskGraph& g);
+
+/// Static level (computation-only b-level) only (O(v + e)).
+[[nodiscard]] std::vector<Cost> compute_static_levels(const TaskGraph& g);
+
+}  // namespace fastsched::graph

@@ -1,0 +1,68 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fastsched::graph {
+
+GraphStats compute_stats(const TaskGraph& g) {
+  GraphStats s;
+  s.nodes = g.num_nodes();
+  s.edges = g.num_edges();
+  s.entry_nodes = g.entry_nodes().size();
+  s.exit_nodes = g.exit_nodes().size();
+  s.total_work = g.total_work();
+  s.total_comm = g.total_comm();
+  s.ccr = g.ccr();
+  if (s.nodes == 0) return s;
+
+  s.avg_out_degree = static_cast<double>(s.edges) / static_cast<double>(s.nodes);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    s.max_out_degree = std::max(s.max_out_degree, g.out_degree(n));
+    s.max_in_degree = std::max(s.max_in_degree, g.in_degree(n));
+  }
+
+  // Depth layers: longest hop-distance from any entry node.
+  std::vector<std::size_t> layer(g.num_nodes(), 0);
+  std::size_t max_layer = 0;
+  for (const NodeId n : g.topological_order()) {
+    for (const Adjacency& p : g.predecessors(n)) {
+      layer[n] = std::max(layer[n], layer[p.node] + 1);
+    }
+    max_layer = std::max(max_layer, layer[n]);
+  }
+  s.depth = max_layer + 1;
+  s.layer_sizes.assign(s.depth, 0);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) ++s.layer_sizes[layer[n]];
+  s.width = *std::max_element(s.layer_sizes.begin(), s.layer_sizes.end());
+
+  // Computation-only critical path for the average-parallelism measure.
+  std::vector<Cost> down(g.num_nodes(), 0.0);
+  const auto topo = g.topological_order();
+  Cost cp = 0.0;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId n = *it;
+    Cost best = 0.0;
+    for (const Adjacency& succ : g.successors(n)) {
+      best = std::max(best, down[succ.node]);
+    }
+    down[n] = g.weight(n) + best;
+    cp = std::max(cp, down[n]);
+  }
+  if (cp > 0) s.avg_parallelism = s.total_work / cp;
+  return s;
+}
+
+std::string format_stats(const GraphStats& s) {
+  std::ostringstream os;
+  os << s.nodes << " tasks, " << s.edges << " edges ("
+     << s.avg_out_degree << " avg out-degree, max out " << s.max_out_degree
+     << " / in " << s.max_in_degree << ")\n"
+     << "depth " << s.depth << ", width " << s.width << ", "
+     << s.entry_nodes << " entries, " << s.exit_nodes << " exits\n"
+     << "work " << s.total_work << ", comm " << s.total_comm << ", CCR "
+     << s.ccr << ", average parallelism " << s.avg_parallelism << "\n";
+  return os.str();
+}
+
+}  // namespace fastsched::graph

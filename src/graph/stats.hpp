@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file stats.hpp
+/// Structural statistics of a task graph: the quantities scheduling papers
+/// (including this one) use to characterize their workloads — size, depth,
+/// width, degree distribution, CCR, and the parallelism profile (how many
+/// tasks could run concurrently at each depth under infinite processors).
+
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace fastsched::graph {
+
+struct GraphStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  /// Longest path in hops (number of nodes on it).
+  std::size_t depth = 0;
+  /// Maximum antichain size approximated by the widest depth layer.
+  std::size_t width = 0;
+  std::size_t entry_nodes = 0;
+  std::size_t exit_nodes = 0;
+  double avg_out_degree = 0;
+  std::size_t max_out_degree = 0;
+  std::size_t max_in_degree = 0;
+  double total_work = 0;
+  double total_comm = 0;
+  double ccr = 0;
+  /// total_work / computation-critical-path: the average parallelism the
+  /// graph could sustain with free communication.
+  double avg_parallelism = 0;
+  /// tasks per depth layer (layer = longest hop-distance from an entry).
+  std::vector<std::size_t> layer_sizes;
+};
+
+/// Computes all statistics in O(v + e).
+[[nodiscard]] GraphStats compute_stats(const TaskGraph& g);
+
+/// One-paragraph human-readable rendering.
+[[nodiscard]] std::string format_stats(const GraphStats& stats);
+
+}  // namespace fastsched::graph

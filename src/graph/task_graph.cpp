@@ -1,0 +1,162 @@
+#include "graph/task_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+namespace fastsched::graph {
+
+void TaskGraphBuilder::reserve(std::size_t nodes, std::size_t edges) {
+  weights_.reserve(nodes);
+  names_.reserve(nodes);
+  edge_src_.reserve(edges);
+  edge_dst_.reserve(edges);
+  edge_cost_.reserve(edges);
+}
+
+NodeId TaskGraphBuilder::add_node(Cost weight, std::string name) {
+  FASTSCHED_REQUIRE(std::isfinite(weight) && weight >= 0.0,
+                    "node weight must be finite and non-negative");
+  const auto id = static_cast<NodeId>(weights_.size());
+  weights_.push_back(weight);
+  if (name.empty()) name = "n" + std::to_string(id + 1);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+void TaskGraphBuilder::add_edge(NodeId src, NodeId dst, Cost cost) {
+  FASTSCHED_REQUIRE(src < weights_.size() && dst < weights_.size(),
+                    "edge endpoint out of range");
+  FASTSCHED_REQUIRE(src != dst, "self-loop edges are not allowed");
+  FASTSCHED_REQUIRE(std::isfinite(cost) && cost >= 0.0,
+                    "edge cost must be finite and non-negative");
+  edge_src_.push_back(src);
+  edge_dst_.push_back(dst);
+  edge_cost_.push_back(cost);
+}
+
+void TaskGraphBuilder::set_node_weight(NodeId node, Cost weight) {
+  FASTSCHED_REQUIRE(node < weights_.size(), "node out of range");
+  FASTSCHED_REQUIRE(std::isfinite(weight) && weight >= 0.0,
+                    "node weight must be finite and non-negative");
+  weights_[node] = weight;
+}
+
+TaskGraph TaskGraphBuilder::build() const {
+  const std::size_t v = weights_.size();
+  const std::size_t e = edge_src_.size();
+
+  TaskGraph g;
+  g.weights_ = weights_;
+  g.names_ = names_;
+  g.edge_src_ = edge_src_;
+  g.edge_dst_ = edge_dst_;
+  g.edge_cost_ = edge_cost_;
+
+  // Reject duplicate edges: each (src, dst) pair may carry one message.
+  {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(e * 2);
+    for (std::size_t i = 0; i < e; ++i) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(edge_src_[i]) << 32) | edge_dst_[i];
+      FASTSCHED_REQUIRE(seen.insert(key).second,
+                        "duplicate edge between the same node pair");
+    }
+  }
+
+  // CSR construction (counting sort by src / dst).
+  g.out_off_.assign(v + 1, 0);
+  g.in_off_.assign(v + 1, 0);
+  for (std::size_t i = 0; i < e; ++i) {
+    ++g.out_off_[edge_src_[i] + 1];
+    ++g.in_off_[edge_dst_[i] + 1];
+  }
+  for (std::size_t n = 0; n < v; ++n) {
+    g.out_off_[n + 1] += g.out_off_[n];
+    g.in_off_[n + 1] += g.in_off_[n];
+  }
+  g.out_adj_.resize(e);
+  g.in_adj_.resize(e);
+  {
+    std::vector<std::size_t> out_pos(g.out_off_.begin(), g.out_off_.end() - 1);
+    std::vector<std::size_t> in_pos(g.in_off_.begin(), g.in_off_.end() - 1);
+    for (std::size_t i = 0; i < e; ++i) {
+      const auto eid = static_cast<EdgeId>(i);
+      g.out_adj_[out_pos[edge_src_[i]]++] =
+          Adjacency{edge_dst_[i], edge_cost_[i], eid};
+      g.in_adj_[in_pos[edge_dst_[i]]++] =
+          Adjacency{edge_src_[i], edge_cost_[i], eid};
+    }
+  }
+
+  // Kahn's algorithm: topological order + cycle detection.
+  {
+    std::vector<std::size_t> indeg(v);
+    for (NodeId n = 0; n < v; ++n) indeg[n] = g.in_degree(n);
+    std::deque<NodeId> queue;
+    for (NodeId n = 0; n < v; ++n) {
+      if (indeg[n] == 0) queue.push_back(n);
+    }
+    g.topo_order_.reserve(v);
+    while (!queue.empty()) {
+      const NodeId n = queue.front();
+      queue.pop_front();
+      g.topo_order_.push_back(n);
+      for (const Adjacency& a : g.successors(n)) {
+        if (--indeg[a.node] == 0) queue.push_back(a.node);
+      }
+    }
+    FASTSCHED_REQUIRE(g.topo_order_.size() == v,
+                      "task graph contains a cycle");
+  }
+
+  for (NodeId n = 0; n < v; ++n) {
+    if (g.in_degree(n) == 0) g.entries_.push_back(n);
+    if (g.out_degree(n) == 0) g.exits_.push_back(n);
+  }
+
+  for (const Cost w : g.weights_) g.total_work_ += w;
+  for (const Cost c : g.edge_cost_) g.total_comm_ += c;
+  return g;
+}
+
+std::optional<Cost> TaskGraph::find_edge_cost(NodeId src, NodeId dst) const {
+  for (const Adjacency& a : successors(src)) {
+    if (a.node == dst) return a.cost;
+  }
+  return std::nullopt;
+}
+
+Cost TaskGraph::ccr() const {
+  if (num_edges() == 0 || total_work_ == 0.0) return 0.0;
+  const Cost avg_comm = total_comm_ / static_cast<Cost>(num_edges());
+  const Cost avg_comp = total_work_ / static_cast<Cost>(num_nodes());
+  return avg_comm / avg_comp;
+}
+
+bool TaskGraph::is_connected() const {
+  const std::size_t v = num_nodes();
+  if (v <= 1) return true;
+  std::vector<bool> visited(v, false);
+  std::deque<NodeId> queue{0};
+  visited[0] = true;
+  std::size_t count = 1;
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    const auto visit = [&](NodeId m) {
+      if (!visited[m]) {
+        visited[m] = true;
+        ++count;
+        queue.push_back(m);
+      }
+    };
+    for (const Adjacency& a : successors(n)) visit(a.node);
+    for (const Adjacency& a : predecessors(n)) visit(a.node);
+  }
+  return count == v;
+}
+
+}  // namespace fastsched::graph

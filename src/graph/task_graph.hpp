@@ -1,0 +1,190 @@
+#pragma once
+
+/// \file task_graph.hpp
+/// The weighted directed acyclic task graph that models a parallel program
+/// (paper §2): nodes are sequential tasks with a computation cost, edges are
+/// messages with a communication cost.
+///
+/// `TaskGraphBuilder` accumulates nodes/edges with cheap amortized-O(1)
+/// operations; `build()` validates (acyclicity, edge sanity) and freezes the
+/// graph into an immutable CSR representation with O(1) adjacency access in
+/// both directions, which every algorithm in the library consumes.
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fastsched::graph {
+
+/// Dense node index in [0, num_nodes).
+using NodeId = std::uint32_t;
+/// Dense edge index in [0, num_edges), in insertion order.
+using EdgeId = std::uint32_t;
+/// Computation / communication cost. Non-negative finite.
+using Cost = double;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Tolerance used when comparing derived cost sums (t-level + b-level
+/// against the critical-path length, schedule lengths, ...). Costs are
+/// typically integers or microsecond-scale values, so an absolute-plus-
+/// relative tolerance of 1e-9 is far below any meaningful difference.
+[[nodiscard]] constexpr bool approx_equal(Cost a, Cost b) noexcept {
+  const Cost diff = a > b ? a - b : b - a;
+  const Cost mag = (a > b ? a : b);
+  const Cost scale = mag > 1.0 ? mag : 1.0;
+  return diff <= 1e-9 * scale;
+}
+
+/// `a < b` with the same tolerance: true only for a meaningful improvement.
+[[nodiscard]] constexpr bool definitely_less(Cost a, Cost b) noexcept {
+  return a < b && !approx_equal(a, b);
+}
+
+/// One adjacency entry: the neighbour, the message cost on the connecting
+/// edge, and the edge's dense id.
+struct Adjacency {
+  NodeId node;
+  Cost cost;
+  EdgeId edge;
+};
+
+class TaskGraph;
+
+/// Mutable accumulator for task graphs.
+class TaskGraphBuilder {
+ public:
+  TaskGraphBuilder() = default;
+
+  /// Reserves capacity (optional optimization for large generators).
+  void reserve(std::size_t nodes, std::size_t edges);
+
+  /// Adds a task with computation cost `weight` (>= 0) and an optional
+  /// display name (defaults to "n<i+1>", matching the paper's n1..n9).
+  NodeId add_node(Cost weight, std::string name = "");
+
+  /// Adds a message edge `src -> dst` with communication cost `cost` (>= 0).
+  /// Parallel edges and self-loops are rejected at build() time.
+  void add_edge(NodeId src, NodeId dst, Cost cost);
+
+  /// Replaces the weight of an existing node (used by timing databases that
+  /// assign measured costs after the topology is produced).
+  void set_node_weight(NodeId node, Cost weight);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return weights_.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edge_src_.size();
+  }
+
+  /// Validates and freezes into an immutable TaskGraph. Throws
+  /// `fastsched::Error` on cycles, self-loops, duplicate edges or
+  /// out-of-range endpoints.
+  [[nodiscard]] TaskGraph build() const;
+
+ private:
+  friend class TaskGraph;
+  std::vector<Cost> weights_;
+  std::vector<std::string> names_;
+  std::vector<NodeId> edge_src_;
+  std::vector<NodeId> edge_dst_;
+  std::vector<Cost> edge_cost_;
+};
+
+/// Immutable CSR task graph.
+class TaskGraph {
+ public:
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return weights_.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edge_cost_.size();
+  }
+
+  /// Computation cost w(n).
+  [[nodiscard]] Cost weight(NodeId n) const { return weights_[n]; }
+
+  /// Display name.
+  [[nodiscard]] const std::string& name(NodeId n) const { return names_[n]; }
+
+  /// Outgoing adjacencies (children) of `n`, in deterministic (insertion)
+  /// order.
+  [[nodiscard]] std::span<const Adjacency> successors(NodeId n) const {
+    return {out_adj_.data() + out_off_[n], out_off_[n + 1] - out_off_[n]};
+  }
+
+  /// Incoming adjacencies (parents) of `n`.
+  [[nodiscard]] std::span<const Adjacency> predecessors(NodeId n) const {
+    return {in_adj_.data() + in_off_[n], in_off_[n + 1] - in_off_[n]};
+  }
+
+  [[nodiscard]] std::size_t out_degree(NodeId n) const {
+    return out_off_[n + 1] - out_off_[n];
+  }
+  [[nodiscard]] std::size_t in_degree(NodeId n) const {
+    return in_off_[n + 1] - in_off_[n];
+  }
+
+  /// Communication cost of edge `e`.
+  [[nodiscard]] Cost edge_cost(EdgeId e) const { return edge_cost_[e]; }
+  [[nodiscard]] NodeId edge_source(EdgeId e) const { return edge_src_[e]; }
+  [[nodiscard]] NodeId edge_target(EdgeId e) const { return edge_dst_[e]; }
+
+  /// Cost of the edge src->dst if present.
+  [[nodiscard]] std::optional<Cost> find_edge_cost(NodeId src,
+                                                   NodeId dst) const;
+
+  /// A fixed topological order (Kahn's algorithm with a FIFO queue;
+  /// deterministic for a given construction order).
+  [[nodiscard]] std::span<const NodeId> topological_order() const noexcept {
+    return topo_order_;
+  }
+
+  /// Nodes without parents / without children, ascending by id.
+  [[nodiscard]] std::span<const NodeId> entry_nodes() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::span<const NodeId> exit_nodes() const noexcept {
+    return exits_;
+  }
+
+  /// Sum of all computation costs.
+  [[nodiscard]] Cost total_work() const noexcept { return total_work_; }
+  /// Sum of all communication costs.
+  [[nodiscard]] Cost total_comm() const noexcept { return total_comm_; }
+
+  /// Communication-to-computation ratio (paper §2): average edge cost over
+  /// average node cost. Zero when the graph has no edges.
+  [[nodiscard]] Cost ccr() const;
+
+  /// True when the underlying undirected graph is connected (the paper's
+  /// IBN/OBN definitions assume a connected graph).
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  friend class TaskGraphBuilder;
+  TaskGraph() = default;
+
+  std::vector<Cost> weights_;
+  std::vector<std::string> names_;
+  std::vector<NodeId> edge_src_;
+  std::vector<NodeId> edge_dst_;
+  std::vector<Cost> edge_cost_;
+  std::vector<std::size_t> out_off_;
+  std::vector<Adjacency> out_adj_;
+  std::vector<std::size_t> in_off_;
+  std::vector<Adjacency> in_adj_;
+  std::vector<NodeId> topo_order_;
+  std::vector<NodeId> entries_;
+  std::vector<NodeId> exits_;
+  Cost total_work_ = 0;
+  Cost total_comm_ = 0;
+};
+
+}  // namespace fastsched::graph

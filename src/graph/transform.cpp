@@ -1,0 +1,106 @@
+#include "graph/transform.hpp"
+
+#include <vector>
+
+namespace fastsched::graph {
+
+TaskGraph with_ccr(const TaskGraph& g, double target_ccr) {
+  FASTSCHED_REQUIRE(target_ccr >= 0.0, "CCR must be non-negative");
+  FASTSCHED_REQUIRE(g.num_edges() > 0 && g.total_comm() > 0.0,
+                    "cannot rescale a graph without communication");
+  FASTSCHED_REQUIRE(g.total_work() > 0.0, "graph has no computation");
+  const double current = g.ccr();
+  const double factor = target_ccr / current;
+
+  TaskGraphBuilder builder;
+  builder.reserve(g.num_nodes(), g.num_edges());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    builder.add_node(g.weight(n), g.name(n));
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    builder.add_edge(g.edge_source(e), g.edge_target(e),
+                     g.edge_cost(e) * factor);
+  }
+  return builder.build();
+}
+
+TaskGraph transitive_reduction(const TaskGraph& g) {
+  // An edge (a, b) is redundant iff b is reachable from a through some
+  // child c != b. For each node a, mark everything reachable from each
+  // child; one DFS per node bounds the work by O(v·e).
+  const std::size_t v = g.num_nodes();
+  std::vector<bool> redundant(g.num_edges(), false);
+  std::vector<std::uint32_t> mark(v, 0);
+  std::uint32_t stamp = 0;
+  std::vector<NodeId> stack;
+
+  for (NodeId a = 0; a < v; ++a) {
+    if (g.out_degree(a) < 2) continue;  // nothing to shortcut
+    ++stamp;
+    // Reachability from all children, excluding the direct edges
+    // themselves: seed the DFS with grandchildren.
+    stack.clear();
+    for (const Adjacency& child : g.successors(a)) {
+      for (const Adjacency& grand : g.successors(child.node)) {
+        if (mark[grand.node] != stamp) {
+          mark[grand.node] = stamp;
+          stack.push_back(grand.node);
+        }
+      }
+    }
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      for (const Adjacency& s : g.successors(n)) {
+        if (mark[s.node] != stamp) {
+          mark[s.node] = stamp;
+          stack.push_back(s.node);
+        }
+      }
+    }
+    for (const Adjacency& child : g.successors(a)) {
+      if (mark[child.node] == stamp) redundant[child.edge] = true;
+    }
+  }
+
+  TaskGraphBuilder builder;
+  builder.reserve(v, g.num_edges());
+  for (NodeId n = 0; n < v; ++n) builder.add_node(g.weight(n), g.name(n));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!redundant[e]) {
+      builder.add_edge(g.edge_source(e), g.edge_target(e), g.edge_cost(e));
+    }
+  }
+  return builder.build();
+}
+
+TaskGraph series_compose(const TaskGraph& first, const TaskGraph& second,
+                         Cost join_cost) {
+  TaskGraphBuilder builder;
+  builder.reserve(first.num_nodes() + second.num_nodes(),
+                  first.num_edges() + second.num_edges() +
+                      first.exit_nodes().size() * second.entry_nodes().size());
+  for (NodeId n = 0; n < first.num_nodes(); ++n) {
+    builder.add_node(first.weight(n), first.name(n));
+  }
+  const auto offset = static_cast<NodeId>(first.num_nodes());
+  for (NodeId n = 0; n < second.num_nodes(); ++n) {
+    builder.add_node(second.weight(n), second.name(n) + "'");
+  }
+  for (EdgeId e = 0; e < first.num_edges(); ++e) {
+    builder.add_edge(first.edge_source(e), first.edge_target(e),
+                     first.edge_cost(e));
+  }
+  for (EdgeId e = 0; e < second.num_edges(); ++e) {
+    builder.add_edge(second.edge_source(e) + offset,
+                     second.edge_target(e) + offset, second.edge_cost(e));
+  }
+  for (const NodeId exit : first.exit_nodes()) {
+    for (const NodeId entry : second.entry_nodes()) {
+      builder.add_edge(exit, entry + offset, join_cost);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace fastsched::graph

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file transform.hpp
+/// Graph transformations used by the experiment harness and useful to
+/// downstream users: CCR retargeting (rescale all edge costs to hit a
+/// given communication-to-computation ratio), transitive reduction
+/// (drop edges implied by longer paths — classic DAG hygiene before
+/// scheduling), and series composition of two DAGs (the exits of the first
+/// feed the entries of the second).
+
+#include "graph/task_graph.hpp"
+
+namespace fastsched::graph {
+
+/// Returns a copy of `g` whose edge costs are uniformly scaled so that
+/// ccr() == `target_ccr`. Requires the graph to have at least one edge and
+/// positive total work; a zero-comm graph cannot be rescaled (throws).
+[[nodiscard]] TaskGraph with_ccr(const TaskGraph& g, double target_ccr);
+
+/// Returns a copy of `g` without transitively-redundant edges: an edge
+/// (a, b) is dropped when another a→…→b path of at least two edges exists.
+/// Node weights and remaining edge costs are unchanged. O(v·e) worst case.
+[[nodiscard]] TaskGraph transitive_reduction(const TaskGraph& g);
+
+/// Series composition: every exit of `first` gains an edge (cost
+/// `join_cost`) to every entry of `second`; node ids of `second` are
+/// shifted by first.num_nodes().
+[[nodiscard]] TaskGraph series_compose(const TaskGraph& first,
+                                       const TaskGraph& second,
+                                       Cost join_cost = 0.0);
+
+}  // namespace fastsched::graph

@@ -1,0 +1,51 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace fastsched::sched {
+
+std::string render_gantt(const graph::TaskGraph& g, const Schedule& s,
+                         int width, bool with_table) {
+  std::ostringstream os;
+  const Cost len = s.length();
+  os << "schedule length = " << len << ", processors used = "
+     << s.procs_used() << "\n";
+  if (len <= 0) return os.str();
+
+  const double scale = static_cast<double>(std::max(width, 16)) / len;
+  for (ProcId p = 0; p < s.num_procs(); ++p) {
+    const auto tasks = s.tasks_on(p);
+    if (tasks.empty()) continue;
+    std::vector<graph::NodeId> by_start(tasks.begin(), tasks.end());
+    std::stable_sort(
+        by_start.begin(), by_start.end(),
+        [&](graph::NodeId a, graph::NodeId b) { return s.start(a) < s.start(b); });
+
+    std::string row;
+    for (const graph::NodeId n : by_start) {
+      const auto col0 = static_cast<std::size_t>(s.start(n) * scale);
+      const auto col1 = std::max<std::size_t>(
+          col0 + 1, static_cast<std::size_t>(s.finish(n) * scale));
+      if (row.size() < col0) row.append(col0 - row.size(), '.');
+      std::string label = "[" + g.name(n);
+      label.resize(std::max<std::size_t>(col1 - col0, 2), ' ');
+      label.back() = ']';
+      row += label;
+    }
+    os << "P" << std::left << std::setw(3) << p << " |" << row << "\n";
+  }
+
+  if (with_table) {
+    os << "\n  task  proc  start  finish\n";
+    for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (!s.is_assigned(n)) continue;
+      os << "  " << std::left << std::setw(6) << g.name(n) << std::setw(6)
+         << s.proc(n) << std::setw(7) << s.start(n) << s.finish(n) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace fastsched::sched

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file gantt.hpp
+/// ASCII Gantt chart rendering, the textual analogue of the paper's
+/// Figures 2–4. Useful for examples and debugging; one row per used
+/// processor, time flowing rightwards.
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace fastsched::sched {
+
+/// Renders the schedule as an ASCII Gantt chart scaled to roughly
+/// `width` characters. Also prints a per-task table (node, proc, start,
+/// finish) when `with_table` is set.
+[[nodiscard]] std::string render_gantt(const graph::TaskGraph& g,
+                                       const Schedule& s, int width = 72,
+                                       bool with_table = false);
+
+}  // namespace fastsched::sched

@@ -1,0 +1,71 @@
+#include "sched/io.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace fastsched::sched {
+
+void write_text(std::ostream& os, const Schedule& s) {
+  os << "schedule " << s.num_nodes() << ' ' << s.num_procs() << '\n';
+  os << std::setprecision(17);
+  for (graph::NodeId n = 0; n < s.num_nodes(); ++n) {
+    if (!s.is_assigned(n)) continue;
+    os << "task " << n << ' ' << s.proc(n) << ' ' << s.start(n) << ' '
+       << s.finish(n) << '\n';
+  }
+}
+
+std::string to_text(const Schedule& s) {
+  std::ostringstream os;
+  write_text(os, s);
+  return os.str();
+}
+
+Schedule read_text(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  // Header.
+  std::size_t num_nodes = 0;
+  std::size_t num_procs = 0;
+  {
+    FASTSCHED_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                      "empty schedule file");
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kind;
+    FASTSCHED_REQUIRE(
+        static_cast<bool>(ls >> kind >> num_nodes >> num_procs) &&
+            kind == "schedule",
+        "schedule file must start with 'schedule <nodes> <procs>'");
+  }
+
+  Schedule s(num_nodes, num_procs);
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+    const std::string where = " (line " + std::to_string(line_no) + ")";
+    FASTSCHED_REQUIRE(kind == "task", "unknown record '" + kind + "'" + where);
+    std::uint64_t node = 0;
+    std::uint64_t proc = 0;
+    Cost start = 0;
+    Cost finish = 0;
+    FASTSCHED_REQUIRE(static_cast<bool>(ls >> node >> proc >> start >> finish),
+                      "malformed task line" + where);
+    FASTSCHED_REQUIRE(node < num_nodes && proc < num_procs,
+                      "task indices out of range" + where);
+    s.assign(static_cast<graph::NodeId>(node), static_cast<ProcId>(proc),
+             start, finish);
+  }
+  return s;
+}
+
+Schedule from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_text(is);
+}
+
+}  // namespace fastsched::sched

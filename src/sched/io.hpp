@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file io.hpp
+/// Schedule serialization: a line-oriented text format that round-trips a
+/// schedule (processor, start, finish per task), so schedules can be
+/// stored, diffed, or replayed through the simulator by external tools.
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace fastsched::sched {
+
+/// Writes `s` in the format:
+/// ```
+/// schedule <num_nodes> <num_procs>
+/// task <node-id> <proc> <start> <finish>
+/// ```
+/// Tasks appear in node-id order; unassigned nodes are omitted.
+void write_text(std::ostream& os, const Schedule& s);
+
+/// `write_text` into a string.
+[[nodiscard]] std::string to_text(const Schedule& s);
+
+/// Parses the text format. Throws `fastsched::Error` on malformed input.
+[[nodiscard]] Schedule read_text(std::istream& is);
+
+/// `read_text` from a string.
+[[nodiscard]] Schedule from_text(const std::string& text);
+
+}  // namespace fastsched::sched

@@ -1,0 +1,39 @@
+#include "sched/metrics.hpp"
+
+#include <algorithm>
+
+namespace fastsched::sched {
+
+Cost computation_critical_path(const graph::TaskGraph& g) {
+  std::vector<Cost> down(g.num_nodes(), 0.0);
+  const auto topo = g.topological_order();
+  Cost best = 0.0;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const graph::NodeId n = *it;
+    Cost succ_best = 0.0;
+    for (const graph::Adjacency& s : g.successors(n)) {
+      succ_best = std::max(succ_best, down[s.node]);
+    }
+    down[n] = g.weight(n) + succ_best;
+    best = std::max(best, down[n]);
+  }
+  return best;
+}
+
+ScheduleMetrics compute_metrics(const graph::TaskGraph& g,
+                                const Schedule& s) {
+  ScheduleMetrics m;
+  m.length = s.length();
+  m.procs_used = s.procs_used();
+  if (m.length > 0) {
+    m.speedup = g.total_work() / m.length;
+  }
+  if (m.procs_used > 0) {
+    m.efficiency = m.speedup / static_cast<double>(m.procs_used);
+  }
+  const Cost cp = computation_critical_path(g);
+  if (cp > 0) m.slr = m.length / cp;
+  return m;
+}
+
+}  // namespace fastsched::sched

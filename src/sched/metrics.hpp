@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Derived quality measures of a schedule: length (makespan), processors
+/// used, speedup over serial execution, efficiency, and the schedule length
+/// ratio against the computation-only critical path (the classic SLR lower
+/// bound — no schedule can beat the CP's pure computation time).
+
+#include "sched/schedule.hpp"
+
+namespace fastsched::sched {
+
+struct ScheduleMetrics {
+  Cost length = 0;             ///< makespan
+  std::size_t procs_used = 0;  ///< processors with at least one task
+  double speedup = 0;          ///< total_work / length
+  double efficiency = 0;       ///< speedup / procs_used
+  double slr = 0;              ///< length / computation-only CP length
+};
+
+/// Computes all metrics in O(v + e).
+[[nodiscard]] ScheduleMetrics compute_metrics(const graph::TaskGraph& g,
+                                              const Schedule& s);
+
+/// Computation-only critical-path length (ignores edge costs): the absolute
+/// lower bound on any schedule length with unlimited processors.
+[[nodiscard]] Cost computation_critical_path(const graph::TaskGraph& g);
+
+}  // namespace fastsched::sched

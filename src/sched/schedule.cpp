@@ -1,0 +1,34 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+namespace fastsched::sched {
+
+Schedule::Schedule(std::size_t num_nodes, std::size_t num_procs)
+    : placements_(num_nodes), proc_tasks_(num_procs) {}
+
+void Schedule::assign(NodeId n, ProcId p, Cost start, Cost finish) {
+  FASTSCHED_REQUIRE(n < placements_.size(), "node out of range");
+  FASTSCHED_REQUIRE(p < proc_tasks_.size(), "processor out of range");
+  FASTSCHED_REQUIRE(!is_assigned(n), "node assigned twice");
+  FASTSCHED_REQUIRE(start >= 0 && finish >= start,
+                    "invalid start/finish interval");
+  placements_[n] = Placement{p, start, finish};
+  proc_tasks_[p].push_back(n);
+  length_ = std::max(length_, finish);
+}
+
+std::size_t Schedule::procs_used() const {
+  return static_cast<std::size_t>(
+      std::count_if(proc_tasks_.begin(), proc_tasks_.end(),
+                    [](const auto& tasks) { return !tasks.empty(); }));
+}
+
+bool Schedule::is_complete() const {
+  return std::all_of(placements_.begin(), placements_.end(),
+                     [](const Placement& pl) {
+                       return pl.proc != kUnassignedProc;
+                     });
+}
+
+}  // namespace fastsched::sched

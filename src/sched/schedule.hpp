@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file schedule.hpp
+/// The output of a DAG scheduling algorithm: a placement (processor, start
+/// time, finish time) for every task, plus per-processor task sequences.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace fastsched::sched {
+
+using graph::Cost;
+using graph::NodeId;
+
+/// Dense processor index.
+using ProcId = std::uint32_t;
+
+inline constexpr ProcId kUnassignedProc = std::numeric_limits<ProcId>::max();
+
+/// Where and when one task runs.
+struct Placement {
+  ProcId proc = kUnassignedProc;
+  Cost start = 0;
+  Cost finish = 0;
+};
+
+/// A complete (or in-progress) schedule. Nodes are assigned at most once;
+/// per-processor sequences record assignment order, which for the
+/// ready-time-based algorithms in this library is also start-time order.
+class Schedule {
+ public:
+  /// Creates an empty schedule over `num_nodes` tasks and a processor pool
+  /// of size `num_procs`.
+  Schedule(std::size_t num_nodes, std::size_t num_procs);
+
+  /// Places node `n`. `finish` must be >= `start`; `n` must be unassigned.
+  void assign(NodeId n, ProcId p, Cost start, Cost finish);
+
+  [[nodiscard]] bool is_assigned(NodeId n) const {
+    return placements_[n].proc != kUnassignedProc;
+  }
+
+  [[nodiscard]] const Placement& placement(NodeId n) const {
+    return placements_[n];
+  }
+
+  [[nodiscard]] Cost start(NodeId n) const { return placements_[n].start; }
+  [[nodiscard]] Cost finish(NodeId n) const { return placements_[n].finish; }
+  [[nodiscard]] ProcId proc(NodeId n) const { return placements_[n].proc; }
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return placements_.size();
+  }
+  [[nodiscard]] std::size_t num_procs() const noexcept {
+    return proc_tasks_.size();
+  }
+
+  /// Tasks on processor `p` in assignment order.
+  [[nodiscard]] std::span<const NodeId> tasks_on(ProcId p) const {
+    return proc_tasks_[p];
+  }
+
+  /// Largest finish time across all assigned tasks (the schedule length /
+  /// makespan, paper §2). Zero for an empty schedule.
+  [[nodiscard]] Cost length() const noexcept { return length_; }
+
+  /// Number of processors that received at least one task.
+  [[nodiscard]] std::size_t procs_used() const;
+
+  /// True when every node has been assigned.
+  [[nodiscard]] bool is_complete() const;
+
+ private:
+  std::vector<Placement> placements_;
+  std::vector<std::vector<NodeId>> proc_tasks_;
+  Cost length_ = 0;
+};
+
+}  // namespace fastsched::sched

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// The common interface every scheduling algorithm in the library
+/// implements (FAST and the four baselines MD/ETF/DLS/DSC). Keeping the
+/// interface uniform is what lets the bench harness sweep "all algorithms ×
+/// all workloads" the way the paper's evaluation does.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace fastsched::sched {
+
+/// Options common to all schedulers.
+struct SchedulerOptions {
+  /// Processor budget. 0 means "let the algorithm decide": bounded
+  /// algorithms get one processor per node (the paper's "more than enough
+  /// processors"), unbounded algorithms (MD, DSC) ignore the budget.
+  std::size_t num_procs = 0;
+  /// Seed for any internal randomness (only FAST's local search uses it).
+  std::uint64_t seed = 1;
+};
+
+/// Abstract scheduling algorithm.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Short display name ("FAST", "DSC", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True for algorithms that assume an unbounded processor pool (MD, DSC)
+  /// and therefore ignore `SchedulerOptions::num_procs`.
+  [[nodiscard]] virtual bool unbounded_processors() const { return false; }
+
+  /// Produces a complete, valid schedule for `g`.
+  [[nodiscard]] virtual Schedule run(const graph::TaskGraph& g,
+                                     const SchedulerOptions& options) const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+/// Resolves the effective processor count for a bounded algorithm: the
+/// explicit budget if given, otherwise one processor per node.
+[[nodiscard]] inline std::size_t effective_procs(const graph::TaskGraph& g,
+                                                 const SchedulerOptions& o) {
+  return o.num_procs > 0 ? o.num_procs : g.num_nodes();
+}
+
+}  // namespace fastsched::sched

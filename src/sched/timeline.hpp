@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file timeline.hpp
+/// A processor timeline as start-sorted busy intervals, supporting
+/// earliest-gap queries and ordered insertion. Shared by the
+/// insertion-based schedulers (MD, MCP) and the insertion ablation of
+/// FAST's initial schedule.
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace fastsched::sched {
+
+class Timeline {
+ public:
+  struct Slot {
+    graph::Cost start;
+    graph::Cost finish;
+  };
+
+  /// Earliest start s >= `lo` such that [s, s + len) is idle.
+  [[nodiscard]] graph::Cost earliest_fit(graph::Cost lo,
+                                         graph::Cost len) const {
+    graph::Cost candidate = lo;
+    for (const Slot& slot : slots_) {
+      if (slot.finish <= candidate) continue;   // fully before the candidate
+      if (slot.start >= candidate + len) break; // gap found before this slot
+      candidate = slot.finish;  // collide: try right after this busy slot
+    }
+    return candidate;
+  }
+
+  void insert(graph::Cost start, graph::Cost finish) {
+    const auto it = std::lower_bound(
+        slots_.begin(), slots_.end(), start,
+        [](const Slot& s, graph::Cost v) { return s.start < v; });
+    slots_.insert(it, Slot{start, finish});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return slots_.empty(); }
+
+ private:
+  std::vector<Slot> slots_;
+};
+
+}  // namespace fastsched::sched

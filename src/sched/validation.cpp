@@ -1,0 +1,106 @@
+#include "sched/validation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fastsched::sched {
+namespace {
+
+using graph::Adjacency;
+using graph::approx_equal;
+using graph::NodeId;
+using graph::TaskGraph;
+
+// Allows `a >= b` up to the shared cost tolerance.
+bool at_least(Cost a, Cost b) { return a > b || approx_equal(a, b); }
+
+}  // namespace
+
+std::vector<Violation> validate(const TaskGraph& g, const Schedule& s) {
+  std::vector<Violation> out;
+  const auto report = [&](Violation::Kind kind, const std::string& msg) {
+    out.push_back(Violation{kind, msg});
+  };
+
+  FASTSCHED_REQUIRE(g.num_nodes() == s.num_nodes(),
+                    "schedule sized for a different graph");
+
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (!s.is_assigned(n)) {
+      report(Violation::Kind::kUnassigned, g.name(n) + " is unassigned");
+      continue;
+    }
+    const Placement& pl = s.placement(n);
+    if (!approx_equal(pl.finish - pl.start, g.weight(n))) {
+      std::ostringstream os;
+      os << g.name(n) << " runs for " << (pl.finish - pl.start)
+         << " but has weight " << g.weight(n);
+      report(Violation::Kind::kBadDuration, os.str());
+    }
+  }
+  if (!out.empty()) return out;  // placement errors make later checks noisy
+
+  // Per-processor: no two tasks may overlap with positive measure.
+  // Sorting by start time keeps the check valid for insertion-based
+  // algorithms (MD, MCP) whose assignment order differs from start-time
+  // order; the running max-finish catches overlaps between non-adjacent
+  // intervals; zero-duration tasks occupy no time and never overlap.
+  for (ProcId p = 0; p < s.num_procs(); ++p) {
+    const auto tasks = s.tasks_on(p);
+    std::vector<NodeId> by_start(tasks.begin(), tasks.end());
+    std::stable_sort(by_start.begin(), by_start.end(),
+                     [&](NodeId a, NodeId b) {
+                       return s.start(a) < s.start(b);
+                     });
+    Cost max_finish = 0.0;
+    NodeId max_finish_node = graph::kInvalidNode;
+    for (const NodeId b : by_start) {
+      const bool positive = s.finish(b) > s.start(b);
+      if (positive && max_finish_node != graph::kInvalidNode &&
+          !at_least(s.start(b), max_finish)) {
+        const NodeId a = max_finish_node;
+        std::ostringstream os;
+        os << g.name(a) << " [" << s.start(a) << ", " << s.finish(a)
+           << ") overlaps " << g.name(b) << " [" << s.start(b) << ", "
+           << s.finish(b) << ") on P" << p;
+        report(Violation::Kind::kOverlap, os.str());
+      }
+      if (s.finish(b) > max_finish || max_finish_node == graph::kInvalidNode) {
+        max_finish = s.finish(b);
+        max_finish_node = b;
+      }
+    }
+  }
+
+  // Precedence with communication delays.
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (const Adjacency& succ : g.successors(n)) {
+      const NodeId c = succ.node;
+      const Cost arrival = s.proc(n) == s.proc(c)
+                               ? s.finish(n)
+                               : s.finish(n) + succ.cost;
+      if (!at_least(s.start(c), arrival)) {
+        std::ostringstream os;
+        os << g.name(c) << " starts at " << s.start(c)
+           << " before data from " << g.name(n) << " arrives at " << arrival;
+        report(Violation::Kind::kPrecedence, os.str());
+      }
+    }
+  }
+  return out;
+}
+
+bool is_valid(const TaskGraph& g, const Schedule& s) {
+  return validate(g, s).empty();
+}
+
+void require_valid(const TaskGraph& g, const Schedule& s) {
+  const auto violations = validate(g, s);
+  if (violations.empty()) return;
+  std::ostringstream os;
+  os << "invalid schedule (" << violations.size() << " violations):";
+  for (const auto& v : violations) os << "\n  - " << v.message;
+  throw Error(os.str());
+}
+
+}  // namespace fastsched::sched

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file validation.hpp
+/// Structural checks that a schedule respects the DAG scheduling model of
+/// paper §2: every task placed exactly once, task durations match node
+/// weights, no two tasks overlap on a processor, and every precedence
+/// constraint is met with the communication delay charged for
+/// cross-processor edges (zero for intra-processor edges).
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace fastsched::sched {
+
+/// One detected violation; `message` is human-readable.
+struct Violation {
+  enum class Kind {
+    kUnassigned,   ///< node never placed
+    kBadDuration,  ///< finish - start != node weight
+    kOverlap,      ///< two tasks overlap on one processor
+    kPrecedence,   ///< child starts before parent data arrives
+  };
+  Kind kind;
+  std::string message;
+};
+
+/// Runs all checks; returns every violation found (empty == valid).
+[[nodiscard]] std::vector<Violation> validate(const graph::TaskGraph& g,
+                                              const Schedule& s);
+
+/// Convenience wrapper: true iff `validate` finds nothing.
+[[nodiscard]] bool is_valid(const graph::TaskGraph& g, const Schedule& s);
+
+/// Throws `fastsched::Error` with all violation messages when invalid.
+void require_valid(const graph::TaskGraph& g, const Schedule& s);
+
+}  // namespace fastsched::sched

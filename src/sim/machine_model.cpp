@@ -1,0 +1,2 @@
+// machine_model.hpp is header-only; see event_sim.cpp for the simulator.
+#include "sim/machine_model.hpp"

@@ -1,0 +1,189 @@
+#include "sim/mesh.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace fastsched::sim {
+
+using graph::Adjacency;
+using graph::NodeId;
+using sched::ProcId;
+
+int mesh_hops(const MeshConfig& config, ProcId a, ProcId b) {
+  const int ax = static_cast<int>(a) % config.width;
+  const int ay = static_cast<int>(a) / config.width;
+  const int bx = static_cast<int>(b) % config.width;
+  const int by = static_cast<int>(b) / config.width;
+  return std::abs(ax - bx) + std::abs(ay - by);
+}
+
+namespace {
+
+// Directed link id between two adjacent mesh nodes.
+std::uint32_t link_id(const MeshConfig& config, int from, int to) {
+  // 4 outgoing directions per node: 0=+x, 1=-x, 2=+y, 3=-y.
+  const int diff = to - from;
+  int dir = 0;
+  if (diff == 1) {
+    dir = 0;
+  } else if (diff == -1) {
+    dir = 1;
+  } else if (diff == config.width) {
+    dir = 2;
+  } else {
+    FASTSCHED_ASSERT(diff == -config.width);
+    dir = 3;
+  }
+  return static_cast<std::uint32_t>(from * 4 + dir);
+}
+
+// XY route from processor a to b as a sequence of directed link ids.
+void xy_route(const MeshConfig& config, ProcId a, ProcId b,
+              std::vector<std::uint32_t>& out) {
+  out.clear();
+  int cur = static_cast<int>(a);
+  const int bx = static_cast<int>(b) % config.width;
+  const int by = static_cast<int>(b) / config.width;
+  while (cur % config.width != bx) {
+    const int next = cur + (cur % config.width < bx ? 1 : -1);
+    out.push_back(link_id(config, cur, next));
+    cur = next;
+  }
+  while (cur / config.width != by) {
+    const int next = cur + (cur / config.width < by ? config.width : -config.width);
+    out.push_back(link_id(config, cur, next));
+    cur = next;
+  }
+}
+
+}  // namespace
+
+MeshSimResult simulate_mesh(const graph::TaskGraph& g,
+                            const sched::Schedule& schedule,
+                            const MeshConfig& config) {
+  const std::size_t v = g.num_nodes();
+  FASTSCHED_REQUIRE(schedule.num_nodes() == v && schedule.is_complete(),
+                    "simulate_mesh() needs a complete schedule");
+
+  // Map processors onto mesh nodes: identity when the schedule's pool
+  // already fits the mesh (placements keep their intended coordinates),
+  // dense remap of the *used* processors otherwise (so unbounded
+  // schedulers fit as long as they use few enough).
+  std::unordered_map<ProcId, ProcId> remap;
+  if (schedule.num_procs() <= static_cast<std::size_t>(config.procs())) {
+    for (ProcId p = 0; p < schedule.num_procs(); ++p) {
+      if (!schedule.tasks_on(p).empty()) remap.emplace(p, p);
+    }
+  } else {
+    for (ProcId p = 0; p < schedule.num_procs(); ++p) {
+      if (!schedule.tasks_on(p).empty()) {
+        const auto dense = static_cast<ProcId>(remap.size());
+        remap.emplace(p, dense);
+      }
+    }
+  }
+  FASTSCHED_REQUIRE(
+      remap.size() <= static_cast<std::size_t>(config.procs()),
+      "schedule uses more processors than the mesh has (" +
+          std::to_string(remap.size()) + " > " +
+          std::to_string(config.procs()) + ")");
+  const auto mesh_proc = [&](NodeId n) { return remap.at(schedule.proc(n)); };
+
+  MeshSimResult result;
+  result.start.assign(v, 0.0);
+  result.finish.assign(v, 0.0);
+  if (v == 0) return result;
+
+  // Local orders per mesh processor (sized by the mesh, since identity
+  // mapping can leave holes).
+  std::vector<std::vector<NodeId>> order(
+      static_cast<std::size_t>(config.procs()));
+  for (ProcId p = 0; p < schedule.num_procs(); ++p) {
+    const auto tasks = schedule.tasks_on(p);
+    if (tasks.empty()) continue;
+    auto& seq = order[remap.at(p)];
+    seq.assign(tasks.begin(), tasks.end());
+    std::stable_sort(seq.begin(), seq.end(), [&](NodeId a, NodeId b) {
+      return schedule.start(a) < schedule.start(b);
+    });
+  }
+
+  std::vector<std::size_t> next_index(order.size(), 0);
+  std::vector<double> proc_avail(order.size(), 0.0);
+  std::vector<double> nic_avail(order.size(), 0.0);
+  std::vector<double> link_free(static_cast<std::size_t>(config.procs()) * 4,
+                                0.0);
+  std::vector<double> link_busy_total(link_free.size(), 0.0);
+  std::vector<std::size_t> pending(v);
+  std::vector<double> arrival(v, 0.0);
+  for (NodeId n = 0; n < v; ++n) pending[n] = g.in_degree(n);
+
+  std::deque<ProcId> work;
+  std::vector<bool> queued(order.size(), false);
+  const auto enqueue = [&](ProcId p) {
+    if (!queued[p]) {
+      queued[p] = true;
+      work.push_back(p);
+    }
+  };
+  for (ProcId p = 0; p < order.size(); ++p) {
+    if (!order[p].empty()) enqueue(p);
+  }
+
+  std::vector<std::uint32_t> route;
+  std::size_t executed = 0;
+  while (!work.empty()) {
+    const ProcId p = work.front();
+    work.pop_front();
+    queued[p] = false;
+
+    while (next_index[p] < order[p].size()) {
+      const NodeId n = order[p][next_index[p]];
+      if (pending[n] != 0) break;
+
+      const double start = std::max(proc_avail[p], arrival[n]);
+      const double fin = start + g.weight(n);
+      result.start[n] = start;
+      result.finish[n] = fin;
+      result.makespan = std::max(result.makespan, fin);
+      ++next_index[p];
+      ++executed;
+
+      for (const Adjacency& s : g.successors(n)) {
+        const NodeId c = s.node;
+        const ProcId dst = mesh_proc(c);
+        if (dst == p) {
+          arrival[c] = std::max(arrival[c], fin);
+        } else {
+          // Inject after NIC serialization, then reserve the XY route
+          // link by link; each link is busy for the message's wire time.
+          nic_avail[p] = std::max(nic_avail[p], fin) + config.nic_overhead;
+          double t = nic_avail[p];
+          xy_route(config, p, dst, route);
+          const double occupancy = config.link_occupancy_factor * s.cost /
+                                   std::max<std::size_t>(route.size(), 1);
+          for (const std::uint32_t l : route) {
+            const double enter = std::max(t + config.hop_latency, link_free[l]);
+            result.total_link_wait += enter - (t + config.hop_latency);
+            link_free[l] = enter + occupancy;
+            link_busy_total[l] += occupancy;
+            result.max_link_busy =
+                std::max(result.max_link_busy, link_busy_total[l]);
+            t = enter + occupancy;
+          }
+          arrival[c] = std::max(arrival[c], t);
+          ++result.messages;
+          result.total_hops += static_cast<double>(route.size());
+        }
+        if (--pending[c] == 0) enqueue(mesh_proc(c));
+      }
+      proc_avail[p] = fin;
+    }
+  }
+
+  FASTSCHED_ASSERT_MSG(executed == v, "mesh simulation deadlocked");
+  return result;
+}
+
+}  // namespace fastsched::sim

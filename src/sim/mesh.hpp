@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file mesh.hpp
+/// 2D-mesh network model — the Intel Paragon's actual topology. Processors
+/// are laid out row-major on a W×H mesh; messages follow dimension-ordered
+/// XY routing (all X hops, then all Y hops), and every directed link can
+/// carry one message at a time (wormhole-style link occupancy, modeled at
+/// whole-message granularity). Distance adds per-hop latency; contention
+/// adds queueing at busy links.
+///
+/// This refines `MachineModel`'s contention-free view: schedules whose
+/// traffic concentrates on few mesh links (e.g. everything fanning out of
+/// one hot node) degrade further than uniformly-spread traffic, an effect
+/// no scheduler in this library models — exactly the kind of gap between
+/// Gantt chart and machine the paper measured.
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "sim/machine_model.hpp"
+
+namespace fastsched::sim {
+
+struct MeshConfig {
+  /// Mesh dimensions; processor p sits at (p % width, p / width).
+  int width = 8;
+  int height = 8;
+  /// Per-hop latency (µs).
+  double hop_latency = 1.0;
+  /// Link occupancy per message: the wire time each traversed link is
+  /// busy. Modeled as edge_cost × this factor spread over the route.
+  double link_occupancy_factor = 1.0;
+  /// Sender NIC injection serialization (as in MachineModel).
+  double nic_overhead = 15.0;
+
+  [[nodiscard]] int procs() const { return width * height; }
+
+  /// Paragon-like 8×8 partition.
+  [[nodiscard]] static MeshConfig paragon64() { return MeshConfig{}; }
+};
+
+struct MeshSimResult {
+  double makespan = 0.0;
+  std::vector<double> start;
+  std::vector<double> finish;
+  std::size_t messages = 0;
+  double total_hops = 0;          ///< sum of route lengths
+  double max_link_busy = 0.0;     ///< busiest link's total occupancy
+  double total_link_wait = 0.0;   ///< time messages spent queueing at links
+};
+
+/// Executes `schedule` on the mesh. Requires schedule.num_procs() <=
+/// config.procs(). Deterministic; same local-order semantics as
+/// `sim::simulate`.
+[[nodiscard]] MeshSimResult simulate_mesh(const graph::TaskGraph& g,
+                                          const sched::Schedule& schedule,
+                                          const MeshConfig& config);
+
+/// Number of XY-routing hops between processors a and b.
+[[nodiscard]] int mesh_hops(const MeshConfig& config, sched::ProcId a,
+                            sched::ProcId b);
+
+}  // namespace fastsched::sim

@@ -1,0 +1,75 @@
+#include "workloads/fft.hpp"
+
+#include <bit>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace fastsched::workloads {
+namespace {
+
+[[nodiscard]] bool is_pow2(unsigned x) { return x != 0 && (x & (x - 1)) == 0; }
+
+[[nodiscard]] int ilog2(unsigned x) { return std::bit_width(x) - 1; }
+
+}  // namespace
+
+int fft_lanes(int points) {
+  FASTSCHED_REQUIRE(points >= 4 && is_pow2(static_cast<unsigned>(points)),
+                    "points must be a power of two >= 4");
+  const auto root = static_cast<unsigned>(std::ceil(std::sqrt(points)));
+  return static_cast<int>(std::bit_ceil(root));
+}
+
+std::size_t fft_task_count(int points) {
+  const auto lanes = static_cast<std::size_t>(fft_lanes(points));
+  const auto stages = static_cast<std::size_t>(ilog2(static_cast<unsigned>(lanes)));
+  return 2 + lanes * (stages + 1);
+}
+
+graph::TaskGraph fft_dag(int points, const TimingDatabase& db) {
+  const int lanes = fft_lanes(points);
+  const int stages = ilog2(static_cast<unsigned>(lanes));
+  const double block = static_cast<double>(points) / lanes;
+
+  graph::TaskGraphBuilder builder;
+  const graph::NodeId scatter =
+      builder.add_node(db.compute_cost(2.0 * points), "scatter");
+
+  // level[s][i]: lane i after stage s (stage 0 = local FFT of the block).
+  std::vector<std::vector<graph::NodeId>> level(
+      static_cast<std::size_t>(stages) + 1,
+      std::vector<graph::NodeId>(static_cast<std::size_t>(lanes)));
+  const double local_fft_flops =
+      5.0 * block * std::max(1.0, std::log2(block));  // ~5 n log n
+  const double butterfly_flops = 10.0 * block;        // combine two blocks
+  const graph::Cost block_msg = db.comm_cost(block);
+
+  for (int i = 0; i < lanes; ++i) {
+    level[0][i] = builder.add_node(
+        db.compute_cost(local_fft_flops) *
+            db.jitter(0xFF7BEA7ULL, builder.num_nodes()),
+        "fft0_" + std::to_string(i));
+    builder.add_edge(scatter, level[0][i], block_msg);
+  }
+  for (int s = 1; s <= stages; ++s) {
+    const int stride = 1 << (s - 1);
+    for (int i = 0; i < lanes; ++i) {
+      level[s][i] = builder.add_node(
+          db.compute_cost(butterfly_flops) *
+              db.jitter(0xFF7BEA7ULL, builder.num_nodes()),
+          "bfy" + std::to_string(s) + "_" + std::to_string(i));
+      builder.add_edge(level[s - 1][i], level[s][i], block_msg);
+      builder.add_edge(level[s - 1][i ^ stride], level[s][i], block_msg);
+    }
+  }
+
+  const graph::NodeId gather =
+      builder.add_node(db.compute_cost(2.0 * points), "gather");
+  for (int i = 0; i < lanes; ++i) {
+    builder.add_edge(level[stages][i], gather, block_msg);
+  }
+  return builder.build();
+}
+
+}  // namespace fastsched::workloads

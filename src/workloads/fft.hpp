@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file fft.hpp
+/// FFT task graph (paper §5.1): a blocked butterfly. The input is split
+/// across L lanes (L = the smallest power of two >= sqrt(points), the
+/// blocking CASCH uses); each lane first runs a local FFT over its
+/// points/L-point block, then log2(L) butterfly-exchange stages combine the
+/// lanes pairwise. One scatter task feeds the lanes and one gather task
+/// collects the result, so v = 2 + L·(log2(L) + 1) — exactly the task
+/// counts the paper reports (points = 16, 64, 128, 512 → v = 14, 34, 82,
+/// 194).
+
+#include "graph/task_graph.hpp"
+#include "workloads/timing_db.hpp"
+
+namespace fastsched::workloads {
+
+/// Builds the FFT DAG for `points` input points (a power of two >= 4).
+[[nodiscard]] graph::TaskGraph fft_dag(
+    int points, const TimingDatabase& db = TimingDatabase::paragon());
+
+/// Number of lanes used for `points`: smallest power of two >= sqrt(points).
+[[nodiscard]] int fft_lanes(int points);
+
+/// Node count of `fft_dag(points)`: 2 + lanes·(log2(lanes) + 1).
+[[nodiscard]] std::size_t fft_task_count(int points);
+
+}  // namespace fastsched::workloads

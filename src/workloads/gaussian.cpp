@@ -1,0 +1,48 @@
+#include "workloads/gaussian.hpp"
+
+#include <string>
+#include <vector>
+
+namespace fastsched::workloads {
+
+graph::TaskGraph gaussian_elimination_dag(int n, const TimingDatabase& db) {
+  FASTSCHED_REQUIRE(n >= 2, "matrix dimension must be >= 2");
+  graph::TaskGraphBuilder builder;
+
+  // layer k (k = 0..n) has (n + 2 - k) tasks: index 0 is the pivot task,
+  // indices 1..n+1-k are row-update tasks.
+  std::vector<std::vector<graph::NodeId>> layer(static_cast<std::size_t>(n) + 1);
+  for (int k = 0; k <= n; ++k) {
+    const int tasks = n + 2 - k;
+    const double row_len = static_cast<double>(n - k) + 1.0;
+    for (int i = 0; i < tasks; ++i) {
+      // A pivot task normalizes its row (one divide per element); an
+      // update task does a multiply-subtract per element.
+      const double flops = (i == 0 ? 1.0 : 2.0) * row_len;
+      const std::string name =
+          (i == 0 ? "piv" : "upd") + std::to_string(k) + "_" + std::to_string(i);
+      const double cost = db.compute_cost(flops) *
+                          db.jitter(0x6A755555ULL, builder.num_nodes());
+      layer[k].push_back(builder.add_node(cost, name));
+    }
+  }
+
+  for (int k = 0; k <= n; ++k) {
+    const double row_words = static_cast<double>(n - k) + 1.0;
+    const graph::Cost row_msg = db.comm_cost(row_words);
+    // Pivot row broadcast within the layer.
+    for (std::size_t i = 1; i < layer[k].size(); ++i) {
+      builder.add_edge(layer[k][0], layer[k][i], row_msg);
+    }
+    // Each updated row continues into the next layer (row i+1 of layer k
+    // becomes row i of layer k+1; row 1 becomes the next pivot).
+    if (k < n) {
+      for (std::size_t i = 0; i < layer[k + 1].size(); ++i) {
+        builder.add_edge(layer[k][i + 1], layer[k + 1][i], row_msg);
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace fastsched::workloads

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file gaussian.hpp
+/// Gaussian-elimination task graph (paper §5.1). The decomposition mirrors
+/// the CASCH kernel: elimination proceeds in N pivot steps; step k holds
+/// one pivot-row task plus one update task per remaining row, and the
+/// trailing layers shrink as rows are eliminated. Layer k (k = 0..N) has
+/// N + 2 − k tasks, so the total node count is (N+1)(N+4)/2 — exactly the
+/// task counts the paper reports (N = 4, 8, 16, 32 → v = 20, 54, 170, 594).
+///
+/// Edges: the pivot task of a layer broadcasts the pivot row to every
+/// update task of the same layer; each update task feeds the task that
+/// continues its row in the next layer. Weights come from the timing
+/// database: a pivot/update task on a length-(N − k) row costs O(N − k)
+/// flops and ships O(N − k) words.
+
+#include "graph/task_graph.hpp"
+#include "workloads/timing_db.hpp"
+
+namespace fastsched::workloads {
+
+/// Builds the Gaussian-elimination DAG for an N×N matrix (N >= 2).
+[[nodiscard]] graph::TaskGraph gaussian_elimination_dag(
+    int n, const TimingDatabase& db = TimingDatabase::paragon());
+
+/// Node count of `gaussian_elimination_dag(n)`: (n+1)(n+4)/2.
+[[nodiscard]] constexpr std::size_t gaussian_task_count(int n) {
+  return static_cast<std::size_t>((n + 1) * (n + 4) / 2);
+}
+
+}  // namespace fastsched::workloads

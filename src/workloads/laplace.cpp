@@ -1,0 +1,54 @@
+#include "workloads/laplace.hpp"
+
+#include <string>
+#include <vector>
+
+namespace fastsched::workloads {
+
+graph::TaskGraph laplace_dag(int n, const TimingDatabase& db) {
+  FASTSCHED_REQUIRE(n >= 1, "grid dimension must be >= 1");
+  graph::TaskGraphBuilder builder;
+
+  // A cell update averages its four neighbours: ~5 flops per point; each
+  // cell task owns a block of boundary points proportional to n, so costs
+  // scale with the grid dimension (keeps CCR stable across sizes).
+  const double cell_flops = 5.0 * n;
+  const double halo_words = static_cast<double>(n);
+  const graph::Cost halo_msg = db.comm_cost(halo_words);
+
+  const graph::NodeId source =
+      builder.add_node(db.compute_cost(2.0 * n * n), "distribute");
+  std::vector<graph::NodeId> cell(static_cast<std::size_t>(n) *
+                                  static_cast<std::size_t>(n));
+  const auto at = [&](int i, int j) {
+    return cell[static_cast<std::size_t>(i) * n + j];
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      cell[static_cast<std::size_t>(i) * n + j] = builder.add_node(
+          db.compute_cost(cell_flops) *
+              db.jitter(0x1A91ACEULL, builder.num_nodes()),
+          "c" + std::to_string(i) + "_" + std::to_string(j));
+    }
+  }
+  const graph::NodeId sink =
+      builder.add_node(db.compute_cost(2.0 * n * n), "collect");
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const graph::NodeId c = at(i, j);
+      if (i == 0 && j == 0) {
+        builder.add_edge(source, c, halo_msg);
+      } else {
+        if (i == 0 && j == 1) builder.add_edge(source, c, halo_msg);
+        if (j == 0 && i == 1) builder.add_edge(source, c, halo_msg);
+        if (i > 0) builder.add_edge(at(i - 1, j), c, halo_msg);
+        if (j > 0) builder.add_edge(at(i, j - 1), c, halo_msg);
+      }
+      if (i == n - 1 || j == n - 1) builder.add_edge(c, sink, halo_msg);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace fastsched::workloads

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file laplace.hpp
+/// Laplace-equation-solver task graph (paper §5.1): a Gauss–Seidel / SOR
+/// wavefront sweep over an N×N grid of cell-update tasks, plus one
+/// distribution (source) task and one collection (sink) task — v = N² + 2,
+/// exactly the task counts the paper reports (N = 4, 8, 16, 32 →
+/// v = 18, 66, 258, 1026).
+///
+/// Cell (i, j) depends on its west neighbour (i, j−1) and its north
+/// neighbour (i−1, j), giving the classic diagonal wavefront; boundary
+/// cells take their inputs from the source task.
+
+#include "graph/task_graph.hpp"
+#include "workloads/timing_db.hpp"
+
+namespace fastsched::workloads {
+
+/// Builds the Laplace-solver DAG over an N×N grid (N >= 1).
+[[nodiscard]] graph::TaskGraph laplace_dag(
+    int n, const TimingDatabase& db = TimingDatabase::paragon());
+
+/// Node count of `laplace_dag(n)`: n² + 2.
+[[nodiscard]] constexpr std::size_t laplace_task_count(int n) {
+  return static_cast<std::size_t>(n) * static_cast<std::size_t>(n) + 2;
+}
+
+}  // namespace fastsched::workloads

@@ -1,0 +1,34 @@
+#include "workloads/paper_example.hpp"
+
+namespace fastsched::workloads {
+
+graph::TaskGraph paper_figure1_dag() {
+  graph::TaskGraphBuilder builder;
+  // Node weights: the canonical Kwok–Ahmad example values.
+  const graph::Cost weights[] = {2, 3, 3, 4, 5, 4, 4, 4, 1};
+  for (const graph::Cost w : weights) builder.add_node(w);
+
+  const auto n = [](int i) { return static_cast<graph::NodeId>(i - 1); };
+  // Edge costs found by tools/example_search (best-ranked solution).
+  builder.add_edge(n(1), n(2), 2);
+  builder.add_edge(n(1), n(3), 1);
+  builder.add_edge(n(1), n(4), 1);
+  builder.add_edge(n(1), n(5), 1);
+  builder.add_edge(n(1), n(6), 6);
+  builder.add_edge(n(1), n(7), 11);
+  builder.add_edge(n(2), n(7), 1);
+  builder.add_edge(n(3), n(7), 1);
+  builder.add_edge(n(4), n(8), 3);
+  builder.add_edge(n(5), n(8), 4);
+  builder.add_edge(n(6), n(9), 11);
+  builder.add_edge(n(7), n(9), 10);
+  builder.add_edge(n(8), n(9), 10);
+  return builder.build();
+}
+
+std::vector<graph::NodeId> paper_cpn_dominate_list() {
+  // {n1, n3, n2, n7, n6, n5, n4, n8, n9} as zero-based ids.
+  return {0, 2, 1, 6, 5, 4, 3, 7, 8};
+}
+
+}  // namespace fastsched::workloads

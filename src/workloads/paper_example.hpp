@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file paper_example.hpp
+/// The 9-node example DAG of the paper's Figure 1, reconstructed by
+/// constraint search (tools/example_search.cpp) because the figure images
+/// are not part of the available text. The topology is fixed by the
+/// paper's narrative; the weights below satisfy every textual fact:
+///
+///  * the critical path is n1 -> n7 -> n9 (CPNs exactly {n1, n7, n9});
+///  * the CPN-Dominate list is {n1, n3, n2, n7, n6, n5, n4, n8, n9}, with
+///    the documented tie-breaks (n3 before n2 by t-level; n8 after n6 by
+///    t-level);
+///  * SL(n5) > SL(n2) (why ETF/DLS misprioritize, §4.2/§5);
+///  * InitialSchedule() yields schedule length 24 (Figure 4(a));
+///  * transferring the blocking node n6 to the processor running n5, n8
+///    and n9 shortens the schedule to 23 while increasing the start times
+///    of n5 and n8 (Figure 4(b));
+///  * on this graph ETF and DLS produce schedules of equal length, MD is
+///    the worst, and DSC lands between them and FAST (Figures 2–3).
+
+#include "graph/task_graph.hpp"
+
+namespace fastsched::workloads {
+
+/// Builds the reconstructed Figure 1 task graph. Node ids 0..8 are n1..n9.
+[[nodiscard]] graph::TaskGraph paper_figure1_dag();
+
+/// The CPN-Dominate list the paper reports for the graph (§4.2), as ids.
+[[nodiscard]] std::vector<graph::NodeId> paper_cpn_dominate_list();
+
+}  // namespace fastsched::workloads

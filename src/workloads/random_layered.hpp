@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file random_layered.hpp
+/// Random layered DAG generator, exactly the construction of paper §5.2:
+/// the height is drawn from a uniform distribution with mean ~sqrt(v), each
+/// level's width from the same distribution (then adjusted so the total is
+/// exactly v), nodes are connected from higher to lower levels at random,
+/// and weights are random. The paper's instances are deliberately dense
+/// (v = 2000..5000 with e ≈ 81k..180k, i.e. average out-degree ~36), which
+/// `avg_out_degree` controls.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/task_graph.hpp"
+
+namespace fastsched::workloads {
+
+struct RandomDagParams {
+  std::size_t num_nodes = 1000;
+  /// Target average out-degree (paper's dense instances: ~36).
+  double avg_out_degree = 36.0;
+  /// Communication-to-computation ratio target: edge weights are drawn so
+  /// the graph's CCR is approximately this value.
+  double ccr = 1.0;
+  /// Node weights are uniform in [min_weight, max_weight].
+  double min_weight = 2.0;
+  double max_weight = 100.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates one random layered DAG. Deterministic per `params.seed`.
+/// Guarantees: acyclic by construction (edges only go to strictly later
+/// levels), every non-first-level node has at least one parent and every
+/// non-last-level node at least one child (so the graph is connected and
+/// the paper's IBN/OBN definitions apply).
+[[nodiscard]] graph::TaskGraph random_layered_dag(const RandomDagParams& params);
+
+}  // namespace fastsched::workloads

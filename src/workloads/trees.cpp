@@ -1,0 +1,51 @@
+#include "workloads/trees.hpp"
+
+#include <vector>
+
+namespace fastsched::workloads {
+
+graph::TaskGraph random_tree_dag(const TreeParams& params) {
+  FASTSCHED_REQUIRE(params.num_nodes >= 1, "tree needs at least one node");
+  FASTSCHED_REQUIRE(params.max_arity >= 1, "max_arity must be positive");
+  Rng rng(params.seed);
+
+  graph::TaskGraphBuilder builder;
+  for (std::size_t i = 0; i < params.num_nodes; ++i) {
+    builder.add_node(params.node_weight);
+  }
+
+  // Attach each node i > 0 to a random earlier node that still has arity
+  // budget; a frontier list keeps attachment O(1) amortized.
+  std::vector<graph::NodeId> frontier{0};
+  std::vector<int> children(params.num_nodes, 0);
+  for (graph::NodeId i = 1; i < params.num_nodes; ++i) {
+    const std::size_t pick = rng.uniform(frontier.size());
+    const graph::NodeId parent = frontier[pick];
+    if (params.out_tree) {
+      builder.add_edge(parent, i, params.comm_cost);
+    } else {
+      builder.add_edge(i, parent, params.comm_cost);
+    }
+    if (++children[parent] >= params.max_arity) {
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+    }
+    frontier.push_back(i);
+  }
+  return builder.build();
+}
+
+graph::TaskGraph binary_out_tree(int levels, double node_weight,
+                                 double comm_cost) {
+  FASTSCHED_REQUIRE(levels >= 1 && levels < 26, "levels must be in [1, 25]");
+  graph::TaskGraphBuilder builder;
+  const std::size_t n = (std::size_t{1} << levels) - 1;
+  for (std::size_t i = 0; i < n; ++i) builder.add_node(node_weight);
+  for (std::size_t i = 1; i < n; ++i) {
+    builder.add_edge(static_cast<graph::NodeId>((i - 1) / 2),
+                     static_cast<graph::NodeId>(i), comm_cost);
+  }
+  return builder.build();
+}
+
+}  // namespace fastsched::workloads

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file trees.hpp
+/// Tree-structured task graphs. Paper §1 notes that scheduling a
+/// tree-structured DAG with identical node weights on unlimited processors
+/// is one of the three polynomially-solvable cases (Hu's algorithm), which
+/// makes trees useful oracle workloads: with zero communication the
+/// optimal makespan of a uniform out-tree is its height × the node weight
+/// (given enough processors), so schedulers can be tested against a known
+/// optimum.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/task_graph.hpp"
+
+namespace fastsched::workloads {
+
+struct TreeParams {
+  /// Total number of nodes.
+  std::size_t num_nodes = 63;
+  /// Maximum children per node (actual arity is random in [1, max_arity]).
+  int max_arity = 3;
+  /// true: edges point root→leaves (out-tree / fork); false: leaves→root
+  /// (in-tree / reduction).
+  bool out_tree = true;
+  /// Node weight (identical across nodes, per Hu's classic case) and
+  /// communication cost per edge.
+  double node_weight = 1.0;
+  double comm_cost = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a random tree task graph. Deterministic per seed.
+[[nodiscard]] graph::TaskGraph random_tree_dag(const TreeParams& params);
+
+/// A complete binary out-tree with `levels` levels (2^levels − 1 nodes).
+[[nodiscard]] graph::TaskGraph binary_out_tree(int levels,
+                                               double node_weight = 1.0,
+                                               double comm_cost = 0.0);
+
+}  // namespace fastsched::workloads

@@ -1,0 +1,83 @@
+#include "baselines/bsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fast/fast.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::baselines {
+namespace {
+
+using graph::TaskGraph;
+using sched::Schedule;
+using sched::SchedulerOptions;
+
+TEST(Bsa, ChainStaysOnPivot) {
+  const TaskGraph g = testing::chain(5, 2.0, 6.0);
+  const Schedule s = BsaScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.procs_used(), 1u);
+  EXPECT_EQ(s.length(), 10.0);
+  // Everything remained on the pivot processor 0.
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(s.proc(n), 0u);
+  }
+}
+
+TEST(Bsa, BubblesParallelWorkOffThePivot) {
+  // Free communication: the serialized injection must spread.
+  const TaskGraph g = testing::fork_join(4, 3.0, 0.0);
+  const Schedule s = BsaScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+  EXPECT_GT(s.procs_used(), 1u);
+  EXPECT_LT(s.length(), g.total_work());  // strictly better than serial
+}
+
+TEST(Bsa, NeverWorseThanSerial) {
+  for (std::uint64_t seed = 1300; seed < 1308; ++seed) {
+    const TaskGraph g = testing::small_random(seed, 50, 2.0, 4.0);
+    const Schedule s = BsaScheduler{}.run(g, SchedulerOptions{});
+    EXPECT_TRUE(sched::is_valid(g, s)) << seed;
+    EXPECT_LE(s.length(), g.total_work() + 1e-9) << seed;
+  }
+}
+
+TEST(Bsa, MigratesOnlyToAdjacentMeshProcessors) {
+  // On a 1xN mesh, a single bubbling sweep from the pivot can only reach
+  // processors whose index is small; with a 1x2 mesh at most procs {0,1}.
+  sim::MeshConfig mesh;
+  mesh.width = 2;
+  mesh.height = 1;
+  BsaScheduler scheduler(mesh);
+  const TaskGraph g = testing::fork_join(6, 2.0, 0.0);
+  const Schedule s = scheduler.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_LT(s.proc(n), 2u);
+  }
+}
+
+TEST(Bsa, RespectsExplicitBudgetBelowMeshSize) {
+  const TaskGraph g = testing::small_random(1310);
+  SchedulerOptions opts;
+  opts.num_procs = 3;
+  const Schedule s = BsaScheduler{}.run(g, opts);
+  EXPECT_TRUE(sched::is_valid(g, s));
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_LT(s.proc(n), 3u);
+  }
+}
+
+TEST(Bsa, CompetitiveWithFastOnModerateGraphs) {
+  // BSA spends far more work per decision than FAST; it should land in
+  // the same quality neighbourhood (within 25% either way).
+  const TaskGraph g = testing::small_random(1311, 100, 1.0, 4.0);
+  const Schedule bsa = BsaScheduler{}.run(g, SchedulerOptions{});
+  fast::FastOptions fo;
+  fo.num_procs = 64;
+  const auto fast_result = fast::run_fast(g, fo);
+  EXPECT_LE(bsa.length(), 1.25 * fast_result.final_length);
+}
+
+}  // namespace
+}  // namespace fastsched::baselines

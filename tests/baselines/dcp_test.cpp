@@ -1,0 +1,72 @@
+#include "baselines/dcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "sched/metrics.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+#include "workloads/gaussian.hpp"
+
+namespace fastsched::baselines {
+namespace {
+
+using graph::TaskGraph;
+using sched::Schedule;
+using sched::SchedulerOptions;
+
+TEST(Dcp, ChainStaysLocal) {
+  const TaskGraph g = testing::chain(5, 2.0, 7.0);
+  const Schedule s = DcpScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.length(), 10.0);
+  EXPECT_EQ(s.procs_used(), 1u);
+}
+
+TEST(Dcp, LookAheadKeepsCriticalChildClose) {
+  // a -> b (huge message) -> c: the look-ahead puts b with a, and then c
+  // with b, collapsing all communication.
+  const TaskGraph g = testing::chain(3, 2.0, 50.0);
+  const Schedule s = DcpScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.procs_used(), 1u);
+  EXPECT_EQ(s.length(), 6.0);
+}
+
+TEST(Dcp, ParallelizesFreeCommDiamond) {
+  const TaskGraph g = testing::diamond(2.0, 3.0, 0.0);
+  const Schedule s = DcpScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+  EXPECT_EQ(s.length(), 5.0);
+}
+
+TEST(Dcp, HighQualityOnTheWorkloads) {
+  // DCP is the quality benchmark of its era: on the Gaussian kernel it
+  // should be no more than a few percent behind the best of our set.
+  const TaskGraph g = workloads::gaussian_elimination_dag(8);
+  const Schedule dcp = DcpScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, dcp));
+  double best = dcp.length();
+  for (const char* algo : {"FAST", "ETF", "DLS", "MD", "DSC"}) {
+    sched::SchedulerOptions opts;
+    const auto s = make_scheduler(algo)->run(g, opts);
+    best = std::min(best, s.length());
+  }
+  EXPECT_LE(dcp.length(), 1.15 * best);
+}
+
+TEST(Dcp, ValidAcrossRandomGraphs) {
+  for (std::uint64_t seed = 1000; seed < 1008; ++seed) {
+    const TaskGraph g = testing::small_random(seed);
+    const Schedule s = DcpScheduler{}.run(g, SchedulerOptions{});
+    EXPECT_TRUE(sched::is_valid(g, s)) << seed;
+    EXPECT_TRUE(s.is_complete());
+  }
+}
+
+TEST(Dcp, NameAndUnboundedness) {
+  DcpScheduler s;
+  EXPECT_EQ(s.name(), "DCP");
+  EXPECT_TRUE(s.unbounded_processors());
+}
+
+}  // namespace
+}  // namespace fastsched::baselines

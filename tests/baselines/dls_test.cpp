@@ -1,0 +1,59 @@
+#include "baselines/dls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/levels.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::baselines {
+namespace {
+
+using graph::TaskGraph;
+using sched::Schedule;
+using sched::SchedulerOptions;
+
+TEST(Dls, PrefersHighStaticLevelNodes) {
+  // Two independent chains, single processor: DL = SL - EST, so the head
+  // of the longer chain (higher SL) is scheduled first.
+  graph::TaskGraphBuilder builder;
+  const auto short_head = builder.add_node(1);
+  const auto long_head = builder.add_node(1);
+  const auto long_tail = builder.add_node(10);
+  builder.add_edge(long_head, long_tail, 0.0);
+  const TaskGraph g = builder.build();
+  sched::SchedulerOptions opts;
+  opts.num_procs = 1;
+  const Schedule s = DlsScheduler{}.run(g, opts);
+  EXPECT_LT(s.start(long_head), s.start(short_head));
+}
+
+TEST(Dls, ParallelizesFreeCommDiamond) {
+  const TaskGraph g = testing::diamond(2.0, 3.0, 0.0);
+  const Schedule s = DlsScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.length(), 5.0);
+}
+
+TEST(Dls, KeepsExpensiveCommLocal) {
+  const TaskGraph g = testing::chain(5, 1.0, 100.0);
+  const Schedule s = DlsScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.length(), 5.0);
+  EXPECT_EQ(s.procs_used(), 1u);
+}
+
+TEST(Dls, MatchesEtfOnSimpleGraphs) {
+  // On graphs where priorities agree, DLS and ETF coincide (the paper's
+  // Figure 2 shows them producing the same schedule on the example DAG).
+  const TaskGraph g = testing::fork_join(3, 2.0, 1.0);
+  const Schedule dls = DlsScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, dls));
+}
+
+TEST(Dls, NameAndBoundedness) {
+  DlsScheduler s;
+  EXPECT_EQ(s.name(), "DLS");
+  EXPECT_FALSE(s.unbounded_processors());
+}
+
+}  // namespace
+}  // namespace fastsched::baselines

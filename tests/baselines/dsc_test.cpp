@@ -1,0 +1,69 @@
+#include "baselines/dsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::baselines {
+namespace {
+
+using graph::TaskGraph;
+using sched::Schedule;
+using sched::SchedulerOptions;
+
+TEST(Dsc, ZeroesChainEdges) {
+  // A chain is one dominant sequence; DSC merges it into one cluster and
+  // the length is the pure computation time.
+  const TaskGraph g = testing::chain(6, 2.0, 10.0);
+  const Schedule s = DscScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+  EXPECT_EQ(s.procs_used(), 1u);
+  EXPECT_EQ(s.length(), 12.0);
+}
+
+TEST(Dsc, LeavesParallelWorkInSeparateClusters) {
+  // Independent nodes never merge (merging would delay them).
+  graph::TaskGraphBuilder builder;
+  builder.add_node(5);
+  builder.add_node(5);
+  builder.add_node(5);
+  const TaskGraph g = builder.build();
+  const Schedule s = DscScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.length(), 5.0);
+  EXPECT_EQ(s.procs_used(), 3u);
+}
+
+TEST(Dsc, ForkJoinMergesOnlyProfitableEdges) {
+  // fork-join with comm 10, weights 1: serial (4) beats spreading; DSC
+  // should zero the heavy edges along one path and reach length <= serial.
+  const TaskGraph g = testing::fork_join(2, 1.0, 10.0);
+  const Schedule s = DscScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+  EXPECT_LE(s.length(), 4.0 + 1e-9);
+}
+
+TEST(Dsc, TendsToManyClustersOnWideGraphs) {
+  // The paper's Figure 5(b)/8(b): DSC uses O(v) processors.
+  const TaskGraph g = testing::small_random(420, 100, 0.5, 4.0);
+  const Schedule s = DscScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+  EXPECT_GT(s.procs_used(), 10u);
+}
+
+TEST(Dsc, NeverBeatsComputationCriticalPath) {
+  for (std::uint64_t seed = 430; seed < 440; ++seed) {
+    const TaskGraph g = testing::small_random(seed);
+    const Schedule s = DscScheduler{}.run(g, SchedulerOptions{});
+    EXPECT_TRUE(sched::is_valid(g, s)) << "seed " << seed;
+  }
+}
+
+TEST(Dsc, NameAndUnboundedness) {
+  DscScheduler s;
+  EXPECT_EQ(s.name(), "DSC");
+  EXPECT_TRUE(s.unbounded_processors());
+}
+
+}  // namespace
+}  // namespace fastsched::baselines

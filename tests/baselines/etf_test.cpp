@@ -1,0 +1,75 @@
+#include "baselines/etf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::baselines {
+namespace {
+
+using graph::TaskGraph;
+using sched::Schedule;
+using sched::SchedulerOptions;
+
+TEST(Etf, SchedulesIndependentNodesInParallel) {
+  graph::TaskGraphBuilder builder;
+  builder.add_node(5);
+  builder.add_node(5);
+  builder.add_node(5);
+  const TaskGraph g = builder.build();
+  const Schedule s = EtfScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.length(), 5.0);
+  EXPECT_EQ(s.procs_used(), 3u);
+}
+
+TEST(Etf, KeepsChainLocalWhenCommIsExpensive) {
+  const TaskGraph g = testing::chain(4, 1.0, 50.0);
+  const Schedule s = EtfScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.length(), 4.0);
+  EXPECT_EQ(s.procs_used(), 1u);
+}
+
+TEST(Etf, GreedyEarliestStartTimes) {
+  // ETF picks, among ready nodes, the globally earliest-startable one: on
+  // the diamond, both branches become ready at once and run in parallel
+  // when comm is free.
+  const TaskGraph g = testing::diamond(2.0, 3.0, 0.0);
+  const Schedule s = EtfScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.length(), 5.0);  // 1 + max(2,3) + 1
+  EXPECT_NE(s.proc(1), s.proc(2));
+}
+
+TEST(Etf, StaticLevelBreaksEstTies) {
+  // Two entry tasks, one processor: both have EST 0; the one with the
+  // higher static level (the heavier chain head) must go first.
+  graph::TaskGraphBuilder builder;
+  const auto light = builder.add_node(1);
+  const auto heavy_head = builder.add_node(1);
+  const auto heavy_tail = builder.add_node(10);
+  builder.add_edge(heavy_head, heavy_tail, 0.0);
+  const TaskGraph g = builder.build();
+  sched::SchedulerOptions opts;
+  opts.num_procs = 1;
+  const Schedule s = EtfScheduler{}.run(g, opts);
+  EXPECT_LT(s.start(heavy_head), s.start(light));
+  (void)light;
+}
+
+TEST(Etf, RespectsSingleProcessor) {
+  const TaskGraph g = testing::small_random(401);
+  sched::SchedulerOptions opts;
+  opts.num_procs = 1;
+  const Schedule s = EtfScheduler{}.run(g, opts);
+  EXPECT_TRUE(sched::is_valid(g, s));
+  EXPECT_NEAR(s.length(), g.total_work(), 1e-9);
+}
+
+TEST(Etf, NameAndBoundedness) {
+  EtfScheduler s;
+  EXPECT_EQ(s.name(), "ETF");
+  EXPECT_FALSE(s.unbounded_processors());
+}
+
+}  // namespace
+}  // namespace fastsched::baselines

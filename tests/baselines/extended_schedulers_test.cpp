@@ -1,0 +1,163 @@
+// Targeted tests for the extended comparison set (HLFET, MCP, LC, EZ) —
+// algorithms from the paper's research context beyond its own four
+// baselines.
+
+#include <gtest/gtest.h>
+
+#include "baselines/clustering_common.hpp"
+#include "baselines/ez.hpp"
+#include "baselines/hlfet.hpp"
+#include "baselines/lc.hpp"
+#include "baselines/mcp.hpp"
+#include "sched/metrics.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::baselines {
+namespace {
+
+using graph::TaskGraph;
+using sched::Schedule;
+using sched::SchedulerOptions;
+
+// ------------------------------------------------------------------ HLFET
+
+TEST(Hlfet, PicksHighestStaticLevelFirst) {
+  // Two independent chains on one processor: the longer chain's head has
+  // the higher static level and must run first.
+  graph::TaskGraphBuilder builder;
+  const auto short_head = builder.add_node(1);
+  const auto long_head = builder.add_node(1);
+  const auto long_tail = builder.add_node(10);
+  builder.add_edge(long_head, long_tail, 0.0);
+  const TaskGraph g = builder.build();
+  SchedulerOptions opts;
+  opts.num_procs = 1;
+  const Schedule s = HlfetScheduler{}.run(g, opts);
+  EXPECT_LT(s.start(long_head), s.start(short_head));
+}
+
+TEST(Hlfet, StaticPriorityIgnoresCommUnlikeEtf) {
+  // HLFET commits to SL order even when another ready node could start
+  // earlier; the schedule is still valid and uses earliest-start placement
+  // per node.
+  const TaskGraph g = testing::small_random(901);
+  const Schedule s = HlfetScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+}
+
+TEST(Hlfet, ParallelizesFreeCommDiamond) {
+  const TaskGraph g = testing::diamond(2.0, 3.0, 0.0);
+  const Schedule s = HlfetScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.length(), 5.0);
+}
+
+// -------------------------------------------------------------------- MCP
+
+TEST(Mcp, ChainStaysLocal) {
+  const TaskGraph g = testing::chain(5, 2.0, 7.0);
+  const Schedule s = McpScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.length(), 10.0);
+  EXPECT_EQ(s.procs_used(), 1u);
+}
+
+TEST(Mcp, InsertsIntoIdleGaps) {
+  // diamond with a heavy branch: the light branch fits beside it; the
+  // overall length equals the critical path with free communication.
+  const TaskGraph g = testing::diamond(6.0, 1.0, 0.0);
+  const Schedule s = McpScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+  EXPECT_EQ(s.length(), 8.0);
+}
+
+TEST(Mcp, AlapOrderSchedulesUrgentNodesFirst) {
+  // On the diamond, the heavy branch (smaller ALAP) must be placed before
+  // the light one.
+  const TaskGraph g = testing::diamond(6.0, 1.0, 1.0);
+  const Schedule s = McpScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_LE(s.start(1), s.start(2));
+}
+
+TEST(Mcp, RespectsProcessorBudget) {
+  const TaskGraph g = testing::small_random(902);
+  SchedulerOptions opts;
+  opts.num_procs = 2;
+  const Schedule s = McpScheduler{}.run(g, opts);
+  EXPECT_TRUE(sched::is_valid(g, s));
+  EXPECT_LE(s.procs_used(), 2u);
+}
+
+// --------------------------------------------------------------------- LC
+
+TEST(Lc, ChainIsOneCluster) {
+  const TaskGraph g = testing::chain(6, 2.0, 5.0);
+  const Schedule s = LcScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.procs_used(), 1u);
+  EXPECT_EQ(s.length(), 12.0);
+}
+
+TEST(Lc, EachLinearClusterIsAPath) {
+  // Clusters produced by LC are linear: within a cluster, tasks must be
+  // totally ordered by precedence (no two independent tasks share one).
+  const TaskGraph g = testing::small_random(903, 50, 2.0, 4.0);
+  const Schedule s = LcScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+  // Validity plus zero idle-overlap already implies sequential clusters;
+  // here we only sanity-check the cluster count is between 1 and v.
+  EXPECT_GE(s.procs_used(), 1u);
+  EXPECT_LE(s.procs_used(), g.num_nodes());
+}
+
+TEST(Lc, ForkJoinSeparatesBranches) {
+  const TaskGraph g = testing::fork_join(3, 2.0, 1.0);
+  const Schedule s = LcScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+  // First cluster takes the whole CP (root, one middle, sink); the other
+  // two middles form their own clusters.
+  EXPECT_EQ(s.procs_used(), 3u);
+}
+
+// --------------------------------------------------------------------- EZ
+
+TEST(Ez, ZeroesExpensiveEdgesFirst) {
+  // chain with one huge edge: EZ must merge across it.
+  graph::TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(1);
+  const auto c = builder.add_node(1);
+  builder.add_edge(a, b, 100.0);
+  builder.add_edge(b, c, 0.5);
+  const TaskGraph g = builder.build();
+  const Schedule s = EzScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.proc(a), s.proc(b));
+  EXPECT_LE(s.length(), 3.5 + 1e-9);
+}
+
+TEST(Ez, KeepsParallelWorkSeparate) {
+  graph::TaskGraphBuilder builder;
+  builder.add_node(5);
+  builder.add_node(5);
+  const TaskGraph g = builder.build();
+  const Schedule s = EzScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_EQ(s.length(), 5.0);
+  EXPECT_EQ(s.procs_used(), 2u);
+}
+
+TEST(Ez, NeverWorseThanNoClustering) {
+  // EZ only accepts merges that do not increase the replayed makespan, so
+  // its result can never exceed the fully-spread replay.
+  for (std::uint64_t seed = 910; seed < 915; ++seed) {
+    const TaskGraph g = testing::small_random(seed, 40, 3.0, 3.0);
+    const Schedule s = EzScheduler{}.run(g, SchedulerOptions{});
+    EXPECT_TRUE(sched::is_valid(g, s)) << seed;
+    // Fully-spread baseline: every node its own cluster.
+    const auto bl = graph::compute_b_levels(g);
+    std::vector<std::uint32_t> singleton(g.num_nodes());
+    for (std::uint32_t i = 0; i < g.num_nodes(); ++i) singleton[i] = i;
+    const auto spread = detail::replay_clusters(g, singleton, g.num_nodes(), bl);
+    EXPECT_LE(s.length(), spread.makespan + 1e-9) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fastsched::baselines

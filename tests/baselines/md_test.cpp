@@ -1,0 +1,66 @@
+#include "baselines/md.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::baselines {
+namespace {
+
+using graph::TaskGraph;
+using sched::Schedule;
+using sched::SchedulerOptions;
+
+TEST(Md, ChainIsPackedOnOneProcessor) {
+  const TaskGraph g = testing::chain(5, 2.0, 3.0);
+  const Schedule s = MdScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+  EXPECT_EQ(s.procs_used(), 1u);
+  EXPECT_EQ(s.length(), 10.0);
+}
+
+TEST(Md, UsesFewProcessorsViaFirstFit) {
+  // MD's hallmark (paper Figure 5(b)): it packs into gaps on low-index
+  // processors, using far fewer processors than list schedulers.
+  const TaskGraph g = testing::small_random(410, 60, 1.0, 4.0);
+  const Schedule s = MdScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+  EXPECT_LT(s.procs_used(), 20u);
+}
+
+TEST(Md, FillsIdleGapsByInsertion) {
+  // root -> heavy + light, then light2 depends on light. With insertion,
+  // light tasks fit into P0's idle time rather than new processors.
+  const TaskGraph g = testing::diamond(6.0, 1.0, 0.0);
+  const Schedule s = MdScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+  // CP = a, b(6), d; node c (1) fits inside b's window on another proc or
+  // in a gap; either way the length is the CP: 8.
+  EXPECT_EQ(s.length(), 8.0);
+}
+
+TEST(Md, HandlesZeroWeightNodes) {
+  graph::TaskGraphBuilder builder;
+  const auto a = builder.add_node(0.0);
+  const auto b = builder.add_node(2.0);
+  builder.add_edge(a, b, 1.0);
+  const TaskGraph g = builder.build();
+  const Schedule s = MdScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+}
+
+TEST(Md, ValidOnDisconnectedGraphs) {
+  const TaskGraph g = testing::two_chains(4);
+  const Schedule s = MdScheduler{}.run(g, SchedulerOptions{});
+  EXPECT_TRUE(sched::is_valid(g, s));
+}
+
+TEST(Md, NameAndUnboundedness) {
+  MdScheduler s;
+  EXPECT_EQ(s.name(), "MD");
+  EXPECT_TRUE(s.unbounded_processors());
+}
+
+}  // namespace
+}  // namespace fastsched::baselines

@@ -1,0 +1,46 @@
+#include "baselines/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastsched::baselines {
+namespace {
+
+TEST(Registry, MakesEveryRegisteredScheduler) {
+  for (const auto& name : scheduler_names()) {
+    const auto scheduler = make_scheduler(name);
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_EQ(scheduler->name(), name);
+  }
+}
+
+TEST(Registry, ThrowsOnUnknownName) {
+  EXPECT_THROW((void)make_scheduler("HEFT"), Error);
+  EXPECT_THROW((void)make_scheduler(""), Error);
+  EXPECT_THROW((void)make_scheduler("fast"), Error);  // case-sensitive
+}
+
+TEST(Registry, AllSchedulersMatchesNames) {
+  const auto names = scheduler_names();
+  const auto schedulers = all_schedulers();
+  ASSERT_EQ(schedulers.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(schedulers[i]->name(), names[i]);
+  }
+}
+
+TEST(Registry, PaperSetExcludesPfast) {
+  const auto schedulers = paper_schedulers();
+  ASSERT_EQ(schedulers.size(), 5u);
+  for (const auto& s : schedulers) EXPECT_NE(s->name(), "PFAST");
+}
+
+TEST(Registry, UnboundedFlagsMatchPaper) {
+  EXPECT_TRUE(make_scheduler("MD")->unbounded_processors());
+  EXPECT_TRUE(make_scheduler("DSC")->unbounded_processors());
+  EXPECT_FALSE(make_scheduler("FAST")->unbounded_processors());
+  EXPECT_FALSE(make_scheduler("ETF")->unbounded_processors());
+  EXPECT_FALSE(make_scheduler("DLS")->unbounded_processors());
+}
+
+}  // namespace
+}  // namespace fastsched::baselines

@@ -1,0 +1,107 @@
+#include "casch/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "sim/event_sim.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::casch {
+namespace {
+
+using graph::TaskGraph;
+using sched::Schedule;
+
+Schedule schedule_with(const TaskGraph& g, const char* algo) {
+  return baselines::make_scheduler(algo)->run(g, sched::SchedulerOptions{});
+}
+
+TEST(Codegen, EveryTaskExecutedExactlyOnce) {
+  const TaskGraph g = testing::small_random(950);
+  const Schedule s = schedule_with(g, "FAST");
+  const Program program = generate_program(g, s);
+
+  std::vector<int> execs(g.num_nodes(), 0);
+  for (const auto& prog : program.per_proc) {
+    for (const Instruction& ins : prog) {
+      if (ins.op == Instruction::Op::kExec) ++execs[ins.task];
+    }
+  }
+  for (const int count : execs) EXPECT_EQ(count, 1);
+}
+
+TEST(Codegen, SendsMatchRecvsOneToOne) {
+  const TaskGraph g = testing::small_random(951);
+  for (const char* algo : {"FAST", "DSC", "MD"}) {
+    const Schedule s = schedule_with(g, algo);
+    const Program program = generate_program(g, s);
+    // Pair (producer, consumer) must appear exactly once as SEND on the
+    // producer's proc and once as RECV on the consumer's proc.
+    std::size_t sends = 0;
+    std::size_t recvs = 0;
+    for (const auto& prog : program.per_proc) {
+      for (const Instruction& ins : prog) {
+        if (ins.op == Instruction::Op::kSend) ++sends;
+        if (ins.op == Instruction::Op::kRecv) ++recvs;
+      }
+    }
+    EXPECT_EQ(sends, recvs) << algo;
+    EXPECT_EQ(sends, program.message_count()) << algo;
+  }
+}
+
+TEST(Codegen, MessageCountMatchesSimulator) {
+  const TaskGraph g = testing::small_random(952);
+  const Schedule s = schedule_with(g, "ETF");
+  const Program program = generate_program(g, s);
+  const sim::SimResult r = sim::simulate(g, s, sim::MachineModel::ideal());
+  EXPECT_EQ(program.message_count(), r.messages);
+}
+
+TEST(Codegen, LocalEdgesProduceNoMessages) {
+  // Everything on one processor: zero sends.
+  const TaskGraph g = testing::chain(5, 1.0, 10.0);
+  const Schedule s = schedule_with(g, "FAST");
+  ASSERT_EQ(s.procs_used(), 1u);
+  EXPECT_EQ(generate_program(g, s).message_count(), 0u);
+}
+
+TEST(Codegen, RecvPrecedesExecPrecedesSend) {
+  const TaskGraph g = testing::small_random(953);
+  const Schedule s = schedule_with(g, "DLS");
+  const Program program = generate_program(g, s);
+  for (const auto& prog : program.per_proc) {
+    std::vector<bool> executed(g.num_nodes(), false);
+    for (const Instruction& ins : prog) {
+      if (ins.op == Instruction::Op::kRecv) {
+        EXPECT_FALSE(executed[ins.task]) << "recv after exec";
+      } else if (ins.op == Instruction::Op::kExec) {
+        executed[ins.task] = true;
+      } else {
+        EXPECT_TRUE(executed[ins.task]) << "send before exec";
+      }
+    }
+  }
+}
+
+TEST(Codegen, RenderNamesTasksAndPeers) {
+  const TaskGraph g = testing::chain(2, 1.0, 3.0);
+  Schedule s(2, 2);
+  s.assign(0, 0, 0, 1);
+  s.assign(1, 1, 4, 5);
+  const std::string text = render_program(g, generate_program(g, s));
+  EXPECT_NE(text.find("processor P0"), std::string::npos);
+  EXPECT_NE(text.find("exec n1"), std::string::npos);
+  EXPECT_NE(text.find("send n1 -> n2 @P1"), std::string::npos);
+  EXPECT_NE(text.find("recv n1 -> n2 from P0"), std::string::npos);
+}
+
+TEST(Codegen, RejectsIncompleteSchedule) {
+  const TaskGraph g = testing::chain(2);
+  Schedule s(2, 1);
+  s.assign(0, 0, 0, 1);
+  EXPECT_THROW((void)generate_program(g, s), Error);
+}
+
+}  // namespace
+}  // namespace fastsched::casch

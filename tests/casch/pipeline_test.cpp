@@ -1,0 +1,76 @@
+#include "casch/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastsched::casch {
+namespace {
+
+TEST(Pipeline, ParsesApplicationNames) {
+  EXPECT_EQ(parse_application("gauss"), Application::kGaussian);
+  EXPECT_EQ(parse_application("gaussian"), Application::kGaussian);
+  EXPECT_EQ(parse_application("laplace"), Application::kLaplace);
+  EXPECT_EQ(parse_application("fft"), Application::kFft);
+  EXPECT_THROW((void)parse_application("nbody"), Error);
+}
+
+TEST(Pipeline, ApplicationNamesRoundTrip) {
+  for (const auto app : {Application::kGaussian, Application::kLaplace,
+                         Application::kFft}) {
+    EXPECT_EQ(parse_application(application_name(app)), app);
+  }
+}
+
+TEST(Pipeline, BuildsAllApplicationDags) {
+  const auto db = workloads::TimingDatabase::paragon();
+  EXPECT_EQ(build_application_dag(Application::kGaussian, 8, db).num_nodes(),
+            54u);
+  EXPECT_EQ(build_application_dag(Application::kLaplace, 8, db).num_nodes(),
+            66u);
+  EXPECT_EQ(build_application_dag(Application::kFft, 64, db).num_nodes(),
+            34u);
+}
+
+TEST(Pipeline, RunsEndToEnd) {
+  PipelineConfig config;
+  config.app = Application::kGaussian;
+  config.size = 8;
+  config.algorithm = "FAST";
+  const PipelineReport report = run_pipeline(config);
+  EXPECT_EQ(report.num_tasks, 54u);
+  EXPECT_GT(report.schedule_length, 0.0);
+  EXPECT_GT(report.execution_time, 0.0);
+  EXPECT_GE(report.execution_time, report.schedule_length);  // overheads
+  EXPECT_GT(report.procs_used, 0u);
+  EXPECT_GT(report.metrics.speedup, 0.0);
+}
+
+TEST(Pipeline, WorksForEveryAlgorithm) {
+  for (const char* algo : {"FAST", "PFAST", "MD", "ETF", "DLS", "DSC"}) {
+    PipelineConfig config;
+    config.app = Application::kFft;
+    config.size = 16;
+    config.algorithm = algo;
+    const PipelineReport report = run_pipeline(config);
+    EXPECT_GT(report.execution_time, 0.0) << algo;
+    EXPECT_EQ(report.algorithm, algo);
+  }
+}
+
+TEST(Pipeline, ReportFormatsKeyFields) {
+  PipelineConfig config;
+  config.app = Application::kLaplace;
+  config.size = 4;
+  const std::string text = format_report(run_pipeline(config));
+  EXPECT_NE(text.find("laplace(4)"), std::string::npos);
+  EXPECT_NE(text.find("schedule length"), std::string::npos);
+  EXPECT_NE(text.find("executed time"), std::string::npos);
+}
+
+TEST(Pipeline, ThrowsOnUnknownAlgorithm) {
+  PipelineConfig config;
+  config.algorithm = "NOPE";
+  EXPECT_THROW((void)run_pipeline(config), Error);
+}
+
+}  // namespace
+}  // namespace fastsched::casch

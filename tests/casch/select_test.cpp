@@ -1,0 +1,59 @@
+#include "casch/select.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+#include "workloads/gaussian.hpp"
+
+namespace fastsched::casch {
+namespace {
+
+TEST(Select, RankingIsSortedByExecutionTime) {
+  const auto g = workloads::gaussian_elimination_dag(8);
+  const SelectionResult r = select_best(g, default_candidates());
+  ASSERT_EQ(r.ranking.size(), default_candidates().size());
+  for (std::size_t i = 1; i < r.ranking.size(); ++i) {
+    EXPECT_LE(r.ranking[i - 1].execution_time,
+              r.ranking[i].execution_time + 1e-9);
+  }
+}
+
+TEST(Select, WinnerScheduleMatchesItsEntry) {
+  const auto g = testing::small_random(1200);
+  const SelectionResult r = select_best(g, {"FAST", "ETF"});
+  EXPECT_TRUE(sched::is_valid(g, r.schedule));
+  EXPECT_DOUBLE_EQ(r.schedule.length(), r.best().schedule_length);
+  EXPECT_EQ(r.schedule.procs_used(), r.best().procs_used);
+}
+
+TEST(Select, SingleCandidateWins) {
+  const auto g = testing::chain(4);
+  const SelectionResult r = select_best(g, {"DSC"});
+  EXPECT_EQ(r.best().algorithm, "DSC");
+}
+
+TEST(Select, HonoursSchedulerOptions) {
+  const auto g = testing::small_random(1201);
+  sched::SchedulerOptions opts;
+  opts.num_procs = 2;
+  const SelectionResult r = select_best(g, {"FAST", "ETF", "DLS"}, opts);
+  EXPECT_LE(r.schedule.procs_used(), 2u);
+}
+
+TEST(Select, RejectsEmptyAndUnknown) {
+  const auto g = testing::chain(3);
+  EXPECT_THROW((void)select_best(g, {}), Error);
+  EXPECT_THROW((void)select_best(g, {"NOPE"}), Error);
+}
+
+TEST(Select, WinnerNeverWorseThanAnyCandidateRun) {
+  const auto g = testing::small_random(1202, 90, 2.0, 4.0);
+  const SelectionResult r = select_best(g, default_candidates());
+  for (const auto& entry : r.ranking) {
+    EXPECT_LE(r.best().execution_time, entry.execution_time + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fastsched::casch

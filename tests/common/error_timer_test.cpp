@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace fastsched {
+namespace {
+
+TEST(ErrorMacros, RequireThrowsFastschedError) {
+  EXPECT_NO_THROW(FASTSCHED_REQUIRE(true, "fine"));
+  try {
+    FASTSCHED_REQUIRE(false, "broken precondition");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "broken precondition");
+  }
+}
+
+TEST(ErrorMacros, AssertThrowsLogicErrorWithLocation) {
+  EXPECT_NO_THROW(FASTSCHED_ASSERT(1 + 1 == 2));
+  try {
+    FASTSCHED_ASSERT(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("error_timer_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, AssertMsgCarriesMessage) {
+  try {
+    FASTSCHED_ASSERT_MSG(false, "the invariant story");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("the invariant story"),
+              std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, ErrorIsARuntimeError) {
+  // Callers can catch the whole library with std::runtime_error.
+  try {
+    throw Error("x");
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = timer.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(timer.millis(), timer.seconds() * 1e3, 25.0);
+}
+
+TEST(Timer, ResetRestartsTheClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.010);
+}
+
+}  // namespace
+}  // namespace fastsched

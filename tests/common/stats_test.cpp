@@ -1,0 +1,57 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace fastsched {
+namespace {
+
+TEST(Stats, SummarizeBasics) {
+  const double data[] = {2.0, 4.0, 6.0};
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarizeSingleValueHasZeroStddev) {
+  const double data[] = {5.0};
+  const Summary s = summarize(data);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Stats, Mean) {
+  const double data[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(data), 2.5);
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const double data[] = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(data), 4.0, 1e-12);
+}
+
+TEST(Stats, GeometricMeanRejectsNonPositive) {
+  const double data[] = {1.0, 0.0};
+  EXPECT_THROW((void)geometric_mean(data), Error);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+}  // namespace
+}  // namespace fastsched

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace fastsched {
+namespace {
+
+// ------------------------------------------------------------------ Table
+
+TEST(Table, RendersHeaderSeparatorAndRows) {
+  Table t("My Title");
+  t.add_row({"Algorithm", "Length"});
+  t.add_row({"FAST", "23"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("My Title"), std::string::npos);
+  EXPECT_NE(out.find("Algorithm"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("FAST"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t;
+  t.add_row({"a", "bb"});
+  t.add_row({"cccc", "d"});
+  // Split into lines; the header and the data row (after the separator)
+  // must place column 2 at the same offset.
+  std::vector<std::string> lines;
+  std::istringstream is(t.to_string());
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);  // header, separator, data
+  EXPECT_EQ(lines[0].find("bb"), lines[2].find("d"));
+}
+
+TEST(Table, NumericFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+  EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+}
+
+TEST(Table, PadsShortRows) {
+  Table t;
+  t.add_row({"h1", "h2", "h3"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW((void)t.to_string());
+}
+
+// -------------------------------------------------------------------- Cli
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  CliParser cli("test");
+  cli.add_option("size", "8", "problem size");
+  cli.add_option("name", "abc", "a name");
+  cli.add_flag("verbose", "chatty");
+  const char* argv[] = {"prog", "--size", "32", "--verbose", "--name=xyz"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("size"), 32);
+  EXPECT_EQ(cli.get("name"), "xyz");
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  CliParser cli("test");
+  cli.add_option("ccr", "1.5", "ratio");
+  cli.add_flag("quiet", "hush");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("ccr"), 1.5);
+  EXPECT_FALSE(cli.get_flag("quiet"));
+}
+
+TEST(Cli, CollectsPositionalArguments) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "alpha", "beta"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.positional(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(Cli, HelpShortCircuits) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW((void)cli.parse(3, argv), Error);
+}
+
+TEST(Cli, RejectsBadNumericValues) {
+  CliParser cli("test");
+  cli.add_option("n", "1", "count");
+  const char* argv[] = {"prog", "--n", "abc"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW((void)cli.get_int("n"), Error);
+  EXPECT_THROW((void)cli.get_double("n"), Error);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  CliParser cli("test");
+  cli.add_option("n", "1", "count");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW((void)cli.parse(2, argv), Error);
+}
+
+TEST(Cli, RejectsValueOnFlag) {
+  CliParser cli("test");
+  cli.add_flag("v", "verbose");
+  const char* argv[] = {"prog", "--v=1"};
+  EXPECT_THROW((void)cli.parse(2, argv), Error);
+}
+
+TEST(Cli, UsageListsOptions) {
+  CliParser cli("my tool");
+  cli.add_option("alpha", "1", "the alpha value");
+  cli.add_flag("beta", "the beta flag");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("my tool"), std::string::npos);
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("--beta"), std::string::npos);
+  EXPECT_NE(usage.find("the alpha value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastsched

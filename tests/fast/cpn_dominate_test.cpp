@@ -1,0 +1,139 @@
+#include "fast/cpn_dominate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::fast {
+namespace {
+
+using graph::LevelInfo;
+using graph::NodeClass;
+using graph::TaskGraph;
+
+struct Prepared {
+  LevelInfo levels;
+  std::vector<NodeClass> classes;
+};
+
+Prepared prepare(const TaskGraph& g) {
+  Prepared p;
+  p.levels = graph::compute_levels(g);
+  p.classes = graph::classify_nodes(g, p.levels);
+  return p;
+}
+
+TEST(CpnDominate, ChainIsListedInOrder) {
+  const TaskGraph g = testing::chain(5);
+  const Prepared p = prepare(g);
+  const auto list = build_cpn_dominate_list(g, p.levels, p.classes);
+  EXPECT_EQ(list, (std::vector<graph::NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(CpnDominate, IsAlwaysTopological) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const TaskGraph g = testing::small_random(seed);
+    const Prepared p = prepare(g);
+    const auto list = build_cpn_dominate_list(g, p.levels, p.classes);
+    EXPECT_TRUE(is_topological_list(g, list)) << "seed " << seed;
+  }
+}
+
+TEST(CpnDominate, CoversEveryNodeExactlyOnce) {
+  const TaskGraph g = testing::small_random(7);
+  const Prepared p = prepare(g);
+  const auto list = build_cpn_dominate_list(g, p.levels, p.classes);
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (const auto n : list) {
+    EXPECT_FALSE(seen[n]);
+    seen[n] = true;
+  }
+  EXPECT_EQ(list.size(), g.num_nodes());
+}
+
+TEST(CpnDominate, IbnFeedingCpnPrecedesIt) {
+  // diamond: the IBN side branch (b) must appear before the join CPN (d).
+  const TaskGraph g = testing::diamond(2.0, 3.0, 1.0);
+  const Prepared p = prepare(g);
+  const auto list = build_cpn_dominate_list(g, p.levels, p.classes);
+  const auto pos = [&](graph::NodeId n) {
+    return std::find(list.begin(), list.end(), n) - list.begin();
+  };
+  EXPECT_LT(pos(1), pos(3));  // IBN b before CPN d
+  EXPECT_EQ(list.front(), 0u);
+}
+
+TEST(CpnDominate, ObnsComeLastInDecreasingBLevel) {
+  // a -> b -> c is the CP; a -> x -> y is a dangling OBN chain.
+  graph::TaskGraphBuilder builder;
+  const auto a = builder.add_node(10);
+  const auto b = builder.add_node(10);
+  const auto c = builder.add_node(10);
+  const auto x = builder.add_node(1);
+  const auto y = builder.add_node(1);
+  builder.add_edge(a, b, 1);
+  builder.add_edge(b, c, 1);
+  builder.add_edge(a, x, 1);
+  builder.add_edge(x, y, 1);
+  const TaskGraph g = builder.build();
+  const Prepared p = prepare(g);
+  ASSERT_EQ(p.classes[x], NodeClass::kObn);
+  ASSERT_EQ(p.classes[y], NodeClass::kObn);
+  const auto list = build_cpn_dominate_list(g, p.levels, p.classes);
+  // CPNs first, then OBNs in decreasing b-level (x before y).
+  EXPECT_EQ(list, (std::vector<graph::NodeId>{a, b, c, x, y}));
+}
+
+TEST(CpnDominate, EntryCpnIsFirst) {
+  for (std::uint64_t seed = 30; seed < 40; ++seed) {
+    const TaskGraph g = testing::small_random(seed);
+    const Prepared p = prepare(g);
+    const auto list = build_cpn_dominate_list(g, p.levels, p.classes);
+    ASSERT_FALSE(list.empty());
+    EXPECT_TRUE(p.levels.is_cpn[list.front()]);
+    EXPECT_EQ(g.in_degree(list.front()), 0u);
+  }
+}
+
+TEST(CpnDominate, RejectsMismatchedInputs) {
+  const TaskGraph g = testing::chain(3);
+  const Prepared other = prepare(testing::chain(6));
+  EXPECT_THROW(
+      (void)build_cpn_dominate_list(g, other.levels, other.classes), Error);
+}
+
+TEST(BuildList, AllPoliciesProduceTopologicalOrders) {
+  const TaskGraph g = testing::small_random(41);
+  const Prepared p = prepare(g);
+  for (const ListPolicy policy :
+       {ListPolicy::kCpnDominate, ListPolicy::kBLevel, ListPolicy::kTLevel,
+        ListPolicy::kStaticLevel}) {
+    const auto list = build_list(g, p.levels, p.classes, policy);
+    EXPECT_TRUE(is_topological_list(g, list));
+  }
+}
+
+TEST(BuildList, BLevelPolicyOrdersByDecreasingBLevelWithinReady) {
+  // With independent nodes (no edges), the b-level list is simply sorted
+  // by decreasing b-level.
+  graph::TaskGraphBuilder builder;
+  builder.add_node(1);
+  builder.add_node(5);
+  builder.add_node(3);
+  const TaskGraph g = builder.build();
+  const Prepared p = prepare(g);
+  const auto list = build_list(g, p.levels, p.classes, ListPolicy::kBLevel);
+  EXPECT_EQ(list, (std::vector<graph::NodeId>{1, 2, 0}));
+}
+
+TEST(IsTopologicalList, DetectsBadLists) {
+  const TaskGraph g = testing::chain(3);
+  EXPECT_TRUE(is_topological_list(g, {0, 1, 2}));
+  EXPECT_FALSE(is_topological_list(g, {1, 0, 2}));   // order violated
+  EXPECT_FALSE(is_topological_list(g, {0, 1}));      // missing node
+  EXPECT_FALSE(is_topological_list(g, {0, 1, 1}));   // duplicate
+  EXPECT_FALSE(is_topological_list(g, {0, 1, 7}));   // out of range
+}
+
+}  // namespace
+}  // namespace fastsched::fast

@@ -1,0 +1,106 @@
+#include "fast/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fast/cpn_dominate.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::fast {
+namespace {
+
+std::vector<NodeId> topo_list(const TaskGraph& g) {
+  const auto topo = g.topological_order();
+  return {topo.begin(), topo.end()};
+}
+
+TEST(Evaluator, SingleProcIsSerial) {
+  const TaskGraph g = testing::chain(4, 2.0, 5.0);
+  AssignmentEvaluator eval(g, topo_list(g), 1);
+  const std::vector<ProcId> assignment(4, 0);
+  EXPECT_EQ(eval.evaluate(assignment), 8.0);  // 4 * 2, comm zeroed
+}
+
+TEST(Evaluator, CrossProcChainPaysComm) {
+  const TaskGraph g = testing::chain(2, 2.0, 5.0);
+  AssignmentEvaluator eval(g, topo_list(g), 2);
+  EXPECT_EQ(eval.evaluate(std::vector<ProcId>{0, 1}), 9.0);  // 2 + 5 + 2
+  EXPECT_EQ(eval.evaluate(std::vector<ProcId>{0, 0}), 4.0);
+}
+
+TEST(Evaluator, ForkJoinBalancesAcrossProcs) {
+  // root(1) -> 2 mids(1) -> sink(1), comm 0: two procs run mids in parallel.
+  const TaskGraph g = testing::fork_join(2, 1.0, 0.0);
+  AssignmentEvaluator eval(g, topo_list(g), 2);
+  EXPECT_EQ(eval.evaluate(std::vector<ProcId>{0, 0, 1, 0}), 3.0);
+  // All on one proc: serial = 4.
+  EXPECT_EQ(eval.evaluate(std::vector<ProcId>{0, 0, 0, 0}), 4.0);
+}
+
+TEST(Evaluator, RepeatedEvaluationsAreIndependent) {
+  const TaskGraph g = testing::small_random(51);
+  AssignmentEvaluator eval(g, topo_list(g), 4);
+  std::vector<ProcId> a(g.num_nodes(), 0);
+  std::vector<ProcId> b(g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) b[n] = n % 4;
+  const Cost la1 = eval.evaluate(a);
+  const Cost lb = eval.evaluate(b);
+  const Cost la2 = eval.evaluate(a);
+  EXPECT_EQ(la1, la2);  // scratch state fully reset between calls
+  EXPECT_NE(la1, lb);   // (holds for this seed)
+}
+
+TEST(Evaluator, MaterializeMatchesEvaluate) {
+  for (std::uint64_t seed = 60; seed < 70; ++seed) {
+    const TaskGraph g = testing::small_random(seed);
+    AssignmentEvaluator eval(g, topo_list(g), 5);
+    std::vector<ProcId> assignment(g.num_nodes());
+    Rng rng(seed);
+    for (auto& p : assignment) p = static_cast<ProcId>(rng.uniform(5));
+    const Cost len = eval.evaluate(assignment);
+    const Schedule s = eval.materialize(assignment);
+    EXPECT_EQ(s.length(), len);
+    EXPECT_TRUE(sched::is_valid(g, s)) << "seed " << seed;
+  }
+}
+
+TEST(Evaluator, MaterializedScheduleUsesAssignedProcs) {
+  const TaskGraph g = testing::chain(3, 1.0, 1.0);
+  AssignmentEvaluator eval(g, topo_list(g), 3);
+  const std::vector<ProcId> assignment{2, 0, 1};
+  const Schedule s = eval.materialize(assignment);
+  EXPECT_EQ(s.proc(0), 2u);
+  EXPECT_EQ(s.proc(1), 0u);
+  EXPECT_EQ(s.proc(2), 1u);
+}
+
+TEST(Evaluator, RejectsNonTopologicalList) {
+  const TaskGraph g = testing::chain(3);
+  EXPECT_THROW(AssignmentEvaluator(g, {2, 1, 0}, 2), Error);
+}
+
+TEST(Evaluator, RejectsZeroProcs) {
+  const TaskGraph g = testing::chain(3);
+  EXPECT_THROW(AssignmentEvaluator(g, topo_list(g), 0), Error);
+}
+
+TEST(Evaluator, ListOrderAffectsScheduleNotValidity) {
+  // Both the plain topo order and the CPN-Dominate order must yield valid
+  // schedules; lengths may differ.
+  const TaskGraph g = testing::small_random(71);
+  const auto levels = graph::compute_levels(g);
+  const auto classes = graph::classify_nodes(g, levels);
+  const auto cpn_list = build_cpn_dominate_list(g, levels, classes);
+
+  std::vector<ProcId> assignment(g.num_nodes());
+  Rng rng(71);
+  for (auto& p : assignment) p = static_cast<ProcId>(rng.uniform(3));
+
+  AssignmentEvaluator eval_a(g, topo_list(g), 3);
+  AssignmentEvaluator eval_b(g, cpn_list, 3);
+  EXPECT_TRUE(sched::is_valid(g, eval_a.materialize(assignment)));
+  EXPECT_TRUE(sched::is_valid(g, eval_b.materialize(assignment)));
+}
+
+}  // namespace
+}  // namespace fastsched::fast

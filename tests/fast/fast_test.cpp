@@ -1,0 +1,119 @@
+#include "fast/fast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::fast {
+namespace {
+
+TEST(Fast, EmptyGraph) {
+  const TaskGraph g = graph::TaskGraphBuilder{}.build();
+  const FastResult r = run_fast(g);
+  EXPECT_TRUE(r.list.empty());
+  EXPECT_EQ(r.final_length, 0.0);
+}
+
+TEST(Fast, SingleNode) {
+  const TaskGraph g = testing::single(4.0);
+  const FastResult r = run_fast(g);
+  EXPECT_EQ(r.final_length, 4.0);
+  EXPECT_TRUE(r.blocking_list.empty());  // the single node is the CP
+}
+
+TEST(Fast, SearchNeverWorsensInitial) {
+  for (std::uint64_t seed = 200; seed < 220; ++seed) {
+    const TaskGraph g = testing::small_random(seed);
+    FastOptions opts;
+    opts.seed = seed;
+    const FastResult r = run_fast(g, opts);
+    EXPECT_LE(r.final_length, r.initial_length) << "seed " << seed;
+  }
+}
+
+TEST(Fast, ProducesValidSchedules) {
+  for (std::uint64_t seed = 220; seed < 235; ++seed) {
+    const TaskGraph g = testing::small_random(seed);
+    FastOptions opts;
+    opts.seed = seed;
+    const FastResult r = run_fast(g, opts);
+    const Schedule s = to_schedule(g, r, g.num_nodes());
+    EXPECT_TRUE(sched::is_valid(g, s)) << "seed " << seed;
+    EXPECT_EQ(s.length(), r.final_length);
+  }
+}
+
+TEST(Fast, BlockingListIsIbnsAndObns) {
+  const TaskGraph g = testing::small_random(240);
+  const auto levels = graph::compute_levels(g);
+  const auto classes = graph::classify_nodes(g, levels);
+  const FastResult r = run_fast(g);
+  std::size_t non_cpn = 0;
+  for (const auto c : classes) {
+    if (c != graph::NodeClass::kCpn) ++non_cpn;
+  }
+  EXPECT_EQ(r.blocking_list.size(), non_cpn);
+  for (const NodeId n : r.blocking_list) {
+    EXPECT_NE(classes[n], graph::NodeClass::kCpn);
+  }
+}
+
+TEST(Fast, DeterministicPerSeed) {
+  const TaskGraph g = testing::small_random(241);
+  FastOptions opts;
+  opts.seed = 99;
+  const FastResult a = run_fast(g, opts);
+  const FastResult b = run_fast(g, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.final_length, b.final_length);
+}
+
+TEST(Fast, MoreStepsNeverHurt) {
+  const TaskGraph g = testing::small_random(242);
+  FastOptions few;
+  few.max_steps = 8;
+  few.seed = 5;
+  FastOptions many = few;
+  many.max_steps = 512;
+  // Same seed: the first 8 steps coincide, so more steps can only help.
+  EXPECT_GE(run_fast(g, few).final_length, run_fast(g, many).final_length);
+}
+
+TEST(Fast, RespectsProcessorBudget) {
+  const TaskGraph g = testing::small_random(243);
+  FastOptions opts;
+  opts.num_procs = 3;
+  const FastResult r = run_fast(g, opts);
+  for (const ProcId p : r.assignment) EXPECT_LT(p, 3u);
+}
+
+TEST(Fast, SchedulerAdapterMatchesRunFast) {
+  const TaskGraph g = testing::small_random(244);
+  FastOptions opts;
+  opts.seed = 17;
+  const FastResult r = run_fast(g, opts);
+
+  FastScheduler scheduler;
+  sched::SchedulerOptions so;
+  so.seed = 17;
+  const Schedule s = scheduler.run(g, so);
+  EXPECT_EQ(s.length(), r.final_length);
+  EXPECT_EQ(scheduler.name(), "FAST");
+  EXPECT_FALSE(scheduler.unbounded_processors());
+}
+
+TEST(Fast, AlternativeListPoliciesStillValid) {
+  const TaskGraph g = testing::small_random(245);
+  for (const ListPolicy policy :
+       {ListPolicy::kBLevel, ListPolicy::kTLevel, ListPolicy::kStaticLevel}) {
+    FastOptions opts;
+    opts.list_policy = policy;
+    const FastResult r = run_fast(g, opts);
+    const Schedule s = to_schedule(g, r, g.num_nodes());
+    EXPECT_TRUE(sched::is_valid(g, s));
+  }
+}
+
+}  // namespace
+}  // namespace fastsched::fast

@@ -1,0 +1,103 @@
+#include "fast/initial_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fast/cpn_dominate.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::fast {
+namespace {
+
+std::vector<NodeId> cpn_list(const TaskGraph& g) {
+  const auto levels = graph::compute_levels(g);
+  const auto classes = graph::classify_nodes(g, levels);
+  return build_cpn_dominate_list(g, levels, classes);
+}
+
+TEST(InitialSchedule, SingleNodeOnFirstProc) {
+  const TaskGraph g = testing::single(3.0);
+  const auto result = initial_schedule(g, cpn_list(g), 4);
+  EXPECT_EQ(result.length, 3.0);
+  EXPECT_EQ(result.assignment[0], 0u);
+}
+
+TEST(InitialSchedule, ChainStaysOnOneProcessor) {
+  // Keeping a chain local always beats paying communication.
+  const TaskGraph g = testing::chain(5, 2.0, 3.0);
+  const auto result = initial_schedule(g, cpn_list(g), 5);
+  for (const ProcId p : result.assignment) EXPECT_EQ(p, 0u);
+  EXPECT_EQ(result.length, 10.0);
+}
+
+TEST(InitialSchedule, ZeroCommForkJoinSpreadsOut) {
+  // With free communication, the two middle nodes run in parallel.
+  const TaskGraph g = testing::fork_join(2, 1.0, 0.0);
+  const auto result = initial_schedule(g, cpn_list(g), 4);
+  EXPECT_EQ(result.length, 3.0);
+  EXPECT_NE(result.assignment[1], result.assignment[2]);
+}
+
+TEST(InitialSchedule, ExpensiveCommForkJoinStaysLocal) {
+  // Communication (100) dwarfs computation (1): everything serializes on
+  // one processor for length 4 instead of paying 100 twice.
+  const TaskGraph g = testing::fork_join(2, 1.0, 100.0);
+  const auto result = initial_schedule(g, cpn_list(g), 4);
+  EXPECT_EQ(result.length, 4.0);
+  for (const ProcId p : result.assignment) EXPECT_EQ(p, result.assignment[0]);
+}
+
+TEST(InitialSchedule, RespectsProcessorBudget) {
+  const TaskGraph g = testing::fork_join(8, 1.0, 0.0);
+  const auto result = initial_schedule(g, cpn_list(g), 2);
+  for (const ProcId p : result.assignment) EXPECT_LT(p, 2u);
+}
+
+TEST(InitialSchedule, SingleProcessorIsSerial) {
+  const TaskGraph g = testing::small_random(81);
+  const auto result = initial_schedule(g, cpn_list(g), 1);
+  EXPECT_NEAR(result.length, g.total_work(), 1e-9);
+}
+
+TEST(InitialSchedule, MatchesEvaluatorLength) {
+  for (std::uint64_t seed = 90; seed < 100; ++seed) {
+    const TaskGraph g = testing::small_random(seed);
+    const auto list = cpn_list(g);
+    const auto result = initial_schedule(g, list, 8);
+    AssignmentEvaluator eval(g, list, 8);
+    EXPECT_NEAR(eval.evaluate(result.assignment), result.length, 1e-9)
+        << "seed " << seed;
+    EXPECT_TRUE(sched::is_valid(g, eval.materialize(result.assignment)));
+  }
+}
+
+TEST(InitialSchedule, DisconnectedChainsUseSeparateProcs) {
+  // Two independent chains: the second chain's entry has no parents, so it
+  // must grab a fresh processor instead of queueing behind chain one.
+  const TaskGraph g = testing::two_chains(3);
+  const auto list = cpn_list(g);
+  const auto result = initial_schedule(g, list, 4);
+  EXPECT_EQ(result.length, 3.0);
+  EXPECT_NE(result.assignment[0], result.assignment[3]);
+}
+
+TEST(InitialSchedule, ParentlessNodesFallBackWhenPoolExhausted) {
+  // 3 independent nodes, 2 processors: the third must reuse a processor
+  // via the min-ready fallback rather than crash.
+  graph::TaskGraphBuilder builder;
+  builder.add_node(2);
+  builder.add_node(4);
+  builder.add_node(8);
+  const TaskGraph g = builder.build();
+  const auto result = initial_schedule(g, cpn_list(g), 2);
+  EXPECT_LE(result.length, 10.0);
+  for (const ProcId p : result.assignment) EXPECT_LT(p, 2u);
+}
+
+TEST(InitialSchedule, RejectsZeroProcessors) {
+  const TaskGraph g = testing::chain(2);
+  EXPECT_THROW((void)initial_schedule(g, cpn_list(g), 0), Error);
+}
+
+}  // namespace
+}  // namespace fastsched::fast

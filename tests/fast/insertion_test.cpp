@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "fast/cpn_dominate.hpp"
+#include "fast/initial_schedule.hpp"
+#include "graph/classification.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::fast {
+namespace {
+
+std::vector<NodeId> cpn_list(const TaskGraph& g) {
+  const auto levels = graph::compute_levels(g);
+  const auto classes = graph::classify_nodes(g, levels);
+  return build_cpn_dominate_list(g, levels, classes);
+}
+
+TEST(InitialScheduleInsertion, ProducesValidSchedules) {
+  for (std::uint64_t seed = 960; seed < 970; ++seed) {
+    const TaskGraph g = testing::small_random(seed);
+    const auto s = initial_schedule_insertion(g, cpn_list(g), 8);
+    EXPECT_TRUE(sched::is_valid(g, s)) << seed;
+    EXPECT_TRUE(s.is_complete());
+  }
+}
+
+TEST(InitialScheduleInsertion, NeverLongerThanReadyTimeVariant) {
+  // Insertion explores a superset of the ready-time placements on each
+  // candidate processor, so per-node starts (and hence the greedy result)
+  // can only improve or tie for the same list.
+  for (std::uint64_t seed = 970; seed < 980; ++seed) {
+    const TaskGraph g = testing::small_random(seed, 80, 5.0, 4.0);
+    const auto list = cpn_list(g);
+    const auto ready = initial_schedule(g, list, 8);
+    const auto ins = initial_schedule_insertion(g, list, 8);
+    EXPECT_LE(ins.length(), ready.length * 1.05 + 1e-9) << seed;
+  }
+}
+
+TEST(InitialScheduleInsertion, FillsGapsAChainCannotUse) {
+  // A long task on P0 followed by a short independent task: insertion
+  // tucks the short one into P0's idle prefix; ready-time cannot.
+  graph::TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(10);   // a -> b on the CP
+  const auto c = builder.add_node(2);    // independent, listed last
+  builder.add_edge(a, b, 0.0);
+  (void)c;
+  const TaskGraph g = builder.build();
+  const auto list = cpn_list(g);
+  const auto s = initial_schedule_insertion(g, list, 2);
+  EXPECT_TRUE(sched::is_valid(g, s));
+  EXPECT_EQ(s.length(), 11.0);
+}
+
+TEST(InitialScheduleInsertion, RespectsBudgetAndRejectsZero) {
+  const TaskGraph g = testing::small_random(981);
+  const auto list = cpn_list(g);
+  const auto s = initial_schedule_insertion(g, list, 2);
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_LT(s.proc(n), 2u);
+  }
+  EXPECT_THROW((void)initial_schedule_insertion(g, list, 0), Error);
+}
+
+}  // namespace
+}  // namespace fastsched::fast

@@ -1,0 +1,192 @@
+#include "fast/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fast/cpn_dominate.hpp"
+#include "fast/initial_schedule.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::fast {
+namespace {
+
+struct SearchState {
+  std::vector<NodeId> list;
+  std::vector<NodeId> blocking;
+  std::vector<ProcId> assignment;
+  Cost length = 0;
+};
+
+SearchState make_state(const TaskGraph& g, std::size_t procs) {
+  const auto levels = graph::compute_levels(g);
+  const auto classes = graph::classify_nodes(g, levels);
+  SearchState s;
+  s.list = build_cpn_dominate_list(g, levels, classes);
+  for (const NodeId n : s.list) {
+    if (classes[n] != graph::NodeClass::kCpn) s.blocking.push_back(n);
+  }
+  auto initial = initial_schedule(g, s.list, procs);
+  s.assignment = std::move(initial.assignment);
+  s.length = initial.length;
+  return s;
+}
+
+TEST(LocalSearch, NeverWorsens) {
+  for (std::uint64_t seed = 100; seed < 115; ++seed) {
+    const TaskGraph g = testing::small_random(seed);
+    SearchState s = make_state(g, 6);
+    AssignmentEvaluator eval(g, s.list, 6);
+    Rng rng(seed);
+    LocalSearchOptions opts;
+    opts.max_steps = 64;
+    const auto stats =
+        local_search(eval, s.blocking, s.assignment, s.length, opts, rng);
+    EXPECT_LE(stats.final_length, stats.initial_length) << "seed " << seed;
+    EXPECT_NEAR(eval.evaluate(s.assignment), s.length, 1e-9);
+    EXPECT_TRUE(sched::is_valid(g, eval.materialize(s.assignment)));
+  }
+}
+
+TEST(LocalSearch, IsDeterministicPerSeed) {
+  const TaskGraph g = testing::small_random(120);
+  const SearchState base = make_state(g, 6);
+  LocalSearchOptions opts;
+  opts.max_steps = 128;
+
+  const auto run = [&](std::uint64_t seed) {
+    SearchState s = base;
+    AssignmentEvaluator eval(g, s.list, 6);
+    Rng rng(seed);
+    local_search(eval, s.blocking, s.assignment, s.length, opts, rng);
+    return s;
+  };
+  const SearchState a = run(7);
+  const SearchState b = run(7);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.length, b.length);
+}
+
+TEST(LocalSearch, ZeroStepsIsNoOp) {
+  const TaskGraph g = testing::small_random(121);
+  SearchState s = make_state(g, 6);
+  const auto before = s.assignment;
+  AssignmentEvaluator eval(g, s.list, 6);
+  Rng rng(1);
+  LocalSearchOptions opts;
+  opts.max_steps = 0;
+  const auto stats =
+      local_search(eval, s.blocking, s.assignment, s.length, opts, rng);
+  EXPECT_EQ(stats.steps, 0);
+  EXPECT_EQ(s.assignment, before);
+}
+
+TEST(LocalSearch, EmptyBlockingListIsNoOp) {
+  const TaskGraph g = testing::chain(4);  // chain: all nodes are CPNs
+  SearchState s = make_state(g, 4);
+  EXPECT_TRUE(s.blocking.empty());
+  const auto before = s.assignment;
+  AssignmentEvaluator eval(g, s.list, 4);
+  Rng rng(1);
+  const auto stats = local_search(eval, s.blocking, s.assignment, s.length,
+                                  LocalSearchOptions{}, rng);
+  EXPECT_EQ(stats.steps, 0);
+  EXPECT_EQ(s.assignment, before);
+}
+
+TEST(LocalSearch, SingleProcessorIsNoOp) {
+  const TaskGraph g = testing::small_random(122);
+  SearchState s = make_state(g, 1);
+  AssignmentEvaluator eval(g, s.list, 1);
+  Rng rng(1);
+  const auto stats = local_search(eval, s.blocking, s.assignment, s.length,
+                                  LocalSearchOptions{}, rng);
+  EXPECT_EQ(stats.steps, 0);
+}
+
+TEST(LocalSearch, FindsAnObviousImprovement) {
+  // Asymmetric fork-join with free comm (one heavy branch is the unique
+  // CP; the light branches are IBNs), everything forced onto one
+  // processor: the search must discover that spreading the IBNs helps.
+  graph::TaskGraphBuilder builder;
+  const auto root = builder.add_node(3);
+  const auto heavy = builder.add_node(3);
+  const auto l1 = builder.add_node(2);
+  const auto l2 = builder.add_node(2);
+  const auto l3 = builder.add_node(2);
+  const auto sink = builder.add_node(3);
+  for (const auto mid : {heavy, l1, l2, l3}) {
+    builder.add_edge(root, mid, 0.0);
+    builder.add_edge(mid, sink, 0.0);
+  }
+  const TaskGraph g = builder.build();
+  const auto levels = graph::compute_levels(g);
+  const auto classes = graph::classify_nodes(g, levels);
+  const auto list = build_cpn_dominate_list(g, levels, classes);
+  std::vector<NodeId> blocking;
+  for (const NodeId n : list) {
+    if (classes[n] != graph::NodeClass::kCpn) blocking.push_back(n);
+  }
+  ASSERT_FALSE(blocking.empty());
+
+  AssignmentEvaluator eval(g, list, 4);
+  std::vector<ProcId> assignment(g.num_nodes(), 0);  // all serial
+  Cost length = eval.evaluate(assignment);
+  ASSERT_EQ(length, 15.0);  // 3+3+2+2+2+3 serial
+
+  Rng rng(3);
+  LocalSearchOptions opts;
+  opts.max_steps = 500;
+  const auto stats =
+      local_search(eval, blocking, assignment, length, opts, rng);
+  EXPECT_LT(stats.final_length, 15.0);
+  EXPECT_GT(stats.improvements, 0);
+}
+
+TEST(LocalSearch, StatsAreConsistent) {
+  const TaskGraph g = testing::small_random(123);
+  SearchState s = make_state(g, 6);
+  const Cost initial = s.length;
+  AssignmentEvaluator eval(g, s.list, 6);
+  Rng rng(5);
+  LocalSearchOptions opts;
+  opts.max_steps = 200;
+  const auto stats =
+      local_search(eval, s.blocking, s.assignment, s.length, opts, rng);
+  EXPECT_EQ(stats.steps, 200);
+  EXPECT_EQ(stats.initial_length, initial);
+  EXPECT_EQ(stats.final_length, s.length);
+  EXPECT_GE(stats.improvements, 0);
+}
+
+TEST(LocalSearch, BestProcPolicyAtLeastAsGoodPerStep) {
+  // Steepest-descent over processors with the same step count cannot end
+  // worse than where it started and must track `length` correctly.
+  const TaskGraph g = testing::small_random(124);
+  SearchState s = make_state(g, 6);
+  AssignmentEvaluator eval(g, s.list, 6);
+  Rng rng(9);
+  LocalSearchOptions opts;
+  opts.max_steps = 32;
+  opts.policy = NeighborhoodPolicy::kBestProcForRandomBlocking;
+  const auto stats =
+      local_search(eval, s.blocking, s.assignment, s.length, opts, rng);
+  EXPECT_LE(stats.final_length, stats.initial_length);
+  EXPECT_NEAR(eval.evaluate(s.assignment), s.length, 1e-9);
+}
+
+TEST(LocalSearch, RandomNodePolicyMayMoveCpns) {
+  const TaskGraph g = testing::small_random(125);
+  SearchState s = make_state(g, 6);
+  AssignmentEvaluator eval(g, s.list, 6);
+  Rng rng(11);
+  LocalSearchOptions opts;
+  opts.max_steps = 200;
+  opts.policy = NeighborhoodPolicy::kRandomNodeRandomProc;
+  const auto stats =
+      local_search(eval, s.blocking, s.assignment, s.length, opts, rng);
+  EXPECT_LE(stats.final_length, stats.initial_length);
+  EXPECT_TRUE(sched::is_valid(g, eval.materialize(s.assignment)));
+}
+
+}  // namespace
+}  // namespace fastsched::fast

@@ -1,0 +1,151 @@
+// Golden tests against the paper's worked example (Figures 1–4): the
+// reconstructed 9-node DAG must reproduce every fact the text states.
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "fast/fast.hpp"
+#include "graph/classification.hpp"
+#include "sched/validation.hpp"
+#include "workloads/paper_example.hpp"
+
+namespace fastsched {
+namespace {
+
+using graph::NodeId;
+
+constexpr NodeId n(int i) { return static_cast<NodeId>(i - 1); }
+
+class PaperExample : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = workloads::paper_figure1_dag();
+    levels_ = graph::compute_levels(g_);
+    classes_ = graph::classify_nodes(g_, levels_);
+  }
+
+  graph::TaskGraph g_ = graph::TaskGraphBuilder{}.build();
+  graph::LevelInfo levels_;
+  std::vector<graph::NodeClass> classes_;
+};
+
+TEST_F(PaperExample, HasNineNodesAndIsConnected) {
+  EXPECT_EQ(g_.num_nodes(), 9u);
+  EXPECT_EQ(g_.num_edges(), 13u);
+  EXPECT_TRUE(g_.is_connected());
+}
+
+TEST_F(PaperExample, CpnsAreN1N7N9) {
+  for (int i = 1; i <= 9; ++i) {
+    const bool expect_cpn = (i == 1 || i == 7 || i == 9);
+    EXPECT_EQ(levels_.is_cpn[n(i)], expect_cpn) << "n" << i;
+  }
+  EXPECT_EQ(levels_.critical_path,
+            (std::vector<NodeId>{n(1), n(7), n(9)}));
+}
+
+TEST_F(PaperExample, AllNonCpnsAreIbns) {
+  // "There is no OBN in this DAG" (§4.1).
+  for (int i = 1; i <= 9; ++i) {
+    EXPECT_NE(classes_[n(i)], graph::NodeClass::kObn) << "n" << i;
+  }
+}
+
+TEST_F(PaperExample, AsapEqualsTlevelAndAlapDerivedFromBlevel) {
+  // Figure 1(b) defines ALAP = CP length − b-level; ASAP = t-level.
+  for (NodeId i = 0; i < 9; ++i) {
+    EXPECT_NEAR(levels_.alap[i], levels_.cp_length - levels_.b_level[i],
+                1e-9);
+  }
+  // CPNs have equal ASAP and ALAP.
+  for (const int i : {1, 7, 9}) {
+    EXPECT_NEAR(levels_.t_level[n(i)], levels_.alap[n(i)], 1e-9);
+  }
+}
+
+TEST_F(PaperExample, CpnDominateListMatchesPaper) {
+  const auto list = fast::build_cpn_dominate_list(g_, levels_, classes_);
+  EXPECT_EQ(list, workloads::paper_cpn_dominate_list());
+}
+
+TEST_F(PaperExample, StaticLevelMisleadsEtfAndDls) {
+  // §5: "they schedule the node n5 early because it has a higher value of
+  // static level (SL). But n5 is in fact not as important as n2."
+  EXPECT_GT(levels_.static_level[n(5)], levels_.static_level[n(2)]);
+}
+
+TEST_F(PaperExample, InitialScheduleLengthIs24) {
+  const auto list = fast::build_cpn_dominate_list(g_, levels_, classes_);
+  const auto initial = fast::initial_schedule(g_, list, 9);
+  EXPECT_EQ(initial.length, 24.0);
+}
+
+TEST_F(PaperExample, TransferringN6Yields23AndDelaysN5N8) {
+  const auto list = fast::build_cpn_dominate_list(g_, levels_, classes_);
+  const auto initial = fast::initial_schedule(g_, list, 9);
+  fast::AssignmentEvaluator eval(g_, list, 9);
+  const sched::Schedule before = eval.materialize(initial.assignment);
+
+  bool found = false;
+  for (sched::ProcId p = 0; p < 9 && !found; ++p) {
+    if (p == initial.assignment[n(6)]) continue;
+    auto moved = initial.assignment;
+    moved[n(6)] = p;
+    if (eval.evaluate(moved) != 23.0) continue;
+    const sched::Schedule after = eval.materialize(moved);
+    EXPECT_TRUE(sched::is_valid(g_, after));
+    if (after.start(n(5)) > before.start(n(5)) &&
+        after.start(n(8)) > before.start(n(8))) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "no n6 transfer reproduces Figure 4(b): length 23 with n5 and n8 "
+         "delayed";
+}
+
+TEST_F(PaperExample, FastLocalSearchFindsThe23Schedule) {
+  // The paper's narrative: with the blocking-node neighbourhood, the
+  // search discovers the n6 transfer. MAXSTEP = 64 random moves on a
+  // 6-node × 9-proc neighbourhood finds it with near-certainty; we assert
+  // it for a fixed seed set to keep the test deterministic.
+  bool reached_23 = false;
+  for (std::uint64_t seed = 1; seed <= 5 && !reached_23; ++seed) {
+    fast::FastOptions opts;
+    opts.seed = seed;
+    const auto result = fast::run_fast(g_, opts);
+    EXPECT_LE(result.final_length, 24.0);
+    if (result.final_length == 23.0) reached_23 = true;
+  }
+  EXPECT_TRUE(reached_23);
+}
+
+TEST_F(PaperExample, BaselineOrderingMatchesFigures2And3) {
+  // Figures 2–3: MD produces the worst schedule; ETF and DLS produce the
+  // same (intermediate) schedule; DSC is slightly better than ETF/DLS;
+  // FAST's initial schedule (24) is the shortest.
+  const sched::SchedulerOptions opts;
+  const auto md = baselines::make_scheduler("MD")->run(g_, opts);
+  const auto etf = baselines::make_scheduler("ETF")->run(g_, opts);
+  const auto dls = baselines::make_scheduler("DLS")->run(g_, opts);
+  const auto dsc = baselines::make_scheduler("DSC")->run(g_, opts);
+  for (const auto* s : {&md, &etf, &dls, &dsc}) {
+    EXPECT_TRUE(sched::is_valid(g_, *s));
+  }
+  EXPECT_EQ(etf.length(), dls.length());
+  EXPECT_GT(md.length(), etf.length());
+  EXPECT_GT(etf.length(), dsc.length());
+  EXPECT_GT(dsc.length(), 24.0);
+}
+
+TEST_F(PaperExample, BlockingNodeListIsAllIbns) {
+  // §4.3: the blocking-node list of the DAG is {n2, n3, n4, n5, n6, n8}.
+  const auto result = fast::run_fast(g_);
+  std::vector<NodeId> sorted = result.blocking_list;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted,
+            (std::vector<NodeId>{n(2), n(3), n(4), n(5), n(6), n(8)}));
+}
+
+}  // namespace
+}  // namespace fastsched

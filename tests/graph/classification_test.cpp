@@ -1,0 +1,137 @@
+#include "graph/classification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::graph {
+namespace {
+
+std::vector<NodeClass> classify(const TaskGraph& g) {
+  return classify_nodes(g, compute_levels(g));
+}
+
+TEST(Classification, ChainIsAllCpn) {
+  const TaskGraph g = testing::chain(4);
+  for (const NodeClass c : classify(g)) EXPECT_EQ(c, NodeClass::kCpn);
+}
+
+TEST(Classification, DiamondSideBranchIsIbn) {
+  // b (lighter) feeds the CPN d, so b is an IBN.
+  const TaskGraph g = testing::diamond(2.0, 3.0, 1.0);
+  const auto classes = classify(g);
+  EXPECT_EQ(classes[0], NodeClass::kCpn);
+  EXPECT_EQ(classes[1], NodeClass::kIbn);
+  EXPECT_EQ(classes[2], NodeClass::kCpn);
+  EXPECT_EQ(classes[3], NodeClass::kCpn);
+}
+
+TEST(Classification, DanglingExitIsObn) {
+  // chain a->b->c plus a side exit a->x with tiny weight: x reaches no CPN.
+  TaskGraphBuilder builder;
+  const auto a = builder.add_node(5);
+  const auto b = builder.add_node(5);
+  const auto c = builder.add_node(5);
+  const auto x = builder.add_node(1);
+  builder.add_edge(a, b, 1);
+  builder.add_edge(b, c, 1);
+  builder.add_edge(a, x, 1);
+  const TaskGraph g = builder.build();
+  const auto classes = classify(g);
+  EXPECT_EQ(classes[a], NodeClass::kCpn);
+  EXPECT_EQ(classes[b], NodeClass::kCpn);
+  EXPECT_EQ(classes[c], NodeClass::kCpn);
+  EXPECT_EQ(classes[x], NodeClass::kObn);
+}
+
+TEST(Classification, IbnAncestorsOfIbnsAreIbn) {
+  // y -> x -> CPN-chain: both y and x reach a CPN.
+  TaskGraphBuilder builder;
+  const auto a = builder.add_node(10);
+  const auto b = builder.add_node(10);
+  const auto x = builder.add_node(1);
+  const auto y = builder.add_node(1);
+  builder.add_edge(a, b, 1);
+  builder.add_edge(y, x, 1);
+  builder.add_edge(x, b, 1);
+  const TaskGraph g = builder.build();
+  const auto classes = classify(g);
+  EXPECT_EQ(classes[a], NodeClass::kCpn);
+  EXPECT_EQ(classes[b], NodeClass::kCpn);
+  EXPECT_EQ(classes[x], NodeClass::kIbn);
+  EXPECT_EQ(classes[y], NodeClass::kIbn);
+}
+
+TEST(Classification, EveryNodeGetsExactlyOneClass) {
+  const TaskGraph g = testing::small_random(/*seed=*/21);
+  const auto levels = compute_levels(g);
+  const auto classes = classify_nodes(g, levels);
+  ASSERT_EQ(classes.size(), g.num_nodes());
+  const auto cpns = nodes_of_class(classes, NodeClass::kCpn);
+  const auto ibns = nodes_of_class(classes, NodeClass::kIbn);
+  const auto obns = nodes_of_class(classes, NodeClass::kObn);
+  EXPECT_EQ(cpns.size() + ibns.size() + obns.size(), g.num_nodes());
+  // CPN classification agrees with the level computation.
+  for (const NodeId n : cpns) EXPECT_TRUE(levels.is_cpn[n]);
+  for (const NodeId n : ibns) EXPECT_FALSE(levels.is_cpn[n]);
+}
+
+TEST(Classification, IbnsReachACpn) {
+  const TaskGraph g = testing::small_random(/*seed=*/22);
+  const auto levels = compute_levels(g);
+  const auto classes = classify_nodes(g, levels);
+  // BFS forward from each IBN must hit a CPN.
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (classes[n] != NodeClass::kIbn) continue;
+    std::vector<NodeId> stack{n};
+    std::vector<bool> seen(g.num_nodes(), false);
+    bool found = false;
+    while (!stack.empty() && !found) {
+      const NodeId cur = stack.back();
+      stack.pop_back();
+      for (const Adjacency& s : g.successors(cur)) {
+        if (levels.is_cpn[s.node]) {
+          found = true;
+          break;
+        }
+        if (!seen[s.node]) {
+          seen[s.node] = true;
+          stack.push_back(s.node);
+        }
+      }
+    }
+    EXPECT_TRUE(found) << "IBN " << g.name(n) << " reaches no CPN";
+  }
+}
+
+TEST(Classification, ObnsReachNoCpn) {
+  const TaskGraph g = testing::small_random(/*seed=*/23);
+  const auto levels = compute_levels(g);
+  const auto classes = classify_nodes(g, levels);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (classes[n] != NodeClass::kObn) continue;
+    std::vector<NodeId> stack{n};
+    std::vector<bool> seen(g.num_nodes(), false);
+    while (!stack.empty()) {
+      const NodeId cur = stack.back();
+      stack.pop_back();
+      EXPECT_FALSE(levels.is_cpn[cur]) << g.name(cur);
+      for (const Adjacency& s : g.successors(cur)) {
+        if (!seen[s.node]) {
+          seen[s.node] = true;
+          stack.push_back(s.node);
+        }
+      }
+    }
+  }
+}
+
+TEST(Classification, RejectsMismatchedLevels) {
+  const TaskGraph g = testing::chain(3);
+  const TaskGraph other = testing::chain(5);
+  const auto levels = compute_levels(other);
+  EXPECT_THROW((void)classify_nodes(g, levels), Error);
+}
+
+}  // namespace
+}  // namespace fastsched::graph

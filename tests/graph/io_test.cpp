@@ -1,0 +1,92 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::graph {
+namespace {
+
+void expect_same_graph(const TaskGraph& a, const TaskGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    EXPECT_EQ(a.weight(n), b.weight(n));
+    EXPECT_EQ(a.name(n), b.name(n));
+  }
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge_source(e), b.edge_source(e));
+    EXPECT_EQ(a.edge_target(e), b.edge_target(e));
+    EXPECT_EQ(a.edge_cost(e), b.edge_cost(e));
+  }
+}
+
+TEST(GraphIo, RoundTripSmall) {
+  const TaskGraph g = testing::diamond(2.5, 3.25, 1.125);
+  expect_same_graph(g, from_text(to_text(g)));
+}
+
+TEST(GraphIo, RoundTripRandomWithIrrationalWeights) {
+  const TaskGraph g = testing::small_random(/*seed=*/31, /*nodes=*/40,
+                                            /*ccr=*/0.7);
+  expect_same_graph(g, from_text(to_text(g)));
+}
+
+TEST(GraphIo, RoundTripEmpty) {
+  const TaskGraph g = TaskGraphBuilder{}.build();
+  expect_same_graph(g, from_text(to_text(g)));
+}
+
+TEST(GraphIo, ParsesCommentsAndBlankLines) {
+  const TaskGraph g = from_text(
+      "# a comment\n"
+      "\n"
+      "node 0 2.0 alpha\n"
+      "node 1 3.0 beta\n"
+      "# another comment\n"
+      "edge 0 1 1.5\n");
+  ASSERT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.name(0), "alpha");
+  EXPECT_EQ(*g.find_edge_cost(0, 1), 1.5);
+}
+
+TEST(GraphIo, NodeNameIsOptional) {
+  const TaskGraph g = from_text("node 0 2.0\n");
+  EXPECT_EQ(g.name(0), "n1");
+}
+
+TEST(GraphIo, RejectsUnknownRecord) {
+  EXPECT_THROW((void)from_text("vertex 0 1.0\n"), Error);
+}
+
+TEST(GraphIo, RejectsNonDenseNodeIds) {
+  EXPECT_THROW((void)from_text("node 1 2.0\n"), Error);
+}
+
+TEST(GraphIo, RejectsMalformedLines) {
+  EXPECT_THROW((void)from_text("node 0\n"), Error);
+  EXPECT_THROW((void)from_text("node 0 1.0 x\nedge 0\n"), Error);
+}
+
+TEST(GraphIo, RejectsEdgeBeforeNodes) {
+  EXPECT_THROW((void)from_text("edge 0 1 2.0\n"), Error);
+}
+
+TEST(GraphIo, DotContainsNodesAndEdges) {
+  const TaskGraph g = testing::diamond();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(dot.find("2 -> 3"), std::string::npos);
+}
+
+TEST(GraphIo, DotHighlightsCpnsWhenLevelsGiven) {
+  const TaskGraph g = testing::diamond(2.0, 3.0, 1.0);
+  const LevelInfo levels = compute_levels(g);
+  const std::string dot = to_dot(g, &levels);
+  EXPECT_NE(dot.find("fillcolor=gray30"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth=2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastsched::graph

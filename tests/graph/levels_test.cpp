@@ -1,0 +1,143 @@
+#include "graph/levels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::graph {
+namespace {
+
+TEST(Levels, SingleNode) {
+  const TaskGraph g = testing::single(5.0);
+  const LevelInfo info = compute_levels(g);
+  EXPECT_EQ(info.t_level[0], 0.0);
+  EXPECT_EQ(info.b_level[0], 5.0);
+  EXPECT_EQ(info.static_level[0], 5.0);
+  EXPECT_EQ(info.alap[0], 0.0);
+  EXPECT_EQ(info.cp_length, 5.0);
+  EXPECT_TRUE(info.is_cpn[0]);
+  ASSERT_EQ(info.critical_path.size(), 1u);
+}
+
+TEST(Levels, ChainHandComputed) {
+  // a(1) -2-> b(3) -4-> c(2): CP = 1+2+3+4+2 = 12.
+  const TaskGraph g = testing::chain(3, 1.0, 0.0);  // rebuilt below with costs
+  (void)g;
+  TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(3);
+  const auto c = builder.add_node(2);
+  builder.add_edge(a, b, 2);
+  builder.add_edge(b, c, 4);
+  const TaskGraph chain = builder.build();
+  const LevelInfo info = compute_levels(chain);
+
+  EXPECT_EQ(info.t_level[a], 0.0);
+  EXPECT_EQ(info.t_level[b], 3.0);   // 1 + 2
+  EXPECT_EQ(info.t_level[c], 10.0);  // 3 + 3 + 4
+  EXPECT_EQ(info.b_level[a], 12.0);
+  EXPECT_EQ(info.b_level[b], 9.0);
+  EXPECT_EQ(info.b_level[c], 2.0);
+  EXPECT_EQ(info.static_level[a], 6.0);  // 1 + 3 + 2, no comm
+  EXPECT_EQ(info.cp_length, 12.0);
+  EXPECT_EQ(info.alap[b], 3.0);
+  // Whole chain is the CP.
+  EXPECT_TRUE(info.is_cpn[a]);
+  EXPECT_TRUE(info.is_cpn[b]);
+  EXPECT_TRUE(info.is_cpn[c]);
+  EXPECT_EQ(info.critical_path, (std::vector<NodeId>{a, b, c}));
+}
+
+TEST(Levels, DiamondPicksHeavierBranch) {
+  // a(1) -> b(2), c(3) -> d(1), unit comm: CP via c = 1+1+3+1+1 = 7.
+  const TaskGraph g = testing::diamond(2.0, 3.0, 1.0);
+  const LevelInfo info = compute_levels(g);
+  EXPECT_EQ(info.cp_length, 7.0);
+  EXPECT_TRUE(info.is_cpn[0]);
+  EXPECT_FALSE(info.is_cpn[1]);
+  EXPECT_TRUE(info.is_cpn[2]);
+  EXPECT_TRUE(info.is_cpn[3]);
+  EXPECT_EQ(info.critical_path, (std::vector<NodeId>{0, 2, 3}));
+  // ASAP == t-level; ALAP = CP - b-level. Node b: tl = 2, bl = 4 -> alap 3.
+  EXPECT_EQ(info.t_level[1], 2.0);
+  EXPECT_EQ(info.b_level[1], 4.0);
+  EXPECT_EQ(info.alap[1], 3.0);
+}
+
+TEST(Levels, SymmetricDiamondHasTwoParallelCps) {
+  const TaskGraph g = testing::diamond(2.0, 2.0, 1.0);
+  const LevelInfo info = compute_levels(g);
+  EXPECT_TRUE(info.is_cpn[1]);
+  EXPECT_TRUE(info.is_cpn[2]);
+  EXPECT_EQ(info.cpns_in_order.size(), 4u);
+  // Canonical path breaks the tie toward the smaller node id.
+  EXPECT_EQ(info.critical_path, (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(Levels, CpnsOrderedByTLevel) {
+  const TaskGraph g = testing::small_random(/*seed=*/11);
+  const LevelInfo info = compute_levels(g);
+  for (std::size_t i = 1; i < info.cpns_in_order.size(); ++i) {
+    EXPECT_LE(info.t_level[info.cpns_in_order[i - 1]],
+              info.t_level[info.cpns_in_order[i]] + 1e-9);
+  }
+}
+
+TEST(Levels, AsapPlusBLevelNeverExceedsCp) {
+  const TaskGraph g = testing::small_random(/*seed=*/12);
+  const LevelInfo info = compute_levels(g);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_LE(info.t_level[n] + info.b_level[n], info.cp_length + 1e-9);
+    EXPECT_GE(info.alap[n], info.t_level[n] - 1e-9);  // ALAP >= ASAP
+  }
+}
+
+TEST(Levels, StaticLevelIgnoresCommCosts) {
+  const TaskGraph heavy_comm = testing::diamond(2.0, 3.0, 100.0);
+  const TaskGraph no_comm = testing::diamond(2.0, 3.0, 0.0);
+  const LevelInfo a = compute_levels(heavy_comm);
+  const LevelInfo b = compute_levels(no_comm);
+  for (NodeId n = 0; n < heavy_comm.num_nodes(); ++n) {
+    EXPECT_EQ(a.static_level[n], b.static_level[n]);
+  }
+}
+
+TEST(Levels, CriticalPathEdgesExistInGraph) {
+  const TaskGraph g = testing::small_random(/*seed=*/13);
+  const LevelInfo info = compute_levels(g);
+  ASSERT_FALSE(info.critical_path.empty());
+  for (std::size_t i = 0; i + 1 < info.critical_path.size(); ++i) {
+    EXPECT_TRUE(
+        g.find_edge_cost(info.critical_path[i], info.critical_path[i + 1])
+            .has_value());
+  }
+  // Path length equals CP length.
+  Cost len = 0;
+  for (std::size_t i = 0; i < info.critical_path.size(); ++i) {
+    len += g.weight(info.critical_path[i]);
+    if (i + 1 < info.critical_path.size()) {
+      len += *g.find_edge_cost(info.critical_path[i], info.critical_path[i + 1]);
+    }
+  }
+  EXPECT_NEAR(len, info.cp_length, 1e-9);
+}
+
+TEST(Levels, DisconnectedComponentsGetIndependentLevels) {
+  const TaskGraph g = testing::two_chains(3);
+  const LevelInfo info = compute_levels(g);
+  // Both chains identical: CP covers both.
+  EXPECT_EQ(info.cp_length, 5.0);  // 1+1+1+1+1
+  EXPECT_EQ(info.t_level[0], 0.0);
+  EXPECT_EQ(info.t_level[3], 0.0);  // second chain's entry
+}
+
+TEST(Levels, StandaloneHelpersMatchCombined) {
+  const TaskGraph g = testing::small_random(/*seed=*/14);
+  const LevelInfo info = compute_levels(g);
+  EXPECT_EQ(compute_t_levels(g), info.t_level);
+  EXPECT_EQ(compute_b_levels(g), info.b_level);
+  EXPECT_EQ(compute_static_levels(g), info.static_level);
+}
+
+}  // namespace
+}  // namespace fastsched::graph

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "graph/stats.hpp"
+#include "graph/transform.hpp"
+#include "testing/test_graphs.hpp"
+#include "workloads/gaussian.hpp"
+
+namespace fastsched::graph {
+namespace {
+
+// ------------------------------------------------------------------ stats
+
+TEST(Stats, ChainShape) {
+  const TaskGraph g = testing::chain(5, 2.0, 3.0);
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.nodes, 5u);
+  EXPECT_EQ(s.edges, 4u);
+  EXPECT_EQ(s.depth, 5u);
+  EXPECT_EQ(s.width, 1u);
+  EXPECT_EQ(s.entry_nodes, 1u);
+  EXPECT_EQ(s.exit_nodes, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_parallelism, 1.0);
+  EXPECT_EQ(s.layer_sizes, (std::vector<std::size_t>{1, 1, 1, 1, 1}));
+}
+
+TEST(Stats, ForkJoinShape) {
+  const TaskGraph g = testing::fork_join(4, 2.0, 1.0);
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.depth, 3u);
+  EXPECT_EQ(s.width, 4u);
+  EXPECT_EQ(s.max_out_degree, 4u);
+  EXPECT_EQ(s.max_in_degree, 4u);
+  // work 12 over a computation CP of 6 -> parallelism 2.
+  EXPECT_DOUBLE_EQ(s.avg_parallelism, 2.0);
+}
+
+TEST(Stats, EmptyGraph) {
+  const GraphStats s = compute_stats(TaskGraphBuilder{}.build());
+  EXPECT_EQ(s.nodes, 0u);
+  EXPECT_EQ(s.depth, 0u);
+}
+
+TEST(Stats, FormatMentionsKeyNumbers) {
+  const std::string text =
+      format_stats(compute_stats(workloads::gaussian_elimination_dag(8)));
+  EXPECT_NE(text.find("54 tasks"), std::string::npos);
+  EXPECT_NE(text.find("CCR"), std::string::npos);
+}
+
+// -------------------------------------------------------------- with_ccr
+
+TEST(Transform, WithCcrHitsTarget) {
+  const TaskGraph g = testing::small_random(1100, 60, 3.0, 4.0);
+  for (const double target : {0.1, 1.0, 7.5}) {
+    const TaskGraph scaled = with_ccr(g, target);
+    EXPECT_NEAR(scaled.ccr(), target, 1e-9);
+    // Node weights untouched.
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      EXPECT_EQ(scaled.weight(n), g.weight(n));
+    }
+  }
+}
+
+TEST(Transform, WithCcrRejectsZeroCommGraphs) {
+  const TaskGraph g = testing::chain(3, 1.0, 0.0);
+  EXPECT_THROW((void)with_ccr(g, 1.0), Error);
+}
+
+// ------------------------------------------------- transitive_reduction
+
+TEST(Transform, ReductionDropsShortcutEdge) {
+  // a -> b -> c plus the shortcut a -> c.
+  TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(1);
+  const auto c = builder.add_node(1);
+  builder.add_edge(a, b, 1);
+  builder.add_edge(b, c, 1);
+  builder.add_edge(a, c, 9);
+  const TaskGraph reduced = transitive_reduction(builder.build());
+  EXPECT_EQ(reduced.num_edges(), 2u);
+  EXPECT_FALSE(reduced.find_edge_cost(a, c).has_value());
+  EXPECT_TRUE(reduced.find_edge_cost(a, b).has_value());
+}
+
+TEST(Transform, ReductionKeepsDiamond) {
+  // No edge of a diamond is transitively implied.
+  const TaskGraph g = testing::diamond();
+  EXPECT_EQ(transitive_reduction(g).num_edges(), g.num_edges());
+}
+
+TEST(Transform, ReductionPreservesReachability) {
+  const TaskGraph g = testing::small_random(1101, 40, 1.0, 5.0);
+  const TaskGraph r = transitive_reduction(g);
+  EXPECT_LE(r.num_edges(), g.num_edges());
+  // Every original edge's endpoints remain connected in the reduction.
+  const auto reachable = [&](const TaskGraph& gr, NodeId from, NodeId to) {
+    std::vector<NodeId> stack{from};
+    std::vector<bool> seen(gr.num_nodes(), false);
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      if (n == to) return true;
+      for (const Adjacency& s : gr.successors(n)) {
+        if (!seen[s.node]) {
+          seen[s.node] = true;
+          stack.push_back(s.node);
+        }
+      }
+    }
+    return false;
+  };
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_TRUE(reachable(r, g.edge_source(e), g.edge_target(e)))
+        << "edge " << e;
+  }
+}
+
+// -------------------------------------------------------- series_compose
+
+TEST(Transform, SeriesComposeJoinsExitToEntries) {
+  const TaskGraph a = testing::fork_join(2, 1.0, 1.0);  // 1 exit
+  const TaskGraph b = testing::two_chains(2);           // 2 entries
+  const TaskGraph c = series_compose(a, b, 5.0);
+  EXPECT_EQ(c.num_nodes(), a.num_nodes() + b.num_nodes());
+  EXPECT_EQ(c.num_edges(), a.num_edges() + b.num_edges() + 2);
+  EXPECT_EQ(c.entry_nodes().size(), 1u);
+  EXPECT_EQ(c.exit_nodes().size(), 2u);
+  // Join edges carry the requested cost.
+  const auto exit_a = a.exit_nodes()[0];
+  const auto first_entry_b =
+      static_cast<NodeId>(a.num_nodes() + b.entry_nodes()[0]);
+  EXPECT_EQ(*c.find_edge_cost(exit_a, first_entry_b), 5.0);
+}
+
+TEST(Transform, SeriesComposeNamesDisambiguated) {
+  const TaskGraph a = testing::single();
+  const TaskGraph b = testing::single();
+  const TaskGraph c = series_compose(a, b);
+  EXPECT_EQ(c.name(0), "n1");
+  EXPECT_EQ(c.name(1), "n1'");
+}
+
+}  // namespace
+}  // namespace fastsched::graph

@@ -1,0 +1,193 @@
+#include "graph/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::graph {
+namespace {
+
+TEST(TaskGraphBuilder, EmptyGraphBuilds) {
+  TaskGraphBuilder builder;
+  const TaskGraph g = builder.build();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.total_work(), 0.0);
+  EXPECT_TRUE(g.is_connected());  // vacuously
+}
+
+TEST(TaskGraphBuilder, SingleNode) {
+  TaskGraphBuilder builder;
+  const NodeId n = builder.add_node(7.5, "solo");
+  const TaskGraph g = builder.build();
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.weight(n), 7.5);
+  EXPECT_EQ(g.name(n), "solo");
+  EXPECT_EQ(g.in_degree(n), 0u);
+  EXPECT_EQ(g.out_degree(n), 0u);
+  ASSERT_EQ(g.entry_nodes().size(), 1u);
+  ASSERT_EQ(g.exit_nodes().size(), 1u);
+}
+
+TEST(TaskGraphBuilder, DefaultNamesArePaperStyle) {
+  TaskGraphBuilder builder;
+  builder.add_node(1.0);
+  builder.add_node(1.0);
+  const TaskGraph g = builder.build();
+  EXPECT_EQ(g.name(0), "n1");
+  EXPECT_EQ(g.name(1), "n2");
+}
+
+TEST(TaskGraphBuilder, AdjacencyIsCorrectAndOrdered) {
+  TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(2);
+  const auto c = builder.add_node(3);
+  builder.add_edge(a, b, 10);
+  builder.add_edge(a, c, 20);
+  builder.add_edge(b, c, 30);
+  const TaskGraph g = builder.build();
+
+  ASSERT_EQ(g.out_degree(a), 2u);
+  EXPECT_EQ(g.successors(a)[0].node, b);
+  EXPECT_EQ(g.successors(a)[0].cost, 10);
+  EXPECT_EQ(g.successors(a)[1].node, c);
+  EXPECT_EQ(g.successors(a)[1].cost, 20);
+
+  ASSERT_EQ(g.in_degree(c), 2u);
+  EXPECT_EQ(g.predecessors(c)[0].node, a);
+  EXPECT_EQ(g.predecessors(c)[1].node, b);
+  EXPECT_EQ(g.predecessors(c)[1].cost, 30);
+}
+
+TEST(TaskGraphBuilder, EdgeIdsMapBackToEndpoints) {
+  TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(1);
+  builder.add_edge(a, b, 4.5);
+  const TaskGraph g = builder.build();
+  const Adjacency adj = g.successors(a)[0];
+  EXPECT_EQ(g.edge_source(adj.edge), a);
+  EXPECT_EQ(g.edge_target(adj.edge), b);
+  EXPECT_EQ(g.edge_cost(adj.edge), 4.5);
+}
+
+TEST(TaskGraphBuilder, RejectsSelfLoop) {
+  TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  EXPECT_THROW(builder.add_edge(a, a, 1), Error);
+}
+
+TEST(TaskGraphBuilder, RejectsOutOfRangeEndpoints) {
+  TaskGraphBuilder builder;
+  builder.add_node(1);
+  EXPECT_THROW(builder.add_edge(0, 5, 1), Error);
+  EXPECT_THROW(builder.add_edge(5, 0, 1), Error);
+}
+
+TEST(TaskGraphBuilder, RejectsNegativeWeightsAndCosts) {
+  TaskGraphBuilder builder;
+  EXPECT_THROW(builder.add_node(-1.0), Error);
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(1);
+  EXPECT_THROW(builder.add_edge(a, b, -2.0), Error);
+}
+
+TEST(TaskGraphBuilder, RejectsDuplicateEdgeAtBuild) {
+  TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(1);
+  builder.add_edge(a, b, 1);
+  builder.add_edge(a, b, 2);
+  EXPECT_THROW((void)builder.build(), Error);
+}
+
+TEST(TaskGraphBuilder, RejectsCycle) {
+  TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(1);
+  const auto c = builder.add_node(1);
+  builder.add_edge(a, b, 1);
+  builder.add_edge(b, c, 1);
+  builder.add_edge(c, a, 1);
+  EXPECT_THROW((void)builder.build(), Error);
+}
+
+TEST(TaskGraphBuilder, RejectsTwoCycle) {
+  TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(1);
+  builder.add_edge(a, b, 1);
+  builder.add_edge(b, a, 1);
+  EXPECT_THROW((void)builder.build(), Error);
+}
+
+TEST(TaskGraphBuilder, SetNodeWeightOverrides) {
+  TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  builder.set_node_weight(a, 9.0);
+  EXPECT_EQ(builder.build().weight(a), 9.0);
+  EXPECT_THROW(builder.set_node_weight(7, 1.0), Error);
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  const TaskGraph g = testing::small_random(/*seed=*/3);
+  const auto topo = g.topological_order();
+  ASSERT_EQ(topo.size(), g.num_nodes());
+  std::vector<std::size_t> pos(g.num_nodes());
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = i;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (const Adjacency& s : g.successors(n)) {
+      EXPECT_LT(pos[n], pos[s.node]);
+    }
+  }
+}
+
+TEST(TaskGraph, EntryAndExitNodes) {
+  const TaskGraph g = testing::diamond();
+  ASSERT_EQ(g.entry_nodes().size(), 1u);
+  ASSERT_EQ(g.exit_nodes().size(), 1u);
+  EXPECT_EQ(g.entry_nodes()[0], 0u);
+  EXPECT_EQ(g.exit_nodes()[0], 3u);
+}
+
+TEST(TaskGraph, TotalsAndCcr) {
+  TaskGraphBuilder builder;
+  const auto a = builder.add_node(2);
+  const auto b = builder.add_node(4);
+  builder.add_edge(a, b, 6);
+  const TaskGraph g = builder.build();
+  EXPECT_DOUBLE_EQ(g.total_work(), 6.0);
+  EXPECT_DOUBLE_EQ(g.total_comm(), 6.0);
+  // CCR = avg comm (6) / avg comp (3) = 2.
+  EXPECT_DOUBLE_EQ(g.ccr(), 2.0);
+}
+
+TEST(TaskGraph, CcrZeroWithoutEdges) {
+  EXPECT_EQ(testing::single().ccr(), 0.0);
+}
+
+TEST(TaskGraph, ConnectivityDetection) {
+  EXPECT_TRUE(testing::diamond().is_connected());
+  EXPECT_FALSE(testing::two_chains(3).is_connected());
+}
+
+TEST(TaskGraph, FindEdgeCost) {
+  const TaskGraph g = testing::diamond(2.0, 3.0, 7.0);
+  ASSERT_TRUE(g.find_edge_cost(0, 1).has_value());
+  EXPECT_EQ(*g.find_edge_cost(0, 1), 7.0);
+  EXPECT_FALSE(g.find_edge_cost(1, 2).has_value());
+  EXPECT_FALSE(g.find_edge_cost(3, 0).has_value());
+}
+
+TEST(ApproxEqual, ToleranceBehaviour) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1e12, 1e12 + 1e-3 * 1e-3));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(definitely_less(1.0, 2.0));
+  EXPECT_FALSE(definitely_less(2.0, 1.0));
+  EXPECT_FALSE(definitely_less(1.0, 1.0 + 1e-12));
+}
+
+}  // namespace
+}  // namespace fastsched::graph

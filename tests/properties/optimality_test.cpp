@@ -1,0 +1,184 @@
+// Optimality oracle tests: on tiny graphs the true optimal schedule can be
+// found by exhaustive search over (topological order, processor
+// assignment) pairs under the ready-time model. Every scheduler must
+// respect the optimum as a lower bound, and the good heuristics must land
+// within a modest factor of it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/registry.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+using graph::TaskGraph;
+
+// Replays one (order, assignment) pair under the ready-time model.
+Cost replay(const TaskGraph& g, const std::vector<NodeId>& order,
+            const std::vector<sched::ProcId>& assignment,
+            std::size_t num_procs) {
+  std::vector<Cost> finish(g.num_nodes(), 0.0);
+  std::vector<Cost> ready(num_procs, 0.0);
+  Cost length = 0.0;
+  for (const NodeId n : order) {
+    const auto p = assignment[n];
+    Cost dat = 0.0;
+    for (const graph::Adjacency& q : g.predecessors(n)) {
+      dat = std::max(dat,
+                     finish[q.node] + (assignment[q.node] == p ? 0.0 : q.cost));
+    }
+    finish[n] = std::max(dat, ready[p]) + g.weight(n);
+    ready[p] = finish[n];
+    length = std::max(length, finish[n]);
+  }
+  return length;
+}
+
+// Exhaustive optimum over all topological orders x processor assignments.
+// Exponential; only for graphs with <= 7 nodes and <= 3 processors.
+Cost brute_force_optimum(const TaskGraph& g, std::size_t num_procs) {
+  const std::size_t v = g.num_nodes();
+  FASTSCHED_ASSERT(v <= 7);
+
+  // Enumerate topological orders by recursive ready-set expansion.
+  std::vector<std::vector<NodeId>> orders;
+  std::vector<NodeId> current;
+  std::vector<std::size_t> pending(v);
+  for (NodeId n = 0; n < v; ++n) pending[n] = g.in_degree(n);
+  const auto recurse = [&](auto&& self) -> void {
+    if (current.size() == v) {
+      orders.push_back(current);
+      return;
+    }
+    for (NodeId n = 0; n < v; ++n) {
+      if (pending[n] != 0 ||
+          std::find(current.begin(), current.end(), n) != current.end()) {
+        continue;
+      }
+      current.push_back(n);
+      for (const graph::Adjacency& s : g.successors(n)) --pending[s.node];
+      self(self);
+      for (const graph::Adjacency& s : g.successors(n)) ++pending[s.node];
+      current.pop_back();
+    }
+  };
+  recurse(recurse);
+
+  Cost best = std::numeric_limits<Cost>::max();
+  std::vector<sched::ProcId> assignment(v, 0);
+  const std::size_t combos = [&] {
+    std::size_t c = 1;
+    for (std::size_t i = 0; i < v; ++i) c *= num_procs;
+    return c;
+  }();
+  for (std::size_t code = 0; code < combos; ++code) {
+    std::size_t x = code;
+    for (std::size_t i = 0; i < v; ++i) {
+      assignment[i] = static_cast<sched::ProcId>(x % num_procs);
+      x /= num_procs;
+    }
+    for (const auto& order : orders) {
+      best = std::min(best, replay(g, order, assignment, num_procs));
+    }
+  }
+  return best;
+}
+
+std::vector<TaskGraph> tiny_graphs() {
+  std::vector<TaskGraph> graphs;
+  graphs.push_back(testing::diamond(2.0, 3.0, 1.0));
+  graphs.push_back(testing::diamond(2.0, 3.0, 10.0));
+  graphs.push_back(testing::fork_join(3, 2.0, 1.0));
+  graphs.push_back(testing::chain(5, 2.0, 4.0));
+  graphs.push_back(testing::two_chains(3));
+  // Two irregular 6-node DAGs.
+  {
+    graph::TaskGraphBuilder b;
+    const auto a = b.add_node(3);
+    const auto c = b.add_node(1);
+    const auto d = b.add_node(4);
+    const auto e = b.add_node(2);
+    const auto f = b.add_node(5);
+    const auto h = b.add_node(1);
+    b.add_edge(a, c, 2);
+    b.add_edge(a, d, 6);
+    b.add_edge(c, e, 1);
+    b.add_edge(d, f, 2);
+    b.add_edge(e, f, 3);
+    b.add_edge(e, h, 1);
+    graphs.push_back(b.build());
+  }
+  {
+    graph::TaskGraphBuilder b;
+    const auto a = b.add_node(2);
+    const auto c = b.add_node(2);
+    const auto d = b.add_node(2);
+    const auto e = b.add_node(2);
+    const auto f = b.add_node(2);
+    b.add_edge(a, d, 5);
+    b.add_edge(c, d, 5);
+    b.add_edge(c, e, 1);
+    b.add_edge(d, f, 1);
+    b.add_edge(e, f, 8);
+    graphs.push_back(b.build());
+  }
+  return graphs;
+}
+
+TEST(Optimality, NoSchedulerBeatsTheBruteForceOptimum) {
+  // A length below the exhaustive ready-time optimum would indicate a
+  // validity bug (e.g. a missed communication delay).
+  for (const auto& g : tiny_graphs()) {
+    const Cost opt = brute_force_optimum(g, 3);
+    for (const auto& algo : baselines::scheduler_names()) {
+      sched::SchedulerOptions opts;
+      opts.num_procs = 3;
+      const auto s = baselines::make_scheduler(algo)->run(g, opts);
+      // MD/DSC/LC/EZ ignore the budget and use insertion/clustering;
+      // insertion can legitimately beat the ready-time optimum, so the
+      // bound applies to the ready-time algorithms only.
+      if (algo == "MD" || algo == "MCP" || algo == "DSC" || algo == "LC" ||
+          algo == "EZ") {
+        EXPECT_TRUE(sched::is_valid(g, s)) << algo;
+        continue;
+      }
+      EXPECT_GE(s.length(), opt - 1e-9) << algo;
+    }
+  }
+}
+
+TEST(Optimality, FastWithinFiftyPercentOfOptimumOnTinyGraphs) {
+  for (const auto& g : tiny_graphs()) {
+    const Cost opt = brute_force_optimum(g, 3);
+    sched::SchedulerOptions opts;
+    opts.num_procs = 3;
+    const auto s = baselines::make_scheduler("FAST")->run(g, opts);
+    EXPECT_LE(s.length(), 1.5 * opt + 1e-9);
+  }
+}
+
+TEST(Optimality, SomeSchedulerHitsTheOptimumOnEasyGraphs) {
+  // chains and free-comm diamonds are easy: at least one of the good
+  // heuristics must find the exact optimum.
+  for (const auto& g :
+       {testing::chain(5, 2.0, 4.0), testing::diamond(2.0, 3.0, 0.0)}) {
+    const Cost opt = brute_force_optimum(g, 3);
+    Cost best = std::numeric_limits<Cost>::max();
+    for (const char* algo : {"FAST", "ETF", "DLS", "DSC"}) {
+      sched::SchedulerOptions opts;
+      opts.num_procs = 3;
+      best = std::min(best,
+                      baselines::make_scheduler(algo)->run(g, opts).length());
+    }
+    EXPECT_NEAR(best, opt, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fastsched

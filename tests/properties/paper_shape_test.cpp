@@ -1,0 +1,127 @@
+// Integration tests pinning the *shape* of the paper's evaluation
+// (EXPERIMENTS.md): miniature versions of the Figure 5-8 experiments whose
+// comparative claims must keep holding — DSC's processor explosion, the
+// complexity ladder of scheduling times, FAST's competitiveness in
+// simulated execution, and the random-DAG relationships of Figure 8.
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "common/timer.hpp"
+#include "sched/validation.hpp"
+#include "sim/event_sim.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/laplace.hpp"
+#include "workloads/random_layered.hpp"
+
+namespace fastsched {
+namespace {
+
+struct AlgoRun {
+  double exec = 0;
+  double length = 0;
+  std::size_t procs = 0;
+  double seconds = 0;
+};
+
+AlgoRun run_algo(const graph::TaskGraph& g, const std::string& algo,
+             std::size_t procs) {
+  const auto scheduler = baselines::make_scheduler(algo);
+  sched::SchedulerOptions opts;
+  opts.num_procs = procs;
+  (void)scheduler->run(g, opts);  // warmup
+  Timer timer;
+  const auto s = scheduler->run(g, opts);
+  AlgoRun r;
+  r.seconds = timer.seconds();
+  sched::require_valid(g, s);
+  r.length = s.length();
+  r.procs = s.procs_used();
+  r.exec = sim::simulate(g, s, sim::MachineModel::paragon()).makespan;
+  return r;
+}
+
+TEST(PaperShape, DscUsesFarMoreProcessors) {
+  // Figures 5(b)/6(b)/8(b): DSC's cluster count is O(v).
+  const auto g = workloads::gaussian_elimination_dag(16);
+  const AlgoRun fast = run_algo(g, "FAST", 64);
+  const AlgoRun dsc = run_algo(g, "DSC", 0);
+  EXPECT_GT(dsc.procs, 3 * fast.procs);
+}
+
+TEST(PaperShape, FastCompetitiveOnGaussExecution) {
+  // Figure 5(a): FAST's simulated execution time is within a few percent
+  // of the best algorithm at every size (it is the best or tied in most
+  // cells; we assert the robust envelope).
+  for (const int dim : {8, 16}) {
+    const auto g = workloads::gaussian_elimination_dag(dim);
+    const AlgoRun fast = run_algo(g, "FAST", 64);
+    for (const char* other : {"MD", "ETF", "DLS"}) {
+      const AlgoRun o = run_algo(g, other, 64);
+      EXPECT_LE(fast.exec, 1.10 * o.exec) << other << " dim " << dim;
+    }
+  }
+}
+
+TEST(PaperShape, FastBeatsBaselinesOnLaplaceExecution) {
+  // Figure 6(a): FAST wins on the Laplace solver at the mid sizes.
+  const auto g = workloads::laplace_dag(12);
+  const AlgoRun fast = run_algo(g, "FAST", 64);
+  for (const char* other : {"MD", "ETF", "DLS", "DSC"}) {
+    const AlgoRun o = run_algo(g, other, 64);
+    EXPECT_LE(fast.exec, o.exec * 1.02) << other;
+  }
+}
+
+TEST(PaperShape, MdIsSlowestScheduler) {
+  // Figures 5(c)-7(c): MD's O(v^3)-class running time dominates everyone.
+  const auto g = workloads::laplace_dag(20);  // 402 nodes
+  const AlgoRun md = run_algo(g, "MD", 0);
+  for (const char* other : {"FAST", "DSC", "ETF", "DLS"}) {
+    const AlgoRun o = run_algo(g, other, 64);
+    EXPECT_GT(md.seconds, o.seconds) << other;
+  }
+}
+
+TEST(PaperShape, EtfAndDlsMuchSlowerThanFastAtScale) {
+  // Figure 8(c): on a dense 1500-node DAG, ETF/DLS scheduling times are
+  // several times FAST's.
+  workloads::RandomDagParams params;
+  params.num_nodes = 1500;
+  params.avg_out_degree = 24.0;
+  params.seed = 5;
+  const auto g = workloads::random_layered_dag(params);
+  const AlgoRun fast = run_algo(g, "FAST", 256);
+  const AlgoRun etf = run_algo(g, "ETF", 256);
+  const AlgoRun dls = run_algo(g, "DLS", 256);
+  EXPECT_GT(etf.seconds, 3.0 * fast.seconds);
+  EXPECT_GT(dls.seconds, 3.0 * fast.seconds);
+}
+
+TEST(PaperShape, RandomDagLengthsWithinFivePercent) {
+  // Figure 8(a): FAST, ETF, DLS and DSC all land within a few percent of
+  // one another on dense random DAGs (paper: 0.97-1.12 of FAST).
+  workloads::RandomDagParams params;
+  params.num_nodes = 1200;
+  params.avg_out_degree = 24.0;
+  params.seed = 8;
+  const auto g = workloads::random_layered_dag(params);
+  const AlgoRun fast = run_algo(g, "FAST", 256);
+  for (const char* other : {"ETF", "DLS", "DSC"}) {
+    const AlgoRun o = run_algo(g, other, other == std::string("DSC") ? 0 : 256);
+    EXPECT_LT(o.length, 1.15 * fast.length) << other;
+    EXPECT_GT(o.length, 0.85 * fast.length) << other;
+  }
+}
+
+TEST(PaperShape, SimulatedExecutionNeverBeatsScheduleLength) {
+  // The machine only adds overheads the schedulers' model cannot see.
+  const auto g = workloads::gaussian_elimination_dag(12);
+  for (const auto& algo : baselines::scheduler_names()) {
+    const AlgoRun r = run_algo(g, algo, 64);
+    EXPECT_GE(r.exec, r.length - 1e-9) << algo;
+  }
+}
+
+}  // namespace
+}  // namespace fastsched

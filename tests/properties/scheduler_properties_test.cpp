@@ -1,0 +1,167 @@
+// Property suite: every scheduling algorithm in the registry must satisfy
+// the core DAG-scheduling invariants on a grid of workloads
+// (generator family × CCR × size). Uses parameterized gtest so each
+// (algorithm, workload) cell is its own test case.
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "sched/metrics.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/laplace.hpp"
+
+namespace fastsched {
+namespace {
+
+struct WorkloadSpec {
+  std::string name;
+  graph::TaskGraph (*make)();
+};
+
+graph::TaskGraph make_chain() { return testing::chain(12, 2.0, 3.0); }
+graph::TaskGraph make_fork() { return testing::fork_join(9, 2.0, 1.0); }
+graph::TaskGraph make_diamond() { return testing::diamond(4.0, 6.0, 2.0); }
+graph::TaskGraph make_single() { return testing::single(); }
+graph::TaskGraph make_disconnected() { return testing::two_chains(5); }
+graph::TaskGraph make_rand_low_ccr() {
+  return testing::small_random(7, 80, 0.1, 4.0);
+}
+graph::TaskGraph make_rand_unit_ccr() {
+  return testing::small_random(8, 80, 1.0, 4.0);
+}
+graph::TaskGraph make_rand_high_ccr() {
+  return testing::small_random(9, 80, 10.0, 4.0);
+}
+graph::TaskGraph make_rand_dense() {
+  return testing::small_random(10, 60, 1.0, 12.0);
+}
+graph::TaskGraph make_gauss() {
+  return workloads::gaussian_elimination_dag(6);
+}
+graph::TaskGraph make_laplace() { return workloads::laplace_dag(5); }
+graph::TaskGraph make_fft() { return workloads::fft_dag(64); }
+
+const WorkloadSpec kWorkloads[] = {
+    {"chain", make_chain},
+    {"fork_join", make_fork},
+    {"diamond", make_diamond},
+    {"single", make_single},
+    {"disconnected", make_disconnected},
+    {"random_ccr01", make_rand_low_ccr},
+    {"random_ccr1", make_rand_unit_ccr},
+    {"random_ccr10", make_rand_high_ccr},
+    {"random_dense", make_rand_dense},
+    {"gauss6", make_gauss},
+    {"laplace5", make_laplace},
+    {"fft64", make_fft},
+};
+
+using Param = std::tuple<std::string, const WorkloadSpec*>;
+
+class SchedulerProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SchedulerProperty, ProducesCompleteValidSchedule) {
+  const auto& [algo, workload] = GetParam();
+  const graph::TaskGraph g = workload->make();
+  const auto scheduler = baselines::make_scheduler(algo);
+  const sched::Schedule s = scheduler->run(g, sched::SchedulerOptions{});
+
+  EXPECT_TRUE(s.is_complete());
+  const auto violations = sched::validate(g, s);
+  EXPECT_TRUE(violations.empty())
+      << algo << " on " << workload->name << ": " << violations.size()
+      << " violations, first: "
+      << (violations.empty() ? "" : violations[0].message);
+}
+
+TEST_P(SchedulerProperty, LengthRespectsLowerBounds) {
+  const auto& [algo, workload] = GetParam();
+  const graph::TaskGraph g = workload->make();
+  const auto scheduler = baselines::make_scheduler(algo);
+  const sched::Schedule s = scheduler->run(g, sched::SchedulerOptions{});
+
+  // No schedule can beat the computation-only critical path, nor perfect
+  // work division over the processors it used.
+  const graph::Cost cp = sched::computation_critical_path(g);
+  EXPECT_GE(s.length(), cp - 1e-9);
+  if (s.procs_used() > 0) {
+    EXPECT_GE(s.length(),
+              g.total_work() / static_cast<double>(s.procs_used()) - 1e-9);
+  }
+}
+
+TEST_P(SchedulerProperty, NeverWorseThanSerialByMuchMoreThanComm) {
+  // Sanity: the schedule length must not exceed serial execution plus all
+  // communication the schedule could possibly pay.
+  const auto& [algo, workload] = GetParam();
+  const graph::TaskGraph g = workload->make();
+  const auto scheduler = baselines::make_scheduler(algo);
+  const sched::Schedule s = scheduler->run(g, sched::SchedulerOptions{});
+  EXPECT_LE(s.length(), g.total_work() + g.total_comm() + 1e-9);
+}
+
+TEST_P(SchedulerProperty, DeterministicAcrossRuns) {
+  const auto& [algo, workload] = GetParam();
+  const graph::TaskGraph g = workload->make();
+  const auto scheduler = baselines::make_scheduler(algo);
+  const sched::Schedule a = scheduler->run(g, sched::SchedulerOptions{});
+  const sched::Schedule b = scheduler->run(g, sched::SchedulerOptions{});
+  EXPECT_EQ(a.length(), b.length());
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(a.proc(n), b.proc(n));
+    EXPECT_EQ(a.start(n), b.start(n));
+  }
+}
+
+std::vector<Param> all_params() {
+  std::vector<Param> params;
+  for (const auto& algo : baselines::scheduler_names()) {
+    for (const auto& w : kWorkloads) params.emplace_back(algo, &w);
+  }
+  return params;
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string name = std::get<0>(info.param) + "_" + std::get<1>(info.param)->name;
+  // gtest parameter names must be alphanumeric/underscore ("FAST-SA").
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SchedulerProperty,
+                         ::testing::ValuesIn(all_params()), param_name);
+
+// Bounded-processor sweep: FAST/ETF/DLS/PFAST must honour small budgets.
+class BoundedBudgetProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(BoundedBudgetProperty, HonoursProcessorBudget) {
+  const auto& [algo, budget] = GetParam();
+  const graph::TaskGraph g = testing::small_random(55, 50, 1.0, 4.0);
+  const auto scheduler = baselines::make_scheduler(algo);
+  sched::SchedulerOptions opts;
+  opts.num_procs = static_cast<std::size_t>(budget);
+  const sched::Schedule s = scheduler->run(g, opts);
+  EXPECT_TRUE(sched::is_valid(g, s));
+  EXPECT_LE(s.procs_used(), static_cast<std::size_t>(budget));
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_LT(s.proc(n), static_cast<sched::ProcId>(budget));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundedAlgorithms, BoundedBudgetProperty,
+    ::testing::Combine(::testing::Values("FAST", "ETF", "DLS", "PFAST"),
+                       ::testing::Values(1, 2, 3, 8)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace fastsched

@@ -1,0 +1,121 @@
+// Stress / fuzz-style sweeps: degenerate parameters and many random
+// instances, asserting the core invariants never break. These are the
+// tests that catch off-by-one edge handling (zero weights, zero comm,
+// single-node layers, budget = 1) that the targeted unit tests miss.
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "fast/fast.hpp"
+#include "graph/io.hpp"
+#include "sched/validation.hpp"
+#include "sim/event_sim.hpp"
+#include "testing/test_graphs.hpp"
+#include "workloads/random_layered.hpp"
+
+namespace fastsched {
+namespace {
+
+// A deliberately nasty random graph family: zero-ish weights, zero comm,
+// extreme CCR, width-1 layers.
+graph::TaskGraph nasty_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  graph::TaskGraphBuilder b;
+  const int v = 2 + static_cast<int>(rng.uniform(30));
+  for (int i = 0; i < v; ++i) {
+    // ~25% zero-weight nodes.
+    const double w = rng.bernoulli(0.25) ? 0.0 : rng.uniform_real(0.5, 20.0);
+    b.add_node(w);
+  }
+  for (int i = 0; i < v; ++i) {
+    for (int j = i + 1; j < v; ++j) {
+      if (!rng.bernoulli(0.15)) continue;
+      // ~30% zero-cost edges, occasional huge ones.
+      double c = 0.0;
+      if (!rng.bernoulli(0.3)) {
+        c = rng.bernoulli(0.1) ? rng.uniform_real(100.0, 1000.0)
+                               : rng.uniform_real(0.1, 10.0);
+      }
+      b.add_edge(static_cast<graph::NodeId>(i), static_cast<graph::NodeId>(j),
+                 c);
+    }
+  }
+  return b.build();
+}
+
+class StressSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressSeed, AllAlgorithmsSurviveNastyGraphs) {
+  const graph::TaskGraph g = nasty_graph(GetParam());
+  for (const auto& algo : baselines::scheduler_names()) {
+    sched::SchedulerOptions opts;
+    opts.num_procs = 1 + GetParam() % 7;  // tiny budgets included
+    opts.seed = GetParam();
+    const sched::Schedule s = baselines::make_scheduler(algo)->run(g, opts);
+    const auto violations = sched::validate(g, s);
+    EXPECT_TRUE(violations.empty())
+        << algo << " seed " << GetParam() << ": "
+        << (violations.empty() ? "" : violations[0].message);
+  }
+}
+
+TEST_P(StressSeed, GraphTextRoundTripSurvivesNastyGraphs) {
+  const graph::TaskGraph g = nasty_graph(GetParam());
+  const graph::TaskGraph r = graph::from_text(graph::to_text(g));
+  EXPECT_EQ(r.num_nodes(), g.num_nodes());
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  EXPECT_EQ(graph::to_text(r), graph::to_text(g));
+}
+
+TEST_P(StressSeed, SimulatorAgreesWithEvaluatorOnFast) {
+  const graph::TaskGraph g = nasty_graph(GetParam());
+  fast::FastOptions opts;
+  opts.seed = GetParam();
+  const auto result = fast::run_fast(g, opts);
+  const auto s = fast::to_schedule(g, result, g.num_nodes());
+  const auto sim = sim::simulate(g, s, sim::MachineModel::ideal());
+  EXPECT_NEAR(sim.makespan, result.final_length, 1e-9) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSeed,
+                         ::testing::Range<std::uint64_t>(2000, 2024));
+
+TEST(Stress, FastScalesToVeryWideGraphs) {
+  // 500 independent nodes (maximum width, no edges at all).
+  graph::TaskGraphBuilder b;
+  for (int i = 0; i < 500; ++i) b.add_node(1.0 + i % 7);
+  const graph::TaskGraph g = b.build();
+  fast::FastOptions opts;
+  opts.num_procs = 16;
+  const auto result = fast::run_fast(g, opts);
+  const auto s = fast::to_schedule(g, result, 16);
+  EXPECT_TRUE(sched::is_valid(g, s));
+  // Perfect balance is total/16; greedy must stay within 2x.
+  EXPECT_LE(s.length(), 2.0 * g.total_work() / 16.0);
+}
+
+TEST(Stress, DeepChainDoesNotOverflowRecursion) {
+  // 20k-node chain: the CPN-Dominate construction and classification are
+  // iterative, so this must not smash the stack.
+  const graph::TaskGraph g = testing::chain(20000, 1.0, 1.0);
+  const auto result = fast::run_fast(g, {.num_procs = 4});
+  EXPECT_EQ(result.final_length, 20000.0);
+}
+
+TEST(Stress, DenseRandomGraphEndToEnd) {
+  workloads::RandomDagParams params;
+  params.num_nodes = 3000;
+  params.avg_out_degree = 36.0;
+  params.seed = 3;
+  const graph::TaskGraph g = workloads::random_layered_dag(params);
+  fast::FastOptions opts;
+  opts.num_procs = 128;
+  const auto result = fast::run_fast(g, opts);
+  const auto s = fast::to_schedule(g, result, 128);
+  EXPECT_TRUE(sched::is_valid(g, s));
+  const auto sim = sim::simulate(g, s, sim::MachineModel::paragon());
+  EXPECT_GE(sim.makespan, s.length());
+}
+
+}  // namespace
+}  // namespace fastsched

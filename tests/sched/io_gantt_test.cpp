@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "sched/gantt.hpp"
+#include "sched/io.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::sched {
+namespace {
+
+// ------------------------------------------------------------ Schedule IO
+
+Schedule sample_schedule() {
+  Schedule s(3, 2);
+  s.assign(0, 0, 0.0, 1.5);
+  s.assign(1, 1, 2.25, 4.0);
+  s.assign(2, 0, 1.5, 3.0);
+  return s;
+}
+
+TEST(ScheduleIo, RoundTrip) {
+  const Schedule s = sample_schedule();
+  const Schedule r = from_text(to_text(s));
+  ASSERT_EQ(r.num_nodes(), s.num_nodes());
+  ASSERT_EQ(r.num_procs(), s.num_procs());
+  for (graph::NodeId n = 0; n < s.num_nodes(); ++n) {
+    EXPECT_EQ(r.proc(n), s.proc(n));
+    EXPECT_EQ(r.start(n), s.start(n));
+    EXPECT_EQ(r.finish(n), s.finish(n));
+  }
+}
+
+TEST(ScheduleIo, RoundTripRealSchedule) {
+  const graph::TaskGraph g = testing::small_random(801);
+  const Schedule s =
+      baselines::make_scheduler("FAST")->run(g, SchedulerOptions{});
+  const Schedule r = from_text(to_text(s));
+  EXPECT_EQ(r.length(), s.length());
+  EXPECT_EQ(r.procs_used(), s.procs_used());
+}
+
+TEST(ScheduleIo, PartialSchedulesOmitUnassigned) {
+  Schedule s(3, 2);
+  s.assign(1, 0, 0.0, 1.0);
+  const Schedule r = from_text(to_text(s));
+  EXPECT_FALSE(r.is_assigned(0));
+  EXPECT_TRUE(r.is_assigned(1));
+  EXPECT_FALSE(r.is_assigned(2));
+}
+
+TEST(ScheduleIo, RejectsMissingHeader) {
+  EXPECT_THROW((void)from_text("task 0 0 0 1\n"), Error);
+  EXPECT_THROW((void)from_text(""), Error);
+}
+
+TEST(ScheduleIo, RejectsOutOfRangeTask) {
+  EXPECT_THROW((void)from_text("schedule 2 1\ntask 5 0 0 1\n"), Error);
+  EXPECT_THROW((void)from_text("schedule 2 1\ntask 0 3 0 1\n"), Error);
+}
+
+TEST(ScheduleIo, RejectsMalformedTaskLine) {
+  EXPECT_THROW((void)from_text("schedule 2 1\ntask 0 0\n"), Error);
+  EXPECT_THROW((void)from_text("schedule 2 1\njob 0 0 0 1\n"), Error);
+}
+
+TEST(ScheduleIo, IgnoresComments) {
+  const Schedule r = from_text("schedule 1 1\n# comment\ntask 0 0 0 2\n");
+  EXPECT_EQ(r.finish(0), 2.0);
+}
+
+// ----------------------------------------------------------------- Gantt
+
+TEST(Gantt, ShowsLengthAndProcs) {
+  const graph::TaskGraph g = testing::chain(3, 2.0, 1.0);
+  Schedule s(3, 2);
+  s.assign(0, 0, 0, 2);
+  s.assign(1, 0, 2, 4);
+  s.assign(2, 1, 5, 7);
+  const std::string out = render_gantt(g, s);
+  EXPECT_NE(out.find("schedule length = 7"), std::string::npos);
+  EXPECT_NE(out.find("processors used = 2"), std::string::npos);
+  EXPECT_NE(out.find("P0"), std::string::npos);
+  EXPECT_NE(out.find("P1"), std::string::npos);
+}
+
+TEST(Gantt, OmitsEmptyProcessors) {
+  const graph::TaskGraph g = testing::single();
+  Schedule s(1, 5);
+  s.assign(0, 2, 0, 5);
+  const std::string out = render_gantt(g, s);
+  EXPECT_EQ(out.find("P0 "), std::string::npos);
+  EXPECT_NE(out.find("P2"), std::string::npos);
+}
+
+TEST(Gantt, TableListsEveryTask) {
+  const graph::TaskGraph g = testing::chain(3, 1.0, 0.0);
+  Schedule s(3, 1);
+  s.assign(0, 0, 0, 1);
+  s.assign(1, 0, 1, 2);
+  s.assign(2, 0, 2, 3);
+  const std::string out = render_gantt(g, s, 40, /*with_table=*/true);
+  EXPECT_NE(out.find("task"), std::string::npos);
+  for (const char* name : {"n1", "n2", "n3"}) {
+    EXPECT_NE(out.find(name), std::string::npos);
+  }
+}
+
+TEST(Gantt, EmptyScheduleIsJustHeader) {
+  const graph::TaskGraph g = graph::TaskGraphBuilder{}.build();
+  const Schedule s(0, 2);
+  const std::string out = render_gantt(g, s);
+  EXPECT_NE(out.find("schedule length = 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastsched::sched

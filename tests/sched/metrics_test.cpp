@@ -1,0 +1,67 @@
+#include "sched/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::sched {
+namespace {
+
+TEST(Metrics, ComputationCriticalPathIgnoresComm) {
+  const graph::TaskGraph g = testing::diamond(2.0, 3.0, 100.0);
+  // heaviest computation chain: 1 + 3 + 1 = 5 regardless of comm.
+  EXPECT_EQ(computation_critical_path(g), 5.0);
+}
+
+TEST(Metrics, ComputationCriticalPathOfChain) {
+  EXPECT_EQ(computation_critical_path(testing::chain(4, 2.0, 9.0)), 8.0);
+}
+
+TEST(Metrics, SerialScheduleHasSpeedupOne) {
+  const graph::TaskGraph g = testing::chain(3, 2.0, 1.0);
+  Schedule s(3, 2);
+  s.assign(0, 0, 0.0, 2.0);
+  s.assign(1, 0, 2.0, 4.0);
+  s.assign(2, 0, 4.0, 6.0);
+  const ScheduleMetrics m = compute_metrics(g, s);
+  EXPECT_EQ(m.length, 6.0);
+  EXPECT_EQ(m.procs_used, 1u);
+  EXPECT_DOUBLE_EQ(m.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(m.efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(m.slr, 1.0);  // chain: length == computation CP
+}
+
+TEST(Metrics, ParallelScheduleSpeedsUp) {
+  graph::TaskGraphBuilder builder;
+  builder.add_node(4);
+  builder.add_node(4);
+  const graph::TaskGraph g = builder.build();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 4.0);
+  s.assign(1, 1, 0.0, 4.0);
+  const ScheduleMetrics m = compute_metrics(g, s);
+  EXPECT_DOUBLE_EQ(m.speedup, 2.0);
+  EXPECT_DOUBLE_EQ(m.efficiency, 1.0);
+  EXPECT_EQ(m.procs_used, 2u);
+}
+
+TEST(Metrics, SlrAboveOneWhenCommDelays) {
+  const graph::TaskGraph g = testing::chain(2, 1.0, 3.0);
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 4.0, 5.0);
+  const ScheduleMetrics m = compute_metrics(g, s);
+  EXPECT_DOUBLE_EQ(m.slr, 2.5);  // 5 / 2
+}
+
+TEST(Metrics, EmptyScheduleYieldsZeros) {
+  const graph::TaskGraph g = graph::TaskGraphBuilder{}.build();
+  const Schedule s(0, 1);
+  const ScheduleMetrics m = compute_metrics(g, s);
+  EXPECT_EQ(m.length, 0.0);
+  EXPECT_EQ(m.speedup, 0.0);
+  EXPECT_EQ(m.procs_used, 0u);
+}
+
+}  // namespace
+}  // namespace fastsched::sched

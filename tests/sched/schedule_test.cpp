@@ -1,0 +1,73 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastsched::sched {
+namespace {
+
+TEST(Schedule, StartsEmpty) {
+  const Schedule s(3, 2);
+  EXPECT_EQ(s.num_nodes(), 3u);
+  EXPECT_EQ(s.num_procs(), 2u);
+  EXPECT_EQ(s.length(), 0.0);
+  EXPECT_EQ(s.procs_used(), 0u);
+  EXPECT_FALSE(s.is_complete());
+  EXPECT_FALSE(s.is_assigned(0));
+}
+
+TEST(Schedule, AssignRecordsPlacement) {
+  Schedule s(2, 2);
+  s.assign(0, 1, 3.0, 7.0);
+  EXPECT_TRUE(s.is_assigned(0));
+  EXPECT_EQ(s.proc(0), 1u);
+  EXPECT_EQ(s.start(0), 3.0);
+  EXPECT_EQ(s.finish(0), 7.0);
+  EXPECT_EQ(s.length(), 7.0);
+  EXPECT_EQ(s.procs_used(), 1u);
+  ASSERT_EQ(s.tasks_on(1).size(), 1u);
+  EXPECT_EQ(s.tasks_on(1)[0], 0u);
+  EXPECT_TRUE(s.tasks_on(0).empty());
+}
+
+TEST(Schedule, LengthIsMaxFinish) {
+  Schedule s(3, 3);
+  s.assign(0, 0, 0.0, 5.0);
+  s.assign(1, 1, 0.0, 9.0);
+  s.assign(2, 2, 0.0, 2.0);
+  EXPECT_EQ(s.length(), 9.0);
+  EXPECT_EQ(s.procs_used(), 3u);
+  EXPECT_TRUE(s.is_complete());
+}
+
+TEST(Schedule, TasksOnPreservesAssignmentOrder) {
+  Schedule s(3, 1);
+  s.assign(2, 0, 0.0, 1.0);
+  s.assign(0, 0, 1.0, 2.0);
+  s.assign(1, 0, 2.0, 3.0);
+  const auto tasks = s.tasks_on(0);
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_EQ(tasks[0], 2u);
+  EXPECT_EQ(tasks[1], 0u);
+  EXPECT_EQ(tasks[2], 1u);
+}
+
+TEST(Schedule, RejectsDoubleAssignment) {
+  Schedule s(1, 1);
+  s.assign(0, 0, 0.0, 1.0);
+  EXPECT_THROW(s.assign(0, 0, 2.0, 3.0), Error);
+}
+
+TEST(Schedule, RejectsOutOfRange) {
+  Schedule s(1, 1);
+  EXPECT_THROW(s.assign(5, 0, 0.0, 1.0), Error);
+  EXPECT_THROW(s.assign(0, 5, 0.0, 1.0), Error);
+}
+
+TEST(Schedule, RejectsInvalidInterval) {
+  Schedule s(1, 1);
+  EXPECT_THROW(s.assign(0, 0, 5.0, 4.0), Error);
+  EXPECT_THROW(s.assign(0, 0, -1.0, 4.0), Error);
+}
+
+}  // namespace
+}  // namespace fastsched::sched

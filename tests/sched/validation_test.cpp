@@ -1,0 +1,126 @@
+#include "sched/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::sched {
+namespace {
+
+using graph::TaskGraph;
+
+// a(1) -2-> b(1) on separate procs: b may start at finish(a) + 2 = 3.
+TaskGraph two_node_graph() {
+  graph::TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(1);
+  builder.add_edge(a, b, 2);
+  return builder.build();
+}
+
+TEST(Validation, AcceptsCorrectCrossProcSchedule) {
+  const TaskGraph g = two_node_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 3.0, 4.0);
+  EXPECT_TRUE(is_valid(g, s));
+  EXPECT_NO_THROW(require_valid(g, s));
+}
+
+TEST(Validation, AcceptsZeroCommOnSameProc) {
+  const TaskGraph g = two_node_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 0, 1.0, 2.0);  // no comm delay on the same processor
+  EXPECT_TRUE(is_valid(g, s));
+}
+
+TEST(Validation, CatchesMissingCommDelay) {
+  const TaskGraph g = two_node_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 2.0, 3.0);  // needs start >= 3 cross-proc
+  const auto violations = validate(g, s);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kPrecedence);
+  EXPECT_THROW(require_valid(g, s), Error);
+}
+
+TEST(Validation, CatchesUnassignedNode) {
+  const TaskGraph g = two_node_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);
+  const auto violations = validate(g, s);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kUnassigned);
+}
+
+TEST(Validation, CatchesWrongDuration) {
+  const TaskGraph g = two_node_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 2.5);  // weight is 1
+  s.assign(1, 1, 5.0, 6.0);
+  const auto violations = validate(g, s);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kBadDuration);
+}
+
+TEST(Validation, CatchesOverlapOnProcessor) {
+  graph::TaskGraphBuilder builder;
+  builder.add_node(2);
+  builder.add_node(2);
+  const TaskGraph g = builder.build();
+  Schedule s(2, 1);
+  s.assign(0, 0, 0.0, 2.0);
+  s.assign(1, 0, 1.0, 3.0);
+  const auto violations = validate(g, s);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kOverlap);
+}
+
+TEST(Validation, AcceptsBackToBackTasks) {
+  graph::TaskGraphBuilder builder;
+  builder.add_node(2);
+  builder.add_node(2);
+  const TaskGraph g = builder.build();
+  Schedule s(2, 1);
+  s.assign(0, 0, 0.0, 2.0);
+  s.assign(1, 0, 2.0, 4.0);
+  EXPECT_TRUE(is_valid(g, s));
+}
+
+TEST(Validation, AcceptsInsertionOrderDifferentFromStartOrder) {
+  // Insertion-based algorithms assign tasks out of start order; that is
+  // legal as long as intervals do not overlap.
+  graph::TaskGraphBuilder builder;
+  builder.add_node(1);
+  builder.add_node(1);
+  const TaskGraph g = builder.build();
+  Schedule s(2, 1);
+  s.assign(1, 0, 5.0, 6.0);
+  s.assign(0, 0, 0.0, 1.0);
+  EXPECT_TRUE(is_valid(g, s));
+}
+
+TEST(Validation, ReportsMultiplePrecedenceViolations) {
+  const graph::TaskGraph g = testing::fork_join(2, 1.0, 5.0);
+  Schedule s(4, 4);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 1.0, 2.0);  // needs 6 cross-proc
+  s.assign(2, 2, 1.0, 2.0);  // needs 6 cross-proc
+  s.assign(3, 3, 2.0, 3.0);  // needs 7
+  const auto violations = validate(g, s);
+  EXPECT_EQ(violations.size(), 4u);
+  for (const auto& v : violations) {
+    EXPECT_EQ(v.kind, Violation::Kind::kPrecedence);
+  }
+}
+
+TEST(Validation, RejectsScheduleForDifferentGraph) {
+  const TaskGraph g = two_node_graph();
+  const Schedule s(5, 2);
+  EXPECT_THROW((void)validate(g, s), Error);
+}
+
+}  // namespace
+}  // namespace fastsched::sched

@@ -1,0 +1,152 @@
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "fast/fast.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::sim {
+namespace {
+
+using graph::TaskGraph;
+using sched::Schedule;
+
+TEST(EventSim, IdealMachineMatchesScheduleLengthForListSchedules) {
+  // With zero overheads, the simulator's semantics coincide with the
+  // evaluator's ready-time model for every append-style schedule.
+  for (std::uint64_t seed = 500; seed < 510; ++seed) {
+    const TaskGraph g = testing::small_random(seed);
+    const Schedule s =
+        baselines::make_scheduler("FAST")->run(g, sched::SchedulerOptions{});
+    const SimResult r = simulate(g, s, MachineModel::ideal());
+    EXPECT_NEAR(r.makespan, s.length(), 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(EventSim, IdealMachineNeverExceedsScheduleLength) {
+  // Insertion-based schedules (MD) may have slack the simulator closes up,
+  // but the simulated run can never exceed a valid schedule's length on an
+  // ideal machine.
+  for (const char* algo : {"MD", "DSC", "ETF", "DLS"}) {
+    const TaskGraph g = testing::small_random(511);
+    const Schedule s =
+        baselines::make_scheduler(algo)->run(g, sched::SchedulerOptions{});
+    const SimResult r = simulate(g, s, MachineModel::ideal());
+    EXPECT_LE(r.makespan, s.length() + 1e-9) << algo;
+  }
+}
+
+TEST(EventSim, OverheadsOnlyIncreaseMakespan) {
+  const TaskGraph g = testing::small_random(512);
+  const Schedule s =
+      baselines::make_scheduler("FAST")->run(g, sched::SchedulerOptions{});
+  const SimResult ideal = simulate(g, s, MachineModel::ideal());
+  const SimResult paragon = simulate(g, s, MachineModel::paragon());
+  EXPECT_GE(paragon.makespan, ideal.makespan);
+}
+
+TEST(EventSim, CountsCrossProcessorMessagesOnly) {
+  const TaskGraph g = testing::chain(3, 1.0, 2.0);
+  // All on one proc: zero messages.
+  Schedule local(3, 2);
+  local.assign(0, 0, 0, 1);
+  local.assign(1, 0, 1, 2);
+  local.assign(2, 0, 2, 3);
+  EXPECT_EQ(simulate(g, local, MachineModel::ideal()).messages, 0u);
+
+  // Split: two messages.
+  Schedule split(3, 2);
+  split.assign(0, 0, 0, 1);
+  split.assign(1, 1, 3, 4);
+  split.assign(2, 0, 7, 8);
+  const SimResult r = simulate(g, split, MachineModel::ideal());
+  EXPECT_EQ(r.messages, 2u);
+  EXPECT_DOUBLE_EQ(r.comm_wire_time, 4.0);
+}
+
+TEST(EventSim, SendOverheadSerializesSender) {
+  // One root with two remote children: the second message leaves one
+  // send_overhead later.
+  const TaskGraph g = testing::fork_join(2, 1.0, 0.0);
+  Schedule s(4, 3);
+  s.assign(0, 0, 0, 1);
+  s.assign(1, 1, 1, 2);
+  s.assign(2, 2, 1, 2);
+  s.assign(3, 1, 3, 4);
+  MachineModel m;
+  m.send_overhead = 10.0;
+  const SimResult r = simulate(g, s, m);
+  // Child on P1 receives after 1 + 10; child on P2 after 1 + 20.
+  EXPECT_DOUBLE_EQ(r.start[1], 11.0);
+  EXPECT_DOUBLE_EQ(r.start[2], 21.0);
+}
+
+TEST(EventSim, LatencyAndWireFactorCharged) {
+  const TaskGraph g = testing::chain(2, 1.0, 4.0);
+  Schedule s(2, 2);
+  s.assign(0, 0, 0, 1);
+  s.assign(1, 1, 5, 6);
+  MachineModel m;
+  m.latency = 7.0;
+  m.wire_factor = 2.0;
+  m.recv_overhead = 3.0;
+  const SimResult r = simulate(g, s, m);
+  // arrival = finish(1) + latency(7) + wire(8) + recv(3) = 19.
+  EXPECT_DOUBLE_EQ(r.start[1], 19.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 20.0);
+}
+
+TEST(EventSim, LocalOrderIsRespectedEvenWithSlack) {
+  // Second task on the processor cannot jump ahead of the first even if
+  // its data is ready earlier.
+  graph::TaskGraphBuilder builder;
+  builder.add_node(5);  // a: long
+  builder.add_node(1);  // b: independent, scheduled after a on same proc
+  const TaskGraph g = builder.build();
+  Schedule s(2, 1);
+  s.assign(0, 0, 0, 5);
+  s.assign(1, 0, 5, 6);
+  const SimResult r = simulate(g, s, MachineModel::ideal());
+  EXPECT_DOUBLE_EQ(r.start[1], 5.0);
+}
+
+TEST(EventSim, RejectsIncompleteSchedules) {
+  const TaskGraph g = testing::chain(2);
+  Schedule s(2, 1);
+  s.assign(0, 0, 0, 1);
+  EXPECT_THROW((void)simulate(g, s, MachineModel::ideal()), Error);
+}
+
+TEST(EventSim, EmptyGraph) {
+  const TaskGraph g = graph::TaskGraphBuilder{}.build();
+  const Schedule s(0, 1);
+  const SimResult r = simulate(g, s, MachineModel::ideal());
+  EXPECT_EQ(r.makespan, 0.0);
+}
+
+TEST(EventSim, CommHeavyScheduleLosesOnParagonMachine) {
+  // Two schedules of a comm-heavy chain: local vs maximally spread. On the
+  // ideal machine the spread one already pays wire time; on the Paragon
+  // model it pays per-message overhead on top. The local schedule must win
+  // by more under the Paragon model — the effect the paper measures.
+  const TaskGraph g = testing::chain(6, 1.0, 3.0);
+  Schedule local(6, 6);
+  for (graph::NodeId n = 0; n < 6; ++n) {
+    local.assign(n, 0, n, n + 1.0);
+  }
+  Schedule spread(6, 6);
+  double t = 0;
+  for (graph::NodeId n = 0; n < 6; ++n) {
+    spread.assign(n, n, t, t + 1.0);
+    t += 4.0;  // 1 compute + 3 comm
+  }
+  const MachineModel paragon = MachineModel::paragon();
+  const double local_time = simulate(g, local, paragon).makespan;
+  const double spread_time = simulate(g, spread, paragon).makespan;
+  EXPECT_LT(local_time, spread_time);
+}
+
+}  // namespace
+}  // namespace fastsched::sim

@@ -1,0 +1,125 @@
+#include "sim/mesh.hpp"
+
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::sim {
+namespace {
+
+using graph::TaskGraph;
+using sched::Schedule;
+
+TEST(Mesh, HopCountsAreManhattanDistance) {
+  MeshConfig config;
+  config.width = 4;
+  config.height = 4;
+  EXPECT_EQ(mesh_hops(config, 0, 0), 0);
+  EXPECT_EQ(mesh_hops(config, 0, 1), 1);    // (0,0) -> (1,0)
+  EXPECT_EQ(mesh_hops(config, 0, 4), 1);    // (0,0) -> (0,1)
+  EXPECT_EQ(mesh_hops(config, 0, 5), 2);    // (0,0) -> (1,1)
+  EXPECT_EQ(mesh_hops(config, 0, 15), 6);   // (0,0) -> (3,3)
+  EXPECT_EQ(mesh_hops(config, 15, 0), 6);   // symmetric
+}
+
+TEST(Mesh, LocalScheduleHasNoNetworkActivity) {
+  const TaskGraph g = testing::chain(4, 2.0, 5.0);
+  Schedule s(4, 1);
+  for (graph::NodeId n = 0; n < 4; ++n) s.assign(n, 0, 2.0 * n, 2.0 * n + 2);
+  const MeshSimResult r = simulate_mesh(g, s, MeshConfig::paragon64());
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_EQ(r.total_hops, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 8.0);
+}
+
+TEST(Mesh, SingleMessageTimingIsHopsPlusOccupancy) {
+  // a on P0 (0,0), b on P3 (3,0): 3 hops. With hop_latency 1 and the full
+  // wire time split across the 3 links, arrival = injection + 3*(1 + c/3).
+  const TaskGraph g = testing::chain(2, 1.0, 6.0);
+  Schedule s(2, 4);
+  s.assign(0, 0, 0, 1);
+  s.assign(1, 3, 100, 101);  // generous scheduled start; sim runs earlier
+  MeshConfig config;
+  config.width = 4;
+  config.height = 1;
+  config.hop_latency = 1.0;
+  config.nic_overhead = 2.0;
+  config.link_occupancy_factor = 1.0;
+  const MeshSimResult r = simulate_mesh(g, s, config);
+  // injection at 1 + 2 = 3; three links, each +1 latency +2 occupancy.
+  EXPECT_DOUBLE_EQ(r.start[1], 3.0 + 3.0 * (1.0 + 2.0));
+  EXPECT_EQ(r.messages, 1u);
+  EXPECT_EQ(r.total_hops, 3.0);
+}
+
+TEST(Mesh, ContentionDelaysSecondMessageOnSharedLink) {
+  // Two producers on P0 send to P1 and P2 along the same +x link out of
+  // P0; the second message queues behind the first.
+  graph::TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(1);
+  const auto c1 = builder.add_node(1);
+  const auto c2 = builder.add_node(1);
+  builder.add_edge(a, c1, 8.0);
+  builder.add_edge(b, c2, 8.0);
+  const TaskGraph g = builder.build();
+  Schedule s(4, 3);
+  s.assign(a, 0, 0, 1);
+  s.assign(b, 0, 1, 2);
+  s.assign(c1, 1, 50, 51);
+  s.assign(c2, 2, 50, 51);
+  MeshConfig config;
+  config.width = 3;
+  config.height = 1;
+  config.nic_overhead = 0.0;
+  config.hop_latency = 0.0;
+  const MeshSimResult r = simulate_mesh(g, s, config);
+  EXPECT_GT(r.total_link_wait, 0.0);
+  // c2's message shares P0's +x link; it cannot arrive before c1's frees it.
+  EXPECT_GT(r.start[c2], r.start[c1] - 1e-9);
+}
+
+TEST(Mesh, RejectsSchedulesWiderThanTheMesh) {
+  graph::TaskGraphBuilder builder;
+  for (int i = 0; i < 5; ++i) builder.add_node(1);
+  const TaskGraph g = builder.build();
+  Schedule s(5, 5);
+  for (graph::NodeId n = 0; n < 5; ++n) s.assign(n, n, 0, 1);
+  MeshConfig config;
+  config.width = 2;
+  config.height = 2;
+  EXPECT_THROW((void)simulate_mesh(g, s, config), Error);
+}
+
+TEST(Mesh, RealSchedulesRunToCompletion) {
+  const TaskGraph g = testing::small_random(990, 80, 1.0, 4.0);
+  for (const char* algo : {"FAST", "ETF", "MD"}) {
+    sched::SchedulerOptions opts;
+    opts.num_procs = 32;
+    const Schedule s = baselines::make_scheduler(algo)->run(g, opts);
+    const MeshSimResult r = simulate_mesh(g, s, MeshConfig::paragon64());
+    EXPECT_GT(r.makespan, 0.0) << algo;
+    // Mesh adds contention and latency on top of the contention-free
+    // model, never removes time from a serial lower bound.
+    EXPECT_GE(r.makespan, g.total_work() / 32.0 - 1e-9) << algo;
+  }
+}
+
+TEST(Mesh, MoreContentionThanContentionFreeModel) {
+  // The same schedule must take at least as long on the mesh (with hop
+  // latency and link queueing) as on the ideal machine.
+  const TaskGraph g = testing::small_random(991, 80, 2.0, 4.0);
+  sched::SchedulerOptions opts;
+  opts.num_procs = 16;
+  const Schedule s = baselines::make_scheduler("DLS")->run(g, opts);
+  const double ideal = simulate(g, s, MachineModel::ideal()).makespan;
+  const MeshSimResult mesh = simulate_mesh(g, s, MeshConfig::paragon64());
+  EXPECT_GE(mesh.makespan, ideal - 1e-9);
+}
+
+}  // namespace
+}  // namespace fastsched::sim

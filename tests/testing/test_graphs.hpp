@@ -1,0 +1,89 @@
+#pragma once
+
+/// Shared task-graph fixtures for the test suite.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/task_graph.hpp"
+#include "workloads/random_layered.hpp"
+
+namespace fastsched::testing {
+
+/// Linear chain a -> b -> c -> ... with unit weights and `comm` edge costs.
+inline graph::TaskGraph chain(int length, double node_weight = 1.0,
+                              double comm = 1.0) {
+  graph::TaskGraphBuilder b;
+  graph::NodeId prev = b.add_node(node_weight);
+  for (int i = 1; i < length; ++i) {
+    const graph::NodeId cur = b.add_node(node_weight);
+    b.add_edge(prev, cur, comm);
+    prev = cur;
+  }
+  return b.build();
+}
+
+/// One root fanning out to `width` children, all joining into one sink.
+inline graph::TaskGraph fork_join(int width, double node_weight = 1.0,
+                                  double comm = 1.0) {
+  graph::TaskGraphBuilder b;
+  const graph::NodeId root = b.add_node(node_weight);
+  std::vector<graph::NodeId> mids;
+  for (int i = 0; i < width; ++i) {
+    mids.push_back(b.add_node(node_weight));
+    b.add_edge(root, mids.back(), comm);
+  }
+  const graph::NodeId sink = b.add_node(node_weight);
+  for (const graph::NodeId m : mids) b.add_edge(m, sink, comm);
+  return b.build();
+}
+
+/// Two independent chains (a disconnected DAG).
+inline graph::TaskGraph two_chains(int length) {
+  graph::TaskGraphBuilder b;
+  for (int chain_idx = 0; chain_idx < 2; ++chain_idx) {
+    graph::NodeId prev = b.add_node(1.0);
+    for (int i = 1; i < length; ++i) {
+      const graph::NodeId cur = b.add_node(1.0);
+      b.add_edge(prev, cur, 1.0);
+      prev = cur;
+    }
+  }
+  return b.build();
+}
+
+/// The classic diamond: a -> {b, c} -> d with configurable costs.
+inline graph::TaskGraph diamond(double wb = 2.0, double wc = 3.0,
+                                double comm = 1.0) {
+  graph::TaskGraphBuilder b;
+  const auto a = b.add_node(1.0);
+  const auto n_b = b.add_node(wb);
+  const auto n_c = b.add_node(wc);
+  const auto d = b.add_node(1.0);
+  b.add_edge(a, n_b, comm);
+  b.add_edge(a, n_c, comm);
+  b.add_edge(n_b, d, comm);
+  b.add_edge(n_c, d, comm);
+  return b.build();
+}
+
+/// A single node, no edges.
+inline graph::TaskGraph single(double weight = 5.0) {
+  graph::TaskGraphBuilder b;
+  b.add_node(weight);
+  return b.build();
+}
+
+/// Small random layered DAG for property sweeps.
+inline graph::TaskGraph small_random(std::uint64_t seed, std::size_t nodes = 60,
+                                     double ccr = 1.0,
+                                     double avg_degree = 4.0) {
+  workloads::RandomDagParams params;
+  params.num_nodes = nodes;
+  params.ccr = ccr;
+  params.avg_out_degree = avg_degree;
+  params.seed = seed;
+  return workloads::random_layered_dag(params);
+}
+
+}  // namespace fastsched::testing

@@ -1,0 +1,149 @@
+// Tests for the application-kernel DAG generators: the task counts must
+// match the paper's tables exactly, and the structures must be well-formed.
+
+#include <gtest/gtest.h>
+
+#include "graph/levels.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/laplace.hpp"
+#include "workloads/timing_db.hpp"
+
+namespace fastsched::workloads {
+namespace {
+
+// ---------------------------------------------------------------- Gaussian
+
+TEST(Gaussian, TaskCountsMatchPaperTable) {
+  // Figure 5(c): matrix dimensions 4, 8, 16, 32 -> 20, 54, 170, 594 tasks.
+  const std::pair<int, std::size_t> expected[] = {
+      {4, 20}, {8, 54}, {16, 170}, {32, 594}};
+  for (const auto& [dim, tasks] : expected) {
+    EXPECT_EQ(gaussian_task_count(dim), tasks) << "dim " << dim;
+    EXPECT_EQ(gaussian_elimination_dag(dim).num_nodes(), tasks);
+  }
+}
+
+TEST(Gaussian, IsConnectedSingleEntrySingleish) {
+  const auto g = gaussian_elimination_dag(8);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.entry_nodes().size(), 1u);  // the first pivot task
+}
+
+TEST(Gaussian, PivotBroadcastsWithinLayer) {
+  const auto g = gaussian_elimination_dag(4);
+  // Layer 0 pivot (node 0) must feed every update task of layer 0
+  // (nodes 1..5 for N=4: layer size N+2 = 6).
+  EXPECT_EQ(g.out_degree(0), 5u + /*row continuation*/ 0u);
+}
+
+TEST(Gaussian, WeightsShrinkWithLayer) {
+  // Later elimination steps work on shorter rows, so later pivots cost
+  // less than the first pivot.
+  const auto g = gaussian_elimination_dag(8, TimingDatabase::paragon());
+  EXPECT_GT(g.weight(0), g.weight(static_cast<graph::NodeId>(
+                             g.num_nodes() - 1)));
+}
+
+TEST(Gaussian, RejectsTinyMatrices) {
+  EXPECT_THROW((void)gaussian_elimination_dag(1), Error);
+}
+
+// ----------------------------------------------------------------- Laplace
+
+TEST(Laplace, TaskCountsMatchPaperTable) {
+  // Figure 6(c): dims 4, 8, 16, 32 -> 18, 66, 258, 1026 tasks (N^2 + 2).
+  const std::pair<int, std::size_t> expected[] = {
+      {4, 18}, {8, 66}, {16, 258}, {32, 1026}};
+  for (const auto& [dim, tasks] : expected) {
+    EXPECT_EQ(laplace_task_count(dim), tasks) << "dim " << dim;
+    EXPECT_EQ(laplace_dag(dim).num_nodes(), tasks);
+  }
+}
+
+TEST(Laplace, SingleSourceSingleSink) {
+  const auto g = laplace_dag(6);
+  EXPECT_EQ(g.entry_nodes().size(), 1u);
+  EXPECT_EQ(g.exit_nodes().size(), 1u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Laplace, WavefrontDepth) {
+  // The diagonal wavefront over an N×N grid has 2N-1 fronts plus source
+  // and sink: the longest path has 2N+1 nodes.
+  const int n = 5;
+  const auto g = laplace_dag(n);
+  const auto levels = graph::compute_levels(g);
+  // count nodes on the canonical critical path
+  EXPECT_EQ(levels.critical_path.size(), static_cast<std::size_t>(2 * n + 1));
+}
+
+TEST(Laplace, InteriorCellHasTwoParents) {
+  const auto g = laplace_dag(4);
+  // Cell (2,2) = node 1 + 2*4 + 2 = 11: parents (1,2) and (2,1).
+  EXPECT_EQ(g.in_degree(11), 2u);
+}
+
+// --------------------------------------------------------------------- FFT
+
+TEST(Fft, TaskCountsMatchPaperTable) {
+  // Figure 7(c): points 16, 64, 128, 512 -> 14, 34, 82, 194 tasks.
+  const std::pair<int, std::size_t> expected[] = {
+      {16, 14}, {64, 34}, {128, 82}, {512, 194}};
+  for (const auto& [points, tasks] : expected) {
+    EXPECT_EQ(fft_task_count(points), tasks) << points << " points";
+    EXPECT_EQ(fft_dag(points).num_nodes(), tasks);
+  }
+}
+
+TEST(Fft, LaneCountIsNextPow2OfSqrt) {
+  EXPECT_EQ(fft_lanes(16), 4);
+  EXPECT_EQ(fft_lanes(64), 8);
+  EXPECT_EQ(fft_lanes(128), 16);
+  EXPECT_EQ(fft_lanes(256), 16);
+  EXPECT_EQ(fft_lanes(512), 32);
+}
+
+TEST(Fft, ButterflyStructure) {
+  const auto g = fft_dag(16);  // 4 lanes, 2 stages
+  EXPECT_EQ(g.entry_nodes().size(), 1u);   // scatter
+  EXPECT_EQ(g.exit_nodes().size(), 1u);    // gather
+  EXPECT_TRUE(g.is_connected());
+  // Every butterfly-stage node has exactly two parents.
+  std::size_t two_parent_nodes = 0;
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (g.in_degree(n) == 2) ++two_parent_nodes;
+  }
+  EXPECT_EQ(two_parent_nodes, 8u);  // 4 lanes * 2 stages
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  EXPECT_THROW((void)fft_dag(12), Error);
+  EXPECT_THROW((void)fft_dag(2), Error);
+}
+
+// --------------------------------------------------------------- TimingDb
+
+TEST(TimingDb, CommCostIsAffine) {
+  const TimingDatabase db{1.0, 10.0, 0.5};
+  EXPECT_DOUBLE_EQ(db.comm_cost(0), 10.0);
+  EXPECT_DOUBLE_EQ(db.comm_cost(100), 60.0);
+  EXPECT_DOUBLE_EQ(db.compute_cost(8), 8.0);
+}
+
+TEST(TimingDb, CalibrationsDiffer) {
+  // The Paragon calibration must be far more communication-heavy than the
+  // low-latency one — that is the whole point of the substitution.
+  const auto paragon = TimingDatabase::paragon();
+  const auto modern = TimingDatabase::low_latency();
+  EXPECT_GT(paragon.alpha, modern.alpha);
+}
+
+TEST(TimingDb, HigherLatencyRaisesCcr) {
+  const auto cheap = laplace_dag(6, TimingDatabase::low_latency());
+  const auto dear = laplace_dag(6, TimingDatabase::paragon());
+  EXPECT_GT(dear.ccr(), cheap.ccr());
+}
+
+}  // namespace
+}  // namespace fastsched::workloads

@@ -1,0 +1,108 @@
+#include "workloads/random_layered.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/io.hpp"
+
+namespace fastsched::workloads {
+namespace {
+
+TEST(RandomLayered, ExactNodeCount) {
+  for (const std::size_t v : {10u, 57u, 200u, 1000u}) {
+    RandomDagParams params;
+    params.num_nodes = v;
+    params.seed = v;
+    EXPECT_EQ(random_layered_dag(params).num_nodes(), v);
+  }
+}
+
+TEST(RandomLayered, DeterministicPerSeed) {
+  RandomDagParams params;
+  params.num_nodes = 120;
+  params.seed = 77;
+  const auto a = random_layered_dag(params);
+  const auto b = random_layered_dag(params);
+  EXPECT_EQ(graph::to_text(a), graph::to_text(b));
+}
+
+TEST(RandomLayered, DifferentSeedsDiffer) {
+  RandomDagParams params;
+  params.num_nodes = 120;
+  params.seed = 1;
+  const auto a = random_layered_dag(params);
+  params.seed = 2;
+  const auto b = random_layered_dag(params);
+  EXPECT_NE(graph::to_text(a), graph::to_text(b));
+}
+
+TEST(RandomLayered, HitsTargetDensityApproximately) {
+  RandomDagParams params;
+  params.num_nodes = 1000;
+  params.avg_out_degree = 20.0;
+  params.seed = 5;
+  const auto g = random_layered_dag(params);
+  const double avg =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+  EXPECT_GT(avg, 14.0);
+  EXPECT_LE(avg, 20.5);
+}
+
+TEST(RandomLayered, HitsTargetCcrApproximately) {
+  for (const double target : {0.1, 1.0, 10.0}) {
+    RandomDagParams params;
+    params.num_nodes = 800;
+    params.ccr = target;
+    params.seed = 11;
+    const auto g = random_layered_dag(params);
+    EXPECT_NEAR(g.ccr() / target, 1.0, 0.25) << "target CCR " << target;
+  }
+}
+
+TEST(RandomLayered, EveryMidNodeHasParentAndChild) {
+  RandomDagParams params;
+  params.num_nodes = 300;
+  params.seed = 13;
+  const auto g = random_layered_dag(params);
+  // Entry nodes have children; exit nodes have parents; everything else
+  // has both (the generator repairs dangling nodes).
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_TRUE(g.in_degree(n) > 0 || g.out_degree(n) > 0) << n;
+  }
+  EXPECT_LT(g.entry_nodes().size(), g.num_nodes() / 2);
+}
+
+TEST(RandomLayered, WeightsWithinRange) {
+  RandomDagParams params;
+  params.num_nodes = 200;
+  params.min_weight = 5.0;
+  params.max_weight = 9.0;
+  params.seed = 17;
+  const auto g = random_layered_dag(params);
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_GE(g.weight(n), 5.0);
+    EXPECT_LE(g.weight(n), 9.0);
+  }
+}
+
+TEST(RandomLayered, PaperScaleInstanceIsDense) {
+  // §5.2: v = 2000 with ~81k edges. Allow generous slack; the point is
+  // "deliberately denser" than the application DAGs.
+  RandomDagParams params;
+  params.num_nodes = 2000;
+  params.avg_out_degree = 36.0;
+  params.seed = 1;
+  const auto g = random_layered_dag(params);
+  EXPECT_GT(g.num_edges(), 40000u);
+}
+
+TEST(RandomLayered, RejectsBadParams) {
+  RandomDagParams params;
+  params.num_nodes = 1;
+  EXPECT_THROW((void)random_layered_dag(params), Error);
+  params.num_nodes = 10;
+  params.min_weight = -1;
+  EXPECT_THROW((void)random_layered_dag(params), Error);
+}
+
+}  // namespace
+}  // namespace fastsched::workloads

@@ -1,0 +1,93 @@
+#include "workloads/trees.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "graph/levels.hpp"
+#include "sched/validation.hpp"
+
+namespace fastsched::workloads {
+namespace {
+
+TEST(Trees, BinaryOutTreeStructure) {
+  const auto g = binary_out_tree(4);  // 15 nodes
+  EXPECT_EQ(g.num_nodes(), 15u);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_EQ(g.entry_nodes().size(), 1u);
+  EXPECT_EQ(g.exit_nodes().size(), 8u);  // leaves
+  EXPECT_TRUE(g.is_connected());
+  // Every non-root has exactly one parent; every internal node 2 children.
+  for (graph::NodeId n = 1; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(g.in_degree(n), 1u);
+  }
+  for (graph::NodeId n = 0; n < 7; ++n) {
+    EXPECT_EQ(g.out_degree(n), 2u);
+  }
+}
+
+TEST(Trees, RandomTreeIsATree) {
+  TreeParams params;
+  params.num_nodes = 200;
+  params.max_arity = 4;
+  params.seed = 9;
+  const auto g = random_tree_dag(params);
+  EXPECT_EQ(g.num_edges(), g.num_nodes() - 1);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Trees, RespectsArityBound) {
+  TreeParams params;
+  params.num_nodes = 300;
+  params.max_arity = 2;
+  params.seed = 10;
+  const auto g = random_tree_dag(params);
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_LE(g.out_degree(n), 2u);
+  }
+}
+
+TEST(Trees, InTreeHasSingleExit) {
+  TreeParams params;
+  params.num_nodes = 100;
+  params.out_tree = false;
+  params.seed = 11;
+  const auto g = random_tree_dag(params);
+  EXPECT_EQ(g.exit_nodes().size(), 1u);
+  EXPECT_EQ(g.exit_nodes()[0], 0u);  // the root collects everything
+}
+
+TEST(Trees, DeterministicPerSeed) {
+  TreeParams params;
+  params.num_nodes = 50;
+  params.seed = 12;
+  const auto a = random_tree_dag(params);
+  const auto b = random_tree_dag(params);
+  for (graph::EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge_source(e), b.edge_source(e));
+    EXPECT_EQ(a.edge_target(e), b.edge_target(e));
+  }
+}
+
+TEST(Trees, HuOracleFreeCommBinaryTree) {
+  // Hu's case: uniform weights, zero comm, unlimited processors — the
+  // optimal makespan of a complete out-tree equals its height. Every
+  // scheduler in the registry must achieve exactly that (the greedy
+  // choices all coincide with the optimum here).
+  const auto g = binary_out_tree(5, 2.0, 0.0);  // height 5, weight 2
+  for (const char* algo : {"FAST", "ETF", "DLS", "DSC", "HLFET", "MCP"}) {
+    const auto s =
+        baselines::make_scheduler(algo)->run(g, sched::SchedulerOptions{});
+    EXPECT_TRUE(sched::is_valid(g, s)) << algo;
+    EXPECT_NEAR(s.length(), 10.0, 1e-9) << algo;  // 5 levels x 2.0
+  }
+}
+
+TEST(Trees, RejectsBadParams) {
+  TreeParams params;
+  params.num_nodes = 0;
+  EXPECT_THROW((void)random_tree_dag(params), Error);
+  EXPECT_THROW((void)binary_out_tree(0), Error);
+}
+
+}  // namespace
+}  // namespace fastsched::workloads

@@ -1,0 +1,43 @@
+// Converts a task graph in the fastsched text format to Graphviz DOT,
+// optionally highlighting the critical path as in the paper's Figure 1.
+//
+//   $ ./build/tools/dag2dot graph.txt > graph.dot
+//   $ ./build/tools/dag2dot --plain graph.txt     # no CP highlighting
+//   $ ./build/examples/quickstart | ...            # or pipe via stdin: -
+
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "graph/io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fastsched;
+
+  CliParser cli("dag2dot: fastsched graph text -> Graphviz DOT");
+  cli.add_flag("plain", "skip critical-path highlighting");
+  if (!cli.parse(argc, argv)) return 0;
+
+  try {
+    FASTSCHED_REQUIRE(cli.positional().size() == 1,
+                      "usage: dag2dot [--plain] <graph.txt | ->");
+    const std::string& path = cli.positional().front();
+    graph::TaskGraph g = [&] {
+      if (path == "-") return graph::read_text(std::cin);
+      std::ifstream in(path);
+      FASTSCHED_REQUIRE(in.good(), "cannot open " + path);
+      return graph::read_text(in);
+    }();
+
+    if (cli.get_flag("plain")) {
+      std::cout << graph::to_dot(g);
+    } else {
+      const graph::LevelInfo levels = graph::compute_levels(g);
+      std::cout << graph::to_dot(g, &levels);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
