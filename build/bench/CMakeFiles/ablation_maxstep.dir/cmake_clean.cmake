@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_maxstep.dir/ablation_maxstep.cpp.o"
+  "CMakeFiles/ablation_maxstep.dir/ablation_maxstep.cpp.o.d"
+  "ablation_maxstep"
+  "ablation_maxstep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_maxstep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

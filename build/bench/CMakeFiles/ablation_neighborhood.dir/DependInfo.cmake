@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_neighborhood.cpp" "bench/CMakeFiles/ablation_neighborhood.dir/ablation_neighborhood.cpp.o" "gcc" "bench/CMakeFiles/ablation_neighborhood.dir/ablation_neighborhood.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fastsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fastsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fast/CMakeFiles/fastsched_fast.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fastsched_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/fastsched_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fastsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/casch/CMakeFiles/fastsched_casch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fastsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pfast.dir/ablation_pfast.cpp.o"
+  "CMakeFiles/ablation_pfast.dir/ablation_pfast.cpp.o.d"
+  "ablation_pfast"
+  "ablation_pfast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pfast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

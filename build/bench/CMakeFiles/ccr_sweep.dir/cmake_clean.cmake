@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_sweep.dir/ccr_sweep.cpp.o"
+  "CMakeFiles/ccr_sweep.dir/ccr_sweep.cpp.o.d"
+  "ccr_sweep"
+  "ccr_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

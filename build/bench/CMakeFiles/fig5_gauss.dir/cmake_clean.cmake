@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gauss.dir/fig5_gauss.cpp.o"
+  "CMakeFiles/fig5_gauss.dir/fig5_gauss.cpp.o.d"
+  "fig5_gauss"
+  "fig5_gauss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

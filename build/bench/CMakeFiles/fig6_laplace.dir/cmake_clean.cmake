@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_laplace.dir/fig6_laplace.cpp.o"
+  "CMakeFiles/fig6_laplace.dir/fig6_laplace.cpp.o.d"
+  "fig6_laplace"
+  "fig6_laplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fft.dir/fig7_fft.cpp.o"
+  "CMakeFiles/fig7_fft.dir/fig7_fft.cpp.o.d"
+  "fig7_fft"
+  "fig7_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_contention.dir/mesh_contention.cpp.o"
+  "CMakeFiles/mesh_contention.dir/mesh_contention.cpp.o.d"
+  "mesh_contention"
+  "mesh_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_levels.dir/micro_levels.cpp.o"
+  "CMakeFiles/micro_levels.dir/micro_levels.cpp.o.d"
+  "micro_levels"
+  "micro_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casch_pipeline.dir/casch_pipeline.cpp.o"
+  "CMakeFiles/casch_pipeline.dir/casch_pipeline.cpp.o.d"
+  "casch_pipeline"
+  "casch_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casch_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bsa.cpp" "src/baselines/CMakeFiles/fastsched_baselines.dir/bsa.cpp.o" "gcc" "src/baselines/CMakeFiles/fastsched_baselines.dir/bsa.cpp.o.d"
+  "/root/repo/src/baselines/dcp.cpp" "src/baselines/CMakeFiles/fastsched_baselines.dir/dcp.cpp.o" "gcc" "src/baselines/CMakeFiles/fastsched_baselines.dir/dcp.cpp.o.d"
+  "/root/repo/src/baselines/dls.cpp" "src/baselines/CMakeFiles/fastsched_baselines.dir/dls.cpp.o" "gcc" "src/baselines/CMakeFiles/fastsched_baselines.dir/dls.cpp.o.d"
+  "/root/repo/src/baselines/dsc.cpp" "src/baselines/CMakeFiles/fastsched_baselines.dir/dsc.cpp.o" "gcc" "src/baselines/CMakeFiles/fastsched_baselines.dir/dsc.cpp.o.d"
+  "/root/repo/src/baselines/etf.cpp" "src/baselines/CMakeFiles/fastsched_baselines.dir/etf.cpp.o" "gcc" "src/baselines/CMakeFiles/fastsched_baselines.dir/etf.cpp.o.d"
+  "/root/repo/src/baselines/ez.cpp" "src/baselines/CMakeFiles/fastsched_baselines.dir/ez.cpp.o" "gcc" "src/baselines/CMakeFiles/fastsched_baselines.dir/ez.cpp.o.d"
+  "/root/repo/src/baselines/hlfet.cpp" "src/baselines/CMakeFiles/fastsched_baselines.dir/hlfet.cpp.o" "gcc" "src/baselines/CMakeFiles/fastsched_baselines.dir/hlfet.cpp.o.d"
+  "/root/repo/src/baselines/lc.cpp" "src/baselines/CMakeFiles/fastsched_baselines.dir/lc.cpp.o" "gcc" "src/baselines/CMakeFiles/fastsched_baselines.dir/lc.cpp.o.d"
+  "/root/repo/src/baselines/mcp.cpp" "src/baselines/CMakeFiles/fastsched_baselines.dir/mcp.cpp.o" "gcc" "src/baselines/CMakeFiles/fastsched_baselines.dir/mcp.cpp.o.d"
+  "/root/repo/src/baselines/md.cpp" "src/baselines/CMakeFiles/fastsched_baselines.dir/md.cpp.o" "gcc" "src/baselines/CMakeFiles/fastsched_baselines.dir/md.cpp.o.d"
+  "/root/repo/src/baselines/registry.cpp" "src/baselines/CMakeFiles/fastsched_baselines.dir/registry.cpp.o" "gcc" "src/baselines/CMakeFiles/fastsched_baselines.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fastsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fastsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fast/CMakeFiles/fastsched_fast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fastsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fastsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

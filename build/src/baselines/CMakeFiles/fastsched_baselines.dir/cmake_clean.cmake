@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastsched_baselines.dir/bsa.cpp.o"
+  "CMakeFiles/fastsched_baselines.dir/bsa.cpp.o.d"
+  "CMakeFiles/fastsched_baselines.dir/dcp.cpp.o"
+  "CMakeFiles/fastsched_baselines.dir/dcp.cpp.o.d"
+  "CMakeFiles/fastsched_baselines.dir/dls.cpp.o"
+  "CMakeFiles/fastsched_baselines.dir/dls.cpp.o.d"
+  "CMakeFiles/fastsched_baselines.dir/dsc.cpp.o"
+  "CMakeFiles/fastsched_baselines.dir/dsc.cpp.o.d"
+  "CMakeFiles/fastsched_baselines.dir/etf.cpp.o"
+  "CMakeFiles/fastsched_baselines.dir/etf.cpp.o.d"
+  "CMakeFiles/fastsched_baselines.dir/ez.cpp.o"
+  "CMakeFiles/fastsched_baselines.dir/ez.cpp.o.d"
+  "CMakeFiles/fastsched_baselines.dir/hlfet.cpp.o"
+  "CMakeFiles/fastsched_baselines.dir/hlfet.cpp.o.d"
+  "CMakeFiles/fastsched_baselines.dir/lc.cpp.o"
+  "CMakeFiles/fastsched_baselines.dir/lc.cpp.o.d"
+  "CMakeFiles/fastsched_baselines.dir/mcp.cpp.o"
+  "CMakeFiles/fastsched_baselines.dir/mcp.cpp.o.d"
+  "CMakeFiles/fastsched_baselines.dir/md.cpp.o"
+  "CMakeFiles/fastsched_baselines.dir/md.cpp.o.d"
+  "CMakeFiles/fastsched_baselines.dir/registry.cpp.o"
+  "CMakeFiles/fastsched_baselines.dir/registry.cpp.o.d"
+  "libfastsched_baselines.a"
+  "libfastsched_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastsched_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfastsched_baselines.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastsched_casch.dir/codegen.cpp.o"
+  "CMakeFiles/fastsched_casch.dir/codegen.cpp.o.d"
+  "CMakeFiles/fastsched_casch.dir/pipeline.cpp.o"
+  "CMakeFiles/fastsched_casch.dir/pipeline.cpp.o.d"
+  "CMakeFiles/fastsched_casch.dir/select.cpp.o"
+  "CMakeFiles/fastsched_casch.dir/select.cpp.o.d"
+  "libfastsched_casch.a"
+  "libfastsched_casch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastsched_casch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

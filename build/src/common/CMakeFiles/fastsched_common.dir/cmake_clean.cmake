@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastsched_common.dir/cli.cpp.o"
+  "CMakeFiles/fastsched_common.dir/cli.cpp.o.d"
+  "CMakeFiles/fastsched_common.dir/rng.cpp.o"
+  "CMakeFiles/fastsched_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fastsched_common.dir/stats.cpp.o"
+  "CMakeFiles/fastsched_common.dir/stats.cpp.o.d"
+  "CMakeFiles/fastsched_common.dir/table.cpp.o"
+  "CMakeFiles/fastsched_common.dir/table.cpp.o.d"
+  "libfastsched_common.a"
+  "libfastsched_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastsched_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

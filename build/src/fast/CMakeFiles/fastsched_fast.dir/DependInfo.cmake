@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fast/annealing.cpp" "src/fast/CMakeFiles/fastsched_fast.dir/annealing.cpp.o" "gcc" "src/fast/CMakeFiles/fastsched_fast.dir/annealing.cpp.o.d"
+  "/root/repo/src/fast/cpn_dominate.cpp" "src/fast/CMakeFiles/fastsched_fast.dir/cpn_dominate.cpp.o" "gcc" "src/fast/CMakeFiles/fastsched_fast.dir/cpn_dominate.cpp.o.d"
+  "/root/repo/src/fast/evaluator.cpp" "src/fast/CMakeFiles/fastsched_fast.dir/evaluator.cpp.o" "gcc" "src/fast/CMakeFiles/fastsched_fast.dir/evaluator.cpp.o.d"
+  "/root/repo/src/fast/fast.cpp" "src/fast/CMakeFiles/fastsched_fast.dir/fast.cpp.o" "gcc" "src/fast/CMakeFiles/fastsched_fast.dir/fast.cpp.o.d"
+  "/root/repo/src/fast/initial_schedule.cpp" "src/fast/CMakeFiles/fastsched_fast.dir/initial_schedule.cpp.o" "gcc" "src/fast/CMakeFiles/fastsched_fast.dir/initial_schedule.cpp.o.d"
+  "/root/repo/src/fast/local_search.cpp" "src/fast/CMakeFiles/fastsched_fast.dir/local_search.cpp.o" "gcc" "src/fast/CMakeFiles/fastsched_fast.dir/local_search.cpp.o.d"
+  "/root/repo/src/fast/parallel_fast.cpp" "src/fast/CMakeFiles/fastsched_fast.dir/parallel_fast.cpp.o" "gcc" "src/fast/CMakeFiles/fastsched_fast.dir/parallel_fast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fastsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fastsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fastsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastsched_fast.dir/annealing.cpp.o"
+  "CMakeFiles/fastsched_fast.dir/annealing.cpp.o.d"
+  "CMakeFiles/fastsched_fast.dir/cpn_dominate.cpp.o"
+  "CMakeFiles/fastsched_fast.dir/cpn_dominate.cpp.o.d"
+  "CMakeFiles/fastsched_fast.dir/evaluator.cpp.o"
+  "CMakeFiles/fastsched_fast.dir/evaluator.cpp.o.d"
+  "CMakeFiles/fastsched_fast.dir/fast.cpp.o"
+  "CMakeFiles/fastsched_fast.dir/fast.cpp.o.d"
+  "CMakeFiles/fastsched_fast.dir/initial_schedule.cpp.o"
+  "CMakeFiles/fastsched_fast.dir/initial_schedule.cpp.o.d"
+  "CMakeFiles/fastsched_fast.dir/local_search.cpp.o"
+  "CMakeFiles/fastsched_fast.dir/local_search.cpp.o.d"
+  "CMakeFiles/fastsched_fast.dir/parallel_fast.cpp.o"
+  "CMakeFiles/fastsched_fast.dir/parallel_fast.cpp.o.d"
+  "libfastsched_fast.a"
+  "libfastsched_fast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastsched_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

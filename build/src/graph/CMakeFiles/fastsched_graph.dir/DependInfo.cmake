@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/classification.cpp" "src/graph/CMakeFiles/fastsched_graph.dir/classification.cpp.o" "gcc" "src/graph/CMakeFiles/fastsched_graph.dir/classification.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/fastsched_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/fastsched_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/levels.cpp" "src/graph/CMakeFiles/fastsched_graph.dir/levels.cpp.o" "gcc" "src/graph/CMakeFiles/fastsched_graph.dir/levels.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/fastsched_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/fastsched_graph.dir/stats.cpp.o.d"
+  "/root/repo/src/graph/task_graph.cpp" "src/graph/CMakeFiles/fastsched_graph.dir/task_graph.cpp.o" "gcc" "src/graph/CMakeFiles/fastsched_graph.dir/task_graph.cpp.o.d"
+  "/root/repo/src/graph/transform.cpp" "src/graph/CMakeFiles/fastsched_graph.dir/transform.cpp.o" "gcc" "src/graph/CMakeFiles/fastsched_graph.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fastsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

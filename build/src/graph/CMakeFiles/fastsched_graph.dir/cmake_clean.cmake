@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastsched_graph.dir/classification.cpp.o"
+  "CMakeFiles/fastsched_graph.dir/classification.cpp.o.d"
+  "CMakeFiles/fastsched_graph.dir/io.cpp.o"
+  "CMakeFiles/fastsched_graph.dir/io.cpp.o.d"
+  "CMakeFiles/fastsched_graph.dir/levels.cpp.o"
+  "CMakeFiles/fastsched_graph.dir/levels.cpp.o.d"
+  "CMakeFiles/fastsched_graph.dir/stats.cpp.o"
+  "CMakeFiles/fastsched_graph.dir/stats.cpp.o.d"
+  "CMakeFiles/fastsched_graph.dir/task_graph.cpp.o"
+  "CMakeFiles/fastsched_graph.dir/task_graph.cpp.o.d"
+  "CMakeFiles/fastsched_graph.dir/transform.cpp.o"
+  "CMakeFiles/fastsched_graph.dir/transform.cpp.o.d"
+  "libfastsched_graph.a"
+  "libfastsched_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastsched_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

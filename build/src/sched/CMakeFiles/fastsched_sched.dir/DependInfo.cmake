@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/gantt.cpp" "src/sched/CMakeFiles/fastsched_sched.dir/gantt.cpp.o" "gcc" "src/sched/CMakeFiles/fastsched_sched.dir/gantt.cpp.o.d"
+  "/root/repo/src/sched/io.cpp" "src/sched/CMakeFiles/fastsched_sched.dir/io.cpp.o" "gcc" "src/sched/CMakeFiles/fastsched_sched.dir/io.cpp.o.d"
+  "/root/repo/src/sched/metrics.cpp" "src/sched/CMakeFiles/fastsched_sched.dir/metrics.cpp.o" "gcc" "src/sched/CMakeFiles/fastsched_sched.dir/metrics.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/fastsched_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/fastsched_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/validation.cpp" "src/sched/CMakeFiles/fastsched_sched.dir/validation.cpp.o" "gcc" "src/sched/CMakeFiles/fastsched_sched.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fastsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fastsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastsched_sched.dir/gantt.cpp.o"
+  "CMakeFiles/fastsched_sched.dir/gantt.cpp.o.d"
+  "CMakeFiles/fastsched_sched.dir/io.cpp.o"
+  "CMakeFiles/fastsched_sched.dir/io.cpp.o.d"
+  "CMakeFiles/fastsched_sched.dir/metrics.cpp.o"
+  "CMakeFiles/fastsched_sched.dir/metrics.cpp.o.d"
+  "CMakeFiles/fastsched_sched.dir/schedule.cpp.o"
+  "CMakeFiles/fastsched_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/fastsched_sched.dir/validation.cpp.o"
+  "CMakeFiles/fastsched_sched.dir/validation.cpp.o.d"
+  "libfastsched_sched.a"
+  "libfastsched_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastsched_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

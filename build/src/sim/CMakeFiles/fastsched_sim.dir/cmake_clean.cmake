@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastsched_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/fastsched_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/fastsched_sim.dir/machine_model.cpp.o"
+  "CMakeFiles/fastsched_sim.dir/machine_model.cpp.o.d"
+  "CMakeFiles/fastsched_sim.dir/mesh.cpp.o"
+  "CMakeFiles/fastsched_sim.dir/mesh.cpp.o.d"
+  "libfastsched_sim.a"
+  "libfastsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

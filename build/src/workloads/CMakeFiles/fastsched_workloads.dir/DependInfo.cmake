@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fft.cpp" "src/workloads/CMakeFiles/fastsched_workloads.dir/fft.cpp.o" "gcc" "src/workloads/CMakeFiles/fastsched_workloads.dir/fft.cpp.o.d"
+  "/root/repo/src/workloads/gaussian.cpp" "src/workloads/CMakeFiles/fastsched_workloads.dir/gaussian.cpp.o" "gcc" "src/workloads/CMakeFiles/fastsched_workloads.dir/gaussian.cpp.o.d"
+  "/root/repo/src/workloads/laplace.cpp" "src/workloads/CMakeFiles/fastsched_workloads.dir/laplace.cpp.o" "gcc" "src/workloads/CMakeFiles/fastsched_workloads.dir/laplace.cpp.o.d"
+  "/root/repo/src/workloads/paper_example.cpp" "src/workloads/CMakeFiles/fastsched_workloads.dir/paper_example.cpp.o" "gcc" "src/workloads/CMakeFiles/fastsched_workloads.dir/paper_example.cpp.o.d"
+  "/root/repo/src/workloads/random_layered.cpp" "src/workloads/CMakeFiles/fastsched_workloads.dir/random_layered.cpp.o" "gcc" "src/workloads/CMakeFiles/fastsched_workloads.dir/random_layered.cpp.o.d"
+  "/root/repo/src/workloads/timing_db.cpp" "src/workloads/CMakeFiles/fastsched_workloads.dir/timing_db.cpp.o" "gcc" "src/workloads/CMakeFiles/fastsched_workloads.dir/timing_db.cpp.o.d"
+  "/root/repo/src/workloads/trees.cpp" "src/workloads/CMakeFiles/fastsched_workloads.dir/trees.cpp.o" "gcc" "src/workloads/CMakeFiles/fastsched_workloads.dir/trees.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fastsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fastsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastsched_workloads.dir/fft.cpp.o"
+  "CMakeFiles/fastsched_workloads.dir/fft.cpp.o.d"
+  "CMakeFiles/fastsched_workloads.dir/gaussian.cpp.o"
+  "CMakeFiles/fastsched_workloads.dir/gaussian.cpp.o.d"
+  "CMakeFiles/fastsched_workloads.dir/laplace.cpp.o"
+  "CMakeFiles/fastsched_workloads.dir/laplace.cpp.o.d"
+  "CMakeFiles/fastsched_workloads.dir/paper_example.cpp.o"
+  "CMakeFiles/fastsched_workloads.dir/paper_example.cpp.o.d"
+  "CMakeFiles/fastsched_workloads.dir/random_layered.cpp.o"
+  "CMakeFiles/fastsched_workloads.dir/random_layered.cpp.o.d"
+  "CMakeFiles/fastsched_workloads.dir/timing_db.cpp.o"
+  "CMakeFiles/fastsched_workloads.dir/timing_db.cpp.o.d"
+  "CMakeFiles/fastsched_workloads.dir/trees.cpp.o"
+  "CMakeFiles/fastsched_workloads.dir/trees.cpp.o.d"
+  "libfastsched_workloads.a"
+  "libfastsched_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastsched_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

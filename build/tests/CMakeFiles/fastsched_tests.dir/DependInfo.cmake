@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/bsa_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/baselines/bsa_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/baselines/bsa_test.cpp.o.d"
+  "/root/repo/tests/baselines/dcp_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/baselines/dcp_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/baselines/dcp_test.cpp.o.d"
+  "/root/repo/tests/baselines/dls_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/baselines/dls_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/baselines/dls_test.cpp.o.d"
+  "/root/repo/tests/baselines/dsc_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/baselines/dsc_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/baselines/dsc_test.cpp.o.d"
+  "/root/repo/tests/baselines/etf_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/baselines/etf_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/baselines/etf_test.cpp.o.d"
+  "/root/repo/tests/baselines/extended_schedulers_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/baselines/extended_schedulers_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/baselines/extended_schedulers_test.cpp.o.d"
+  "/root/repo/tests/baselines/md_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/baselines/md_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/baselines/md_test.cpp.o.d"
+  "/root/repo/tests/baselines/registry_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/baselines/registry_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/baselines/registry_test.cpp.o.d"
+  "/root/repo/tests/casch/codegen_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/casch/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/casch/codegen_test.cpp.o.d"
+  "/root/repo/tests/casch/pipeline_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/casch/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/casch/pipeline_test.cpp.o.d"
+  "/root/repo/tests/casch/select_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/casch/select_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/casch/select_test.cpp.o.d"
+  "/root/repo/tests/common/error_timer_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/common/error_timer_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/common/error_timer_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/table_cli_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/common/table_cli_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/common/table_cli_test.cpp.o.d"
+  "/root/repo/tests/fast/annealing_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/fast/annealing_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/fast/annealing_test.cpp.o.d"
+  "/root/repo/tests/fast/cpn_dominate_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/fast/cpn_dominate_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/fast/cpn_dominate_test.cpp.o.d"
+  "/root/repo/tests/fast/evaluator_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/fast/evaluator_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/fast/evaluator_test.cpp.o.d"
+  "/root/repo/tests/fast/fast_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/fast/fast_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/fast/fast_test.cpp.o.d"
+  "/root/repo/tests/fast/initial_schedule_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/fast/initial_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/fast/initial_schedule_test.cpp.o.d"
+  "/root/repo/tests/fast/insertion_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/fast/insertion_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/fast/insertion_test.cpp.o.d"
+  "/root/repo/tests/fast/local_search_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/fast/local_search_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/fast/local_search_test.cpp.o.d"
+  "/root/repo/tests/fast/paper_example_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/fast/paper_example_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/fast/paper_example_test.cpp.o.d"
+  "/root/repo/tests/fast/parallel_fast_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/fast/parallel_fast_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/fast/parallel_fast_test.cpp.o.d"
+  "/root/repo/tests/graph/classification_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/graph/classification_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/graph/classification_test.cpp.o.d"
+  "/root/repo/tests/graph/io_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/graph/io_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/graph/io_test.cpp.o.d"
+  "/root/repo/tests/graph/levels_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/graph/levels_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/graph/levels_test.cpp.o.d"
+  "/root/repo/tests/graph/stats_transform_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/graph/stats_transform_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/graph/stats_transform_test.cpp.o.d"
+  "/root/repo/tests/graph/task_graph_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/graph/task_graph_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/graph/task_graph_test.cpp.o.d"
+  "/root/repo/tests/properties/optimality_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/properties/optimality_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/properties/optimality_test.cpp.o.d"
+  "/root/repo/tests/properties/paper_shape_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/properties/paper_shape_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/properties/paper_shape_test.cpp.o.d"
+  "/root/repo/tests/properties/scheduler_properties_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/properties/scheduler_properties_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/properties/scheduler_properties_test.cpp.o.d"
+  "/root/repo/tests/properties/stress_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/properties/stress_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/properties/stress_test.cpp.o.d"
+  "/root/repo/tests/sched/io_gantt_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/sched/io_gantt_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/sched/io_gantt_test.cpp.o.d"
+  "/root/repo/tests/sched/metrics_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/sched/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/sched/metrics_test.cpp.o.d"
+  "/root/repo/tests/sched/schedule_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/sched/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/sched/schedule_test.cpp.o.d"
+  "/root/repo/tests/sched/validation_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/sched/validation_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/sched/validation_test.cpp.o.d"
+  "/root/repo/tests/sim/event_sim_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/sim/event_sim_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/sim/event_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/mesh_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/sim/mesh_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/sim/mesh_test.cpp.o.d"
+  "/root/repo/tests/workloads/generators_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/workloads/generators_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/workloads/generators_test.cpp.o.d"
+  "/root/repo/tests/workloads/random_layered_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/workloads/random_layered_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/workloads/random_layered_test.cpp.o.d"
+  "/root/repo/tests/workloads/trees_test.cpp" "tests/CMakeFiles/fastsched_tests.dir/workloads/trees_test.cpp.o" "gcc" "tests/CMakeFiles/fastsched_tests.dir/workloads/trees_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fastsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fastsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fast/CMakeFiles/fastsched_fast.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fastsched_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/fastsched_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fastsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/casch/CMakeFiles/fastsched_casch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fastsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

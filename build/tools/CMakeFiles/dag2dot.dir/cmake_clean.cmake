@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag2dot.dir/dag2dot.cpp.o"
+  "CMakeFiles/dag2dot.dir/dag2dot.cpp.o.d"
+  "dag2dot"
+  "dag2dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag2dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
