@@ -10,13 +10,15 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "lint_support.hpp"
 #include "sched/validation.hpp"
 #include "workloads/gaussian.hpp"
 #include "workloads/laplace.hpp"
 #include "workloads/random_layered.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fastsched;
+  const bool lint = bench::consume_lint_flag(argc, argv);
 
   const std::vector<std::string> algos = {"FAST", "PFAST", "FAST-SA"};
   Table table(
@@ -45,6 +47,7 @@ int main() {
         const auto s = baselines::make_scheduler(algo)->run(g, opts);
         if (algo == "FAST-SA") sa_ms += timer.millis();
         sched::require_valid(g, s);
+        if (lint) bench::lint_or_die(g, s, algo);
         if (algo == "FAST") {
           base.push_back(s.length());
           ratios.push_back(1.0);

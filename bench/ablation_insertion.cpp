@@ -10,15 +10,18 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "fast/cpn_dominate.hpp"
+#include "fast/evaluator.hpp"
 #include "fast/initial_schedule.hpp"
 #include "graph/classification.hpp"
+#include "lint_support.hpp"
 #include "sched/validation.hpp"
 #include "workloads/gaussian.hpp"
 #include "workloads/laplace.hpp"
 #include "workloads/random_layered.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fastsched;
+  const bool lint = bench::consume_lint_flag(argc, argv);
 
   Table table(
       "Ready-time vs insertion InitialSchedule (same CPN-Dominate list,\n"
@@ -40,6 +43,12 @@ int main() {
     const auto ins = fast::initial_schedule_insertion(g, list, 64);
     const double ins_ms = t2.millis();
     sched::require_valid(g, ins);
+    if (lint) {
+      fast::AssignmentEvaluator eval(g, list, 64);
+      bench::lint_or_die(g, eval.materialize(ready.assignment),
+                         label + " (ready-time)", &list);
+      bench::lint_or_die(g, ins, label + " (insertion)", &list);
+    }
 
     table.add_row({label, Table::num(ready.length, 1),
                    Table::num(ins.length(), 1),

@@ -9,13 +9,15 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "fast/fast.hpp"
+#include "lint_support.hpp"
 #include "workloads/fft.hpp"
 #include "workloads/gaussian.hpp"
 #include "workloads/laplace.hpp"
 #include "workloads/random_layered.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fastsched;
+  const bool lint = bench::consume_lint_flag(argc, argv);
 
   struct Policy {
     fast::ListPolicy policy;
@@ -37,13 +39,22 @@ int main() {
     table.add_row(std::move(header));
   }
 
-  const auto run_one = [](const graph::TaskGraph& g, fast::ListPolicy policy,
-                          std::uint64_t seed) {
+  const auto run_one = [lint](const graph::TaskGraph& g,
+                              fast::ListPolicy policy, std::uint64_t seed) {
     fast::FastOptions opts;
     opts.list_policy = policy;
     opts.seed = seed;
     opts.num_procs = 64;
-    return fast::run_fast(g, opts).final_length;
+    const auto r = fast::run_fast(g, opts);
+    if (lint) {
+      // The CPN-order list invariant is specific to the paper's policy;
+      // the ablation policies are checked as plain schedules.
+      const auto* list =
+          policy == fast::ListPolicy::kCpnDominate ? &r.list : nullptr;
+      bench::lint_or_die(g, fast::to_schedule(g, r, opts.num_procs),
+                         "list-policy ablation", list);
+    }
+    return r.final_length;
   };
 
   const auto sweep = [&](const std::string& label,

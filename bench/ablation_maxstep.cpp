@@ -9,11 +9,13 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "fast/fast.hpp"
+#include "lint_support.hpp"
 #include "workloads/gaussian.hpp"
 #include "workloads/random_layered.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fastsched;
+  const bool lint = bench::consume_lint_flag(argc, argv);
 
   const int steps[] = {0, 16, 64, 100, 256, 1024};
   constexpr int kTrials = 5;
@@ -29,6 +31,10 @@ int main() {
         opts.seed = static_cast<std::uint64_t>(t + 1);
         opts.num_procs = 64;
         const auto r = fast::run_fast(g, opts);
+        if (lint) {
+          bench::lint_or_die(g, fast::to_schedule(g, r, opts.num_procs),
+                             label, &r.list);
+        }
         gains.push_back(100.0 * (r.initial_length - r.final_length) /
                         r.initial_length);
       }

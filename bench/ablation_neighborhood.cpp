@@ -9,12 +9,14 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "fast/fast.hpp"
+#include "lint_support.hpp"
 #include "workloads/gaussian.hpp"
 #include "workloads/laplace.hpp"
 #include "workloads/random_layered.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fastsched;
+  const bool lint = bench::consume_lint_flag(argc, argv);
 
   struct Policy {
     fast::NeighborhoodPolicy policy;
@@ -48,6 +50,10 @@ int main() {
         opts.seed = seed;
         opts.num_procs = 64;
         const auto r = fast::run_fast(g, opts);
+        if (lint) {
+          bench::lint_or_die(g, fast::to_schedule(g, r, opts.num_procs),
+                             label, &r.list);
+        }
         gains.push_back(100.0 * (r.initial_length - r.final_length) /
                         r.initial_length);
       }

@@ -8,11 +8,14 @@
 
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "fast/evaluator.hpp"
 #include "fast/parallel_fast.hpp"
+#include "lint_support.hpp"
 #include "workloads/random_layered.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fastsched;
+  const bool lint = bench::consume_lint_flag(argc, argv);
 
   workloads::RandomDagParams params;
   params.num_nodes = 2000;
@@ -35,6 +38,11 @@ int main() {
     Timer timer;
     const auto r = fast::run_parallel_fast(g, opts);
     const double ms = timer.millis();
+    if (lint) {
+      fast::AssignmentEvaluator eval(g, r.list, opts.num_procs);
+      bench::lint_or_die(g, eval.materialize(r.assignment),
+                         std::to_string(threads) + " threads", &r.list);
+    }
     initial = r.initial_length;
     table.add_row({Table::num(static_cast<long long>(threads)),
                    Table::num(r.final_length, 1),

@@ -11,14 +11,16 @@
 #include "baselines/registry.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "lint_support.hpp"
 #include "sched/validation.hpp"
 #include "workloads/fft.hpp"
 #include "workloads/gaussian.hpp"
 #include "workloads/laplace.hpp"
 #include "workloads/random_layered.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fastsched;
+  const bool lint = bench::consume_lint_flag(argc, argv);
 
   struct Workload {
     std::string name;
@@ -65,6 +67,7 @@ int main() {
       const auto s = scheduler->run(w.g, opts);
       const double ms = timer.millis();
       sched::require_valid(w.g, s);
+      if (lint) bench::lint_or_die(w.g, s, name + " on " + w.name);
       if (name == "FAST") fast_len[w.name] = s.length();
       len_row.push_back(Table::num(s.length() / fast_len[w.name], 3));
       time_row.push_back(Table::num(ms, 3));

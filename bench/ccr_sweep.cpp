@@ -10,11 +10,13 @@
 #include "baselines/registry.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "lint_support.hpp"
 #include "sched/validation.hpp"
 #include "workloads/random_layered.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fastsched;
+  const bool lint = bench::consume_lint_flag(argc, argv);
 
   constexpr std::size_t kNodes = 600;
   constexpr int kTrials = 5;
@@ -47,6 +49,7 @@ int main() {
         opts.num_procs = 64;
         const auto s = baselines::make_scheduler(algo)->run(g, opts);
         sched::require_valid(g, s);
+        if (lint) bench::lint_or_die(g, s, algo);
         lengths[algo].push_back(s.length());
       }
     }

@@ -7,9 +7,10 @@
 #include "paper_tables.hpp"
 #include "workloads/laplace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fastsched;
   bench::FigureSpec spec;
+  spec.lint = bench::consume_lint_flag(argc, argv);
   spec.title = "Figure 6: Laplace equation solver (simulated Intel Paragon)";
   spec.size_label = "Matrix Dimension";
   spec.sizes = {4, 8, 16, 32};

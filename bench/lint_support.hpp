@@ -1,0 +1,58 @@
+#pragma once
+
+/// Shared `--lint` support for every bench binary: when the flag is given,
+/// each schedule the bench produces is run through the schedule-lint
+/// engine (src/analysis) and the bench aborts with exit status 1 on any
+/// diagnostic, so benchmark numbers can never be quoted from schedules
+/// that are silently wrong.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace fastsched::bench {
+
+/// Removes every `--lint` occurrence from argv (for mains whose remaining
+/// arguments go to another parser, e.g. google-benchmark). Returns whether
+/// the flag was present.
+inline bool consume_lint_flag(int& argc, char** argv) {
+  bool found = false;
+  int write = 1;
+  for (int read = 1; read < argc; ++read) {
+    if (std::string_view(argv[read]) == "--lint") {
+      found = true;
+      continue;
+    }
+    argv[write++] = argv[read];
+  }
+  argc = write;
+  argv[argc] = nullptr;
+  return found;
+}
+
+/// Lints `s` against `g` (optionally with the scheduling list that
+/// produced it) and exits the bench with status 1 on any finding.
+inline void lint_or_die(const graph::TaskGraph& g, const sched::Schedule& s,
+                        const std::string& context,
+                        const std::vector<graph::NodeId>* list = nullptr) {
+  analysis::LintInput input;
+  input.graph = &g;
+  input.schedule = &s;
+  input.list = list;
+  input.reported_length = s.length();
+  const analysis::LintReport report = analysis::lint(input);
+  if (report.clean()) return;
+  std::cerr << context << ": schedule lint failed:\n";
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    std::cerr << "  " << analysis::format(d, &g) << '\n';
+  }
+  std::exit(1);
+}
+
+}  // namespace fastsched::bench

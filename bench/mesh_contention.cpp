@@ -9,6 +9,7 @@
 
 #include "baselines/registry.hpp"
 #include "common/table.hpp"
+#include "lint_support.hpp"
 #include "sched/validation.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/mesh.hpp"
@@ -16,8 +17,9 @@
 #include "workloads/laplace.hpp"
 #include "workloads/random_layered.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fastsched;
+  const bool lint = bench::consume_lint_flag(argc, argv);
 
   struct Workload {
     std::string name;
@@ -48,6 +50,7 @@ int main() {
       opts.num_procs = 64;
       const auto s = baselines::make_scheduler(algo)->run(w.g, opts);
       sched::require_valid(w.g, s);
+      if (lint) bench::lint_or_die(w.g, s, std::string(algo) + " on " + w.name);
       if (s.procs_used() > 64) {
         table.add_row({algo, w.name, "N.A.", "N.A.", "-", "-", "-", "-"});
         continue;

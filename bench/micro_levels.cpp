@@ -6,8 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include "fast/cpn_dominate.hpp"
+#include "fast/evaluator.hpp"
+#include "fast/initial_schedule.hpp"
 #include "graph/classification.hpp"
 #include "graph/levels.hpp"
+#include "lint_support.hpp"
 #include "workloads/random_layered.hpp"
 
 namespace {
@@ -74,6 +77,31 @@ void BM_CpnDominateList(benchmark::State& state) {
 }
 BENCHMARK(BM_CpnDominateList)->Arg(1000)->Arg(4000)->Arg(16000);
 
+// With --lint, checks the kernels under benchmark before timing them:
+// builds the CPN-Dominate list and the initial schedule for each graph
+// size and runs the full lint rule set (list invariants included).
+void preflight_lint() {
+  for (const std::int64_t nodes : {1000, 4000}) {
+    const auto g = make_graph(nodes);
+    const auto levels = graph::compute_levels(g);
+    const auto classes = graph::classify_nodes(g, levels);
+    const auto list = fast::build_cpn_dominate_list(g, levels, classes);
+    const auto initial = fast::initial_schedule(g, list, 64);
+    fast::AssignmentEvaluator eval(g, list, 64);
+    bench::lint_or_die(g, eval.materialize(initial.assignment),
+                       "micro_levels preflight, " + std::to_string(nodes) +
+                           " nodes",
+                       &list);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (bench::consume_lint_flag(argc, argv)) preflight_lint();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "fast/cpn_dominate.hpp"
 #include "fast/evaluator.hpp"
 #include "fast/initial_schedule.hpp"
+#include "lint_support.hpp"
 #include "workloads/random_layered.hpp"
 
 namespace {
@@ -69,6 +70,27 @@ void BM_EvaluatorReplay(benchmark::State& state) {
 }
 BENCHMARK(BM_EvaluatorReplay)->Arg(500)->Arg(2000)->Arg(8000)->Arg(32000);
 
+// With --lint, checks every scheduler under benchmark on a 500-node
+// instance before timing anything, so the timed loops never measure
+// schedulers that silently produce wrong schedules.
+void preflight_lint() {
+  const auto g = make_graph(500);
+  sched::SchedulerOptions opts;
+  opts.num_procs = 64;
+  for (const char* name : {"FAST", "PFAST", "DSC", "ETF", "DLS", "MD"}) {
+    const auto s = baselines::make_scheduler(name)->run(g, opts);
+    bench::lint_or_die(g, s, std::string("micro_schedulers preflight, ") +
+                                 name);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (bench::consume_lint_flag(argc, argv)) preflight_lint();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "baselines/registry.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "lint_support.hpp"
 #include "sched/validation.hpp"
 #include "sim/event_sim.hpp"
 
@@ -50,6 +51,9 @@ struct FigureSpec {
   /// Annotate the scheduling-time header with edge counts (the paper's
   /// Figure 8(c)) instead of task counts (Figures 5-7(c)).
   bool label_edges_in_times = false;
+  /// Run the schedule-lint engine on every produced schedule (--lint);
+  /// aborts the bench on any diagnostic.
+  bool lint = false;
 };
 
 inline void run_figure(const FigureSpec& spec) {
@@ -74,6 +78,10 @@ inline void run_figure(const FigureSpec& spec) {
       Cell cell;
       cell.sched_seconds = timer.seconds();
       sched::require_valid(g, s);
+      if (spec.lint) {
+        lint_or_die(g, s, spec.title + ", " + algo + ", size " +
+                              std::to_string(size));
+      }
       cell.sched_len = s.length();
       cell.procs = s.procs_used();
       const sim::SimResult sim = sim::simulate(g, s, spec.machine);

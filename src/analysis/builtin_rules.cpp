@@ -1,0 +1,338 @@
+#include "analysis/builtin_rules.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "graph/levels.hpp"
+
+namespace fastsched::analysis::detail {
+namespace {
+
+using graph::Adjacency;
+using graph::approx_equal;
+using graph::Cost;
+using graph::definitely_less;
+using graph::NodeId;
+using graph::TaskGraph;
+using sched::ProcId;
+using sched::Schedule;
+
+// Allows `a >= b` up to the shared cost tolerance.
+bool at_least(Cost a, Cost b) { return a > b || approx_equal(a, b); }
+
+std::string num(Cost c) {
+  std::ostringstream os;
+  os << c;
+  return os.str();
+}
+
+// --- structural rules ------------------------------------------------------
+
+void check_unassigned(const LintInput& in, std::vector<Diagnostic>& out) {
+  const Schedule& s = *in.schedule;
+  for (NodeId n = 0; n < s.num_nodes(); ++n) {
+    if (s.is_assigned(n)) continue;
+    Diagnostic d;
+    d.node = n;
+    d.message = "task was never placed on any processor";
+    out.push_back(std::move(d));
+  }
+}
+
+void check_bad_duration(const LintInput& in, std::vector<Diagnostic>& out) {
+  const TaskGraph& g = *in.graph;
+  const Schedule& s = *in.schedule;
+  for (NodeId n = 0; n < s.num_nodes(); ++n) {
+    if (!s.is_assigned(n)) continue;
+    const Cost duration = s.finish(n) - s.start(n);
+    if (approx_equal(duration, g.weight(n))) continue;
+    Diagnostic d;
+    d.node = n;
+    d.proc = s.proc(n);
+    d.window = {s.start(n), s.finish(n)};
+    d.message = "task runs for " + num(duration) + " but has weight " +
+                num(g.weight(n));
+    out.push_back(std::move(d));
+  }
+}
+
+void check_proc_range(const LintInput& in, std::vector<Diagnostic>& out) {
+  const Schedule& s = *in.schedule;
+  for (NodeId n = 0; n < s.num_nodes(); ++n) {
+    if (!s.is_assigned(n)) continue;
+    const ProcId p = s.proc(n);
+    if (p < s.num_procs()) continue;
+    Diagnostic d;
+    d.node = n;
+    d.proc = p;
+    d.message = "task references processor " + std::to_string(p) +
+                " outside the pool of " + std::to_string(s.num_procs());
+    out.push_back(std::move(d));
+  }
+}
+
+// --- semantic rules --------------------------------------------------------
+
+// No two tasks on one processor may overlap with positive measure; touching
+// endpoints and zero-duration tasks are fine. Sorting by start keeps the
+// check valid for insertion-based algorithms whose assignment order is not
+// start-time order; the running max-finish catches non-adjacent overlaps.
+void check_slot_overlap(const LintInput& in, std::vector<Diagnostic>& out) {
+  const Schedule& s = *in.schedule;
+  for (ProcId p = 0; p < s.num_procs(); ++p) {
+    const auto tasks = s.tasks_on(p);
+    std::vector<NodeId> by_start(tasks.begin(), tasks.end());
+    std::stable_sort(
+        by_start.begin(), by_start.end(),
+        [&](NodeId a, NodeId b) { return s.start(a) < s.start(b); });
+    Cost max_finish = 0.0;
+    NodeId max_finish_node = graph::kInvalidNode;
+    for (const NodeId b : by_start) {
+      const bool positive = s.finish(b) > s.start(b);
+      if (positive && max_finish_node != graph::kInvalidNode &&
+          !at_least(s.start(b), max_finish)) {
+        const NodeId a = max_finish_node;
+        Diagnostic d;
+        d.node = b;
+        d.related = a;
+        d.proc = p;
+        d.window = {s.start(b), std::min(s.finish(a), s.finish(b))};
+        d.message = "slot [" + num(s.start(b)) + ", " + num(s.finish(b)) +
+                    ") overlaps [" + num(s.start(a)) + ", " +
+                    num(s.finish(a)) + ")";
+        out.push_back(std::move(d));
+      }
+      if (s.finish(b) > max_finish || max_finish_node == graph::kInvalidNode) {
+        max_finish = s.finish(b);
+        max_finish_node = b;
+      }
+    }
+  }
+}
+
+// A child may never start before a parent finishes, on any processor pair;
+// violations of the *additional* cross-processor message delay are the
+// separate comm-delay rule below, so the two failure modes are
+// distinguishable in reports.
+void check_precedence(const LintInput& in, std::vector<Diagnostic>& out) {
+  const TaskGraph& g = *in.graph;
+  const Schedule& s = *in.schedule;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (const Adjacency& succ : g.successors(n)) {
+      const NodeId c = succ.node;
+      if (at_least(s.start(c), s.finish(n))) continue;
+      Diagnostic d;
+      d.node = c;
+      d.related = n;
+      d.proc = s.proc(c);
+      d.window = {s.start(c), s.finish(n)};
+      d.message = "starts at " + num(s.start(c)) + " before parent finishes at " +
+                  num(s.finish(n));
+      out.push_back(std::move(d));
+    }
+  }
+}
+
+void check_comm_delay(const LintInput& in, std::vector<Diagnostic>& out) {
+  const TaskGraph& g = *in.graph;
+  const Schedule& s = *in.schedule;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (const Adjacency& succ : g.successors(n)) {
+      const NodeId c = succ.node;
+      if (s.proc(n) == s.proc(c)) continue;
+      // Plain ordering violations belong to the precedence rule.
+      if (!at_least(s.start(c), s.finish(n))) continue;
+      const Cost arrival = s.finish(n) + succ.cost;
+      if (at_least(s.start(c), arrival)) continue;
+      Diagnostic d;
+      d.node = c;
+      d.related = n;
+      d.proc = s.proc(c);
+      d.window = {s.start(c), arrival};
+      d.message = "starts at " + num(s.start(c)) +
+                  " before the message from P" + std::to_string(s.proc(n)) +
+                  " arrives at " + num(arrival);
+      out.push_back(std::move(d));
+    }
+  }
+}
+
+// A task that starts later than both its data arrival and the previous
+// task's finish on its processor could be shifted left without violating
+// anything: legal, but a scheduler-quality anomaly worth flagging.
+void check_idle_gap(const LintInput& in, std::vector<Diagnostic>& out) {
+  const TaskGraph& g = *in.graph;
+  const Schedule& s = *in.schedule;
+  for (ProcId p = 0; p < s.num_procs(); ++p) {
+    const auto tasks = s.tasks_on(p);
+    std::vector<NodeId> by_start(tasks.begin(), tasks.end());
+    std::stable_sort(
+        by_start.begin(), by_start.end(),
+        [&](NodeId a, NodeId b) { return s.start(a) < s.start(b); });
+    Cost prev_finish = 0.0;
+    for (const NodeId n : by_start) {
+      Cost ready = 0.0;
+      for (const Adjacency& pred : g.predecessors(n)) {
+        const Cost arrival = s.proc(pred.node) == p
+                                 ? s.finish(pred.node)
+                                 : s.finish(pred.node) + pred.cost;
+        ready = std::max(ready, arrival);
+      }
+      const Cost earliest = std::max(ready, prev_finish);
+      if (definitely_less(earliest, s.start(n))) {
+        Diagnostic d;
+        d.node = n;
+        d.proc = p;
+        d.window = {earliest, s.start(n)};
+        d.message = "idle gap: task could start at " + num(earliest) +
+                    " but starts at " + num(s.start(n));
+        out.push_back(std::move(d));
+      }
+      prev_finish = std::max(prev_finish, s.finish(n));
+    }
+  }
+}
+
+// Schedule::length() must equal the recomputed maximum finish time, and
+// both must match any externally reported makespan (results tables, bench
+// cells, serialized runs).
+void check_makespan(const LintInput& in, std::vector<Diagnostic>& out) {
+  const Schedule& s = *in.schedule;
+  Cost recomputed = 0.0;
+  NodeId last = graph::kInvalidNode;
+  for (NodeId n = 0; n < s.num_nodes(); ++n) {
+    if (!s.is_assigned(n)) continue;
+    if (last == graph::kInvalidNode || s.finish(n) > recomputed) {
+      recomputed = s.finish(n);
+      last = n;
+    }
+  }
+  if (!approx_equal(recomputed, s.length())) {
+    Diagnostic d;
+    d.node = last;
+    d.window = {std::min(recomputed, s.length()),
+                std::max(recomputed, s.length())};
+    d.message = "schedule reports length " + num(s.length()) +
+                " but tasks finish by " + num(recomputed);
+    out.push_back(std::move(d));
+  }
+  if (in.reported_length && !approx_equal(recomputed, *in.reported_length)) {
+    Diagnostic d;
+    d.node = last;
+    d.window = {std::min(recomputed, *in.reported_length),
+                std::max(recomputed, *in.reported_length)};
+    d.message = "externally reported makespan " + num(*in.reported_length) +
+                " does not match the schedule's " + num(recomputed);
+    out.push_back(std::move(d));
+  }
+}
+
+// --- list rules (run only when a scheduling list is supplied) --------------
+
+void check_list_topology(const LintInput& in, std::vector<Diagnostic>& out) {
+  if (in.list == nullptr) return;
+  const TaskGraph& g = *in.graph;
+  const auto& list = *in.list;
+  if (list.size() != g.num_nodes()) {
+    Diagnostic d;
+    d.message = "list has " + std::to_string(list.size()) + " entries for " +
+                std::to_string(g.num_nodes()) + " nodes";
+    out.push_back(std::move(d));
+    return;
+  }
+  std::vector<std::size_t> pos(g.num_nodes(), g.num_nodes());
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const NodeId n = list[i];
+    if (n >= g.num_nodes()) {
+      Diagnostic d;
+      d.message = "list entry " + std::to_string(i) +
+                  " references unknown node " + std::to_string(n);
+      out.push_back(std::move(d));
+      return;
+    }
+    if (pos[n] != g.num_nodes()) {
+      Diagnostic d;
+      d.node = n;
+      d.message = "node appears twice in the list (positions " +
+                  std::to_string(pos[n]) + " and " + std::to_string(i) + ")";
+      out.push_back(std::move(d));
+      return;
+    }
+    pos[n] = i;
+  }
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (const Adjacency& succ : g.successors(n)) {
+      if (pos[n] < pos[succ.node]) continue;
+      Diagnostic d;
+      d.node = succ.node;
+      d.related = n;
+      d.message = "child at list position " + std::to_string(pos[succ.node]) +
+                  " precedes its parent at " + std::to_string(pos[n]);
+      out.push_back(std::move(d));
+    }
+  }
+}
+
+// CPN-Dominate invariant (paper §4.1): critical-path nodes appear in the
+// list in non-decreasing t-level order (for CPNs, descending b-level is
+// the same order, since t + b = CP length exactly on the critical path).
+void check_cpn_order(const LintInput& in, std::vector<Diagnostic>& out) {
+  if (in.list == nullptr) return;
+  const TaskGraph& g = *in.graph;
+  if (g.num_nodes() == 0) return;
+  const graph::LevelInfo levels = graph::compute_levels(g);
+  NodeId prev = graph::kInvalidNode;
+  for (const NodeId n : *in.list) {
+    if (n >= g.num_nodes() || !levels.is_cpn[n]) continue;
+    if (prev != graph::kInvalidNode &&
+        definitely_less(levels.t_level[n], levels.t_level[prev])) {
+      Diagnostic d;
+      d.node = n;
+      d.related = prev;
+      d.window = {levels.t_level[n], levels.t_level[prev]};
+      d.message = "CPN with t-level " + num(levels.t_level[n]) +
+                  " listed after CPN with t-level " + num(levels.t_level[prev]);
+      out.push_back(std::move(d));
+    }
+    prev = n;
+  }
+}
+
+}  // namespace
+
+void register_builtin_rules(RuleRegistry& registry) {
+  const auto add = [&](const char* id, Severity severity, bool structural,
+                       const char* summary,
+                       void (*check)(const LintInput&,
+                                     std::vector<Diagnostic>&)) {
+    registry.add(Rule{id, severity, structural, summary, check});
+  };
+  add("unassigned-task", Severity::kError, true,
+      "every task is placed on exactly one processor", check_unassigned);
+  add("bad-duration", Severity::kError, true,
+      "finish - start equals the task weight", check_bad_duration);
+  add("proc-out-of-range", Severity::kError, true,
+      "placements reference processors inside the pool", check_proc_range);
+  add("slot-overlap", Severity::kError, false,
+      "no two tasks overlap on one processor (touching endpoints allowed)",
+      check_slot_overlap);
+  add("precedence", Severity::kError, false,
+      "no child starts before a parent finishes", check_precedence);
+  add("comm-delay", Severity::kError, false,
+      "cross-processor children wait for the message delay", check_comm_delay);
+  add("idle-gap", Severity::kWarning, false,
+      "no task starts later than its data and processor allow",
+      check_idle_gap);
+  add("makespan-mismatch", Severity::kError, false,
+      "reported schedule length matches the latest finish time",
+      check_makespan);
+  add("list-topology", Severity::kError, false,
+      "the scheduling list is a topological permutation of all nodes",
+      check_list_topology);
+  add("cpn-list-order", Severity::kError, false,
+      "CPNs appear in the list in non-decreasing t-level order",
+      check_cpn_order);
+}
+
+}  // namespace fastsched::analysis::detail

@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file builtin_rules.hpp
+/// Registration hook for the built-in lint rules (builtin_rules.cpp); used
+/// by `RuleRegistry::builtin()` and by tests that want a fresh registry to
+/// extend with custom rules.
+
+#include "analysis/lint.hpp"
+
+namespace fastsched::analysis::detail {
+
+/// Adds every built-in rule to `registry` (ids listed in lint.hpp).
+void register_builtin_rules(RuleRegistry& registry);
+
+}  // namespace fastsched::analysis::detail

@@ -1,0 +1,41 @@
+#include "analysis/diagnostics.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace fastsched::analysis {
+
+std::string_view to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string format(const Diagnostic& d, const graph::TaskGraph* g) {
+  std::ostringstream os;
+  os << to_string(d.severity) << '[' << d.rule_id << ']';
+  const auto name = [&](graph::NodeId n) -> std::string {
+    if (g != nullptr && n < g->num_nodes()) return g->name(n);
+    return "node" + std::to_string(n);
+  };
+  if (d.node != graph::kInvalidNode) {
+    os << ' ' << name(d.node);
+    if (d.related != graph::kInvalidNode) os << '/' << name(d.related);
+  }
+  if (d.proc != sched::kUnassignedProc) os << " on P" << d.proc;
+  if (d.window.begin != 0 || d.window.end != 0) {
+    os << " [" << d.window.begin << ", " << d.window.end << ')';
+  }
+  os << ": " << d.message;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& d) {
+  return os << format(d);
+}
+
+}  // namespace fastsched::analysis

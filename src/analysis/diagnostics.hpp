@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file diagnostics.hpp
+/// Structured diagnostics emitted by the schedule-lint engine (lint.hpp).
+/// Every finding names the rule that produced it, the offending task(s),
+/// the processor and the time window involved, so tooling can filter,
+/// aggregate or jump to the exact slot — unlike the free-text messages of
+/// the older `sched::validate`.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace fastsched::analysis {
+
+/// Diagnostic severity. Errors mean the schedule is wrong (it would compute
+/// the wrong result or misreport its length); warnings flag anomalies that
+/// are legal but indicate a scheduler bug or wasted machine time.
+enum class Severity : std::uint8_t { kWarning, kError };
+
+[[nodiscard]] std::string_view to_string(Severity severity) noexcept;
+
+/// Half-open time interval [begin, end) a diagnostic refers to.
+struct TimeWindow {
+  graph::Cost begin = 0;
+  graph::Cost end = 0;
+};
+
+/// One finding from one rule.
+struct Diagnostic {
+  std::string rule_id;                          ///< stable rule identifier
+  Severity severity = Severity::kError;
+  graph::NodeId node = graph::kInvalidNode;     ///< primary offending task
+  graph::NodeId related = graph::kInvalidNode;  ///< second task involved
+  sched::ProcId proc = sched::kUnassignedProc;  ///< processor involved
+  TimeWindow window{};                          ///< time window involved
+  std::string message;                          ///< human-readable detail
+};
+
+/// Renders `d` as one line: `error[slot-overlap] n3 on P2 [1, 3): ...`.
+/// Node names come from `g` when given, otherwise ids are printed.
+[[nodiscard]] std::string format(const Diagnostic& d,
+                                 const graph::TaskGraph* g = nullptr);
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& d);
+
+}  // namespace fastsched::analysis

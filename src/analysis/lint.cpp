@@ -1,0 +1,94 @@
+#include "analysis/lint.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "analysis/builtin_rules.hpp"
+#include "common/error.hpp"
+
+namespace fastsched::analysis {
+
+const RuleRegistry& RuleRegistry::builtin() {
+  static const RuleRegistry registry = [] {
+    RuleRegistry r;
+    detail::register_builtin_rules(r);
+    return r;
+  }();
+  return registry;
+}
+
+void RuleRegistry::add(Rule rule) {
+  FASTSCHED_REQUIRE(!rule.id.empty(), "lint rule needs a non-empty id");
+  FASTSCHED_REQUIRE(static_cast<bool>(rule.check),
+                    "lint rule '" + rule.id + "' has no check function");
+  FASTSCHED_REQUIRE(find(rule.id) == nullptr,
+                    "duplicate lint rule id '" + rule.id + "'");
+  rules_.push_back(std::move(rule));
+}
+
+const Rule* RuleRegistry::find(std::string_view id) const noexcept {
+  for (const Rule& rule : rules_) {
+    if (rule.id == id) return &rule;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Runs `rule`, stamping id/severity on everything it appends.
+void run_rule(const Rule& rule, const LintInput& input, LintReport& report) {
+  const std::size_t first = report.diagnostics.size();
+  rule.check(input, report.diagnostics);
+  for (std::size_t i = first; i < report.diagnostics.size(); ++i) {
+    Diagnostic& d = report.diagnostics[i];
+    d.rule_id = rule.id;
+    d.severity = rule.severity;
+    if (d.severity == Severity::kError) {
+      ++report.num_errors;
+    } else {
+      ++report.num_warnings;
+    }
+  }
+}
+
+}  // namespace
+
+LintReport lint(const LintInput& input, const RuleRegistry& registry) {
+  FASTSCHED_REQUIRE(input.graph != nullptr && input.schedule != nullptr,
+                    "lint needs both a graph and a schedule");
+  FASTSCHED_REQUIRE(input.graph->num_nodes() == input.schedule->num_nodes(),
+                    "schedule sized for a different graph");
+
+  LintReport report;
+  for (const Rule& rule : registry.rules()) {
+    if (rule.structural) run_rule(rule, input, report);
+  }
+  // Garbage placements would make every semantic rule fire spuriously.
+  if (report.num_errors > 0) return report;
+
+  for (const Rule& rule : registry.rules()) {
+    if (!rule.structural) run_rule(rule, input, report);
+  }
+  return report;
+}
+
+LintReport lint(const graph::TaskGraph& g, const sched::Schedule& s) {
+  LintInput input;
+  input.graph = &g;
+  input.schedule = &s;
+  return lint(input);
+}
+
+void require_clean(const graph::TaskGraph& g, const sched::Schedule& s) {
+  const LintReport report = lint(g, s);
+  if (report.clean()) return;
+  std::ostringstream os;
+  os << "schedule lint failed (" << report.num_errors << " errors, "
+     << report.num_warnings << " warnings):";
+  for (const Diagnostic& d : report.diagnostics) {
+    os << "\n  " << format(d, &g);
+  }
+  throw Error(os.str());
+}
+
+}  // namespace fastsched::analysis

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file lint.hpp
+/// The schedule-lint engine: a registry of named, machine-checkable rules
+/// over (task graph, schedule) pairs. It supersedes the ad-hoc checks in
+/// `sched/validation.hpp` — every check there maps onto a rule here — and
+/// adds rules the old validator never had: communication-delay accounting
+/// split out from plain ordering, idle-gap anomalies, CPN-Dominate
+/// list-order invariants, and makespan-vs-reported cross-checks.
+///
+/// Rules come in two stages. *Structural* rules (every task placed exactly
+/// once, durations match weights, processors in range) gate the rest:
+/// when any of them fails, the semantic rules would only echo noise from
+/// garbage placements, so the engine stops after stage one.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace fastsched::analysis {
+
+/// Everything a rule may inspect. `graph` and `schedule` are required;
+/// `list` (a static scheduling list, e.g. FAST's CPN-Dominate order) and
+/// `reported_length` (a makespan claimed by a scheduler or a results
+/// table) unlock the rules that need them and are skipped otherwise.
+struct LintInput {
+  const graph::TaskGraph* graph = nullptr;
+  const sched::Schedule* schedule = nullptr;
+  const std::vector<graph::NodeId>* list = nullptr;
+  std::optional<graph::Cost> reported_length;
+};
+
+/// One registered rule. `check` appends any findings to `out`; it must
+/// stamp each diagnostic's `rule_id` and `severity` from the rule itself
+/// (`RuleRegistry::run` enforces this by overwriting them).
+struct Rule {
+  std::string id;        ///< stable kebab-case identifier
+  Severity severity = Severity::kError;
+  bool structural = false;  ///< stage-one rule that gates the others
+  std::string summary;   ///< one-line description for --list-rules
+  std::function<void(const LintInput&, std::vector<Diagnostic>&)> check;
+};
+
+/// Ordered rule collection. The default set lives in `builtin()`; callers
+/// may extend a copy with project-specific rules.
+class RuleRegistry {
+ public:
+  /// The built-in rules, in documentation order:
+  ///   unassigned-task, bad-duration, proc-out-of-range   (structural)
+  ///   slot-overlap, precedence, comm-delay, idle-gap,
+  ///   makespan-mismatch, list-topology, cpn-list-order   (semantic)
+  [[nodiscard]] static const RuleRegistry& builtin();
+
+  /// Registers a rule. Ids must be unique; throws `fastsched::Error` on
+  /// duplicates.
+  void add(Rule rule);
+
+  [[nodiscard]] const std::vector<Rule>& rules() const noexcept {
+    return rules_;
+  }
+
+  /// Rule by id, or nullptr.
+  [[nodiscard]] const Rule* find(std::string_view id) const noexcept;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/// The outcome of one lint run.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+  std::size_t num_errors = 0;
+  std::size_t num_warnings = 0;
+
+  /// No findings at all.
+  [[nodiscard]] bool clean() const noexcept { return diagnostics.empty(); }
+
+  /// No errors (optionally: and no warnings either).
+  [[nodiscard]] bool ok(bool warnings_as_errors = false) const noexcept {
+    return num_errors == 0 && (!warnings_as_errors || num_warnings == 0);
+  }
+};
+
+/// Runs every rule in `registry` against `input`. Structural-rule errors
+/// suppress the semantic stage (see file comment). Throws
+/// `fastsched::Error` when `input.graph`/`input.schedule` are missing or
+/// sized for different graphs.
+[[nodiscard]] LintReport lint(const LintInput& input,
+                              const RuleRegistry& registry =
+                                  RuleRegistry::builtin());
+
+/// Convenience overload for the common graph + schedule case.
+[[nodiscard]] LintReport lint(const graph::TaskGraph& g,
+                              const sched::Schedule& s);
+
+/// Throws `fastsched::Error` listing every diagnostic when `lint` finds
+/// anything (warnings included); the drop-in strict replacement for
+/// `sched::require_valid`.
+void require_clean(const graph::TaskGraph& g, const sched::Schedule& s);
+
+}  // namespace fastsched::analysis

@@ -28,8 +28,11 @@ std::string application_name(Application app) {
     case Application::kFft:
       return "fft";
   }
-  FASTSCHED_ASSERT(false);
-  return {};
+  // Not an assertion: a corrupted enum (e.g. from a miscast config) must
+  // surface as a recoverable error in every build type, not fall through
+  // an unreachable path.
+  throw Error("application_name: unknown Application value " +
+              std::to_string(static_cast<int>(app)));
 }
 
 graph::TaskGraph build_application_dag(Application app, int size,
@@ -42,8 +45,8 @@ graph::TaskGraph build_application_dag(Application app, int size,
     case Application::kFft:
       return workloads::fft_dag(size, db);
   }
-  FASTSCHED_ASSERT(false);
-  return graph::TaskGraphBuilder{}.build();
+  throw Error("build_application_dag: unknown Application value " +
+              std::to_string(static_cast<int>(app)));
 }
 
 PipelineReport run_pipeline(const PipelineConfig& config) {

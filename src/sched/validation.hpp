@@ -6,6 +6,14 @@
 /// weights, no two tasks overlap on a processor, and every precedence
 /// constraint is met with the communication delay charged for
 /// cross-processor edges (zero for intra-processor edges).
+///
+/// This is the minimal in-library validator. The schedule-lint engine in
+/// analysis/lint.hpp supersedes it with per-rule structured diagnostics
+/// (rule id, node, processor, time window) and additional rules (idle-gap
+/// anomalies, CPN list-order invariants, makespan cross-checks); prefer it
+/// in tools, benches and CI. This one stays for cheap hot-path validation
+/// inside the scheduling libraries themselves, which `analysis` links
+/// against.
 
 #include <string>
 #include <vector>

@@ -1,0 +1,328 @@
+#include "analysis/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/builtin_rules.hpp"
+#include "common/error.hpp"
+#include "baselines/registry.hpp"
+#include "fast/cpn_dominate.hpp"
+#include "graph/classification.hpp"
+#include "graph/levels.hpp"
+#include "testing/test_graphs.hpp"
+#include "workloads/paper_example.hpp"
+
+namespace fastsched::analysis {
+namespace {
+
+using graph::NodeId;
+using graph::TaskGraph;
+using sched::Schedule;
+
+// a(1) -2-> b(1): cross-processor b may start at finish(a) + 2 = 3.
+TaskGraph two_node_graph() {
+  graph::TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(1);
+  builder.add_edge(a, b, 2);
+  return builder.build();
+}
+
+std::vector<std::string> rule_ids(const LintReport& report) {
+  std::vector<std::string> ids;
+  for (const auto& d : report.diagnostics) ids.push_back(d.rule_id);
+  return ids;
+}
+
+TEST(LintRegistry, BuiltinRulesHaveUniqueIdsAndSummaries) {
+  const auto& rules = RuleRegistry::builtin().rules();
+  ASSERT_GE(rules.size(), 10u);
+  for (const auto& rule : rules) {
+    EXPECT_FALSE(rule.summary.empty()) << rule.id;
+    EXPECT_EQ(RuleRegistry::builtin().find(rule.id), &rule);
+  }
+  EXPECT_EQ(RuleRegistry::builtin().find("no-such-rule"), nullptr);
+}
+
+TEST(LintRegistry, RejectsDuplicateIds) {
+  RuleRegistry registry;
+  detail::register_builtin_rules(registry);
+  Rule dup;
+  dup.id = "precedence";
+  dup.check = [](const LintInput&, std::vector<Diagnostic>&) {};
+  EXPECT_THROW(registry.add(std::move(dup)), Error);
+}
+
+TEST(Lint, CleanScheduleHasNoDiagnostics) {
+  const TaskGraph g = two_node_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 3.0, 4.0);
+  const LintReport report = lint(g, s);
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(report.ok(/*warnings_as_errors=*/true));
+  EXPECT_NO_THROW(require_clean(g, s));
+}
+
+TEST(Lint, SeededPrecedenceViolationHasCorrectRuleId) {
+  const TaskGraph g = two_node_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 0.5, 1.5);  // starts before the parent even finishes
+  const LintReport report = lint(g, s);
+  ASSERT_EQ(report.num_errors, 1u);
+  const Diagnostic& d = report.diagnostics.front();
+  EXPECT_EQ(d.rule_id, "precedence");
+  EXPECT_EQ(d.node, 1u);
+  EXPECT_EQ(d.related, 0u);
+  EXPECT_EQ(d.proc, 1u);
+  EXPECT_DOUBLE_EQ(d.window.begin, 0.5);
+  EXPECT_DOUBLE_EQ(d.window.end, 1.0);
+  EXPECT_THROW(require_clean(g, s), Error);
+}
+
+TEST(Lint, SeededCommDelayViolationHasCorrectRuleId) {
+  const TaskGraph g = two_node_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 2.0, 3.0);  // after the parent, but before arrival at 3
+  const LintReport report = lint(g, s);
+  ASSERT_EQ(report.num_errors, 1u);
+  const Diagnostic& d = report.diagnostics.front();
+  EXPECT_EQ(d.rule_id, "comm-delay");
+  EXPECT_EQ(d.node, 1u);
+  EXPECT_DOUBLE_EQ(d.window.end, 3.0);
+}
+
+TEST(Lint, SameProcessorNeedsNoCommDelay) {
+  const TaskGraph g = two_node_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 0, 1.0, 2.0);
+  EXPECT_TRUE(lint(g, s).clean());
+}
+
+TEST(Lint, SeededSlotOverlapHasCorrectRuleId) {
+  graph::TaskGraphBuilder builder;
+  builder.add_node(2);
+  builder.add_node(2);
+  const TaskGraph g = builder.build();
+  Schedule s(2, 1);
+  s.assign(0, 0, 0.0, 2.0);
+  s.assign(1, 0, 1.0, 3.0);
+  const LintReport report = lint(g, s);
+  ASSERT_GE(report.num_errors, 1u);
+  const Diagnostic& d = report.diagnostics.front();
+  EXPECT_EQ(d.rule_id, "slot-overlap");
+  EXPECT_EQ(d.proc, 0u);
+  EXPECT_DOUBLE_EQ(d.window.begin, 1.0);
+  EXPECT_DOUBLE_EQ(d.window.end, 2.0);
+}
+
+TEST(Lint, TouchingSlotsDoNotOverlap) {
+  graph::TaskGraphBuilder builder;
+  builder.add_node(2);
+  builder.add_node(2);
+  const TaskGraph g = builder.build();
+  Schedule s(2, 1);
+  s.assign(0, 0, 0.0, 2.0);
+  s.assign(1, 0, 2.0, 4.0);
+  EXPECT_TRUE(lint(g, s).clean());
+}
+
+TEST(Lint, StructuralErrorsGateSemanticRules) {
+  const TaskGraph g = two_node_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);  // node 1 never assigned
+  const LintReport report = lint(g, s);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics.front().rule_id, "unassigned-task");
+}
+
+TEST(Lint, BadDurationReported) {
+  const TaskGraph g = two_node_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 2.5);  // weight is 1
+  s.assign(1, 1, 5.0, 6.0);
+  const LintReport report = lint(g, s);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics.front().rule_id, "bad-duration");
+}
+
+TEST(Lint, IdleGapAnomalyIsAWarning) {
+  const TaskGraph g = testing::chain(2, 1.0, 1.0);
+  Schedule s(2, 1);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 0, 5.0, 6.0);  // could start at 1; idle [1, 5) is unexplained
+  const LintReport report = lint(g, s);
+  EXPECT_EQ(report.num_errors, 0u);
+  ASSERT_EQ(report.num_warnings, 1u);
+  const Diagnostic& d = report.diagnostics.front();
+  EXPECT_EQ(d.rule_id, "idle-gap");
+  EXPECT_DOUBLE_EQ(d.window.begin, 1.0);
+  EXPECT_DOUBLE_EQ(d.window.end, 5.0);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.ok(/*warnings_as_errors=*/true));
+}
+
+TEST(Lint, WaitingForDataIsNotAnIdleGap) {
+  const TaskGraph g = two_node_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 3.0, 4.0);  // idle [0, 3) on P1 is the message delay
+  EXPECT_TRUE(lint(g, s).clean());
+}
+
+TEST(Lint, ReportedMakespanMismatchIsAnError) {
+  const TaskGraph g = testing::single(5.0);
+  Schedule s(1, 1);
+  s.assign(0, 0, 0.0, 5.0);
+  LintInput input;
+  input.graph = &g;
+  input.schedule = &s;
+  input.reported_length = 7.0;
+  const LintReport report = lint(input);
+  ASSERT_EQ(report.num_errors, 1u);
+  EXPECT_EQ(report.diagnostics.front().rule_id, "makespan-mismatch");
+
+  input.reported_length = 5.0;
+  EXPECT_TRUE(lint(input).clean());
+}
+
+TEST(Lint, NonTopologicalListIsAnError) {
+  const TaskGraph g = testing::chain(3, 1.0, 1.0);
+  Schedule s(3, 1);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 0, 1.0, 2.0);
+  s.assign(2, 0, 2.0, 3.0);
+  const std::vector<NodeId> reversed = {2, 1, 0};
+  LintInput input;
+  input.graph = &g;
+  input.schedule = &s;
+  input.list = &reversed;
+  const LintReport report = lint(input);
+  EXPECT_GE(report.num_errors, 1u);
+  const auto ids = rule_ids(report);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "list-topology"), ids.end());
+}
+
+TEST(Lint, CpnOrderViolationIsAnError) {
+  // Chain: every node is a CPN, so any t-level inversion among CPNs that
+  // still forms a topological order is impossible — use two chains where
+  // one chain's CPNs interleave wrongly. Simplest seedable case: a valid
+  // topological list over a disconnected graph whose second component is
+  // the critical path, listed so a deep CPN precedes a shallow one.
+  graph::TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);  // isolated, not a CPN
+  const auto b = builder.add_node(5);  // CP: b -> c
+  const auto c = builder.add_node(5);
+  builder.add_edge(b, c, 1);
+  (void)a;
+  const TaskGraph g = builder.build();
+
+  Schedule s(3, 2);
+  s.assign(0, 1, 0.0, 1.0);
+  s.assign(1, 0, 0.0, 5.0);
+  s.assign(2, 0, 5.0, 10.0);
+
+  // b and c are the CPNs (t-levels 0 and 5). Listing them in order keeps
+  // the lint clean; the interleaved isolated node does not matter.
+  const std::vector<NodeId> good = {b, a, c};
+  LintInput input;
+  input.graph = &g;
+  input.schedule = &s;
+  input.list = &good;
+  EXPECT_TRUE(lint(input).clean());
+
+  // No topological violation is possible for {c, ...} since b -> c forces
+  // b first; instead check the rule directly through a registry that only
+  // contains cpn-list-order, with the deep CPN listed first.
+  const std::vector<NodeId> bad = {c, a, b};
+  RuleRegistry only_cpn;
+  const Rule* rule = RuleRegistry::builtin().find("cpn-list-order");
+  ASSERT_NE(rule, nullptr);
+  only_cpn.add(*rule);
+  input.list = &bad;
+  const LintReport report = lint(input, only_cpn);
+  ASSERT_EQ(report.num_errors, 1u);
+  EXPECT_EQ(report.diagnostics.front().rule_id, "cpn-list-order");
+}
+
+TEST(Lint, CpnDominateListsPassTheListRules) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const TaskGraph g = testing::small_random(seed);
+    const auto levels = graph::compute_levels(g);
+    const auto classes = graph::classify_nodes(g, levels);
+    const auto list = fast::build_cpn_dominate_list(g, levels, classes);
+    const auto scheduler = baselines::make_scheduler("FAST");
+    sched::SchedulerOptions opts;
+    opts.num_procs = 8;
+    const Schedule s = scheduler->run(g, opts);
+    LintInput input;
+    input.graph = &g;
+    input.schedule = &s;
+    input.list = &list;
+    input.reported_length = s.length();
+    const LintReport report = lint(input);
+    EXPECT_TRUE(report.clean()) << "seed " << seed;
+  }
+}
+
+TEST(Lint, MismatchedGraphAndScheduleThrow) {
+  const TaskGraph g = two_node_graph();
+  const Schedule s(5, 2);
+  EXPECT_THROW((void)lint(g, s), Error);
+  LintInput input;  // missing both pointers
+  EXPECT_THROW((void)lint(input), Error);
+}
+
+TEST(Lint, FormatNamesRuleNodeProcessorAndWindow) {
+  const TaskGraph g = two_node_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 2.0, 3.0);
+  const LintReport report = lint(g, s);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  const std::string line = format(report.diagnostics.front(), &g);
+  EXPECT_NE(line.find("error[comm-delay]"), std::string::npos) << line;
+  EXPECT_NE(line.find("P1"), std::string::npos) << line;
+  EXPECT_NE(line.find("[2, 3)"), std::string::npos) << line;
+}
+
+// The acceptance sweep: every registered scheduler on the paper-example
+// and random-layered workloads produces schedules the lint engine finds
+// nothing wrong with — warnings included.
+TEST(Lint, AllSchedulersLintCleanOnPaperExampleAndRandomLayered) {
+  std::vector<TaskGraph> graphs;
+  graphs.push_back(workloads::paper_figure1_dag());
+  graphs.push_back(testing::small_random(41, 120, 0.5, 4.0));
+  graphs.push_back(testing::small_random(42, 120, 5.0, 4.0));
+  graphs.push_back(testing::small_random(43, 200, 1.0, 8.0));
+
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const TaskGraph& g = graphs[gi];
+    for (const auto& name : baselines::scheduler_names()) {
+      const auto scheduler = baselines::make_scheduler(name);
+      sched::SchedulerOptions opts;
+      opts.num_procs = scheduler->unbounded_processors() ? 0 : 8;
+      const Schedule s = scheduler->run(g, opts);
+      LintInput input;
+      input.graph = &g;
+      input.schedule = &s;
+      input.reported_length = s.length();
+      const LintReport report = lint(input);
+      EXPECT_TRUE(report.clean())
+          << name << " on graph " << gi << ": "
+          << (report.diagnostics.empty()
+                  ? std::string()
+                  : format(report.diagnostics.front(), &g));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastsched::analysis

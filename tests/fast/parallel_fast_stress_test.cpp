@@ -1,0 +1,140 @@
+// Race audit for the PFAST reduction (tentpole 3 of the correctness-tooling
+// layer). Built as its own executable so the ThreadSanitizer job can build
+// and run just this target; it also runs in the normal suite, where the
+// assertions double as determinism regression tests.
+//
+// The properties stressed here are exactly the ones a data race would
+// break first:
+//   * bit-identical results across repeated runs with the same
+//     (seed, thread-count) pair, at thread counts well above the core
+//     count so preemption reorders the workers aggressively;
+//   * monotone improvement in the thread count: streams are split from
+//     the master RNG in thread-index order *before* spawning, so T
+//     threads explore a strict superset of the walks of T' < T threads
+//     and the reduced length can never get worse.
+
+#include "fast/parallel_fast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "fast/evaluator.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::fast {
+namespace {
+
+// At least 8 ways even on small CI boxes; oversubscribe real cores so the
+// OS interleaves the workers as chaotically as possible.
+std::size_t stress_threads() {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::max<std::size_t>(8, 2 * hw);
+}
+
+TEST(ParallelFastStress, DeterministicAcrossRepeatsAtMaximalThreadCount) {
+  const std::size_t threads = stress_threads();
+  for (const std::uint64_t graph_seed : {901u, 902u, 903u}) {
+    const TaskGraph g = testing::small_random(graph_seed, 120, 1.0, 4.0);
+    ParallelFastOptions opts;
+    opts.seed = graph_seed;
+    opts.num_threads = threads;
+    opts.max_steps_per_thread = 32;
+
+    const ParallelFastResult first = run_parallel_fast(g, opts);
+    for (int repeat = 0; repeat < 4; ++repeat) {
+      const ParallelFastResult again = run_parallel_fast(g, opts);
+      ASSERT_EQ(again.assignment, first.assignment)
+          << "graph seed " << graph_seed << ", repeat " << repeat << ", "
+          << threads << " threads";
+      ASSERT_EQ(again.final_length, first.final_length);
+      ASSERT_EQ(again.winning_thread, first.winning_thread);
+    }
+  }
+}
+
+TEST(ParallelFastStress, MoreThreadsNeverLengthenTheSchedule) {
+  // Thread t's RNG stream is split from the master before spawning and
+  // depends only on t, so the walks of the first T' threads are identical
+  // for every T >= T'. The reduction over a superset cannot be worse.
+  const TaskGraph g = testing::small_random(910, 120, 1.0, 4.0);
+  ParallelFastOptions opts;
+  opts.seed = 7;
+  opts.max_steps_per_thread = 32;
+
+  double prev = 0.0;
+  bool have_prev = false;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u, 16u}) {
+    opts.num_threads = threads;
+    const ParallelFastResult r = run_parallel_fast(g, opts);
+    EXPECT_LE(r.final_length, r.initial_length) << threads << " threads";
+    if (have_prev) {
+      EXPECT_LE(r.final_length, prev + 1e-9)
+          << "length got worse going to " << threads << " threads";
+    }
+    prev = r.final_length;
+    have_prev = true;
+  }
+}
+
+TEST(ParallelFastStress, WinnerMaterializesToALintCleanSchedule) {
+  const std::size_t threads = stress_threads();
+  for (const std::uint64_t graph_seed : {920u, 921u}) {
+    const TaskGraph g = testing::small_random(graph_seed, 150, 2.0, 5.0);
+    ParallelFastOptions opts;
+    opts.seed = graph_seed;
+    opts.num_threads = threads;
+    opts.num_procs = 16;
+    const ParallelFastResult r = run_parallel_fast(g, opts);
+
+    AssignmentEvaluator eval(g, r.list, 16);
+    const Schedule s = eval.materialize(r.assignment);
+    EXPECT_NEAR(eval.evaluate(r.assignment), r.final_length, 1e-9);
+
+    analysis::LintInput input;
+    input.graph = &g;
+    input.schedule = &s;
+    input.list = &r.list;
+    input.reported_length = r.final_length;
+    const analysis::LintReport report = analysis::lint(input);
+    EXPECT_TRUE(report.clean())
+        << "graph seed " << graph_seed << ": "
+        << (report.diagnostics.empty()
+                ? std::string()
+                : analysis::format(report.diagnostics.front(), &g));
+  }
+}
+
+TEST(ParallelFastStress, ManyConcurrentReductionsStayIndependent) {
+  // Several run_parallel_fast calls racing against each other from outer
+  // threads: catches any hidden global state shared between runs.
+  const TaskGraph g = testing::small_random(930, 100, 1.0, 4.0);
+  ParallelFastOptions opts;
+  opts.seed = 5;
+  opts.num_threads = 8;
+  opts.max_steps_per_thread = 16;
+  const ParallelFastResult expected = run_parallel_fast(g, opts);
+
+  constexpr int kOuter = 4;
+  std::vector<ParallelFastResult> results(kOuter);
+  std::vector<std::thread> outer;
+  outer.reserve(kOuter);
+  for (int i = 0; i < kOuter; ++i) {
+    outer.emplace_back(
+        [&, i] { results[static_cast<std::size_t>(i)] = run_parallel_fast(g, opts); });
+  }
+  for (auto& th : outer) th.join();
+
+  for (const ParallelFastResult& r : results) {
+    EXPECT_EQ(r.assignment, expected.assignment);
+    EXPECT_EQ(r.final_length, expected.final_length);
+    EXPECT_EQ(r.winning_thread, expected.winning_thread);
+  }
+}
+
+}  // namespace
+}  // namespace fastsched::fast

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sched/io.hpp"
 #include "testing/test_graphs.hpp"
 
 namespace fastsched::sched {
@@ -120,6 +121,87 @@ TEST(Validation, RejectsScheduleForDifferentGraph) {
   const TaskGraph g = two_node_graph();
   const Schedule s(5, 2);
   EXPECT_THROW((void)validate(g, s), Error);
+}
+
+// a(1) -0-> b(1): a zero-weight message arrives the instant a finishes,
+// so cross-processor b may start at finish(a) exactly.
+TaskGraph zero_comm_graph() {
+  graph::TaskGraphBuilder builder;
+  const auto a = builder.add_node(1);
+  const auto b = builder.add_node(1);
+  builder.add_edge(a, b, 0);
+  return builder.build();
+}
+
+TEST(Validation, ZeroWeightCommEdgeNeedsNoCrossProcDelay) {
+  const TaskGraph g = zero_comm_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 1.0, 2.0);  // start == finish(a): legal with cost-0 edge
+  EXPECT_TRUE(is_valid(g, s));
+}
+
+TEST(Validation, ZeroWeightCommEdgeStillOrdersTasks) {
+  const TaskGraph g = zero_comm_graph();
+  Schedule s(2, 2);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 0.5, 1.5);  // before the parent finishes: still illegal
+  const auto violations = validate(g, s);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kPrecedence);
+}
+
+TEST(Validation, ZeroDurationTaskAtSlotBoundaryDoesNotOverlap) {
+  // A weight-0 task occupies no time: sitting exactly on the boundary
+  // between two back-to-back slots (or inside neither) must be legal.
+  graph::TaskGraphBuilder builder;
+  builder.add_node(2);
+  builder.add_node(0);
+  builder.add_node(2);
+  const TaskGraph g = builder.build();
+  Schedule s(3, 1);
+  s.assign(0, 0, 0.0, 2.0);
+  s.assign(1, 0, 2.0, 2.0);
+  s.assign(2, 0, 2.0, 4.0);
+  EXPECT_TRUE(is_valid(g, s));
+}
+
+TEST(Validation, PositiveTaskInsideZeroDurationNeighborhoodStillOverlaps) {
+  graph::TaskGraphBuilder builder;
+  builder.add_node(2);
+  builder.add_node(2);
+  builder.add_node(0);
+  const TaskGraph g = builder.build();
+  Schedule s(3, 1);
+  s.assign(2, 0, 1.0, 1.0);  // zero-duration, harmless wherever it sits
+  s.assign(0, 0, 0.0, 2.0);
+  s.assign(1, 0, 1.5, 3.5);  // overlaps task 0 regardless of task 2
+  const auto violations = validate(g, s);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kOverlap);
+}
+
+TEST(Validation, AssignRejectsOutOfRangeProcessor) {
+  Schedule s(2, 2);
+  EXPECT_THROW(s.assign(0, 2, 0.0, 1.0), Error);
+  EXPECT_THROW(s.assign(2, 0, 0.0, 1.0), Error);   // node out of range too
+  EXPECT_THROW(s.assign(0, 0, 1.0, 0.5), Error);   // finish < start
+  s.assign(0, 0, 0.0, 1.0);
+  EXPECT_THROW(s.assign(0, 1, 2.0, 3.0), Error);   // double assignment
+}
+
+TEST(Validation, ReadTextRejectsOutOfRangeProcessor) {
+  EXPECT_THROW((void)from_text("schedule 2 2\n"
+                               "task 0 2 0 1\n"),
+               Error);
+  EXPECT_THROW((void)from_text("schedule 2 2\n"
+                               "task 5 0 0 1\n"),
+               Error);
+  const Schedule ok = from_text("schedule 2 2\n"
+                                "task 0 1 0 1\n"
+                                "task 1 0 3 4\n");
+  EXPECT_EQ(ok.proc(0), 1u);
+  EXPECT_EQ(ok.proc(1), 0u);
 }
 
 }  // namespace

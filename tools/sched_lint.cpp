@@ -1,0 +1,103 @@
+// sched_lint: loads a task-graph file and a schedule file (the text
+// formats of graph/io.hpp and sched/io.hpp) and runs every registered
+// schedule-lint rule against them. Exit status: 0 when no errors were
+// found (warnings allowed unless --warnings-as-errors), 1 when the lint
+// engine reported errors, 2 on usage or I/O problems — so the tool
+// composes with CI pipelines and shell scripts.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "analysis/lint.hpp"
+#include "common/cli.hpp"
+#include "graph/io.hpp"
+#include "sched/io.hpp"
+
+namespace {
+
+using namespace fastsched;
+
+int run(int argc, char** argv) {
+  CliParser cli(
+      "sched_lint: check a schedule against its task graph with the "
+      "schedule-lint rule engine.\n"
+      "usage: sched_lint [--graph] <graph-file> [--schedule] <schedule-file>");
+  cli.add_option("graph", "", "task-graph file (graph text format)");
+  cli.add_option("schedule", "", "schedule file (schedule text format)");
+  cli.add_option("reported-length", "",
+                 "externally reported makespan to cross-check");
+  cli.add_flag("warnings-as-errors", "exit nonzero on warnings too");
+  cli.add_flag("quiet", "suppress diagnostics; use the exit status only");
+  cli.add_flag("list-rules", "print every registered rule and exit");
+  if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.get_flag("list-rules")) {
+    for (const analysis::Rule& rule : analysis::RuleRegistry::builtin().rules()) {
+      std::cout << rule.id << " (" << analysis::to_string(rule.severity)
+                << (rule.structural ? ", structural" : "") << "): "
+                << rule.summary << '\n';
+    }
+    return 0;
+  }
+
+  std::string graph_path = cli.get("graph");
+  std::string schedule_path = cli.get("schedule");
+  const auto& positional = cli.positional();
+  std::size_t next_positional = 0;
+  if (graph_path.empty() && next_positional < positional.size()) {
+    graph_path = positional[next_positional++];
+  }
+  if (schedule_path.empty() && next_positional < positional.size()) {
+    schedule_path = positional[next_positional++];
+  }
+  if (graph_path.empty() || schedule_path.empty()) {
+    std::cerr << "sched_lint: need both a graph and a schedule file\n"
+              << cli.usage();
+    return 2;
+  }
+
+  std::ifstream graph_file(graph_path);
+  if (!graph_file) {
+    std::cerr << "sched_lint: cannot open graph file '" << graph_path << "'\n";
+    return 2;
+  }
+  std::ifstream schedule_file(schedule_path);
+  if (!schedule_file) {
+    std::cerr << "sched_lint: cannot open schedule file '" << schedule_path
+              << "'\n";
+    return 2;
+  }
+
+  const graph::TaskGraph g = graph::read_text(graph_file);
+  const sched::Schedule s = sched::read_text(schedule_file);
+
+  analysis::LintInput input;
+  input.graph = &g;
+  input.schedule = &s;
+  if (!cli.get("reported-length").empty()) {
+    input.reported_length = cli.get_double("reported-length");
+  }
+
+  const analysis::LintReport report = analysis::lint(input);
+  const bool quiet = cli.get_flag("quiet");
+  if (!quiet) {
+    for (const analysis::Diagnostic& d : report.diagnostics) {
+      std::cout << analysis::format(d, &g) << '\n';
+    }
+    std::cout << schedule_path << ": " << report.num_errors << " errors, "
+              << report.num_warnings << " warnings\n";
+  }
+  return report.ok(cli.get_flag("warnings-as-errors")) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "sched_lint: " << e.what() << '\n';
+    return 2;
+  }
+}
