@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/bounds.hpp"
 #include "analysis/lint.hpp"
 #include "graph/task_graph.hpp"
 #include "sched/schedule.hpp"
@@ -53,6 +54,28 @@ inline void lint_or_die(const graph::TaskGraph& g, const sched::Schedule& s,
     std::cerr << "  " << analysis::format(d, &g) << '\n';
   }
   std::exit(1);
+}
+
+/// Best certified lower bound for `s`'s processor pool plus the
+/// schedule's optimality gap, for reporting alongside bench tables.
+struct Certification {
+  double best_bound = 0;    ///< tightest certified lower bound
+  std::string bound_id;     ///< which certificate is binding
+  double gap_percent = 0;   ///< (makespan - bound) / bound * 100
+};
+
+inline Certification certify(const graph::TaskGraph& g,
+                             const sched::Schedule& s) {
+  analysis::BoundOptions options;
+  options.num_procs = s.num_procs();
+  const analysis::BoundSet bounds = analysis::compute_bounds(g, options);
+  Certification c;
+  c.best_bound = bounds.best();
+  if (const analysis::BoundCertificate* binding = bounds.binding()) {
+    c.bound_id = binding->id;
+  }
+  c.gap_percent = 100.0 * analysis::optimality_gap(bounds, s.length());
+  return c;
 }
 
 }  // namespace fastsched::bench

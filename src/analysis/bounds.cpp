@@ -1,0 +1,291 @@
+#include "analysis/bounds.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/levels.hpp"
+
+namespace fastsched::analysis {
+namespace {
+
+using graph::Adjacency;
+using graph::approx_equal;
+using graph::Cost;
+using graph::definitely_less;
+using graph::NodeId;
+using graph::TaskGraph;
+
+std::string num(Cost c) {
+  std::ostringstream os;
+  os << c;
+  return os.str();
+}
+
+// Longest computation-only chain starting at the max-static-level node,
+// following children that realize sl(n) = w(n) + sl(child).
+std::vector<NodeId> comp_critical_path(const TaskGraph& g,
+                                       const std::vector<Cost>& sl) {
+  NodeId cur = 0;
+  for (NodeId n = 1; n < g.num_nodes(); ++n) {
+    if (sl[n] > sl[cur]) cur = n;
+  }
+  std::vector<NodeId> path{cur};
+  for (;;) {
+    const NodeId prev = cur;
+    for (const Adjacency& succ : g.successors(cur)) {
+      if (approx_equal(sl[cur], g.weight(cur) + sl[succ.node])) {
+        cur = succ.node;
+        path.push_back(cur);
+        break;
+      }
+    }
+    if (cur == prev) break;
+  }
+  return path;
+}
+
+// Exhaustive placement cases for a join node n and two of its
+// predecessors q1 ≠ q2 (F = certified finish lower bound, c = message
+// cost to n, e = certified start lower bound, w = weight):
+//   all three co-located   -> preds serialize on n's processor
+//   n with q1, q2 apart    -> q2 pays its message
+//   n with q2, q1 apart    -> q1 pays its message
+//   n apart from both      -> both pay their messages
+// The minimum over the cases lower-bounds start(n) in every schedule.
+Cost pair_join_bound(Cost e1, Cost w1, Cost c1, Cost e2, Cost w2, Cost c2) {
+  const Cost f1 = e1 + w1;
+  const Cost f2 = e2 + w2;
+  const Cost all_together =
+      std::max({f1, f2, std::min(e1, e2) + w1 + w2});
+  const Cost with_q1 = std::max(f1, f2 + c2);
+  const Cost with_q2 = std::max(f2, f1 + c1);
+  const Cost apart = std::max(f1 + c1, f2 + c2);
+  return std::min({all_together, with_q1, with_q2, apart});
+}
+
+// Minimum execution overlap of task (window [e, l], weight w) with the
+// interval [a, b): the window offers at most (a − e)⁺ room before a and
+// (l − b)⁺ room after b to dodge the interval.
+Cost min_overlap(Cost e, Cost l, Cost w, Cost a, Cost b) {
+  const Cost before = std::max(Cost{0}, a - e);
+  const Cost after = std::max(Cost{0}, l - b);
+  return std::max(Cost{0}, w - before - after);
+}
+
+void add_interval_density_bound(const TaskGraph& g, const BoundOptions& opt,
+                                const std::vector<Cost>& est,
+                                const std::vector<Cost>& sl, Cost t0,
+                                BoundSet& out) {
+  const std::size_t v = g.num_nodes();
+  const Cost p = static_cast<Cost>(opt.num_procs);
+
+  // Candidate interval endpoints: every window boundary, sampled down to
+  // the cap (a maximum over fewer intervals stays a valid bound).
+  std::vector<Cost> points;
+  points.reserve(2 * v);
+  for (NodeId n = 0; n < v; ++n) {
+    points.push_back(est[n]);
+    points.push_back(t0 - (sl[n] - g.weight(n)));
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  if (points.size() > opt.density_endpoints) {
+    std::vector<Cost> sampled;
+    sampled.reserve(opt.density_endpoints);
+    const std::size_t last = points.size() - 1;
+    for (std::size_t i = 0; i < opt.density_endpoints; ++i) {
+      sampled.push_back(points[i * last / (opt.density_endpoints - 1)]);
+    }
+    sampled.erase(std::unique(sampled.begin(), sampled.end()), sampled.end());
+    points = std::move(sampled);
+  }
+
+  Cost best_value = t0;
+  TimeWindow best_interval{};
+  Cost best_density = 0;
+  std::vector<NodeId> best_witness;
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const Cost a = points[i];
+      const Cost b = points[j];
+      const Cost capacity = p * (b - a);
+      Cost density = 0;
+      std::size_t contributors = 0;
+      for (NodeId n = 0; n < v; ++n) {
+        const Cost l = t0 - (sl[n] - g.weight(n));
+        const Cost overlap = min_overlap(est[n], l, g.weight(n), a, b);
+        if (overlap <= 0) continue;
+        density += overlap;
+        ++contributors;
+      }
+      if (!definitely_less(capacity, density) || contributors == 0) continue;
+      // Growing the makespan by δ widens every window's tail by δ, so the
+      // density falls by at most `contributors`·δ: feasibility needs at
+      // least the relaxed excess on top of the reference makespan.
+      const Cost value =
+          t0 + (density - capacity) / static_cast<Cost>(contributors);
+      if (value <= best_value) continue;
+      best_value = value;
+      best_interval = {a, b};
+      best_density = density;
+      best_witness.clear();
+      for (NodeId n = 0; n < v && best_witness.size() < 12; ++n) {
+        const Cost l = t0 - (sl[n] - g.weight(n));
+        if (min_overlap(est[n], l, g.weight(n), a, b) > 0) {
+          best_witness.push_back(n);
+        }
+      }
+    }
+  }
+
+  BoundCertificate cert;
+  cert.id = "interval-density";
+  cert.value = best_value;
+  cert.num_procs = opt.num_procs;
+  cert.interval = best_interval;
+  cert.witness = std::move(best_witness);
+  if (best_value > t0) {
+    cert.detail = "interval [" + num(best_interval.begin) + ", " +
+                  num(best_interval.end) + ") must hold " +
+                  num(best_density) + " units of work but " +
+                  std::to_string(opt.num_procs) + " processors fit only " +
+                  num(p * (best_interval.end - best_interval.begin));
+  } else {
+    cert.detail =
+        "no sampled interval exceeds processor capacity at the reference "
+        "makespan " +
+        num(t0);
+  }
+  out.certificates.push_back(std::move(cert));
+}
+
+}  // namespace
+
+Cost BoundSet::best() const noexcept {
+  Cost value = 0;
+  for (const BoundCertificate& c : certificates) value = std::max(value, c.value);
+  return value;
+}
+
+const BoundCertificate* BoundSet::binding() const noexcept {
+  const BoundCertificate* best_cert = nullptr;
+  for (const BoundCertificate& c : certificates) {
+    if (best_cert == nullptr || c.value > best_cert->value) best_cert = &c;
+  }
+  return best_cert;
+}
+
+const BoundCertificate* BoundSet::find(std::string_view id) const noexcept {
+  for (const BoundCertificate& c : certificates) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<Cost> comm_aware_est(const TaskGraph& g) {
+  std::vector<Cost> est(g.num_nodes(), 0);
+  // Per-node scratch for the heaviest predecessors by finish + message.
+  struct Pred {
+    Cost e, w, c;
+  };
+  std::vector<Pred> top;
+  for (const NodeId n : g.topological_order()) {
+    const auto preds = g.predecessors(n);
+    Cost start = 0;
+    for (const Adjacency& pred : preds) {
+      start = std::max(start, est[pred.node] + g.weight(pred.node));
+    }
+    if (preds.size() >= 2) {
+      // The pairwise case analysis only tightens for the predecessors
+      // with the largest finish-plus-message values; four candidates keep
+      // the pass O(e) while catching the binding pair in practice. Any
+      // subset yields a sound bound.
+      top.clear();
+      for (const Adjacency& pred : preds) {
+        top.push_back({est[pred.node], g.weight(pred.node), pred.cost});
+      }
+      const std::size_t keep = std::min<std::size_t>(4, top.size());
+      std::partial_sort(top.begin(), top.begin() + keep, top.end(),
+                        [](const Pred& x, const Pred& y) {
+                          return x.e + x.w + x.c > y.e + y.w + y.c;
+                        });
+      top.resize(keep);
+      for (std::size_t i = 0; i < top.size(); ++i) {
+        for (std::size_t j = i + 1; j < top.size(); ++j) {
+          start = std::max(
+              start, pair_join_bound(top[i].e, top[i].w, top[i].c, top[j].e,
+                                     top[j].w, top[j].c));
+        }
+      }
+    }
+    est[n] = start;
+  }
+  return est;
+}
+
+BoundSet compute_bounds(const TaskGraph& g, const BoundOptions& options) {
+  BoundSet out;
+  if (g.num_nodes() == 0) return out;
+
+  const std::vector<Cost> sl = graph::compute_static_levels(g);
+  const std::vector<Cost> est = comm_aware_est(g);
+
+  // cp-comp: the longest computation-only chain.
+  {
+    BoundCertificate cert;
+    cert.id = "cp-comp";
+    cert.witness = comp_critical_path(g, sl);
+    cert.value = sl[cert.witness.front()];
+    cert.detail = "computation-only critical path over " +
+                  std::to_string(cert.witness.size()) + " nodes";
+    out.certificates.push_back(std::move(cert));
+  }
+
+  // comm-cp: communication-aware earliest starts + computation-only tail.
+  {
+    NodeId arg = 0;
+    for (NodeId n = 1; n < g.num_nodes(); ++n) {
+      if (est[n] + sl[n] > est[arg] + sl[arg]) arg = n;
+    }
+    BoundCertificate cert;
+    cert.id = "comm-cp";
+    cert.value = est[arg] + sl[arg];
+    cert.witness = {arg};
+    cert.detail = "node " + g.name(arg) + " cannot start before " +
+                  num(est[arg]) +
+                  " (join-placement case analysis) and is followed by a " +
+                  num(sl[arg]) + "-long computation chain";
+    out.certificates.push_back(std::move(cert));
+  }
+
+  if (options.num_procs > 0) {
+    // work: p processors burn at most p units of work per time step.
+    {
+      BoundCertificate cert;
+      cert.id = "work";
+      cert.num_procs = options.num_procs;
+      cert.value = g.total_work() / static_cast<Cost>(options.num_procs);
+      cert.detail = "total work " + num(g.total_work()) + " over " +
+                    std::to_string(options.num_procs) + " processors";
+      out.certificates.push_back(std::move(cert));
+    }
+    if (options.interval_density) {
+      add_interval_density_bound(g, options, est, sl, out.best(), out);
+    }
+  }
+  return out;
+}
+
+BoundSet compute_bounds(const TaskGraph& g, std::size_t num_procs) {
+  BoundOptions options;
+  options.num_procs = num_procs;
+  return compute_bounds(g, options);
+}
+
+double optimality_gap(const BoundSet& bounds, Cost makespan) noexcept {
+  const Cost best = bounds.best();
+  if (best <= 0) return 0;
+  return (makespan - best) / best;
+}
+
+}  // namespace fastsched::analysis

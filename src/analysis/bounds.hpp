@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file bounds.hpp
+/// Machine-checkable makespan lower bounds. Each bound is emitted as a
+/// structured certificate carrying the derivation witness, so a schedule
+/// whose reported makespan beats a certificate is *provably* the product
+/// of an accounting bug — the static cross-check the `bound-violation`
+/// lint rule and the `sched_diff` differential oracle are built on.
+///
+/// The four bound families (all assume every task is placed exactly once,
+/// i.e. no task duplication — true for every scheduler in this library):
+///
+///  * `cp-comp` — the communication-free critical path: the longest chain
+///    of computation costs. Holds for every processor count, since a chain
+///    can never run faster than its serial work even with free messages.
+///  * `comm-cp` — a communication-aware strengthening of `cp-comp`.
+///    For a join node, exhaustive case analysis over the placements of
+///    its two heaviest predecessors (co-located and serialized, or
+///    separated and paying the message delay) yields an earliest start
+///    no schedule can beat; propagated in topological order and combined
+///    with the computation-only tail. Holds for every processor count.
+///  * `work` — total computation divided by the processor pool: p
+///    processors cannot burn work faster than p units per time step.
+///  * `interval-density` — a Fernández/Graham-style bound: fixing a
+///    reference makespan T₀ (the best of the bounds above) gives every
+///    task an execution window [earliest start, T₀ − tail]; if some
+///    interval [a, b) must contain more mandatory work than p·(b − a),
+///    the makespan provably exceeds T₀ by the (relaxed) excess. Catches
+///    width bottlenecks that neither the path nor the average-work bound
+///    sees.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "graph/task_graph.hpp"
+
+namespace fastsched::analysis {
+
+/// One certified lower bound on the makespan of any valid schedule.
+struct BoundCertificate {
+  std::string id;            ///< bound family: cp-comp, comm-cp, work, ...
+  graph::Cost value = 0;     ///< certified lower bound
+  /// Processor-pool size the certificate assumes; 0 = holds for every
+  /// processor count.
+  std::size_t num_procs = 0;
+  std::string detail;        ///< human-readable derivation
+  /// Nodes backing the bound (the critical path for cp-comp, the binding
+  /// join/exit node for comm-cp, the tasks of the binding interval for
+  /// interval-density). Empty for aggregate bounds like work.
+  std::vector<graph::NodeId> witness;
+  /// interval-density only: the overloaded interval [begin, end).
+  TimeWindow interval{};
+};
+
+/// Knobs for `compute_bounds`.
+struct BoundOptions {
+  /// Processor-pool size for the pool-dependent bounds (work,
+  /// interval-density); 0 emits only the pool-independent certificates.
+  std::size_t num_procs = 0;
+  /// The interval-density bound costs O(k² v) for k sampled window
+  /// endpoints; turn it off on hot paths that only want the O(v + e)
+  /// bounds.
+  bool interval_density = true;
+  /// Endpoint-sampling cap k for the density bound. Sampling only weakens
+  /// the bound (a maximum over fewer intervals), never unsounds it.
+  std::size_t density_endpoints = 48;
+};
+
+/// The certificates computed for one graph.
+struct BoundSet {
+  std::vector<BoundCertificate> certificates;
+
+  /// Largest certified bound (0 when empty).
+  [[nodiscard]] graph::Cost best() const noexcept;
+
+  /// The certificate achieving `best()`, or nullptr when empty.
+  [[nodiscard]] const BoundCertificate* binding() const noexcept;
+
+  /// Certificate by id, or nullptr.
+  [[nodiscard]] const BoundCertificate* find(
+      std::string_view id) const noexcept;
+};
+
+/// Computes every applicable bound certificate for `g`.
+[[nodiscard]] BoundSet compute_bounds(const graph::TaskGraph& g,
+                                      const BoundOptions& options = {});
+
+/// Convenience overload: pool-dependent bounds for `num_procs` processors.
+[[nodiscard]] BoundSet compute_bounds(const graph::TaskGraph& g,
+                                      std::size_t num_procs);
+
+/// Relative optimality gap (makespan − best) / best; 0 when the bound set
+/// is empty or the best bound is zero. Negative means the makespan beats a
+/// certificate — an accounting bug by construction.
+[[nodiscard]] double optimality_gap(const BoundSet& bounds,
+                                    graph::Cost makespan) noexcept;
+
+/// The communication-aware earliest start times underlying the `comm-cp`
+/// bound: est[n] lower-bounds start(n) in every duplication-free schedule
+/// on any processor count. Exposed for tests and tools.
+[[nodiscard]] std::vector<graph::Cost> comm_aware_est(
+    const graph::TaskGraph& g);
+
+}  // namespace fastsched::analysis

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/bounds.hpp"
 #include "graph/levels.hpp"
 
 namespace fastsched::analysis::detail {
@@ -228,6 +229,36 @@ void check_makespan(const LintInput& in, std::vector<Diagnostic>& out) {
   }
 }
 
+// A makespan below a certified lower bound (bounds.hpp) cannot come from
+// a correct schedule of this graph: some cost was dropped or shrunk in
+// accounting. Cross-checks the schedule against every certificate for its
+// processor-pool size and names the violated bound. The density bound is
+// skipped on very large graphs to keep lint O(v + e) there.
+void check_bound_violation(const LintInput& in, std::vector<Diagnostic>& out) {
+  const TaskGraph& g = *in.graph;
+  const Schedule& s = *in.schedule;
+  if (g.num_nodes() == 0) return;
+  Cost makespan = 0;
+  for (NodeId n = 0; n < s.num_nodes(); ++n) {
+    if (!s.is_assigned(n)) return;  // partial schedules prove nothing
+    makespan = std::max(makespan, s.finish(n));
+  }
+  BoundOptions options;
+  options.num_procs = s.num_procs();
+  options.interval_density = g.num_nodes() <= 4096;
+  const BoundSet bounds = compute_bounds(g, options);
+  for (const BoundCertificate& cert : bounds.certificates) {
+    if (!definitely_less(makespan, cert.value)) continue;
+    Diagnostic d;
+    if (!cert.witness.empty()) d.node = cert.witness.front();
+    d.window = {makespan, cert.value};
+    d.message = "makespan " + num(makespan) + " beats the certified '" +
+                cert.id + "' lower bound " + num(cert.value) +
+                " (gap " + num(makespan - cert.value) + "): " + cert.detail;
+    out.push_back(std::move(d));
+  }
+}
+
 // --- list rules (run only when a scheduling list is supplied) --------------
 
 void check_list_topology(const LintInput& in, std::vector<Diagnostic>& out) {
@@ -327,6 +358,9 @@ void register_builtin_rules(RuleRegistry& registry) {
   add("makespan-mismatch", Severity::kError, false,
       "reported schedule length matches the latest finish time",
       check_makespan);
+  add("bound-violation", Severity::kError, false,
+      "the makespan respects every certified lower bound (bounds.hpp)",
+      check_bound_violation);
   add("list-topology", Severity::kError, false,
       "the scheduling list is a topological permutation of all nodes",
       check_list_topology);

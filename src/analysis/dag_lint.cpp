@@ -1,0 +1,528 @@
+#include "analysis/dag_lint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <sstream>
+
+namespace fastsched::analysis {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+std::string num(Cost c) {
+  std::ostringstream os;
+  os << c;
+  return os.str();
+}
+
+// An edge usable for topology checks: endpoints in range, not a self-loop
+// (both are reported by their own structural rules).
+bool topology_edge(const RawDag& dag, const RawEdge& e) {
+  return e.src < dag.num_nodes() && e.dst < dag.num_nodes() &&
+         e.src != e.dst;
+}
+
+// Successor / predecessor lists over the topology edges.
+struct AdjLists {
+  std::vector<std::vector<NodeId>> succ;
+  std::vector<std::vector<NodeId>> pred;
+};
+
+AdjLists adjacency(const RawDag& dag) {
+  AdjLists adj;
+  adj.succ.resize(dag.num_nodes());
+  adj.pred.resize(dag.num_nodes());
+  for (const RawEdge& e : dag.edges) {
+    if (!topology_edge(dag, e)) continue;
+    adj.succ[e.src].push_back(static_cast<NodeId>(e.dst));
+    adj.pred[e.dst].push_back(static_cast<NodeId>(e.src));
+  }
+  return adj;
+}
+
+// Kahn's algorithm; returns the nodes left unprocessed (members of cycles
+// or their downstream) — empty iff acyclic.
+std::vector<bool> kahn_leftover(const RawDag& dag, const AdjLists& adj) {
+  const std::size_t v = dag.num_nodes();
+  std::vector<std::size_t> in_degree(v, 0);
+  for (NodeId n = 0; n < v; ++n) in_degree[n] = adj.pred[n].size();
+  std::vector<NodeId> queue;
+  for (NodeId n = 0; n < v; ++n) {
+    if (in_degree[n] == 0) queue.push_back(n);
+  }
+  std::size_t head = 0;
+  std::vector<bool> leftover(v, true);
+  while (head < queue.size()) {
+    const NodeId n = queue[head++];
+    leftover[n] = false;
+    for (const NodeId c : adj.succ[n]) {
+      if (--in_degree[c] == 0) queue.push_back(c);
+    }
+  }
+  return leftover;
+}
+
+// --- structural rules ------------------------------------------------------
+
+void check_edge_endpoint(const DagLintInput& in,
+                         std::vector<Diagnostic>& out) {
+  const RawDag& dag = *in.dag;
+  for (std::size_t i = 0; i < dag.edges.size(); ++i) {
+    const RawEdge& e = dag.edges[i];
+    if (e.src < dag.num_nodes() && e.dst < dag.num_nodes()) continue;
+    Diagnostic d;
+    d.message = "edge #" + std::to_string(i) + " (" +
+                std::to_string(e.src) + " -> " + std::to_string(e.dst) +
+                ") references a node outside the " +
+                std::to_string(dag.num_nodes()) + "-node graph";
+    out.push_back(std::move(d));
+  }
+}
+
+void check_self_loop(const DagLintInput& in, std::vector<Diagnostic>& out) {
+  const RawDag& dag = *in.dag;
+  for (const RawEdge& e : dag.edges) {
+    if (e.src != e.dst || e.src >= dag.num_nodes()) continue;
+    Diagnostic d;
+    d.node = static_cast<NodeId>(e.src);
+    d.message = "task depends on itself (self-loop, cost " + num(e.cost) +
+                ")";
+    out.push_back(std::move(d));
+  }
+}
+
+void check_cycle(const DagLintInput& in, std::vector<Diagnostic>& out) {
+  const RawDag& dag = *in.dag;
+  const AdjLists adj = adjacency(dag);
+  const std::vector<bool> leftover = kahn_leftover(dag, adj);
+  NodeId start = graph::kInvalidNode;
+  for (NodeId n = 0; n < dag.num_nodes(); ++n) {
+    if (leftover[n]) {
+      start = n;
+      break;
+    }
+  }
+  if (start == graph::kInvalidNode) return;
+  // Witness: walk predecessors inside the leftover set (each leftover node
+  // has at least one) until a node repeats — that suffix is a cycle.
+  std::vector<NodeId> walk{start};
+  std::vector<std::size_t> pos(dag.num_nodes(), dag.num_nodes());
+  pos[start] = 0;
+  std::size_t cycle_begin = 0;
+  for (;;) {
+    NodeId next = graph::kInvalidNode;
+    for (const NodeId p : adj.pred[walk.back()]) {
+      if (leftover[p]) {
+        next = p;
+        break;
+      }
+    }
+    if (next == graph::kInvalidNode) return;  // unreachable: leftover
+                                              // nodes keep leftover preds
+    if (pos[next] != dag.num_nodes()) {
+      cycle_begin = pos[next];
+      walk.push_back(next);
+      break;
+    }
+    pos[next] = walk.size();
+    walk.push_back(next);
+  }
+  // The walk followed predecessor links, so reverse for edge direction.
+  std::ostringstream path;
+  for (std::size_t i = walk.size(); i-- > cycle_begin;) {
+    path << dag.name(walk[i]);
+    if (i > cycle_begin) path << " -> ";
+  }
+  std::size_t members = 0;
+  for (NodeId n = 0; n < dag.num_nodes(); ++n) {
+    if (leftover[n]) ++members;
+  }
+  Diagnostic d;
+  d.node = walk[cycle_begin];
+  d.message = "dependency cycle (" + std::to_string(members) +
+              " nodes unschedulable): " + path.str();
+  out.push_back(std::move(d));
+}
+
+// --- semantic rules --------------------------------------------------------
+
+void check_duplicate_edge(const DagLintInput& in,
+                          std::vector<Diagnostic>& out) {
+  const RawDag& dag = *in.dag;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seen;
+  seen.reserve(dag.edges.size());
+  for (const RawEdge& e : dag.edges) seen.emplace_back(e.src, e.dst);
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i + 1 < seen.size();) {
+    std::size_t j = i + 1;
+    while (j < seen.size() && seen[j] == seen[i]) ++j;
+    if (j - i > 1) {
+      Diagnostic d;
+      if (seen[i].first < dag.num_nodes()) {
+        d.node = static_cast<NodeId>(seen[i].first);
+      }
+      if (seen[i].second < dag.num_nodes()) {
+        d.related = static_cast<NodeId>(seen[i].second);
+      }
+      d.message = "edge " + dag.name(seen[i].first) + " -> " +
+                  dag.name(seen[i].second) + " appears " +
+                  std::to_string(j - i) + " times";
+      out.push_back(std::move(d));
+    }
+    i = j;
+  }
+}
+
+void check_bad_cost(const DagLintInput& in, std::vector<Diagnostic>& out) {
+  const RawDag& dag = *in.dag;
+  for (NodeId n = 0; n < dag.num_nodes(); ++n) {
+    const Cost w = dag.weights[n];
+    if (w >= 0 && std::isfinite(w)) continue;
+    Diagnostic d;
+    d.node = n;
+    d.message = "computation cost " + num(w) + " is " +
+                (std::isfinite(w) ? "negative" : "not finite");
+    out.push_back(std::move(d));
+  }
+  for (std::size_t i = 0; i < dag.edges.size(); ++i) {
+    const Cost c = dag.edges[i].cost;
+    if (c >= 0 && std::isfinite(c)) continue;
+    Diagnostic d;
+    if (dag.edges[i].src < dag.num_nodes()) {
+      d.node = static_cast<NodeId>(dag.edges[i].src);
+    }
+    if (dag.edges[i].dst < dag.num_nodes()) {
+      d.related = static_cast<NodeId>(dag.edges[i].dst);
+    }
+    d.message = "communication cost " + num(c) + " of edge #" +
+                std::to_string(i) + " is " +
+                (std::isfinite(c) ? "negative" : "not finite");
+    out.push_back(std::move(d));
+  }
+}
+
+// An edge u -> v is transitively redundant for precedence when another
+// u ->* v path of length >= 2 exists; the direct message may still be
+// meaningful, so this is a warning. Reachability via per-node bitsets in
+// reverse topological order: O(v·e/64).
+void check_transitive_edge(const DagLintInput& in,
+                           std::vector<Diagnostic>& out) {
+  const RawDag& dag = *in.dag;
+  const std::size_t v = dag.num_nodes();
+  if (v == 0) return;
+  const AdjLists adj = adjacency(dag);
+  const std::size_t words = (v + 63) / 64;
+  std::vector<std::uint64_t> reach(v * words, 0);
+  const auto test = [&](NodeId from, NodeId to) {
+    return (reach[from * words + to / 64] >> (to % 64)) & 1u;
+  };
+  // Reverse topological order; the structural cycle rule gates this one,
+  // so Kahn processes every node.
+  std::vector<std::size_t> in_degree(v, 0);
+  std::vector<NodeId> order;
+  order.reserve(v);
+  for (NodeId n = 0; n < v; ++n) in_degree[n] = adj.pred[n].size();
+  for (NodeId n = 0; n < v; ++n) {
+    if (in_degree[n] == 0) order.push_back(n);
+  }
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (const NodeId c : adj.succ[order[head]]) {
+      if (--in_degree[c] == 0) order.push_back(c);
+    }
+  }
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const NodeId n = order[i];
+    for (const NodeId c : adj.succ[n]) {
+      reach[n * words + c / 64] |= std::uint64_t{1} << (c % 64);
+      for (std::size_t w = 0; w < words; ++w) {
+        reach[n * words + w] |= reach[c * words + w];
+      }
+    }
+  }
+  for (const RawEdge& e : dag.edges) {
+    if (!topology_edge(dag, e)) continue;
+    const NodeId u = static_cast<NodeId>(e.src);
+    const NodeId tgt = static_cast<NodeId>(e.dst);
+    NodeId via = graph::kInvalidNode;
+    for (const NodeId c : adj.succ[u]) {
+      if (c != tgt && test(c, tgt)) {
+        via = c;
+        break;
+      }
+    }
+    if (via == graph::kInvalidNode) continue;
+    Diagnostic d;
+    d.node = u;
+    d.related = tgt;
+    d.message = "edge " + dag.name(u) + " -> " + dag.name(tgt) +
+                " is transitively implied (longer path via " +
+                dag.name(via) + ")";
+    out.push_back(std::move(d));
+  }
+}
+
+void check_isolated_node(const DagLintInput& in,
+                         std::vector<Diagnostic>& out) {
+  const RawDag& dag = *in.dag;
+  if (dag.num_nodes() <= 1) return;
+  std::vector<bool> touched(dag.num_nodes(), false);
+  for (const RawEdge& e : dag.edges) {
+    if (e.src < dag.num_nodes()) touched[e.src] = true;
+    if (e.dst < dag.num_nodes()) touched[e.dst] = true;
+  }
+  for (NodeId n = 0; n < dag.num_nodes(); ++n) {
+    if (touched[n]) continue;
+    Diagnostic d;
+    d.node = n;
+    d.message = "task has no dependencies in either direction";
+    out.push_back(std::move(d));
+  }
+}
+
+void check_disconnected(const DagLintInput& in,
+                        std::vector<Diagnostic>& out) {
+  const RawDag& dag = *in.dag;
+  const std::size_t v = dag.num_nodes();
+  std::vector<NodeId> parent(v);
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](NodeId n) {
+    while (parent[n] != n) n = parent[n] = parent[parent[n]];
+    return n;
+  };
+  std::vector<bool> touched(v, false);
+  for (const RawEdge& e : dag.edges) {
+    if (!topology_edge(dag, e)) continue;
+    touched[e.src] = touched[e.dst] = true;
+    parent[find(static_cast<NodeId>(e.src))] =
+        find(static_cast<NodeId>(e.dst));
+  }
+  // Isolated nodes have their own rule; this one flags >= 2 genuine
+  // components.
+  std::vector<NodeId> roots;
+  for (NodeId n = 0; n < v; ++n) {
+    if (!touched[n]) continue;
+    const NodeId r = find(n);
+    if (std::find(roots.begin(), roots.end(), r) == roots.end()) {
+      roots.push_back(r);
+    }
+  }
+  if (roots.size() <= 1) return;
+  Diagnostic d;
+  d.node = roots[0];
+  d.related = roots[1];
+  d.message = "graph splits into " + std::to_string(roots.size()) +
+              " disconnected components (e.g. the ones holding " +
+              dag.name(roots[0]) + " and " + dag.name(roots[1]) + ")";
+  out.push_back(std::move(d));
+}
+
+void check_zero_weight(const DagLintInput& in, std::vector<Diagnostic>& out) {
+  const RawDag& dag = *in.dag;
+  for (NodeId n = 0; n < dag.num_nodes(); ++n) {
+    if (dag.weights[n] != 0) continue;
+    Diagnostic d;
+    d.node = n;
+    d.message = "task has zero computation cost";
+    out.push_back(std::move(d));
+  }
+}
+
+// Costs more than 64x the median positive cost of their kind usually mean
+// a unit mix-up (seconds vs microseconds) in the timing database; checked
+// only with >= 8 samples so tiny hand-written graphs stay quiet.
+void check_cost_outlier(const DagLintInput& in,
+                        std::vector<Diagnostic>& out) {
+  const RawDag& dag = *in.dag;
+  const Cost factor = 64;
+  const auto median_positive = [](std::vector<Cost> values) -> Cost {
+    std::erase_if(values, [](Cost c) { return !(c > 0); });
+    if (values.size() < 8) return 0;
+    const std::size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    return values[mid];
+  };
+  const Cost node_median = median_positive(dag.weights);
+  if (node_median > 0) {
+    for (NodeId n = 0; n < dag.num_nodes(); ++n) {
+      if (dag.weights[n] <= factor * node_median) continue;
+      Diagnostic d;
+      d.node = n;
+      d.message = "computation cost " + num(dag.weights[n]) + " is over " +
+                  num(factor) + "x the median " + num(node_median);
+      out.push_back(std::move(d));
+    }
+  }
+  std::vector<Cost> edge_costs;
+  edge_costs.reserve(dag.edges.size());
+  for (const RawEdge& e : dag.edges) edge_costs.push_back(e.cost);
+  const Cost edge_median = median_positive(std::move(edge_costs));
+  if (edge_median > 0) {
+    for (std::size_t i = 0; i < dag.edges.size(); ++i) {
+      const RawEdge& e = dag.edges[i];
+      if (e.cost <= factor * edge_median) continue;
+      Diagnostic d;
+      if (e.src < dag.num_nodes()) d.node = static_cast<NodeId>(e.src);
+      if (e.dst < dag.num_nodes()) d.related = static_cast<NodeId>(e.dst);
+      d.message = "communication cost " + num(e.cost) + " of edge #" +
+                  std::to_string(i) + " is over " + num(factor) +
+                  "x the median " + num(edge_median);
+      out.push_back(std::move(d));
+    }
+  }
+}
+
+void register_builtin_dag_rules(DagRuleRegistry& registry) {
+  const auto add = [&](const char* id, Severity severity, bool structural,
+                       const char* summary,
+                       void (*check)(const DagLintInput&,
+                                     std::vector<Diagnostic>&)) {
+    registry.add(DagRule{id, severity, structural, summary, check});
+  };
+  add("edge-endpoint", Severity::kError, true,
+      "every edge endpoint names an existing node", check_edge_endpoint);
+  add("self-loop", Severity::kError, true, "no task depends on itself",
+      check_self_loop);
+  add("cycle", Severity::kError, true,
+      "the dependence graph is acyclic (witness path reported)",
+      check_cycle);
+  add("duplicate-edge", Severity::kError, false,
+      "no ordered node pair is connected twice", check_duplicate_edge);
+  add("bad-cost", Severity::kError, false,
+      "computation and communication costs are finite and non-negative",
+      check_bad_cost);
+  add("transitive-edge", Severity::kWarning, false,
+      "no edge is transitively implied by a longer path",
+      check_transitive_edge);
+  add("isolated-node", Severity::kWarning, false,
+      "every task is connected to the rest of the program",
+      check_isolated_node);
+  add("disconnected", Severity::kWarning, false,
+      "the graph is one connected program", check_disconnected);
+  add("zero-weight", Severity::kWarning, false,
+      "every task has a positive computation cost", check_zero_weight);
+  add("cost-outlier", Severity::kWarning, false,
+      "no cost exceeds 64x the median of its kind (unit mix-ups)",
+      check_cost_outlier);
+}
+
+}  // namespace
+
+std::string RawDag::name(std::uint64_t n) const {
+  if (n < names.size() && !names[n].empty()) return names[n];
+  return "node" + std::to_string(n);
+}
+
+RawDag read_raw_dag(std::istream& is) {
+  RawDag dag;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+    const std::string where = " (line " + std::to_string(line_no) + ")";
+    if (kind == "node") {
+      std::uint64_t id = 0;
+      graph::Cost weight = 0;
+      std::string name;
+      FASTSCHED_REQUIRE(static_cast<bool>(ls >> id >> weight),
+                        "malformed node line" + where);
+      ls >> name;  // optional
+      FASTSCHED_REQUIRE(id == dag.num_nodes(),
+                        "node ids must be dense and in order" + where);
+      dag.weights.push_back(weight);
+      dag.names.push_back(std::move(name));
+    } else if (kind == "edge") {
+      RawEdge e;
+      FASTSCHED_REQUIRE(static_cast<bool>(ls >> e.src >> e.dst >> e.cost),
+                        "malformed edge line" + where);
+      dag.edges.push_back(e);
+    } else {
+      throw Error("unknown record '" + kind + "'" + where);
+    }
+  }
+  return dag;
+}
+
+RawDag raw_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_raw_dag(is);
+}
+
+RawDag to_raw(const graph::TaskGraph& g) {
+  RawDag dag;
+  dag.weights.reserve(g.num_nodes());
+  dag.names.reserve(g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    dag.weights.push_back(g.weight(n));
+    dag.names.push_back(g.name(n));
+  }
+  dag.edges.reserve(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    dag.edges.push_back({g.edge_source(e), g.edge_target(e), g.edge_cost(e)});
+  }
+  return dag;
+}
+
+const DagRuleRegistry& DagRuleRegistry::builtin() {
+  static const DagRuleRegistry registry = [] {
+    DagRuleRegistry r;
+    register_builtin_dag_rules(r);
+    return r;
+  }();
+  return registry;
+}
+
+DagSummary summarize(const RawDag& dag) {
+  DagSummary s;
+  s.num_nodes = dag.num_nodes();
+  s.num_edges = dag.num_edges();
+  const AdjLists adj = adjacency(dag);
+  for (NodeId n = 0; n < dag.num_nodes(); ++n) {
+    if (adj.pred[n].empty()) s.sources.push_back(n);
+    if (adj.succ[n].empty()) s.sinks.push_back(n);
+  }
+  // Undirected components over every node (isolated nodes count as their
+  // own component).
+  std::vector<NodeId> parent(dag.num_nodes());
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](NodeId n) {
+    while (parent[n] != n) n = parent[n] = parent[parent[n]];
+    return n;
+  };
+  for (const RawEdge& e : dag.edges) {
+    if (!topology_edge(dag, e)) continue;
+    parent[find(static_cast<NodeId>(e.src))] =
+        find(static_cast<NodeId>(e.dst));
+  }
+  for (NodeId n = 0; n < dag.num_nodes(); ++n) {
+    if (find(n) == n) ++s.components;
+  }
+  for (const Cost w : dag.weights) s.total_work += w;
+  for (const RawEdge& e : dag.edges) s.total_comm += e.cost;
+  if (s.num_edges > 0 && s.total_work != 0) {
+    // Matches TaskGraph::ccr: average edge cost over average node cost.
+    s.ccr = (s.total_comm / static_cast<Cost>(s.num_edges)) /
+            (s.total_work / static_cast<Cost>(s.num_nodes));
+  }
+  std::vector<bool> leftover = kahn_leftover(dag, adj);
+  s.acyclic =
+      std::none_of(leftover.begin(), leftover.end(), [](bool b) { return b; });
+  return s;
+}
+
+DagLintReport dag_lint(const RawDag& dag, const DagRuleRegistry& registry) {
+  DagLintReport report;
+  DagLintInput input;
+  input.dag = &dag;
+  run_rules(registry, input, report.diagnostics, report.num_errors,
+            report.num_warnings);
+  report.summary = summarize(dag);
+  return report;
+}
+
+}  // namespace fastsched::analysis

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file dag_lint.hpp
+/// The DAG-lint engine: the rule-registry machinery of rule_registry.hpp
+/// applied to *input graphs* instead of schedules. Where
+/// `TaskGraphBuilder::build()` hard-rejects malformed graphs with one
+/// exception, this engine accepts anything the text format can express —
+/// cycles, duplicate edges, negative weights — and reports every problem
+/// at once as structured diagnostics, plus quality warnings `build()`
+/// never checks: transitively redundant edges, disconnected components,
+/// isolated nodes, zero-weight tasks and cost outliers.
+///
+/// Because malformed graphs by definition cannot become a `TaskGraph`,
+/// the engine runs on a `RawDag`: the unvalidated parse of the graph text
+/// format (`read_raw_dag`), or the trivial projection of an existing
+/// `TaskGraph` (`to_raw`).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/rule_registry.hpp"
+#include "graph/task_graph.hpp"
+
+namespace fastsched::analysis {
+
+/// One unvalidated edge. Endpoints are raw integers: they may be out of
+/// range (that is one of the things the lint rules check).
+struct RawEdge {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  graph::Cost cost = 0;
+};
+
+/// An unvalidated task graph: exactly what the text format said.
+struct RawDag {
+  std::vector<graph::Cost> weights;
+  std::vector<std::string> names;
+  std::vector<RawEdge> edges;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return weights.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges.size();
+  }
+  /// Display name of node `n` ("node<n>" when unnamed or out of range).
+  [[nodiscard]] std::string name(std::uint64_t n) const;
+};
+
+/// Lenient parse of the graph text format (graph/io.hpp): keeps cycles,
+/// duplicate edges, out-of-range endpoints and anomalous weights for the
+/// lint rules to report. Throws `fastsched::Error` only on syntax errors
+/// (malformed records, non-dense node ids).
+[[nodiscard]] RawDag read_raw_dag(std::istream& is);
+
+/// `read_raw_dag` from a string.
+[[nodiscard]] RawDag raw_from_text(const std::string& text);
+
+/// Projects an already-validated graph into the raw shape, so built
+/// graphs can run through the same rules (generators, tests, benches).
+[[nodiscard]] RawDag to_raw(const graph::TaskGraph& g);
+
+/// Everything a DAG-lint rule may inspect.
+struct DagLintInput {
+  const RawDag* dag = nullptr;
+};
+
+/// One registered DAG-lint rule.
+using DagRule = BasicRule<DagLintInput>;
+
+/// Rule collection over raw graphs.
+class DagRuleRegistry : public BasicRuleRegistry<DagLintInput> {
+ public:
+  /// The built-in rules, in documentation order:
+  ///   edge-endpoint, self-loop, cycle                    (structural)
+  ///   duplicate-edge, bad-cost, transitive-edge,
+  ///   isolated-node, disconnected, zero-weight,
+  ///   cost-outlier                                       (semantic)
+  [[nodiscard]] static const DagRuleRegistry& builtin();
+};
+
+/// Shape facts about the graph that are reports, not findings: perfectly
+/// legal graphs have several sources or a nonzero CCR, but the numbers
+/// belong in every lint summary (the paper's generators are classified by
+/// exactly these).
+struct DagSummary {
+  std::size_t num_nodes = 0;
+  std::size_t num_edges = 0;
+  std::vector<graph::NodeId> sources;  ///< in-degree 0 (valid edges only)
+  std::vector<graph::NodeId> sinks;    ///< out-degree 0
+  std::size_t components = 0;  ///< undirected connected components
+  graph::Cost total_work = 0;
+  graph::Cost total_comm = 0;
+  graph::Cost ccr = 0;  ///< avg edge cost / avg node weight (paper §2)
+  bool acyclic = true;
+};
+
+/// Computes the summary (independent of any rule findings).
+[[nodiscard]] DagSummary summarize(const RawDag& dag);
+
+/// The outcome of one DAG-lint run.
+struct DagLintReport {
+  std::vector<Diagnostic> diagnostics;
+  std::size_t num_errors = 0;
+  std::size_t num_warnings = 0;
+  DagSummary summary;
+
+  [[nodiscard]] bool clean() const noexcept { return diagnostics.empty(); }
+  [[nodiscard]] bool ok(bool warnings_as_errors = false) const noexcept {
+    return num_errors == 0 && (!warnings_as_errors || num_warnings == 0);
+  }
+};
+
+/// Runs every rule in `registry` against `dag` and fills in the summary.
+/// Structural-rule errors suppress the semantic stage.
+[[nodiscard]] DagLintReport dag_lint(const RawDag& dag,
+                                     const DagRuleRegistry& registry =
+                                         DagRuleRegistry::builtin());
+
+}  // namespace fastsched::analysis

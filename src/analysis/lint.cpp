@@ -1,7 +1,6 @@
 #include "analysis/lint.hpp"
 
 #include <sstream>
-#include <utility>
 
 #include "analysis/builtin_rules.hpp"
 #include "common/error.hpp"
@@ -17,42 +16,6 @@ const RuleRegistry& RuleRegistry::builtin() {
   return registry;
 }
 
-void RuleRegistry::add(Rule rule) {
-  FASTSCHED_REQUIRE(!rule.id.empty(), "lint rule needs a non-empty id");
-  FASTSCHED_REQUIRE(static_cast<bool>(rule.check),
-                    "lint rule '" + rule.id + "' has no check function");
-  FASTSCHED_REQUIRE(find(rule.id) == nullptr,
-                    "duplicate lint rule id '" + rule.id + "'");
-  rules_.push_back(std::move(rule));
-}
-
-const Rule* RuleRegistry::find(std::string_view id) const noexcept {
-  for (const Rule& rule : rules_) {
-    if (rule.id == id) return &rule;
-  }
-  return nullptr;
-}
-
-namespace {
-
-// Runs `rule`, stamping id/severity on everything it appends.
-void run_rule(const Rule& rule, const LintInput& input, LintReport& report) {
-  const std::size_t first = report.diagnostics.size();
-  rule.check(input, report.diagnostics);
-  for (std::size_t i = first; i < report.diagnostics.size(); ++i) {
-    Diagnostic& d = report.diagnostics[i];
-    d.rule_id = rule.id;
-    d.severity = rule.severity;
-    if (d.severity == Severity::kError) {
-      ++report.num_errors;
-    } else {
-      ++report.num_warnings;
-    }
-  }
-}
-
-}  // namespace
-
 LintReport lint(const LintInput& input, const RuleRegistry& registry) {
   FASTSCHED_REQUIRE(input.graph != nullptr && input.schedule != nullptr,
                     "lint needs both a graph and a schedule");
@@ -60,15 +23,8 @@ LintReport lint(const LintInput& input, const RuleRegistry& registry) {
                     "schedule sized for a different graph");
 
   LintReport report;
-  for (const Rule& rule : registry.rules()) {
-    if (rule.structural) run_rule(rule, input, report);
-  }
-  // Garbage placements would make every semantic rule fire spuriously.
-  if (report.num_errors > 0) return report;
-
-  for (const Rule& rule : registry.rules()) {
-    if (!rule.structural) run_rule(rule, input, report);
-  }
+  run_rules(registry, input, report.diagnostics, report.num_errors,
+            report.num_warnings);
   return report;
 }
 

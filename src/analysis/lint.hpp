@@ -11,15 +11,16 @@
 /// Rules come in two stages. *Structural* rules (every task placed exactly
 /// once, durations match weights, processors in range) gate the rest:
 /// when any of them fails, the semantic rules would only echo noise from
-/// garbage placements, so the engine stops after stage one.
+/// garbage placements, so the engine stops after stage one. The staging
+/// and registry mechanics are the generic machinery of rule_registry.hpp,
+/// shared with the DAG-lint engine (dag_lint.hpp).
 
-#include <functional>
 #include <optional>
-#include <string>
 #include <string_view>
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
+#include "analysis/rule_registry.hpp"
 #include "graph/task_graph.hpp"
 #include "sched/schedule.hpp"
 
@@ -36,40 +37,20 @@ struct LintInput {
   std::optional<graph::Cost> reported_length;
 };
 
-/// One registered rule. `check` appends any findings to `out`; it must
-/// stamp each diagnostic's `rule_id` and `severity` from the rule itself
-/// (`RuleRegistry::run` enforces this by overwriting them).
-struct Rule {
-  std::string id;        ///< stable kebab-case identifier
-  Severity severity = Severity::kError;
-  bool structural = false;  ///< stage-one rule that gates the others
-  std::string summary;   ///< one-line description for --list-rules
-  std::function<void(const LintInput&, std::vector<Diagnostic>&)> check;
-};
+/// One registered schedule-lint rule (the shared rule shape of
+/// rule_registry.hpp instantiated for LintInput).
+using Rule = BasicRule<LintInput>;
 
 /// Ordered rule collection. The default set lives in `builtin()`; callers
 /// may extend a copy with project-specific rules.
-class RuleRegistry {
+class RuleRegistry : public BasicRuleRegistry<LintInput> {
  public:
   /// The built-in rules, in documentation order:
   ///   unassigned-task, bad-duration, proc-out-of-range   (structural)
   ///   slot-overlap, precedence, comm-delay, idle-gap,
-  ///   makespan-mismatch, list-topology, cpn-list-order   (semantic)
+  ///   makespan-mismatch, bound-violation, list-topology,
+  ///   cpn-list-order                                     (semantic)
   [[nodiscard]] static const RuleRegistry& builtin();
-
-  /// Registers a rule. Ids must be unique; throws `fastsched::Error` on
-  /// duplicates.
-  void add(Rule rule);
-
-  [[nodiscard]] const std::vector<Rule>& rules() const noexcept {
-    return rules_;
-  }
-
-  /// Rule by id, or nullptr.
-  [[nodiscard]] const Rule* find(std::string_view id) const noexcept;
-
- private:
-  std::vector<Rule> rules_;
 };
 
 /// The outcome of one lint run.

@@ -1,0 +1,164 @@
+#include "analysis/report_io.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace fastsched::analysis {
+namespace {
+
+// Doubles printed with enough digits to round-trip.
+std::string num(graph::Cost c) {
+  std::ostringstream os;
+  os << std::setprecision(17) << c;
+  return os.str();
+}
+
+std::string quoted(std::string_view text) {
+  return '"' + json_escape(text) + '"';
+}
+
+void append_node_fields(std::ostringstream& os, const Diagnostic& d,
+                        const graph::TaskGraph* g) {
+  if (d.node != graph::kInvalidNode) {
+    os << ", \"node\": " << d.node;
+    if (g != nullptr && d.node < g->num_nodes()) {
+      os << ", \"node_name\": " << quoted(g->name(d.node));
+    }
+  }
+  if (d.related != graph::kInvalidNode) {
+    os << ", \"related\": " << d.related;
+  }
+  if (d.proc != sched::kUnassignedProc) {
+    os << ", \"proc\": " << d.proc;
+  }
+  if (d.window.begin != 0 || d.window.end != 0) {
+    os << ", \"window\": [" << num(d.window.begin) << ", "
+       << num(d.window.end) << ']';
+  }
+}
+
+template <typename Reports>
+void write_diagnostics(std::ostream& os, const Reports& diagnostics,
+                       const graph::TaskGraph* g) {
+  os << "\"diagnostics\": [";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ") << to_json(diagnostics[i], g);
+  }
+  os << (diagnostics.empty() ? "]" : "\n  ]");
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream os;
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c));
+          out += os.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Diagnostic& d, const graph::TaskGraph* g) {
+  std::ostringstream os;
+  os << "{\"rule\": " << quoted(d.rule_id) << ", \"severity\": "
+     << quoted(to_string(d.severity));
+  append_node_fields(os, d, g);
+  os << ", \"message\": " << quoted(d.message) << '}';
+  return os.str();
+}
+
+std::string to_json(const BoundCertificate& cert) {
+  std::ostringstream os;
+  os << "{\"id\": " << quoted(cert.id) << ", \"value\": " << num(cert.value)
+     << ", \"procs\": " << cert.num_procs;
+  if (!cert.witness.empty()) {
+    os << ", \"witness\": [";
+    for (std::size_t i = 0; i < cert.witness.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << cert.witness[i];
+    }
+    os << ']';
+  }
+  if (cert.interval.begin != 0 || cert.interval.end != 0) {
+    os << ", \"interval\": [" << num(cert.interval.begin) << ", "
+       << num(cert.interval.end) << ']';
+  }
+  os << ", \"detail\": " << quoted(cert.detail) << '}';
+  return os.str();
+}
+
+void write_json(std::ostream& os, const LintReport& report,
+                const graph::TaskGraph* g, const BoundSet* bounds,
+                std::optional<graph::Cost> makespan) {
+  os << "{\n  \"tool\": \"sched_lint\",\n  \"errors\": " << report.num_errors
+     << ",\n  \"warnings\": " << report.num_warnings << ",\n  ";
+  write_diagnostics(os, report.diagnostics, g);
+  if (bounds != nullptr) {
+    os << ",\n  \"bounds\": [";
+    for (std::size_t i = 0; i < bounds->certificates.size(); ++i) {
+      os << (i == 0 ? "\n    " : ",\n    ")
+         << to_json(bounds->certificates[i]);
+    }
+    os << (bounds->certificates.empty() ? "]" : "\n  ]");
+    os << ",\n  \"best_bound\": " << num(bounds->best());
+    if (makespan) {
+      os << ",\n  \"makespan\": " << num(*makespan)
+         << ",\n  \"gap\": " << num(optimality_gap(*bounds, *makespan));
+    }
+  }
+  os << "\n}\n";
+}
+
+void write_json(std::ostream& os, const DagLintReport& report,
+                const RawDag* dag) {
+  const DagSummary& s = report.summary;
+  os << "{\n  \"tool\": \"dag_lint\",\n  \"summary\": {"
+     << "\"nodes\": " << s.num_nodes << ", \"edges\": " << s.num_edges
+     << ", \"sources\": [";
+  for (std::size_t i = 0; i < s.sources.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << s.sources[i];
+  }
+  os << "], \"sinks\": [";
+  for (std::size_t i = 0; i < s.sinks.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << s.sinks[i];
+  }
+  os << "], \"components\": " << s.components << ", \"acyclic\": "
+     << (s.acyclic ? "true" : "false")
+     << ", \"total_work\": " << num(s.total_work)
+     << ", \"total_comm\": " << num(s.total_comm)
+     << ", \"ccr\": " << num(s.ccr) << "},\n  \"errors\": "
+     << report.num_errors << ",\n  \"warnings\": " << report.num_warnings
+     << ",\n  ";
+  // Diagnostic node names for raw graphs are resolved through the raw
+  // name table in the message text already; ids suffice here.
+  (void)dag;
+  write_diagnostics(os, report.diagnostics, nullptr);
+  os << "\n}\n";
+}
+
+}  // namespace fastsched::analysis

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file report_io.hpp
+/// Machine-readable (JSON) serialization of lint reports and bound
+/// certificates, so CI jobs and scripts consume diagnostics structurally
+/// instead of scraping the human-readable tables. The schema is stable:
+/// tools only ever *add* fields.
+///
+/// Shapes:
+///  * diagnostics — `{"rule", "severity", "message"}` plus, when set,
+///    `"node"`, `"node_name"`, `"related"`, `"proc"`, `"window": [b, e]`.
+///  * schedule-lint report — `{"tool": "sched_lint", "errors",
+///    "warnings", "diagnostics": [...]}` plus, when bounds were computed,
+///    `"makespan"`, `"best_bound"`, `"gap"` and `"bounds": [...]`.
+///  * DAG-lint report — `{"tool": "dag_lint", "summary": {...},
+///    "errors", "warnings", "diagnostics": [...]}`.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "analysis/bounds.hpp"
+#include "analysis/dag_lint.hpp"
+#include "analysis/lint.hpp"
+
+namespace fastsched::analysis {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// One diagnostic as a JSON object. Node names come from `g` when given.
+[[nodiscard]] std::string to_json(const Diagnostic& d,
+                                  const graph::TaskGraph* g = nullptr);
+
+/// One bound certificate as a JSON object.
+[[nodiscard]] std::string to_json(const BoundCertificate& cert);
+
+/// Full schedule-lint report. When `bounds` is given, the certificates
+/// plus `makespan`/`best_bound`/`gap` are included.
+void write_json(std::ostream& os, const LintReport& report,
+                const graph::TaskGraph* g = nullptr,
+                const BoundSet* bounds = nullptr,
+                std::optional<graph::Cost> makespan = std::nullopt);
+
+/// Full DAG-lint report including the summary block.
+void write_json(std::ostream& os, const DagLintReport& report,
+                const RawDag* dag = nullptr);
+
+}  // namespace fastsched::analysis

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file rule_registry.hpp
+/// The generic rule-registry machinery shared by the schedule-lint engine
+/// (lint.hpp, rules over graph + schedule pairs) and the DAG-lint engine
+/// (dag_lint.hpp, rules over raw input graphs). A rule set is a list of
+/// named checks over one Input type; running a registry stamps every
+/// finding with the rule's id and severity and applies the common
+/// two-stage protocol: *structural* rules gate the rest — when any of
+/// them errors, the semantic rules would only echo noise from garbage
+/// input, so the runner stops after stage one.
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "common/error.hpp"
+
+namespace fastsched::analysis {
+
+/// One registered rule over inputs of type `Input`. `check` appends any
+/// findings to its output vector; the runner overwrites each appended
+/// diagnostic's `rule_id` and `severity` from the rule itself.
+template <typename Input>
+struct BasicRule {
+  std::string id;        ///< stable kebab-case identifier
+  Severity severity = Severity::kError;
+  bool structural = false;  ///< stage-one rule that gates the others
+  std::string summary;   ///< one-line description for --list-rules
+  std::function<void(const Input&, std::vector<Diagnostic>&)> check;
+};
+
+/// Ordered rule collection over one Input type. Engines derive from this
+/// to add their `builtin()` set; callers may extend a copy with
+/// project-specific rules.
+template <typename Input>
+class BasicRuleRegistry {
+ public:
+  using RuleType = BasicRule<Input>;
+
+  /// Registers a rule. Ids must be unique; throws `fastsched::Error` on
+  /// duplicates.
+  void add(RuleType rule) {
+    FASTSCHED_REQUIRE(!rule.id.empty(), "lint rule needs a non-empty id");
+    FASTSCHED_REQUIRE(static_cast<bool>(rule.check),
+                      "lint rule '" + rule.id + "' has no check function");
+    FASTSCHED_REQUIRE(find(rule.id) == nullptr,
+                      "duplicate lint rule id '" + rule.id + "'");
+    rules_.push_back(std::move(rule));
+  }
+
+  [[nodiscard]] const std::vector<RuleType>& rules() const noexcept {
+    return rules_;
+  }
+
+  /// Rule by id, or nullptr.
+  [[nodiscard]] const RuleType* find(std::string_view id) const noexcept {
+    for (const RuleType& rule : rules_) {
+      if (rule.id == id) return &rule;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<RuleType> rules_;
+};
+
+/// Runs every rule in `registry` against `input`, appending stamped
+/// diagnostics and bumping the error/warning counters. Structural-rule
+/// errors suppress the semantic stage (see file comment).
+template <typename Input>
+void run_rules(const BasicRuleRegistry<Input>& registry, const Input& input,
+               std::vector<Diagnostic>& diagnostics, std::size_t& num_errors,
+               std::size_t& num_warnings) {
+  const auto run_one = [&](const BasicRule<Input>& rule) {
+    const std::size_t first = diagnostics.size();
+    rule.check(input, diagnostics);
+    for (std::size_t i = first; i < diagnostics.size(); ++i) {
+      Diagnostic& d = diagnostics[i];
+      d.rule_id = rule.id;
+      d.severity = rule.severity;
+      if (d.severity == Severity::kError) {
+        ++num_errors;
+      } else {
+        ++num_warnings;
+      }
+    }
+  };
+  for (const auto& rule : registry.rules()) {
+    if (rule.structural) run_one(rule);
+  }
+  if (num_errors > 0) return;
+  for (const auto& rule : registry.rules()) {
+    if (!rule.structural) run_one(rule);
+  }
+}
+
+}  // namespace fastsched::analysis

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <string>
+#include <string_view>
 
 namespace fastsched::graph {
 namespace {
@@ -10,6 +12,30 @@ namespace {
 // Costs are written with enough digits to round-trip doubles exactly.
 void write_cost(std::ostream& os, Cost c) {
   os << std::setprecision(17) << c;
+}
+
+// Escapes a node name for use inside a DOT double-quoted string:
+// quotes and backslashes are backslash-escaped, literal newlines become
+// DOT's "\n" line-break escape.
+std::string dot_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -81,8 +107,8 @@ std::string to_dot(const TaskGraph& g, const LevelInfo* levels) {
   std::ostringstream os;
   os << "digraph taskgraph {\n  rankdir=TB;\n  node [shape=circle];\n";
   for (NodeId n = 0; n < g.num_nodes(); ++n) {
-    os << "  " << n << " [label=\"" << g.name(n) << "\\n" << g.weight(n)
-       << '"';
+    os << "  " << n << " [label=\"" << dot_escape(g.name(n)) << "\\n"
+       << g.weight(n) << '"';
     if (levels != nullptr && levels->is_cpn[n]) {
       os << ", style=filled, fillcolor=gray30, fontcolor=white";
     }
@@ -92,6 +118,7 @@ std::string to_dot(const TaskGraph& g, const LevelInfo* levels) {
     const NodeId s = g.edge_source(e);
     const NodeId t = g.edge_target(e);
     os << "  " << s << " -> " << t << " [label=\"" << g.edge_cost(e) << '"';
+    if (g.edge_cost(e) == 0.0) os << ", style=dashed";
     if (levels != nullptr && levels->is_cpn[s] && levels->is_cpn[t]) {
       const bool on_cp = approx_equal(levels->t_level[s] + g.weight(s) +
                                           g.edge_cost(e) + levels->b_level[t],

@@ -1,0 +1,218 @@
+// Tests for the makespan lower-bound engine (analysis/bounds.hpp): the
+// closed-form values of each bound family on hand-computable graphs, the
+// certification of every paper workload against every seed scheduler,
+// and the acceptance regression that a schedule with corrupted (halved)
+// communication accounting is rejected by the bound-violation lint rule.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/lint.hpp"
+#include "baselines/registry.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+#include "testing/test_graphs.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/laplace.hpp"
+
+namespace fastsched::analysis {
+namespace {
+
+TEST(Bounds, ChainCriticalPathIsSerialWork) {
+  const graph::TaskGraph g = fastsched::testing::chain(4, 2.0, 1.0);
+  const BoundSet bounds = compute_bounds(g);
+  const BoundCertificate* cp = bounds.find("cp-comp");
+  ASSERT_NE(cp, nullptr);
+  EXPECT_DOUBLE_EQ(cp->value, 8.0);
+  EXPECT_EQ(cp->witness.size(), 4u);  // the whole chain is the path
+  // A single-predecessor chain gains nothing from communication: the
+  // chain can always be co-located.
+  const BoundCertificate* ccp = bounds.find("comm-cp");
+  ASSERT_NE(ccp, nullptr);
+  EXPECT_DOUBLE_EQ(ccp->value, 8.0);
+  // No pool size given: no pool-dependent certificates.
+  EXPECT_EQ(bounds.find("work"), nullptr);
+  EXPECT_EQ(bounds.find("interval-density"), nullptr);
+}
+
+TEST(Bounds, WorkBoundDividesByPool) {
+  graph::TaskGraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.add_node(2.0);  // independent tasks
+  const graph::TaskGraph g = b.build();
+  const BoundSet bounds = compute_bounds(g, 2);
+  const BoundCertificate* work = bounds.find("work");
+  ASSERT_NE(work, nullptr);
+  EXPECT_DOUBLE_EQ(work->value, 5.0);  // 10 total work on 2 processors
+  EXPECT_EQ(work->num_procs, 2u);
+  EXPECT_DOUBLE_EQ(bounds.best(), 5.0);
+  ASSERT_NE(bounds.binding(), nullptr);
+  EXPECT_EQ(bounds.binding()->id, "work");
+}
+
+// The worked example behind the comm-aware bound: two weight-10
+// predecessors feeding a join over cost-4 edges. Any schedule either
+// co-locates the join with one predecessor (other message arrives at
+// 10 + 4 = 14), separates it from both (both messages arrive at 14), or
+// co-locates everything (the predecessors serialize: 10 + 10 = 20). The
+// earliest conceivable start is therefore 14, not the naive comm-free 10.
+graph::TaskGraph join_example() {
+  graph::TaskGraphBuilder b;
+  const auto q1 = b.add_node(10.0);
+  const auto q2 = b.add_node(10.0);
+  const auto n = b.add_node(1.0);
+  b.add_edge(q1, n, 4.0);
+  b.add_edge(q2, n, 4.0);
+  return b.build();
+}
+
+TEST(Bounds, CommAwareJoinCaseAnalysis) {
+  const graph::TaskGraph g = join_example();
+  const std::vector<graph::Cost> est = comm_aware_est(g);
+  ASSERT_EQ(est.size(), 3u);
+  EXPECT_DOUBLE_EQ(est[0], 0.0);
+  EXPECT_DOUBLE_EQ(est[1], 0.0);
+  EXPECT_DOUBLE_EQ(est[2], 14.0);
+
+  const BoundSet bounds = compute_bounds(g);
+  const BoundCertificate* cp = bounds.find("cp-comp");
+  ASSERT_NE(cp, nullptr);
+  EXPECT_DOUBLE_EQ(cp->value, 11.0);  // 10 + 1, communication-free
+  const BoundCertificate* ccp = bounds.find("comm-cp");
+  ASSERT_NE(ccp, nullptr);
+  EXPECT_DOUBLE_EQ(ccp->value, 15.0);  // est 14 + the join's own work
+  EXPECT_DOUBLE_EQ(bounds.best(), 15.0);
+}
+
+TEST(Bounds, IntervalDensityCatchesWidthBottleneck) {
+  // a -> {b, c, d} -> e with unit weights and free communication on two
+  // processors: both path bounds say 3, but the middle layer squeezes
+  // three unit tasks into the width-2 window [1, 2), so the true optimum
+  // exceeds 3. The linear relaxation certifies 3 + (3 - 2) / 3.
+  const graph::TaskGraph g = fastsched::testing::fork_join(3, 1.0, 0.0);
+  const BoundSet bounds = compute_bounds(g, 2);
+  const BoundCertificate* density = bounds.find("interval-density");
+  ASSERT_NE(density, nullptr);
+  EXPECT_NEAR(density->value, 3.0 + 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(density->interval.begin, 1.0);
+  EXPECT_DOUBLE_EQ(density->interval.end, 2.0);
+  EXPECT_FALSE(density->witness.empty());
+  ASSERT_NE(bounds.binding(), nullptr);
+  EXPECT_EQ(bounds.binding()->id, "interval-density");
+}
+
+TEST(Bounds, EmptySetHelpers) {
+  const BoundSet empty;
+  EXPECT_DOUBLE_EQ(empty.best(), 0.0);
+  EXPECT_EQ(empty.binding(), nullptr);
+  EXPECT_EQ(empty.find("cp-comp"), nullptr);
+  EXPECT_DOUBLE_EQ(optimality_gap(empty, 10.0), 0.0);
+}
+
+TEST(Bounds, GapIsRelativeAndSigned) {
+  const graph::TaskGraph g = fastsched::testing::chain(4, 2.0, 1.0);
+  const BoundSet bounds = compute_bounds(g);  // best = 8
+  EXPECT_DOUBLE_EQ(optimality_gap(bounds, 10.0), 0.25);
+  EXPECT_DOUBLE_EQ(optimality_gap(bounds, 8.0), 0.0);
+  EXPECT_LT(optimality_gap(bounds, 7.0), 0.0);  // beating a bound: a bug
+}
+
+// Every seed scheduler's makespan on every paper workload must respect
+// every certificate — with the schedule additionally lint-clean, this is
+// the library-level statement of the sched_diff acceptance criterion.
+void expect_certified(const graph::TaskGraph& g, const std::string& label) {
+  for (const sched::SchedulerPtr& scheduler : baselines::paper_schedulers()) {
+    const sched::Schedule s = scheduler->run(g, {});
+    LintInput input;
+    input.graph = &g;
+    input.schedule = &s;
+    input.reported_length = s.length();
+    const LintReport report = lint(input);
+    EXPECT_TRUE(report.clean())
+        << label << ", " << scheduler->name() << ": "
+        << report.num_errors << " errors";
+    BoundOptions options;
+    options.num_procs = s.num_procs();
+    const BoundSet bounds = compute_bounds(g, options);
+    EXPECT_FALSE(bounds.certificates.empty()) << label;
+    for (const BoundCertificate& cert : bounds.certificates) {
+      EXPECT_FALSE(graph::definitely_less(s.length(), cert.value))
+          << label << ", " << scheduler->name() << ": makespan "
+          << s.length() << " beats '" << cert.id << "' bound " << cert.value;
+    }
+    EXPECT_GE(optimality_gap(bounds, s.length()), -1e-9)
+        << label << ", " << scheduler->name();
+  }
+}
+
+TEST(Bounds, GaussianWorkloadsAreCertified) {
+  expect_certified(workloads::gaussian_elimination_dag(4), "gauss:4");
+  expect_certified(workloads::gaussian_elimination_dag(8), "gauss:8");
+}
+
+TEST(Bounds, LaplaceWorkloadsAreCertified) {
+  expect_certified(workloads::laplace_dag(4), "laplace:4");
+  expect_certified(workloads::laplace_dag(8), "laplace:8");
+}
+
+TEST(Bounds, FftWorkloadsAreCertified) {
+  expect_certified(workloads::fft_dag(16), "fft:16");
+  expect_certified(workloads::fft_dag(64), "fft:64");
+}
+
+// Property sweep: random layered DAGs across seeds and CCRs. The bounds
+// must hold for every scheduler (they are lower bounds on *any* valid
+// schedule), and the comm-aware earliest starts must dominate zero and
+// be monotone along edges.
+TEST(Bounds, RandomLayeredDagsAreCertified) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    for (const double ccr : {0.1, 1.0, 10.0}) {
+      const graph::TaskGraph g = fastsched::testing::small_random(seed, 60, ccr);
+      expect_certified(g, "random seed " + std::to_string(seed) + " ccr " +
+                              std::to_string(ccr));
+      const std::vector<graph::Cost> est = comm_aware_est(g);
+      for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+        EXPECT_GE(est[n], 0.0);
+        for (const graph::Adjacency& adj : g.successors(n)) {
+          EXPECT_GE(est[adj.node] + 1e-9, est[n] + g.weight(n))
+              << "est not monotone along " << n << " -> " << adj.node;
+        }
+      }
+    }
+  }
+}
+
+// Acceptance regression: corrupt a schedule by halving the communication
+// delay it accounts for. On the join example the honest optimum is 15
+// (certified by comm-cp); the corrupted schedule claims 13, so the
+// bound-violation rule must reject it even though its precedence
+// structure looks locally plausible.
+TEST(Bounds, CorruptedCommAccountingIsRejected) {
+  const graph::TaskGraph g = join_example();
+  sched::Schedule s(g.num_nodes(), 2);
+  s.assign(0, 0, 0.0, 10.0);   // q1 on P0
+  s.assign(1, 1, 0.0, 10.0);   // q2 on P1
+  // Honest arrival of q2's message at P0 is 10 + 4 = 14; the corrupted
+  // accounting charges half the edge cost and starts the join at 12.
+  s.assign(2, 0, 12.0, 13.0);
+
+  LintInput input;
+  input.graph = &g;
+  input.schedule = &s;
+  input.reported_length = s.length();
+  const LintReport report = lint(input);
+  EXPECT_FALSE(report.clean());
+  bool bound_violation = false;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule_id == "bound-violation") bound_violation = true;
+  }
+  EXPECT_TRUE(bound_violation)
+      << "makespan 13 beats the certified comm-cp bound 15 but no "
+         "bound-violation diagnostic was emitted";
+}
+
+}  // namespace
+}  // namespace fastsched::analysis

@@ -1,0 +1,208 @@
+// Tests for the DAG-lint engine (analysis/dag_lint.hpp): the lenient
+// raw parser, every built-in rule on a graph seeded with exactly that
+// defect, the structural-gates-semantic staging, and the shape summary.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/dag_lint.hpp"
+#include "common/error.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::analysis {
+namespace {
+
+bool has_rule(const DagLintReport& report, const std::string& rule_id) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.rule_id == rule_id; });
+}
+
+const Diagnostic* find_rule(const DagLintReport& report,
+                            const std::string& rule_id) {
+  const auto it =
+      std::find_if(report.diagnostics.begin(), report.diagnostics.end(),
+                   [&](const Diagnostic& d) { return d.rule_id == rule_id; });
+  return it == report.diagnostics.end() ? nullptr : &*it;
+}
+
+TEST(DagLint, CleanGraphReportsNothing) {
+  const RawDag dag = to_raw(fastsched::testing::diamond());
+  const DagLintReport report = dag_lint(dag);
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(report.summary.acyclic);
+  EXPECT_EQ(report.summary.components, 1u);
+}
+
+TEST(DagLint, RawParserKeepsMalformedEdges) {
+  const RawDag dag = raw_from_text(
+      "node 0 1\n"
+      "node 1 2 named\n"
+      "edge 0 1 3\n"
+      "edge 1 0 1\n"   // back edge: a cycle the strict loader would reject
+      "edge 0 7 2\n"); // out-of-range endpoint
+  EXPECT_EQ(dag.num_nodes(), 2u);
+  EXPECT_EQ(dag.num_edges(), 3u);
+  EXPECT_EQ(dag.name(1), "named");
+  EXPECT_EQ(dag.name(0), "node0");
+  EXPECT_THROW((void)raw_from_text("node 5 1\n"), Error);  // non-dense ids
+}
+
+TEST(DagLint, CycleReportsWitnessPath) {
+  const RawDag dag = raw_from_text(
+      "node 0 1\nnode 1 1\nnode 2 1\n"
+      "edge 0 1 1\nedge 1 2 1\nedge 2 0 1\n");
+  const DagLintReport report = dag_lint(dag);
+  EXPECT_FALSE(report.summary.acyclic);
+  const Diagnostic* d = find_rule(report, "cycle");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  // The witness names the loop with explicit edge arrows and mentions how
+  // many nodes can never be scheduled.
+  EXPECT_NE(d->message.find("->"), std::string::npos);
+  EXPECT_NE(d->message.find("3 nodes"), std::string::npos);
+}
+
+TEST(DagLint, StructuralErrorsSuppressSemanticRules) {
+  // The cyclic graph also has a duplicate edge; the semantic stage must
+  // not run on a graph whose structure is already broken.
+  const RawDag dag = raw_from_text(
+      "node 0 1\nnode 1 1\n"
+      "edge 0 1 1\nedge 0 1 1\nedge 1 0 1\n");
+  const DagLintReport report = dag_lint(dag);
+  EXPECT_TRUE(has_rule(report, "cycle"));
+  EXPECT_FALSE(has_rule(report, "duplicate-edge"));
+}
+
+TEST(DagLint, SelfLoopAndEndpointAreStructural) {
+  RawDag dag;
+  dag.weights = {1.0, 1.0};
+  dag.edges.push_back({0, 0, 1.0});  // self-loop
+  dag.edges.push_back({1, 9, 1.0});  // out of range
+  const DagLintReport report = dag_lint(dag);
+  EXPECT_TRUE(has_rule(report, "self-loop"));
+  EXPECT_TRUE(has_rule(report, "edge-endpoint"));
+  EXPECT_GE(report.num_errors, 2u);
+}
+
+TEST(DagLint, DuplicateEdgeIsReported) {
+  const RawDag dag = raw_from_text(
+      "node 0 1\nnode 1 1\n"
+      "edge 0 1 2\nedge 0 1 2\n");
+  const DagLintReport report = dag_lint(dag);
+  const Diagnostic* d = find_rule(report, "duplicate-edge");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(DagLint, TransitiveEdgeNamesTheViaNode) {
+  // a -> b -> c plus the redundant shortcut a -> c.
+  const RawDag dag = raw_from_text(
+      "node 0 1 a\nnode 1 1 b\nnode 2 1 c\n"
+      "edge 0 1 1\nedge 1 2 1\nedge 0 2 1\n");
+  const DagLintReport report = dag_lint(dag);
+  const Diagnostic* d = find_rule(report, "transitive-edge");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_NE(d->message.find('b'), std::string::npos);  // the via node
+}
+
+TEST(DagLint, WeightAnomaliesAreReported) {
+  const RawDag dag = raw_from_text(
+      "node 0 0\n"        // zero weight
+      "node 1 -3\n"       // negative weight
+      "node 2 1\n"
+      "edge 0 2 1\nedge 1 2 1\n");
+  const DagLintReport report = dag_lint(dag);
+  EXPECT_TRUE(has_rule(report, "bad-cost"));     // the negative weight
+  EXPECT_TRUE(has_rule(report, "zero-weight"));  // the zero weight
+  const Diagnostic* bad = find_rule(report, "bad-cost");
+  ASSERT_NE(bad, nullptr);
+  EXPECT_EQ(bad->severity, Severity::kError);
+}
+
+TEST(DagLint, IsolatedAndDisconnectedAreWarnings) {
+  // Two genuine edge-bearing components plus one isolated node. The
+  // isolated node is its own rule and does NOT count towards the
+  // disconnected rule (which only looks at edge-bearing components), but
+  // the summary counts all three.
+  const RawDag dag = raw_from_text(
+      "node 0 1\nnode 1 1\nnode 2 1\nnode 3 1\nnode 4 1\n"
+      "edge 0 1 1\nedge 2 3 1\n");
+  const DagLintReport report = dag_lint(dag);
+  EXPECT_TRUE(has_rule(report, "isolated-node"));
+  EXPECT_TRUE(has_rule(report, "disconnected"));
+  EXPECT_EQ(report.num_errors, 0u);
+  EXPECT_EQ(report.summary.components, 3u);
+
+  // An isolated node alone does not trip the disconnected rule.
+  const DagLintReport isolated_only = dag_lint(raw_from_text(
+      "node 0 1\nnode 1 1\nnode 2 1\nedge 0 1 1\n"));
+  EXPECT_TRUE(has_rule(isolated_only, "isolated-node"));
+  EXPECT_FALSE(has_rule(isolated_only, "disconnected"));
+}
+
+TEST(DagLint, CostOutlierNeedsEnoughSamples) {
+  // Nine unit-cost edges plus one 1000x outlier: flagged. With only a
+  // handful of samples the rule stays silent (the median is meaningless).
+  std::string text;
+  for (int i = 0; i < 11; ++i) {
+    text += "node " + std::to_string(i) + " 1\n";
+  }
+  for (int i = 1; i < 10; ++i) {
+    text += "edge 0 " + std::to_string(i) + " 1\n";
+  }
+  text += "edge 0 10 1000\n";
+  const DagLintReport flagged = dag_lint(raw_from_text(text));
+  EXPECT_TRUE(has_rule(flagged, "cost-outlier"));
+
+  const DagLintReport silent = dag_lint(raw_from_text(
+      "node 0 1\nnode 1 1\nedge 0 1 1000\n"));
+  EXPECT_FALSE(has_rule(silent, "cost-outlier"));
+}
+
+TEST(DagLint, SummaryCountsShape) {
+  // Two sources joining into one sink, CCR = avg comm / avg comp.
+  const RawDag dag = raw_from_text(
+      "node 0 2\nnode 1 2\nnode 2 2\n"
+      "edge 0 2 4\nedge 1 2 4\n");
+  const DagSummary s = summarize(dag);
+  EXPECT_EQ(s.num_nodes, 3u);
+  EXPECT_EQ(s.num_edges, 2u);
+  ASSERT_EQ(s.sources.size(), 2u);
+  EXPECT_EQ(s.sources[0], 0u);
+  EXPECT_EQ(s.sources[1], 1u);
+  ASSERT_EQ(s.sinks.size(), 1u);
+  EXPECT_EQ(s.sinks[0], 2u);
+  EXPECT_EQ(s.components, 1u);
+  EXPECT_TRUE(s.acyclic);
+  EXPECT_DOUBLE_EQ(s.total_work, 6.0);
+  EXPECT_DOUBLE_EQ(s.total_comm, 8.0);
+  EXPECT_DOUBLE_EQ(s.ccr, 2.0);
+}
+
+TEST(DagLint, ToRawRoundTripsBuiltGraphs) {
+  const graph::TaskGraph g = fastsched::testing::small_random(7, 40);
+  const RawDag dag = to_raw(g);
+  EXPECT_EQ(dag.num_nodes(), g.num_nodes());
+  EXPECT_EQ(dag.num_edges(), g.num_edges());
+  const DagLintReport report = dag_lint(dag);
+  EXPECT_EQ(report.num_errors, 0u)
+      << "a validated TaskGraph must never lint with errors";
+  const DagSummary s = report.summary;
+  EXPECT_DOUBLE_EQ(s.total_work, g.total_work());
+  EXPECT_DOUBLE_EQ(s.total_comm, g.total_comm());
+  EXPECT_DOUBLE_EQ(s.ccr, g.ccr());
+}
+
+TEST(DagLint, BuiltinRegistryHasUniqueIds) {
+  const DagRuleRegistry& registry = DagRuleRegistry::builtin();
+  EXPECT_GE(registry.rules().size(), 10u);
+  for (const DagRule& rule : registry.rules()) {
+    EXPECT_EQ(registry.find(rule.id), &rule);
+  }
+}
+
+}  // namespace
+}  // namespace fastsched::analysis

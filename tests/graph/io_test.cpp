@@ -88,5 +88,37 @@ TEST(GraphIo, DotHighlightsCpnsWhenLevelsGiven) {
   EXPECT_NE(dot.find("penwidth=2.5"), std::string::npos);
 }
 
+TEST(GraphIo, DotEscapesNodeLabels) {
+  TaskGraphBuilder b;
+  const NodeId a = b.add_node(1.0, "say \"hi\"");
+  const NodeId c = b.add_node(1.0, "back\\slash");
+  b.add_edge(a, c, 1.0);
+  const std::string dot = to_dot(b.build());
+  EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
+  EXPECT_NE(dot.find("back\\\\slash"), std::string::npos);
+  // No raw (unescaped) quote may survive inside a label.
+  EXPECT_EQ(dot.find("\"say \"hi\""), std::string::npos);
+}
+
+TEST(GraphIo, DotRendersZeroCostEdgesDashed) {
+  TaskGraphBuilder b;
+  const NodeId a = b.add_node(1.0);
+  const NodeId c = b.add_node(1.0);
+  const NodeId d = b.add_node(1.0);
+  b.add_edge(a, c, 0.0);  // free communication: dashed
+  b.add_edge(c, d, 2.0);  // paid communication: solid
+  const std::string dot = to_dot(b.build());
+  const std::size_t zero_edge = dot.find("0 -> 1");
+  const std::size_t paid_edge = dot.find("1 -> 2");
+  ASSERT_NE(zero_edge, std::string::npos);
+  ASSERT_NE(paid_edge, std::string::npos);
+  const std::string zero_line =
+      dot.substr(zero_edge, dot.find('\n', zero_edge) - zero_edge);
+  const std::string paid_line =
+      dot.substr(paid_edge, dot.find('\n', paid_edge) - paid_edge);
+  EXPECT_NE(zero_line.find("style=dashed"), std::string::npos);
+  EXPECT_EQ(paid_line.find("style=dashed"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace fastsched::graph

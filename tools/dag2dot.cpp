@@ -1,5 +1,8 @@
 // Converts a task graph in the fastsched text format to Graphviz DOT,
 // optionally highlighting the critical path as in the paper's Figure 1.
+// Node labels are DOT-escaped (quotes, backslashes, newlines) and
+// zero-cost communication edges are rendered dashed, so zero-CCR
+// graphs read at a glance.
 //
 //   $ ./build/tools/dag2dot graph.txt > graph.dot
 //   $ ./build/tools/dag2dot --plain graph.txt     # no CP highlighting

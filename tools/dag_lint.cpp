@@ -1,0 +1,110 @@
+// dag_lint: checks a task-graph file with the DAG-lint rule engine
+// (src/analysis/dag_lint.hpp) and prints a shape summary. Unlike the
+// library loader, it accepts malformed graphs — cycles, duplicate edges,
+// bad weights — and reports every problem at once instead of dying on
+// the first. Exit status: 0 when no errors were found (warnings allowed
+// unless --warnings-as-errors), 1 when lint reported errors, 2 on usage
+// or I/O problems — the same contract as sched_lint (see tools/README.md).
+
+#include <fstream>
+#include <iostream>
+
+#include "analysis/dag_lint.hpp"
+#include "analysis/report_io.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+using namespace fastsched;
+
+void print_summary(const std::string& path,
+                   const analysis::DagLintReport& report,
+                   const analysis::RawDag& dag) {
+  const analysis::DagSummary& s = report.summary;
+  std::cout << path << ": " << s.num_nodes << " nodes, " << s.num_edges
+            << " edges, " << s.sources.size()
+            << (s.sources.size() == 1 ? " source" : " sources");
+  if (!s.sources.empty() && s.sources.size() <= 4) {
+    std::cout << " (";
+    for (std::size_t i = 0; i < s.sources.size(); ++i) {
+      std::cout << (i == 0 ? "" : ", ") << dag.name(s.sources[i]);
+    }
+    std::cout << ')';
+  }
+  std::cout << ", " << s.sinks.size()
+            << (s.sinks.size() == 1 ? " sink" : " sinks");
+  if (!s.sinks.empty() && s.sinks.size() <= 4) {
+    std::cout << " (";
+    for (std::size_t i = 0; i < s.sinks.size(); ++i) {
+      std::cout << (i == 0 ? "" : ", ") << dag.name(s.sinks[i]);
+    }
+    std::cout << ')';
+  }
+  std::cout << ", " << s.components
+            << (s.components == 1 ? " component" : " components") << ", "
+            << (s.acyclic ? "acyclic" : "CYCLIC") << ", CCR "
+            << s.ccr << '\n';
+}
+
+int run(int argc, char** argv) {
+  CliParser cli(
+      "dag_lint: check a task-graph file with the DAG-lint rule engine "
+      "(cycles with witness path, duplicate and transitive edges, weight "
+      "anomalies) and summarize its shape.\n"
+      "usage: dag_lint [options] <graph-file | ->");
+  cli.add_flag("json", "emit the report as JSON instead of text");
+  cli.add_flag("warnings-as-errors", "exit nonzero on warnings too");
+  cli.add_flag("quiet", "suppress output; use the exit status only");
+  cli.add_flag("list-rules", "print every registered rule and exit");
+  if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.get_flag("list-rules")) {
+    for (const analysis::DagRule& rule :
+         analysis::DagRuleRegistry::builtin().rules()) {
+      std::cout << rule.id << " (" << analysis::to_string(rule.severity)
+                << (rule.structural ? ", structural" : "")
+                << "): " << rule.summary << '\n';
+    }
+    return 0;
+  }
+
+  if (cli.positional().size() != 1) {
+    std::cerr << "dag_lint: need exactly one graph file (or '-')\n"
+              << cli.usage();
+    return 2;
+  }
+  const std::string& path = cli.positional().front();
+  const analysis::RawDag dag = [&] {
+    if (path == "-") return analysis::read_raw_dag(std::cin);
+    std::ifstream in(path);
+    FASTSCHED_REQUIRE(in.good(), "cannot open " + path);
+    return analysis::read_raw_dag(in);
+  }();
+
+  const analysis::DagLintReport report = analysis::dag_lint(dag);
+  if (!cli.get_flag("quiet")) {
+    if (cli.get_flag("json")) {
+      analysis::write_json(std::cout, report, &dag);
+    } else {
+      for (const analysis::Diagnostic& d : report.diagnostics) {
+        std::cout << analysis::format(d) << '\n';
+      }
+      print_summary(path, report, dag);
+      std::cout << path << ": " << report.num_errors << " errors, "
+                << report.num_warnings << " warnings\n";
+    }
+  }
+  return report.ok(cli.get_flag("warnings-as-errors")) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "dag_lint: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -1,0 +1,311 @@
+// sched_diff: the cross-scheduler differential oracle. Runs several
+// schedulers (default: the paper's FAST, DSC, MD, ETF, DLS) on the same
+// graphs, lints every schedule with the full rule engine (including the
+// bound-violation cross-check), compares every makespan against the
+// certified lower bounds of analysis/bounds.hpp, and flags
+// cross-scheduler anomalies. A disagreement between one scheduler and
+// the certificates — or a schedule that lints dirty — is a statically
+// detected accounting bug, not a tuning question.
+//
+//   $ sched_diff --workloads gauss:8,laplace:8,fft:64
+//   $ sched_diff --procs 8 my_graph.txt
+//
+// Exit status: 0 when every schedule is lint-clean and respects every
+// certificate (warnings allowed unless --warnings-as-errors), 1 on any
+// lint error or bound violation, 2 on usage or I/O problems.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/report_io.hpp"
+#include "baselines/registry.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "graph/io.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/laplace.hpp"
+#include "workloads/paper_example.hpp"
+
+namespace {
+
+using namespace fastsched;
+
+struct Input {
+  std::string label;
+  graph::TaskGraph graph;
+};
+
+struct Run {
+  std::string algorithm;
+  bool unbounded = false;
+  std::size_t pool = 0;
+  std::size_t used = 0;
+  graph::Cost makespan = 0;
+  analysis::BoundSet bounds;
+  double gap = 0;
+  analysis::LintReport lint;
+};
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream is(text);
+  std::string part;
+  while (std::getline(is, part, sep)) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+Input make_workload(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  const int size = colon == std::string::npos
+                       ? 0
+                       : std::stoi(spec.substr(colon + 1));
+  if (name == "gauss" || name == "gaussian") {
+    FASTSCHED_REQUIRE(size >= 2, "gauss workload needs a size >= 2");
+    return {spec, workloads::gaussian_elimination_dag(size)};
+  }
+  if (name == "laplace") {
+    FASTSCHED_REQUIRE(size >= 1, "laplace workload needs a size >= 1");
+    return {spec, workloads::laplace_dag(size)};
+  }
+  if (name == "fft") {
+    FASTSCHED_REQUIRE(size >= 4, "fft workload needs a size >= 4");
+    return {spec, workloads::fft_dag(size)};
+  }
+  if (name == "paper") {
+    return {spec, workloads::paper_figure1_dag()};
+  }
+  throw Error("unknown workload '" + name +
+              "' (expected gauss:N, laplace:N, fft:N or paper)");
+}
+
+Run run_one(const std::string& algorithm, const graph::TaskGraph& g,
+            std::size_t procs) {
+  Run run;
+  run.algorithm = algorithm;
+  const sched::SchedulerPtr scheduler = baselines::make_scheduler(algorithm);
+  run.unbounded = scheduler->unbounded_processors();
+  sched::SchedulerOptions options;
+  options.num_procs = procs;
+  const sched::Schedule s = scheduler->run(g, options);
+  run.pool = s.num_procs();
+  run.used = s.procs_used();
+  run.makespan = s.length();
+
+  analysis::LintInput input;
+  input.graph = &g;
+  input.schedule = &s;
+  input.reported_length = s.length();
+  run.lint = analysis::lint(input);
+
+  analysis::BoundOptions bound_options;
+  bound_options.num_procs = s.num_procs();
+  run.bounds = analysis::compute_bounds(g, bound_options);
+  run.gap = analysis::optimality_gap(run.bounds, run.makespan);
+  return run;
+}
+
+// Cross-scheduler anomalies: legal-but-suspicious shapes that deserve a
+// human look even when every schedule lints clean.
+std::vector<std::string> find_anomalies(const Input& input,
+                                        const std::vector<Run>& runs) {
+  std::vector<std::string> anomalies;
+  const graph::Cost serial = input.graph.total_work();
+  graph::Cost best_bounded = -1;
+  graph::Cost best_unbounded = -1;
+  for (const Run& run : runs) {
+    if (graph::definitely_less(serial, run.makespan)) {
+      anomalies.push_back(
+          run.algorithm + " makespan " + std::to_string(run.makespan) +
+          " exceeds the serial execution time " + std::to_string(serial) +
+          " — worse than one processor");
+    }
+    graph::Cost& best = run.unbounded ? best_unbounded : best_bounded;
+    if (best < 0 || run.makespan < best) best = run.makespan;
+  }
+  if (best_bounded >= 0 && best_unbounded >= 0 &&
+      graph::definitely_less(best_bounded, best_unbounded)) {
+    anomalies.push_back(
+        "best bounded-processor makespan " + std::to_string(best_bounded) +
+        " beats the best unbounded clustering " +
+        std::to_string(best_unbounded) +
+        " — the clustering heuristics left parallelism unused");
+  }
+  return anomalies;
+}
+
+void print_text(const Input& input, const std::vector<Run>& runs,
+                const std::vector<std::string>& anomalies) {
+  std::cout << "==== sched_diff: " << input.label << " ("
+            << input.graph.num_nodes() << " nodes, "
+            << input.graph.num_edges() << " edges, CCR "
+            << Table::num(input.graph.ccr(), 2) << ") ====\n";
+  Table t;
+  t.add_row({"Algorithm", "Pool", "Used", "Makespan", "Best bound", "Via",
+             "Gap %", "Lint"});
+  for (const Run& run : runs) {
+    const analysis::BoundCertificate* binding = run.bounds.binding();
+    t.add_row({run.algorithm, std::to_string(run.pool),
+               std::to_string(run.used), Table::num(run.makespan, 2),
+               Table::num(run.bounds.best(), 2),
+               binding != nullptr ? binding->id : "-",
+               Table::num(100.0 * run.gap, 1),
+               run.lint.clean()
+                   ? "clean"
+                   : std::to_string(run.lint.num_errors) + " errors, " +
+                         std::to_string(run.lint.num_warnings) +
+                         " warnings"});
+  }
+  std::cout << t << '\n';
+  for (const Run& run : runs) {
+    for (const analysis::Diagnostic& d : run.lint.diagnostics) {
+      std::cout << run.algorithm << ": " << analysis::format(d, &input.graph)
+                << '\n';
+    }
+  }
+  for (const std::string& a : anomalies) {
+    std::cout << "anomaly: " << a << '\n';
+  }
+}
+
+void print_json(std::ostream& os, const std::vector<Input>& inputs,
+                const std::vector<std::vector<Run>>& all_runs,
+                const std::vector<std::vector<std::string>>& all_anomalies) {
+  os << "{\n  \"tool\": \"sched_diff\",\n  \"graphs\": [";
+  for (std::size_t gi = 0; gi < inputs.size(); ++gi) {
+    os << (gi == 0 ? "\n" : ",\n") << "    {\"graph\": \""
+       << analysis::json_escape(inputs[gi].label) << "\", \"nodes\": "
+       << inputs[gi].graph.num_nodes() << ", \"edges\": "
+       << inputs[gi].graph.num_edges() << ",\n     \"schedules\": [";
+    const std::vector<Run>& runs = all_runs[gi];
+    for (std::size_t ri = 0; ri < runs.size(); ++ri) {
+      const Run& run = runs[ri];
+      os << (ri == 0 ? "\n" : ",\n")
+         << "       {\"algorithm\": \"" << analysis::json_escape(run.algorithm)
+         << "\", \"unbounded\": " << (run.unbounded ? "true" : "false")
+         << ", \"pool\": " << run.pool << ", \"used\": " << run.used
+         << ", \"makespan\": " << run.makespan
+         << ", \"best_bound\": " << run.bounds.best()
+         << ", \"gap\": " << run.gap << ", \"errors\": "
+         << run.lint.num_errors << ", \"warnings\": "
+         << run.lint.num_warnings << ", \"bounds\": [";
+      for (std::size_t bi = 0; bi < run.bounds.certificates.size(); ++bi) {
+        os << (bi == 0 ? "" : ", ")
+           << analysis::to_json(run.bounds.certificates[bi]);
+      }
+      os << "], \"diagnostics\": [";
+      for (std::size_t di = 0; di < run.lint.diagnostics.size(); ++di) {
+        os << (di == 0 ? "" : ", ")
+           << analysis::to_json(run.lint.diagnostics[di], &inputs[gi].graph);
+      }
+      os << "]}";
+    }
+    os << "\n     ],\n     \"anomalies\": [";
+    for (std::size_t ai = 0; ai < all_anomalies[gi].size(); ++ai) {
+      os << (ai == 0 ? "" : ", ") << '"'
+         << analysis::json_escape(all_anomalies[gi][ai]) << '"';
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+int run(int argc, char** argv) {
+  CliParser cli(
+      "sched_diff: run several schedulers on the same graphs, lint every "
+      "schedule, and check every makespan against the certified "
+      "lower bounds.\n"
+      "usage: sched_diff [options] [graph files...]");
+  cli.add_option("workloads", "",
+                 "comma list of built-in workloads (gauss:N, laplace:N, "
+                 "fft:N, paper)");
+  cli.add_option("schedulers", "FAST,DSC,MD,ETF,DLS",
+                 "comma list of schedulers to compare");
+  cli.add_option("procs", "0",
+                 "processor budget for bounded schedulers (0 = one per "
+                 "task)");
+  cli.add_flag("json", "emit the report as JSON instead of tables");
+  cli.add_flag("warnings-as-errors", "exit nonzero on lint warnings too");
+  cli.add_flag("quiet", "suppress output; use the exit status only");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::vector<Input> inputs;
+  for (const std::string& spec : split(cli.get("workloads"), ',')) {
+    inputs.push_back(make_workload(spec));
+  }
+  for (const std::string& path : cli.positional()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "sched_diff: cannot open graph file '" << path << "'\n";
+      return 2;
+    }
+    inputs.push_back({path, graph::read_text(in)});
+  }
+  if (inputs.empty()) {
+    std::cerr << "sched_diff: need at least one graph file or --workloads\n"
+              << cli.usage();
+    return 2;
+  }
+  const std::vector<std::string> algorithms =
+      split(cli.get("schedulers"), ',');
+  FASTSCHED_REQUIRE(!algorithms.empty(), "empty --schedulers list");
+  const std::size_t procs =
+      static_cast<std::size_t>(cli.get_int("procs"));
+
+  std::vector<std::vector<Run>> all_runs;
+  std::vector<std::vector<std::string>> all_anomalies;
+  std::size_t schedules = 0;
+  std::size_t dirty = 0;
+  bool warned = false;
+  for (const Input& input : inputs) {
+    std::vector<Run> runs;
+    for (const std::string& algorithm : algorithms) {
+      runs.push_back(run_one(algorithm, input.graph, procs));
+      ++schedules;
+      if (!runs.back().lint.ok()) ++dirty;
+      if (runs.back().lint.num_warnings > 0) warned = true;
+    }
+    all_anomalies.push_back(find_anomalies(input, runs));
+    all_runs.push_back(std::move(runs));
+  }
+
+  const bool quiet = cli.get_flag("quiet");
+  if (!quiet && cli.get_flag("json")) {
+    print_json(std::cout, inputs, all_runs, all_anomalies);
+  } else if (!quiet) {
+    for (std::size_t gi = 0; gi < inputs.size(); ++gi) {
+      print_text(inputs[gi], all_runs[gi], all_anomalies[gi]);
+    }
+    std::cout << "sched_diff: " << inputs.size() << " graphs, " << schedules
+              << " schedules, ";
+    if (dirty == 0) {
+      std::cout << "all certified (every makespan >= every certified "
+                   "lower bound, all lint-clean)\n";
+    } else {
+      std::cout << dirty << " schedules failed lint or beat a certified "
+                   "bound\n";
+    }
+  }
+  const bool wae = cli.get_flag("warnings-as-errors");
+  return (dirty == 0 && !(wae && warned)) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "sched_diff: " << e.what() << '\n';
+    return 2;
+  }
+}

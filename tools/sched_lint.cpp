@@ -1,16 +1,23 @@
 // sched_lint: loads a task-graph file and a schedule file (the text
 // formats of graph/io.hpp and sched/io.hpp) and runs every registered
-// schedule-lint rule against them. Exit status: 0 when no errors were
-// found (warnings allowed unless --warnings-as-errors), 1 when the lint
-// engine reported errors, 2 on usage or I/O problems — so the tool
-// composes with CI pipelines and shell scripts.
+// schedule-lint rule against them. `--bounds` additionally prints the
+// certified makespan lower bounds (analysis/bounds.hpp) and the
+// schedule's optimality gap; `--json` emits the whole report as JSON.
+// Exit status: 0 when no errors were found (warnings allowed unless
+// --warnings-as-errors), 1 when the lint engine reported errors, 2 on
+// usage or I/O problems — so the tool composes with CI pipelines and
+// shell scripts (the contract is shared by every tool; see
+// tools/README.md).
 
 #include <fstream>
 #include <iostream>
 #include <optional>
 
+#include "analysis/bounds.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/report_io.hpp"
 #include "common/cli.hpp"
+#include "common/table.hpp"
 #include "graph/io.hpp"
 #include "sched/io.hpp"
 
@@ -27,6 +34,8 @@ int run(int argc, char** argv) {
   cli.add_option("schedule", "", "schedule file (schedule text format)");
   cli.add_option("reported-length", "",
                  "externally reported makespan to cross-check");
+  cli.add_flag("bounds", "print certified lower bounds and the gap");
+  cli.add_flag("json", "emit the report as JSON instead of text");
   cli.add_flag("warnings-as-errors", "exit nonzero on warnings too");
   cli.add_flag("quiet", "suppress diagnostics; use the exit status only");
   cli.add_flag("list-rules", "print every registered rule and exit");
@@ -80,10 +89,37 @@ int run(int argc, char** argv) {
   }
 
   const analysis::LintReport report = analysis::lint(input);
+
+  std::optional<analysis::BoundSet> bounds;
+  if (cli.get_flag("bounds")) {
+    analysis::BoundOptions bound_options;
+    bound_options.num_procs = s.num_procs();
+    bounds = analysis::compute_bounds(g, bound_options);
+  }
+
   const bool quiet = cli.get_flag("quiet");
-  if (!quiet) {
+  if (!quiet && cli.get_flag("json")) {
+    analysis::write_json(std::cout, report, &g,
+                         bounds ? &*bounds : nullptr, s.length());
+  } else if (!quiet) {
     for (const analysis::Diagnostic& d : report.diagnostics) {
       std::cout << analysis::format(d, &g) << '\n';
+    }
+    if (bounds) {
+      for (const analysis::BoundCertificate& cert : bounds->certificates) {
+        std::cout << "bound[" << cert.id << "] = " << Table::num(cert.value, 4)
+                  << (cert.num_procs > 0
+                          ? " (p = " + std::to_string(cert.num_procs) + ")"
+                          : " (any p)")
+                  << ": " << cert.detail << '\n';
+      }
+      std::cout << schedule_path << ": makespan "
+                << Table::num(s.length(), 4) << ", best bound "
+                << Table::num(bounds->best(), 4) << ", gap "
+                << Table::num(
+                       100.0 * analysis::optimality_gap(*bounds, s.length()),
+                       1)
+                << "%\n";
     }
     std::cout << schedule_path << ": " << report.num_errors << " errors, "
               << report.num_warnings << " warnings\n";
