@@ -12,6 +12,7 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "lint_support.hpp"
+#include "parallel_runner.hpp"
 #include "sched/validation.hpp"
 #include "workloads/fft.hpp"
 #include "workloads/gaussian.hpp"
@@ -21,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace fastsched;
   const bool lint = bench::consume_lint_flag(argc, argv);
+  const std::size_t jobs = bench::consume_jobs_option(argc, argv);
 
   struct Workload {
     std::string name;
@@ -54,23 +56,55 @@ int main(int argc, char** argv) {
     times.add_row(std::move(header));
   }
 
+  // One cell per (algorithm, workload); the grid fans out over the
+  // deterministic pool and FAST-normalization happens after the merge, so
+  // the length table is identical for every --jobs value (only the
+  // wall-clock column varies under contention).
+  struct CellResult {
+    double length = 0;
+    double ms = 0;
+  };
+  const std::vector<std::string> names = baselines::scheduler_names();
+  const std::size_t num_workloads = workloads_list.size();
+  std::vector<CellResult> cells;
+  try {
+    cells = bench::run_cells<CellResult>(
+        jobs, names.size() * num_workloads, [&](std::size_t i) {
+          const std::string& name = names[i / num_workloads];
+          const Workload& w = workloads_list[i % num_workloads];
+          const auto scheduler = baselines::make_scheduler(name);
+          sched::SchedulerOptions opts;
+          opts.num_procs = 64;
+          (void)scheduler->run(w.g, opts);  // warmup
+          Timer timer;
+          const auto s = scheduler->run(w.g, opts);
+          CellResult cell;
+          cell.ms = timer.millis();
+          sched::require_valid(w.g, s);
+          if (lint) bench::lint_or_fail(w.g, s, name + " on " + w.name);
+          cell.length = s.length();
+          return cell;
+        });
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+  }
+
   std::map<std::string, double> fast_len;
-  for (const auto& name : baselines::scheduler_names()) {
-    const auto scheduler = baselines::make_scheduler(name);
-    std::vector<std::string> len_row{name};
-    std::vector<std::string> time_row{name};
-    for (const auto& w : workloads_list) {
-      sched::SchedulerOptions opts;
-      opts.num_procs = 64;
-      (void)scheduler->run(w.g, opts);  // warmup
-      Timer timer;
-      const auto s = scheduler->run(w.g, opts);
-      const double ms = timer.millis();
-      sched::require_valid(w.g, s);
-      if (lint) bench::lint_or_die(w.g, s, name + " on " + w.name);
-      if (name == "FAST") fast_len[w.name] = s.length();
-      len_row.push_back(Table::num(s.length() / fast_len[w.name], 3));
-      time_row.push_back(Table::num(ms, 3));
+  for (std::size_t ni = 0; ni < names.size(); ++ni) {
+    if (names[ni] != "FAST") continue;
+    for (std::size_t wi = 0; wi < num_workloads; ++wi) {
+      fast_len[workloads_list[wi].name] = cells[ni * num_workloads + wi].length;
+    }
+  }
+  for (std::size_t ni = 0; ni < names.size(); ++ni) {
+    std::vector<std::string> len_row{names[ni]};
+    std::vector<std::string> time_row{names[ni]};
+    for (std::size_t wi = 0; wi < num_workloads; ++wi) {
+      const CellResult& cell = cells[ni * num_workloads + wi];
+      len_row.push_back(
+          Table::num(cell.length / fast_len[workloads_list[wi].name], 3));
+      time_row.push_back(Table::num(cell.ms, 3));
     }
     lengths.add_row(std::move(len_row));
     times.add_row(std::move(time_row));

@@ -3,62 +3,100 @@
 // random DAGs; this sweep locates the crossovers — clustering algorithms
 // (DSC) should gain ground as CCR rises, greedy EST algorithms (ETF/DLS)
 // as it falls.
+//
+// The (CCR x trial) repetitions are independent cells fanned out over the
+// deterministic thread pool (--jobs); the printed table contains no
+// wall-clock column, so it is byte-identical for every worker count — the
+// property the parallel-determinism ctest entry pins.
 
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "baselines/registry.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "lint_support.hpp"
+#include "parallel_runner.hpp"
 #include "sched/validation.hpp"
 #include "workloads/random_layered.hpp"
 
 int main(int argc, char** argv) {
   using namespace fastsched;
   const bool lint = bench::consume_lint_flag(argc, argv);
+  const bool quick = bench::consume_flag(argc, argv, "--quick");
+  const std::size_t jobs = bench::consume_jobs_option(argc, argv);
 
-  constexpr std::size_t kNodes = 600;
-  constexpr int kTrials = 5;
-  const double ccrs[] = {0.1, 0.5, 1.0, 2.0, 5.0, 10.0};
+  const std::size_t nodes = quick ? 200 : 600;
+  const int trials = quick ? 3 : 5;
+  const std::vector<double> ccrs = {0.1, 0.5, 1.0, 2.0, 5.0, 10.0};
+  const std::vector<std::string> algos = {"FAST", "DSC", "ETF", "DLS",
+                                          "PFAST"};
 
-  Table table(
-      "Schedule length by CCR, normalized to FAST = 1.00\n"
-      "(600-node random DAGs, mean of 5 instances, 64 processors)");
+  Table table("Schedule length by CCR, normalized to FAST = 1.00\n(" +
+              std::to_string(nodes) + "-node random DAGs, mean of " +
+              std::to_string(trials) + " instances, 64 processors)");
   {
     std::vector<std::string> header{"Algorithm"};
     for (const double ccr : ccrs) header.push_back("CCR " + Table::num(ccr, 1));
     table.add_row(std::move(header));
   }
 
-  const std::vector<std::string> algos = {"FAST", "DSC", "ETF", "DLS",
-                                          "PFAST"};
-  std::map<std::string, std::vector<double>> ratio_by_algo;
+  // Trial t's generator seed is split from one bench seed as a pure
+  // function of t, so a cell's graph never depends on which worker builds
+  // it (and, as before, the same t shares a layer structure across CCRs).
+  const Rng bench_seed(7);
+  const auto trial_seed = [&](int t) {
+    return bench_seed.split(static_cast<std::uint64_t>(t)).next();
+  };
 
-  for (const double ccr : ccrs) {
-    std::map<std::string, std::vector<double>> lengths;
-    for (int t = 0; t < kTrials; ++t) {
-      workloads::RandomDagParams params;
-      params.num_nodes = kNodes;
-      params.ccr = ccr;
-      params.avg_out_degree = 5.0;
-      params.seed = static_cast<std::uint64_t>(100 * t + 7);
-      const graph::TaskGraph g = workloads::random_layered_dag(params);
-      for (const auto& algo : algos) {
-        sched::SchedulerOptions opts;
-        opts.num_procs = 64;
-        const auto s = baselines::make_scheduler(algo)->run(g, opts);
-        sched::require_valid(g, s);
-        if (lint) bench::lint_or_die(g, s, algo);
-        lengths[algo].push_back(s.length());
-      }
-    }
-    for (const auto& algo : algos) {
+  // One cell = one (ccr, trial) instance scheduled by every algorithm.
+  const std::size_t num_cells = ccrs.size() * static_cast<std::size_t>(trials);
+  std::vector<std::vector<double>> cells;
+  try {
+    cells = bench::run_cells<std::vector<double>>(
+        jobs, num_cells, [&](std::size_t i) {
+          const std::size_t ci = i / static_cast<std::size_t>(trials);
+          const int t = static_cast<int>(i % static_cast<std::size_t>(trials));
+          workloads::RandomDagParams params;
+          params.num_nodes = nodes;
+          params.ccr = ccrs[ci];
+          params.avg_out_degree = 5.0;
+          params.seed = trial_seed(t);
+          const graph::TaskGraph g = workloads::random_layered_dag(params);
+          std::vector<double> lengths;
+          lengths.reserve(algos.size());
+          for (const auto& algo : algos) {
+            sched::SchedulerOptions opts;
+            opts.num_procs = 64;
+            const auto s = baselines::make_scheduler(algo)->run(g, opts);
+            sched::require_valid(g, s);
+            if (lint) {
+              bench::lint_or_fail(g, s, algo + " at CCR " +
+                                             Table::num(ccrs[ci], 1) +
+                                             ", trial " + std::to_string(t));
+            }
+            lengths.push_back(s.length());
+          }
+          return lengths;
+        });
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+  }
+
+  std::map<std::string, std::vector<double>> ratio_by_algo;
+  for (std::size_t ci = 0; ci < ccrs.size(); ++ci) {
+    for (std::size_t ai = 0; ai < algos.size(); ++ai) {
       std::vector<double> ratios;
-      for (int t = 0; t < kTrials; ++t) {
-        ratios.push_back(lengths[algo][t] / lengths["FAST"][t]);
+      for (int t = 0; t < trials; ++t) {
+        const std::vector<double>& cell =
+            cells[ci * static_cast<std::size_t>(trials) +
+                  static_cast<std::size_t>(t)];
+        ratios.push_back(cell[ai] / cell[0]);  // algos[0] is FAST
       }
-      ratio_by_algo[algo].push_back(geometric_mean(ratios));
+      ratio_by_algo[algos[ai]].push_back(geometric_mean(ratios));
     }
   }
 

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace fastsched;
   bench::FigureSpec spec;
   spec.lint = bench::consume_lint_flag(argc, argv);
+  spec.jobs = bench::consume_jobs_option(argc, argv);
   spec.title = "Figure 5: Gaussian elimination (simulated Intel Paragon)";
   spec.size_label = "Matrix Dimension";
   spec.sizes = {4, 8, 16, 32};

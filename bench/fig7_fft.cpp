@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace fastsched;
   bench::FigureSpec spec;
   spec.lint = bench::consume_lint_flag(argc, argv);
+  spec.jobs = bench::consume_jobs_option(argc, argv);
   spec.title = "Figure 7: Fast Fourier Transform (simulated Intel Paragon)";
   spec.size_label = "Number of Points";
   spec.sizes = {16, 64, 128, 512};

@@ -20,12 +20,16 @@ int main(int argc, char** argv) {
   cli.add_option("procs", "256", "processor budget for bounded algorithms");
   cli.add_option("degree", "36", "average out-degree of the random DAGs");
   cli.add_option("seed", "1996", "generator seed");
+  cli.add_option("jobs", "",
+                 "worker threads for the (size x algorithm) matrix "
+                 "(default: $FASTSCHED_JOBS or 1; 0 = all cores)");
   cli.add_flag("quick", "use smaller DAGs (500-2000 nodes) for smoke runs");
   cli.add_flag("lint", "run the schedule-lint engine on every schedule");
   if (!cli.parse(argc, argv)) return 0;
 
   bench::FigureSpec spec;
   spec.lint = cli.get_flag("lint");
+  spec.jobs = resolve_jobs(cli.get("jobs"));
   spec.title = "Figure 8: random DAGs (schedule length, not execution)";
   spec.size_label = "Number of Nodes";
   spec.sizes = cli.get_flag("quick") ? std::vector<int>{500, 1000, 2000}

@@ -14,6 +14,7 @@
 
 #include "analysis/bounds.hpp"
 #include "analysis/lint.hpp"
+#include "common/error.hpp"
 #include "graph/task_graph.hpp"
 #include "sched/schedule.hpp"
 
@@ -37,11 +38,13 @@ inline bool consume_lint_flag(int& argc, char** argv) {
   return found;
 }
 
-/// Lints `s` against `g` (optionally with the scheduling list that
-/// produced it) and exits the bench with status 1 on any finding.
-inline void lint_or_die(const graph::TaskGraph& g, const sched::Schedule& s,
-                        const std::string& context,
-                        const std::vector<graph::NodeId>* list = nullptr) {
+/// Throwing variant of `lint_or_die` for code running on `ThreadPool`
+/// workers, where `std::exit` would race the other workers through static
+/// destruction: the pool rethrows the failure from `wait()` and the main
+/// thread turns it into the exit-1 contract.
+inline void lint_or_fail(const graph::TaskGraph& g, const sched::Schedule& s,
+                         const std::string& context,
+                         const std::vector<graph::NodeId>* list = nullptr) {
   analysis::LintInput input;
   input.graph = &g;
   input.schedule = &s;
@@ -49,11 +52,24 @@ inline void lint_or_die(const graph::TaskGraph& g, const sched::Schedule& s,
   input.reported_length = s.length();
   const analysis::LintReport report = analysis::lint(input);
   if (report.clean()) return;
-  std::cerr << context << ": schedule lint failed:\n";
+  std::string message = context + ": schedule lint failed:";
   for (const analysis::Diagnostic& d : report.diagnostics) {
-    std::cerr << "  " << analysis::format(d, &g) << '\n';
+    message += "\n  " + analysis::format(d, &g);
   }
-  std::exit(1);
+  throw Error(message);
+}
+
+/// Lints `s` against `g` (optionally with the scheduling list that
+/// produced it) and exits the bench with status 1 on any finding.
+inline void lint_or_die(const graph::TaskGraph& g, const sched::Schedule& s,
+                        const std::string& context,
+                        const std::vector<graph::NodeId>* list = nullptr) {
+  try {
+    lint_or_fail(g, s, context, list);
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n';
+    std::exit(1);
+  }
 }
 
 /// Best certified lower bound for `s`'s processor pool plus the

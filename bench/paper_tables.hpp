@@ -17,6 +17,7 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "lint_support.hpp"
+#include "parallel_runner.hpp"
 #include "sched/validation.hpp"
 #include "sim/event_sim.hpp"
 
@@ -56,46 +57,76 @@ struct FigureSpec {
   /// Run the schedule-lint engine on every produced schedule (--lint);
   /// aborts the bench on any diagnostic.
   bool lint = false;
+  /// Worker threads for the (size x algorithm) matrix (1 = sequential,
+  /// 0 = every hardware thread). Every column except the wall-clock
+  /// timings of table (c) is byte-identical for any value.
+  std::size_t jobs = 1;
 };
 
 inline void run_figure(const FigureSpec& spec) {
-  std::map<std::string, std::vector<Cell>> results;
-
+  // The workload DAGs are shared read-only across cells; build them up
+  // front so each (size, algorithm) cell is a pure function of its
+  // index and the cells can run on any worker in any order.
+  std::vector<graph::TaskGraph> graphs;
+  std::vector<std::size_t> budgets;
   std::vector<std::size_t> task_counts;
   std::vector<std::size_t> edge_counts;
+  graphs.reserve(spec.sizes.size());
   for (const int size : spec.sizes) {
-    const graph::TaskGraph g = spec.make_dag(size);
+    graphs.push_back(spec.make_dag(size));
+    const graph::TaskGraph& g = graphs.back();
+    budgets.push_back(spec.proc_budget(g));
     task_counts.push_back(g.num_nodes());
     edge_counts.push_back(g.num_edges());
-    const std::size_t budget = spec.proc_budget(g);
-    for (const auto& algo : spec.algorithms) {
-      const auto scheduler = baselines::make_scheduler(algo);
-      sched::SchedulerOptions opts;
-      opts.num_procs = budget;
-      // Untimed warmup run so the first algorithm does not absorb the
-      // cold-cache cost of first-touching the graph.
-      (void)scheduler->run(g, opts);
-      Timer timer;
-      const sched::Schedule s = scheduler->run(g, opts);
-      Cell cell;
-      cell.sched_seconds = timer.seconds();
-      sched::require_valid(g, s);
-      if (spec.lint) {
-        lint_or_die(g, s, spec.title + ", " + algo + ", size " +
-                              std::to_string(size));
-        const Certification cert = certify(g, s);
-        cell.gap_percent = cert.gap_percent;
-        cell.bound_id = cert.bound_id;
-      }
-      cell.sched_len = s.length();
-      cell.procs = s.procs_used();
-      const sim::SimResult sim = sim::simulate(g, s, spec.machine);
-      cell.exec_time = sim.makespan;
-      if (spec.machine_procs_cap > 0 && cell.procs > spec.machine_procs_cap) {
-        cell.available = false;  // would not fit on the machine
-      }
-      results[algo].push_back(cell);
+  }
+
+  const std::size_t num_algos = spec.algorithms.size();
+  const auto compute_cell = [&](std::size_t i) {
+    const std::size_t size_index = i / num_algos;
+    const std::string& algo = spec.algorithms[i % num_algos];
+    const graph::TaskGraph& g = graphs[size_index];
+    const auto scheduler = baselines::make_scheduler(algo);
+    sched::SchedulerOptions opts;
+    opts.num_procs = budgets[size_index];
+    // Untimed warmup run so the first algorithm does not absorb the
+    // cold-cache cost of first-touching the graph.
+    (void)scheduler->run(g, opts);
+    Timer timer;
+    const sched::Schedule s = scheduler->run(g, opts);
+    Cell cell;
+    cell.sched_seconds = timer.seconds();
+    sched::require_valid(g, s);
+    if (spec.lint) {
+      lint_or_fail(g, s, spec.title + ", " + algo + ", size " +
+                             std::to_string(spec.sizes[size_index]));
+      const Certification cert = certify(g, s);
+      cell.gap_percent = cert.gap_percent;
+      cell.bound_id = cert.bound_id;
     }
+    cell.sched_len = s.length();
+    cell.procs = s.procs_used();
+    const sim::SimResult sim = sim::simulate(g, s, spec.machine);
+    cell.exec_time = sim.makespan;
+    if (spec.machine_procs_cap > 0 && cell.procs > spec.machine_procs_cap) {
+      cell.available = false;  // would not fit on the machine
+    }
+    return cell;
+  };
+
+  std::vector<Cell> cells;
+  try {
+    cells = run_cells<Cell>(spec.jobs, spec.sizes.size() * num_algos,
+                            compute_cell);
+  } catch (const Error& e) {
+    // A lint failure on a pool worker; report it from the main thread
+    // after the workers have joined and keep the exit-1 contract.
+    std::cerr << e.what() << '\n';
+    std::exit(1);
+  }
+
+  std::map<std::string, std::vector<Cell>> results;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    results[spec.algorithms[i % num_algos]].push_back(cells[i]);
   }
 
   const auto header = [&] {

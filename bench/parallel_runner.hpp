@@ -1,0 +1,81 @@
+#pragma once
+
+/// Shared `--jobs` support for the bench harness: every table-reproduction
+/// binary fans its independent cells — (size x algorithm) points,
+/// CCR x trial repetitions — out over the deterministic `ThreadPool` of
+/// common/thread_pool.hpp and merges results in cell-index order, so the
+/// printed tables are byte-identical for every worker count. The only
+/// columns that legitimately vary under parallel execution are host
+/// wall-clock *timings* (concurrent cells contend for cores); benches
+/// whose output is timing-free are the ones the determinism tests pin.
+///
+/// Randomized repetitions must derive their seeds via
+/// `Rng(bench_seed).split(trial)` (a pure function of seed and trial
+/// index) rather than ad-hoc arithmetic reseeding, so a cell's randomness
+/// never depends on which worker runs it or in what order.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace fastsched::bench {
+
+/// Removes every `flag` occurrence from argv (for mains whose remaining
+/// arguments go to another parser). Returns whether it was present.
+inline bool consume_flag(int& argc, char** argv, std::string_view flag) {
+  bool found = false;
+  int write = 1;
+  for (int read = 1; read < argc; ++read) {
+    if (std::string_view(argv[read]) == flag) {
+      found = true;
+      continue;
+    }
+    argv[write++] = argv[read];
+  }
+  argc = write;
+  argv[argc] = nullptr;
+  return found;
+}
+
+/// Strips `--jobs N` / `--jobs=N` from argv and resolves the worker
+/// count: absent means FASTSCHED_JOBS when set, else 1 (sequential, the
+/// historical bench behavior — timings stay uncontended unless the caller
+/// opts in); `--jobs 0` means every hardware thread.
+inline std::size_t consume_jobs_option(int& argc, char** argv) {
+  std::string value;
+  bool found = false;
+  int write = 1;
+  for (int read = 1; read < argc; ++read) {
+    const std::string_view arg(argv[read]);
+    if (arg == "--jobs" && read + 1 < argc) {
+      value = argv[++read];
+      found = true;
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      value = std::string(arg.substr(7));
+      found = true;
+      continue;
+    }
+    argv[write++] = argv[read];
+  }
+  argc = write;
+  argv[argc] = nullptr;
+  return found ? resolve_jobs(value.empty() ? "0" : value)
+               : resolve_jobs("");
+}
+
+/// Runs `n` independent cells on `jobs` workers and returns the results
+/// in cell-index order, so tables print canonically regardless of the
+/// execution interleaving. `fn` must only read shared state.
+template <typename Result, typename Fn>
+std::vector<Result> run_cells(std::size_t jobs, std::size_t n, Fn&& fn) {
+  std::vector<Result> results(n);
+  parallel_for_index(jobs, n,
+                     [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace fastsched::bench

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "graph/levels.hpp"
 
 namespace fastsched::analysis {
@@ -280,6 +282,19 @@ BoundSet compute_bounds(const TaskGraph& g, std::size_t num_procs) {
   BoundOptions options;
   options.num_procs = num_procs;
   return compute_bounds(g, options);
+}
+
+std::vector<BoundSet> compute_bounds_batch(
+    const std::vector<BoundRequest>& requests, const BoundOptions& options,
+    std::size_t jobs) {
+  std::vector<BoundSet> results(requests.size());
+  parallel_for_index(jobs, requests.size(), [&](std::size_t i) {
+    FASTSCHED_ASSERT(requests[i].graph != nullptr);
+    BoundOptions per_request = options;
+    per_request.num_procs = requests[i].num_procs;
+    results[i] = compute_bounds(*requests[i].graph, per_request);
+  });
+  return results;
 }
 
 double optimality_gap(const BoundSet& bounds, Cost makespan) noexcept {

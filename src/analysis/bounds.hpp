@@ -92,6 +92,24 @@ struct BoundSet {
 [[nodiscard]] BoundSet compute_bounds(const graph::TaskGraph& g,
                                       std::size_t num_procs);
 
+/// One certification request for the batch API: a graph plus the
+/// processor-pool size its certificates should assume.
+struct BoundRequest {
+  const graph::TaskGraph* graph = nullptr;
+  std::size_t num_procs = 0;
+};
+
+/// Computes `compute_bounds` for every request, fanned out over `jobs`
+/// worker threads of a `ThreadPool` (0 = FASTSCHED_JOBS / hardware
+/// concurrency, 1 = inline). Results come back in request order and are
+/// bit-identical to the sequential computation — `compute_bounds` is a
+/// pure function of its inputs, so only the merge order matters and that
+/// is fixed by the request index. This is what `sched_lint --bounds` and
+/// the differential oracle use on multi-graph inputs.
+[[nodiscard]] std::vector<BoundSet> compute_bounds_batch(
+    const std::vector<BoundRequest>& requests, const BoundOptions& options,
+    std::size_t jobs = 1);
+
 /// Relative optimality gap (makespan − best) / best; 0 when the bound set
 /// is empty or the best bound is zero. Negative means the makespan beats a
 /// certificate — an accounting bug by construction.

@@ -17,7 +17,7 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) noexcept {
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& s : state_) s = splitmix64(sm);
 }
@@ -66,5 +66,16 @@ double Rng::uniform_real(double lo, double hi) noexcept {
 bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
 
 Rng Rng::split() noexcept { return Rng(next() ^ 0xA3EC647659359ACDULL); }
+
+Rng Rng::split(std::uint64_t stream_id) const noexcept {
+  // Whiten the seed and the stream id through independent SplitMix64
+  // chains before combining: stream ids are typically tiny consecutive
+  // integers, and xoring them in raw would produce correlated child seeds.
+  std::uint64_t a = seed_;
+  const std::uint64_t hashed_seed = splitmix64(a);
+  std::uint64_t b = stream_id ^ 0xA3EC647659359ACDULL;
+  const std::uint64_t hashed_stream = splitmix64(b);
+  return Rng(hashed_seed ^ hashed_stream);
+}
 
 }  // namespace fastsched

@@ -48,9 +48,26 @@ class Rng {
   /// Bernoulli trial with success probability `p`.
   bool bernoulli(double p) noexcept;
 
-  /// Derives an independent child stream; used to give each thread of the
-  /// parallel FAST search its own deterministic sequence.
+  /// Derives an independent child stream by drawing from this generator:
+  /// each call advances the parent, so consecutive calls yield distinct
+  /// streams. Prefer `split(stream_id)` when the caller has a natural
+  /// task or thread index — it does not mutate the parent.
   Rng split() noexcept;
+
+  /// Derives the `stream_id`-th independent child stream as a pure
+  /// function of (construction seed, stream_id): the result never depends
+  /// on how many values have been drawn from this generator, so tasks
+  /// executed in any order — or on any worker thread of a pool — see
+  /// identical sequences. Both inputs are whitened through SplitMix64
+  /// before being combined, so nearby stream ids (0, 1, 2, ...) land in
+  /// unrelated regions of the seed space. This is the documented way to
+  /// give each repetition of a benchmark sweep or each task of a
+  /// `ThreadPool` its own reproducible randomness.
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const noexcept;
+
+  /// The seed this generator was constructed with (split(id) is a pure
+  /// function of it).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   /// Fisher–Yates shuffle of `items` using this stream.
   template <typename T>
@@ -63,6 +80,7 @@ class Rng {
   }
 
  private:
+  std::uint64_t seed_;
   std::uint64_t state_[4];
 };
 

@@ -1,0 +1,178 @@
+#include "common/thread_pool.hpp"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fastsched {
+
+struct ThreadPool::Impl {
+  struct Pending {
+    std::size_t ticket = 0;
+    std::function<void()> fn;
+  };
+
+  std::mutex mutex;
+  std::condition_variable task_ready;   // workers: queue non-empty or stop
+  std::condition_variable space_ready;  // submitters: queue below the bound
+  std::condition_variable all_done;     // wait(): completed == submitted
+  std::deque<Pending> queue;
+  std::vector<std::thread> workers;
+  std::size_t queue_bound = 0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  bool stopping = false;
+  // Earliest-submitted failure only: deterministic regardless of which
+  // task happened to fail first on the wall clock.
+  std::exception_ptr error;
+  std::size_t error_ticket = 0;
+
+  void work() {
+    for (;;) {
+      Pending task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        task_ready.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping and drained
+        task = std::move(queue.front());
+        queue.pop_front();
+        space_ready.notify_one();
+      }
+      std::exception_ptr failure;
+      try {
+        task.fn();
+      } catch (...) {
+        failure = std::current_exception();
+      }
+      // Destroy the callable (and everything it captured) before the
+      // completion signal: once wait() returns, no worker may still hold
+      // user state.
+      task.fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        if (failure && (!error || task.ticket < error_ticket)) {
+          std::swap(error, failure);
+          error_ticket = task.ticket;
+        }
+        // Release the discarded reference (our failure if a later ticket,
+        // the replaced error otherwise) while still holding the mutex, so
+        // the final refcount drop is ordered against wait()'s rethrow.
+        failure = nullptr;
+        ++completed;
+        if (completed == submitted) all_done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::size_t queue_bound)
+    : impl_(new Impl) {
+  if (num_threads == 0) num_threads = default_jobs();
+  impl_->queue_bound =
+      queue_bound > 0 ? queue_bound : 4 * num_threads;
+  impl_->workers.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    impl_->workers.emplace_back([this] { impl_->work(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->task_ready.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::num_threads() const noexcept {
+  return impl_->workers.size();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    FASTSCHED_REQUIRE(!impl_->stopping,
+                      "ThreadPool::submit on a stopping pool");
+    impl_->space_ready.wait(
+        lock, [&] { return impl_->queue.size() < impl_->queue_bound; });
+    impl_->queue.push_back({impl_->submitted++, std::move(task)});
+  }
+  impl_->task_ready.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::exception_ptr failure;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->all_done.wait(
+        lock, [&] { return impl_->completed == impl_->submitted; });
+    failure = std::exchange(impl_->error, nullptr);
+    impl_->error_ticket = 0;
+  }
+  if (failure) std::rethrow_exception(failure);
+}
+
+std::size_t ThreadPool::env_jobs() noexcept {
+  // Read-only and nothing in the library calls setenv; the worker count
+  // is resolved before any pool threads exist.
+  const char* env = std::getenv("FASTSCHED_JOBS");  // NOLINT(concurrency-mt-unsafe)
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || value <= 0) return 0;
+  return static_cast<std::size_t>(value);
+}
+
+std::size_t ThreadPool::default_jobs() {
+  const std::size_t from_env = env_jobs();
+  if (from_env > 0) return from_env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for_index(std::size_t jobs, std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  if (jobs == 0) jobs = ThreadPool::default_jobs();
+  if (jobs <= 1 || n <= 1) {
+    // Inline fast path. Identical results by the determinism contract,
+    // and the earliest-index failure wins trivially.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(jobs < n ? jobs : n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait();
+}
+
+std::size_t resolve_jobs(const std::string& cli_value, std::size_t fallback) {
+  if (cli_value.empty()) {
+    const std::size_t from_env = ThreadPool::env_jobs();
+    if (from_env > 0) return from_env;
+    return fallback > 0 ? fallback : ThreadPool::default_jobs();
+  }
+  std::size_t pos = 0;
+  long long value = -1;
+  try {
+    value = std::stoll(cli_value, &pos);
+  } catch (const std::exception&) {
+    value = -1;
+  }
+  FASTSCHED_REQUIRE(pos == cli_value.size() && value >= 0,
+                    "--jobs expects a non-negative integer, got '" +
+                        cli_value + "'");
+  return value == 0 ? ThreadPool::default_jobs()
+                    : static_cast<std::size_t>(value);
+}
+
+}  // namespace fastsched

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A deterministic fixed-size task pool for the evaluation layer.
+///
+/// The pool is deliberately work-stealing-free: tasks are taken from one
+/// bounded FIFO queue in submission order, every task writes only to its
+/// own result slot, and any randomness a task needs is derived from
+/// `Rng::split(task_index)` — a pure function of (seed, index). Together
+/// these make every computation bit-identical regardless of the worker
+/// count or the interleaving the OS picks, which is what lets
+/// `sched_diff --jobs 8` promise byte-identical output to `--jobs 1`.
+///
+/// Exceptions thrown by tasks are captured and rethrown from `wait()`;
+/// when several tasks fail, the one with the *lowest submission index*
+/// wins, so even the error a run reports is deterministic.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace fastsched {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 = `default_jobs()`). The task queue
+  /// holds at most `queue_bound` pending tasks (0 = 4x the worker count);
+  /// `submit` blocks while it is full, bounding memory for huge sweeps.
+  explicit ThreadPool(std::size_t num_threads = 0,
+                      std::size_t queue_bound = 0);
+
+  /// Drains the queue and joins the workers. Exceptions never reported
+  /// through `wait()` are dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const noexcept;
+
+  /// Enqueues a task; blocks while the bounded queue is full. Tasks must
+  /// not submit to or wait on the same pool (they may own nested pools).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed, then rethrows the
+  /// exception of the earliest-submitted failed task, if any. The pool is
+  /// reusable afterwards — the error state is cleared.
+  void wait();
+
+  /// Worker count used when a caller passes 0: the `FASTSCHED_JOBS`
+  /// environment variable when set to a positive integer, otherwise the
+  /// hardware concurrency (at least 1).
+  [[nodiscard]] static std::size_t default_jobs();
+
+  /// `FASTSCHED_JOBS` as a positive integer, or 0 when unset/invalid.
+  [[nodiscard]] static std::size_t env_jobs() noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Runs `fn(0) .. fn(n-1)` on `jobs` workers (0 = `default_jobs()`) and
+/// returns when all are done, rethrowing the earliest-index failure.
+/// `jobs <= 1` or `n <= 1` runs inline with no threads — by the pool's
+/// determinism contract the results are identical either way. This is the
+/// one entry point the evaluation layer (sched_diff, the bench harness,
+/// sched_lint --bounds) fans out through.
+void parallel_for_index(std::size_t jobs, std::size_t n,
+                        const std::function<void(std::size_t)>& fn);
+
+/// Resolves a `--jobs` CLI value: "" means `FASTSCHED_JOBS` when set, else
+/// `fallback` (with `fallback == 0` meaning `default_jobs()`); "0" means
+/// every hardware thread; any other value is the explicit worker count.
+/// Throws `fastsched::Error` on non-numeric or negative input.
+[[nodiscard]] std::size_t resolve_jobs(const std::string& cli_value,
+                                       std::size_t fallback = 1);
+
+}  // namespace fastsched

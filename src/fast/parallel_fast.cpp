@@ -26,12 +26,15 @@ ParallelFastResult run_parallel_fast(const TaskGraph& g,
     if (classes[n] != graph::NodeClass::kCpn) blocking.push_back(n);
   }
 
-  // Derive one independent RNG stream per thread before spawning so the
-  // streams do not depend on scheduling order.
-  Rng master(options.seed);
+  // Thread t's stream is a pure function of (seed, t): independent of the
+  // spawn order, and the first T' streams are identical for every
+  // T >= T', which is what makes more threads never worse.
+  const Rng master(options.seed);
   std::vector<Rng> streams;
   streams.reserve(num_threads);
-  for (std::size_t t = 0; t < num_threads; ++t) streams.push_back(master.split());
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    streams.push_back(master.split(t));
+  }
 
   struct ThreadOutcome {
     std::vector<ProcId> assignment;

@@ -76,6 +76,84 @@ TEST(Rng, BernoulliMatchesProbability) {
   EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
 }
 
+TEST(Rng, SplitByStreamIdIsPureFunctionOfSeedAndId) {
+  // The documented contract: split(k) depends only on (seed, k), never on
+  // how many values the parent has drawn — the property that makes
+  // pool-task randomness independent of execution order.
+  Rng drained(13);
+  for (int i = 0; i < 1000; ++i) (void)drained.next();
+  const Rng fresh(13);
+  Rng a = drained.split(42);
+  Rng b = fresh.split(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitByStreamIdSiblingsDiverge) {
+  const Rng parent(99);
+  // Consecutive ids, the common task-index case, plus the parent itself.
+  Rng parent_copy(99);
+  Rng s0 = parent.split(0);
+  Rng s1 = parent.split(1);
+  Rng s2 = parent.split(2);
+  int collisions = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t v0 = s0.next();
+    const std::uint64_t v1 = s1.next();
+    const std::uint64_t v2 = s2.next();
+    const std::uint64_t vp = parent_copy.next();
+    if (v0 == v1 || v1 == v2 || v0 == v2) ++collisions;
+    if (v0 == vp || v1 == vp || v2 == vp) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Rng, SplitByStreamIdDiffersAcrossSeeds) {
+  Rng a = Rng(1).split(5);
+  Rng b = Rng(2).split(5);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitStreamsStatisticalSmoke) {
+  // Statistical smoke over 64 consecutive streams: each stream's
+  // uniform01 mean must be near 1/2 (no dead streams), the pooled draws
+  // must fill all 16 buckets roughly evenly (no shared structure between
+  // streams), and the first draw of every stream must be distinct.
+  const Rng master(1234);
+  constexpr int kStreams = 64;
+  constexpr int kDraws = 1000;
+  std::vector<std::uint64_t> first_draws;
+  std::vector<int> buckets(16, 0);
+  for (int s = 0; s < kStreams; ++s) {
+    Rng stream = master.split(static_cast<std::uint64_t>(s));
+    first_draws.push_back(stream.next());
+    double sum = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      const double v = stream.uniform01();
+      sum += v;
+      ++buckets[static_cast<std::size_t>(v * 16)];
+    }
+    EXPECT_NEAR(sum / kDraws, 0.5, 0.05) << "stream " << s;
+  }
+  std::sort(first_draws.begin(), first_draws.end());
+  EXPECT_EQ(std::adjacent_find(first_draws.begin(), first_draws.end()),
+            first_draws.end())
+      << "two streams started identically";
+  const double expected = kStreams * kDraws / 16.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    EXPECT_NEAR(buckets[b], expected, 0.05 * expected) << "bucket " << b;
+  }
+}
+
+TEST(Rng, SeedAccessorRoundTrips) {
+  EXPECT_EQ(Rng(123).seed(), 123u);
+  EXPECT_EQ(Rng(123).split(4).split(9).seed(),
+            Rng(123).split(4).split(9).seed());
+}
+
 TEST(Rng, SplitStreamsAreIndependent) {
   Rng parent(13);
   Rng child1 = parent.split();

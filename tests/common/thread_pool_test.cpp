@@ -1,0 +1,155 @@
+// Unit tests for the deterministic task pool: every task runs exactly
+// once, results merge in submission order, exceptions propagate with the
+// earliest-submitted failure winning, the bounded queue makes progress,
+// and per-task RNG streams are pure functions of the task index.
+
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fastsched {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    pool.submit([&hits, i] { ++hits[i]; });
+  }
+  pool.wait();
+  for (const auto& h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ReportsConfiguredWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+TEST(ThreadPool, ParallelForIndexMatchesSequentialResults) {
+  const std::size_t n = 400;
+  std::vector<std::uint64_t> sequential(n);
+  parallel_for_index(1, n, [&](std::size_t i) {
+    sequential[i] = i * i + 17;
+  });
+  std::vector<std::uint64_t> parallel(n);
+  parallel_for_index(8, n, [&](std::size_t i) {
+    parallel[i] = i * i + 17;
+  });
+  EXPECT_EQ(parallel, sequential);
+}
+
+TEST(ThreadPool, RethrowsEarliestSubmittedFailure) {
+  // Index 7 fails fast, index 3 fails slow: the wall-clock order of the
+  // failures is 7 then 3, but wait() must still report index 3 — the
+  // earliest submission — so the error a run prints is deterministic.
+  ThreadPool pool(4);
+  for (std::size_t i = 0; i < 16; ++i) {
+    pool.submit([i] {
+      if (i == 3) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        throw std::runtime_error("task 3");
+      }
+      if (i == 7) throw std::runtime_error("task 7");
+    });
+  }
+  try {
+    pool.wait();
+    FAIL() << "wait() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3");
+  }
+}
+
+TEST(ThreadPool, ReusableAfterAFailureIsReported) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error state is cleared; the next batch succeeds.
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&ran] { ++ran; });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(ran, 8);
+}
+
+TEST(ThreadPool, BoundedQueueStillCompletesLargeBatches) {
+  // Queue bound of 2 with 2 workers and 500 tasks: submit must block and
+  // resume rather than deadlock or drop tasks.
+  ThreadPool pool(2, 2);
+  std::atomic<std::size_t> sum{0};
+  for (std::size_t i = 0; i < 500; ++i) {
+    pool.submit([&sum, i] { sum += i; });
+  }
+  pool.wait();
+  EXPECT_EQ(sum, 500u * 499u / 2);
+}
+
+TEST(ThreadPool, ParallelForIndexEarliestFailureWinsUnderOversubscription) {
+  try {
+    parallel_for_index(8, 64, [](std::size_t i) {
+      if (i % 5 == 4) {  // 4, 9, 14, ... all fail
+        throw Error("cell " + std::to_string(i));
+      }
+    });
+    FAIL() << "parallel_for_index should have rethrown";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "cell 4");
+  }
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvironment) {
+  ASSERT_EQ(setenv("FASTSCHED_JOBS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::env_jobs(), 3u);
+  EXPECT_EQ(ThreadPool::default_jobs(), 3u);
+  ASSERT_EQ(setenv("FASTSCHED_JOBS", "garbage", 1), 0);
+  EXPECT_EQ(ThreadPool::env_jobs(), 0u);
+  ASSERT_EQ(unsetenv("FASTSCHED_JOBS"), 0);
+  EXPECT_EQ(ThreadPool::env_jobs(), 0u);
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
+
+TEST(ThreadPool, ResolveJobsContract) {
+  ASSERT_EQ(unsetenv("FASTSCHED_JOBS"), 0);
+  EXPECT_EQ(resolve_jobs("", 1), 1u);        // absent, sequential fallback
+  EXPECT_EQ(resolve_jobs("5", 1), 5u);       // explicit count
+  EXPECT_GE(resolve_jobs("0", 1), 1u);       // 0 = all cores
+  EXPECT_GE(resolve_jobs("", 0), 1u);        // fallback 0 = default_jobs()
+  ASSERT_EQ(setenv("FASTSCHED_JOBS", "2", 1), 0);
+  EXPECT_EQ(resolve_jobs("", 1), 2u);        // env beats the fallback
+  EXPECT_EQ(resolve_jobs("7", 1), 7u);       // explicit beats the env
+  ASSERT_EQ(unsetenv("FASTSCHED_JOBS"), 0);
+  EXPECT_THROW((void)resolve_jobs("-1", 1), Error);
+  EXPECT_THROW((void)resolve_jobs("abc", 1), Error);
+  EXPECT_THROW((void)resolve_jobs("4x", 1), Error);
+}
+
+TEST(ThreadPool, PerTaskSplitStreamsAreExecutionOrderIndependent) {
+  // The determinism recipe the evaluation layer relies on: task i derives
+  // its randomness as Rng(seed).split(i), so the values it draws cannot
+  // depend on which worker ran it or when.
+  const Rng master(2024);
+  const std::size_t n = 64;
+  std::vector<std::uint64_t> sequential(n);
+  for (std::size_t i = 0; i < n; ++i) sequential[i] = master.split(i).next();
+
+  std::vector<std::uint64_t> pooled(n);
+  parallel_for_index(8, n, [&](std::size_t i) {
+    pooled[i] = master.split(i).next();
+  });
+  EXPECT_EQ(pooled, sequential);
+}
+
+}  // namespace
+}  // namespace fastsched

@@ -1,0 +1,25 @@
+# compare_runs.cmake — run the same tool with two argument lists and require
+# byte-identical stdout (and equal, zero exit status). This is how the CLI
+# determinism guarantee is pinned: `--jobs 1` vs `--jobs 8` may differ only
+# in wall-clock, never in output.
+#
+# Usage (from add_test):
+#   cmake -DTOOL=<binary> "-DARGS_A=<arg string>" "-DARGS_B=<arg string>"
+#         -P compare_runs.cmake
+separate_arguments(args_a UNIX_COMMAND "${ARGS_A}")
+separate_arguments(args_b UNIX_COMMAND "${ARGS_B}")
+execute_process(COMMAND ${TOOL} ${args_a}
+  OUTPUT_VARIABLE out_a RESULT_VARIABLE rc_a)
+execute_process(COMMAND ${TOOL} ${args_b}
+  OUTPUT_VARIABLE out_b RESULT_VARIABLE rc_b)
+if(NOT rc_a EQUAL 0)
+  message(FATAL_ERROR "${TOOL} ${ARGS_A}: exit status ${rc_a}")
+endif()
+if(NOT rc_b EQUAL 0)
+  message(FATAL_ERROR "${TOOL} ${ARGS_B}: exit status ${rc_b}")
+endif()
+if(NOT out_a STREQUAL out_b)
+  message(FATAL_ERROR
+    "${TOOL}: '${ARGS_A}' and '${ARGS_B}' produced different stdout\n"
+    "--- A ---\n${out_a}\n--- B ---\n${out_b}")
+endif()

@@ -1,0 +1,27 @@
+# golden_test.cmake — run a tool and require its stdout to be byte-identical
+# to a checked-in golden file, with the expected exit status.
+#
+# Usage (from add_test):
+#   cmake -DTOOL=<binary> "-DARGS=<arg string>" -DGOLDEN=<file>
+#         [-DEXPECT_RC=<n>] -P golden_test.cmake
+#
+# Regenerating a golden after an intended report change:
+#   <binary> <args> > tests/fixtures/golden/<file>
+if(NOT DEFINED EXPECT_RC)
+  set(EXPECT_RC 0)
+endif()
+separate_arguments(tool_args UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND ${TOOL} ${tool_args}
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL ${EXPECT_RC})
+  message(FATAL_ERROR
+    "${TOOL} ${ARGS}: exit status ${rc}, expected ${EXPECT_RC}")
+endif()
+file(READ "${GOLDEN}" expected)
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR
+    "${TOOL} ${ARGS}: stdout differs from golden ${GOLDEN}\n"
+    "--- expected ---\n${expected}\n--- actual ---\n${actual}")
+endif()

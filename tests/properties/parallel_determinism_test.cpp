@@ -1,0 +1,169 @@
+// Determinism regression tests for the parallel evaluation engine: the
+// whole point of the work-stealing-free pool is that fanning the
+// (graph x scheduler) matrix, bench repetitions, or certificate batches
+// out over N workers produces *byte-identical* results to the sequential
+// run. These tests serialize both sides and compare the strings, so any
+// ordering or data race that sneaks into the evaluation layer fails
+// loudly (and deterministically under TSan, which runs this file too).
+//
+// The CLI-level counterparts — `sched_diff --jobs 1` vs `--jobs 8`,
+// `ccr_sweep --jobs 1` vs `--jobs 8` — are pinned by the
+// `determinism.*` ctest entries in tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/report_io.hpp"
+#include "baselines/registry.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sched/schedule.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/laplace.hpp"
+#include "workloads/random_layered.hpp"
+
+namespace fastsched {
+namespace {
+
+std::vector<graph::TaskGraph> evaluation_suite() {
+  std::vector<graph::TaskGraph> graphs;
+  graphs.push_back(workloads::gaussian_elimination_dag(8));
+  graphs.push_back(workloads::laplace_dag(8));
+  graphs.push_back(workloads::fft_dag(32));
+  workloads::RandomDagParams params;
+  params.num_nodes = 150;
+  params.avg_out_degree = 5.0;
+  params.ccr = 1.0;
+  params.seed = 77;
+  graphs.push_back(workloads::random_layered_dag(params));
+  return graphs;
+}
+
+/// Runs the full (graph x scheduler) evaluation matrix — schedule, lint,
+/// certify — on `jobs` workers and serializes every cell in submission
+/// order. This is sched_diff's engine distilled to a string.
+std::string evaluate_matrix(const std::vector<graph::TaskGraph>& graphs,
+                            const std::vector<std::string>& algorithms,
+                            std::size_t jobs) {
+  const std::size_t n = graphs.size() * algorithms.size();
+  std::vector<std::string> cells(n);
+  parallel_for_index(jobs, n, [&](std::size_t i) {
+    const graph::TaskGraph& g = graphs[i / algorithms.size()];
+    const std::string& algo = algorithms[i % algorithms.size()];
+    sched::SchedulerOptions options;
+    options.num_procs = 16;
+    const sched::Schedule s =
+        baselines::make_scheduler(algo)->run(g, options);
+
+    analysis::LintInput input;
+    input.graph = &g;
+    input.schedule = &s;
+    input.reported_length = s.length();
+    const analysis::LintReport lint = analysis::lint(input);
+
+    const analysis::BoundSet bounds =
+        analysis::compute_bounds(g, s.num_procs());
+
+    std::ostringstream cell;
+    cell << algo << '|' << s.length() << '|' << s.procs_used() << '|'
+         << lint.num_errors << '|' << lint.num_warnings << '|'
+         << bounds.best();
+    for (const analysis::BoundCertificate& cert : bounds.certificates) {
+      cell << '|' << analysis::to_json(cert);
+    }
+    cells[i] = cell.str();
+  });
+  std::string merged;
+  for (const std::string& cell : cells) {
+    merged += cell;
+    merged += '\n';
+  }
+  return merged;
+}
+
+TEST(ParallelDeterminism, SchedulerMatrixIsByteIdenticalAcrossJobCounts) {
+  const std::vector<graph::TaskGraph> graphs = evaluation_suite();
+  const std::vector<std::string> algorithms = {"FAST", "DSC", "MD", "ETF",
+                                               "DLS"};
+  const std::string sequential = evaluate_matrix(graphs, algorithms, 1);
+  EXPECT_FALSE(sequential.empty());
+  for (const std::size_t jobs : {2u, 8u, 16u}) {
+    EXPECT_EQ(evaluate_matrix(graphs, algorithms, jobs), sequential)
+        << jobs << " jobs";
+  }
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAreStable) {
+  // Same job count, repeated runs: catches racy accumulation rather than
+  // racy merge order.
+  const std::vector<graph::TaskGraph> graphs = evaluation_suite();
+  const std::vector<std::string> algorithms = {"FAST", "ETF"};
+  const std::string first = evaluate_matrix(graphs, algorithms, 8);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_EQ(evaluate_matrix(graphs, algorithms, 8), first)
+        << "repeat " << repeat;
+  }
+}
+
+TEST(ParallelDeterminism, BoundsBatchMatchesSequentialCertificates) {
+  const std::vector<graph::TaskGraph> graphs = evaluation_suite();
+  std::vector<analysis::BoundRequest> requests;
+  for (const graph::TaskGraph& g : graphs) requests.push_back({&g, 16});
+
+  const auto serialize = [](const std::vector<analysis::BoundSet>& sets) {
+    std::string out;
+    for (const analysis::BoundSet& set : sets) {
+      for (const analysis::BoundCertificate& cert : set.certificates) {
+        out += analysis::to_json(cert);
+        out += '\n';
+      }
+    }
+    return out;
+  };
+
+  const std::string sequential =
+      serialize(analysis::compute_bounds_batch(requests, {}, 1));
+  EXPECT_NE(sequential.find("comm-cp"), std::string::npos);
+  for (const std::size_t jobs : {2u, 8u}) {
+    EXPECT_EQ(serialize(analysis::compute_bounds_batch(requests, {}, jobs)),
+              sequential)
+        << jobs << " jobs";
+  }
+}
+
+TEST(ParallelDeterminism, BenchRepetitionsWithSplitStreamsAreOrderFree) {
+  // The bench-repetition recipe: trial t's generator seed is
+  // Rng(bench_seed).split(t) — a pure function of t — so the schedule
+  // lengths of a sweep cannot depend on the worker interleaving.
+  const Rng bench_seed(7);
+  const std::size_t trials = 12;
+
+  const auto run_trials = [&](std::size_t jobs) {
+    std::vector<double> lengths(trials);
+    parallel_for_index(jobs, trials, [&](std::size_t t) {
+      workloads::RandomDagParams params;
+      params.num_nodes = 120;
+      params.avg_out_degree = 4.0;
+      params.ccr = 2.0;
+      params.seed = bench_seed.split(t).next();
+      const graph::TaskGraph g = workloads::random_layered_dag(params);
+      sched::SchedulerOptions options;
+      options.num_procs = 8;
+      lengths[t] = baselines::make_scheduler("FAST")->run(g, options).length();
+    });
+    return lengths;
+  };
+
+  const std::vector<double> sequential = run_trials(1);
+  EXPECT_EQ(run_trials(8), sequential);
+  EXPECT_EQ(run_trials(16), sequential);
+}
+
+}  // namespace
+}  // namespace fastsched

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/dag_lint.hpp"
 #include "graph/levels.hpp"
 #include "workloads/fft.hpp"
 #include "workloads/gaussian.hpp"
@@ -11,6 +12,19 @@
 
 namespace fastsched::workloads {
 namespace {
+
+/// Runs the full DAG-lint rule set and asserts the generator produced an
+/// anomaly-free graph: no errors AND no warnings (duplicate or transitive
+/// edges, isolated nodes, zero weights, cost outliers...).
+void expect_lint_clean(const graph::TaskGraph& g, const std::string& what) {
+  const analysis::DagLintReport report = analysis::dag_lint(analysis::to_raw(g));
+  EXPECT_TRUE(report.clean()) << what << ": " << report.num_errors
+                              << " errors, " << report.num_warnings
+                              << " warnings; first: "
+                              << (report.diagnostics.empty()
+                                      ? std::string("-")
+                                      : report.diagnostics.front().message);
+}
 
 // ---------------------------------------------------------------- Gaussian
 
@@ -120,6 +134,43 @@ TEST(Fft, ButterflyStructure) {
 TEST(Fft, RejectsNonPowerOfTwo) {
   EXPECT_THROW((void)fft_dag(12), Error);
   EXPECT_THROW((void)fft_dag(2), Error);
+}
+
+// ----------------------------------------------- DAG-lint certification
+// Every workload generator must be certified anomaly-free by the full
+// DAG-lint rule set at every size the paper's tables use: the evaluation
+// matrix (sched_diff, bench tables) builds on these graphs, so a
+// generator bug would silently skew every downstream number.
+
+TEST(Gaussian, DagLintCertifiesEveryPaperSize) {
+  for (const int dim : {4, 8, 16, 32}) {
+    expect_lint_clean(gaussian_elimination_dag(dim),
+                      "gauss:" + std::to_string(dim));
+  }
+}
+
+TEST(Laplace, DagLintCertifiesEveryPaperSize) {
+  // The distribute/collect broadcast runs parallel to the wavefront
+  // chain, so the boundary edges are transitively implied — intended
+  // structure (they carry real communication cost), not an anomaly. The
+  // certificate here is: zero errors, and *exactly* the 2N transitive
+  // boundary edges as warnings, nothing else.
+  for (const int dim : {4, 8, 16, 32}) {
+    const analysis::DagLintReport report =
+        analysis::dag_lint(analysis::to_raw(laplace_dag(dim)));
+    EXPECT_EQ(report.num_errors, 0u) << "laplace:" << dim;
+    EXPECT_EQ(report.num_warnings, static_cast<std::size_t>(2 * dim))
+        << "laplace:" << dim;
+    for (const analysis::Diagnostic& d : report.diagnostics) {
+      EXPECT_EQ(d.rule_id, "transitive-edge") << "laplace:" << dim;
+    }
+  }
+}
+
+TEST(Fft, DagLintCertifiesEveryPaperSize) {
+  for (const int points : {16, 64, 128, 512}) {
+    expect_lint_clean(fft_dag(points), "fft:" + std::to_string(points));
+  }
 }
 
 // --------------------------------------------------------------- TimingDb

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "analysis/dag_lint.hpp"
 #include "graph/io.hpp"
 
 namespace fastsched::workloads {
@@ -93,6 +96,37 @@ TEST(RandomLayered, PaperScaleInstanceIsDense) {
   params.seed = 1;
   const auto g = random_layered_dag(params);
   EXPECT_GT(g.num_edges(), 40000u);
+}
+
+TEST(RandomLayered, DagLintCertifiesGeneratedInstances) {
+  // The random suite feeds the determinism tests and the rand:N workload
+  // of sched_diff, so generated instances must be certified anomaly-free
+  // by the full DAG-lint rule set — across sizes, densities, and CCRs.
+  // Edges that skip layers are a deliberate feature of the generator and
+  // carry real communication cost, so transitive-edge warnings are
+  // whitelisted; every other rule must stay silent.
+  struct Case {
+    std::size_t num_nodes;
+    double avg_out_degree;
+    double ccr;
+    std::uint64_t seed;
+  };
+  for (const Case& c : {Case{100, 4.0, 0.5, 1}, Case{340, 8.0, 2.0, 77},
+                        Case{300, 8.0, 1.0, 1996}}) {
+    RandomDagParams params;
+    params.num_nodes = c.num_nodes;
+    params.avg_out_degree = c.avg_out_degree;
+    params.ccr = c.ccr;
+    params.seed = c.seed;
+    const auto g = random_layered_dag(params);
+    const analysis::DagLintReport report =
+        analysis::dag_lint(analysis::to_raw(g));
+    EXPECT_EQ(report.num_errors, 0u) << "seed " << c.seed;
+    for (const analysis::Diagnostic& d : report.diagnostics) {
+      EXPECT_EQ(d.rule_id, "transitive-edge")
+          << "seed " << c.seed << ": " << d.message;
+    }
+  }
 }
 
 TEST(RandomLayered, RejectsBadParams) {

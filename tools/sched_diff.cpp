@@ -27,11 +27,13 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "graph/io.hpp"
 #include "workloads/fft.hpp"
 #include "workloads/gaussian.hpp"
 #include "workloads/laplace.hpp"
 #include "workloads/paper_example.hpp"
+#include "workloads/random_layered.hpp"
 
 namespace {
 
@@ -84,8 +86,19 @@ Input make_workload(const std::string& spec) {
   if (name == "paper") {
     return {spec, workloads::paper_figure1_dag()};
   }
+  if (name == "rand" || name == "random") {
+    // The fig8 setup at a tamer density: seed tied to N the same way, so
+    // rand:2000 always names the same instance.
+    FASTSCHED_REQUIRE(size >= 2, "rand workload needs a size >= 2");
+    workloads::RandomDagParams params;
+    params.num_nodes = static_cast<std::size_t>(size);
+    params.avg_out_degree = 8.0;
+    params.ccr = 1.0;
+    params.seed = 1996 + static_cast<std::uint64_t>(size);
+    return {spec, workloads::random_layered_dag(params)};
+  }
   throw Error("unknown workload '" + name +
-              "' (expected gauss:N, laplace:N, fft:N or paper)");
+              "' (expected gauss:N, laplace:N, fft:N, rand:N or paper)");
 }
 
 Run run_one(const std::string& algorithm, const graph::TaskGraph& g,
@@ -233,6 +246,10 @@ int run(int argc, char** argv) {
   cli.add_option("procs", "0",
                  "processor budget for bounded schedulers (0 = one per "
                  "task)");
+  cli.add_option("jobs", "",
+                 "worker threads for the (graph x scheduler) matrix "
+                 "(default: $FASTSCHED_JOBS or all cores; output is "
+                 "byte-identical for every value)");
   cli.add_flag("json", "emit the report as JSON instead of tables");
   cli.add_flag("warnings-as-errors", "exit nonzero on lint warnings too");
   cli.add_flag("quiet", "suppress output; use the exit status only");
@@ -261,21 +278,31 @@ int run(int argc, char** argv) {
   const std::size_t procs =
       static_cast<std::size_t>(cli.get_int("procs"));
 
-  std::vector<std::vector<Run>> all_runs;
+  // Every (graph, scheduler) cell is an independent pure computation;
+  // fan the whole matrix out over the deterministic pool and merge in
+  // submission order, so the report is byte-identical for every --jobs
+  // value (the determinism regression tests pin exactly this).
+  const std::size_t jobs = resolve_jobs(cli.get("jobs"), /*fallback=*/0);
+  std::vector<std::vector<Run>> all_runs(inputs.size());
+  for (auto& runs : all_runs) runs.resize(algorithms.size());
+  parallel_for_index(
+      jobs, inputs.size() * algorithms.size(), [&](std::size_t i) {
+        const std::size_t gi = i / algorithms.size();
+        const std::size_t ai = i % algorithms.size();
+        all_runs[gi][ai] = run_one(algorithms[ai], inputs[gi].graph, procs);
+      });
+
   std::vector<std::vector<std::string>> all_anomalies;
   std::size_t schedules = 0;
   std::size_t dirty = 0;
   bool warned = false;
-  for (const Input& input : inputs) {
-    std::vector<Run> runs;
-    for (const std::string& algorithm : algorithms) {
-      runs.push_back(run_one(algorithm, input.graph, procs));
+  for (std::size_t gi = 0; gi < inputs.size(); ++gi) {
+    for (const Run& run : all_runs[gi]) {
       ++schedules;
-      if (!runs.back().lint.ok()) ++dirty;
-      if (runs.back().lint.num_warnings > 0) warned = true;
+      if (!run.lint.ok()) ++dirty;
+      if (run.lint.num_warnings > 0) warned = true;
     }
-    all_anomalies.push_back(find_anomalies(input, runs));
-    all_runs.push_back(std::move(runs));
+    all_anomalies.push_back(find_anomalies(inputs[gi], all_runs[gi]));
   }
 
   const bool quiet = cli.get_flag("quiet");

@@ -11,13 +11,16 @@
 
 #include <fstream>
 #include <iostream>
-#include <optional>
+#include <utility>
+#include <vector>
 
 #include "analysis/bounds.hpp"
 #include "analysis/lint.hpp"
 #include "analysis/report_io.hpp"
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "graph/io.hpp"
 #include "sched/io.hpp"
 
@@ -27,13 +30,21 @@ using namespace fastsched;
 
 int run(int argc, char** argv) {
   CliParser cli(
-      "sched_lint: check a schedule against its task graph with the "
-      "schedule-lint rule engine.\n"
-      "usage: sched_lint [--graph] <graph-file> [--schedule] <schedule-file>");
+      "sched_lint: check one or more schedules against their task graphs "
+      "with the schedule-lint rule engine. Multiple (graph, schedule) "
+      "pairs are given positionally and checked concurrently on the "
+      "--jobs pool; reports print in input order.\n"
+      "usage: sched_lint [--graph] <graph-file> [--schedule] <schedule-file> "
+      "[<graph-file> <schedule-file>...]");
   cli.add_option("graph", "", "task-graph file (graph text format)");
   cli.add_option("schedule", "", "schedule file (schedule text format)");
   cli.add_option("reported-length", "",
-                 "externally reported makespan to cross-check");
+                 "externally reported makespan to cross-check (single "
+                 "pair only)");
+  cli.add_option("jobs", "",
+                 "worker threads across (graph, schedule) pairs (default: "
+                 "$FASTSCHED_JOBS or all cores; output is byte-identical "
+                 "for every value)");
   cli.add_flag("bounds", "print certified lower bounds and the gap");
   cli.add_flag("json", "emit the report as JSON instead of text");
   cli.add_flag("warnings-as-errors", "exit nonzero on warnings too");
@@ -50,63 +61,111 @@ int run(int argc, char** argv) {
     return 0;
   }
 
-  std::string graph_path = cli.get("graph");
-  std::string schedule_path = cli.get("schedule");
-  const auto& positional = cli.positional();
-  std::size_t next_positional = 0;
-  if (graph_path.empty() && next_positional < positional.size()) {
-    graph_path = positional[next_positional++];
+  // Assemble the (graph, schedule) pair list: the --graph/--schedule
+  // options (completed from positionals, the historical single-pair
+  // interface), then any remaining positionals two at a time.
+  std::vector<std::pair<std::string, std::string>> pair_paths;
+  {
+    std::string graph_path = cli.get("graph");
+    std::string schedule_path = cli.get("schedule");
+    const auto& positional = cli.positional();
+    std::size_t next_positional = 0;
+    if (graph_path.empty() && next_positional < positional.size()) {
+      graph_path = positional[next_positional++];
+    }
+    if (schedule_path.empty() && next_positional < positional.size()) {
+      schedule_path = positional[next_positional++];
+    }
+    if (graph_path.empty() || schedule_path.empty()) {
+      std::cerr << "sched_lint: need both a graph and a schedule file\n"
+                << cli.usage();
+      return 2;
+    }
+    pair_paths.emplace_back(std::move(graph_path), std::move(schedule_path));
+    if ((positional.size() - next_positional) % 2 != 0) {
+      std::cerr << "sched_lint: positional arguments must form (graph, "
+                   "schedule) pairs\n"
+                << cli.usage();
+      return 2;
+    }
+    for (; next_positional < positional.size(); next_positional += 2) {
+      pair_paths.emplace_back(positional[next_positional],
+                              positional[next_positional + 1]);
+    }
   }
-  if (schedule_path.empty() && next_positional < positional.size()) {
-    schedule_path = positional[next_positional++];
-  }
-  if (graph_path.empty() || schedule_path.empty()) {
-    std::cerr << "sched_lint: need both a graph and a schedule file\n"
-              << cli.usage();
+  if (!cli.get("reported-length").empty() && pair_paths.size() > 1) {
+    std::cerr << "sched_lint: --reported-length needs exactly one "
+                 "(graph, schedule) pair\n";
     return 2;
   }
 
-  std::ifstream graph_file(graph_path);
-  if (!graph_file) {
-    std::cerr << "sched_lint: cannot open graph file '" << graph_path << "'\n";
-    return 2;
+  struct Pair {
+    graph::TaskGraph graph;
+    sched::Schedule schedule{0, 1};
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(pair_paths.size());
+  for (const auto& [graph_path, schedule_path] : pair_paths) {
+    std::ifstream graph_file(graph_path);
+    if (!graph_file) {
+      std::cerr << "sched_lint: cannot open graph file '" << graph_path
+                << "'\n";
+      return 2;
+    }
+    std::ifstream schedule_file(schedule_path);
+    if (!schedule_file) {
+      std::cerr << "sched_lint: cannot open schedule file '" << schedule_path
+                << "'\n";
+      return 2;
+    }
+    pairs.push_back(
+        {graph::read_text(graph_file), sched::read_text(schedule_file)});
   }
-  std::ifstream schedule_file(schedule_path);
-  if (!schedule_file) {
-    std::cerr << "sched_lint: cannot open schedule file '" << schedule_path
-              << "'\n";
-    return 2;
-  }
 
-  const graph::TaskGraph g = graph::read_text(graph_file);
-  const sched::Schedule s = sched::read_text(schedule_file);
+  // Lint every pair on the pool; certificate computation — the expensive
+  // part under --bounds — goes through the batch bounds API on the same
+  // worker count. Both merges are in input order.
+  const std::size_t jobs = resolve_jobs(cli.get("jobs"), /*fallback=*/0);
+  std::vector<analysis::LintReport> reports(pairs.size());
+  parallel_for_index(jobs, pairs.size(), [&](std::size_t i) {
+    analysis::LintInput input;
+    input.graph = &pairs[i].graph;
+    input.schedule = &pairs[i].schedule;
+    if (!cli.get("reported-length").empty()) {
+      input.reported_length = cli.get_double("reported-length");
+    }
+    reports[i] = analysis::lint(input);
+  });
 
-  analysis::LintInput input;
-  input.graph = &g;
-  input.schedule = &s;
-  if (!cli.get("reported-length").empty()) {
-    input.reported_length = cli.get_double("reported-length");
-  }
-
-  const analysis::LintReport report = analysis::lint(input);
-
-  std::optional<analysis::BoundSet> bounds;
+  std::vector<analysis::BoundSet> bounds;
   if (cli.get_flag("bounds")) {
-    analysis::BoundOptions bound_options;
-    bound_options.num_procs = s.num_procs();
-    bounds = analysis::compute_bounds(g, bound_options);
+    std::vector<analysis::BoundRequest> requests;
+    requests.reserve(pairs.size());
+    for (const Pair& pair : pairs) {
+      requests.push_back({&pair.graph, pair.schedule.num_procs()});
+    }
+    bounds = analysis::compute_bounds_batch(requests, {}, jobs);
   }
 
   const bool quiet = cli.get_flag("quiet");
-  if (!quiet && cli.get_flag("json")) {
-    analysis::write_json(std::cout, report, &g,
-                         bounds ? &*bounds : nullptr, s.length());
-  } else if (!quiet) {
+  bool all_ok = true;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const graph::TaskGraph& g = pairs[i].graph;
+    const sched::Schedule& s = pairs[i].schedule;
+    const std::string& schedule_path = pair_paths[i].second;
+    const analysis::LintReport& report = reports[i];
+    all_ok = all_ok && report.ok(cli.get_flag("warnings-as-errors"));
+    if (quiet) continue;
+    if (cli.get_flag("json")) {
+      analysis::write_json(std::cout, report, &g,
+                           bounds.empty() ? nullptr : &bounds[i], s.length());
+      continue;
+    }
     for (const analysis::Diagnostic& d : report.diagnostics) {
       std::cout << analysis::format(d, &g) << '\n';
     }
-    if (bounds) {
-      for (const analysis::BoundCertificate& cert : bounds->certificates) {
+    if (!bounds.empty()) {
+      for (const analysis::BoundCertificate& cert : bounds[i].certificates) {
         std::cout << "bound[" << cert.id << "] = " << Table::num(cert.value, 4)
                   << (cert.num_procs > 0
                           ? " (p = " + std::to_string(cert.num_procs) + ")"
@@ -115,16 +174,16 @@ int run(int argc, char** argv) {
       }
       std::cout << schedule_path << ": makespan "
                 << Table::num(s.length(), 4) << ", best bound "
-                << Table::num(bounds->best(), 4) << ", gap "
-                << Table::num(
-                       100.0 * analysis::optimality_gap(*bounds, s.length()),
-                       1)
+                << Table::num(bounds[i].best(), 4) << ", gap "
+                << Table::num(100.0 * analysis::optimality_gap(bounds[i],
+                                                               s.length()),
+                              1)
                 << "%\n";
     }
     std::cout << schedule_path << ": " << report.num_errors << " errors, "
               << report.num_warnings << " warnings\n";
   }
-  return report.ok(cli.get_flag("warnings-as-errors")) ? 0 : 1;
+  return all_ok ? 0 : 1;
 }
 
 }  // namespace
