@@ -1,0 +1,295 @@
+// google-benchmark microbenches for the per-move cost of candidate
+// evaluation, the quantity FAST's O(MAXSTEP * (v + e)) search budget is
+// built from (paper §4). Three evaluator configurations are timed on the
+// same pre-generated move sequences:
+//
+//   FullScan            the seed's O(v + e) full list replay per move
+//   Incremental         suffix restart from the nearest prefix checkpoint
+//   IncrementalBounded  suffix restart + early rejection at the incumbent
+//
+// swept over graph size, the moved node's list position (front moves
+// replay almost the whole list, back moves almost none of it), CCR, and
+// the checkpoint interval K. The CI smoke step persists the JSON output
+// as BENCH_evaluator.json; EXPERIMENTS.md analyses a full run.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "fast/cpn_dominate.hpp"
+#include "fast/evaluator.hpp"
+#include "fast/incremental_evaluator.hpp"
+#include "fast/initial_schedule.hpp"
+#include "workloads/random_layered.hpp"
+
+namespace {
+
+using namespace fastsched;
+
+constexpr std::size_t kProcs = 64;
+constexpr std::size_t kNumMoves = 512;
+
+graph::TaskGraph make_graph(std::int64_t nodes, double ccr = 1.0) {
+  workloads::RandomDagParams params;
+  params.num_nodes = static_cast<std::size_t>(nodes);
+  params.avg_out_degree = 8.0;
+  params.ccr = ccr;
+  params.seed = 42;
+  return workloads::random_layered_dag(params);
+}
+
+/// Where in the list the moved nodes sit: uniform, or concentrated in the
+/// first / middle / last tenth (front moves are the incremental
+/// evaluator's worst case, back moves its best).
+enum Regime : std::int64_t { kUniform = 0, kFront = 1, kMid = 2, kBack = 3 };
+
+const char* regime_name(std::int64_t r) {
+  switch (r) {
+    case kFront: return "front";
+    case kMid: return "mid";
+    case kBack: return "back";
+    default: return "uniform";
+  }
+}
+
+struct Move {
+  graph::NodeId node;
+  sched::ProcId target;
+};
+
+/// One shared fixture per (v, ccr): graph, list, initial assignment, and
+/// per-regime move sequences, so every benchmark times identical moves.
+struct Fixture {
+  graph::TaskGraph g;
+  std::vector<graph::NodeId> list;
+  std::vector<sched::ProcId> assignment;
+
+  Fixture(std::int64_t nodes, double ccr) : g(make_graph(nodes, ccr)) {
+    const auto levels = graph::compute_levels(g);
+    const auto classes = graph::classify_nodes(g, levels);
+    list = fast::build_cpn_dominate_list(g, levels, classes);
+    assignment = fast::initial_schedule(g, list, kProcs).assignment;
+  }
+
+  std::vector<Move> moves(std::int64_t regime) const {
+    Rng rng(7u * static_cast<std::uint64_t>(regime) + 1234);
+    const std::size_t v = list.size();
+    const std::size_t tenth = std::max<std::size_t>(1, v / 10);
+    std::vector<Move> out(kNumMoves);
+    for (Move& m : out) {
+      std::size_t pos = 0;
+      switch (regime) {
+        case kFront: pos = rng.uniform(tenth); break;
+        case kMid: pos = (v - tenth) / 2 + rng.uniform(tenth); break;
+        case kBack: pos = v - tenth + rng.uniform(tenth); break;
+        default: pos = rng.uniform(v); break;
+      }
+      m.node = list[pos];
+      m.target = static_cast<sched::ProcId>(rng.uniform(kProcs));
+    }
+    return out;
+  }
+};
+
+const Fixture& fixture(std::int64_t nodes, double ccr = 1.0) {
+  // Benches run single-threaded; the cache keeps setup out of timing.
+  static std::vector<std::pair<std::pair<std::int64_t, double>, Fixture>> cache;
+  for (const auto& [key, fix] : cache) {
+    if (key.first == nodes && key.second == ccr) return fix;
+  }
+  cache.emplace_back(std::make_pair(nodes, ccr), Fixture(nodes, ccr));
+  return cache.back().second;
+}
+
+void set_labels(benchmark::State& state, const graph::TaskGraph& g,
+                std::int64_t regime) {
+  state.SetLabel(regime_name(regime));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+
+/// Seed-equivalent cost: one full O(v + e) replay per candidate move.
+void BM_FullScanPerMove(benchmark::State& state) {
+  const Fixture& fix = fixture(state.range(0));
+  const auto moves = fix.moves(state.range(1));
+  fast::AssignmentEvaluator eval(fix.g, fix.list, kProcs);
+  auto assignment = fix.assignment;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Move& m = moves[i++ % kNumMoves];
+    const sched::ProcId original = assignment[m.node];
+    assignment[m.node] = m.target;
+    benchmark::DoNotOptimize(eval.evaluate(assignment));
+    assignment[m.node] = original;
+  }
+  set_labels(state, fix.g, state.range(1));
+}
+BENCHMARK(BM_FullScanPerMove)
+    ->Args({500, kUniform})
+    ->Args({2000, kUniform})
+    ->Args({8000, kUniform})
+    ->Args({8000, kFront})
+    ->Args({8000, kMid})
+    ->Args({8000, kBack});
+
+/// Suffix restart only (no bound): probe + O(1) revert per move.
+void BM_IncrementalPerMove(benchmark::State& state) {
+  const Fixture& fix = fixture(state.range(0));
+  const auto moves = fix.moves(state.range(1));
+  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs);
+  eval.reset(fix.assignment);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Move& m = moves[i++ % kNumMoves];
+    benchmark::DoNotOptimize(eval.evaluate_move(m.node, m.target));
+    eval.revert();
+  }
+  set_labels(state, fix.g, state.range(1));
+}
+BENCHMARK(BM_IncrementalPerMove)
+    ->Args({500, kUniform})
+    ->Args({2000, kUniform})
+    ->Args({8000, kUniform})
+    ->Args({8000, kFront})
+    ->Args({8000, kMid})
+    ->Args({8000, kBack});
+
+/// Suffix restart + early rejection against the incumbent length (the
+/// hill climb's actual probe): scans abort the moment the running length
+/// reaches the incumbent.
+void BM_IncrementalBoundedPerMove(benchmark::State& state) {
+  const Fixture& fix = fixture(state.range(0));
+  const auto moves = fix.moves(state.range(1));
+  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs);
+  const graph::Cost incumbent = eval.reset(fix.assignment);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Move& m = moves[i++ % kNumMoves];
+    benchmark::DoNotOptimize(eval.evaluate_move(m.node, m.target, incumbent));
+    eval.revert();
+  }
+  set_labels(state, fix.g, state.range(1));
+}
+BENCHMARK(BM_IncrementalBoundedPerMove)
+    ->Args({500, kUniform})
+    ->Args({2000, kUniform})
+    ->Args({8000, kUniform})
+    ->Args({8000, kFront})
+    ->Args({8000, kMid})
+    ->Args({8000, kBack});
+
+/// Accepted moves: probe + commit (checkpoint refresh walk included).
+/// Each pair of iterations transfers a node out and back, so committed
+/// state never drifts from the fixture assignment.
+void BM_IncrementalCommitPerMove(benchmark::State& state) {
+  const Fixture& fix = fixture(state.range(0));
+  const auto moves = fix.moves(kUniform);
+  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs);
+  eval.reset(fix.assignment);
+  std::size_t i = 0;
+  bool outbound = true;
+  for (auto _ : state) {
+    const Move& m = moves[i % kNumMoves];
+    const sched::ProcId to =
+        outbound ? m.target : fix.assignment[m.node];
+    benchmark::DoNotOptimize(eval.evaluate_move(m.node, to));
+    benchmark::DoNotOptimize(eval.commit());
+    if (!outbound) ++i;
+    outbound = !outbound;
+  }
+  set_labels(state, fix.g, kUniform);
+}
+BENCHMARK(BM_IncrementalCommitPerMove)->Args({500})->Args({2000})->Args({8000});
+
+/// Checkpoint-interval sweep at v = 8000: small K shortens restarts but
+/// inflates reset/commit checkpoint work; K = 0 is the auto policy.
+void BM_IncrementalKSweep(benchmark::State& state) {
+  const Fixture& fix = fixture(8000);
+  const auto moves = fix.moves(kUniform);
+  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs,
+                                  static_cast<std::size_t>(state.range(0)));
+  eval.reset(fix.assignment);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Move& m = moves[i++ % kNumMoves];
+    benchmark::DoNotOptimize(eval.evaluate_move(m.node, m.target));
+    eval.revert();
+  }
+  state.SetLabel("K=" + std::to_string(eval.checkpoint_interval()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fix.g.num_edges()));
+}
+BENCHMARK(BM_IncrementalKSweep)->Arg(16)->Arg(64)->Arg(256)->Arg(0);
+
+/// CCR sweep at v = 2000 (arg is CCR x 10): communication-dominated
+/// graphs have longer critical paths through comm edges, changing how
+/// early the bounded scan can abort.
+void BM_FullScanCcr(benchmark::State& state) {
+  const Fixture& fix = fixture(2000, state.range(0) / 10.0);
+  const auto moves = fix.moves(kUniform);
+  fast::AssignmentEvaluator eval(fix.g, fix.list, kProcs);
+  auto assignment = fix.assignment;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Move& m = moves[i++ % kNumMoves];
+    const sched::ProcId original = assignment[m.node];
+    assignment[m.node] = m.target;
+    benchmark::DoNotOptimize(eval.evaluate(assignment));
+    assignment[m.node] = original;
+  }
+  set_labels(state, fix.g, kUniform);
+}
+BENCHMARK(BM_FullScanCcr)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_IncrementalBoundedCcr(benchmark::State& state) {
+  const Fixture& fix = fixture(2000, state.range(0) / 10.0);
+  const auto moves = fix.moves(kUniform);
+  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs);
+  const graph::Cost incumbent = eval.reset(fix.assignment);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Move& m = moves[i++ % kNumMoves];
+    benchmark::DoNotOptimize(eval.evaluate_move(m.node, m.target, incumbent));
+    eval.revert();
+  }
+  set_labels(state, fix.g, kUniform);
+}
+BENCHMARK(BM_IncrementalBoundedCcr)->Arg(1)->Arg(10)->Arg(100);
+
+/// Differential preflight: before timing anything, the incremental
+/// evaluator must agree with the full scan to the bit on the exact move
+/// sequences under benchmark, so the timed loops can never measure an
+/// evaluator that is fast but wrong.
+void preflight_differential() {
+  for (const std::int64_t v : {500L, 2000L, 8000L}) {
+    const Fixture& fix = fixture(v);
+    fast::AssignmentEvaluator oracle(fix.g, fix.list, kProcs);
+    fast::IncrementalEvaluator inc(fix.g, fix.list, kProcs);
+    inc.reset(fix.assignment);
+    auto trial = fix.assignment;
+    for (const std::int64_t regime : {kUniform, kFront, kMid, kBack}) {
+      for (const Move& m : fix.moves(regime)) {
+        const sched::ProcId original = trial[m.node];
+        trial[m.node] = m.target;
+        const auto got = inc.evaluate_move(m.node, m.target);
+        inc.revert();
+        FASTSCHED_REQUIRE(got.has_value() && *got == oracle.evaluate(trial),
+                          "micro_evaluator preflight: incremental evaluator "
+                          "diverged from the full-scan oracle");
+        trial[m.node] = original;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  preflight_differential();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

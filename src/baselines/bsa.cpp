@@ -4,7 +4,7 @@
 #include <deque>
 
 #include "fast/cpn_dominate.hpp"
-#include "fast/evaluator.hpp"
+#include "fast/incremental_evaluator.hpp"
 #include "graph/classification.hpp"
 
 namespace fastsched::baselines {
@@ -43,9 +43,9 @@ sched::Schedule BsaScheduler::run(const graph::TaskGraph& g,
   const graph::LevelInfo levels = graph::compute_levels(g);
   const auto classes = graph::classify_nodes(g, levels);
   auto list = fast::build_cpn_dominate_list(g, levels, classes);
-  fast::AssignmentEvaluator evaluator(g, list, num_procs);
+  fast::IncrementalEvaluator evaluator(g, list, num_procs);
   std::vector<ProcId> assignment(v, 0);
-  Cost length = evaluator.evaluate(assignment);
+  Cost length = evaluator.reset(assignment);
 
   // Per-task start times under the current assignment (recomputed from a
   // materialized schedule after each accepted migration batch).
@@ -98,22 +98,27 @@ sched::Schedule BsaScheduler::run(const graph::TaskGraph& g,
         Cost best_length = length;
         Cost best_start = starts[n];
         for (const ProcId q : adj) {
-          assignment[n] = q;
-          const Cost candidate = evaluator.evaluate(assignment);
+          // Unbounded scan: the bubble condition also accepts
+          // equal-length moves, so the exact candidate length is needed.
+          const Cost candidate = *evaluator.evaluate_move(n, q);
           if (graph::definitely_less(candidate, best_length)) {
             best_length = candidate;
             best_proc = q;
           } else if (graph::approx_equal(candidate, best_length)) {
-            const sched::Schedule trial = evaluator.materialize(assignment);
-            if (graph::definitely_less(trial.start(n), best_start)) {
-              best_start = trial.start(n);
+            // The scan already computed the moved task's start time — no
+            // materialized trial schedule needed for the tie-break.
+            const Cost trial_start = evaluator.pending_start();
+            if (graph::definitely_less(trial_start, best_start)) {
+              best_start = trial_start;
               best_proc = q;
             }
           }
         }
-        assignment[n] = best_proc;
+        evaluator.revert();
         if (best_proc != p) {
-          length = evaluator.evaluate(assignment);
+          (void)evaluator.evaluate_move(n, best_proc);
+          length = evaluator.commit();
+          assignment[n] = best_proc;
           starts = starts_of(assignment);
         }
       }

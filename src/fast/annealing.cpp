@@ -4,11 +4,12 @@
 
 #include "fast/cpn_dominate.hpp"
 #include "fast/initial_schedule.hpp"
+#include "fast/target_pool.hpp"
 #include "graph/classification.hpp"
 
 namespace fastsched::fast {
 
-AnnealingStats anneal(AssignmentEvaluator& evaluator,
+AnnealingStats anneal(IncrementalEvaluator& evaluator,
                       std::span<const NodeId> blocking,
                       std::vector<ProcId>& assignment, Cost& length,
                       const AnnealingOptions& options, Rng& rng) {
@@ -21,24 +22,12 @@ AnnealingStats anneal(AssignmentEvaluator& evaluator,
     return stats;
   }
 
+  evaluator.reset(assignment);
+
   // Target pool: used processors + one fresh (same rationale as the
   // hill-climbing search: empty processors are interchangeable).
-  std::vector<ProcId> targets;
-  const auto rebuild_targets = [&] {
-    targets.clear();
-    std::vector<bool> used(num_procs, false);
-    for (const ProcId p : assignment) used[p] = true;
-    ProcId fresh = sched::kUnassignedProc;
-    for (ProcId p = 0; p < num_procs; ++p) {
-      if (used[p]) {
-        targets.push_back(p);
-      } else if (fresh == sched::kUnassignedProc) {
-        fresh = p;
-      }
-    }
-    if (fresh != sched::kUnassignedProc) targets.push_back(fresh);
-  };
-  rebuild_targets();
+  TransferTargets targets(num_procs);
+  targets.rebuild(assignment);
 
   std::vector<ProcId> best = assignment;
   double temperature = options.initial_temperature_fraction * length;
@@ -54,8 +43,10 @@ AnnealingStats anneal(AssignmentEvaluator& evaluator,
     const ProcId target = targets[rng.uniform(targets.size())];
     if (target == original) continue;
 
-    assignment[n] = target;
-    const Cost candidate = evaluator.evaluate(assignment);
+    // Metropolis acceptance needs the exact Δ even for uphill moves, so
+    // the candidate is scanned unbounded — the suffix restart is the
+    // whole saving here.
+    const Cost candidate = *evaluator.evaluate_move(n, target);
     const Cost delta = candidate - length;
     const bool downhill = graph::definitely_less(candidate, length);
     const bool accept =
@@ -64,14 +55,15 @@ AnnealingStats anneal(AssignmentEvaluator& evaluator,
     if (accept) {
       ++stats.accepted;
       if (!downhill && delta > 0) ++stats.uphill_accepted;
-      length = candidate;
-      rebuild_targets();
+      length = evaluator.commit();
+      assignment[n] = target;
+      targets.rebuild(assignment);
       if (graph::definitely_less(length, stats.best_length)) {
         stats.best_length = length;
         best = assignment;
       }
     } else {
-      assignment[n] = original;
+      evaluator.revert();
     }
   }
 
@@ -99,7 +91,7 @@ sched::Schedule AnnealingFastScheduler::run(
   }
 
   auto initial = initial_schedule(g, list, num_procs);
-  AssignmentEvaluator evaluator(g, std::move(list), num_procs);
+  IncrementalEvaluator evaluator(g, std::move(list), num_procs);
   Cost length = initial.length;
   Rng rng(o.seed);
   (void)anneal(evaluator, blocking, initial.assignment, length, options_,

@@ -4,15 +4,15 @@
 /// Simulated-annealing refinement — an extension addressing the paper's
 /// closing concession that FAST's hill-climbing search "may get stuck in a
 /// poor local minimum" (§6). The move set is identical to FAST's (transfer
-/// one blocking node to another processor, evaluated by one O(v + e) list
-/// replay), but worsening moves are accepted with probability
+/// one blocking node to another processor, evaluated by one suffix-restart
+/// list replay), but worsening moves are accepted with probability
 /// exp(−Δ/T) under a geometric cooling schedule, and the best assignment
 /// ever visited is returned.
 
 #include <cstdint>
 
 #include "common/rng.hpp"
-#include "fast/evaluator.hpp"
+#include "fast/incremental_evaluator.hpp"
 #include "sched/scheduler.hpp"
 
 namespace fastsched::fast {
@@ -39,8 +39,10 @@ struct AnnealingStats {
 
 /// Refines `assignment` in place and leaves it at the best solution
 /// visited. `blocking` defines the movable node set (as in FAST);
-/// `length` must match `assignment` on entry and is updated.
-AnnealingStats anneal(AssignmentEvaluator& evaluator,
+/// `length` must match `assignment` on entry and is updated. The
+/// evaluator is reset to `assignment` on entry; candidate moves replay
+/// only the suffix after the moved node's list position.
+AnnealingStats anneal(IncrementalEvaluator& evaluator,
                       std::span<const NodeId> blocking,
                       std::vector<ProcId>& assignment, Cost& length,
                       const AnnealingOptions& options, Rng& rng);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fast/cpn_dominate.hpp"
+#include "fast/replay_core.hpp"
 
 namespace fastsched::fast {
 
@@ -22,47 +23,19 @@ AssignmentEvaluator::AssignmentEvaluator(const TaskGraph& g,
 Cost AssignmentEvaluator::evaluate(std::span<const ProcId> assignment) {
   FASTSCHED_ASSERT(assignment.size() == graph_->num_nodes());
   std::fill(ready_.begin(), ready_.end(), 0.0);
-
-  Cost length = 0.0;
-  for (const NodeId n : list_) {
-    const ProcId p = assignment[n];
-    Cost dat = 0.0;
-    for (const graph::Adjacency& q : graph_->predecessors(n)) {
-      const Cost arrival =
-          finish_[q.node] + (assignment[q.node] == p ? 0.0 : q.cost);
-      dat = std::max(dat, arrival);
-    }
-    const Cost start = std::max(dat, ready_[p]);
-    const Cost fin = start + graph_->weight(n);
-    finish_[n] = fin;
-    ready_[p] = fin;
-    length = std::max(length, fin);
-  }
-  return length;
+  const auto out = detail::replay_list(
+      *graph_, list_, 0, list_.size(), 0.0, detail::kNoBound,
+      [&](NodeId n) { return assignment[n]; },
+      [&](NodeId n) { return finish_[n]; },
+      [&](ProcId p) -> Cost& { return ready_[p]; },
+      [&](std::size_t, NodeId n, ProcId, Cost, Cost fin) { finish_[n] = fin; });
+  return out.length;
 }
 
 Schedule AssignmentEvaluator::materialize(
     std::span<const ProcId> assignment) const {
   FASTSCHED_ASSERT(assignment.size() == graph_->num_nodes());
-  std::vector<Cost> finish(graph_->num_nodes(), 0.0);
-  std::vector<Cost> ready(num_procs_, 0.0);
-
-  Schedule s(graph_->num_nodes(), num_procs_);
-  for (const NodeId n : list_) {
-    const ProcId p = assignment[n];
-    Cost dat = 0.0;
-    for (const graph::Adjacency& q : graph_->predecessors(n)) {
-      const Cost arrival =
-          finish[q.node] + (assignment[q.node] == p ? 0.0 : q.cost);
-      dat = std::max(dat, arrival);
-    }
-    const Cost start = std::max(dat, ready[p]);
-    const Cost fin = start + graph_->weight(n);
-    finish[n] = fin;
-    ready[p] = fin;
-    s.assign(n, p, start, fin);
-  }
-  return s;
+  return detail::replay_to_schedule(*graph_, list_, num_procs_, assignment);
 }
 
 }  // namespace fastsched::fast

@@ -6,6 +6,12 @@
 /// list, processor assignment) and its length is obtained by replaying the
 /// list against per-processor ready times. One replay visits every edge
 /// once — exactly the cost the paper charges per search move.
+///
+/// This full-scan evaluator shares its timing recurrence with the
+/// suffix-restart `IncrementalEvaluator` (see replay_core.hpp /
+/// incremental_evaluator.hpp, which the search loops use per move) and
+/// doubles as the differential oracle the incremental path is fuzzed
+/// against.
 
 #include <span>
 #include <vector>

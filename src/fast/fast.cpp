@@ -1,5 +1,7 @@
 #include "fast/fast.hpp"
 
+#include "fast/evaluator.hpp"
+
 namespace fastsched::fast {
 
 FastResult run_fast(const TaskGraph& g, const FastOptions& options) {
@@ -26,7 +28,7 @@ FastResult run_fast(const TaskGraph& g, const FastOptions& options) {
     if (classes[n] != graph::NodeClass::kCpn) result.blocking_list.push_back(n);
   }
 
-  AssignmentEvaluator evaluator(g, result.list, num_procs);
+  IncrementalEvaluator evaluator(g, result.list, num_procs);
   Cost length = result.initial_length;
   Rng rng(options.seed);
   LocalSearchOptions search_options;

@@ -1,0 +1,358 @@
+#include "fast/incremental_evaluator.hpp"
+
+#include <algorithm>
+
+#include "fast/cpn_dominate.hpp"
+
+namespace fastsched::fast {
+
+namespace {
+
+/// K = max(32, ceil(p / 8)): checkpoint construction then stores at most
+/// ~8 doubles per list position, so reset() stays O(v + e) in spirit even
+/// on an unbounded pool, while a restart rescans < K extra positions.
+std::size_t auto_interval(std::size_t num_procs) {
+  return std::max<std::size_t>(32, (num_procs + 7) / 8);
+}
+
+}  // namespace
+
+IncrementalEvaluator::IncrementalEvaluator(const TaskGraph& g,
+                                           std::vector<NodeId> list,
+                                           std::size_t num_procs,
+                                           std::size_t checkpoint_interval)
+    : graph_(&g),
+      list_(std::move(list)),
+      num_procs_(num_procs),
+      interval_(checkpoint_interval == kAutoInterval
+                    ? auto_interval(num_procs)
+                    : checkpoint_interval),
+      assignment_(g.num_nodes(), sched::kUnassignedProc),
+      finish_(g.num_nodes(), 0.0),
+      pos_(g.num_nodes(), 0),
+      max_succ_pos_(g.num_nodes(), 0),
+      scratch_finish_(g.num_nodes(), 0.0),
+      scratch_ready_(num_procs, 0.0),
+      ready_stamp_(num_procs, 0),
+      touched_stamp_(num_procs, 0) {
+  FASTSCHED_REQUIRE(num_procs_ > 0, "need at least one processor");
+  FASTSCHED_REQUIRE(is_topological_list(g, list_),
+                    "evaluator list must be a topological order of the graph");
+  const std::size_t v = list_.size();
+  num_checkpoints_ = v == 0 ? 0 : (v - 1) / interval_ + 1;
+  cp_ready_.assign(num_checkpoints_ * num_procs_, 0.0);
+  cp_prefix_len_.assign(num_checkpoints_, 0.0);
+  chunk_max_.assign(num_checkpoints_, 0.0);
+  suffix_max_.assign(num_checkpoints_ + 1, 0.0);
+  scan_touched_.reserve(num_procs_);
+  for (std::size_t i = 0; i < v; ++i) {
+    pos_[list_[i]] = static_cast<std::uint32_t>(i);
+  }
+  for (NodeId n = 0; n < v; ++n) {
+    for (const graph::Adjacency& s : g.successors(n)) {
+      max_succ_pos_[n] = std::max(max_succ_pos_[n], pos_[s.node]);
+    }
+  }
+}
+
+Cost IncrementalEvaluator::reset(std::span<const ProcId> assignment) {
+  FASTSCHED_ASSERT(assignment.size() == graph_->num_nodes());
+  assignment_.assign(assignment.begin(), assignment.end());
+  pending_ = Pending::kNone;
+  dirty_begin_ = dirty_end_ = 0;  // every finish is rewritten below
+
+  // Full scan, pausing at each checkpoint boundary to snapshot the ready
+  // vector and the running length (state strictly *before* the boundary
+  // position).
+  const std::size_t v = list_.size();
+  std::fill(scratch_ready_.begin(), scratch_ready_.end(), 0.0);
+  ++scan_epoch_;  // invalidate stamps: scratch_ready_ is reused raw here
+  Cost running = 0.0;
+  for (std::size_t cp = 0; cp < num_checkpoints_; ++cp) {
+    const std::size_t begin = cp * interval_;
+    std::copy(scratch_ready_.begin(), scratch_ready_.end(),
+              cp_ready_.begin() + static_cast<std::ptrdiff_t>(cp * num_procs_));
+    cp_prefix_len_[cp] = running;
+    Cost chunk_running = 0.0;
+    const auto out = detail::replay_list(
+        *graph_, list_, begin, std::min(begin + interval_, v), running,
+        detail::kNoBound, [&](NodeId m) { return assignment_[m]; },
+        [&](NodeId m) { return finish_[m]; },
+        [&](ProcId p) -> Cost& { return scratch_ready_[p]; },
+        [&](std::size_t, NodeId m, ProcId, Cost, Cost fin) {
+          finish_[m] = fin;
+          chunk_running = std::max(chunk_running, fin);
+        });
+    chunk_max_[cp] = chunk_running;
+    running = out.length;
+  }
+  suffix_max_[num_checkpoints_] = 0.0;
+  for (std::size_t cp = num_checkpoints_; cp-- > 0;) {
+    suffix_max_[cp] = std::max(suffix_max_[cp + 1], chunk_max_[cp]);
+  }
+  length_ = running;
+  valid_ = true;
+  return length_;
+}
+
+void IncrementalEvaluator::restore_pending() noexcept {
+  for (std::size_t i = dirty_begin_; i < dirty_end_; ++i) {
+    const NodeId m = list_[i];
+    finish_[m] = scratch_finish_[m];
+  }
+  dirty_begin_ = dirty_end_ = 0;
+}
+
+bool IncrementalEvaluator::ready_matches(std::size_t cp_restart,
+                                         std::size_t cp_b,
+                                         std::span<const ProcId> extra) const {
+  // Procs outside scan_touched_ and `extra` host no node in [restart, b)
+  // under either assignment, so their ready time equals the committed
+  // row at b by construction. Comparisons are bitwise: equality here
+  // certifies the downstream replay is the committed one to the bit.
+  const Cost* seed = checkpoint_ready(cp_restart);
+  const Cost* row = checkpoint_ready(cp_b);
+  for (const ProcId p : scan_touched_) {
+    if (scratch_ready_[p] != row[p]) return false;
+  }
+  for (const ProcId p : extra) {
+    const Cost cur =
+        ready_stamp_[p] == scan_epoch_ ? scratch_ready_[p] : seed[p];
+    if (cur != row[p]) return false;
+  }
+  return true;
+}
+
+detail::ReplayOutcome IncrementalEvaluator::scan_suffix(
+    std::size_t restart, Cost bound, std::size_t converge_after,
+    std::span<const ProcId> lost_procs) {
+  FASTSCHED_ASSERT(dirty_begin_ == dirty_end_);
+  const std::size_t v = list_.size();
+  const std::size_t cp_restart = checkpoint_of(restart);
+  const Cost* seed_ready = checkpoint_ready(cp_restart);
+  ++scan_epoch_;
+  scan_touched_.clear();
+  // Max successor position over nodes whose finish changed; once the
+  // boundary passes it, no changed value can reach the unscanned suffix.
+  std::size_t horizon = 0;
+  const auto proc_of = [&](NodeId m) { return assignment_[m]; };
+  // Positions >= restart are rewritten in place by this scan before any
+  // successor reads them (the list is topological); earlier positions
+  // still hold the committed prefix. One array, no committed-vs-in-scan
+  // branch in the per-edge hot path.
+  const auto finish_of = [&](NodeId m) { return finish_[m]; };
+  const auto ready_ref = [&](ProcId p) -> Cost& {
+    // Lazily seed from the checkpoint on first touch; the epoch stamp
+    // replaces an O(p) copy per scan.
+    if (ready_stamp_[p] != scan_epoch_) {
+      ready_stamp_[p] = scan_epoch_;
+      scratch_ready_[p] = seed_ready[p];
+      scan_touched_.push_back(p);
+    }
+    return scratch_ready_[p];
+  };
+  const auto emit = [&](std::size_t, NodeId m, ProcId, Cost start, Cost fin) {
+    const Cost old = finish_[m];
+    scratch_finish_[m] = old;  // undo log
+    finish_[m] = fin;
+    if (fin != old) {
+      horizon = std::max<std::size_t>(horizon, max_succ_pos_[m]);
+    }
+    if (m == pending_node_) pending_start_ = start;
+  };
+
+  Cost running = cp_prefix_len_[cp_restart];
+  std::size_t i = restart;
+  while (i < v) {
+    const std::size_t chunk_end =
+        std::min(v, (checkpoint_of(i) + 1) * interval_);
+    const auto out = detail::replay_list(*graph_, list_, i, chunk_end, running,
+                                         bound, proc_of, finish_of, ready_ref,
+                                         emit);
+    running = out.length;
+    dirty_begin_ = restart;
+    dirty_end_ = out.stopped_at;
+    if (out.aborted) {
+      counters_.positions_scanned += out.stopped_at - restart;
+      return out;
+    }
+    i = chunk_end;
+    if (i >= v) break;
+    // Convergence early-exit: past the last changed assignment, if every
+    // changed finish has all successors before this boundary and the
+    // candidate ready times bitwise-match the committed checkpoint row,
+    // the replay of [i, v) is the committed one — fold in its maximum.
+    if (i > converge_after && horizon < i &&
+        ready_matches(cp_restart, checkpoint_of(i), lost_procs)) {
+      const Cost final_length = std::max(running, suffix_max_[checkpoint_of(i)]);
+      counters_.positions_scanned += i - restart;
+      ++counters_.converged;
+      const bool rejected =
+          bound != detail::kNoBound && !graph::definitely_less(final_length, bound);
+      return {final_length, i, rejected};
+    }
+  }
+  counters_.positions_scanned += v - restart;
+  return {running, v, false};
+}
+
+std::optional<Cost> IncrementalEvaluator::evaluate_move(NodeId n, ProcId target,
+                                                        Cost bound) {
+  FASTSCHED_ASSERT(valid_);
+  FASTSCHED_ASSERT(n < assignment_.size() && target < num_procs_);
+  ++counters_.moves;
+  restore_pending();  // a new probe replaces any un-reverted predecessor
+  const std::size_t pos = pos_[n];
+  const std::size_t restart = checkpoint_of(pos) * interval_;
+
+  pending_node_ = n;
+  const ProcId original = assignment_[n];
+  const ProcId lost[] = {original};
+  assignment_[n] = target;  // visible to the scan only
+  const auto out = scan_suffix(restart, bound, pos, lost);
+  assignment_[n] = original;  // committed view restored before returning
+
+  if (out.aborted) {
+    restore_pending();  // short by construction: the bound cut the scan
+    ++counters_.early_rejected;
+    pending_ = Pending::kNone;
+    return std::nullopt;
+  }
+  pending_ = Pending::kMove;
+  pending_target_ = target;
+  pending_original_ = original;
+  pending_restart_ = restart;
+  pending_stop_ = out.stopped_at;
+  pending_length_ = out.length;
+  return out.length;
+}
+
+Cost IncrementalEvaluator::pending_start() const {
+  FASTSCHED_ASSERT(pending_ == Pending::kMove);
+  return pending_start_;
+}
+
+void IncrementalEvaluator::revert() noexcept {
+  restore_pending();
+  pending_ = Pending::kNone;
+}
+
+Cost IncrementalEvaluator::commit() {
+  FASTSCHED_ASSERT(pending_ == Pending::kMove);
+  assignment_[pending_node_] = pending_target_;
+  const ProcId lost[] = {pending_original_};
+  dirty_begin_ = dirty_end_ = 0;  // adopt the in-place candidate values
+  commit_scan(pending_restart_, pending_stop_, lost, pending_length_);
+  pending_ = Pending::kNone;
+  ++counters_.commits;
+  return length_;
+}
+
+void IncrementalEvaluator::commit_scan(std::size_t restart, std::size_t stop,
+                                       std::span<const ProcId> lost_procs,
+                                       Cost candidate_length) {
+  // Fold the scan's in-place suffix into committed state. No timing
+  // recurrence runs here: finish times were already computed by the
+  // scan, so the walk only replays their per-processor ready progression
+  // to refresh the checkpoints in (restart, stop). Finish times, ready
+  // rows, and chunk maxima at and beyond `stop` are provably unchanged
+  // (a converged scan certified it; stop == v otherwise), so the walk
+  // ends there and only the O(v / K) prefix-length and suffix-max
+  // tables are rebuilt from the per-chunk maxima.
+  //
+  // A checkpoint's ready entry is stale only for processors hosting a
+  // replayed node before that boundary — or for `lost_procs`, which a
+  // committed transfer removed nodes from; both are seeded/overwritten
+  // in scratch_ready_ under the touch epoch, and untouched processors
+  // keep their (still valid) committed checkpoint entries.
+  const std::size_t cp_restart = checkpoint_of(restart);
+  const Cost* restart_ready = checkpoint_ready(cp_restart);
+  ++touch_epoch_;
+  touched_.clear();
+  for (const ProcId p : lost_procs) {
+    if (touched_stamp_[p] != touch_epoch_) {
+      touched_stamp_[p] = touch_epoch_;
+      touched_.push_back(p);
+      scratch_ready_[p] = restart_ready[p];
+    }
+  }
+  Cost running = cp_prefix_len_[cp_restart];
+  Cost chunk_running = 0.0;
+  for (std::size_t i = restart; i < stop; ++i) {
+    if (i != restart && i % interval_ == 0) {
+      const std::size_t cp = i / interval_;
+      chunk_max_[cp - 1] = chunk_running;
+      chunk_running = 0.0;
+      Cost* row = cp_ready_.data() + cp * num_procs_;
+      for (const ProcId p : touched_) row[p] = scratch_ready_[p];
+    }
+    const NodeId m = list_[i];
+    const ProcId p = assignment_[m];
+    if (touched_stamp_[p] != touch_epoch_) {
+      touched_stamp_[p] = touch_epoch_;
+      touched_.push_back(p);
+    }
+    const Cost fin = finish_[m];  // the scan already wrote it in place
+    scratch_ready_[p] = fin;
+    chunk_running = std::max(chunk_running, fin);
+    running = std::max(running, fin);
+  }
+  chunk_max_[checkpoint_of(stop - 1)] = chunk_running;
+  // Prefix lengths follow from the chunk maxima (std::max folds are
+  // exact, so this matches a position-by-position walk to the bit).
+  for (std::size_t cp = cp_restart + 1; cp < num_checkpoints_; ++cp) {
+    cp_prefix_len_[cp] = std::max(cp_prefix_len_[cp - 1], chunk_max_[cp - 1]);
+  }
+  suffix_max_[num_checkpoints_] = 0.0;
+  for (std::size_t cp = num_checkpoints_; cp-- > 0;) {
+    suffix_max_[cp] = std::max(suffix_max_[cp + 1], chunk_max_[cp]);
+  }
+  // The walk folds the same values in the same order as the candidate
+  // scan (plus the untouched committed suffix), so the lengths must
+  // agree to the bit.
+  const std::size_t idx =
+      stop >= list_.size() ? num_checkpoints_ : checkpoint_of(stop);
+  FASTSCHED_ASSERT(std::max(running, suffix_max_[idx]) == candidate_length);
+  length_ = candidate_length;
+}
+
+Cost IncrementalEvaluator::rescore(std::span<const ProcId> assignment) {
+  FASTSCHED_ASSERT(valid_);
+  FASTSCHED_ASSERT(assignment.size() == assignment_.size());
+  ++counters_.rescores;
+  restore_pending();  // drop any un-reverted probe first
+  pending_ = Pending::kNone;
+
+  // First/last list positions whose processor changed; everything before
+  // `first` is reusable prefix, and convergence may only be declared
+  // past `last` (the scan must at least re-place every changed node).
+  const std::size_t v = list_.size();
+  std::size_t first = v;
+  std::size_t last = 0;
+  std::vector<ProcId> lost;  // procs that lose nodes: stale checkpoints
+  for (NodeId m = 0; m < assignment.size(); ++m) {
+    if (assignment[m] != assignment_[m]) {
+      first = std::min<std::size_t>(first, pos_[m]);
+      last = std::max<std::size_t>(last, pos_[m]);
+      lost.push_back(assignment_[m]);
+    }
+  }
+  if (first == v) return length_;
+
+  const std::size_t restart = checkpoint_of(first) * interval_;
+  assignment_.assign(assignment.begin(), assignment.end());
+  pending_node_ = graph::kInvalidNode;  // no single moved node to track
+  const auto out = scan_suffix(restart, kUnbounded, last, lost);
+  FASTSCHED_ASSERT(!out.aborted);
+  dirty_begin_ = dirty_end_ = 0;  // adopt the in-place values
+  commit_scan(restart, out.stopped_at, lost, out.length);
+  return length_;
+}
+
+Schedule IncrementalEvaluator::materialize(
+    std::span<const ProcId> assignment) const {
+  FASTSCHED_ASSERT(assignment.size() == graph_->num_nodes());
+  return detail::replay_to_schedule(*graph_, list_, num_procs_, assignment);
+}
+
+}  // namespace fastsched::fast

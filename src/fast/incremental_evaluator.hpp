@@ -1,0 +1,240 @@
+#pragma once
+
+/// \file incremental_evaluator.hpp
+/// Suffix-restart schedule-length evaluation for FAST's local search.
+///
+/// The full-scan `AssignmentEvaluator` charges O(v + e) per candidate
+/// move even though transferring one node n can only perturb the replay
+/// *downstream* of n's fixed list position — everything before pos(n)
+/// replays to bit-identical state. `IncrementalEvaluator` exploits that:
+///
+///  * the per-node finish times of the last committed assignment are the
+///    valid prefix for any candidate move;
+///  * the per-processor ready vector (plus the running schedule-length
+///    prefix max) is checkpointed every K list positions, so a candidate
+///    scan restarts from the nearest checkpoint at or below pos(n)
+///    instead of rescanning the prefix — O((p + 1) · v / K) memory;
+///  * the schedule length is a running max, so the moment the running
+///    length of a candidate scan meets the incumbent (in the
+///    `definitely_less` tolerance), the move cannot strictly improve and
+///    the scan aborts (early rejection);
+///  * a transfer's influence usually dies out: at a checkpoint boundary
+///    past the moved node, if no replayed finish that *changed* has a
+///    successor at or beyond the boundary and the candidate's ready
+///    times bitwise-match the committed checkpoint row, the rest of the
+///    replay is provably identical to the committed one, so the scan
+///    stops and folds in the committed suffix maximum (convergence
+///    early-exit) — making the typical probe O(perturbation), not O(v).
+///
+/// Candidate scans update the finish array *in place*, logging the
+/// prior value of every touched node: the hot recurrence then reads a
+/// single array with no committed-vs-in-scan branch (a per-edge branch
+/// on the restart position is unpredictable and measurably dominates
+/// the scan). `revert()` replays the log — cost bounded by the scan
+/// that produced it — and `commit()` adopts the in-place values without
+/// re-simulation. Processor ready times go through epoch-stamped
+/// scratch. All replayed values are produced by the same `replay_list`
+/// core as the full scan, in the same order, so committed finish times,
+/// schedule lengths, and accept/reject decisions are bit-identical to
+/// the full-scan oracle — the differential fuzz suite and the
+/// golden-file layer pin this.
+///
+/// Instances are single-threaded; PFAST gives each worker its own.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fast/replay_core.hpp"
+#include "sched/schedule.hpp"
+
+namespace fastsched::fast {
+
+using graph::Cost;
+using graph::NodeId;
+using graph::TaskGraph;
+using sched::ProcId;
+using sched::Schedule;
+
+class IncrementalEvaluator {
+ public:
+  /// `checkpoint_interval = kAutoInterval` picks K = max(32, p / 8):
+  /// large enough that building all checkpoints costs at most ~8 stored
+  /// doubles per list position even on the paper's "more than enough
+  /// processors" pool (p = v), small enough that a restart rescans at
+  /// most K extra positions.
+  static constexpr std::size_t kAutoInterval = 0;
+
+  /// `list` must be a topological order of all nodes of `g` (checked).
+  /// The evaluator keeps a reference to `g`; the graph must outlive it.
+  IncrementalEvaluator(const TaskGraph& g, std::vector<NodeId> list,
+                       std::size_t num_procs,
+                       std::size_t checkpoint_interval = kAutoInterval);
+
+  /// Full O(v + e) scan of `assignment`: establishes the committed
+  /// state (finish times, checkpoints, length) every later move is
+  /// evaluated against. Must be called before the first evaluate_move.
+  Cost reset(std::span<const ProcId> assignment);
+
+  /// Schedule length of the committed assignment with node `n`
+  /// transferred to `target`, replayed from the nearest prefix
+  /// checkpoint. When `bound` is given, returns nullopt as soon as the
+  /// candidate provably cannot be `definitely_less(candidate, bound)`;
+  /// a non-null result with a bound therefore *is* a strict
+  /// improvement on the bound. Committed state is unchanged either way;
+  /// the candidate stays pending until `commit()` or `revert()`.
+  [[nodiscard]] std::optional<Cost> evaluate_move(
+      NodeId n, ProcId target, Cost bound = kUnbounded);
+
+  /// Start time of the moved node under the pending candidate (valid
+  /// after a non-aborted evaluate_move; used by tie-breaking searches
+  /// like BSA's bubble condition without materializing a schedule).
+  [[nodiscard]] Cost pending_start() const;
+
+  /// Adopts the pending candidate: updates the committed assignment,
+  /// suffix finish times, downstream checkpoints, and length, all in
+  /// O(suffix) — no re-simulation. Returns the new committed length.
+  Cost commit();
+
+  /// Discards the pending candidate by restoring the logged finish
+  /// times. Cost is bounded by the scan that produced the candidate.
+  void revert() noexcept;
+
+  /// Re-scores an arbitrary candidate assignment against the committed
+  /// state, restarting from the checkpoint covering the first list
+  /// position whose processor changed, and commits it. Equivalent to
+  /// (but cheaper than) reset() when the two assignments share a long
+  /// list prefix — the multi-candidate analogue of evaluate_move used
+  /// when checking several schedules of one graph.
+  Cost rescore(std::span<const ProcId> assignment);
+
+  /// Committed schedule length.
+  [[nodiscard]] Cost length() const noexcept { return length_; }
+
+  /// Committed assignment (valid after reset()).
+  [[nodiscard]] std::span<const ProcId> assignment() const noexcept {
+    return assignment_;
+  }
+
+  /// Builds the full Schedule for `assignment` by one fresh replay of
+  /// the shared core (does not disturb committed or pending state).
+  [[nodiscard]] Schedule materialize(std::span<const ProcId> assignment) const;
+
+  [[nodiscard]] std::span<const NodeId> list() const noexcept { return list_; }
+  [[nodiscard]] std::size_t num_procs() const noexcept { return num_procs_; }
+  [[nodiscard]] const TaskGraph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] std::size_t checkpoint_interval() const noexcept {
+    return interval_;
+  }
+
+  /// Work counters for benchmarks and EXPERIMENTS.md: how much scanning
+  /// the suffix restart + early rejection actually saved.
+  struct Counters {
+    std::uint64_t moves = 0;            ///< evaluate_move calls
+    std::uint64_t early_rejected = 0;   ///< scans cut short by the bound
+    std::uint64_t converged = 0;        ///< scans cut short by convergence
+    std::uint64_t positions_scanned = 0;///< list positions replayed
+    std::uint64_t commits = 0;
+    std::uint64_t rescores = 0;
+  };
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  static constexpr Cost kUnbounded =
+      std::numeric_limits<Cost>::infinity();
+
+  /// Checkpoint index covering list position `pos`.
+  [[nodiscard]] std::size_t checkpoint_of(std::size_t pos) const noexcept {
+    return pos / interval_;
+  }
+  [[nodiscard]] const Cost* checkpoint_ready(std::size_t cp) const noexcept {
+    return cp_ready_.data() + cp * num_procs_;
+  }
+
+  /// Candidate scan over [restart, v) under the *current* contents of
+  /// `assignment_` (the caller flips/copies it first). Writes finish_
+  /// in place for the scanned positions, logging prior values.
+  /// Convergence may only be declared at boundaries strictly past
+  /// `converge_after` (the last list position whose assignment
+  /// changed); `lost_procs` are additionally included in the ready
+  /// comparison (they may differ from the committed row without
+  /// hosting any node in the scanned range).
+  detail::ReplayOutcome scan_suffix(std::size_t restart, Cost bound,
+                                    std::size_t converge_after,
+                                    std::span<const ProcId> lost_procs);
+
+  /// Bitwise comparison of the candidate's ready times at a checkpoint
+  /// boundary against the committed row (procs outside the union of
+  /// scan-touched and `extra` cannot differ).
+  [[nodiscard]] bool ready_matches(std::size_t cp_restart, std::size_t cp_b,
+                                   std::span<const ProcId> extra) const;
+
+  /// Restores finish_ from the undo log (no-op when nothing is dirty).
+  void restore_pending() noexcept;
+
+  /// Folds a completed candidate scan into committed state: suffix
+  /// finish times, checkpoints >= restart, assignment-derived ready
+  /// values. `lost_procs` are processors that *lost* nodes in the
+  /// suffix (their checkpointed ready times may be stale even though no
+  /// replayed node lands on them).
+  /// `stop` is where the candidate scan ended (a checkpoint boundary on
+  /// convergence, v otherwise); state beyond it is provably unchanged.
+  void commit_scan(std::size_t restart, std::size_t stop,
+                   std::span<const ProcId> lost_procs, Cost candidate_length);
+
+  const TaskGraph* graph_;
+  std::vector<NodeId> list_;
+  std::size_t num_procs_;
+  std::size_t interval_ = 1;       ///< K
+  std::size_t num_checkpoints_ = 0;
+
+  // Committed state.
+  std::vector<ProcId> assignment_;
+  std::vector<Cost> finish_;       ///< per node, last committed scan
+  std::vector<Cost> cp_ready_;     ///< num_checkpoints_ x num_procs_
+  std::vector<Cost> cp_prefix_len_;///< running length before checkpoint
+  std::vector<Cost> chunk_max_;    ///< max finish within each chunk
+  std::vector<Cost> suffix_max_;   ///< max finish over positions >= cp*K
+                                   ///< (num_checkpoints_ + 1 entries)
+  Cost length_ = 0;
+  bool valid_ = false;
+
+  // Node -> list position, and max successor position per node (0 when
+  // the node has no successors; position 0 cannot be a successor). Fixed.
+  std::vector<std::uint32_t> pos_;
+  std::vector<std::uint32_t> max_succ_pos_;
+
+  // Candidate scans write finish_ in place; scratch_finish_ is the undo
+  // log (prior value of each node in the dirty list range). Ready times
+  // use epoch-stamped scratch to avoid O(p) clears per scan.
+  std::vector<Cost> scratch_finish_;
+  std::size_t dirty_begin_ = 0;  ///< list range of in-place candidate
+  std::size_t dirty_end_ = 0;    ///< finish values awaiting commit/revert
+  std::vector<Cost> scratch_ready_;
+  std::vector<std::uint64_t> ready_stamp_;
+  std::vector<ProcId> scan_touched_;  ///< procs seeded by the live scan
+  std::uint64_t scan_epoch_ = 0;
+
+  // Scratch for commit walks.
+  std::vector<std::uint64_t> touched_stamp_;
+  std::vector<ProcId> touched_;
+  std::uint64_t touch_epoch_ = 0;
+
+  // Pending candidate.
+  enum class Pending : std::uint8_t { kNone, kMove };
+  Pending pending_ = Pending::kNone;
+  NodeId pending_node_ = 0;
+  ProcId pending_target_ = 0;
+  ProcId pending_original_ = 0;
+  std::size_t pending_restart_ = 0;
+  std::size_t pending_stop_ = 0;
+  Cost pending_length_ = 0;
+  Cost pending_start_ = 0;
+
+  Counters counters_;
+};
+
+}  // namespace fastsched::fast

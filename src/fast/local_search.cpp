@@ -1,10 +1,12 @@
 #include "fast/local_search.hpp"
 
+#include "fast/target_pool.hpp"
+
 namespace fastsched::fast {
 
 using fastsched::Rng;
 
-LocalSearchStats local_search(AssignmentEvaluator& evaluator,
+LocalSearchStats local_search(IncrementalEvaluator& evaluator,
                               std::span<const NodeId> blocking,
                               std::vector<ProcId>& assignment, Cost& length,
                               const LocalSearchOptions& options, Rng& rng) {
@@ -21,27 +23,12 @@ LocalSearchStats local_search(AssignmentEvaluator& evaluator,
     return stats;  // no move can change anything
   }
 
-  // Transfer targets: the processors the schedule currently uses plus one
-  // fresh processor. Drawing from the full pool would dilute the search
-  // with indistinguishable empty processors when the budget is generous
-  // ("more than enough processors", §5) — any single fresh target stands
-  // for all of them. Rebuilt after each accepted move.
-  std::vector<ProcId> targets;
-  const auto rebuild_targets = [&] {
-    targets.clear();
-    std::vector<bool> used(num_procs, false);
-    for (const ProcId p : assignment) used[p] = true;
-    ProcId fresh = sched::kUnassignedProc;
-    for (ProcId p = 0; p < num_procs; ++p) {
-      if (used[p]) {
-        targets.push_back(p);
-      } else if (fresh == sched::kUnassignedProc) {
-        fresh = p;
-      }
-    }
-    if (fresh != sched::kUnassignedProc) targets.push_back(fresh);
-  };
-  rebuild_targets();
+  // One full scan establishes the committed prefix every candidate move
+  // restarts from; `length` stays the incumbent the moves must beat.
+  evaluator.reset(assignment);
+
+  TransferTargets targets(num_procs);
+  targets.rebuild(assignment);
 
   for (int step = 0; step < options.max_steps; ++step) {
     ++stats.steps;
@@ -51,37 +38,43 @@ LocalSearchStats local_search(AssignmentEvaluator& evaluator,
 
     if (options.policy == NeighborhoodPolicy::kBestProcForRandomBlocking) {
       // Ablation variant: steepest descent over the processor dimension.
+      // Each probe is bounded by the best length seen so far, so
+      // non-improving processors reject as soon as the running length
+      // catches the incumbent.
       ProcId best_proc = original;
       Cost best_len = length;
       for (ProcId p = 0; p < num_procs; ++p) {
         if (p == original) continue;
-        assignment[n] = p;
-        const Cost candidate = evaluator.evaluate(assignment);
-        if (graph::definitely_less(candidate, best_len)) {
-          best_len = candidate;
+        if (const auto candidate = evaluator.evaluate_move(n, p, best_len)) {
+          best_len = *candidate;
           best_proc = p;
         }
       }
-      assignment[n] = best_proc;
+      evaluator.revert();
       if (best_proc != original) {
+        // Re-evaluate the winner (the pending candidate is the last
+        // probe, not necessarily the best) and adopt it.
+        (void)evaluator.evaluate_move(n, best_proc);
+        length = evaluator.commit();
+        assignment[n] = best_proc;
         ++stats.improvements;
-        length = best_len;
       }
       continue;
     }
 
-    // Paper's move: transfer n to a random processor; revert unless the
-    // schedule length strictly improves.
+    // Paper's move: transfer n to a random processor; keep it only when
+    // the schedule length strictly improves. The incumbent doubles as
+    // the early-rejection bound: a non-null candidate *is* strictly
+    // better, so no separate comparison is needed.
     const ProcId target = targets[rng.uniform(targets.size())];
     if (target == original) continue;
-    assignment[n] = target;
-    const Cost candidate = evaluator.evaluate(assignment);
-    if (graph::definitely_less(candidate, length)) {
+    if (evaluator.evaluate_move(n, target, length)) {
+      length = evaluator.commit();
+      assignment[n] = target;
       ++stats.improvements;
-      length = candidate;
-      rebuild_targets();
+      targets.rebuild(assignment);
     } else {
-      assignment[n] = original;
+      evaluator.revert();
     }
   }
 

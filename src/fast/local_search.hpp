@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "fast/evaluator.hpp"
+#include "fast/incremental_evaluator.hpp"
 
 namespace fastsched::fast {
 
@@ -43,7 +43,10 @@ struct LocalSearchStats {
 /// (IBNs + OBNs for the paper's policy; ignored by kRandomNodeRandomProc).
 /// `length` must be the current length of `assignment` and is updated.
 /// Randomness is drawn from `rng`; the result is deterministic per seed.
-LocalSearchStats local_search(AssignmentEvaluator& evaluator,
+/// The evaluator is reset to `assignment` on entry; each candidate move
+/// then costs O(affected suffix) instead of O(v + e), with accept/reject
+/// decisions bit-identical to the full-scan evaluator's.
+LocalSearchStats local_search(IncrementalEvaluator& evaluator,
                               std::span<const NodeId> blocking,
                               std::vector<ProcId>& assignment, Cost& length,
                               const LocalSearchOptions& options, Rng& rng);

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "fast/evaluator.hpp"
+
 namespace fastsched::fast {
 
 ParallelFastResult run_parallel_fast(const TaskGraph& g,
@@ -47,8 +49,9 @@ ParallelFastResult run_parallel_fast(const TaskGraph& g,
   search_options.policy = options.neighborhood;
 
   const auto worker = [&](std::size_t t) {
-    // Each thread owns its evaluator (scratch buffers are not shared).
-    AssignmentEvaluator evaluator(g, result.list, num_procs);
+    // Each thread owns its evaluator (committed prefix state, scratch
+    // buffers and checkpoints are all per-worker, never shared).
+    IncrementalEvaluator evaluator(g, result.list, num_procs);
     ThreadOutcome& out = outcomes[t];
     out.assignment = initial.assignment;
     out.length = initial.length;

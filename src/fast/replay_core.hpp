@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file replay_core.hpp
+/// The single definition of FAST's list-replay timing recurrence
+/// (paper §4.4): given a fixed topological list and a processor
+/// assignment, each node starts at
+///
+///   start(n) = max(ready[proc(n)], max over preds q of
+///              finish(q) + (proc(q) == proc(n) ? 0 : c(q, n)))
+///
+/// and the schedule length is the running max of finish times. Every
+/// consumer — the full-scan `AssignmentEvaluator`, the suffix-restart
+/// `IncrementalEvaluator`, and schedule materialization — instantiates
+/// this one core with different state accessors, so the recurrence
+/// exists exactly once and the full scan stays a usable differential
+/// oracle for the incremental path.
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace fastsched::fast::detail {
+
+/// Sentinel for "no early-rejection bound". Must not be fed to
+/// `definitely_less` (the tolerance is relative, so every finite value
+/// compares approx-equal to infinity); `replay_list` branches on it
+/// explicitly.
+inline constexpr graph::Cost kNoBound =
+    std::numeric_limits<graph::Cost>::infinity();
+
+struct ReplayOutcome {
+  /// Running max of finish times over the seed and all replayed
+  /// positions (the candidate schedule length when the replay covered
+  /// the whole list).
+  graph::Cost length = 0;
+  /// One past the last list position processed.
+  std::size_t stopped_at = 0;
+  /// True when the bound cut the replay short: the running length can
+  /// no longer become `definitely_less` than `bound`, so neither can
+  /// the final length (the running max is monotone and
+  /// `definitely_less` is monotone in its first argument).
+  bool aborted = false;
+};
+
+/// Replays list positions [begin, end) of `list`.
+///
+///  * `proc_of(n)`    -> ProcId of node `n` under the candidate assignment.
+///  * `finish_of(n)`  -> finish time of predecessor `n` (the caller decides
+///                       whether that reads committed or in-scan state).
+///  * `ready_ref(p)`  -> mutable reference to processor `p`'s ready time;
+///                       the core writes the node's finish back through it.
+///  * `emit(i, n, p, start, fin)` -> invoked once per processed position,
+///                       in list order; the caller records finish times,
+///                       schedule placements, or checkpoints.
+///
+/// `seed_length` folds the (unreplayed) prefix into the running max.
+/// When `bound != kNoBound` the replay aborts as soon as the running
+/// length is no longer `definitely_less(running, bound)` — at that point
+/// the candidate cannot strictly improve on `bound`, and `emit` has been
+/// called for a prefix of positions only.
+template <class ProcOf, class FinishOf, class ReadyRef, class Emit>
+inline ReplayOutcome replay_list(const graph::TaskGraph& g,
+                                 std::span<const graph::NodeId> list,
+                                 std::size_t begin, std::size_t end,
+                                 graph::Cost seed_length, graph::Cost bound,
+                                 ProcOf&& proc_of, FinishOf&& finish_of,
+                                 ReadyRef&& ready_ref, Emit&& emit) {
+  graph::Cost running = seed_length;
+  if (bound != kNoBound && !graph::definitely_less(running, bound)) {
+    return {running, begin, true};
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    const graph::NodeId n = list[i];
+    const sched::ProcId p = proc_of(n);
+    graph::Cost dat = 0.0;
+    for (const graph::Adjacency& q : g.predecessors(n)) {
+      const graph::Cost arrival =
+          finish_of(q.node) + (proc_of(q.node) == p ? 0.0 : q.cost);
+      dat = std::max(dat, arrival);
+    }
+    graph::Cost& ready = ready_ref(p);
+    const graph::Cost start = std::max(dat, ready);
+    const graph::Cost fin = start + g.weight(n);
+    ready = fin;
+    running = std::max(running, fin);
+    emit(i, n, p, start, fin);
+    if (bound != kNoBound && !graph::definitely_less(running, bound)) {
+      return {running, i + 1, true};
+    }
+  }
+  return {running, end, false};
+}
+
+/// Builds the full Schedule (start/finish per node) for one (list,
+/// assignment) pair by a fresh replay. Shared by both evaluators so
+/// materialization and length evaluation cannot drift apart.
+inline sched::Schedule replay_to_schedule(
+    const graph::TaskGraph& g, std::span<const graph::NodeId> list,
+    std::size_t num_procs, std::span<const sched::ProcId> assignment) {
+  std::vector<graph::Cost> finish(g.num_nodes(), 0.0);
+  std::vector<graph::Cost> ready(num_procs, 0.0);
+  sched::Schedule s(g.num_nodes(), num_procs);
+  replay_list(
+      g, list, 0, list.size(), 0.0, kNoBound,
+      [&](graph::NodeId m) { return assignment[m]; },
+      [&](graph::NodeId m) { return finish[m]; },
+      [&](sched::ProcId p) -> graph::Cost& { return ready[p]; },
+      [&](std::size_t, graph::NodeId m, sched::ProcId p, graph::Cost start,
+          graph::Cost fin) {
+        finish[m] = fin;
+        s.assign(m, p, start, fin);
+      });
+  return s;
+}
+
+}  // namespace fastsched::fast::detail

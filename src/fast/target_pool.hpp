@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file target_pool.hpp
+/// The transfer-target pool shared by FAST's hill-climbing search and the
+/// annealing refinement: the processors the current assignment uses plus
+/// one fresh processor. Drawing from the full pool would dilute the
+/// search with indistinguishable empty processors when the budget is
+/// generous ("more than enough processors", paper §5) — any single fresh
+/// target stands for all of them. Rebuilt after each accepted move; the
+/// scratch buffer is owned by the pool so rebuilds never allocate.
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace fastsched::fast {
+
+class TransferTargets {
+ public:
+  explicit TransferTargets(std::size_t num_procs) : used_(num_procs, 0) {
+    targets_.reserve(num_procs);
+  }
+
+  /// Recomputes the pool for `assignment`: used processors in ascending
+  /// order, then the lowest-numbered unused one (if any).
+  void rebuild(std::span<const sched::ProcId> assignment) {
+    targets_.clear();
+    std::fill(used_.begin(), used_.end(), char{0});
+    for (const sched::ProcId p : assignment) used_[p] = 1;
+    const auto num_procs = static_cast<sched::ProcId>(used_.size());
+    sched::ProcId fresh = sched::kUnassignedProc;
+    for (sched::ProcId p = 0; p < num_procs; ++p) {
+      if (used_[p] != 0) {
+        targets_.push_back(p);
+      } else if (fresh == sched::kUnassignedProc) {
+        fresh = p;
+      }
+    }
+    if (fresh != sched::kUnassignedProc) targets_.push_back(fresh);
+  }
+
+  [[nodiscard]] std::span<const sched::ProcId> procs() const noexcept {
+    return targets_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return targets_.size(); }
+  [[nodiscard]] sched::ProcId operator[](std::size_t i) const {
+    return targets_[i];
+  }
+
+ private:
+  std::vector<sched::ProcId> targets_;
+  std::vector<char> used_;  // scratch: avoids re-allocating per rebuild
+};
+
+}  // namespace fastsched::fast

@@ -37,12 +37,12 @@ TEST(Annealing, NeverReturnsWorseThanInitial) {
   for (std::uint64_t seed = 700; seed < 712; ++seed) {
     const TaskGraph g = testing::small_random(seed);
     Prepared p = prepare(g, 8);
-    AssignmentEvaluator eval(g, p.list, 8);
+    IncrementalEvaluator eval(g, p.list, 8);
     Rng rng(seed);
     const auto stats = anneal(eval, p.blocking, p.assignment, p.length,
                               AnnealingOptions{}, rng);
     EXPECT_LE(stats.best_length, stats.initial_length) << "seed " << seed;
-    EXPECT_NEAR(eval.evaluate(p.assignment), p.length, 1e-9);
+    EXPECT_NEAR(eval.reset(p.assignment), p.length, 1e-9);
     EXPECT_TRUE(sched::is_valid(g, eval.materialize(p.assignment)));
   }
 }
@@ -50,7 +50,7 @@ TEST(Annealing, NeverReturnsWorseThanInitial) {
 TEST(Annealing, AcceptsUphillMovesAtHighTemperature) {
   const TaskGraph g = testing::small_random(720, 120, 2.0, 5.0);
   Prepared p = prepare(g, 8);
-  AssignmentEvaluator eval(g, p.list, 8);
+  IncrementalEvaluator eval(g, p.list, 8);
   Rng rng(2);
   AnnealingOptions opts;
   opts.max_steps = 1024;
@@ -65,7 +65,7 @@ TEST(Annealing, AcceptsUphillMovesAtHighTemperature) {
 TEST(Annealing, ZeroTemperatureIsPureHillClimb) {
   const TaskGraph g = testing::small_random(721);
   Prepared p = prepare(g, 8);
-  AssignmentEvaluator eval(g, p.list, 8);
+  IncrementalEvaluator eval(g, p.list, 8);
   Rng rng(3);
   AnnealingOptions opts;
   opts.initial_temperature_fraction = 0.0;
@@ -79,7 +79,7 @@ TEST(Annealing, DeterministicPerSeed) {
   const Prepared base = prepare(g, 8);
   const auto run = [&] {
     Prepared p = base;
-    AssignmentEvaluator eval(g, p.list, 8);
+    IncrementalEvaluator eval(g, p.list, 8);
     Rng rng(5);
     anneal(eval, p.blocking, p.assignment, p.length, AnnealingOptions{}, rng);
     return p;
@@ -94,7 +94,7 @@ TEST(Annealing, EmptyBlockingIsNoOp) {
   const TaskGraph g = testing::chain(4);
   Prepared p = prepare(g, 4);
   ASSERT_TRUE(p.blocking.empty());
-  AssignmentEvaluator eval(g, p.list, 4);
+  IncrementalEvaluator eval(g, p.list, 4);
   Rng rng(1);
   const auto stats = anneal(eval, p.blocking, p.assignment, p.length,
                             AnnealingOptions{}, rng);
@@ -128,7 +128,7 @@ TEST(Annealing, CompetitiveWithHillClimbOnAverage) {
     auto hc_assignment = p.assignment;
     Cost hc_len = p.length;
     {
-      AssignmentEvaluator eval(g, p.list, 8);
+      IncrementalEvaluator eval(g, p.list, 8);
       Rng rng(seed);
       LocalSearchOptions opts;
       local_search(eval, p.blocking, hc_assignment, hc_len, opts, rng);
@@ -137,7 +137,7 @@ TEST(Annealing, CompetitiveWithHillClimbOnAverage) {
     auto sa_assignment = p.assignment;
     Cost sa_len = p.length;
     {
-      AssignmentEvaluator eval(g, p.list, 8);
+      IncrementalEvaluator eval(g, p.list, 8);
       Rng rng(seed);
       anneal(eval, p.blocking, sa_assignment, sa_len, AnnealingOptions{}, rng);
     }

@@ -1,0 +1,266 @@
+#include "fast/incremental_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fast/evaluator.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+
+namespace fastsched::fast {
+namespace {
+
+std::vector<NodeId> topo_list(const TaskGraph& g) {
+  const auto topo = g.topological_order();
+  return {topo.begin(), topo.end()};
+}
+
+std::vector<ProcId> random_assignment(const TaskGraph& g, std::size_t procs,
+                                      Rng& rng) {
+  std::vector<ProcId> a(g.num_nodes());
+  for (auto& p : a) p = static_cast<ProcId>(rng.uniform(procs));
+  return a;
+}
+
+TEST(IncrementalEvaluator, ResetMatchesFullScanBitwise) {
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                              IncrementalEvaluator::kAutoInterval}) {
+    for (std::uint64_t seed = 300; seed < 306; ++seed) {
+      const TaskGraph g = testing::small_random(seed);
+      AssignmentEvaluator oracle(g, topo_list(g), 5);
+      IncrementalEvaluator inc(g, topo_list(g), 5, k);
+      Rng rng(seed);
+      const auto a = random_assignment(g, 5, rng);
+      EXPECT_EQ(inc.reset(a), oracle.evaluate(a)) << "seed " << seed;
+      EXPECT_EQ(inc.length(), oracle.evaluate(a));
+    }
+  }
+}
+
+TEST(IncrementalEvaluator, UnboundedMoveMatchesOracleBitwise) {
+  const TaskGraph g = testing::small_random(310);
+  AssignmentEvaluator oracle(g, topo_list(g), 4);
+  IncrementalEvaluator inc(g, topo_list(g), 4, 3);
+  Rng rng(310);
+  auto a = random_assignment(g, 4, rng);
+  inc.reset(a);
+  for (int step = 0; step < 100; ++step) {
+    const NodeId n = static_cast<NodeId>(rng.uniform(g.num_nodes()));
+    const ProcId target = static_cast<ProcId>(rng.uniform(4));
+    auto trial = a;
+    trial[n] = target;
+    const auto got = inc.evaluate_move(n, target);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, oracle.evaluate(trial)) << "step " << step;
+    inc.revert();
+  }
+}
+
+TEST(IncrementalEvaluator, BoundedMoveAgreesWithDefinitelyLess) {
+  const TaskGraph g = testing::small_random(311);
+  AssignmentEvaluator oracle(g, topo_list(g), 4);
+  IncrementalEvaluator inc(g, topo_list(g), 4, 5);
+  Rng rng(311);
+  auto a = random_assignment(g, 4, rng);
+  const Cost incumbent = inc.reset(a);
+  int rejected = 0;
+  for (int step = 0; step < 200; ++step) {
+    const NodeId n = static_cast<NodeId>(rng.uniform(g.num_nodes()));
+    const ProcId target = static_cast<ProcId>(rng.uniform(4));
+    auto trial = a;
+    trial[n] = target;
+    const Cost exact = oracle.evaluate(trial);
+    const auto got = inc.evaluate_move(n, target, incumbent);
+    if (graph::definitely_less(exact, incumbent)) {
+      ASSERT_TRUE(got.has_value()) << "step " << step;
+      EXPECT_EQ(*got, exact);
+    } else {
+      EXPECT_FALSE(got.has_value()) << "step " << step;
+      ++rejected;
+    }
+    inc.revert();
+  }
+  EXPECT_GT(rejected, 0);  // the bound actually fired for this seed
+  EXPECT_EQ(inc.counters().early_rejected, static_cast<std::uint64_t>(rejected));
+}
+
+TEST(IncrementalEvaluator, CommitAdvancesCommittedStateExactly) {
+  const TaskGraph g = testing::small_random(312);
+  AssignmentEvaluator oracle(g, topo_list(g), 6);
+  IncrementalEvaluator inc(g, topo_list(g), 6, 4);
+  Rng rng(312);
+  auto a = random_assignment(g, 6, rng);
+  inc.reset(a);
+  for (int step = 0; step < 60; ++step) {
+    const NodeId n = static_cast<NodeId>(rng.uniform(g.num_nodes()));
+    const ProcId target = static_cast<ProcId>(rng.uniform(6));
+    const auto got = inc.evaluate_move(n, target);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(inc.commit(), *got);
+    a[n] = target;
+    // Committed state must now be indistinguishable from a fresh scan.
+    EXPECT_EQ(inc.length(), oracle.evaluate(a)) << "step " << step;
+    ASSERT_EQ(inc.assignment().size(), a.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), inc.assignment().begin()));
+  }
+}
+
+TEST(IncrementalEvaluator, RevertIsANoOpOnCommittedState) {
+  const TaskGraph g = testing::small_random(313);
+  IncrementalEvaluator inc(g, topo_list(g), 4, 2);
+  Rng rng(313);
+  const auto a = random_assignment(g, 4, rng);
+  const Cost len = inc.reset(a);
+  for (int step = 0; step < 40; ++step) {
+    const NodeId n = static_cast<NodeId>(rng.uniform(g.num_nodes()));
+    const ProcId target = static_cast<ProcId>(rng.uniform(4));
+    (void)inc.evaluate_move(n, target);
+    inc.revert();
+    EXPECT_EQ(inc.length(), len);
+  }
+  // A later accepted move still sees pristine committed state.
+  AssignmentEvaluator oracle(g, topo_list(g), 4);
+  const NodeId n = 0;
+  auto trial = a;
+  trial[n] = 3;
+  const auto got = inc.evaluate_move(n, 3);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, oracle.evaluate(trial));
+}
+
+TEST(IncrementalEvaluator, PendingStartMatchesMaterializedSchedule) {
+  const TaskGraph g = testing::small_random(314);
+  IncrementalEvaluator inc(g, topo_list(g), 4, 3);
+  Rng rng(314);
+  auto a = random_assignment(g, 4, rng);
+  inc.reset(a);
+  for (int step = 0; step < 40; ++step) {
+    const NodeId n = static_cast<NodeId>(rng.uniform(g.num_nodes()));
+    const ProcId target = static_cast<ProcId>(rng.uniform(4));
+    auto trial = a;
+    trial[n] = target;
+    ASSERT_TRUE(inc.evaluate_move(n, target).has_value());
+    const Schedule s = inc.materialize(trial);
+    EXPECT_EQ(inc.pending_start(), s.start(n)) << "step " << step;
+    inc.revert();
+  }
+}
+
+TEST(IncrementalEvaluator, RescoreMatchesResetBitwise) {
+  const TaskGraph g = testing::small_random(315);
+  AssignmentEvaluator oracle(g, topo_list(g), 5);
+  IncrementalEvaluator inc(g, topo_list(g), 5, 4);
+  Rng rng(315);
+  auto a = random_assignment(g, 5, rng);
+  inc.reset(a);
+  for (int step = 0; step < 30; ++step) {
+    // Mutate a random subset (sometimes nothing, sometimes a lot).
+    auto b = a;
+    const std::size_t flips = rng.uniform(g.num_nodes() / 2);
+    for (std::size_t i = 0; i < flips; ++i) {
+      b[rng.uniform(g.num_nodes())] = static_cast<ProcId>(rng.uniform(5));
+    }
+    EXPECT_EQ(inc.rescore(b), oracle.evaluate(b)) << "step " << step;
+    a = std::move(b);
+  }
+}
+
+TEST(IncrementalEvaluator, InterleavedLifecycleStaysConsistent) {
+  // evaluate / commit / revert / rescore / reset in one stream, checked
+  // against the oracle after every committed transition.
+  const TaskGraph g = testing::small_random(316);
+  AssignmentEvaluator oracle(g, topo_list(g), 4);
+  IncrementalEvaluator inc(g, topo_list(g), 4, 2);
+  Rng rng(316);
+  auto a = random_assignment(g, 4, rng);
+  inc.reset(a);
+  for (int step = 0; step < 120; ++step) {
+    const auto op = rng.uniform(10);
+    if (op < 6) {
+      const NodeId n = static_cast<NodeId>(rng.uniform(g.num_nodes()));
+      const ProcId target = static_cast<ProcId>(rng.uniform(4));
+      const auto got = inc.evaluate_move(n, target);
+      ASSERT_TRUE(got.has_value());
+      if (rng.bernoulli(0.5)) {
+        inc.commit();
+        a[n] = target;
+      } else {
+        inc.revert();
+      }
+    } else if (op < 8) {
+      auto b = random_assignment(g, 4, rng);
+      inc.rescore(b);
+      a = std::move(b);
+    } else {
+      a = random_assignment(g, 4, rng);
+      inc.reset(a);
+    }
+    EXPECT_EQ(inc.length(), oracle.evaluate(a)) << "step " << step;
+  }
+}
+
+TEST(IncrementalEvaluator, MaterializeMatchesAssignmentEvaluator) {
+  const TaskGraph g = testing::small_random(317);
+  AssignmentEvaluator oracle(g, topo_list(g), 5);
+  IncrementalEvaluator inc(g, topo_list(g), 5);
+  Rng rng(317);
+  const auto a = random_assignment(g, 5, rng);
+  const Schedule expect = oracle.materialize(a);
+  const Schedule got = inc.materialize(a);
+  ASSERT_EQ(got.num_procs(), expect.num_procs());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(got.proc(n), expect.proc(n));
+    EXPECT_EQ(got.start(n), expect.start(n));
+    EXPECT_EQ(got.finish(n), expect.finish(n));
+  }
+  EXPECT_TRUE(sched::is_valid(g, got));
+}
+
+TEST(IncrementalEvaluator, EarlyRejectionScansFewerPositions) {
+  // With the incumbent as the bound, a move near the end of the list of a
+  // long chain gets rejected after a handful of positions.
+  const TaskGraph g = testing::chain(256, 1.0, 5.0);
+  IncrementalEvaluator inc(g, topo_list(g), 2, 32);
+  const std::vector<ProcId> serial(g.num_nodes(), 0);
+  const Cost len = inc.reset(serial);
+  // Moving a late chain node cross-proc adds comm: certain rejection.
+  EXPECT_FALSE(inc.evaluate_move(250, 1, len).has_value());
+  EXPECT_EQ(inc.counters().early_rejected, 1u);
+  // The scan started at the checkpoint below pos 250 and aborted well
+  // before the end of the 256-node list.
+  EXPECT_LT(inc.counters().positions_scanned, 30u);
+}
+
+TEST(IncrementalEvaluator, CountersTrackWork) {
+  const TaskGraph g = testing::small_random(318);
+  IncrementalEvaluator inc(g, topo_list(g), 4);
+  Rng rng(318);
+  inc.reset(random_assignment(g, 4, rng));
+  ASSERT_TRUE(inc.evaluate_move(0, 1).has_value());
+  inc.commit();
+  ASSERT_TRUE(inc.evaluate_move(1, 2).has_value());
+  inc.revert();
+  EXPECT_EQ(inc.counters().moves, 2u);
+  EXPECT_EQ(inc.counters().commits, 1u);
+  EXPECT_GT(inc.counters().positions_scanned, 0u);
+}
+
+TEST(IncrementalEvaluator, RejectsNonTopologicalList) {
+  const TaskGraph g = testing::chain(3);
+  EXPECT_THROW(IncrementalEvaluator(g, {2, 1, 0}, 2), Error);
+}
+
+TEST(IncrementalEvaluator, RejectsZeroProcs) {
+  const TaskGraph g = testing::chain(3);
+  EXPECT_THROW(IncrementalEvaluator(g, topo_list(g), 0), Error);
+}
+
+TEST(IncrementalEvaluator, AutoIntervalBoundsCheckpointMemory) {
+  const TaskGraph g = testing::small_random(319);
+  IncrementalEvaluator small_pool(g, topo_list(g), 4);
+  EXPECT_EQ(small_pool.checkpoint_interval(), 32u);
+  IncrementalEvaluator big_pool(g, topo_list(g), 4096);
+  EXPECT_EQ(big_pool.checkpoint_interval(), 512u);  // p / 8
+}
+
+}  // namespace
+}  // namespace fastsched::fast

@@ -35,14 +35,14 @@ TEST(LocalSearch, NeverWorsens) {
   for (std::uint64_t seed = 100; seed < 115; ++seed) {
     const TaskGraph g = testing::small_random(seed);
     SearchState s = make_state(g, 6);
-    AssignmentEvaluator eval(g, s.list, 6);
+    IncrementalEvaluator eval(g, s.list, 6);
     Rng rng(seed);
     LocalSearchOptions opts;
     opts.max_steps = 64;
     const auto stats =
         local_search(eval, s.blocking, s.assignment, s.length, opts, rng);
     EXPECT_LE(stats.final_length, stats.initial_length) << "seed " << seed;
-    EXPECT_NEAR(eval.evaluate(s.assignment), s.length, 1e-9);
+    EXPECT_NEAR(eval.reset(s.assignment), s.length, 1e-9);
     EXPECT_TRUE(sched::is_valid(g, eval.materialize(s.assignment)));
   }
 }
@@ -55,7 +55,7 @@ TEST(LocalSearch, IsDeterministicPerSeed) {
 
   const auto run = [&](std::uint64_t seed) {
     SearchState s = base;
-    AssignmentEvaluator eval(g, s.list, 6);
+    IncrementalEvaluator eval(g, s.list, 6);
     Rng rng(seed);
     local_search(eval, s.blocking, s.assignment, s.length, opts, rng);
     return s;
@@ -70,7 +70,7 @@ TEST(LocalSearch, ZeroStepsIsNoOp) {
   const TaskGraph g = testing::small_random(121);
   SearchState s = make_state(g, 6);
   const auto before = s.assignment;
-  AssignmentEvaluator eval(g, s.list, 6);
+  IncrementalEvaluator eval(g, s.list, 6);
   Rng rng(1);
   LocalSearchOptions opts;
   opts.max_steps = 0;
@@ -85,7 +85,7 @@ TEST(LocalSearch, EmptyBlockingListIsNoOp) {
   SearchState s = make_state(g, 4);
   EXPECT_TRUE(s.blocking.empty());
   const auto before = s.assignment;
-  AssignmentEvaluator eval(g, s.list, 4);
+  IncrementalEvaluator eval(g, s.list, 4);
   Rng rng(1);
   const auto stats = local_search(eval, s.blocking, s.assignment, s.length,
                                   LocalSearchOptions{}, rng);
@@ -96,7 +96,7 @@ TEST(LocalSearch, EmptyBlockingListIsNoOp) {
 TEST(LocalSearch, SingleProcessorIsNoOp) {
   const TaskGraph g = testing::small_random(122);
   SearchState s = make_state(g, 1);
-  AssignmentEvaluator eval(g, s.list, 1);
+  IncrementalEvaluator eval(g, s.list, 1);
   Rng rng(1);
   const auto stats = local_search(eval, s.blocking, s.assignment, s.length,
                                   LocalSearchOptions{}, rng);
@@ -128,9 +128,9 @@ TEST(LocalSearch, FindsAnObviousImprovement) {
   }
   ASSERT_FALSE(blocking.empty());
 
-  AssignmentEvaluator eval(g, list, 4);
+  IncrementalEvaluator eval(g, list, 4);
   std::vector<ProcId> assignment(g.num_nodes(), 0);  // all serial
-  Cost length = eval.evaluate(assignment);
+  Cost length = eval.reset(assignment);
   ASSERT_EQ(length, 15.0);  // 3+3+2+2+2+3 serial
 
   Rng rng(3);
@@ -146,7 +146,7 @@ TEST(LocalSearch, StatsAreConsistent) {
   const TaskGraph g = testing::small_random(123);
   SearchState s = make_state(g, 6);
   const Cost initial = s.length;
-  AssignmentEvaluator eval(g, s.list, 6);
+  IncrementalEvaluator eval(g, s.list, 6);
   Rng rng(5);
   LocalSearchOptions opts;
   opts.max_steps = 200;
@@ -163,7 +163,7 @@ TEST(LocalSearch, BestProcPolicyAtLeastAsGoodPerStep) {
   // worse than where it started and must track `length` correctly.
   const TaskGraph g = testing::small_random(124);
   SearchState s = make_state(g, 6);
-  AssignmentEvaluator eval(g, s.list, 6);
+  IncrementalEvaluator eval(g, s.list, 6);
   Rng rng(9);
   LocalSearchOptions opts;
   opts.max_steps = 32;
@@ -171,13 +171,13 @@ TEST(LocalSearch, BestProcPolicyAtLeastAsGoodPerStep) {
   const auto stats =
       local_search(eval, s.blocking, s.assignment, s.length, opts, rng);
   EXPECT_LE(stats.final_length, stats.initial_length);
-  EXPECT_NEAR(eval.evaluate(s.assignment), s.length, 1e-9);
+  EXPECT_NEAR(eval.reset(s.assignment), s.length, 1e-9);
 }
 
 TEST(LocalSearch, RandomNodePolicyMayMoveCpns) {
   const TaskGraph g = testing::small_random(125);
   SearchState s = make_state(g, 6);
-  AssignmentEvaluator eval(g, s.list, 6);
+  IncrementalEvaluator eval(g, s.list, 6);
   Rng rng(11);
   LocalSearchOptions opts;
   opts.max_steps = 200;

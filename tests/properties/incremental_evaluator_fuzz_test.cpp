@@ -1,0 +1,127 @@
+// Differential fuzzing of the suffix-restart evaluator against the
+// full-scan oracle: random layered DAGs (the paper's §5.2 family, spanning
+// CCRs and pool sizes) x random move sequences, with the oracle consulted
+// after *every* evaluate_move / commit / revert / rescore. Lengths must
+// agree to the bit, and a bounded probe must return nullopt exactly when
+// the true candidate is not definitely_less than the bound — the same
+// accept/reject decision the hill climb would make on the full scan.
+
+#include <gtest/gtest.h>
+
+#include "fast/cpn_dominate.hpp"
+#include "fast/evaluator.hpp"
+#include "fast/incremental_evaluator.hpp"
+#include "graph/classification.hpp"
+#include "workloads/random_layered.hpp"
+
+namespace fastsched::fast {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  std::size_t nodes;
+  double ccr;
+  std::size_t procs;
+  std::size_t interval;  // kAutoInterval or explicit K
+};
+
+class IncrementalFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(IncrementalFuzz, AgreesWithFullScanOracleUnderRandomMoves) {
+  const FuzzCase c = GetParam();
+  workloads::RandomDagParams params;
+  params.num_nodes = c.nodes;
+  params.avg_out_degree = 4.0;
+  params.ccr = c.ccr;
+  params.seed = c.seed;
+  const graph::TaskGraph g = workloads::random_layered_dag(params);
+
+  // The production list: CPN-Dominate order, as the schedulers use it.
+  const auto levels = graph::compute_levels(g);
+  const auto classes = graph::classify_nodes(g, levels);
+  const auto list = build_cpn_dominate_list(g, levels, classes);
+
+  AssignmentEvaluator oracle(g, list, c.procs);
+  IncrementalEvaluator inc(g, list, c.procs, c.interval);
+
+  Rng rng(c.seed * 7919 + 13);
+  std::vector<ProcId> committed(g.num_nodes());
+  for (auto& p : committed) p = static_cast<ProcId>(rng.uniform(c.procs));
+  ASSERT_EQ(inc.reset(committed), oracle.evaluate(committed));
+
+  std::vector<ProcId> trial;
+  for (int step = 0; step < 300; ++step) {
+    const auto op = rng.uniform(100);
+    if (op < 88) {
+      // Single-node transfer probe: bounded half the time (as in the hill
+      // climb), unbounded otherwise (as in annealing / BSA).
+      const NodeId n = static_cast<NodeId>(rng.uniform(g.num_nodes()));
+      const ProcId target = static_cast<ProcId>(rng.uniform(c.procs));
+      trial = committed;
+      trial[n] = target;
+      const Cost exact = oracle.evaluate(trial);
+      const bool bounded = rng.bernoulli(0.5);
+      const Cost bound = inc.length();
+      const auto got = bounded ? inc.evaluate_move(n, target, bound)
+                               : inc.evaluate_move(n, target);
+      if (bounded && !graph::definitely_less(exact, bound)) {
+        ASSERT_FALSE(got.has_value())
+            << "step " << step << ": bound should have rejected";
+        continue;  // rejection clears the pending move
+      }
+      ASSERT_TRUE(got.has_value()) << "step " << step;
+      ASSERT_EQ(*got, exact) << "step " << step << " node " << n;
+      if (rng.bernoulli(0.6)) {
+        ASSERT_EQ(inc.commit(), exact);
+        committed.swap(trial);
+      } else {
+        inc.revert();
+      }
+    } else if (op < 96) {
+      // Multi-node rescore: perturb a random block of the assignment.
+      trial = committed;
+      const std::size_t flips = 1 + rng.uniform(8);
+      for (std::size_t i = 0; i < flips; ++i) {
+        trial[rng.uniform(g.num_nodes())] =
+            static_cast<ProcId>(rng.uniform(c.procs));
+      }
+      ASSERT_EQ(inc.rescore(trial), oracle.evaluate(trial)) << "step " << step;
+      committed.swap(trial);
+    } else {
+      // Hard reset to an unrelated assignment.
+      for (auto& p : committed) p = static_cast<ProcId>(rng.uniform(c.procs));
+      ASSERT_EQ(inc.reset(committed), oracle.evaluate(committed))
+          << "step " << step;
+    }
+    // Committed invariant: the incremental view always equals the oracle.
+    ASSERT_EQ(inc.length(), oracle.evaluate(committed)) << "step " << step;
+  }
+}
+
+constexpr std::size_t kAuto = IncrementalEvaluator::kAutoInterval;
+
+INSTANTIATE_TEST_SUITE_P(
+    LayeredDags, IncrementalFuzz,
+    ::testing::Values(
+        // Sparse pool, K = 1 (every position checkpointed).
+        FuzzCase{1001, 40, 0.1, 2, 1},
+        // Tiny K on a mid-size graph, compute-dominated.
+        FuzzCase{1002, 80, 0.1, 4, 3},
+        // Balanced CCR, auto interval.
+        FuzzCase{1003, 120, 1.0, 8, kAuto},
+        // Communication-dominated: ties and plateaus stress the
+        // definitely_less agreement.
+        FuzzCase{1004, 120, 10.0, 8, kAuto},
+        // Pool wider than most layers.
+        FuzzCase{1005, 60, 1.0, 16, 5},
+        // Single processor: every move is a no-op in length.
+        FuzzCase{1006, 50, 1.0, 1, kAuto},
+        // Larger instance, awkward prime K.
+        FuzzCase{1007, 250, 1.0, 8, 17},
+        FuzzCase{1008, 250, 10.0, 16, kAuto}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace fastsched::fast

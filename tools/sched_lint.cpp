@@ -11,6 +11,8 @@
 
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -21,6 +23,8 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "fast/cpn_dominate.hpp"
+#include "fast/incremental_evaluator.hpp"
 #include "graph/io.hpp"
 #include "sched/io.hpp"
 
@@ -137,17 +141,83 @@ int run(int argc, char** argv) {
     reports[i] = analysis::lint(input);
   });
 
+  // Pairs that reference the same graph file with the same pool size are
+  // candidate schedules of one problem: certificate computation is
+  // deduplicated across them, and under --bounds (text mode) they share
+  // one incremental evaluator — the first schedule seeds its committed
+  // state, every further candidate is re-scored from the first list
+  // position whose placement differs, reusing the common prefix
+  // (finish times + ready checkpoints) instead of a full O(v + e) replay.
+  std::map<std::pair<std::string, std::size_t>, std::vector<std::size_t>>
+      groups;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    groups[{pair_paths[i].first, pairs[i].schedule.num_procs()}].push_back(i);
+  }
+
   std::vector<analysis::BoundSet> bounds;
   if (cli.get_flag("bounds")) {
     std::vector<analysis::BoundRequest> requests;
-    requests.reserve(pairs.size());
-    for (const Pair& pair : pairs) {
-      requests.push_back({&pair.graph, pair.schedule.num_procs()});
+    std::vector<std::size_t> request_of(pairs.size());
+    for (const auto& [key, members] : groups) {
+      for (const std::size_t i : members) request_of[i] = requests.size();
+      requests.push_back(
+          {&pairs[members.front()].graph, pairs[members.front()].schedule.num_procs()});
     }
-    bounds = analysis::compute_bounds_batch(requests, {}, jobs);
+    const auto unique = analysis::compute_bounds_batch(requests, {}, jobs);
+    bounds.reserve(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      bounds.push_back(unique[request_of[i]]);
+    }
   }
 
   const bool quiet = cli.get_flag("quiet");
+
+  std::vector<std::string> replay_lines(pairs.size());
+  if (cli.get_flag("bounds") && !cli.get_flag("json") && !quiet) {
+    for (const auto& [key, members] : groups) {
+      if (members.size() < 2) continue;
+      const graph::TaskGraph& g = pairs[members.front()].graph;
+      bool usable = g.num_nodes() > 0 && key.second > 0;
+      for (const std::size_t i : members) {
+        usable = usable && pairs[i].schedule.is_complete() &&
+                 pairs[i].schedule.num_nodes() == g.num_nodes();
+      }
+      if (!usable) continue;
+      try {
+        const auto levels = graph::compute_levels(g);
+        const auto classes = graph::classify_nodes(g, levels);
+        fast::IncrementalEvaluator shared(
+            g, fast::build_cpn_dominate_list(g, levels, classes), key.second);
+        const std::size_t v = g.num_nodes();
+        std::vector<sched::ProcId> assignment(v);
+        bool first = true;
+        for (const std::size_t i : members) {
+          const sched::Schedule& s = pairs[i].schedule;
+          for (graph::NodeId n = 0; n < v; ++n) assignment[n] = s.proc(n);
+          const std::uint64_t before = shared.counters().positions_scanned;
+          const graph::Cost replayed =
+              first ? shared.reset(assignment) : shared.rescore(assignment);
+          const std::uint64_t scanned =
+              shared.counters().positions_scanned - before;
+          std::ostringstream line;
+          line << pair_paths[i].second << ": placement replay length "
+               << Table::num(replayed, 4) << " (file "
+               << Table::num(s.length(), 4) << "), ";
+          if (first) {
+            line << "seeded shared evaluator";
+          } else {
+            line << "reused " << (v - scanned) << " of " << v
+                 << " list positions";
+          }
+          replay_lines[i] = line.str();
+          first = false;
+        }
+      } catch (const std::exception&) {
+        // A pair the lint rules will flag anyway (cycle, out-of-range
+        // placement): skip the shared-replay report for this group.
+      }
+    }
+  }
   bool all_ok = true;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const graph::TaskGraph& g = pairs[i].graph;
@@ -180,6 +250,7 @@ int run(int argc, char** argv) {
                               1)
                 << "%\n";
     }
+    if (!replay_lines[i].empty()) std::cout << replay_lines[i] << '\n';
     std::cout << schedule_path << ": " << report.num_errors << " errors, "
               << report.num_warnings << " warnings\n";
   }
