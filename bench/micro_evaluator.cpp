@@ -30,10 +30,11 @@ using namespace fastsched;
 constexpr std::size_t kProcs = 64;
 constexpr std::size_t kNumMoves = 512;
 
-graph::TaskGraph make_graph(std::int64_t nodes, double ccr = 1.0) {
+graph::TaskGraph make_graph(std::int64_t nodes, double ccr = 1.0,
+                            double out_degree = 8.0) {
   workloads::RandomDagParams params;
   params.num_nodes = static_cast<std::size_t>(nodes);
-  params.avg_out_degree = 8.0;
+  params.avg_out_degree = out_degree;
   params.ccr = ccr;
   params.seed = 42;
   return workloads::random_layered_dag(params);
@@ -43,6 +44,42 @@ graph::TaskGraph make_graph(std::int64_t nodes, double ccr = 1.0) {
 /// first / middle / last tenth (front moves are the incremental
 /// evaluator's worst case, back moves its best).
 enum Regime : std::int64_t { kUniform = 0, kFront = 1, kMid = 2, kBack = 3 };
+
+/// Which graph the replay-policy sweep runs on. Random layered DAGs have
+/// wide descendant cones — a front move disturbs a third of the graph, so
+/// O(affected) degenerates toward O(suffix) and only the auto heuristic
+/// helps. Parallel pipelines are the far-successor regime the event path
+/// exists for: successors sit ~kChains list positions away, the affected
+/// set stays bounded by two chain suffixes no matter how long the list is.
+enum Shape : std::int64_t { kDense = 0, kSparse = 1, kPipelines = 2 };
+
+const char* shape_name(std::int64_t s) {
+  switch (s) {
+    case kSparse: return "sparse";
+    case kPipelines: return "pipe";
+    default: return "dense";
+  }
+}
+
+constexpr std::int64_t kChains = 64;
+
+/// kChains independent chains with random weights and edge costs; the
+/// CPN-dominate list interleaves them, so every chain edge is a far
+/// successor.
+graph::TaskGraph make_pipelines(std::int64_t nodes) {
+  graph::TaskGraphBuilder b;
+  Rng rng(99);
+  const std::int64_t len = nodes / kChains;
+  for (std::int64_t c = 0; c < kChains; ++c) {
+    graph::NodeId prev = b.add_node(2.0 + rng.uniform(98));
+    for (std::int64_t i = 1; i < len; ++i) {
+      const graph::NodeId cur = b.add_node(2.0 + rng.uniform(98));
+      b.add_edge(prev, cur, 2.0 + rng.uniform(98));
+      prev = cur;
+    }
+  }
+  return b.build();
+}
 
 const char* regime_name(std::int64_t r) {
   switch (r) {
@@ -65,12 +102,15 @@ struct Fixture {
   std::vector<graph::NodeId> list;
   std::vector<sched::ProcId> assignment;
 
-  Fixture(std::int64_t nodes, double ccr) : g(make_graph(nodes, ccr)) {
+  explicit Fixture(graph::TaskGraph graph) : g(std::move(graph)) {
     const auto levels = graph::compute_levels(g);
     const auto classes = graph::classify_nodes(g, levels);
     list = fast::build_cpn_dominate_list(g, levels, classes);
     assignment = fast::initial_schedule(g, list, kProcs).assignment;
   }
+
+  Fixture(std::int64_t nodes, double ccr, double out_degree = 8.0)
+      : Fixture(make_graph(nodes, ccr, out_degree)) {}
 
   std::vector<Move> moves(std::int64_t regime) const {
     Rng rng(7u * static_cast<std::uint64_t>(regime) + 1234);
@@ -92,14 +132,37 @@ struct Fixture {
   }
 };
 
-const Fixture& fixture(std::int64_t nodes, double ccr = 1.0) {
+const Fixture& fixture(std::int64_t nodes, double ccr = 1.0,
+                       double out_degree = 8.0) {
   // Benches run single-threaded; the cache keeps setup out of timing.
-  static std::vector<std::pair<std::pair<std::int64_t, double>, Fixture>> cache;
+  struct Key {
+    std::int64_t nodes;
+    double ccr;
+    double out_degree;
+    bool operator==(const Key&) const = default;
+  };
+  static std::vector<std::pair<Key, Fixture>> cache;
+  const Key want{nodes, ccr, out_degree};
   for (const auto& [key, fix] : cache) {
-    if (key.first == nodes && key.second == ccr) return fix;
+    if (key == want) return fix;
   }
-  cache.emplace_back(std::make_pair(nodes, ccr), Fixture(nodes, ccr));
+  cache.emplace_back(want, Fixture(nodes, ccr, out_degree));
   return cache.back().second;
+}
+
+const Fixture& shaped_fixture(std::int64_t shape, std::int64_t nodes) {
+  switch (shape) {
+    case kSparse: return fixture(nodes, 1.0, 2.0);
+    case kPipelines: {
+      static std::vector<std::pair<std::int64_t, Fixture>> cache;
+      for (const auto& [key, fix] : cache) {
+        if (key == nodes) return fix;
+      }
+      cache.emplace_back(nodes, Fixture(make_pipelines(nodes)));
+      return cache.back().second;
+    }
+    default: return fixture(nodes);
+  }
 }
 
 void set_labels(benchmark::State& state, const graph::TaskGraph& g,
@@ -137,7 +200,9 @@ BENCHMARK(BM_FullScanPerMove)
 void BM_IncrementalPerMove(benchmark::State& state) {
   const Fixture& fix = fixture(state.range(0));
   const auto moves = fix.moves(state.range(1));
-  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs);
+  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs,
+                                  fast::IncrementalEvaluator::kAutoInterval,
+                                  fast::ReplayPolicy::kContiguous);
   eval.reset(fix.assignment);
   std::size_t i = 0;
   for (auto _ : state) {
@@ -161,7 +226,9 @@ BENCHMARK(BM_IncrementalPerMove)
 void BM_IncrementalBoundedPerMove(benchmark::State& state) {
   const Fixture& fix = fixture(state.range(0));
   const auto moves = fix.moves(state.range(1));
-  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs);
+  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs,
+                                  fast::IncrementalEvaluator::kAutoInterval,
+                                  fast::ReplayPolicy::kContiguous);
   const graph::Cost incumbent = eval.reset(fix.assignment);
   std::size_t i = 0;
   for (auto _ : state) {
@@ -179,13 +246,63 @@ BENCHMARK(BM_IncrementalBoundedPerMove)
     ->Args({8000, kMid})
     ->Args({8000, kBack});
 
+/// Replay-policy sweep: the same unbounded probes under the contiguous
+/// suffix restart, the event-driven worklist, and the per-probe auto
+/// heuristic. Arg 2 is the Shape. The acceptance contract of the event
+/// path is the pipeline front-of-list pair: Event must beat Contiguous
+/// by >= 2x geomean on {4000, 8000} x front. On the random shapes the
+/// expected result is the opposite (affected ~ suffix, so the worklist's
+/// heap overhead loses) — they are in the sweep to show Auto adapting.
+void replay_policy_bench(benchmark::State& state, fast::ReplayPolicy policy) {
+  const Fixture& fix = shaped_fixture(state.range(2), state.range(0));
+  const auto moves = fix.moves(state.range(1));
+  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs,
+                                  fast::IncrementalEvaluator::kAutoInterval,
+                                  policy);
+  eval.reset(fix.assignment);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Move& m = moves[i++ % kNumMoves];
+    benchmark::DoNotOptimize(eval.evaluate_move(m.node, m.target));
+    eval.revert();
+  }
+  state.SetLabel(std::string(regime_name(state.range(1))) + "/" +
+                 shape_name(state.range(2)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fix.g.num_edges()));
+}
+
+void BM_ReplayContiguousPerMove(benchmark::State& state) {
+  replay_policy_bench(state, fast::ReplayPolicy::kContiguous);
+}
+void BM_ReplayEventPerMove(benchmark::State& state) {
+  replay_policy_bench(state, fast::ReplayPolicy::kEvent);
+}
+void BM_ReplayAutoPerMove(benchmark::State& state) {
+  replay_policy_bench(state, fast::ReplayPolicy::kAuto);
+}
+#define FASTSCHED_REPLAY_ARGS                \
+  Args({4000, kFront, kPipelines})           \
+      ->Args({8000, kFront, kPipelines})     \
+      ->Args({8000, kUniform, kPipelines})   \
+      ->Args({8000, kFront, kSparse})        \
+      ->Args({8000, kUniform, kSparse})      \
+      ->Args({8000, kFront, kDense})         \
+      ->Args({8000, kUniform, kDense})
+BENCHMARK(BM_ReplayContiguousPerMove)->FASTSCHED_REPLAY_ARGS;
+BENCHMARK(BM_ReplayEventPerMove)->FASTSCHED_REPLAY_ARGS;
+BENCHMARK(BM_ReplayAutoPerMove)->FASTSCHED_REPLAY_ARGS;
+#undef FASTSCHED_REPLAY_ARGS
+
 /// Accepted moves: probe + commit (checkpoint refresh walk included).
 /// Each pair of iterations transfers a node out and back, so committed
 /// state never drifts from the fixture assignment.
 void BM_IncrementalCommitPerMove(benchmark::State& state) {
   const Fixture& fix = fixture(state.range(0));
   const auto moves = fix.moves(kUniform);
-  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs);
+  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs,
+                                  fast::IncrementalEvaluator::kAutoInterval,
+                                  fast::ReplayPolicy::kContiguous);
   eval.reset(fix.assignment);
   std::size_t i = 0;
   bool outbound = true;
@@ -208,7 +325,8 @@ void BM_IncrementalKSweep(benchmark::State& state) {
   const Fixture& fix = fixture(8000);
   const auto moves = fix.moves(kUniform);
   fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs,
-                                  static_cast<std::size_t>(state.range(0)));
+                                  static_cast<std::size_t>(state.range(0)),
+                                  fast::ReplayPolicy::kContiguous);
   eval.reset(fix.assignment);
   std::size_t i = 0;
   for (auto _ : state) {
@@ -245,7 +363,9 @@ BENCHMARK(BM_FullScanCcr)->Arg(1)->Arg(10)->Arg(100);
 void BM_IncrementalBoundedCcr(benchmark::State& state) {
   const Fixture& fix = fixture(2000, state.range(0) / 10.0);
   const auto moves = fix.moves(kUniform);
-  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs);
+  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs,
+                                  fast::IncrementalEvaluator::kAutoInterval,
+                                  fast::ReplayPolicy::kContiguous);
   const graph::Cost incumbent = eval.reset(fix.assignment);
   std::size_t i = 0;
   for (auto _ : state) {
@@ -261,26 +381,43 @@ BENCHMARK(BM_IncrementalBoundedCcr)->Arg(1)->Arg(10)->Arg(100);
 /// evaluator must agree with the full scan to the bit on the exact move
 /// sequences under benchmark, so the timed loops can never measure an
 /// evaluator that is fast but wrong.
-void preflight_differential() {
-  for (const std::int64_t v : {500L, 2000L, 8000L}) {
-    const Fixture& fix = fixture(v);
-    fast::AssignmentEvaluator oracle(fix.g, fix.list, kProcs);
-    fast::IncrementalEvaluator inc(fix.g, fix.list, kProcs);
-    inc.reset(fix.assignment);
-    auto trial = fix.assignment;
-    for (const std::int64_t regime : {kUniform, kFront, kMid, kBack}) {
-      for (const Move& m : fix.moves(regime)) {
-        const sched::ProcId original = trial[m.node];
-        trial[m.node] = m.target;
-        const auto got = inc.evaluate_move(m.node, m.target);
-        inc.revert();
-        FASTSCHED_REQUIRE(got.has_value() && *got == oracle.evaluate(trial),
-                          "micro_evaluator preflight: incremental evaluator "
-                          "diverged from the full-scan oracle");
-        trial[m.node] = original;
-      }
+void preflight_fixture(const Fixture& fix) {
+  fast::AssignmentEvaluator oracle(fix.g, fix.list, kProcs);
+  fast::IncrementalEvaluator inc(fix.g, fix.list, kProcs);
+  fast::IncrementalEvaluator event(fix.g, fix.list, kProcs,
+                                   fast::IncrementalEvaluator::kAutoInterval,
+                                   fast::ReplayPolicy::kEvent);
+  inc.reset(fix.assignment);
+  event.reset(fix.assignment);
+  auto trial = fix.assignment;
+  for (const std::int64_t regime : {kUniform, kFront, kMid, kBack}) {
+    for (const Move& m : fix.moves(regime)) {
+      const sched::ProcId original = trial[m.node];
+      trial[m.node] = m.target;
+      const graph::Cost want = oracle.evaluate(trial);
+      const auto got = inc.evaluate_move(m.node, m.target);
+      inc.revert();
+      FASTSCHED_REQUIRE(got.has_value() && *got == want,
+                        "micro_evaluator preflight: incremental evaluator "
+                        "diverged from the full-scan oracle");
+      const auto replayed = event.evaluate_move(m.node, m.target);
+      event.revert();
+      FASTSCHED_REQUIRE(replayed.has_value() && *replayed == want,
+                        "micro_evaluator preflight: event replay diverged "
+                        "from the full-scan oracle");
+      trial[m.node] = original;
     }
   }
+}
+
+void preflight_differential() {
+  for (const std::int64_t v : {500L, 2000L, 8000L}) {
+    preflight_fixture(fixture(v));
+  }
+  // The policy-sweep fixtures: the event path must stay exact in the very
+  // regimes its speedup is claimed (pipelines) and disclaimed (sparse) in.
+  preflight_fixture(shaped_fixture(kSparse, 4000));
+  preflight_fixture(shaped_fixture(kPipelines, 4000));
 }
 
 }  // namespace

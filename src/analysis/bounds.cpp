@@ -184,6 +184,59 @@ const BoundCertificate* BoundSet::find(std::string_view id) const noexcept {
   return nullptr;
 }
 
+std::vector<Cost> comm_aware_tail(const TaskGraph& g) {
+  std::vector<Cost> tail(g.num_nodes(), 0);
+  // The forward pass on the edge-reversed graph, computed directly: walk
+  // the topological order backwards, so a node's successors (its
+  // predecessors in the reversed graph) are finalized first. Soundness by
+  // time reversal: a schedule read backwards is a valid schedule of the
+  // reversed graph, in which tail[n] plays the role of est[n].
+  struct Pred {
+    Cost e, w, c;
+  };
+  std::vector<Pred> top;
+  const auto order = g.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId n = *it;
+    const auto succs = g.successors(n);
+    Cost t = 0;
+    for (const Adjacency& succ : succs) {
+      t = std::max(t, tail[succ.node] + g.weight(succ.node));
+    }
+    if (succs.size() >= 2) {
+      top.clear();
+      for (const Adjacency& succ : succs) {
+        top.push_back({tail[succ.node], g.weight(succ.node), succ.cost});
+      }
+      const std::size_t keep = std::min<std::size_t>(4, top.size());
+      std::partial_sort(top.begin(), top.begin() + keep, top.end(),
+                        [](const Pred& x, const Pred& y) {
+                          return x.e + x.w + x.c > y.e + y.w + y.c;
+                        });
+      top.resize(keep);
+      for (std::size_t i = 0; i < top.size(); ++i) {
+        for (std::size_t j = i + 1; j < top.size(); ++j) {
+          t = std::max(t, pair_join_bound(top[i].e, top[i].w, top[i].c,
+                                          top[j].e, top[j].w, top[j].c));
+        }
+      }
+    }
+    tail[n] = t;
+  }
+  return tail;
+}
+
+RejectionTails make_rejection_tails(const TaskGraph& g,
+                                    std::size_t num_procs) {
+  RejectionTails out;
+  out.tail = comm_aware_tail(g);
+  BoundOptions options;
+  options.num_procs = num_procs;
+  options.interval_density = false;  // keep the helper O(v + e)
+  out.floor = compute_bounds(g, options).best();
+  return out;
+}
+
 std::vector<Cost> comm_aware_est(const TaskGraph& g) {
   std::vector<Cost> est(g.num_nodes(), 0);
   // Per-node scratch for the heaviest predecessors by finish + message.
@@ -257,6 +310,32 @@ BoundSet compute_bounds(const TaskGraph& g, const BoundOptions& options) {
                   num(est[arg]) +
                   " (join-placement case analysis) and is followed by a " +
                   num(sl[arg]) + "-long computation chain";
+    out.certificates.push_back(std::move(cert));
+  }
+
+  // comm-cp-tail: forward earliest starts + backward communication-aware
+  // tails. est[n] + w(n) + tail[n] lower-bounds every schedule for every
+  // n; tail >= sl − w makes this dominate comm-cp in value (ties keep
+  // comm-cp binding — BoundSet::binding prefers the earlier certificate).
+  {
+    const std::vector<Cost> tail = comm_aware_tail(g);
+    NodeId arg = 0;
+    Cost value = 0;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      const Cost through = est[n] + g.weight(n) + tail[n];
+      if (through > value) {
+        value = through;
+        arg = n;
+      }
+    }
+    BoundCertificate cert;
+    cert.id = "comm-cp-tail";
+    cert.value = value;
+    cert.witness = {arg};
+    cert.detail = "node " + g.name(arg) + " cannot start before " +
+                  num(est[arg]) + " and " + num(tail[arg]) +
+                  " units must follow its finish (backward join-placement "
+                  "case analysis)";
     out.certificates.push_back(std::move(cert));
   }
 

@@ -7,7 +7,7 @@
 /// of an accounting bug — the static cross-check the `bound-violation`
 /// lint rule and the `sched_diff` differential oracle are built on.
 ///
-/// The four bound families (all assume every task is placed exactly once,
+/// The bound families (all assume every task is placed exactly once,
 /// i.e. no task duplication — true for every scheduler in this library):
 ///
 ///  * `cp-comp` — the communication-free critical path: the longest chain
@@ -19,6 +19,12 @@
 ///    separated and paying the message delay) yields an earliest start
 ///    no schedule can beat; propagated in topological order and combined
 ///    with the computation-only tail. Holds for every processor count.
+///  * `comm-cp-tail` — `comm-cp` with the computation-only tail replaced
+///    by the backward communication-aware pass (`comm_aware_tail`, the
+///    same case analysis on the edge-reversed graph): every schedule is at
+///    least est(n) + w(n) + tail(n) long for every n. Dominates both
+///    `comm-cp` and the pure backward mirror; kept separate so the
+///    forward-only certificate stays independently checkable.
 ///  * `work` — total computation divided by the processor pool: p
 ///    processors cannot burn work faster than p units per time step.
 ///  * `interval-density` — a Fernández/Graham-style bound: fixing a
@@ -121,5 +127,30 @@ struct BoundRequest {
 /// on any processor count. Exposed for tests and tools.
 [[nodiscard]] std::vector<graph::Cost> comm_aware_est(
     const graph::TaskGraph& g);
+
+/// Backward mirror of `comm_aware_est`: tail[n] lower-bounds the time
+/// between finish(n) and the makespan in every duplication-free schedule
+/// on any processor count. Soundness by time reversal — any schedule read
+/// backwards is a valid schedule of the edge-reversed graph, so the
+/// forward pass's join-placement case analysis applies verbatim to each
+/// node's successors. Always >= the computation-only tail
+/// (static level − weight); combined per-node with live forward evidence
+/// (a replayed finish time) it gives the max(forward, backward) floor the
+/// evaluators' bound-based early rejection uses.
+[[nodiscard]] std::vector<graph::Cost> comm_aware_tail(
+    const graph::TaskGraph& g);
+
+/// Per-node backward bounds plus a static whole-graph floor, packaged for
+/// `IncrementalEvaluator::set_reject_tails`.
+struct RejectionTails {
+  std::vector<graph::Cost> tail;  ///< comm_aware_tail(g)
+  graph::Cost floor = 0;          ///< best static certificate for the pool
+};
+
+/// Builds rejection tails for `g` on `num_procs` processors. Uses only the
+/// O(v + e) certificates (no interval-density sweep) so schedulers can
+/// call it once per run without changing their complexity.
+[[nodiscard]] RejectionTails make_rejection_tails(const graph::TaskGraph& g,
+                                                  std::size_t num_procs);
 
 }  // namespace fastsched::analysis

@@ -43,7 +43,12 @@ sched::Schedule BsaScheduler::run(const graph::TaskGraph& g,
   const graph::LevelInfo levels = graph::compute_levels(g);
   const auto classes = graph::classify_nodes(g, levels);
   auto list = fast::build_cpn_dominate_list(g, levels, classes);
-  fast::IncrementalEvaluator evaluator(g, list, num_procs);
+  // kAuto replay: BSA's unbounded probes pick the contiguous restart or
+  // the event worklist per move; either way pending_start() feeds the
+  // bubble tie-break and results stay bit-identical.
+  fast::IncrementalEvaluator evaluator(g, list, num_procs,
+                                       fast::IncrementalEvaluator::kAutoInterval,
+                                       fast::ReplayPolicy::kAuto);
   std::vector<ProcId> assignment(v, 0);
   Cost length = evaluator.reset(assignment);
 

@@ -91,7 +91,9 @@ sched::Schedule AnnealingFastScheduler::run(
   }
 
   auto initial = initial_schedule(g, list, num_procs);
-  IncrementalEvaluator evaluator(g, std::move(list), num_procs);
+  IncrementalEvaluator evaluator(g, std::move(list), num_procs,
+                                 IncrementalEvaluator::kAutoInterval,
+                                 options_.replay);
   Cost length = initial.length;
   Rng rng(o.seed);
   (void)anneal(evaluator, blocking, initial.assignment, length, options_,

@@ -27,6 +27,11 @@ struct AnnealingOptions {
   /// Geometric cooling applied every `steps_per_level` moves.
   double cooling = 0.95;
   int steps_per_level = 64;
+  /// Candidate-replay engine. Annealing probes are unbounded (Metropolis
+  /// needs the exact Δ even uphill), so early rejection never fires here
+  /// and the event path's win is pure frontier-vs-suffix; results are
+  /// bit-identical across policies.
+  ReplayPolicy replay = ReplayPolicy::kAuto;
 };
 
 struct AnnealingStats {

@@ -1,0 +1,244 @@
+#include "fast/event_replay.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace fastsched::fast {
+
+using graph::kInvalidNode;
+
+void EventReplay::attach(const graph::TaskGraph* g,
+                         std::span<const NodeId> list,
+                         std::span<const std::uint32_t> pos,
+                         std::size_t num_procs, std::size_t interval) {
+  graph_ = g;
+  list_ = list;
+  pos_ = pos;
+  num_procs_ = num_procs;
+  interval_ = interval;
+  const std::size_t v = list_.size();
+  proc_prev_.assign(v, kInvalidNode);
+  proc_next_.assign(v, kInvalidNode);
+  proc_count_.assign(num_procs_, 0);
+  queued_stamp_.assign(v, 0);
+  chunk_stamp_.assign(v == 0 ? 0 : (v - 1) / interval_ + 1, 0);
+  last_on_proc_.assign(num_procs_, kInvalidNode);
+  heap_.reserve(64);
+  chains_valid_ = false;
+}
+
+void EventReplay::rebuild(std::span<const ProcId> assignment) {
+  std::fill(proc_count_.begin(), proc_count_.end(), 0);
+  std::fill(last_on_proc_.begin(), last_on_proc_.end(), kInvalidNode);
+  for (const NodeId n : list_) {
+    const ProcId p = assignment[n];
+    const NodeId prev = last_on_proc_[p];
+    proc_prev_[n] = prev;
+    proc_next_[n] = kInvalidNode;
+    if (prev != kInvalidNode) proc_next_[prev] = n;
+    last_on_proc_[p] = n;
+    ++proc_count_[p];
+  }
+  chains_valid_ = true;
+}
+
+std::pair<EventReplay::NodeId, EventReplay::NodeId> EventReplay::locate(
+    NodeId n, ProcId to, std::span<const ProcId> assignment) const {
+  NodeId prev = kInvalidNode;
+  NodeId next = kInvalidNode;
+  if (proc_count_[to] == 0) return {prev, next};
+  const std::size_t p = pos_[n];
+  for (std::size_t i = p; i-- > 0;) {
+    const NodeId m = list_[i];
+    if (m != n && assignment[m] == to) {
+      prev = m;
+      break;
+    }
+  }
+  for (std::size_t i = p + 1; i < list_.size(); ++i) {
+    const NodeId m = list_[i];
+    if (m != n && assignment[m] == to) {
+      next = m;
+      break;
+    }
+  }
+  return {prev, next};
+}
+
+void EventReplay::apply_transfer(NodeId n, ProcId from, ProcId to,
+                                 std::span<const ProcId> assignment) {
+  if (!chains_valid_ || from == to) return;
+  const NodeId old_prev = proc_prev_[n];
+  const NodeId old_next = proc_next_[n];
+  if (old_prev != kInvalidNode) proc_next_[old_prev] = old_next;
+  if (old_next != kInvalidNode) proc_prev_[old_next] = old_prev;
+  --proc_count_[from];
+  const auto [new_prev, new_next] = locate(n, to, assignment);
+  proc_prev_[n] = new_prev;
+  proc_next_[n] = new_next;
+  if (new_prev != kInvalidNode) proc_next_[new_prev] = n;
+  if (new_next != kInvalidNode) proc_prev_[new_next] = n;
+  ++proc_count_[to];
+}
+
+void EventReplay::push(std::uint32_t position) {
+  if (queued_stamp_[position] == queue_epoch_) return;
+  queued_stamp_[position] = queue_epoch_;
+  heap_.push_back(position);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+EventReplay::Outcome EventReplay::replay(
+    const Probe& probe, std::span<const ProcId> assignment,
+    std::span<Cost> finish, std::span<Cost> undo,
+    std::vector<NodeId>& touched_out, const Tables& tables,
+    Cost committed_length) {
+  FASTSCHED_ASSERT(chains_valid_);
+  Outcome out;
+  const std::size_t v = list_.size();
+  const NodeId n = probe.node;
+  const bool relocated = probe.from != probe.to;
+  const bool bounded = probe.bound != detail::kNoBound;
+  const Cost* tails =
+      probe.reject_tail.empty() ? nullptr : probe.reject_tail.data();
+
+  Cost floor = probe.floor;
+  if (bounded && !graph::definitely_less(floor, probe.bound)) {
+    out.aborted = true;
+    return out;
+  }
+
+  // Candidate chains = committed chains with n spliced out of `from` and
+  // into `to` at its list position. Only the four links around the two
+  // splice points differ, so the candidate neighbours are resolved by
+  // O(1) case analysis on top of the committed arrays (the moved node is
+  // the only placement change, and `from != to` keeps the special cases
+  // disjoint).
+  const NodeId old_next = proc_next_[n];
+  NodeId new_prev = proc_prev_[n];
+  NodeId new_next = old_next;
+  if (relocated) {
+    const auto located = locate(n, probe.to, assignment);
+    new_prev = located.first;
+    new_next = located.second;
+  }
+  const auto cand_next = [&](NodeId m) -> NodeId {
+    if (!relocated) return proc_next_[m];
+    if (m == n) return new_next;
+    if (proc_next_[m] == n) return old_next;  // m is n's old predecessor
+    if (m == new_prev) return n;
+    return proc_next_[m];
+  };
+  const auto cand_prev = [&](NodeId m) -> NodeId {
+    if (!relocated) return proc_prev_[m];
+    if (m == n) return new_prev;
+    if (proc_prev_[m] == n) return proc_prev_[n];  // m == old_next
+    if (m == new_next) return n;
+    return proc_prev_[m];
+  };
+
+  // Seed the frontier with every node whose *input* the move changed:
+  // the moved node itself (new processor, new slot), the slot it vacated
+  // (old_next's processor predecessor changed) and the slot it occupies
+  // (new_next's did too), and n's DAG successors (their communication
+  // term from n toggles with n's placement even when n's finish does
+  // not). Everything else is reached by propagation.
+  ++queue_epoch_;
+  heap_.clear();
+  push(pos_[n]);
+  if (relocated) {
+    if (old_next != kInvalidNode) push(pos_[old_next]);
+    if (new_next != kInvalidNode) push(pos_[new_next]);
+    for (const graph::Adjacency& s : graph_->successors(n)) push(pos_[s.node]);
+  }
+
+  // Worklist pops are strictly position-increasing (every push from a
+  // processed node targets a strictly later position), so when a node
+  // pops, all of its inputs hold their final candidate values — each
+  // node is processed at most once, by the exact `replay_list`
+  // recurrence over the exact candidate operands.
+  ++chunk_epoch_;
+  std::size_t min_changed = v;
+  std::size_t max_changed = 0;
+  bool any_change = false;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const std::uint32_t i = heap_.back();
+    heap_.pop_back();
+    const NodeId m = list_[i];
+    const ProcId p = assignment[m];
+    Cost dat = 0.0;
+    for (const graph::Adjacency& q : graph_->predecessors(m)) {
+      const Cost arrival =
+          finish[q.node] + (assignment[q.node] == p ? 0.0 : q.cost);
+      dat = std::max(dat, arrival);
+    }
+    const NodeId chain_prev = cand_prev(m);
+    const Cost ready = chain_prev == kInvalidNode ? 0.0 : finish[chain_prev];
+    const Cost start = std::max(dat, ready);
+    const Cost fin = start + graph_->weight(m);
+    if (m == n) out.moved_start = start;
+    ++out.processed;
+    if (fin != finish[m]) {
+      // First and only write to m this probe: log the prior value.
+      undo[m] = finish[m];
+      touched_out.push_back(m);
+      finish[m] = fin;
+      any_change = true;
+      min_changed = std::min<std::size_t>(min_changed, i);
+      max_changed = std::max<std::size_t>(max_changed, i);
+      chunk_stamp_[i / interval_] = chunk_epoch_;
+      const NodeId chain_next = cand_next(m);
+      if (chain_next != kInvalidNode) push(pos_[chain_next]);
+      for (const graph::Adjacency& s : graph_->successors(m)) {
+        push(pos_[s.node]);
+      }
+    }
+    if (bounded) {
+      // fin (a finish in the candidate) and fin + tail are both lower
+      // bounds on the candidate length; rejection here cannot disagree
+      // with the exact final comparison (definitely_less is monotone).
+      floor = std::max(floor, tails != nullptr ? fin + tails[m] : fin);
+      if (!graph::definitely_less(floor, probe.bound)) {
+        out.aborted = true;
+        return out;
+      }
+    }
+  }
+
+  // Fold the candidate length: committed prefix max before the first
+  // changed chunk, per-chunk maxima across the changed span (recomputing
+  // only chunks a change landed in), committed suffix max after the last
+  // changed chunk. Each term is a max over the same finish values a
+  // full-list fold would visit, so the result is bit-identical to the
+  // contiguous scan and the full-scan oracle.
+  if (!any_change) {
+    out.length = committed_length;
+  } else {
+    const std::size_t first_cp = min_changed / interval_;
+    const std::size_t last_cp = max_changed / interval_;
+    Cost mid = 0.0;
+    for (std::size_t cp = first_cp; cp <= last_cp; ++cp) {
+      if (chunk_stamp_[cp] == chunk_epoch_) {
+        const std::size_t end = std::min(v, (cp + 1) * interval_);
+        Cost chunk = 0.0;
+        for (std::size_t i = cp * interval_; i < end; ++i) {
+          chunk = std::max(chunk, finish[list_[i]]);
+        }
+        mid = std::max(mid, chunk);
+      } else {
+        mid = std::max(mid, tables.chunk_max[cp]);
+      }
+    }
+    out.length = std::max(std::max(tables.cp_prefix_len[first_cp], mid),
+                          tables.suffix_max[last_cp + 1]);
+  }
+  if (bounded && !graph::definitely_less(out.length, probe.bound)) {
+    out.aborted = true;
+  }
+  return out;
+}
+
+}  // namespace fastsched::fast

@@ -1,0 +1,154 @@
+#pragma once
+
+/// \file event_replay.hpp
+/// Worklist-based O(affected) candidate-move replay.
+///
+/// The contiguous suffix restart of `IncrementalEvaluator` still walks
+/// every list position between a changed finish time and its farthest
+/// successor, even when nothing in between is affected. `EventReplay`
+/// removes that dead scanning: it keeps the committed schedule's
+/// per-processor slot chains (each processor's nodes linked in list
+/// order), seeds a position-ordered worklist with only the moved node and
+/// the slots it vacates / occupies, and recomputes start/finish times
+/// strictly along DAG successor edges and same-processor slot adjacency —
+/// a node is processed only when one of its inputs (a parent finish or
+/// its processor predecessor's finish) actually changed. The replay
+/// terminates the instant the frontier is empty; the candidate length is
+/// then folded from the committed prefix/chunk/suffix maxima with only
+/// the chunks that changed recomputed.
+///
+/// Bit-identity with the contiguous scan and the full-scan oracle: every
+/// recomputed start/finish uses the same expressions as `replay_list`
+/// over the same operand values (unchanged inputs keep their committed
+/// values, which *are* the candidate values), and the final length is a
+/// max over the same multiset of finish times — `std::max` over doubles
+/// is exact, so the fold order cannot change the value. Accept/reject
+/// under a bound is a pure function of the final length plus sound
+/// intermediate floors, so decisions agree as well. The differential
+/// fuzz suite pins all of this.
+///
+/// Instances are single-threaded and owned by one `IncrementalEvaluator`.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "fast/replay_core.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace fastsched::fast {
+
+class EventReplay {
+ public:
+  using Cost = graph::Cost;
+  using NodeId = graph::NodeId;
+  using ProcId = sched::ProcId;
+
+  EventReplay() = default;
+
+  /// Binds the engine to its evaluator's immutable artifacts. The spans
+  /// must outlive the engine (the evaluator owns both; vector moves keep
+  /// the underlying buffers valid).
+  void attach(const graph::TaskGraph* g, std::span<const NodeId> list,
+              std::span<const std::uint32_t> pos, std::size_t num_procs,
+              std::size_t interval);
+
+  /// True when the committed per-processor chains mirror the evaluator's
+  /// committed assignment.
+  [[nodiscard]] bool ready() const noexcept { return chains_valid_; }
+
+  /// Marks the chains stale (after reset()/rescore(), which change many
+  /// placements at once); the next event probe rebuilds them in O(v).
+  void invalidate() noexcept { chains_valid_ = false; }
+
+  /// Rebuilds the committed chains from scratch for `assignment`.
+  void rebuild(std::span<const ProcId> assignment);
+
+  /// O(gap) chain splice for a committed transfer of `n` from `from` to
+  /// `to`. Call with the *post-move* assignment (n already on `to`);
+  /// no-op when the chains are stale or the move stayed on-processor.
+  void apply_transfer(NodeId n, ProcId from, ProcId to,
+                      std::span<const ProcId> assignment);
+
+  /// Committed fold tables borrowed from the evaluator (chunk granularity
+  /// `interval`): prefix running max before each checkpoint, max finish
+  /// within each chunk, and max finish at or beyond each checkpoint.
+  struct Tables {
+    std::span<const Cost> cp_prefix_len;
+    std::span<const Cost> chunk_max;
+    std::span<const Cost> suffix_max;
+  };
+
+  struct Probe {
+    NodeId node = 0;
+    ProcId from = 0;
+    ProcId to = 0;
+    /// Early-rejection bound (`detail::kNoBound` = exact length wanted).
+    Cost bound = detail::kNoBound;
+    /// A-priori lower bound on the candidate length (committed prefix
+    /// max before the moved node, static graph bound): sharpens
+    /// rejection without affecting decisions.
+    Cost floor = 0;
+    /// Optional per-node backward bounds (`analysis::comm_aware_tail`):
+    /// empty, or one entry per node.
+    std::span<const Cost> reject_tail;
+  };
+
+  struct Outcome {
+    Cost length = 0;       ///< exact candidate length (valid unless aborted)
+    Cost moved_start = 0;  ///< start time of the moved node
+    bool aborted = false;  ///< bound-certain rejection
+    std::size_t processed = 0;  ///< worklist pops (the "affected" count)
+  };
+
+  /// Replays `probe` against the committed state. `assignment` must
+  /// already carry the move (node on `to`); `finish` holds committed
+  /// values on entry and candidate values for changed nodes on return,
+  /// with prior values logged to `undo[n]` and the changed node ids
+  /// appended to `touched_out` (the evaluator's sparse undo log — also
+  /// the nodes to restore after an abort). Committed chains must be
+  /// `ready()`; they are not modified (commit via `apply_transfer`).
+  Outcome replay(const Probe& probe, std::span<const ProcId> assignment,
+                 std::span<Cost> finish, std::span<Cost> undo,
+                 std::vector<NodeId>& touched_out, const Tables& tables,
+                 Cost committed_length);
+
+ private:
+  /// Committed chain neighbours node `n` would get on processor `to`
+  /// (scans outward from pos(n); skips n itself), as {prev, next}.
+  [[nodiscard]] std::pair<NodeId, NodeId> locate(
+      NodeId n, ProcId to, std::span<const ProcId> assignment) const;
+
+  void push(std::uint32_t position);
+
+  const graph::TaskGraph* graph_ = nullptr;
+  std::span<const NodeId> list_;
+  std::span<const std::uint32_t> pos_;
+  std::size_t num_procs_ = 0;
+  std::size_t interval_ = 1;
+
+  // Committed slot chains: for each node, the previous/next node on its
+  // processor in list order (kInvalidNode at the ends), plus how many
+  // nodes each processor hosts (empty processors skip neighbour scans).
+  std::vector<NodeId> proc_prev_;
+  std::vector<NodeId> proc_next_;
+  std::vector<std::uint32_t> proc_count_;
+  bool chains_valid_ = false;
+
+  // Position-ordered worklist (min-heap) with epoch-stamped dedupe.
+  std::vector<std::uint32_t> heap_;
+  std::vector<std::uint64_t> queued_stamp_;  ///< by list position
+  std::uint64_t queue_epoch_ = 0;
+
+  // Chunks whose max finish changed in the live probe (for the fold).
+  std::vector<std::uint64_t> chunk_stamp_;
+  std::uint64_t chunk_epoch_ = 0;
+
+  // Scratch for rebuild().
+  std::vector<NodeId> last_on_proc_;
+};
+
+}  // namespace fastsched::fast

@@ -1,5 +1,6 @@
 #include "fast/fast.hpp"
 
+#include "analysis/bounds.hpp"
 #include "fast/evaluator.hpp"
 
 namespace fastsched::fast {
@@ -28,7 +29,13 @@ FastResult run_fast(const TaskGraph& g, const FastOptions& options) {
     if (classes[n] != graph::NodeClass::kCpn) result.blocking_list.push_back(n);
   }
 
-  IncrementalEvaluator evaluator(g, result.list, num_procs);
+  IncrementalEvaluator evaluator(g, result.list, num_procs,
+                                 IncrementalEvaluator::kAutoInterval,
+                                 options.replay);
+  if (options.reject_tails) {
+    analysis::RejectionTails tails = analysis::make_rejection_tails(g, num_procs);
+    evaluator.set_reject_tails(std::move(tails.tail), tails.floor);
+  }
   Cost length = result.initial_length;
   Rng rng(options.seed);
   LocalSearchOptions search_options;

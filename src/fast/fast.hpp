@@ -28,6 +28,14 @@ struct FastOptions {
   /// Move-generation policy (kRandomBlockingRandomProc = the paper's).
   NeighborhoodPolicy neighborhood =
       NeighborhoodPolicy::kRandomBlockingRandomProc;
+  /// Candidate-replay engine for move probes (contiguous suffix restart,
+  /// event-driven worklist, or per-probe auto selection). Search results
+  /// are bit-identical across policies; this only changes probe cost.
+  ReplayPolicy replay = ReplayPolicy::kAuto;
+  /// Sharpen bound-based early rejection with backward communication-aware
+  /// tails (analysis::make_rejection_tails; one O(v + e) pass per run).
+  /// Decisions are unchanged — rejected probes just abort earlier.
+  bool reject_tails = true;
 };
 
 /// Everything FAST computes, for inspection.

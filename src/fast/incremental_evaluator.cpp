@@ -1,6 +1,8 @@
 #include "fast/incremental_evaluator.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "fast/cpn_dominate.hpp"
 
@@ -15,12 +17,29 @@ std::size_t auto_interval(std::size_t num_procs) {
   return std::max<std::size_t>(32, (num_procs + 7) / 8);
 }
 
+/// FASTSCHED_REPLAY overrides the constructor's replay policy for every
+/// evaluator in the process — the lever the determinism diff and the CI
+/// event-path shard use to force one engine without code changes.
+ReplayPolicy resolve_policy(ReplayPolicy requested) {
+  const char* env = std::getenv("FASTSCHED_REPLAY");
+  if (env == nullptr || *env == '\0') return requested;
+  const std::string_view value{env};
+  if (value == "contiguous") return ReplayPolicy::kContiguous;
+  if (value == "event") return ReplayPolicy::kEvent;
+  if (value == "auto") return ReplayPolicy::kAuto;
+  FASTSCHED_REQUIRE(false,
+                    "FASTSCHED_REPLAY must be 'contiguous', 'event', or "
+                    "'auto'");
+  return requested;
+}
+
 }  // namespace
 
 IncrementalEvaluator::IncrementalEvaluator(const TaskGraph& g,
                                            std::vector<NodeId> list,
                                            std::size_t num_procs,
-                                           std::size_t checkpoint_interval)
+                                           std::size_t checkpoint_interval,
+                                           ReplayPolicy policy)
     : graph_(&g),
       list_(std::move(list)),
       num_procs_(num_procs),
@@ -53,6 +72,17 @@ IncrementalEvaluator::IncrementalEvaluator(const TaskGraph& g,
       max_succ_pos_[n] = std::max(max_succ_pos_[n], pos_[s.node]);
     }
   }
+  policy_ = resolve_policy(policy);
+  event_.attach(graph_, list_, pos_, num_procs_, interval_);
+  sparse_dirty_.reserve(64);
+}
+
+void IncrementalEvaluator::set_reject_tails(std::vector<Cost> tails,
+                                            Cost static_floor) {
+  FASTSCHED_REQUIRE(tails.empty() || tails.size() == graph_->num_nodes(),
+                    "reject tails must be empty or one entry per node");
+  reject_tails_ = std::move(tails);
+  static_floor_ = static_floor;
 }
 
 Cost IncrementalEvaluator::reset(std::span<const ProcId> assignment) {
@@ -60,6 +90,8 @@ Cost IncrementalEvaluator::reset(std::span<const ProcId> assignment) {
   assignment_.assign(assignment.begin(), assignment.end());
   pending_ = Pending::kNone;
   dirty_begin_ = dirty_end_ = 0;  // every finish is rewritten below
+  sparse_dirty_.clear();
+  event_.invalidate();  // chains rebuilt lazily by the next event probe
 
   // Full scan, pausing at each checkpoint boundary to snapshot the ready
   // vector and the running length (state strictly *before* the boundary
@@ -101,6 +133,11 @@ void IncrementalEvaluator::restore_pending() noexcept {
     finish_[m] = scratch_finish_[m];
   }
   dirty_begin_ = dirty_end_ = 0;
+  // Event-path probes log sparsely (node ids, not a list range); both
+  // logs share scratch_finish_ as the prior-value store, and at most one
+  // is non-empty at a time.
+  for (const NodeId m : sparse_dirty_) finish_[m] = scratch_finish_[m];
+  sparse_dirty_.clear();
 }
 
 bool IncrementalEvaluator::ready_matches(std::size_t cp_restart,
@@ -161,6 +198,14 @@ detail::ReplayOutcome IncrementalEvaluator::scan_suffix(
     if (m == pending_node_) pending_start_ = start;
   };
 
+  // Backward bounds (set_reject_tails) sharpen the per-position abort
+  // floor; they cannot change the accept/reject decision (doc in
+  // replay_core.hpp), only make rejected probes abort earlier.
+  const Cost* tails = reject_tails_.empty() ? nullptr : reject_tails_.data();
+  const auto tail_of = [&](NodeId m) {
+    return tails != nullptr ? tails[m] : Cost{0};
+  };
+
   Cost running = cp_prefix_len_[cp_restart];
   std::size_t i = restart;
   while (i < v) {
@@ -168,7 +213,7 @@ detail::ReplayOutcome IncrementalEvaluator::scan_suffix(
         std::min(v, (checkpoint_of(i) + 1) * interval_);
     const auto out = detail::replay_list(*graph_, list_, i, chunk_end, running,
                                          bound, proc_of, finish_of, ready_ref,
-                                         emit);
+                                         emit, tail_of);
     running = out.length;
     dirty_begin_ = restart;
     dirty_end_ = out.stopped_at;
@@ -196,17 +241,50 @@ detail::ReplayOutcome IncrementalEvaluator::scan_suffix(
   return {running, v, false};
 }
 
+bool IncrementalEvaluator::prefer_event(std::size_t suffix, NodeId n) const {
+  if (policy_ == ReplayPolicy::kContiguous) return false;
+  if (policy_ == ReplayPolicy::kEvent) return true;
+  // Auto: the contiguous restart already amortizes short suffixes well
+  // (and its convergence exit fires within a couple of chunks), so the
+  // worklist — with its heap and chain bookkeeping per processed node —
+  // only wins when the suffix dwarfs the expected frontier. The frontier
+  // estimate is the EWMA of pops observed on past event probes, seeded
+  // from the moved node's out-degree before any observation exists.
+  if (suffix < 2 * interval_) return false;
+  const double expected =
+      ewma_affected_ > 0.0
+          ? ewma_affected_
+          : 8.0 + static_cast<double>(graph_->successors(n).size());
+  return static_cast<double>(suffix) >
+         4.0 * (expected + static_cast<double>(interval_));
+}
+
 std::optional<Cost> IncrementalEvaluator::evaluate_move(NodeId n, ProcId target,
                                                         Cost bound) {
   FASTSCHED_ASSERT(valid_);
   FASTSCHED_ASSERT(n < assignment_.size() && target < num_procs_);
   ++counters_.moves;
   restore_pending();  // a new probe replaces any un-reverted predecessor
-  const std::size_t pos = pos_[n];
-  const std::size_t restart = checkpoint_of(pos) * interval_;
-
   pending_node_ = n;
   const ProcId original = assignment_[n];
+
+  if (bound != detail::kNoBound &&
+      !graph::definitely_less(static_floor_, bound)) {
+    // The binding static certificate already rules out any strict
+    // improvement on `bound`: O(1) rejection, no replay at all. Sound
+    // because every candidate length is >= the static lower bound, and
+    // decision-identical to running either replay to completion.
+    ++counters_.early_rejected;
+    pending_ = Pending::kNone;
+    return std::nullopt;
+  }
+
+  const std::size_t pos = pos_[n];
+  const std::size_t restart = checkpoint_of(pos) * interval_;
+  if (prefer_event(list_.size() - restart, n)) {
+    return evaluate_move_event(n, target, original, bound);
+  }
+
   const ProcId lost[] = {original};
   assignment_[n] = target;  // visible to the scan only
   const auto out = scan_suffix(restart, bound, pos, lost);
@@ -227,8 +305,64 @@ std::optional<Cost> IncrementalEvaluator::evaluate_move(NodeId n, ProcId target,
   return out.length;
 }
 
+std::optional<Cost> IncrementalEvaluator::evaluate_move_event(NodeId n,
+                                                              ProcId target,
+                                                              ProcId original,
+                                                              Cost bound) {
+  if (!event_.ready()) event_.rebuild(assignment_);
+  ++counters_.event_moves;
+
+  EventReplay::Probe probe;
+  probe.node = n;
+  probe.from = original;
+  probe.to = target;
+  probe.bound = bound;
+  // The committed prefix before the restart checkpoint is untouched by
+  // the move, so its running max — the same seed the contiguous scan
+  // folds in — is an a-priori floor on the candidate length.
+  const std::size_t cp_restart = checkpoint_of(pos_[n]);
+  probe.floor = std::max(static_floor_, cp_prefix_len_[cp_restart]);
+  probe.reject_tail = reject_tails_;
+
+  assignment_[n] = target;  // visible to the replay only
+  const auto out = event_.replay(
+      probe, assignment_, finish_, scratch_finish_, sparse_dirty_,
+      {cp_prefix_len_, chunk_max_, suffix_max_}, length_);
+  assignment_[n] = original;  // committed view restored before returning
+  counters_.event_processed += out.processed;
+
+  // Frontier-size estimate for the auto heuristic: deterministic EWMA
+  // over every event probe, aborted or not. An aborted probe's pop count
+  // under-reports the full frontier, but it is exactly the work this
+  // probe paid — and feeding it in is what lets kAuto learn to abandon
+  // the event path on wide-cone graphs where bounded probes keep
+  // aborting *late* (otherwise the estimate never updates and every
+  // probe repays the expensive worklist).
+  ewma_affected_ = ewma_affected_ == 0.0
+                       ? static_cast<double>(out.processed)
+                       : 0.875 * ewma_affected_ +
+                             0.125 * static_cast<double>(out.processed);
+  if (out.aborted) {
+    restore_pending();  // sparse by construction
+    ++counters_.early_rejected;
+    pending_ = Pending::kNone;
+    return std::nullopt;
+  }
+  pending_ = Pending::kEventMove;
+  pending_target_ = target;
+  pending_original_ = original;
+  pending_restart_ = cp_restart * interval_;
+  // Checkpoint ready rows past the last changed position can still be
+  // stale (the processor that lost n changes its ready progression), so
+  // the commit walk must run to the end of the list.
+  pending_stop_ = list_.size();
+  pending_length_ = out.length;
+  pending_start_ = out.moved_start;
+  return out.length;
+}
+
 Cost IncrementalEvaluator::pending_start() const {
-  FASTSCHED_ASSERT(pending_ == Pending::kMove);
+  FASTSCHED_ASSERT(pending_ != Pending::kNone);
   return pending_start_;
 }
 
@@ -238,11 +372,17 @@ void IncrementalEvaluator::revert() noexcept {
 }
 
 Cost IncrementalEvaluator::commit() {
-  FASTSCHED_ASSERT(pending_ == Pending::kMove);
+  FASTSCHED_ASSERT(pending_ != Pending::kNone);
   assignment_[pending_node_] = pending_target_;
   const ProcId lost[] = {pending_original_};
-  dirty_begin_ = dirty_end_ = 0;  // adopt the in-place candidate values
+  // Adopt the in-place candidate values: drop both undo logs.
+  dirty_begin_ = dirty_end_ = 0;
+  sparse_dirty_.clear();
   commit_scan(pending_restart_, pending_stop_, lost, pending_length_);
+  // Keep the event engine's slot chains in sync with the committed
+  // assignment (O(gap) splice; no-op when stale or on-processor).
+  event_.apply_transfer(pending_node_, pending_original_, pending_target_,
+                        assignment_);
   pending_ = Pending::kNone;
   ++counters_.commits;
   return length_;
@@ -322,6 +462,16 @@ Cost IncrementalEvaluator::rescore(std::span<const ProcId> assignment) {
   ++counters_.rescores;
   restore_pending();  // drop any un-reverted probe first
   pending_ = Pending::kNone;
+  // Per-phase outcome tallies restart with each re-scored schedule so
+  // policy-selection telemetry stays attributable; they are zeroed on
+  // every exit below, *after* the internal scan (whose own convergence
+  // must not leak into the new phase). Lifetime counters (moves,
+  // positions_scanned, commits, event_*) keep accumulating —
+  // sched_lint --bounds reads positions_scanned as before/after deltas.
+  const auto begin_phase = [this] {
+    counters_.early_rejected = 0;
+    counters_.converged = 0;
+  };
 
   // First/last list positions whose processor changed; everything before
   // `first` is reusable prefix, and convergence may only be declared
@@ -337,15 +487,20 @@ Cost IncrementalEvaluator::rescore(std::span<const ProcId> assignment) {
       lost.push_back(assignment_[m]);
     }
   }
-  if (first == v) return length_;
+  if (first == v) {
+    begin_phase();
+    return length_;
+  }
 
   const std::size_t restart = checkpoint_of(first) * interval_;
   assignment_.assign(assignment.begin(), assignment.end());
+  event_.invalidate();  // bulk placement change; rebuilt lazily
   pending_node_ = graph::kInvalidNode;  // no single moved node to track
   const auto out = scan_suffix(restart, kUnbounded, last, lost);
   FASTSCHED_ASSERT(!out.aborted);
   dirty_begin_ = dirty_end_ = 0;  // adopt the in-place values
   commit_scan(restart, out.stopped_at, lost, out.length);
+  begin_phase();
   return length_;
 }
 

@@ -39,6 +39,16 @@
 /// the full-scan oracle — the differential fuzz suite and the
 /// golden-file layer pin this.
 ///
+/// On top of the contiguous restart sits the event-driven path
+/// (`EventReplay`): a worklist replay that processes only the nodes a
+/// move actually affects instead of the whole suffix, selected per probe
+/// by `ReplayPolicy` (an auto heuristic weighs the suffix length against
+/// the observed frontier size; `FASTSCHED_REPLAY=contiguous|event|auto`
+/// overrides the constructor's choice). Both paths share the undo log,
+/// the bound-based early rejection (optionally sharpened by
+/// `set_reject_tails` backward bounds) and the committed fold tables,
+/// and return bit-identical lengths and decisions.
+///
 /// Instances are single-threaded; PFAST gives each worker its own.
 
 #include <cstddef>
@@ -48,6 +58,7 @@
 #include <span>
 #include <vector>
 
+#include "fast/event_replay.hpp"
 #include "fast/replay_core.hpp"
 #include "sched/schedule.hpp"
 
@@ -58,6 +69,10 @@ using graph::NodeId;
 using graph::TaskGraph;
 using sched::ProcId;
 using sched::Schedule;
+
+/// How evaluate_move replays a candidate: the contiguous suffix restart,
+/// the event-driven worklist, or a per-probe choice between them.
+enum class ReplayPolicy : std::uint8_t { kContiguous, kEvent, kAuto };
 
 class IncrementalEvaluator {
  public:
@@ -70,9 +85,27 @@ class IncrementalEvaluator {
 
   /// `list` must be a topological order of all nodes of `g` (checked).
   /// The evaluator keeps a reference to `g`; the graph must outlive it.
+  /// `policy` selects the candidate-replay engine; the `FASTSCHED_REPLAY`
+  /// environment variable (contiguous | event | auto) overrides it for
+  /// every evaluator in the process (a later set_policy overrides both).
   IncrementalEvaluator(const TaskGraph& g, std::vector<NodeId> list,
                        std::size_t num_procs,
-                       std::size_t checkpoint_interval = kAutoInterval);
+                       std::size_t checkpoint_interval = kAutoInterval,
+                       ReplayPolicy policy = ReplayPolicy::kAuto);
+
+  /// Replay-policy override (takes precedence over the constructor value
+  /// and the FASTSCHED_REPLAY environment override).
+  void set_policy(ReplayPolicy policy) noexcept { policy_ = policy; }
+  [[nodiscard]] ReplayPolicy policy() const noexcept { return policy_; }
+
+  /// Installs per-node backward bounds for early rejection: `tails[n]` is
+  /// a lower bound on the schedule that must follow n's finish in any
+  /// valid schedule (`analysis::comm_aware_tail`), and `static_floor` a
+  /// graph-level lower bound on any candidate length (the binding static
+  /// certificate). Both only make bounded probes abort *earlier*; accept/
+  /// reject decisions and returned lengths are unchanged. `tails` must be
+  /// empty or hold one entry per node.
+  void set_reject_tails(std::vector<Cost> tails, Cost static_floor = 0);
 
   /// Full O(v + e) scan of `assignment`: establishes the committed
   /// state (finish times, checkpoints, length) every later move is
@@ -132,6 +165,11 @@ class IncrementalEvaluator {
 
   /// Work counters for benchmarks and EXPERIMENTS.md: how much scanning
   /// the suffix restart + early rejection actually saved.
+  /// Lifetime counters (`moves`, `positions_scanned`, `commits`,
+  /// `rescores`, `event_*`) accumulate across rescore(); the per-phase
+  /// outcome tallies (`early_rejected`, `converged`) are zeroed by
+  /// rescore() so policy-selection telemetry reflects the schedule under
+  /// evaluation, not a mix of unrelated phases.
   struct Counters {
     std::uint64_t moves = 0;            ///< evaluate_move calls
     std::uint64_t early_rejected = 0;   ///< scans cut short by the bound
@@ -139,6 +177,8 @@ class IncrementalEvaluator {
     std::uint64_t positions_scanned = 0;///< list positions replayed
     std::uint64_t commits = 0;
     std::uint64_t rescores = 0;
+    std::uint64_t event_moves = 0;      ///< probes taken by the event path
+    std::uint64_t event_processed = 0;  ///< worklist pops across them
   };
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
@@ -172,8 +212,19 @@ class IncrementalEvaluator {
   [[nodiscard]] bool ready_matches(std::size_t cp_restart, std::size_t cp_b,
                                    std::span<const ProcId> extra) const;
 
-  /// Restores finish_ from the undo log (no-op when nothing is dirty).
+  /// Restores finish_ from the undo log — the contiguous dirty range or
+  /// the event path's sparse touched list (no-op when nothing is dirty).
   void restore_pending() noexcept;
+
+  /// Event-path evaluate_move body: worklist replay instead of the
+  /// contiguous suffix scan. `assignment_` already carries the move.
+  [[nodiscard]] std::optional<Cost> evaluate_move_event(
+      NodeId n, ProcId target, ProcId original, Cost bound);
+
+  /// True when the auto heuristic routes this probe to the event path:
+  /// the contiguous scan would walk `suffix` positions while the event
+  /// frontier is expected to stay near the observed per-probe average.
+  [[nodiscard]] bool prefer_event(std::size_t suffix, NodeId n) const;
 
   /// Folds a completed candidate scan into committed state: suffix
   /// finish times, checkpoints >= restart, assignment-derived ready
@@ -223,8 +274,23 @@ class IncrementalEvaluator {
   std::vector<ProcId> touched_;
   std::uint64_t touch_epoch_ = 0;
 
-  // Pending candidate.
-  enum class Pending : std::uint8_t { kNone, kMove };
+  // Event-driven replay engine (tentpole): per-processor slot chains +
+  // position-ordered worklist. Chains go stale on reset()/rescore() and
+  // are rebuilt lazily by the next event probe. sparse_dirty_ is the
+  // event path's undo log (node ids whose finish_ it overwrote, with
+  // prior values in scratch_finish_).
+  EventReplay event_;
+  std::vector<NodeId> sparse_dirty_;
+  ReplayPolicy policy_ = ReplayPolicy::kAuto;
+  double ewma_affected_ = 0.0;  ///< EWMA of worklist pops per event probe
+
+  // Backward-bound sharpening for early rejection (set_reject_tails).
+  std::vector<Cost> reject_tails_;
+  Cost static_floor_ = 0;
+
+  // Pending candidate. kMove restored via the contiguous dirty range,
+  // kEventMove via the sparse touched list.
+  enum class Pending : std::uint8_t { kNone, kMove, kEventMove };
   Pending pending_ = Pending::kNone;
   NodeId pending_node_ = 0;
   ProcId pending_target_ = 0;

@@ -25,6 +25,9 @@ LocalSearchStats local_search(IncrementalEvaluator& evaluator,
 
   // One full scan establishes the committed prefix every candidate move
   // restarts from; `length` stays the incumbent the moves must beat.
+  // Whether a probe then replays the contiguous suffix or the event
+  // worklist is the evaluator's ReplayPolicy — invisible here: lengths,
+  // accept/reject decisions and the committed state are bit-identical.
   evaluator.reset(assignment);
 
   TransferTargets targets(num_procs);

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "analysis/bounds.hpp"
 #include "fast/evaluator.hpp"
 
 namespace fastsched::fast {
@@ -48,10 +49,24 @@ ParallelFastResult run_parallel_fast(const TaskGraph& g,
   search_options.max_steps = options.max_steps_per_thread;
   search_options.policy = options.neighborhood;
 
+  // Rejection tails are computed once in the shared phase; each worker
+  // takes its own copy (the tables are read-only during search, but
+  // per-worker ownership keeps the evaluator self-contained).
+  analysis::RejectionTails tails;
+  if (options.reject_tails) {
+    tails = analysis::make_rejection_tails(g, num_procs);
+  }
+
   const auto worker = [&](std::size_t t) {
     // Each thread owns its evaluator (committed prefix state, scratch
-    // buffers and checkpoints are all per-worker, never shared).
-    IncrementalEvaluator evaluator(g, result.list, num_procs);
+    // buffers, checkpoints, event chains and frontier statistics are all
+    // per-worker, never shared).
+    IncrementalEvaluator evaluator(g, result.list, num_procs,
+                                   IncrementalEvaluator::kAutoInterval,
+                                   options.replay);
+    if (options.reject_tails) {
+      evaluator.set_reject_tails(tails.tail, tails.floor);
+    }
     ThreadOutcome& out = outcomes[t];
     out.assignment = initial.assignment;
     out.length = initial.length;

@@ -25,6 +25,13 @@ struct ParallelFastOptions {
   ListPolicy list_policy = ListPolicy::kCpnDominate;
   NeighborhoodPolicy neighborhood =
       NeighborhoodPolicy::kRandomBlockingRandomProc;
+  /// Per-worker candidate-replay engine (each thread's evaluator gets its
+  /// own chains, worklist and frontier statistics). Bit-identical results
+  /// across policies.
+  ReplayPolicy replay = ReplayPolicy::kAuto;
+  /// Backward-tail sharpening of early rejection (shared read-only tables,
+  /// computed once; see FastOptions::reject_tails).
+  bool reject_tails = true;
 };
 
 struct ParallelFastResult {

@@ -59,17 +59,27 @@ struct ReplayOutcome {
 ///                       schedule placements, or checkpoints.
 ///
 /// `seed_length` folds the (unreplayed) prefix into the running max.
-/// When `bound != kNoBound` the replay aborts as soon as the running
-/// length is no longer `definitely_less(running, bound)` — at that point
+/// When `bound != kNoBound` the replay aborts as soon as the candidate
+/// provably cannot be `definitely_less(candidate, bound)` — at that point
 /// the candidate cannot strictly improve on `bound`, and `emit` has been
 /// called for a prefix of positions only.
-template <class ProcOf, class FinishOf, class ReadyRef, class Emit>
+///
+/// `reject_tail_of(n)` is a per-node lower bound on how much schedule must
+/// follow n's finish in *any* valid schedule (`analysis::comm_aware_tail`;
+/// return 0 for no tail knowledge). The abort test then uses
+/// max(running, fin + tail) instead of the running max alone: both are
+/// lower bounds on the final length, and `definitely_less` is monotone in
+/// its first argument, so tails can only reject *earlier*, never change
+/// the accept/reject decision.
+template <class ProcOf, class FinishOf, class ReadyRef, class Emit,
+          class TailOf>
 inline ReplayOutcome replay_list(const graph::TaskGraph& g,
                                  std::span<const graph::NodeId> list,
                                  std::size_t begin, std::size_t end,
                                  graph::Cost seed_length, graph::Cost bound,
                                  ProcOf&& proc_of, FinishOf&& finish_of,
-                                 ReadyRef&& ready_ref, Emit&& emit) {
+                                 ReadyRef&& ready_ref, Emit&& emit,
+                                 TailOf&& reject_tail_of) {
   graph::Cost running = seed_length;
   if (bound != kNoBound && !graph::definitely_less(running, bound)) {
     return {running, begin, true};
@@ -89,11 +99,28 @@ inline ReplayOutcome replay_list(const graph::TaskGraph& g,
     ready = fin;
     running = std::max(running, fin);
     emit(i, n, p, start, fin);
-    if (bound != kNoBound && !graph::definitely_less(running, bound)) {
-      return {running, i + 1, true};
+    if (bound != kNoBound) {
+      const graph::Cost floor = std::max(running, fin + reject_tail_of(n));
+      if (!graph::definitely_less(floor, bound)) {
+        return {running, i + 1, true};
+      }
     }
   }
   return {running, end, false};
+}
+
+/// Tail-less overload: the abort test degenerates to the running max
+/// (max(running, fin + 0) == running, since running already folded fin).
+template <class ProcOf, class FinishOf, class ReadyRef, class Emit>
+inline ReplayOutcome replay_list(const graph::TaskGraph& g,
+                                 std::span<const graph::NodeId> list,
+                                 std::size_t begin, std::size_t end,
+                                 graph::Cost seed_length, graph::Cost bound,
+                                 ProcOf&& proc_of, FinishOf&& finish_of,
+                                 ReadyRef&& ready_ref, Emit&& emit) {
+  return replay_list(g, list, begin, end, seed_length, bound, proc_of,
+                     finish_of, ready_ref, emit,
+                     [](graph::NodeId) { return graph::Cost{0}; });
 }
 
 /// Builds the full Schedule (start/finish per node) for one (list,

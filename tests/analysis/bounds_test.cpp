@@ -87,6 +87,81 @@ TEST(Bounds, CommAwareJoinCaseAnalysis) {
   EXPECT_DOUBLE_EQ(bounds.best(), 15.0);
 }
 
+TEST(Bounds, CommAwareTailChainClosedForm) {
+  // On a chain the whole suffix can be co-located with its predecessor,
+  // so the tail of node i is exactly the work strictly after it.
+  const graph::TaskGraph g = fastsched::testing::chain(4, 2.0, 1.0);
+  const std::vector<graph::Cost> tail = comm_aware_tail(g);
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_DOUBLE_EQ(tail[0], 6.0);
+  EXPECT_DOUBLE_EQ(tail[1], 4.0);
+  EXPECT_DOUBLE_EQ(tail[2], 2.0);
+  EXPECT_DOUBLE_EQ(tail[3], 0.0);
+}
+
+TEST(Bounds, CommAwareTailForkCaseAnalysis) {
+  // Mirror of the join example: one weight-1 source fanning out to two
+  // weight-10 successors over cost-4 edges. Time-reversal of the join
+  // case analysis: at most one successor can be co-located with the
+  // source, so at least one copy of (4 + 10) or the serialized (10 + 10)
+  // must follow the source's finish — the tail is 14, not the comm-free
+  // 10. The forward pass sees nothing (both successors are exits with
+  // single predecessors), so comm-cp-tail strictly beats comm-cp here.
+  graph::TaskGraphBuilder b;
+  const auto n = b.add_node(1.0);
+  const auto q1 = b.add_node(10.0);
+  const auto q2 = b.add_node(10.0);
+  b.add_edge(n, q1, 4.0);
+  b.add_edge(n, q2, 4.0);
+  const graph::TaskGraph g = b.build();
+
+  const std::vector<graph::Cost> tail = comm_aware_tail(g);
+  EXPECT_DOUBLE_EQ(tail[0], 14.0);
+  EXPECT_DOUBLE_EQ(tail[1], 0.0);
+  EXPECT_DOUBLE_EQ(tail[2], 0.0);
+
+  const BoundSet bounds = compute_bounds(g);
+  const BoundCertificate* ccp = bounds.find("comm-cp");
+  ASSERT_NE(ccp, nullptr);
+  EXPECT_DOUBLE_EQ(ccp->value, 11.0);  // forward pass is comm-blind here
+  const BoundCertificate* tail_cert = bounds.find("comm-cp-tail");
+  ASSERT_NE(tail_cert, nullptr);
+  EXPECT_DOUBLE_EQ(tail_cert->value, 15.0);  // est 0 + work 1 + tail 14
+  ASSERT_NE(bounds.binding(), nullptr);
+  EXPECT_EQ(bounds.binding()->id, "comm-cp-tail");
+}
+
+TEST(Bounds, CommCpTailDominatesCommCp) {
+  // Structural properties on random DAGs: the two-sided certificate never
+  // falls below the forward-only one, tails are nonnegative and monotone
+  // along reversed edges, and the packaged rejection tails agree with the
+  // standalone pass while the floor matches a static certificate.
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    for (const double ccr : {0.5, 5.0}) {
+      const graph::TaskGraph g = fastsched::testing::small_random(seed, 60, ccr);
+      const BoundSet bounds = compute_bounds(g, 4);
+      const BoundCertificate* ccp = bounds.find("comm-cp");
+      const BoundCertificate* tail_cert = bounds.find("comm-cp-tail");
+      ASSERT_NE(ccp, nullptr);
+      ASSERT_NE(tail_cert, nullptr);
+      EXPECT_GE(tail_cert->value + 1e-9, ccp->value);
+
+      const std::vector<graph::Cost> tail = comm_aware_tail(g);
+      for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+        EXPECT_GE(tail[n], 0.0);
+        for (const graph::Adjacency& adj : g.successors(n)) {
+          EXPECT_GE(tail[n] + 1e-9, tail[adj.node] + g.weight(adj.node))
+              << "tail not monotone along " << n << " -> " << adj.node;
+        }
+      }
+
+      const RejectionTails packaged = make_rejection_tails(g, 4);
+      EXPECT_EQ(packaged.tail, tail);
+      EXPECT_GE(packaged.floor, tail_cert->value - 1e-9);
+    }
+  }
+}
+
 TEST(Bounds, IntervalDensityCatchesWidthBottleneck) {
   // a -> {b, c, d} -> e with unit weights and free communication on two
   // processors: both path bounds say 3, but the middle layer squeezes

@@ -5,12 +5,26 @@
 #
 # Usage (from add_test):
 #   cmake -DTOOL=<binary> "-DARGS_A=<arg string>" "-DARGS_B=<arg string>"
+#         [-DENV_A=<var=value;...>] [-DENV_B=<var=value;...>]
 #         -P compare_runs.cmake
+#
+# ENV_A / ENV_B inject per-run environment variables (semicolon-separated
+# VAR=VALUE pairs), so the two runs can also differ in configuration that
+# only flows through the environment — e.g. FASTSCHED_REPLAY=contiguous vs
+# FASTSCHED_REPLAY=event must be output-equivalent, not just jobs counts.
 separate_arguments(args_a UNIX_COMMAND "${ARGS_A}")
 separate_arguments(args_b UNIX_COMMAND "${ARGS_B}")
-execute_process(COMMAND ${TOOL} ${args_a}
+set(launch_a "")
+set(launch_b "")
+if(ENV_A)
+  set(launch_a ${CMAKE_COMMAND} -E env ${ENV_A})
+endif()
+if(ENV_B)
+  set(launch_b ${CMAKE_COMMAND} -E env ${ENV_B})
+endif()
+execute_process(COMMAND ${launch_a} ${TOOL} ${args_a}
   OUTPUT_VARIABLE out_a RESULT_VARIABLE rc_a)
-execute_process(COMMAND ${TOOL} ${args_b}
+execute_process(COMMAND ${launch_b} ${TOOL} ${args_b}
   OUTPUT_VARIABLE out_b RESULT_VARIABLE rc_b)
 if(NOT rc_a EQUAL 0)
   message(FATAL_ERROR "${TOOL} ${ARGS_A}: exit status ${rc_a}")

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "analysis/bounds.hpp"
 #include "fast/evaluator.hpp"
 #include "sched/validation.hpp"
 #include "testing/test_graphs.hpp"
@@ -260,6 +263,146 @@ TEST(IncrementalEvaluator, AutoIntervalBoundsCheckpointMemory) {
   EXPECT_EQ(small_pool.checkpoint_interval(), 32u);
   IncrementalEvaluator big_pool(g, topo_list(g), 4096);
   EXPECT_EQ(big_pool.checkpoint_interval(), 512u);  // p / 8
+}
+
+TEST(IncrementalEvaluator, RescoreResetsOutcomeCounters) {
+  const TaskGraph g = testing::small_random(320);
+  IncrementalEvaluator inc(g, topo_list(g), 4);
+  Rng rng(320);
+  auto a = random_assignment(g, 4, rng);
+  const Cost length = inc.reset(a);
+  // An unbeatable bound forces an early rejection; an unbounded probe
+  // that reaches stability may also record a convergence.
+  EXPECT_FALSE(inc.evaluate_move(0, (a[0] + 1) % 4, length * 0.5).has_value());
+  inc.revert();
+  ASSERT_TRUE(inc.evaluate_move(0, (a[0] + 1) % 4).has_value());
+  inc.commit();
+  a[0] = (a[0] + 1) % 4;
+  EXPECT_GE(inc.counters().early_rejected, 1u);
+  const std::uint64_t moves_before = inc.counters().moves;
+
+  // rescore() with a changed assignment: outcome tallies zeroed, lifetime
+  // counters preserved, so phase telemetry reflects only the new phase.
+  a[1] = (a[1] + 1) % 4;
+  inc.rescore(a);
+  EXPECT_EQ(inc.counters().early_rejected, 0u);
+  EXPECT_EQ(inc.counters().converged, 0u);
+  EXPECT_EQ(inc.counters().moves, moves_before);
+  EXPECT_EQ(inc.counters().rescores, 1u);
+
+  // The no-change fast path must reset the tallies too.
+  EXPECT_FALSE(inc.evaluate_move(2, (a[2] + 1) % 4, length * 0.5).has_value());
+  inc.revert();
+  EXPECT_GE(inc.counters().early_rejected, 1u);
+  inc.rescore(a);
+  EXPECT_EQ(inc.counters().early_rejected, 0u);
+  EXPECT_EQ(inc.counters().converged, 0u);
+  EXPECT_EQ(inc.counters().rescores, 2u);
+}
+
+TEST(IncrementalEvaluator, EnvOverrideSelectsPolicy) {
+  const TaskGraph g = testing::small_random(321);
+  ASSERT_EQ(setenv("FASTSCHED_REPLAY", "event", 1), 0);
+  IncrementalEvaluator forced(g, topo_list(g), 4, 3,
+                              ReplayPolicy::kContiguous);
+  EXPECT_EQ(forced.policy(), ReplayPolicy::kEvent);
+  ASSERT_EQ(setenv("FASTSCHED_REPLAY", "contiguous", 1), 0);
+  IncrementalEvaluator back(g, topo_list(g), 4, 3, ReplayPolicy::kAuto);
+  EXPECT_EQ(back.policy(), ReplayPolicy::kContiguous);
+  ASSERT_EQ(setenv("FASTSCHED_REPLAY", "auto", 1), 0);
+  IncrementalEvaluator open(g, topo_list(g), 4, 3,
+                            ReplayPolicy::kContiguous);
+  EXPECT_EQ(open.policy(), ReplayPolicy::kAuto);
+  // A typo'd value must fail loudly, not fall back silently.
+  ASSERT_EQ(setenv("FASTSCHED_REPLAY", "evnet", 1), 0);
+  EXPECT_THROW(IncrementalEvaluator(g, topo_list(g), 4, 3), Error);
+  ASSERT_EQ(unsetenv("FASTSCHED_REPLAY"), 0);
+  IncrementalEvaluator plain(g, topo_list(g), 4, 3,
+                             ReplayPolicy::kEvent);
+  EXPECT_EQ(plain.policy(), ReplayPolicy::kEvent);
+  // set_policy wins over both the constructor and the environment.
+  plain.set_policy(ReplayPolicy::kContiguous);
+  EXPECT_EQ(plain.policy(), ReplayPolicy::kContiguous);
+}
+
+TEST(IncrementalEvaluator, EventPolicyLifecycleMatchesOracle) {
+  const TaskGraph g = testing::small_random(322, 120, 2.0);
+  AssignmentEvaluator oracle(g, topo_list(g), 4);
+  IncrementalEvaluator inc(g, topo_list(g), 4, 5, ReplayPolicy::kEvent);
+  Rng rng(322);
+  auto a = random_assignment(g, 4, rng);
+  Cost length = inc.reset(a);
+  EXPECT_EQ(length, oracle.evaluate(a));
+  for (int step = 0; step < 120; ++step) {
+    const NodeId n = static_cast<NodeId>(rng.uniform(g.num_nodes()));
+    const ProcId target = static_cast<ProcId>(rng.uniform(4));
+    auto trial = a;
+    trial[n] = target;
+    const auto got = inc.evaluate_move(n, target);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, oracle.evaluate(trial)) << "step " << step;
+    if (graph::definitely_less(*got, length)) {
+      length = inc.commit();
+      a = trial;
+    } else {
+      inc.revert();
+    }
+    if (step % 40 == 39) {
+      a[step % a.size()] = static_cast<ProcId>(rng.uniform(4));
+      length = inc.rescore(a);
+      EXPECT_EQ(length, oracle.evaluate(a));
+    }
+  }
+  EXPECT_EQ(inc.counters().event_moves, inc.counters().moves);
+  EXPECT_GT(inc.counters().event_processed, 0u);
+}
+
+TEST(IncrementalEvaluator, AutoPicksEventOnSparseGraphs) {
+  // Sparse, wide graph: a front-of-list move leaves a long suffix but
+  // touches few nodes, exactly the regime the auto heuristic targets.
+  const TaskGraph g = testing::small_random(323, 2000, 1.0, 2.0);
+  IncrementalEvaluator inc(g, topo_list(g), 8);
+  ASSERT_EQ(inc.policy(), ReplayPolicy::kAuto);
+  Rng rng(323);
+  auto a = random_assignment(g, 8, rng);
+  inc.reset(a);
+  for (int step = 0; step < 60; ++step) {
+    const NodeId n = static_cast<NodeId>(rng.uniform(32));
+    ASSERT_TRUE(inc.evaluate_move(n, static_cast<ProcId>(rng.uniform(8)))
+                    .has_value());
+    inc.revert();
+  }
+  EXPECT_GT(inc.counters().event_moves, 0u);
+  // The point of the event path: far fewer worklist pops than the
+  // suffix positions a contiguous restart would rescan.
+  EXPECT_LT(inc.counters().event_processed / inc.counters().event_moves,
+            g.num_nodes() / 4);
+}
+
+TEST(IncrementalEvaluator, RejectTailsPreserveDecisions) {
+  const TaskGraph g = testing::small_random(324, 150, 5.0);
+  IncrementalEvaluator bare(g, topo_list(g), 4, 5);
+  IncrementalEvaluator sharpened(g, topo_list(g), 4, 5);
+  auto tails = analysis::make_rejection_tails(g, 4);
+  sharpened.set_reject_tails(std::move(tails.tail), tails.floor);
+  Rng rng(324);
+  auto a = random_assignment(g, 4, rng);
+  const Cost incumbent = bare.reset(a);
+  EXPECT_EQ(sharpened.reset(a), incumbent);
+  for (int step = 0; step < 200; ++step) {
+    const NodeId n = static_cast<NodeId>(rng.uniform(g.num_nodes()));
+    const ProcId target = static_cast<ProcId>(rng.uniform(4));
+    const Cost bound = (step % 2 == 0) ? incumbent : incumbent * 0.9;
+    const auto plain = bare.evaluate_move(n, target, bound);
+    const auto sharp = sharpened.evaluate_move(n, target, bound);
+    ASSERT_EQ(plain.has_value(), sharp.has_value()) << "step " << step;
+    if (plain.has_value()) EXPECT_EQ(*plain, *sharp);
+    bare.revert();
+    sharpened.revert();
+  }
+  // The backward bounds may only cut scans shorter, never longer.
+  EXPECT_LE(sharpened.counters().positions_scanned,
+            bare.counters().positions_scanned);
 }
 
 }  // namespace

@@ -5,13 +5,22 @@
 // agree to the bit, and a bounded probe must return nullopt exactly when
 // the true candidate is not definitely_less than the bound — the same
 // accept/reject decision the hill climb would make on the full scan.
+//
+// The second suite pits all three replay engines against each other AND
+// the oracle on the structured workload families too (Gauss, Laplace,
+// FFT), plus zero-cost edges and front-of-list moves — the event path's
+// hardest splice cases.
 
 #include <gtest/gtest.h>
 
+#include "analysis/bounds.hpp"
 #include "fast/cpn_dominate.hpp"
 #include "fast/evaluator.hpp"
 #include "fast/incremental_evaluator.hpp"
 #include "graph/classification.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/laplace.hpp"
 #include "workloads/random_layered.hpp"
 
 namespace fastsched::fast {
@@ -121,6 +130,171 @@ INSTANTIATE_TEST_SUITE_P(
         FuzzCase{1008, 250, 10.0, 16, kAuto}),
     [](const ::testing::TestParamInfo<FuzzCase>& info) {
       return "seed" + std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------------------
+// Three-way differential: EventReplay vs the contiguous scan vs the
+// full-scan oracle, on the structured workload families as well. Every op
+// is applied to all three evaluator policies in lockstep; lengths, moved
+// starts, and accept/reject decisions must agree to the bit. Front-of-list
+// moves (whole-list suffix, the PR 4 parity caveat) are drawn with extra
+// probability, and the zero-cost-edge case exercises comm terms that
+// toggle between 0 and 0 across placements.
+
+enum class Family { kLayered, kLayeredZeroCost, kGauss, kLaplace, kFft };
+
+struct TrioCase {
+  Family family;
+  std::uint64_t seed;
+  std::size_t size;  // nodes for layered, generator size otherwise
+  double ccr;        // layered only
+  std::size_t procs;
+  std::size_t interval;
+  const char* name;
+};
+
+graph::TaskGraph make_trio_graph(const TrioCase& c) {
+  switch (c.family) {
+    case Family::kGauss:
+      return workloads::gaussian_elimination_dag(static_cast<int>(c.size));
+    case Family::kLaplace:
+      return workloads::laplace_dag(static_cast<int>(c.size));
+    case Family::kFft:
+      return workloads::fft_dag(static_cast<int>(c.size));
+    case Family::kLayered:
+    case Family::kLayeredZeroCost:
+      break;
+  }
+  workloads::RandomDagParams params;
+  params.num_nodes = c.size;
+  params.avg_out_degree = 4.0;
+  params.ccr = c.family == Family::kLayeredZeroCost ? 0.0 : c.ccr;
+  params.seed = c.seed;
+  return workloads::random_layered_dag(params);
+}
+
+class ReplayTrioFuzz : public ::testing::TestWithParam<TrioCase> {};
+
+TEST_P(ReplayTrioFuzz, EventContiguousAndOracleAgreeBitForBit) {
+  const TrioCase c = GetParam();
+  const graph::TaskGraph g = make_trio_graph(c);
+  const auto levels = graph::compute_levels(g);
+  const auto classes = graph::classify_nodes(g, levels);
+  const auto list = build_cpn_dominate_list(g, levels, classes);
+
+  AssignmentEvaluator oracle(g, list, c.procs);
+  IncrementalEvaluator contiguous(g, list, c.procs, c.interval);
+  contiguous.set_policy(ReplayPolicy::kContiguous);
+  IncrementalEvaluator event(g, list, c.procs, c.interval);
+  event.set_policy(ReplayPolicy::kEvent);
+  IncrementalEvaluator autopick(g, list, c.procs, c.interval);
+  autopick.set_policy(ReplayPolicy::kAuto);
+
+  // Backward tails on both deterministic-policy evaluators: sharpened
+  // rejection must not change a single decision relative to the oracle.
+  const analysis::RejectionTails tails =
+      analysis::make_rejection_tails(g, c.procs);
+  contiguous.set_reject_tails(tails.tail, tails.floor);
+  event.set_reject_tails(tails.tail, tails.floor);
+
+  Rng rng(c.seed * 6271 + 5);
+  std::vector<ProcId> committed(g.num_nodes());
+  for (auto& p : committed) p = static_cast<ProcId>(rng.uniform(c.procs));
+  const Cost initial = oracle.evaluate(committed);
+  ASSERT_EQ(contiguous.reset(committed), initial);
+  ASSERT_EQ(event.reset(committed), initial);
+  ASSERT_EQ(autopick.reset(committed), initial);
+
+  std::vector<ProcId> trial;
+  for (int step = 0; step < 260; ++step) {
+    const auto op = rng.uniform(100);
+    if (op < 88) {
+      // Transfer probe; a quarter of picks come from the list front, where
+      // the event path replaces a whole-list contiguous rescan.
+      const NodeId n =
+          rng.bernoulli(0.25)
+              ? list[rng.uniform(std::min<std::size_t>(8, list.size()))]
+              : static_cast<NodeId>(rng.uniform(g.num_nodes()));
+      const ProcId target = static_cast<ProcId>(rng.uniform(c.procs));
+      trial = committed;
+      trial[n] = target;
+      const Cost exact = oracle.evaluate(trial);
+      const bool bounded = rng.bernoulli(0.5);
+      const Cost bound = contiguous.length();
+      const auto probe = [&](IncrementalEvaluator& e) {
+        return bounded ? e.evaluate_move(n, target, bound)
+                       : e.evaluate_move(n, target);
+      };
+      const auto got_contiguous = probe(contiguous);
+      const auto got_event = probe(event);
+      const auto got_auto = probe(autopick);
+      ASSERT_EQ(got_contiguous.has_value(), got_event.has_value())
+          << "step " << step << " node " << n;
+      ASSERT_EQ(got_contiguous.has_value(), got_auto.has_value())
+          << "step " << step;
+      if (bounded && !graph::definitely_less(exact, bound)) {
+        ASSERT_FALSE(got_contiguous.has_value()) << "step " << step;
+        continue;
+      }
+      ASSERT_TRUE(got_contiguous.has_value()) << "step " << step;
+      ASSERT_EQ(*got_contiguous, exact) << "step " << step;
+      ASSERT_EQ(*got_event, exact) << "step " << step << " node " << n;
+      ASSERT_EQ(*got_auto, exact) << "step " << step;
+      ASSERT_EQ(event.pending_start(), contiguous.pending_start())
+          << "step " << step;
+      if (rng.bernoulli(0.6)) {
+        ASSERT_EQ(contiguous.commit(), exact);
+        ASSERT_EQ(event.commit(), exact);
+        ASSERT_EQ(autopick.commit(), exact);
+        committed.swap(trial);
+      } else {
+        contiguous.revert();
+        event.revert();
+        autopick.revert();
+      }
+    } else if (op < 96) {
+      trial = committed;
+      const std::size_t flips = 1 + rng.uniform(8);
+      for (std::size_t i = 0; i < flips; ++i) {
+        trial[rng.uniform(g.num_nodes())] =
+            static_cast<ProcId>(rng.uniform(c.procs));
+      }
+      const Cost exact = oracle.evaluate(trial);
+      ASSERT_EQ(contiguous.rescore(trial), exact) << "step " << step;
+      ASSERT_EQ(event.rescore(trial), exact) << "step " << step;
+      ASSERT_EQ(autopick.rescore(trial), exact) << "step " << step;
+      // The counters fix: rescore starts a fresh telemetry phase.
+      ASSERT_EQ(event.counters().early_rejected, 0u);
+      ASSERT_EQ(event.counters().converged, 0u);
+      committed.swap(trial);
+    } else {
+      for (auto& p : committed) p = static_cast<ProcId>(rng.uniform(c.procs));
+      const Cost exact = oracle.evaluate(committed);
+      ASSERT_EQ(contiguous.reset(committed), exact) << "step " << step;
+      ASSERT_EQ(event.reset(committed), exact) << "step " << step;
+      ASSERT_EQ(autopick.reset(committed), exact) << "step " << step;
+    }
+    ASSERT_EQ(contiguous.length(), oracle.evaluate(committed))
+        << "step " << step;
+    ASSERT_EQ(event.length(), contiguous.length()) << "step " << step;
+    ASSERT_EQ(autopick.length(), contiguous.length()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ReplayTrioFuzz,
+    ::testing::Values(
+        TrioCase{Family::kLayered, 2001, 120, 1.0, 8, kAuto, "layered"},
+        TrioCase{Family::kLayered, 2002, 250, 10.0, 16, 17, "layeredComm"},
+        TrioCase{Family::kLayeredZeroCost, 2003, 120, 0.0, 8, kAuto,
+                 "layeredZeroCost"},
+        TrioCase{Family::kGauss, 2004, 12, 1.0, 8, kAuto, "gauss12"},
+        TrioCase{Family::kGauss, 2005, 16, 1.0, 4, 1, "gauss16"},
+        TrioCase{Family::kLaplace, 2006, 8, 1.0, 8, kAuto, "laplace8"},
+        TrioCase{Family::kFft, 2007, 16, 1.0, 8, 5, "fft16"},
+        TrioCase{Family::kFft, 2008, 32, 1.0, 16, kAuto, "fft32"}),
+    [](const ::testing::TestParamInfo<TrioCase>& info) {
+      return info.param.name;
     });
 
 }  // namespace

@@ -16,6 +16,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,7 +29,11 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "fast/cpn_dominate.hpp"
+#include "fast/incremental_evaluator.hpp"
+#include "graph/classification.hpp"
 #include "graph/io.hpp"
+#include "graph/levels.hpp"
 #include "workloads/fft.hpp"
 #include "workloads/gaussian.hpp"
 #include "workloads/laplace.hpp"
@@ -53,6 +58,8 @@ struct Run {
   analysis::BoundSet bounds;
   double gap = 0;
   analysis::LintReport lint;
+  /// Per-node placement, kept for the shared-evaluator placement diff.
+  std::vector<sched::ProcId> assignment;
 };
 
 std::vector<std::string> split(const std::string& text, char sep) {
@@ -113,6 +120,12 @@ Run run_one(const std::string& algorithm, const graph::TaskGraph& g,
   run.pool = s.num_procs();
   run.used = s.procs_used();
   run.makespan = s.length();
+  if (s.is_complete() && s.num_nodes() == g.num_nodes()) {
+    run.assignment.resize(g.num_nodes());
+    for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+      run.assignment[n] = s.proc(n);
+    }
+  }
 
   analysis::LintInput input;
   input.graph = &g;
@@ -156,6 +169,57 @@ std::vector<std::string> find_anomalies(const Input& input,
   return anomalies;
 }
 
+// Placement diff over a shared evaluator — the sched_diff half of the
+// placement-diff item that `sched_lint --bounds` started: runs that share
+// one processor pool are candidate placements of one problem, so the
+// first seeds a shared IncrementalEvaluator and every further candidate
+// is re-scored from the first list position whose placement differs,
+// reusing the common prefix (finish times + ready checkpoints). Reported
+// per candidate: the list-replay length of its placement (insertion-order
+// schedulers can legitimately beat it — the replay pins the placement,
+// not their slot order) and how much prefix the restart reused.
+void print_placement_diff(const Input& input, const std::vector<Run>& runs) {
+  std::map<std::size_t, std::vector<std::size_t>> by_pool;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (!runs[i].assignment.empty() && runs[i].pool > 0) {
+      by_pool[runs[i].pool].push_back(i);
+    }
+  }
+  const graph::TaskGraph& g = input.graph;
+  for (const auto& [pool, members] : by_pool) {
+    if (members.size() < 2) continue;
+    try {
+      const auto levels = graph::compute_levels(g);
+      const auto classes = graph::classify_nodes(g, levels);
+      fast::IncrementalEvaluator shared(
+          g, fast::build_cpn_dominate_list(g, levels, classes), pool);
+      const std::size_t v = g.num_nodes();
+      bool first = true;
+      for (const std::size_t i : members) {
+        const Run& run = runs[i];
+        const std::uint64_t before = shared.counters().positions_scanned;
+        const graph::Cost replayed = first ? shared.reset(run.assignment)
+                                           : shared.rescore(run.assignment);
+        const std::uint64_t scanned =
+            shared.counters().positions_scanned - before;
+        std::cout << "placement diff (pool " << pool << "): " << run.algorithm
+                  << " replay length " << Table::num(replayed, 2)
+                  << " (reported " << Table::num(run.makespan, 2) << "), ";
+        if (first) {
+          std::cout << "seeded shared evaluator\n";
+        } else {
+          std::cout << "reused " << (v - scanned) << " of " << v
+                    << " list positions\n";
+        }
+        first = false;
+      }
+    } catch (const std::exception&) {
+      // A schedule the lint table already flags (out-of-range placement,
+      // cyclic graph): skip the shared replay for this pool group.
+    }
+  }
+}
+
 void print_text(const Input& input, const std::vector<Run>& runs,
                 const std::vector<std::string>& anomalies) {
   std::cout << "==== sched_diff: " << input.label << " ("
@@ -185,6 +249,7 @@ void print_text(const Input& input, const std::vector<Run>& runs,
                 << '\n';
     }
   }
+  print_placement_diff(input, runs);
   for (const std::string& a : anomalies) {
     std::cout << "anomaly: " << a << '\n';
   }
