@@ -117,6 +117,7 @@ void add_interval_density_bound(const TaskGraph& g, const BoundOptions& opt,
         const Cost l = t0 - (sl[n] - g.weight(n));
         const Cost overlap = min_overlap(est[n], l, g.weight(n), a, b);
         if (overlap <= 0) continue;
+        // det-ok: fixed-order — sequential fold over ascending NodeId
         density += overlap;
         ++contributors;
       }

@@ -17,6 +17,9 @@ std::string_view to_string(Severity severity) noexcept {
 
 std::string format(const Diagnostic& d, const graph::TaskGraph* g) {
   std::ostringstream os;
+  if (!d.file.empty()) {
+    os << d.file << ':' << d.line << ": ";
+  }
   os << to_string(d.severity) << '[' << d.rule_id << ']';
   const auto name = [&](graph::NodeId n) -> std::string {
     if (g != nullptr && n < g->num_nodes()) return g->name(n);
@@ -31,6 +34,7 @@ std::string format(const Diagnostic& d, const graph::TaskGraph* g) {
     os << " [" << d.window.begin << ", " << d.window.end << ')';
   }
   os << ": " << d.message;
+  if (!d.fix_hint.empty()) os << " (fix: " << d.fix_hint << ')';
   return os.str();
 }
 

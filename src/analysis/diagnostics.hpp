@@ -30,7 +30,10 @@ struct TimeWindow {
   graph::Cost end = 0;
 };
 
-/// One finding from one rule.
+/// One finding from one rule. Schedule/DAG rules fill the node/proc/window
+/// fields; source-check rules (srccheck/) fill `file`/`line` instead and
+/// may carry a `fix_hint`. Unset fields are omitted from every rendering,
+/// so the two families share one type, one formatter and one JSON shape.
 struct Diagnostic {
   std::string rule_id;                          ///< stable rule identifier
   Severity severity = Severity::kError;
@@ -38,6 +41,9 @@ struct Diagnostic {
   graph::NodeId related = graph::kInvalidNode;  ///< second task involved
   sched::ProcId proc = sched::kUnassignedProc;  ///< processor involved
   TimeWindow window{};                          ///< time window involved
+  std::string file;                             ///< source file (srccheck)
+  std::uint32_t line = 0;                       ///< 1-based line (srccheck)
+  std::string fix_hint;                         ///< suggested remediation
   std::string message;                          ///< human-readable detail
 };
 

@@ -36,6 +36,12 @@ void append_node_fields(std::ostringstream& os, const Diagnostic& d,
     os << ", \"window\": [" << num(d.window.begin) << ", "
        << num(d.window.end) << ']';
   }
+  if (!d.file.empty()) {
+    os << ", \"file\": " << quoted(d.file) << ", \"line\": " << d.line;
+  }
+  if (!d.fix_hint.empty()) {
+    os << ", \"fix_hint\": " << quoted(d.fix_hint);
+  }
 }
 
 template <typename Reports>

@@ -1,0 +1,284 @@
+#include "analysis/srccheck/baseline.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/report_io.hpp"
+#include "common/error.hpp"
+
+namespace fastsched::analysis::srccheck {
+
+namespace {
+
+std::string trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])) != 0) {
+    --e;
+  }
+  return std::string(text.substr(b, e - b));
+}
+
+/// Minimal recursive-descent JSON reader, just enough for the baseline
+/// schema (objects, arrays, strings, numbers, true/false/null). The
+/// report writers in this repo emit JSON but nothing else parses it; this
+/// stays private to the baseline format on purpose.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  /// Parses the top-level object and returns the "findings" entries.
+  std::vector<BaselineEntry> findings() {
+    skip_ws();
+    expect('{');
+    std::vector<BaselineEntry> entries;
+    bool saw_findings = false;
+    if (!consume('}')) {
+      do {
+        const std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        if (key == "findings") {
+          saw_findings = true;
+          parse_findings(entries);
+        } else {
+          skip_value();
+        }
+      } while (consume(','));
+      expect('}');
+    }
+    FASTSCHED_REQUIRE(saw_findings,
+                      "baseline: missing \"findings\" array");
+    return entries;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    throw Error("baseline: " + what + " at offset " + std::to_string(i_));
+  }
+
+  void skip_ws() {
+    while (i_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[i_])) != 0) {
+      ++i_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    if (i_ >= text_.size()) fail("unexpected end of input");
+    return text_[i_];
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (i_ < text_.size() && text_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    expect('"');
+    std::string out;
+    while (i_ < text_.size() && text_[i_] != '"') {
+      char c = text_[i_++];
+      if (c == '\\' && i_ < text_.size()) {
+        const char esc = text_[i_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            // Only \u00XX is ever emitted by json_escape; decode the low
+            // byte, drop the rest.
+            if (i_ + 4 > text_.size()) fail("truncated \\u escape");
+            c = static_cast<char>(
+                std::stoi(std::string(text_.substr(i_, 4)), nullptr, 16));
+            i_ += 4;
+            break;
+          }
+          default: c = esc; break;
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  void skip_value() {
+    const char c = peek();
+    if (c == '"') {
+      (void)parse_string();
+    } else if (c == '{') {
+      expect('{');
+      if (!consume('}')) {
+        do {
+          (void)parse_string();
+          skip_ws();
+          expect(':');
+          skip_value();
+        } while (consume(','));
+        expect('}');
+      }
+    } else if (c == '[') {
+      expect('[');
+      if (!consume(']')) {
+        do {
+          skip_value();
+        } while (consume(','));
+        expect(']');
+      }
+    } else {
+      // number / true / false / null
+      while (i_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[i_])) != 0 ||
+              text_[i_] == '-' || text_[i_] == '+' || text_[i_] == '.')) {
+        ++i_;
+      }
+    }
+  }
+
+  void parse_findings(std::vector<BaselineEntry>& entries) {
+    skip_ws();
+    expect('[');
+    if (consume(']')) return;
+    do {
+      expect('{');
+      BaselineEntry entry;
+      if (!consume('}')) {
+        do {
+          const std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          if (key == "rule") {
+            entry.rule = parse_string();
+          } else if (key == "file") {
+            entry.file = parse_string();
+          } else if (key == "context") {
+            entry.context = parse_string();
+          } else {
+            skip_value();
+          }
+        } while (consume(','));
+        expect('}');
+      }
+      FASTSCHED_REQUIRE(!entry.rule.empty() && !entry.file.empty(),
+                        "baseline: finding needs \"rule\" and \"file\"");
+      entries.push_back(std::move(entry));
+    } while (consume(','));
+    expect(']');
+  }
+
+  std::string_view text_;
+  std::size_t i_ = 0;
+};
+
+std::string fingerprint(std::string_view rule, std::string_view file,
+                        std::string_view context) {
+  std::string key;
+  key.reserve(rule.size() + file.size() + context.size() + 2);
+  key.append(rule);
+  key += '\0';
+  key.append(file);
+  key += '\0';
+  key.append(context);
+  return key;
+}
+
+}  // namespace
+
+std::string baseline_context(const Diagnostic& d,
+                             const std::vector<CheckedFile>& files) {
+  for (const CheckedFile& f : files) {
+    if (f.source.path == d.file) {
+      return trim(f.source.line_text(d.line));
+    }
+  }
+  return {};
+}
+
+Baseline read_baseline(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+  JsonReader reader(text);
+  Baseline baseline;
+  baseline.entries = reader.findings();
+  return baseline;
+}
+
+void write_baseline(std::ostream& os, const Baseline& baseline) {
+  std::vector<const BaselineEntry*> sorted;
+  sorted.reserve(baseline.entries.size());
+  for (const BaselineEntry& e : baseline.entries) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const BaselineEntry* a, const BaselineEntry* b) {
+              if (a->file != b->file) return a->file < b->file;
+              if (a->rule != b->rule) return a->rule < b->rule;
+              return a->context < b->context;
+            });
+  os << "{\n  \"tool\": \"fastsched_check\",\n  \"findings\": [";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ") << "{\"rule\": \""
+       << json_escape(sorted[i]->rule) << "\", \"file\": \""
+       << json_escape(sorted[i]->file) << "\", \"context\": \""
+       << json_escape(sorted[i]->context) << "\"}";
+  }
+  os << (sorted.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+Baseline baseline_from_report(const SrcCheckReport& report,
+                              const std::vector<CheckedFile>& files) {
+  Baseline baseline;
+  baseline.entries.reserve(report.diagnostics.size());
+  for (const Diagnostic& d : report.diagnostics) {
+    baseline.entries.push_back(
+        BaselineEntry{d.rule_id, d.file, baseline_context(d, files)});
+  }
+  return baseline;
+}
+
+void apply_baseline(SrcCheckReport& report, const Baseline& baseline,
+                    const std::vector<CheckedFile>& files) {
+  std::map<std::string, std::size_t> accepted;
+  for (const BaselineEntry& e : baseline.entries) {
+    ++accepted[fingerprint(e.rule, e.file, e.context)];
+  }
+  std::vector<Diagnostic> kept;
+  kept.reserve(report.diagnostics.size());
+  for (Diagnostic& d : report.diagnostics) {
+    const auto it =
+        accepted.find(fingerprint(d.rule_id, d.file,
+                                  baseline_context(d, files)));
+    if (it != accepted.end() && it->second > 0) {
+      --it->second;
+      ++report.num_baselined;
+      if (d.severity == Severity::kError) {
+        --report.num_errors;
+      } else {
+        --report.num_warnings;
+      }
+      continue;
+    }
+    kept.push_back(std::move(d));
+  }
+  report.diagnostics = std::move(kept);
+  for (const auto& [key, remaining] : accepted) {
+    report.num_stale_baseline += remaining;
+  }
+}
+
+}  // namespace fastsched::analysis::srccheck

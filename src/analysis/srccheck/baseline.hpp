@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file baseline.hpp
+/// Checked-in acceptance of pre-existing fastsched_check findings, so the
+/// CI gate fails only on *new* findings while the backlog is burned down
+/// out of band. A baseline entry is a fingerprint — rule id, file path,
+/// and the trimmed text of the offending source line — deliberately
+/// line-number-free so unrelated edits above a finding do not invalidate
+/// the baseline. Matching is multiset-aware: two identical findings need
+/// two entries.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/srccheck/srccheck.hpp"
+
+namespace fastsched::analysis::srccheck {
+
+/// One accepted finding.
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string context;  ///< trimmed source line text at the finding
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Fingerprint context for a diagnostic: the trimmed raw text of its
+/// source line (empty when the line is unknown).
+[[nodiscard]] std::string baseline_context(const Diagnostic& d,
+                                           const std::vector<CheckedFile>& files);
+
+/// Parses a baseline file: `{"tool": "fastsched_check", "findings":
+/// [{"rule", "file", "context"}, ...]}`. Unknown keys are ignored (the
+/// schema only ever adds fields). Throws `fastsched::Error` on malformed
+/// JSON or a missing `findings` array.
+[[nodiscard]] Baseline read_baseline(std::istream& is);
+
+/// Serializes `baseline` in the schema `read_baseline` accepts, entries
+/// sorted, one per line — diff-reviewable and byte-deterministic.
+void write_baseline(std::ostream& os, const Baseline& baseline);
+
+/// Baseline capturing every active finding of `report` (the
+/// `--write-baseline` payload).
+[[nodiscard]] Baseline baseline_from_report(
+    const SrcCheckReport& report, const std::vector<CheckedFile>& files);
+
+/// Moves findings matched by `baseline` out of `report.diagnostics`
+/// (decrementing the error/warning counters, incrementing
+/// `num_baselined`) and counts unmatched baseline entries as stale.
+void apply_baseline(SrcCheckReport& report, const Baseline& baseline,
+                    const std::vector<CheckedFile>& files);
+
+}  // namespace fastsched::analysis::srccheck

@@ -1,0 +1,223 @@
+#include "analysis/srccheck/source_lexer.hpp"
+
+#include <cctype>
+
+namespace fastsched::analysis::srccheck {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])) != 0) {
+    --e;
+  }
+  return std::string(text.substr(b, e - b));
+}
+
+/// Cursor over the file contents tracking the 1-based line number and
+/// whether anything but whitespace has appeared on the current line yet
+/// (needed for `Comment::own_line` and preprocessor detection).
+struct Cursor {
+  std::string_view text;
+  std::size_t i = 0;
+  std::uint32_t line = 1;
+  bool line_has_code = false;
+  bool in_preprocessor = false;
+
+  [[nodiscard]] bool done() const { return i >= text.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return i + ahead < text.size() ? text[i + ahead] : '\0';
+  }
+  void advance() {
+    if (text[i] == '\n') {
+      ++line;
+      line_has_code = false;
+      in_preprocessor = false;
+    }
+    ++i;
+  }
+};
+
+}  // namespace
+
+SourceFile lex_source(std::string path, std::string_view content) {
+  SourceFile out;
+  out.path = std::move(path);
+
+  // Raw line table first (diagnostic context and baseline fingerprints).
+  {
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i <= content.size(); ++i) {
+      if (i == content.size() || content[i] == '\n') {
+        std::string_view line = content.substr(begin, i - begin);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        out.lines.emplace_back(line);
+        begin = i + 1;
+      }
+    }
+    if (!out.lines.empty() && out.lines.back().empty() &&
+        (content.empty() || content.back() == '\n')) {
+      out.lines.pop_back();
+    }
+  }
+
+  Cursor c{content};
+  const auto push_token = [&](std::string text, TokenKind kind,
+                              std::uint32_t line) {
+    out.tokens.push_back(Token{std::move(text), line, kind, c.in_preprocessor});
+  };
+
+  while (!c.done()) {
+    const char ch = c.peek();
+
+    if (ch == '\\' && c.peek(1) == '\n') {
+      // Line continuation: the preprocessor state survives the newline.
+      const bool pp = c.in_preprocessor;
+      c.advance();
+      c.advance();
+      c.in_preprocessor = pp;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch)) != 0) {
+      c.advance();
+      continue;
+    }
+
+    // Comments (captured, not tokenized).
+    if (ch == '/' && c.peek(1) == '/') {
+      const bool own = !c.line_has_code;
+      const std::uint32_t line = c.line;
+      std::size_t begin = c.i + 2;
+      while (!c.done() && c.peek() != '\n') c.advance();
+      out.comments.push_back(
+          Comment{trim(content.substr(begin, c.i - begin)), line, own});
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      bool own = !c.line_has_code;
+      std::uint32_t line = c.line;
+      std::size_t begin = c.i + 2;
+      c.advance();
+      c.advance();
+      const auto flush = [&](std::size_t end) {
+        out.comments.push_back(
+            Comment{trim(content.substr(begin, end - begin)), line, own});
+      };
+      while (!c.done()) {
+        if (c.peek() == '*' && c.peek(1) == '/') {
+          flush(c.i);
+          c.advance();
+          c.advance();
+          break;
+        }
+        if (c.peek() == '\n') {
+          flush(c.i);
+          c.advance();
+          line = c.line;
+          begin = c.i;
+          own = true;
+          continue;
+        }
+        c.advance();
+      }
+      continue;
+    }
+
+    c.line_has_code = true;
+
+    // Preprocessor directive: the `#` marks the rest of the (continued)
+    // logical line; its tokens are lexed normally but flagged.
+    if (ch == '#' && !c.in_preprocessor) {
+      c.in_preprocessor = true;
+      push_token("#", TokenKind::kPunct, c.line);
+      c.advance();
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (ch == 'R' && c.peek(1) == '"') {
+      const std::uint32_t line = c.line;
+      c.advance();  // R
+      c.advance();  // "
+      std::string delim;
+      while (!c.done() && c.peek() != '(') {
+        delim += c.peek();
+        c.advance();
+      }
+      const std::string close = ")" + delim + "\"";
+      if (!c.done()) c.advance();  // (
+      while (!c.done() && content.compare(c.i, close.size(), close) != 0) {
+        c.advance();
+      }
+      for (std::size_t k = 0; k < close.size() && !c.done(); ++k) c.advance();
+      push_token("", TokenKind::kString, line);
+      continue;
+    }
+
+    // String and character literals (escape-aware).
+    if (ch == '"' || ch == '\'') {
+      const char quote = ch;
+      const std::uint32_t line = c.line;
+      c.advance();
+      while (!c.done() && c.peek() != quote && c.peek() != '\n') {
+        if (c.peek() == '\\') c.advance();
+        if (!c.done()) c.advance();
+      }
+      if (!c.done() && c.peek() == quote) c.advance();
+      push_token("", TokenKind::kString, line);
+      continue;
+    }
+
+    if (is_ident_start(ch)) {
+      const std::uint32_t line = c.line;
+      std::size_t begin = c.i;
+      while (!c.done() && is_ident_char(c.peek())) c.advance();
+      push_token(std::string(content.substr(begin, c.i - begin)),
+                 TokenKind::kIdentifier, line);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(ch)) != 0) {
+      const std::uint32_t line = c.line;
+      std::size_t begin = c.i;
+      while (!c.done() &&
+             (is_ident_char(c.peek()) || c.peek() == '.' ||
+              ((c.peek() == '+' || c.peek() == '-') &&
+               (content[c.i - 1] == 'e' || content[c.i - 1] == 'E' ||
+                content[c.i - 1] == 'p' || content[c.i - 1] == 'P')))) {
+        c.advance();
+      }
+      push_token(std::string(content.substr(begin, c.i - begin)),
+                 TokenKind::kNumber, line);
+      continue;
+    }
+
+    // Punctuation: fuse only the pairs rules match on.
+    {
+      const std::uint32_t line = c.line;
+      const char next = c.peek(1);
+      std::string text(1, ch);
+      if ((ch == ':' && next == ':') || (ch == '-' && next == '>') ||
+          ((ch == '+' || ch == '-' || ch == '*' || ch == '/') &&
+           next == '=')) {
+        text += next;
+        c.advance();
+      }
+      c.advance();
+      push_token(std::move(text), TokenKind::kPunct, line);
+    }
+  }
+  return out;
+}
+
+}  // namespace fastsched::analysis::srccheck

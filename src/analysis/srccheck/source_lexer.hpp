@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file source_lexer.hpp
+/// A lightweight C++ lexer for the project's own sources — the front end
+/// of the `fastsched_check` static analyzer (srccheck.hpp). It is *not* a
+/// parser: it produces a flat token stream with comments, string and
+/// character literals stripped (raw strings included), line numbers
+/// preserved through continuations and block comments, and preprocessor
+/// lines marked so rules can skip `#include <unordered_map>` without
+/// special cases. Comments are kept on the side, because the project's
+/// in-source annotations (`// NOLINT-fastsched(rule): reason`,
+/// `// fastsched: hot`, `// det-ok: fixed-order`) live there.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fastsched::analysis::srccheck {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,  ///< identifiers and keywords
+  kNumber,      ///< numeric literals (pp-numbers, one token)
+  kString,      ///< string/char literal placeholder (text is "")
+  kPunct,       ///< operators and punctuation
+};
+
+/// One code token. Multi-character operators that the rules match on
+/// (`::`, `->`, `+=`, `-=`, `*=`, `/=`) are single tokens; every other
+/// punctuation character is its own token.
+struct Token {
+  std::string text;
+  std::uint32_t line = 0;  ///< 1-based line of the token's first character
+  TokenKind kind = TokenKind::kPunct;
+  bool preprocessor = false;  ///< token sits on a preprocessor directive
+};
+
+/// One comment, with markers stripped (`// x` and `/* x */` both yield
+/// "x", trimmed). Block comments spanning several lines yield one entry
+/// per line so line-anchored annotations stay line-accurate.
+struct Comment {
+  std::string text;
+  std::uint32_t line = 0;
+  bool own_line = false;  ///< nothing but whitespace precedes it
+};
+
+/// One lexed source file.
+struct SourceFile {
+  std::string path;                ///< as reported in diagnostics
+  std::vector<std::string> lines;  ///< raw text, line n at lines[n - 1]
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+
+  /// Raw text of `line` (1-based), or "" when out of range.
+  [[nodiscard]] std::string_view line_text(std::uint32_t line) const {
+    if (line == 0 || line > lines.size()) return {};
+    return lines[line - 1];
+  }
+};
+
+/// Lexes `content` (the bytes of one C++ source file). Never throws on
+/// malformed input: an unterminated literal or comment simply runs to the
+/// end of the file, matching how rules should degrade on garbage.
+[[nodiscard]] SourceFile lex_source(std::string path, std::string_view content);
+
+}  // namespace fastsched::analysis::srccheck

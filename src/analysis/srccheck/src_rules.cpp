@@ -1,0 +1,588 @@
+/// \file src_rules.cpp
+/// The built-in fastsched_check rules (registry in srccheck.hpp). Every
+/// rule is a token-level heuristic over the lexed sources — deliberately
+/// no type information, so each rule documents exactly what it matches
+/// and offers either a fix or an annotation as the escape hatch.
+
+#include <algorithm>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/srccheck/srccheck.hpp"
+
+namespace fastsched::analysis::srccheck {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Tokens [i, i + seq.size()) match `seq` exactly (identifier or
+/// punctuation text), all outside preprocessor directives.
+bool match_seq(const Tokens& t, std::size_t i,
+               std::initializer_list<std::string_view> seq) {
+  if (i + seq.size() > t.size()) return false;
+  std::size_t k = i;
+  for (const std::string_view want : seq) {
+    if (t[k].preprocessor || t[k].text != want) return false;
+    ++k;
+  }
+  return true;
+}
+
+std::string_view basename(std::string_view path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+void add_finding(std::vector<Diagnostic>& out, const CheckedFile& f,
+                 std::uint32_t line, std::string message,
+                 std::string fix_hint) {
+  Diagnostic d;
+  d.file = f.source.path;
+  d.line = line;
+  d.message = std::move(message);
+  d.fix_hint = std::move(fix_hint);
+  out.push_back(std::move(d));
+}
+
+/// Call-shaped use of a free function: `name(` not preceded by an access
+/// or scope token (`.`, `->`, `::` — member calls and foreign-namespace
+/// qualifications are someone else's function).
+bool is_free_call(const Tokens& t, std::size_t i) {
+  if (i + 1 >= t.size() || !is_punct(t[i + 1], "(")) return false;
+  if (i == 0) return true;
+  const Token& prev = t[i - 1];
+  return !(is_punct(prev, ".") || is_punct(prev, "->") ||
+           is_punct(prev, "::"));
+}
+
+/// `std::name(` — the std:: qualification of the same libc functions.
+bool is_std_call(const Tokens& t, std::size_t i) {
+  return i >= 2 && is_punct(t[i - 1], "::") && is_ident(t[i - 2], "std") &&
+         i + 1 < t.size() && is_punct(t[i + 1], "(");
+}
+
+// ---------------------------------------------------------------------------
+// D1 det-random-source: nondeterminism sources in checked code. Wall
+// clocks, process-seeded RNGs and thread ids make output depend on when
+// and where the code ran; the project funnels randomness through
+// common/rng.hpp (explicit seeds) and time through common/timer.hpp
+// (measurement only, never control flow).
+void check_random_source(const SrcCheckInput& input,
+                         std::vector<Diagnostic>& out) {
+  static constexpr std::string_view kLibcSources[] = {"rand", "srand", "time",
+                                                      "clock"};
+  for (const CheckedFile& f : *input.files) {
+    const bool is_timer = basename(f.source.path) == "timer.hpp";
+    const Tokens& t = f.source.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].preprocessor || t[i].kind != TokenKind::kIdentifier) continue;
+      if (match_seq(t, i, {"std", "::", "random_device"})) {
+        add_finding(out, f, t[i].line,
+                    "std::random_device draws entropy from the host: output "
+                    "can never be reproduced",
+                    "seed a common/rng.hpp Rng from an explicit parameter");
+        continue;
+      }
+      if (match_seq(t, i, {"std", "::", "this_thread", "::", "get_id"})) {
+        add_finding(out, f, t[i].line,
+                    "std::this_thread::get_id() varies run to run: any value "
+                    "derived from it is nondeterministic",
+                    "use the pool's stable worker index instead");
+        continue;
+      }
+      for (const std::string_view name : kLibcSources) {
+        if (t[i].text == name && (is_free_call(t, i) || is_std_call(t, i))) {
+          add_finding(out, f, t[i].line,
+                      "call of " + std::string(name) +
+                          "(): process-global clock/RNG state makes output "
+                          "depend on when the code ran",
+                      name == "rand" || name == "srand"
+                          ? "use common/rng.hpp with an explicit seed"
+                          : "use common/timer.hpp (steady_clock, measurement "
+                            "only)");
+          break;
+        }
+      }
+      if (!is_timer && match_seq(t, i, {"std", "::", "chrono", "::"}) &&
+          i + 4 < t.size() && t[i + 4].kind == TokenKind::kIdentifier &&
+          t[i + 4].text.size() > 6 &&
+          t[i + 4].text.compare(t[i + 4].text.size() - 6, 6, "_clock") == 0 &&
+          match_seq(t, i + 5, {"::", "now"})) {
+        add_finding(out, f, t[i].line,
+                    "std::chrono::" + t[i + 4].text +
+                        "::now() outside timer.hpp: wall time must never "
+                        "reach scheduling decisions or reports",
+                    "route timing through common/timer.hpp and keep it out "
+                    "of outputs");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D2 det-unordered-iter: range-for over a variable declared as an
+// unordered container in the same file. Iteration order is
+// implementation- and seed-defined, so any order-sensitive consumer
+// (output, reports, schedules, edge construction) silently loses
+// byte-identity. Order-independent folds may suppress with a
+// justified NOLINT-fastsched(det-unordered-iter) annotation.
+void check_unordered_iter(const SrcCheckInput& input,
+                          std::vector<Diagnostic>& out) {
+  static constexpr std::string_view kUnordered[] = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (const CheckedFile& f : *input.files) {
+    const Tokens& t = f.source.tokens;
+    // Harvest declared names: `unordered_xxx< ... > name`.
+    std::unordered_set<std::string> vars;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].preprocessor || t[i].kind != TokenKind::kIdentifier) continue;
+      if (std::find(std::begin(kUnordered), std::end(kUnordered), t[i].text) ==
+          std::end(kUnordered)) {
+        continue;
+      }
+      if (i + 1 >= t.size() || !is_punct(t[i + 1], "<")) continue;
+      std::size_t depth = 1;
+      std::size_t j = i + 2;
+      while (j < t.size() && depth > 0) {
+        if (is_punct(t[j], "<")) ++depth;
+        if (is_punct(t[j], ">")) --depth;
+        ++j;
+      }
+      // Skip ref/pointer declarators: `unordered_map<K, V>& name` (or
+      // `&&`, which lexes as two '&' tokens) declares `name` all the same.
+      while (j < t.size() && (is_punct(t[j], "&") || is_punct(t[j], "*"))) {
+        ++j;
+      }
+      if (j < t.size() && t[j].kind == TokenKind::kIdentifier) {
+        vars.insert(t[j].text);
+      }
+    }
+    if (vars.empty()) continue;
+    // Range-for whose range expression names a harvested variable.
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!is_ident(t[i], "for") || !is_punct(t[i + 1], "(")) continue;
+      std::size_t depth = 1;
+      std::size_t colon = 0;
+      std::size_t j = i + 2;
+      while (j < t.size() && depth > 0) {
+        if (is_punct(t[j], "(")) ++depth;
+        if (is_punct(t[j], ")")) --depth;
+        if (depth == 1 && colon == 0 && is_punct(t[j], ":")) colon = j;
+        ++j;
+      }
+      if (colon == 0) continue;
+      for (std::size_t k = colon + 1; k < j; ++k) {
+        if (t[k].kind == TokenKind::kIdentifier && vars.count(t[k].text) > 0) {
+          add_finding(out, f, t[i].line,
+                      "iteration over unordered container '" + t[k].text +
+                          "': visit order is unspecified and varies across "
+                          "implementations",
+                      "sort the keys first or use an ordered container; "
+                      "suppress only if the fold is provably "
+                      "order-independent");
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// Loop-body token spans (`for`/`while`/`do` with a braced body),
+/// innermost bodies included — shared by D3.
+std::vector<bool> loop_body_mask(const Tokens& t) {
+  std::vector<bool> in_loop(t.size(), false);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].preprocessor || t[i].kind != TokenKind::kIdentifier) continue;
+    std::size_t open = 0;  // index of the body's '{'
+    if (t[i].text == "for" || t[i].text == "while") {
+      if (i + 1 >= t.size() || !is_punct(t[i + 1], "(")) continue;
+      std::size_t depth = 1;
+      std::size_t j = i + 2;
+      while (j < t.size() && depth > 0) {
+        if (is_punct(t[j], "(")) ++depth;
+        if (is_punct(t[j], ")")) --depth;
+        ++j;
+      }
+      if (j >= t.size() || !is_punct(t[j], "{")) continue;
+      open = j;
+    } else if (t[i].text == "do" && i + 1 < t.size() &&
+               is_punct(t[i + 1], "{")) {
+      open = i + 1;
+    } else {
+      continue;
+    }
+    std::size_t depth = 1;
+    std::size_t j = open + 1;
+    while (j < t.size() && depth > 0) {
+      if (is_punct(t[j], "{")) ++depth;
+      if (is_punct(t[j], "}")) --depth;
+      if (depth > 0) in_loop[j] = true;
+      ++j;
+    }
+  }
+  return in_loop;
+}
+
+// ---------------------------------------------------------------------------
+// D3 det-float-merge: `x += ...` on a floating-point variable inside a
+// loop, in a file that uses the deterministic thread pool. Float addition
+// is not associative, so a merge loop folding worker results is
+// byte-identical only when the fold order is fixed; the annotation
+// `// det-ok: fixed-order` records that the order is pinned (e.g. a loop
+// over a fixed node order or the pool's submission-order merge).
+void check_float_merge(const SrcCheckInput& input,
+                       std::vector<Diagnostic>& out) {
+  for (const CheckedFile& f : *input.files) {
+    bool uses_pool = false;
+    for (const std::string& line : f.source.lines) {
+      if (line.find("common/thread_pool.hpp") != std::string::npos) {
+        uses_pool = true;
+        break;
+      }
+    }
+    if (!uses_pool) continue;
+    const Tokens& t = f.source.tokens;
+    // Harvest float-typed names: `double|float|Cost name` where the next
+    // token starts an initializer or ends the declarator.
+    std::unordered_set<std::string> vars;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].preprocessor || t[i].kind != TokenKind::kIdentifier) continue;
+      if (t[i].text != "double" && t[i].text != "float" &&
+          t[i].text != "Cost") {
+        continue;
+      }
+      if (t[i + 1].kind != TokenKind::kIdentifier) continue;
+      if (is_punct(t[i + 2], "=") || is_punct(t[i + 2], ";") ||
+          is_punct(t[i + 2], "{") || is_punct(t[i + 2], ",")) {
+        vars.insert(t[i + 1].text);
+      }
+    }
+    if (vars.empty()) continue;
+    const std::vector<bool> in_loop = loop_body_mask(t);
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      if (!is_punct(t[i], "+=") || !in_loop[i]) continue;
+      const Token& lhs = t[i - 1];
+      if (lhs.kind != TokenKind::kIdentifier || vars.count(lhs.text) == 0) {
+        continue;
+      }
+      if (f.annotations.det_ok(t[i].line)) continue;
+      add_finding(out, f, t[i].line,
+                  "floating-point reduction '" + lhs.text +
+                      " +=' in a loop in a thread-pool-using file: float "
+                      "addition is not associative, so the fold order must "
+                      "be fixed for byte-identical output",
+                  "fold in a deterministic order (submission-order merge) "
+                  "and annotate the loop '// det-ok: fixed-order'");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H1 hot-alloc: allocation inside a `// fastsched: hot` region. Hot
+// regions mark the per-probe inner loops (evaluator scans, event replay,
+// commit walks) that run millions of times per search; one malloc there
+// dominates the probe cost the paper's complexity argument depends on.
+// push_back/emplace_back/resize are allowed when the same file reserves
+// the container's capacity (amortized O(0) growth in steady state).
+void check_hot_alloc(const SrcCheckInput& input,
+                     std::vector<Diagnostic>& out) {
+  for (const CheckedFile& f : *input.files) {
+    if (f.annotations.hot_regions.empty()) continue;
+    const Tokens& t = f.source.tokens;
+    // Containers with a `.reserve(` anywhere in the file.
+    std::unordered_set<std::string> reserved;
+    for (std::size_t i = 2; i < t.size(); ++i) {
+      if (is_ident(t[i], "reserve") && is_punct(t[i - 1], ".") &&
+          t[i - 2].kind == TokenKind::kIdentifier && i + 1 < t.size() &&
+          is_punct(t[i + 1], "(")) {
+        reserved.insert(t[i - 2].text);
+      }
+    }
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].preprocessor || t[i].kind != TokenKind::kIdentifier) continue;
+      if (!f.annotations.in_hot_region(t[i].line)) continue;
+      if (t[i].text == "new") {
+        add_finding(out, f, t[i].line,
+                    "operator new inside a hot region",
+                    "preallocate outside the region and reuse the storage");
+        continue;
+      }
+      if ((t[i].text == "malloc" || t[i].text == "calloc" ||
+           t[i].text == "realloc") &&
+          (is_free_call(t, i) || is_std_call(t, i))) {
+        add_finding(out, f, t[i].line,
+                    "call of " + t[i].text + "() inside a hot region",
+                    "preallocate outside the region and reuse the storage");
+        continue;
+      }
+      if ((t[i].text == "push_back" || t[i].text == "emplace_back" ||
+           t[i].text == "resize") &&
+          i >= 2 && is_punct(t[i - 1], ".") &&
+          t[i - 2].kind == TokenKind::kIdentifier && i + 1 < t.size() &&
+          is_punct(t[i + 1], "(") && reserved.count(t[i - 2].text) == 0) {
+        add_finding(out, f, t[i].line,
+                    "'" + t[i - 2].text + "." + t[i].text +
+                        "(...)' inside a hot region with no reserve() for '" +
+                        t[i - 2].text + "' anywhere in this file: growth "
+                        "reallocates on the hot path",
+                    "reserve the container's capacity during setup");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H2 hot-region-balance: every `// fastsched: hot` needs exactly one
+// `// fastsched: end-hot` — an unterminated region silently widens (or
+// disables) the hot-alloc gate.
+void check_hot_balance(const SrcCheckInput& input,
+                       std::vector<Diagnostic>& out) {
+  for (const CheckedFile& f : *input.files) {
+    if (f.annotations.unbalanced_hot_line != 0) {
+      add_finding(out, f, f.annotations.unbalanced_hot_line,
+                  "unbalanced hot-region marker: every '// fastsched: hot' "
+                  "needs a matching '// fastsched: end-hot'",
+                  "close (or remove) the region marker");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P1 probe-pairing: a function that calls `evaluate_move(` must also call
+// `revert(`, `commit(` or `rescore(` — a probe left pending poisons the
+// next probe's undo log (evaluate_move documents that it replaces an
+// un-reverted predecessor, which is almost never what a caller means).
+// Lambdas and control blocks attribute to the enclosing function.
+void check_probe_pairing(const SrcCheckInput& input,
+                         std::vector<Diagnostic>& out) {
+  enum class ParenKind : std::uint8_t { kOther, kControl, kLambda };
+  for (const CheckedFile& f : *input.files) {
+    const Tokens& t = f.source.tokens;
+    // One forward pass: classify every '(' so that when its ')' is later
+    // followed by '{', the brace can be classified without re-scanning.
+    std::vector<ParenKind> paren_stack;
+    std::vector<ParenKind> close_kind(t.size(), ParenKind::kOther);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (is_punct(t[i], "(")) {
+        ParenKind kind = ParenKind::kOther;
+        if (i > 0) {
+          const Token& prev = t[i - 1];
+          if (prev.kind == TokenKind::kIdentifier &&
+              (prev.text == "for" || prev.text == "while" ||
+               prev.text == "if" || prev.text == "switch" ||
+               prev.text == "catch")) {
+            kind = ParenKind::kControl;
+          } else if (is_punct(prev, "]")) {
+            kind = ParenKind::kLambda;
+          }
+        }
+        paren_stack.push_back(kind);
+      } else if (is_punct(t[i], ")") && !paren_stack.empty()) {
+        close_kind[i] = paren_stack.back();
+        paren_stack.pop_back();
+      }
+    }
+
+    struct Scope {
+      bool is_function = false;
+      std::size_t probes = 0;
+      std::size_t resolutions = 0;
+      std::uint32_t first_probe_line = 0;
+    };
+    std::vector<Scope> scopes;
+    const auto function_scope = [&]() -> Scope* {
+      for (std::size_t k = scopes.size(); k-- > 0;) {
+        if (scopes[k].is_function) return &scopes[k];
+      }
+      return nullptr;
+    };
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].preprocessor) continue;
+      if (is_punct(t[i], "{")) {
+        // A function body's '{' follows the parameter list's ')', with
+        // const/noexcept/ref-qualifiers or a trailing return type in
+        // between; control statements and lambdas are excluded via the
+        // paren classification above.
+        Scope scope;
+        std::size_t j = i;
+        while (j-- > 0) {
+          const Token& p = t[j];
+          if (p.kind == TokenKind::kIdentifier &&
+              (p.text == "const" || p.text == "noexcept" ||
+               p.text == "override" || p.text == "final" ||
+               p.text == "mutable" || p.text == "try")) {
+            continue;
+          }
+          if (is_punct(p, "->") || is_punct(p, "::") || is_punct(p, "<") ||
+              is_punct(p, ">") || is_punct(p, "&") || is_punct(p, "*") ||
+              p.kind == TokenKind::kIdentifier) {
+            // Trailing return type tokens; keep scanning (bounded by the
+            // next ')' or an unambiguous stop token).
+            if (p.kind == TokenKind::kIdentifier && j > 0 &&
+                is_punct(t[j - 1], ")")) {
+              continue;
+            }
+            if (p.kind == TokenKind::kIdentifier &&
+                (j == 0 || t[j - 1].kind == TokenKind::kIdentifier ||
+                 is_punct(t[j - 1], "{") || is_punct(t[j - 1], ";") ||
+                 is_punct(t[j - 1], "}"))) {
+              break;  // namespace/class head or aggregate init
+            }
+            continue;
+          }
+          if (is_punct(p, ")")) {
+            scope.is_function = close_kind[j] == ParenKind::kOther;
+          }
+          break;
+        }
+        scopes.push_back(scope);
+        continue;
+      }
+      if (is_punct(t[i], "}")) {
+        if (!scopes.empty()) {
+          const Scope done = scopes.back();
+          scopes.pop_back();
+          if (done.is_function && done.probes > 0 &&
+              done.resolutions == 0) {
+            add_finding(out, f, done.first_probe_line,
+                        "evaluate_move() probe is neither committed nor "
+                        "reverted in this function: the pending candidate "
+                        "leaks into the next probe's undo log",
+                        "pair every probe with revert() or commit() on all "
+                        "paths");
+          }
+        }
+        continue;
+      }
+      if (t[i].kind != TokenKind::kIdentifier || i + 1 >= t.size() ||
+          !is_punct(t[i + 1], "(")) {
+        continue;
+      }
+      Scope* fn = function_scope();
+      if (fn == nullptr) continue;
+      if (t[i].text == "evaluate_move") {
+        if (fn->probes == 0) fn->first_probe_line = t[i].line;
+        ++fn->probes;
+      } else if (t[i].text == "revert" || t[i].text == "commit" ||
+                 t[i].text == "rescore") {
+        ++fn->resolutions;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A1 bare-assert: `assert(` compiles out under NDEBUG, so release builds
+// silently skip the invariant; the project contract (common/error.hpp) is
+// FASTSCHED_ASSERT, active in every build type.
+void check_bare_assert(const SrcCheckInput& input,
+                       std::vector<Diagnostic>& out) {
+  for (const CheckedFile& f : *input.files) {
+    const Tokens& t = f.source.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].preprocessor) continue;
+      if (is_ident(t[i], "assert") && is_free_call(t, i)) {
+        add_finding(out, f, t[i].line,
+                    "bare assert() is compiled out under NDEBUG: release "
+                    "builds skip the invariant",
+                    "use FASTSCHED_ASSERT / FASTSCHED_ASSERT_MSG "
+                    "(common/error.hpp)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A2 raw-runtime-error: `throw std::runtime_error` bypasses the typed
+// error contract — callers catch `fastsched::Error` for user-facing
+// failures, so raw runtime_errors skip every recovery path.
+void check_raw_runtime_error(const SrcCheckInput& input,
+                             std::vector<Diagnostic>& out) {
+  for (const CheckedFile& f : *input.files) {
+    const Tokens& t = f.source.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].preprocessor) continue;
+      if (match_seq(t, i, {"throw", "std", "::", "runtime_error"})) {
+        add_finding(out, f, t[i].line,
+                    "raw 'throw std::runtime_error': callers catch "
+                    "fastsched::Error, so this escapes every recovery path",
+                    "throw fastsched::Error (or use FASTSCHED_REQUIRE, "
+                    "common/error.hpp)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// S1 suppression-needs-reason: a NOLINT-fastsched without a reason is an
+// unreviewable waiver; the reason is the review record.
+void check_suppression_reason(const SrcCheckInput& input,
+                              std::vector<Diagnostic>& out) {
+  for (const CheckedFile& f : *input.files) {
+    for (const Suppression& s : f.annotations.suppressions) {
+      if (!s.reason.empty()) continue;
+      add_finding(out, f, s.line,
+                  "NOLINT-fastsched suppression without a reason: waivers "
+                  "must record why the finding does not apply",
+                  "append ': <why the invariant holds here>'");
+    }
+  }
+}
+
+SrcRuleRegistry build_registry() {
+  SrcRuleRegistry registry;
+  registry.add({"det-random-source", Severity::kError, false,
+                "nondeterminism source (wall clock, entropy, thread id) in "
+                "checked code",
+                check_random_source});
+  registry.add({"det-unordered-iter", Severity::kError, false,
+                "iteration over an unordered container (order is "
+                "unspecified)",
+                check_unordered_iter});
+  registry.add({"det-float-merge", Severity::kWarning, false,
+                "unannotated floating-point loop reduction in a thread-pool "
+                "consumer",
+                check_float_merge});
+  registry.add({"hot-alloc", Severity::kError, false,
+                "allocation inside a '// fastsched: hot' region",
+                check_hot_alloc});
+  registry.add({"hot-region-balance", Severity::kError, false,
+                "unbalanced '// fastsched: hot' region markers",
+                check_hot_balance});
+  registry.add({"probe-pairing", Severity::kWarning, false,
+                "evaluate_move() probe neither committed nor reverted in "
+                "the same function",
+                check_probe_pairing});
+  registry.add({"bare-assert", Severity::kError, false,
+                "bare assert() instead of FASTSCHED_ASSERT",
+                check_bare_assert});
+  registry.add({"raw-runtime-error", Severity::kWarning, false,
+                "raw 'throw std::runtime_error' instead of the typed error "
+                "contract",
+                check_raw_runtime_error});
+  registry.add({"suppression-needs-reason", Severity::kError, false,
+                "NOLINT-fastsched suppression lacking a reason",
+                check_suppression_reason});
+  return registry;
+}
+
+}  // namespace
+
+const SrcRuleRegistry& SrcRuleRegistry::builtin() {
+  static const SrcRuleRegistry registry = build_registry();
+  return registry;
+}
+
+}  // namespace fastsched::analysis::srccheck

@@ -1,0 +1,288 @@
+#include "analysis/srccheck/srccheck.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/report_io.hpp"
+#include "common/error.hpp"
+
+namespace fastsched::analysis::srccheck {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])) != 0) {
+    --e;
+  }
+  return std::string(text.substr(b, e - b));
+}
+
+constexpr std::string_view kNolintMarker = "NOLINT-fastsched";
+constexpr std::string_view kHotMarker = "fastsched: hot";
+constexpr std::string_view kEndHotMarker = "fastsched: end-hot";
+constexpr std::string_view kDetOkMarker = "det-ok: fixed-order";
+
+/// An annotation must be the *start* of its comment (trailing explanation
+/// allowed after a non-identifier boundary); prose that merely mentions
+/// the syntax mid-sentence — this very analyzer's documentation, say —
+/// must not register.
+bool marker_at_start(std::string_view text, std::string_view marker) {
+  if (text.rfind(marker, 0) != 0) return false;
+  return text.size() == marker.size() ||
+         std::isalnum(static_cast<unsigned char>(text[marker.size()])) == 0;
+}
+
+/// Parses "NOLINT-fastsched(rule-a, rule-b): reason" out of one comment.
+/// Malformed variants (no parens) yield a rule-less suppression with an
+/// empty reason, which `suppression-needs-reason` then reports.
+Suppression parse_suppression(const Comment& comment, std::size_t at) {
+  Suppression s;
+  s.line = comment.line;
+  s.next_line = comment.own_line;
+  std::string_view rest = std::string_view(comment.text).substr(
+      at + kNolintMarker.size());
+  if (!rest.empty() && rest.front() == '(') {
+    const std::size_t close = rest.find(')');
+    if (close != std::string_view::npos) {
+      std::string_view list = rest.substr(1, close - 1);
+      std::size_t begin = 0;
+      while (begin <= list.size()) {
+        const std::size_t comma = list.find(',', begin);
+        const std::size_t end =
+            comma == std::string_view::npos ? list.size() : comma;
+        const std::string rule = trim(list.substr(begin, end - begin));
+        if (!rule.empty()) s.rules.push_back(rule);
+        if (comma == std::string_view::npos) break;
+        begin = comma + 1;
+      }
+      rest = rest.substr(close + 1);
+    }
+  }
+  const std::size_t colon = rest.find(':');
+  if (colon != std::string_view::npos) {
+    s.reason = trim(rest.substr(colon + 1));
+  }
+  return s;
+}
+
+bool is_source_ext(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".hh";
+}
+
+/// Directories never descended into: build trees in any configuration,
+/// hidden directories (.git, .cache), and editor droppings — mirroring
+/// .gitignore, so a source-tree self-run over "." cannot pick up
+/// generated or vendored code.
+bool is_excluded_dir(const fs::path& name) {
+  const std::string n = name.string();
+  if (n.empty() || n.front() == '.') return true;
+  if (n.rfind("build", 0) == 0) return true;
+  if (n.rfind("cmake-build", 0) == 0) return true;
+  return false;
+}
+
+}  // namespace
+
+bool FileAnnotations::in_hot_region(std::uint32_t line) const {
+  for (const HotRegion& r : hot_regions) {
+    if (line >= r.begin && line <= r.end) return true;
+  }
+  return false;
+}
+
+bool FileAnnotations::det_ok(std::uint32_t line) const {
+  for (const std::uint32_t l : det_ok_lines) {
+    if (l == line || l + 1 == line) return true;
+  }
+  return false;
+}
+
+const Suppression* FileAnnotations::suppressing(std::string_view rule,
+                                                std::uint32_t line) const {
+  for (const Suppression& s : suppressions) {
+    const std::uint32_t target = s.next_line ? s.line + 1 : s.line;
+    if (target != line && s.line != line) continue;
+    if (s.rules.empty()) return &s;
+    for (const std::string& r : s.rules) {
+      if (r == rule) return &s;
+    }
+  }
+  return nullptr;
+}
+
+FileAnnotations parse_annotations(const SourceFile& file) {
+  FileAnnotations a;
+  std::uint32_t open_hot = 0;
+  bool in_hot = false;
+  for (const Comment& comment : file.comments) {
+    if (marker_at_start(comment.text, kNolintMarker)) {
+      a.suppressions.push_back(parse_suppression(comment, 0));
+      continue;
+    }
+    if (marker_at_start(comment.text, kEndHotMarker)) {
+      if (in_hot) {
+        a.hot_regions.push_back(HotRegion{open_hot, comment.line});
+        in_hot = false;
+      } else if (a.unbalanced_hot_line == 0) {
+        a.unbalanced_hot_line = comment.line;  // end without begin
+      }
+      continue;
+    }
+    if (marker_at_start(comment.text, kHotMarker)) {
+      if (in_hot && a.unbalanced_hot_line == 0) {
+        a.unbalanced_hot_line = open_hot;  // begin without end
+      }
+      open_hot = comment.line;
+      in_hot = true;
+      continue;
+    }
+    if (marker_at_start(comment.text, kDetOkMarker)) {
+      a.det_ok_lines.push_back(comment.line);
+    }
+  }
+  if (in_hot) {
+    if (a.unbalanced_hot_line == 0) a.unbalanced_hot_line = open_hot;
+    a.hot_regions.push_back(HotRegion{
+        open_hot, static_cast<std::uint32_t>(file.lines.size())});
+  }
+  return a;
+}
+
+CheckedFile check_file_from_text(std::string path, std::string_view content) {
+  CheckedFile f;
+  f.source = lex_source(std::move(path), content);
+  f.annotations = parse_annotations(f.source);
+  return f;
+}
+
+SrcCheckReport src_check(const std::vector<CheckedFile>& files,
+                         const SrcRuleRegistry& registry) {
+  SrcCheckInput input{&files};
+  SrcCheckReport report;
+  report.num_files = files.size();
+
+  // Same stamping protocol as run_rules (rule_registry.hpp), with one
+  // extra stage: findings covered by a NOLINT-fastsched annotation are
+  // dropped before counting, so suppressed findings never gate.
+  std::vector<Diagnostic> raw;
+  for (const SrcRule& rule : registry.rules()) {
+    const std::size_t first = raw.size();
+    rule.check(input, raw);
+    for (std::size_t i = first; i < raw.size(); ++i) {
+      raw[i].rule_id = rule.id;
+      raw[i].severity = rule.severity;
+    }
+  }
+
+  for (Diagnostic& d : raw) {
+    const CheckedFile* owner = nullptr;
+    for (const CheckedFile& f : files) {
+      if (f.source.path == d.file) {
+        owner = &f;
+        break;
+      }
+    }
+    if (owner != nullptr &&
+        owner->annotations.suppressing(d.rule_id, d.line) != nullptr) {
+      ++report.num_suppressed;
+      continue;
+    }
+    if (d.severity == Severity::kError) {
+      ++report.num_errors;
+    } else {
+      ++report.num_warnings;
+    }
+    report.diagnostics.push_back(std::move(d));
+  }
+
+  std::sort(report.diagnostics.begin(), report.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule_id != b.rule_id) return a.rule_id < b.rule_id;
+              return a.message < b.message;
+            });
+  return report;
+}
+
+std::vector<std::string> collect_sources(const std::string& root,
+                                         const std::vector<std::string>& paths) {
+  const fs::path base = root.empty() ? fs::path(".") : fs::path(root);
+  std::vector<std::string> out;
+
+  const auto add_file = [&](const fs::path& p) {
+    // Report root-relative, '/'-separated paths: stable across machines,
+    // so baselines and golden files are location-independent.
+    std::error_code ec;
+    fs::path rel = fs::relative(p, base, ec);
+    if (ec || rel.empty()) rel = p;
+    std::string text = rel.generic_string();
+    if (text.rfind("./", 0) == 0) text = text.substr(2);
+    out.push_back(std::move(text));
+  };
+
+  for (const std::string& path : paths) {
+    const fs::path p = base / path;
+    if (fs::is_regular_file(p)) {
+      add_file(p);
+      continue;
+    }
+    FASTSCHED_REQUIRE(fs::is_directory(p),
+                      "fastsched_check: no such file or directory: " +
+                          p.generic_string());
+    fs::recursive_directory_iterator it(p), end;
+    while (it != end) {
+      if (it->is_directory() && is_excluded_dir(it->path().filename())) {
+        it.disable_recursion_pending();
+      } else if (it->is_regular_file() && is_source_ext(it->path())) {
+        add_file(it->path());
+      }
+      ++it;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<CheckedFile> load_sources(const std::string& root,
+                                      const std::vector<std::string>& paths) {
+  const fs::path base = root.empty() ? fs::path(".") : fs::path(root);
+  std::vector<CheckedFile> files;
+  for (const std::string& rel : collect_sources(root, paths)) {
+    std::ifstream in(base / rel, std::ios::binary);
+    FASTSCHED_REQUIRE(in.good(), "fastsched_check: cannot open " + rel);
+    std::ostringstream content;
+    content << in.rdbuf();
+    files.push_back(check_file_from_text(rel, content.str()));
+  }
+  return files;
+}
+
+void write_json(std::ostream& os, const SrcCheckReport& report) {
+  os << "{\n  \"tool\": \"fastsched_check\",\n  \"files\": "
+     << report.num_files << ",\n  \"errors\": " << report.num_errors
+     << ",\n  \"warnings\": " << report.num_warnings
+     << ",\n  \"suppressed\": " << report.num_suppressed
+     << ",\n  \"baselined\": " << report.num_baselined
+     << ",\n  \"stale_baseline\": " << report.num_stale_baseline
+     << ",\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ")
+       << to_json(report.diagnostics[i]);
+  }
+  os << (report.diagnostics.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+}  // namespace fastsched::analysis::srccheck

@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file srccheck.hpp
+/// The `fastsched_check` engine: project-invariant static analysis over
+/// the repository's own C++ sources. The repo's value proposition —
+/// bit-identical move evaluators, a deterministic thread pool,
+/// certificate-backed bounds — rests on invariants that golden diffs and
+/// TSan shards only catch *dynamically*, on whichever fixture happens to
+/// exercise the regression. This engine enforces them statically, at
+/// check time, with the same rule-registry machinery as the schedule and
+/// DAG linters (rule_registry.hpp): a registry of `BasicRule`s over lexed
+/// sources (source_lexer.hpp), diagnostics flowing through
+/// `analysis::Diagnostic` with `file:line` and a fix-hint.
+///
+/// Rule families (ids in src_rules.cpp, table in tools/README.md):
+///   D* — determinism: nondeterminism sources, unordered-container
+///        iteration, unannotated floating-point merge reductions.
+///   H* — hot-path hygiene: allocation inside `// fastsched: hot` regions.
+///   P* — protocol: evaluate_move probes that are neither committed nor
+///        reverted in the same function.
+///   A* — assertion/error contract: bare `assert(`, raw
+///        `throw std::runtime_error` (error.hpp owns both).
+///   S* — the checker's own annotation contract (suppressions need a
+///        reason).
+///
+/// Suppression: `// NOLINT-fastsched(rule-id): reason` on the offending
+/// line, or alone on the line above. The reason is mandatory (rule
+/// `suppression-needs-reason`). Findings already accepted by a checked-in
+/// baseline (baseline.hpp) are reported but do not fail the run, so the
+/// gate only blocks *new* findings.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/rule_registry.hpp"
+#include "analysis/srccheck/source_lexer.hpp"
+
+namespace fastsched::analysis::srccheck {
+
+/// One parsed `// NOLINT-fastsched(rule, rule): reason` annotation.
+struct Suppression {
+  std::vector<std::string> rules;  ///< empty means "all rules"
+  std::string reason;
+  std::uint32_t line = 0;   ///< line the comment sits on
+  bool next_line = false;   ///< own-line comment: applies to line + 1
+};
+
+/// Inclusive line range marked `// fastsched: hot` .. `// fastsched:
+/// end-hot`. An unterminated region runs to the end of the file (rules
+/// still apply; the imbalance is itself reported by `hot-region-balance`).
+struct HotRegion {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+};
+
+/// Everything annotation-driven about one file, precomputed once so every
+/// rule shares the same interpretation.
+struct FileAnnotations {
+  std::vector<Suppression> suppressions;
+  std::vector<HotRegion> hot_regions;
+  std::vector<std::uint32_t> det_ok_lines;  ///< `// det-ok: fixed-order`
+  std::uint32_t unbalanced_hot_line = 0;  ///< stray hot marker (0: balanced)
+
+  [[nodiscard]] bool in_hot_region(std::uint32_t line) const;
+  /// det-ok annotation on `line`, or alone on the line above.
+  [[nodiscard]] bool det_ok(std::uint32_t line) const;
+  /// Suppression covering (rule, line)?
+  [[nodiscard]] const Suppression* suppressing(std::string_view rule,
+                                               std::uint32_t line) const;
+};
+
+[[nodiscard]] FileAnnotations parse_annotations(const SourceFile& file);
+
+/// One file ready for rule evaluation.
+struct CheckedFile {
+  SourceFile source;
+  FileAnnotations annotations;
+};
+
+/// Everything a source-check rule may inspect.
+struct SrcCheckInput {
+  const std::vector<CheckedFile>* files = nullptr;
+};
+
+using SrcRule = BasicRule<SrcCheckInput>;
+
+/// Rule collection over lexed sources.
+class SrcRuleRegistry : public BasicRuleRegistry<SrcCheckInput> {
+ public:
+  /// The built-in rules, in documentation order:
+  ///   det-random-source, det-unordered-iter, det-float-merge,
+  ///   hot-alloc, hot-region-balance, probe-pairing,
+  ///   bare-assert, raw-runtime-error, suppression-needs-reason
+  [[nodiscard]] static const SrcRuleRegistry& builtin();
+};
+
+/// The outcome of one source-check run. `diagnostics` holds the *active*
+/// findings (suppressed ones are dropped, counted in `num_suppressed`;
+/// baselined ones are moved out by `apply_baseline`, baseline.hpp).
+struct SrcCheckReport {
+  std::vector<Diagnostic> diagnostics;
+  std::size_t num_errors = 0;
+  std::size_t num_warnings = 0;
+  std::size_t num_files = 0;
+  std::size_t num_suppressed = 0;
+  std::size_t num_baselined = 0;
+  std::size_t num_stale_baseline = 0;  ///< baseline entries matching nothing
+
+  [[nodiscard]] bool clean() const noexcept { return diagnostics.empty(); }
+  [[nodiscard]] bool ok(bool warnings_as_errors = false) const noexcept {
+    return num_errors == 0 && (!warnings_as_errors || num_warnings == 0);
+  }
+};
+
+/// Lexes and annotates one in-memory source (unit tests and fixtures).
+[[nodiscard]] CheckedFile check_file_from_text(std::string path,
+                                               std::string_view content);
+
+/// Runs every rule against `files`. Diagnostics are stamped with the
+/// rule's id/severity, filtered through the files' suppressions, and
+/// sorted (file, line, rule) so output is deterministic regardless of
+/// rule registration order.
+[[nodiscard]] SrcCheckReport src_check(const std::vector<CheckedFile>& files,
+                                       const SrcRuleRegistry& registry =
+                                           SrcRuleRegistry::builtin());
+
+/// Collects the checkable sources (*.cpp, *.hpp, *.h, *.cc, *.hh) under
+/// `paths` (files or directories), resolved relative to `root`. Build
+/// trees (`build*/`, `cmake-build-*/`) and hidden directories are skipped
+/// even when a path points into the source checkout, so a self-run over
+/// "." never lints generated or vendored code. Returned paths are
+/// root-relative with '/' separators, sorted, and de-duplicated —
+/// the scan order (and therefore every report) is deterministic.
+/// Throws `fastsched::Error` when a named path does not exist.
+[[nodiscard]] std::vector<std::string> collect_sources(
+    const std::string& root, const std::vector<std::string>& paths);
+
+/// `collect_sources` + read + lex + annotate.
+[[nodiscard]] std::vector<CheckedFile> load_sources(
+    const std::string& root, const std::vector<std::string>& paths);
+
+/// Machine-readable report (schema documented in tools/README.md):
+/// `{"tool": "fastsched_check", "files", "errors", "warnings",
+///   "suppressed", "baselined", "stale_baseline", "diagnostics": [...]}`.
+void write_json(std::ostream& os, const SrcCheckReport& report);
+
+}  // namespace fastsched::analysis::srccheck

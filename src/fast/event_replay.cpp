@@ -83,12 +83,14 @@ void EventReplay::apply_transfer(NodeId n, ProcId from, ProcId to,
   ++proc_count_[to];
 }
 
+// fastsched: hot — worklist push, called once per affected edge per probe.
 void EventReplay::push(std::uint32_t position) {
   if (queued_stamp_[position] == queue_epoch_) return;
   queued_stamp_[position] = queue_epoch_;
   heap_.push_back(position);
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
 }
+// fastsched: end-hot
 
 EventReplay::Outcome EventReplay::replay(
     const Probe& probe, std::span<const ProcId> assignment,
@@ -145,6 +147,8 @@ EventReplay::Outcome EventReplay::replay(
   // (new_next's did too), and n's DAG successors (their communication
   // term from n toggles with n's placement even when n's finish does
   // not). Everything else is reached by propagation.
+  // fastsched: hot — event-driven probe: frontier seed, worklist drain,
+  // and the chunked length fold; O(affected) work per evaluate_move.
   ++queue_epoch_;
   heap_.clear();
   push(pos_[n]);
@@ -184,6 +188,7 @@ EventReplay::Outcome EventReplay::replay(
     if (fin != finish[m]) {
       // First and only write to m this probe: log the prior value.
       undo[m] = finish[m];
+      // NOLINT-fastsched(hot-alloc): this is sparse_dirty_, reserved by caller
       touched_out.push_back(m);
       finish[m] = fin;
       any_change = true;
@@ -239,6 +244,7 @@ EventReplay::Outcome EventReplay::replay(
     out.aborted = true;
   }
   return out;
+  // fastsched: end-hot
 }
 
 }  // namespace fastsched::fast

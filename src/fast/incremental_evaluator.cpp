@@ -64,6 +64,7 @@ IncrementalEvaluator::IncrementalEvaluator(const TaskGraph& g,
   chunk_max_.assign(num_checkpoints_, 0.0);
   suffix_max_.assign(num_checkpoints_ + 1, 0.0);
   scan_touched_.reserve(num_procs_);
+  touched_.reserve(num_procs_);
   for (std::size_t i = 0; i < v; ++i) {
     pos_[list_[i]] = static_cast<std::uint32_t>(i);
   }
@@ -172,6 +173,8 @@ detail::ReplayOutcome IncrementalEvaluator::scan_suffix(
   // Max successor position over nodes whose finish changed; once the
   // boundary passes it, no changed value can reach the unscanned suffix.
   std::size_t horizon = 0;
+  // fastsched: hot — per-probe suffix replay; these lambdas run once per
+  // edge and per node for every evaluate_move probe.
   const auto proc_of = [&](NodeId m) { return assignment_[m]; };
   // Positions >= restart are rewritten in place by this scan before any
   // successor reads them (the list is topological); earlier positions
@@ -239,6 +242,7 @@ detail::ReplayOutcome IncrementalEvaluator::scan_suffix(
   }
   counters_.positions_scanned += v - restart;
   return {running, v, false};
+  // fastsched: end-hot
 }
 
 bool IncrementalEvaluator::prefer_event(std::size_t suffix, NodeId n) const {
@@ -407,6 +411,8 @@ void IncrementalEvaluator::commit_scan(std::size_t restart, std::size_t stop,
   // keep their (still valid) committed checkpoint entries.
   const std::size_t cp_restart = checkpoint_of(restart);
   const Cost* restart_ready = checkpoint_ready(cp_restart);
+  // fastsched: hot — commit walk over the accepted suffix, one pass per
+  // accepted move.
   ++touch_epoch_;
   touched_.clear();
   for (const ProcId p : lost_procs) {
@@ -447,6 +453,7 @@ void IncrementalEvaluator::commit_scan(std::size_t restart, std::size_t stop,
   for (std::size_t cp = num_checkpoints_; cp-- > 0;) {
     suffix_max_[cp] = std::max(suffix_max_[cp + 1], chunk_max_[cp]);
   }
+  // fastsched: end-hot
   // The walk folds the same values in the same order as the candidate
   // scan (plus the untouched committed suffix), so the lengths must
   // agree to the bit.

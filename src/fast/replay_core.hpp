@@ -80,6 +80,8 @@ inline ReplayOutcome replay_list(const graph::TaskGraph& g,
                                  ProcOf&& proc_of, FinishOf&& finish_of,
                                  ReadyRef&& ready_ref, Emit&& emit,
                                  TailOf&& reject_tail_of) {
+  // fastsched: hot — the innermost timing recurrence; every probe of
+  // every consumer runs through this loop.
   graph::Cost running = seed_length;
   if (bound != kNoBound && !graph::definitely_less(running, bound)) {
     return {running, begin, true};
@@ -107,6 +109,7 @@ inline ReplayOutcome replay_list(const graph::TaskGraph& g,
     }
   }
   return {running, end, false};
+  // fastsched: end-hot
 }
 
 /// Tail-less overload: the abort test degenerates to the running max

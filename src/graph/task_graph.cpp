@@ -55,6 +55,8 @@ TaskGraph TaskGraphBuilder::build() const {
   g.edge_cost_ = edge_cost_;
 
   // Reject duplicate edges: each (src, dst) pair may carry one message.
+  // The hashed set is insert-only — membership is order-free, and it is
+  // never iterated, so there is no det-unordered-iter hazard here.
   {
     std::unordered_set<std::uint64_t> seen;
     seen.reserve(e * 2);

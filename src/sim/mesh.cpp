@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <unordered_map>
 
 namespace fastsched::sim {
 
@@ -69,26 +68,24 @@ MeshSimResult simulate_mesh(const graph::TaskGraph& g,
   // Map processors onto mesh nodes: identity when the schedule's pool
   // already fits the mesh (placements keep their intended coordinates),
   // dense remap of the *used* processors otherwise (so unbounded
-  // schedulers fit as long as they use few enough).
-  std::unordered_map<ProcId, ProcId> remap;
-  if (schedule.num_procs() <= static_cast<std::size_t>(config.procs())) {
-    for (ProcId p = 0; p < schedule.num_procs(); ++p) {
-      if (!schedule.tasks_on(p).empty()) remap.emplace(p, p);
-    }
-  } else {
-    for (ProcId p = 0; p < schedule.num_procs(); ++p) {
-      if (!schedule.tasks_on(p).empty()) {
-        const auto dense = static_cast<ProcId>(remap.size());
-        remap.emplace(p, dense);
-      }
-    }
+  // schedulers fit as long as they use few enough). A flat vector keyed
+  // by the original ProcId — no hashed container, so there is no
+  // iteration-order hazard to begin with and lookups are O(1) loads.
+  std::vector<ProcId> remap(schedule.num_procs(), sched::kUnassignedProc);
+  std::size_t used = 0;
+  const bool identity =
+      schedule.num_procs() <= static_cast<std::size_t>(config.procs());
+  for (ProcId p = 0; p < schedule.num_procs(); ++p) {
+    if (schedule.tasks_on(p).empty()) continue;
+    remap[p] = identity ? p : static_cast<ProcId>(used);
+    ++used;
   }
   FASTSCHED_REQUIRE(
-      remap.size() <= static_cast<std::size_t>(config.procs()),
+      used <= static_cast<std::size_t>(config.procs()),
       "schedule uses more processors than the mesh has (" +
-          std::to_string(remap.size()) + " > " +
+          std::to_string(used) + " > " +
           std::to_string(config.procs()) + ")");
-  const auto mesh_proc = [&](NodeId n) { return remap.at(schedule.proc(n)); };
+  const auto mesh_proc = [&](NodeId n) { return remap[schedule.proc(n)]; };
 
   MeshSimResult result;
   result.start.assign(v, 0.0);
@@ -102,7 +99,7 @@ MeshSimResult simulate_mesh(const graph::TaskGraph& g,
   for (ProcId p = 0; p < schedule.num_procs(); ++p) {
     const auto tasks = schedule.tasks_on(p);
     if (tasks.empty()) continue;
-    auto& seq = order[remap.at(p)];
+    auto& seq = order[remap[p]];
     seq.assign(tasks.begin(), tasks.end());
     std::stable_sort(seq.begin(), seq.end(), [&](NodeId a, NodeId b) {
       return schedule.start(a) < schedule.start(b);

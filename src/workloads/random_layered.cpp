@@ -94,24 +94,19 @@ graph::TaskGraph random_layered_dag(const RandomDagParams& params) {
   };
 
   // Connectivity pass 1: every non-first-level node gets a parent in the
-  // immediately preceding level.
+  // immediately preceding level. Each chosen parent is marked as having a
+  // child right here, at insertion, in deterministic construction order —
+  // pass 2 must never recover this by folding over the unordered `used`
+  // set, whose visit order is implementation-defined (det-unordered-iter).
+  std::vector<bool> has_child(v, false);
   for (std::size_t l = 1; l < height; ++l) {
     for (std::size_t i = level_begin[l]; i < level_begin[l + 1]; ++i) {
-      try_edge(random_in_level(l - 1), static_cast<graph::NodeId>(i));
+      const graph::NodeId parent = random_in_level(l - 1);
+      try_edge(parent, static_cast<graph::NodeId>(i));
+      has_child[parent] = true;
     }
   }
   // Connectivity pass 2: every non-last-level node gets a child.
-  std::vector<bool> has_child(v, false);
-  for (std::size_t i = 0; i < v; ++i) {
-    // pass 1 recorded nothing; recompute from the used set is costly —
-    // track instead via the builder's edges below when adding extras, so
-    // simply check and repair here using fresh random children.
-    has_child[i] = false;
-  }
-  // Mark children from pass 1 (iterate the used set once).
-  for (const std::uint64_t k : used) {
-    has_child[static_cast<std::size_t>(k >> 32)] = true;
-  }
   for (std::size_t l = 0; l + 1 < height; ++l) {
     for (std::size_t i = level_begin[l]; i < level_begin[l + 1]; ++i) {
       if (has_child[i]) continue;

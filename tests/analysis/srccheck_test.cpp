@@ -1,0 +1,443 @@
+// Unit tests for the fastsched_check engine (analysis/srccheck/): the
+// lexer's stripping/line accounting, every built-in rule's true-positive,
+// suppressed, and clean fixture, annotation parsing, baseline matching,
+// and source collection. Fixture code lives in raw strings so the
+// self-run over src/ never sees the deliberate violations.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/srccheck/baseline.hpp"
+#include "analysis/srccheck/srccheck.hpp"
+
+namespace srccheck = fastsched::analysis::srccheck;
+using fastsched::analysis::Diagnostic;
+using fastsched::analysis::Severity;
+
+namespace {
+
+srccheck::SrcCheckReport run_on(std::string_view text,
+                                std::string path = "test.cpp") {
+  std::vector<srccheck::CheckedFile> files;
+  files.push_back(srccheck::check_file_from_text(std::move(path), text));
+  return srccheck::src_check(files);
+}
+
+bool has_rule(const srccheck::SrcCheckReport& report, std::string_view rule,
+              std::uint32_t line = 0) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule_id == rule && (line == 0 || d.line == line)) return true;
+  }
+  return false;
+}
+
+// --- lexer ----------------------------------------------------------------
+
+TEST(SourceLexer, StripsCommentsAndKeepsThemOnTheSide) {
+  const auto f = srccheck::check_file_from_text(
+      "t.cpp", "int a; // trailing note\n// own line\nint b;\n");
+  for (const srccheck::Token& t : f.source.tokens) {
+    EXPECT_NE(t.text, "trailing");
+    EXPECT_NE(t.text, "own");
+  }
+  ASSERT_EQ(f.source.comments.size(), 2u);
+  EXPECT_EQ(f.source.comments[0].text, "trailing note");
+  EXPECT_EQ(f.source.comments[0].line, 1u);
+  EXPECT_FALSE(f.source.comments[0].own_line);
+  EXPECT_EQ(f.source.comments[1].text, "own line");
+  EXPECT_TRUE(f.source.comments[1].own_line);
+}
+
+TEST(SourceLexer, StringContentsAreNeverTokenized) {
+  // Rule trigger text inside string/char/raw-string literals must not
+  // produce identifier tokens — otherwise every logging line would trip
+  // the det rules.
+  const auto f = srccheck::check_file_from_text(
+      "t.cpp",
+      "const char* s = \"rand( assert( std::random_device\";\n"
+      "const char* r = R\"x(time( rand()x\";\n"
+      "char c = ':';\n");
+  for (const srccheck::Token& t : f.source.tokens) {
+    if (t.kind == srccheck::TokenKind::kIdentifier) {
+      EXPECT_NE(t.text, "rand");
+      EXPECT_NE(t.text, "assert");
+      EXPECT_NE(t.text, "random_device");
+      EXPECT_NE(t.text, "time");
+    }
+  }
+  EXPECT_TRUE(run_on("void f() { const char* s = \"rand(1)\"; }\n").clean());
+}
+
+TEST(SourceLexer, LineNumbersSurviveBlockComments) {
+  const auto f = srccheck::check_file_from_text(
+      "t.cpp", "int a;\n/* two\nline comment */\nint b;\n");
+  ASSERT_GE(f.source.tokens.size(), 6u);
+  EXPECT_EQ(f.source.tokens[0].line, 1u);  // int (a)
+  EXPECT_EQ(f.source.tokens[3].line, 4u);  // int (b)
+}
+
+TEST(SourceLexer, PreprocessorTokensAreFlagged) {
+  const auto f = srccheck::check_file_from_text(
+      "t.cpp", "#define TIME time(nullptr)\nint x = 1;\n");
+  bool saw_pp_time = false;
+  for (const srccheck::Token& t : f.source.tokens) {
+    if (t.text == "time") {
+      EXPECT_TRUE(t.preprocessor);
+      saw_pp_time = true;
+    }
+    if (t.text == "x") EXPECT_FALSE(t.preprocessor);
+  }
+  EXPECT_TRUE(saw_pp_time);
+  // Macro definitions are out of scope for the call-site rules.
+  EXPECT_TRUE(run_on("#define TIME time(nullptr)\n").clean());
+}
+
+// --- annotations ----------------------------------------------------------
+
+TEST(Annotations, SuppressionParsesRulesAndReason) {
+  const auto f = srccheck::check_file_from_text(
+      "t.cpp",
+      "// NOLINT-fastsched(rule-a, rule-b): the fold is order-free\n"
+      "int x;\n");
+  ASSERT_EQ(f.annotations.suppressions.size(), 1u);
+  const srccheck::Suppression& s = f.annotations.suppressions[0];
+  EXPECT_EQ(s.rules, (std::vector<std::string>{"rule-a", "rule-b"}));
+  EXPECT_EQ(s.reason, "the fold is order-free");
+  EXPECT_TRUE(s.next_line);
+  EXPECT_NE(f.annotations.suppressing("rule-a", 2), nullptr);
+  EXPECT_EQ(f.annotations.suppressing("rule-c", 2), nullptr);
+}
+
+TEST(Annotations, ProseMentioningMarkersIsNotAnAnnotation) {
+  const auto f = srccheck::check_file_from_text(
+      "t.cpp",
+      "// regions are marked // fastsched: hot in the docs\n"
+      "// suppress with NOLINT-fastsched(rule) where justified\n"
+      "int x;\n");
+  EXPECT_TRUE(f.annotations.hot_regions.empty());
+  EXPECT_TRUE(f.annotations.suppressions.empty());
+  EXPECT_EQ(f.annotations.unbalanced_hot_line, 0u);
+}
+
+TEST(Annotations, HotRegionSpansMarkedLines) {
+  const auto f = srccheck::check_file_from_text(
+      "t.cpp", "int a;\n// fastsched: hot\nint b;\n// fastsched: end-hot\n");
+  ASSERT_EQ(f.annotations.hot_regions.size(), 1u);
+  EXPECT_FALSE(f.annotations.in_hot_region(1));
+  EXPECT_TRUE(f.annotations.in_hot_region(3));
+  EXPECT_EQ(f.annotations.unbalanced_hot_line, 0u);
+}
+
+// --- D1 det-random-source -------------------------------------------------
+
+TEST(RuleRandomSource, FlagsEntropyClocksAndThreadIds) {
+  EXPECT_TRUE(has_rule(run_on("std::random_device rd;\n"),
+                       "det-random-source", 1));
+  EXPECT_TRUE(has_rule(run_on("void f() { int r = rand(); }\n"),
+                       "det-random-source", 1));
+  EXPECT_TRUE(has_rule(run_on("void f() { auto t = time(nullptr); }\n"),
+                       "det-random-source", 1));
+  EXPECT_TRUE(has_rule(
+      run_on("auto n = std::chrono::steady_clock::now();\n"),
+      "det-random-source", 1));
+  EXPECT_TRUE(has_rule(run_on("auto id = std::this_thread::get_id();\n"),
+                       "det-random-source", 1));
+}
+
+TEST(RuleRandomSource, MemberCallsAndTimerHppAreExempt) {
+  EXPECT_TRUE(run_on("void f(Clock c) { c.time(); }\n").clean());
+  EXPECT_TRUE(run_on("auto n = std::chrono::steady_clock::now();\n",
+                     "src/common/timer.hpp")
+                  .clean());
+}
+
+TEST(RuleRandomSource, SuppressedWithReason) {
+  const auto report = run_on(
+      "// NOLINT-fastsched(det-random-source): seeding the golden fixture\n"
+      "std::random_device rd;\n");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.num_suppressed, 1u);
+}
+
+// --- D2 det-unordered-iter ------------------------------------------------
+
+TEST(RuleUnorderedIter, FlagsRangeForOverUnorderedContainer) {
+  const auto report = run_on(
+      "#include <unordered_set>\n"
+      "void f(std::unordered_set<int> seen) {\n"
+      "  for (const int k : seen) { use(k); }\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(report, "det-unordered-iter", 3));
+}
+
+TEST(RuleUnorderedIter, InsertOnlyUseAndOrderedContainersAreClean) {
+  EXPECT_TRUE(run_on("void f(std::unordered_set<int> seen) {\n"
+                     "  seen.insert(3);\n"
+                     "}\n")
+                  .clean());
+  EXPECT_TRUE(run_on("void f(std::set<int> seen) {\n"
+                     "  for (const int k : seen) { use(k); }\n"
+                     "}\n")
+                  .clean());
+}
+
+TEST(RuleUnorderedIter, SuppressedWithReason) {
+  const auto report = run_on(
+      "void f(std::unordered_set<int> seen) {\n"
+      "  // NOLINT-fastsched(det-unordered-iter): max fold, order-free\n"
+      "  for (const int k : seen) { m = std::max(m, k); }\n"
+      "}\n");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.num_suppressed, 1u);
+}
+
+// --- D3 det-float-merge ---------------------------------------------------
+
+TEST(RuleFloatMerge, FlagsUnannotatedReductionInPoolUser) {
+  const auto report = run_on(
+      "#include \"common/thread_pool.hpp\"\n"
+      "void f() {\n"
+      "  double sum = 0.0;\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    sum += part[i];\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(report, "det-float-merge", 5));
+}
+
+TEST(RuleFloatMerge, DetOkAnnotationAndPoolFreeFilesAreClean) {
+  EXPECT_TRUE(run_on("#include \"common/thread_pool.hpp\"\n"
+                     "void f() {\n"
+                     "  double sum = 0.0;\n"
+                     "  for (int i = 0; i < n; ++i) {\n"
+                     "    // det-ok: fixed-order — submission-order merge\n"
+                     "    sum += part[i];\n"
+                     "  }\n"
+                     "}\n")
+                  .clean());
+  EXPECT_TRUE(run_on("void f() {\n"
+                     "  double sum = 0.0;\n"
+                     "  for (int i = 0; i < n; ++i) { sum += part[i]; }\n"
+                     "}\n")
+                  .clean());
+}
+
+// --- H1 hot-alloc / H2 hot-region-balance ---------------------------------
+
+TEST(RuleHotAlloc, FlagsAllocationInsideHotRegion) {
+  const auto report = run_on(
+      "void f() {\n"
+      "  // fastsched: hot\n"
+      "  auto* p = new int[8];\n"
+      "  buf.push_back(1);\n"
+      "  // fastsched: end-hot\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(report, "hot-alloc", 3));  // new
+  EXPECT_TRUE(has_rule(report, "hot-alloc", 4));  // unreserved push_back
+}
+
+TEST(RuleHotAlloc, ReservedContainersAndColdCodeAreClean) {
+  EXPECT_TRUE(run_on("void f() {\n"
+                     "  buf.reserve(64);\n"
+                     "  // fastsched: hot\n"
+                     "  buf.push_back(1);\n"
+                     "  // fastsched: end-hot\n"
+                     "}\n")
+                  .clean());
+  EXPECT_TRUE(run_on("void f() { auto* p = new int[8]; }\n").clean());
+}
+
+TEST(RuleHotAlloc, SuppressedWithReason) {
+  const auto report = run_on(
+      "void f() {\n"
+      "  // fastsched: hot\n"
+      "  // NOLINT-fastsched(hot-alloc): reserved by the caller\n"
+      "  buf.push_back(1);\n"
+      "  // fastsched: end-hot\n"
+      "}\n");
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.num_suppressed, 1u);
+}
+
+TEST(RuleHotBalance, FlagsDanglingMarker) {
+  const auto report = run_on("void f() {\n  // fastsched: hot\n}\n");
+  EXPECT_TRUE(has_rule(report, "hot-region-balance", 2));
+  EXPECT_TRUE(run_on("// fastsched: hot\nint x;\n// fastsched: end-hot\n")
+                  .clean());
+}
+
+// --- P1 probe-pairing -----------------------------------------------------
+
+TEST(RuleProbePairing, FlagsUnresolvedProbe) {
+  const auto report = run_on(
+      "void search(Eval& ev) {\n"
+      "  const Cost c = ev.evaluate_move(n, p);\n"
+      "  if (c < best) best = c;\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(report, "probe-pairing", 2));
+}
+
+TEST(RuleProbePairing, RevertCommitOrRescoreResolve) {
+  EXPECT_TRUE(run_on("void search(Eval& ev) {\n"
+                     "  const Cost c = ev.evaluate_move(n, p);\n"
+                     "  if (c < best) { ev.commit(); } else { ev.revert(); }\n"
+                     "}\n")
+                  .clean());
+  EXPECT_TRUE(run_on("void search(Eval& ev) {\n"
+                     "  ev.evaluate_move(n, p);\n"
+                     "  ev.rescore(assignment);\n"
+                     "}\n")
+                  .clean());
+}
+
+TEST(RuleProbePairing, LambdaAttributesToEnclosingFunction) {
+  // The probe sits in a lambda, the revert outside it: one function-level
+  // account, no finding.
+  EXPECT_TRUE(run_on("void search(Eval& ev) {\n"
+                     "  const auto probe = [&] { ev.evaluate_move(n, p); };\n"
+                     "  probe();\n"
+                     "  ev.revert();\n"
+                     "}\n")
+                  .clean());
+}
+
+// --- A1 bare-assert / A2 raw-runtime-error --------------------------------
+
+TEST(RuleBareAssert, FlagsBareAssertOnly) {
+  EXPECT_TRUE(has_rule(run_on("void f() { assert(x > 0); }\n"),
+                       "bare-assert", 1));
+  EXPECT_TRUE(run_on("void f() { FASTSCHED_ASSERT(x > 0); }\n").clean());
+}
+
+TEST(RuleRawRuntimeError, FlagsRawThrow) {
+  EXPECT_TRUE(has_rule(run_on("void f() { throw std::runtime_error(\"x\"); }\n"),
+                       "raw-runtime-error", 1));
+  EXPECT_TRUE(run_on("void f() { throw fastsched::Error(\"x\"); }\n").clean());
+}
+
+// --- S1 suppression-needs-reason ------------------------------------------
+
+TEST(RuleSuppressionReason, FlagsReasonlessWaiver) {
+  const auto report = run_on(
+      "// NOLINT-fastsched(det-random-source)\n"
+      "std::random_device rd;\n");
+  EXPECT_TRUE(has_rule(report, "suppression-needs-reason", 1));
+  // The reasonless waiver still suppresses — the gate is the S1 finding.
+  EXPECT_FALSE(has_rule(report, "det-random-source"));
+}
+
+// --- report ---------------------------------------------------------------
+
+TEST(Report, DiagnosticsAreSortedAndCounted) {
+  std::vector<srccheck::CheckedFile> files;
+  files.push_back(srccheck::check_file_from_text(
+      "b.cpp", "void f() { assert(x); }\nstd::random_device rd;\n"));
+  files.push_back(srccheck::check_file_from_text(
+      "a.cpp", "void g() { throw std::runtime_error(\"x\"); }\n"));
+  const auto report = srccheck::src_check(files);
+  ASSERT_EQ(report.diagnostics.size(), 3u);
+  EXPECT_EQ(report.diagnostics[0].file, "a.cpp");
+  EXPECT_EQ(report.diagnostics[1].file, "b.cpp");
+  EXPECT_LT(report.diagnostics[1].line, report.diagnostics[2].line);
+  EXPECT_EQ(report.num_errors, 2u);    // bare-assert, det-random-source
+  EXPECT_EQ(report.num_warnings, 1u);  // raw-runtime-error
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Report, JsonIsByteStableAcrossRuns) {
+  const auto once = run_on("std::random_device rd;\n");
+  const auto twice = run_on("std::random_device rd;\n");
+  std::ostringstream a;
+  std::ostringstream b;
+  srccheck::write_json(a, once);
+  srccheck::write_json(b, twice);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("\"tool\": \"fastsched_check\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"rule\": \"det-random-source\""),
+            std::string::npos);
+}
+
+// --- baseline -------------------------------------------------------------
+
+TEST(Baseline, RoundTripsThroughJson) {
+  srccheck::Baseline baseline;
+  baseline.entries.push_back({"bare-assert", "b.cpp", "assert(x);"});
+  baseline.entries.push_back(
+      {"det-random-source", "a.cpp", "std::random_device rd;"});
+  std::ostringstream os;
+  srccheck::write_baseline(os, baseline);
+  std::istringstream is(os.str());
+  const srccheck::Baseline back = srccheck::read_baseline(is);
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[0].file, "a.cpp");  // sorted on write
+  EXPECT_EQ(back.entries[0].rule, "det-random-source");
+  EXPECT_EQ(back.entries[1].context, "assert(x);");
+}
+
+TEST(Baseline, AcceptedFindingsDoNotGateAndStaleOnesAreCounted) {
+  std::vector<srccheck::CheckedFile> files;
+  files.push_back(
+      srccheck::check_file_from_text("a.cpp", "std::random_device rd;\n"));
+  auto report = srccheck::src_check(files);
+  ASSERT_EQ(report.num_errors, 1u);
+
+  srccheck::Baseline baseline = srccheck::baseline_from_report(report, files);
+  baseline.entries.push_back({"bare-assert", "gone.cpp", "assert(y);"});
+  srccheck::apply_baseline(report, baseline, files);
+  EXPECT_EQ(report.num_baselined, 1u);
+  EXPECT_EQ(report.num_errors, 0u);
+  EXPECT_EQ(report.num_stale_baseline, 1u);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(Baseline, ContextIsLineAnchoredNotLineNumbered) {
+  // The same offending source line moved two lines down still matches its
+  // baseline entry: the fingerprint is (rule, file, line text).
+  std::vector<srccheck::CheckedFile> before;
+  before.push_back(
+      srccheck::check_file_from_text("a.cpp", "std::random_device rd;\n"));
+  auto first = srccheck::src_check(before);
+  const srccheck::Baseline baseline =
+      srccheck::baseline_from_report(first, before);
+
+  std::vector<srccheck::CheckedFile> after;
+  after.push_back(srccheck::check_file_from_text(
+      "a.cpp", "int pad;\nint more;\nstd::random_device rd;\n"));
+  auto second = srccheck::src_check(after);
+  srccheck::apply_baseline(second, baseline, after);
+  EXPECT_EQ(second.num_baselined, 1u);
+  EXPECT_EQ(second.num_stale_baseline, 0u);
+  EXPECT_TRUE(second.ok());
+}
+
+// --- collect_sources ------------------------------------------------------
+
+TEST(CollectSources, SkipsBuildTreesAndHiddenDirs) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "fastsched_srccheck_collect";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "build_info");
+  fs::create_directories(root / "build");
+  fs::create_directories(root / "src" / ".cache");
+  const auto touch = [](const fs::path& p) {
+    std::ofstream(p) << "int x;\n";
+  };
+  touch(root / "src" / "a.cpp");
+  touch(root / "src" / "z.hpp");
+  touch(root / "src" / "notes.md");
+  touch(root / "build" / "gen.cpp");
+  touch(root / "src" / "build_info" / "skipped.cpp");
+  touch(root / "src" / ".cache" / "skipped.cpp");
+
+  const auto found = srccheck::collect_sources(root.string(), {"src"});
+  EXPECT_EQ(found,
+            (std::vector<std::string>{"src/a.cpp", "src/z.hpp"}));
+  fs::remove_all(root);
+}
+
+}  // namespace

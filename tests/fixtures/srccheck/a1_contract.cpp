@@ -1,0 +1,11 @@
+// Fixture: A1 bare-assert and A2 raw-runtime-error true positives.
+// Never compiled — lexed only.
+#include <cassert>
+#include <stdexcept>
+
+void check(int x) {
+  assert(x > 0);
+  if (x > 100) {
+    throw std::runtime_error("x out of range");
+  }
+}

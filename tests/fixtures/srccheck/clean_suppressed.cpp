@@ -1,0 +1,11 @@
+// Fixture: a justified suppression — counted as suppressed, reported
+// nowhere, and the file is otherwise clean. Never compiled — lexed only.
+#include <unordered_set>
+
+bool any_even(const std::unordered_set<int>& seen) {
+  // NOLINT-fastsched(det-unordered-iter): existence check, order-free
+  for (const int k : seen) {
+    if (k % 2 == 0) return true;
+  }
+  return false;
+}

@@ -1,0 +1,14 @@
+// Fixture: D1 det-random-source true positives (entropy, libc clock,
+// std::chrono wall clock, thread id). Never compiled — lexed only.
+#include <chrono>
+#include <random>
+
+unsigned seed_from_host() {
+  std::random_device rd;
+  return rd() + static_cast<unsigned>(time(nullptr));
+}
+
+double wall_now() {
+  const auto t = std::chrono::system_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}

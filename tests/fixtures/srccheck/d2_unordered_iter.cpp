@@ -1,0 +1,11 @@
+// Fixture: D2 det-unordered-iter true positive — range-for over an
+// unordered container. Never compiled — lexed only.
+#include <unordered_map>
+
+int sum_values(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& kv : counts) {
+    total += kv.second;
+  }
+  return total;
+}

@@ -1,0 +1,11 @@
+// Fixture: D3 det-float-merge true positive — unannotated float
+// reduction in a thread-pool-using file. Never compiled — lexed only.
+#include "common/thread_pool.hpp"
+
+double merge(const double* part, int workers) {
+  double sum = 0.0;
+  for (int w = 0; w < workers; ++w) {
+    sum += part[w];
+  }
+  return sum;
+}

@@ -1,0 +1,11 @@
+// Fixture: H1 hot-alloc true positives — operator new and unreserved
+// push_back inside a hot region. Never compiled — lexed only.
+#include <vector>
+
+void probe_loop(std::vector<int>& touched) {
+  // fastsched: hot
+  auto* scratch = new int[64];
+  touched.push_back(1);
+  // fastsched: end-hot
+  delete[] scratch;
+}

@@ -1,0 +1,7 @@
+// Fixture: H2 hot-region-balance true positive — a hot marker that is
+// never closed. Never compiled — lexed only.
+
+void inner() {
+  // fastsched: hot
+  int x = 0;
+}

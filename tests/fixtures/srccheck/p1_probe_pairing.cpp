@@ -1,0 +1,7 @@
+// Fixture: P1 probe-pairing true positive — an evaluate_move probe that
+// is neither committed nor reverted. Never compiled — lexed only.
+
+double peek_move(Evaluator& ev, int n, int p) {
+  const double candidate = ev.evaluate_move(n, p);
+  return candidate;
+}

@@ -1,0 +1,9 @@
+// Fixture: S1 suppression-needs-reason true positive — a waiver with no
+// recorded justification. Never compiled — lexed only.
+#include <random>
+
+unsigned reasonless() {
+  // NOLINT-fastsched(det-random-source)
+  std::random_device rd;
+  return rd();
+}

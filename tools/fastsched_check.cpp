@@ -1,0 +1,118 @@
+// fastsched_check: the project's own static analyzer. Lexes the checked
+// C++ sources (src/, tools/, bench/ by default) and runs the
+// project-invariant rule registry (src/analysis/srccheck/): determinism
+// sources, unordered-container iteration, unannotated float merges,
+// hot-region allocation, probe pairing, and the assertion/error contract.
+// Findings accepted by --baseline do not fail the run, so CI gates only
+// *new* findings. Exit status: 0 when no (non-baselined) errors were
+// found (warnings allowed unless --warnings-as-errors), 1 on errors,
+// 2 on usage or I/O problems — the same contract as sched_lint
+// (see tools/README.md).
+
+#include <fstream>
+#include <iostream>
+
+#include "analysis/srccheck/baseline.hpp"
+#include "analysis/srccheck/srccheck.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+using namespace fastsched;
+namespace srccheck = analysis::srccheck;
+
+int run(int argc, char** argv) {
+  CliParser cli(
+      "fastsched_check: static analysis of the fastsched sources for "
+      "determinism and hot-path invariants (rules: fastsched_check "
+      "--list-rules; taxonomy in tools/README.md).\n"
+      "usage: fastsched_check [options] [paths...]\n"
+      "Paths (default: src tools bench) are files or directories resolved "
+      "relative to --root; build trees and hidden directories are never "
+      "scanned.");
+  cli.add_option("root", ".", "directory paths are resolved against and "
+                 "reported relative to");
+  cli.add_option("baseline", "", "accepted-findings file; matched findings "
+                 "do not fail the run");
+  cli.add_option("write-baseline", "", "write the current findings as a "
+                 "baseline file and exit 0");
+  cli.add_flag("json", "emit the report as JSON instead of text");
+  cli.add_flag("warnings-as-errors", "exit nonzero on warnings too");
+  cli.add_flag("quiet", "suppress output; use the exit status only");
+  cli.add_flag("list-rules", "print every registered rule and exit");
+  if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.get_flag("list-rules")) {
+    for (const srccheck::SrcRule& rule :
+         srccheck::SrcRuleRegistry::builtin().rules()) {
+      std::cout << rule.id << " (" << analysis::to_string(rule.severity)
+                << "): " << rule.summary << '\n';
+    }
+    return 0;
+  }
+
+  std::vector<std::string> paths = cli.positional();
+  if (paths.empty()) paths = {"src", "tools", "bench"};
+
+  const std::vector<srccheck::CheckedFile> files =
+      srccheck::load_sources(cli.get("root"), paths);
+  srccheck::SrcCheckReport report = srccheck::src_check(files);
+
+  if (!cli.get("write-baseline").empty()) {
+    const std::string path = cli.get("write-baseline");
+    std::ofstream out(path);
+    FASTSCHED_REQUIRE(out.good(), "cannot write " + path);
+    srccheck::write_baseline(out,
+                             srccheck::baseline_from_report(report, files));
+    if (!cli.get_flag("quiet")) {
+      std::cout << "fastsched_check: wrote " << report.diagnostics.size()
+                << " finding(s) to " << path << '\n';
+    }
+    return 0;
+  }
+
+  if (!cli.get("baseline").empty()) {
+    const std::string path = cli.get("baseline");
+    std::ifstream in(path);
+    FASTSCHED_REQUIRE(in.good(), "cannot open baseline " + path);
+    const srccheck::Baseline baseline = srccheck::read_baseline(in);
+    srccheck::apply_baseline(report, baseline, files);
+  }
+
+  if (!cli.get_flag("quiet")) {
+    if (cli.get_flag("json")) {
+      srccheck::write_json(std::cout, report);
+    } else {
+      for (const analysis::Diagnostic& d : report.diagnostics) {
+        std::cout << analysis::format(d) << '\n';
+      }
+      std::cout << report.num_files << " files: " << report.num_errors
+                << " errors, " << report.num_warnings << " warnings";
+      if (report.num_suppressed > 0) {
+        std::cout << ", " << report.num_suppressed << " suppressed";
+      }
+      if (report.num_baselined > 0) {
+        std::cout << ", " << report.num_baselined << " baselined";
+      }
+      if (report.num_stale_baseline > 0) {
+        std::cout << ", " << report.num_stale_baseline
+                  << " stale baseline entr"
+                  << (report.num_stale_baseline == 1 ? "y" : "ies");
+      }
+      std::cout << '\n';
+    }
+  }
+  return report.ok(cli.get_flag("warnings-as-errors")) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "fastsched_check: " << e.what() << '\n';
+    return 2;
+  }
+}
