@@ -1,0 +1,869 @@
+#include "analysis/srccheck/semantic.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string_view>
+
+#include "analysis/srccheck/srccheck.hpp"
+
+namespace fastsched::analysis::srccheck {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool ident_in(const Token& t, std::initializer_list<std::string_view> set) {
+  if (t.kind != TokenKind::kIdentifier) return false;
+  for (const std::string_view s : set) {
+    if (t.text == s) return true;
+  }
+  return false;
+}
+
+/// Identifiers that look like calls or definitions (`name(`) but are
+/// neither: control flow, operators-with-parens, builtin type
+/// conversions. Keeps the call graph free of `if(...)` "callees".
+bool is_non_call_name(const Token& t) {
+  return ident_in(
+      t, {"if",       "for",      "while",    "switch",   "catch",
+          "return",   "sizeof",   "alignof",  "alignas",  "decltype",
+          "noexcept", "constexpr", "requires", "typeid",  "new",
+          "delete",   "throw",    "case",     "defined",  "static_assert",
+          "operator", "void",     "int",      "double",   "float",
+          "char",     "bool",     "long",     "short",    "unsigned",
+          "signed",   "auto"});
+}
+
+bool is_unordered_type(const Token& t) {
+  return ident_in(t, {"unordered_map", "unordered_set", "unordered_multimap",
+                      "unordered_multiset"});
+}
+
+/// Balanced-bracket match table over the non-preprocessor tokens:
+/// `match[i]` is the partner index of an open/close `(`/`[`/`{` token, or
+/// kNoMatch. Preprocessor tokens never participate (directive bodies can
+/// legally be unbalanced). Returns false when anything fails to match.
+bool match_brackets(const Tokens& t, std::vector<std::size_t>& match) {
+  match.assign(t.size(), kNoMatch);
+  std::vector<std::size_t> stack;
+  bool balanced = true;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].preprocessor || t[i].kind != TokenKind::kPunct) continue;
+    const char c = t[i].text.size() == 1 ? t[i].text[0] : '\0';
+    if (c == '(' || c == '[' || c == '{') {
+      stack.push_back(i);
+    } else if (c == ')' || c == ']' || c == '}') {
+      const char want = c == ')' ? '(' : c == ']' ? '[' : '{';
+      if (stack.empty() || t[stack.back()].text[0] != want) {
+        balanced = false;
+        continue;
+      }
+      match[i] = stack.back();
+      match[stack.back()] = i;
+      stack.pop_back();
+    }
+  }
+  if (!stack.empty()) balanced = false;
+  return balanced;
+}
+
+/// Splits the token range (begin, end) at top-level commas, jumping over
+/// balanced groups. Angle brackets are tracked heuristically: `<` opens
+/// only after an identifier or `>` (a template argument list), so
+/// comparisons mostly stay neutral. Returns [first, last) index pairs.
+std::vector<std::pair<std::size_t, std::size_t>> split_commas(
+    const Tokens& t, const std::vector<std::size_t>& match, std::size_t begin,
+    std::size_t end) {
+  std::vector<std::pair<std::size_t, std::size_t>> pieces;
+  if (begin >= end) return pieces;
+  std::size_t piece = begin;
+  std::size_t angle = 0;
+  for (std::size_t j = begin; j < end; ++j) {
+    const Token& tok = t[j];
+    if (tok.kind == TokenKind::kPunct && tok.text.size() == 1) {
+      const char c = tok.text[0];
+      if (c == '(' || c == '[' || c == '{') {
+        if (match[j] == kNoMatch || match[j] >= end) break;
+        j = match[j];
+        continue;
+      }
+      if (c == '<' && j > begin &&
+          (t[j - 1].kind == TokenKind::kIdentifier || is_punct(t[j - 1], ">"))) {
+        ++angle;
+        continue;
+      }
+      if (c == '>' && angle > 0) {
+        --angle;
+        continue;
+      }
+      if (c == ',' && angle == 0) {
+        pieces.emplace_back(piece, j);
+        piece = j + 1;
+      }
+    }
+  }
+  pieces.emplace_back(piece, end);
+  return pieces;
+}
+
+/// True when the range holds a literal `...` (three '.' tokens in a row).
+bool has_ellipsis(const Tokens& t, std::size_t begin, std::size_t end) {
+  for (std::size_t j = begin; j + 2 < end; ++j) {
+    if (is_punct(t[j], ".") && is_punct(t[j + 1], ".") &&
+        is_punct(t[j + 2], ".")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Declared name of one parameter piece: the last identifier before a
+/// top-level `=`, provided the piece holds at least two identifiers (a
+/// lone identifier is an unnamed parameter's type). "" when unnamed.
+std::string param_name(const Tokens& t, const std::vector<std::size_t>& match,
+                       std::size_t begin, std::size_t end) {
+  std::size_t count = 0;
+  std::size_t last = kNoMatch;
+  std::size_t angle = 0;
+  for (std::size_t j = begin; j < end; ++j) {
+    const Token& tok = t[j];
+    if (tok.kind == TokenKind::kPunct && tok.text.size() == 1) {
+      const char c = tok.text[0];
+      if (c == '(' || c == '[' || c == '{') {
+        if (match[j] == kNoMatch || match[j] >= end) break;
+        j = match[j];
+        continue;
+      }
+      if (c == '<' && j > begin &&
+          (t[j - 1].kind == TokenKind::kIdentifier || is_punct(t[j - 1], ">"))) {
+        ++angle;
+        continue;
+      }
+      if (c == '>' && angle > 0) {
+        --angle;
+        continue;
+      }
+      if (c == '=' && angle == 0) break;
+    }
+    if (angle == 0 && tok.kind == TokenKind::kIdentifier) {
+      ++count;
+      last = j;
+    }
+  }
+  if (count < 2 || last == kNoMatch) return "";
+  return t[last].text;
+}
+
+/// Parses the parameter list in (open, close) into `def`.
+void parse_params(const Tokens& t, const std::vector<std::size_t>& match,
+                  std::size_t open, std::size_t close, FunctionDef& def) {
+  const auto pieces = split_commas(t, match, open + 1, close);
+  if (pieces.size() == 1 && pieces[0].first >= pieces[0].second) {
+    def.min_arity = def.max_arity = 0;
+    return;
+  }
+  // `(void)` declares zero parameters.
+  if (pieces.size() == 1 && pieces[0].second == pieces[0].first + 1 &&
+      is_ident(t[pieces[0].first], "void")) {
+    def.min_arity = def.max_arity = 0;
+    return;
+  }
+  bool variadic = false;
+  std::uint32_t min_arity = 0;
+  bool saw_default = false;
+  for (const auto& [pb, pe] : pieces) {
+    if (has_ellipsis(t, pb, pe)) variadic = true;
+    bool has_default = false;
+    std::size_t angle = 0;
+    for (std::size_t j = pb; j < pe; ++j) {
+      if (t[j].kind != TokenKind::kPunct || t[j].text.size() != 1) continue;
+      const char c = t[j].text[0];
+      if (c == '(' || c == '[' || c == '{') {
+        if (match[j] == kNoMatch || match[j] >= pe) break;
+        j = match[j];
+        continue;
+      }
+      if (c == '<' && j > pb &&
+          (t[j - 1].kind == TokenKind::kIdentifier || is_punct(t[j - 1], ">"))) {
+        ++angle;
+      } else if (c == '>' && angle > 0) {
+        --angle;
+      } else if (c == '=' && angle == 0) {
+        has_default = true;
+        break;
+      }
+    }
+    if (has_default) saw_default = true;
+    if (!saw_default) ++min_arity;
+    def.params.push_back(param_name(t, match, pb, pe));
+    bool unordered = false;
+    for (std::size_t j = pb; j < pe; ++j) {
+      if (is_unordered_type(t[j])) {
+        unordered = true;
+        break;
+      }
+    }
+    def.param_unordered.push_back(unordered);
+  }
+  def.min_arity = min_arity;
+  def.max_arity = variadic ? kVariadicArity
+                           : static_cast<std::uint32_t>(def.params.size());
+}
+
+/// Starting just past a candidate parameter list's ')', finds the token
+/// index of the definition's body '{', or kNoMatch when the tokens do
+/// not form a definition. Handles cv/ref/noexcept qualifiers, trailing
+/// return types, and constructor member-initializer lists; anything else
+/// (most importantly `;` — a declaration) rejects.
+std::size_t find_body(const Tokens& t, const std::vector<std::size_t>& match,
+                      std::size_t after_close, std::uint32_t& unsupported) {
+  const std::size_t n = t.size();
+  bool saw_arrow = false;
+  std::size_t j = after_close;
+  for (int steps = 0; j < n && steps < 128; ++steps) {
+    const Token& tok = t[j];
+    if (tok.preprocessor) return kNoMatch;
+    if (is_punct(tok, "{")) return j;
+    if (is_punct(tok, ":")) {
+      // Constructor member-initializer list: `name(args)` or
+      // `name{args}` entries separated by commas, then the body.
+      std::size_t j2 = j + 1;
+      for (int entries = 0; j2 < n && entries < 64; ++entries) {
+        bool any = false;
+        while (j2 < n && (t[j2].kind == TokenKind::kIdentifier ||
+                          is_punct(t[j2], "::") || is_punct(t[j2], "<") ||
+                          is_punct(t[j2], ">"))) {
+          ++j2;
+          any = true;
+        }
+        if (!any || j2 >= n ||
+            !(is_punct(t[j2], "(") || is_punct(t[j2], "{")) ||
+            match[j2] == kNoMatch) {
+          ++unsupported;  // looked like an init list; refuse to guess
+          return kNoMatch;
+        }
+        j2 = match[j2] + 1;
+        if (j2 < n && is_punct(t[j2], ",")) {
+          ++j2;
+          continue;
+        }
+        if (j2 < n && is_punct(t[j2], "{")) return j2;
+        return kNoMatch;
+      }
+      return kNoMatch;
+    }
+    if (is_punct(tok, "->")) {
+      saw_arrow = true;
+      ++j;
+      continue;
+    }
+    if (tok.kind == TokenKind::kIdentifier) {
+      if (ident_in(tok, {"const", "noexcept", "override", "final", "mutable",
+                         "try", "requires"}) ||
+          saw_arrow) {
+        ++j;
+        continue;
+      }
+      return kNoMatch;
+    }
+    if (is_punct(tok, "(")) {
+      // noexcept(...) / requires(...) clause, or parens in a trailing
+      // return type.
+      const bool clause =
+          j > 0 && ident_in(t[j - 1], {"noexcept", "requires"});
+      if ((clause || saw_arrow) && match[j] != kNoMatch) {
+        j = match[j] + 1;
+        continue;
+      }
+      return kNoMatch;
+    }
+    if (saw_arrow &&
+        (is_punct(tok, "::") || is_punct(tok, "<") || is_punct(tok, ">") ||
+         is_punct(tok, "&") || is_punct(tok, "*") || is_punct(tok, ","))) {
+      ++j;
+      continue;
+    }
+    if (is_punct(tok, "&")) {  // ref-qualified member function
+      ++j;
+      continue;
+    }
+    return kNoMatch;
+  }
+  return kNoMatch;
+}
+
+/// Quoted #include targets, read from the raw lines because string
+/// literal contents are stripped from the token stream.
+std::vector<std::string> parse_includes(const SourceFile& file) {
+  std::vector<std::string> out;
+  for (const std::string& raw : file.lines) {
+    std::string_view line = raw;
+    std::size_t b = 0;
+    while (b < line.size() &&
+           (line[b] == ' ' || line[b] == '\t')) {
+      ++b;
+    }
+    line = line.substr(b);
+    if (line.empty() || line[0] != '#') continue;
+    line = line.substr(1);
+    b = 0;
+    while (b < line.size() && (line[b] == ' ' || line[b] == '\t')) ++b;
+    line = line.substr(b);
+    if (line.rfind("include", 0) != 0) continue;
+    const std::size_t open = line.find('"');
+    if (open == std::string_view::npos) continue;
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string_view::npos) continue;
+    out.emplace_back(line.substr(open + 1, close - open - 1));
+  }
+  return out;
+}
+
+/// Names declared as unordered containers: `unordered_xxx< ... > name`
+/// (the same harvest rule D2 uses, kept in sync so T2 can exclude
+/// findings D2 already reports).
+std::vector<std::string> harvest_unordered(const Tokens& t) {
+  std::vector<std::string> vars;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].preprocessor || !is_unordered_type(t[i])) continue;
+    if (i + 1 >= t.size() || !is_punct(t[i + 1], "<")) continue;
+    std::size_t depth = 1;
+    std::size_t j = i + 2;
+    while (j < t.size() && depth > 0) {
+      if (is_punct(t[j], "<")) ++depth;
+      if (is_punct(t[j], ">")) --depth;
+      ++j;
+    }
+    while (j < t.size() && (is_punct(t[j], "&") || is_punct(t[j], "*"))) ++j;
+    if (j < t.size() && t[j].kind == TokenKind::kIdentifier) {
+      vars.push_back(t[j].text);
+    }
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+/// Index of the innermost function whose body contains token `i`.
+std::uint32_t enclosing_function(const std::vector<FunctionDef>& functions,
+                                 std::size_t i) {
+  std::uint32_t best = kNoFunction;
+  for (std::size_t k = 0; k < functions.size(); ++k) {
+    const FunctionDef& f = functions[k];
+    if (f.body_begin < i && i < f.body_end &&
+        (best == kNoFunction ||
+         f.body_begin > functions[best].body_begin)) {
+      best = static_cast<std::uint32_t>(k);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+FileSemantics parse_semantics(const SourceFile& file) {
+  FileSemantics sem;
+  const Tokens& t = file.tokens;
+  std::vector<std::size_t> match;
+  sem.balanced = match_brackets(t, match);
+  sem.includes = parse_includes(file);
+  sem.unordered_vars = harvest_unordered(t);
+
+  // --- function definitions: `name ( params ) [qualifiers] {` ---------
+  std::vector<char> is_def_name(t.size(), 0);
+  std::size_t header_end = 0;  // one past the last accepted def header
+  for (std::size_t r = 0; r < t.size(); ++r) {
+    if (!is_punct(t[r], ")") || t[r].preprocessor || match[r] == kNoMatch) {
+      continue;
+    }
+    // Member-initializer entries (`: x(v), y(w)`) and trailing-return
+    // tokens live between an accepted def's ')' and its body '{'; their
+    // close parens must not spawn spurious definitions.
+    if (r < header_end) continue;
+    const std::size_t o = match[r];
+    if (o == 0) continue;
+    const std::size_t k = o - 1;
+    if (t[k].kind != TokenKind::kIdentifier || t[k].preprocessor ||
+        is_non_call_name(t[k])) {
+      continue;
+    }
+    const std::size_t body = find_body(t, match, r + 1, sem.unsupported);
+    if (body == kNoMatch || match[body] == kNoMatch) continue;
+    FunctionDef def;
+    def.name = t[k].text;
+    def.line = t[k].line;
+    std::size_t q = k;
+    if (k > 0 && is_punct(t[k - 1], "~")) {
+      def.name = "~" + def.name;
+      q = k - 1;
+    }
+    if (q >= 2 && is_punct(t[q - 1], "::") &&
+        t[q - 2].kind == TokenKind::kIdentifier) {
+      def.qualifier = t[q - 2].text;
+    }
+    parse_params(t, match, o, r, def);
+    def.body_begin = body;
+    def.body_end = match[body] + 1;
+    is_def_name[k] = 1;
+    header_end = body;
+    sem.functions.push_back(std::move(def));
+  }
+  std::sort(sem.functions.begin(), sem.functions.end(),
+            [](const FunctionDef& a, const FunctionDef& b) {
+              return a.body_begin < b.body_begin;
+            });
+
+  // --- lambdas: `[captures] (params)? qualifiers? {` ------------------
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_punct(t[i], "[") || t[i].preprocessor || match[i] == kNoMatch) {
+      continue;
+    }
+    if (i > 0) {
+      const Token& prev = t[i - 1];
+      // Subscripts follow a value; a lambda introducer cannot.
+      if (prev.kind == TokenKind::kIdentifier ||
+          prev.kind == TokenKind::kNumber || prev.kind == TokenKind::kString ||
+          is_punct(prev, ")") || is_punct(prev, "]")) {
+        continue;
+      }
+    }
+    const std::size_t m = match[i];
+    LambdaDef lam;
+    lam.intro = i;
+    lam.line = t[i].line;
+    std::size_t j = m + 1;
+    std::size_t params_open = kNoMatch;
+    if (j < t.size() && is_punct(t[j], "(") && match[j] != kNoMatch) {
+      params_open = j;
+      j = match[j] + 1;
+    }
+    bool ok = true;
+    for (int steps = 0; j < t.size() && steps < 64; ++steps) {
+      if (is_punct(t[j], "{")) break;
+      if (ident_in(t[j], {"mutable", "constexpr", "noexcept", "static"})) {
+        ++j;
+        continue;
+      }
+      if (is_punct(t[j], "(") && j > 0 && is_ident(t[j - 1], "noexcept") &&
+          match[j] != kNoMatch) {
+        j = match[j] + 1;
+        continue;
+      }
+      if (is_punct(t[j], "->") || is_punct(t[j], "::") ||
+          is_punct(t[j], "<") || is_punct(t[j], ">") || is_punct(t[j], "&") ||
+          is_punct(t[j], "*") || t[j].kind == TokenKind::kIdentifier) {
+        ++j;
+        continue;
+      }
+      ok = false;
+      break;
+    }
+    if (!ok || j >= t.size() || !is_punct(t[j], "{") || match[j] == kNoMatch) {
+      continue;
+    }
+    lam.body_begin = j;
+    lam.body_end = match[j] + 1;
+    for (const auto& [cb, ce] : split_commas(t, match, i + 1, m)) {
+      if (cb >= ce) continue;
+      const Token& first = t[cb];
+      if (ce == cb + 1 && is_punct(first, "&")) {
+        lam.ref_default = true;
+      } else if (ce == cb + 1 && is_punct(first, "=")) {
+        lam.value_default = true;
+      } else if (is_punct(first, "&") && cb + 1 < ce &&
+                 t[cb + 1].kind == TokenKind::kIdentifier) {
+        lam.ref_captures.push_back(t[cb + 1].text);
+      } else if (is_ident(first, "this") ||
+                 (is_punct(first, "*") && cb + 1 < ce &&
+                  is_ident(t[cb + 1], "this"))) {
+        // `this` captures: member mutation is outside this model's scope.
+      } else if (first.kind == TokenKind::kIdentifier) {
+        lam.value_captures.push_back(first.text);
+      } else {
+        ++sem.unsupported;  // exotic capture (pack expansion, subscript init)
+      }
+    }
+    if (params_open != kNoMatch) {
+      for (const auto& [pb, pe] :
+           split_commas(t, match, params_open + 1, match[params_open])) {
+        if (pb >= pe) continue;
+        lam.params.push_back(param_name(t, match, pb, pe));
+      }
+    }
+    lam.caller = enclosing_function(sem.functions, i);
+    sem.lambdas.push_back(std::move(lam));
+  }
+
+  // --- call sites: `name ( args )`, definitions excluded --------------
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier || t[i].preprocessor ||
+        is_def_name[i] != 0 || is_non_call_name(t[i])) {
+      continue;
+    }
+    if (!is_punct(t[i + 1], "(") || match[i + 1] == kNoMatch) continue;
+    CallSite call;
+    call.name = t[i].text;
+    call.line = t[i].line;
+    call.token = i;
+    if (i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"))) {
+      call.member = true;
+    } else if (i >= 2 && is_punct(t[i - 1], "::") &&
+               t[i - 2].kind == TokenKind::kIdentifier) {
+      call.qualifier = t[i - 2].text;
+    }
+    const std::size_t close = match[i + 1];
+    call.end = close + 1;
+    const auto pieces = split_commas(t, match, i + 2, close);
+    if (!(pieces.size() == 1 && pieces[0].first >= pieces[0].second)) {
+      for (const auto& [ab, ae] : pieces) {
+        call.args.push_back(ae == ab + 1 &&
+                                    t[ab].kind == TokenKind::kIdentifier
+                                ? t[ab].text
+                                : std::string());
+      }
+    }
+    call.arity = static_cast<std::uint32_t>(call.args.size());
+    call.caller = enclosing_function(sem.functions, i);
+    sem.calls.push_back(std::move(call));
+  }
+  return sem;
+}
+
+namespace {
+
+/// `path` minus its extension (after the last '/'): the key that pairs
+/// `x.cpp` with `x.hpp` for cross-TU call resolution.
+std::string stem_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path;
+  }
+  return path.substr(0, dot);
+}
+
+/// Does include string `inc` name file `path`? Matched by exact path or
+/// path suffix at a '/' boundary, so `analysis/srccheck/srccheck.hpp`
+/// finds `src/analysis/srccheck/srccheck.hpp`.
+bool include_names(const std::string& inc, const std::string& path) {
+  if (path == inc) return true;
+  if (path.size() <= inc.size()) return false;
+  return path.compare(path.size() - inc.size(), inc.size(), inc) == 0 &&
+         path[path.size() - inc.size() - 1] == '/';
+}
+
+std::string location(const std::string& path, std::uint32_t line) {
+  return path + ":" + std::to_string(line);
+}
+
+/// Provenance chain: `step <- prior`, abbreviated to keep the first hop
+/// and the root cause once chains get long.
+std::string chain(const std::string& step, const std::string& prior) {
+  std::string full = step + " <- " + prior;
+  if (full.size() <= 200) return full;
+  const std::size_t last = prior.rfind(" <- ");
+  const std::string root =
+      last == std::string::npos ? prior : prior.substr(last + 4);
+  return step + " <- ... <- " + root;
+}
+
+}  // namespace
+
+SemanticModel build_semantic_model(const std::vector<CheckedFile>& files,
+                                   const SemanticOptions& options) {
+  SemanticModel m;
+  const std::size_t n = files.size();
+  m.fn_base.assign(n + 1, 0);
+  m.call_base.assign(n + 1, 0);
+  for (std::size_t f = 0; f < n; ++f) {
+    m.fn_base[f + 1] =
+        m.fn_base[f] +
+        static_cast<std::uint32_t>(files[f].semantics.functions.size());
+    m.call_base[f + 1] =
+        m.call_base[f] +
+        static_cast<std::uint32_t>(files[f].semantics.calls.size());
+  }
+  const std::uint32_t num_fns = m.fn_base[n];
+  const std::uint32_t num_calls = m.call_base[n];
+  m.hot_reason.assign(num_fns, "");
+  m.task_reason.assign(num_fns, "");
+  m.param_unordered.resize(num_fns);
+  m.callees.resize(num_calls);
+  m.task_lambdas.resize(n);
+
+  const auto fn_of = [&](std::uint32_t flat) -> const FunctionDef& {
+    const std::size_t f =
+        static_cast<std::size_t>(
+            std::upper_bound(m.fn_base.begin(), m.fn_base.end(), flat) -
+            m.fn_base.begin()) -
+        1;
+    return files[f].semantics.functions[flat - m.fn_base[f]];
+  };
+  const auto file_of_fn = [&](std::uint32_t flat) -> std::size_t {
+    return static_cast<std::size_t>(
+               std::upper_bound(m.fn_base.begin(), m.fn_base.end(), flat) -
+               m.fn_base.begin()) -
+           1;
+  };
+
+  for (std::uint32_t fid = 0; fid < num_fns; ++fid) {
+    const FunctionDef& def = fn_of(fid);
+    m.param_unordered[fid].assign(def.param_unordered.begin(),
+                                  def.param_unordered.end());
+  }
+
+  // Name index (std::map: deterministic iteration everywhere).
+  std::map<std::string, std::vector<std::uint32_t>> by_name;
+  for (std::uint32_t fid = 0; fid < num_fns; ++fid) {
+    by_name[fn_of(fid).name].push_back(fid);
+  }
+
+  // Include closure, then stem-companion expansion: a call in a.cpp can
+  // reach functions defined in b.cpp when a's closure contains b.hpp
+  // (the declaration travels through the header; the companion source
+  // holds the definition). This over-approximates — a TU-local helper
+  // in b.cpp becomes "visible" — which is the conservative direction
+  // for reachability inference.
+  std::vector<std::vector<std::uint32_t>> include_edges(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const std::string& inc : files[f].semantics.includes) {
+      for (std::size_t g = 0; g < n; ++g) {
+        if (g != f && include_names(inc, files[g].source.path)) {
+          include_edges[f].push_back(static_cast<std::uint32_t>(g));
+        }
+      }
+    }
+  }
+  std::map<std::string, std::vector<std::uint32_t>> by_stem;
+  for (std::size_t f = 0; f < n; ++f) {
+    by_stem[stem_of(files[f].source.path)].push_back(
+        static_cast<std::uint32_t>(f));
+  }
+  std::vector<std::vector<bool>> visible(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    std::vector<bool>& vis = visible[f];
+    vis.assign(n, false);
+    std::vector<std::uint32_t> queue{static_cast<std::uint32_t>(f)};
+    vis[f] = true;
+    while (!queue.empty()) {
+      const std::uint32_t g = queue.back();
+      queue.pop_back();
+      for (const std::uint32_t h : include_edges[g]) {
+        if (!vis[h]) {
+          vis[h] = true;
+          queue.push_back(h);
+        }
+      }
+    }
+    for (std::size_t g = 0; g < n; ++g) {
+      if (!vis[g]) continue;
+      for (const std::uint32_t h : by_stem[stem_of(files[g].source.path)]) {
+        vis[h] = true;
+      }
+    }
+  }
+
+  // Call resolution: name + arity window + visibility. `std::` calls
+  // are external by definition; anything with no candidate stays an
+  // unknown callee and propagates nothing.
+  for (std::size_t f = 0; f < n; ++f) {
+    const FileSemantics& sem = files[f].semantics;
+    for (std::size_t c = 0; c < sem.calls.size(); ++c) {
+      const CallSite& call = sem.calls[c];
+      if (call.qualifier == "std") continue;
+      const auto it = by_name.find(call.name);
+      if (it == by_name.end()) continue;
+      std::vector<std::uint32_t>& out = m.callees[m.call_base[f] + c];
+      for (const std::uint32_t fid : it->second) {
+        const FunctionDef& def = fn_of(fid);
+        if (call.arity < def.min_arity) continue;
+        if (def.max_arity != kVariadicArity && call.arity > def.max_arity) {
+          continue;
+        }
+        if (!visible[f][file_of_fn(fid)]) continue;
+        out.push_back(fid);
+      }
+    }
+  }
+
+  // Outgoing resolved calls per function.
+  std::vector<std::vector<std::uint32_t>> out_calls(num_fns);
+  for (std::size_t f = 0; f < n; ++f) {
+    const FileSemantics& sem = files[f].semantics;
+    for (std::size_t c = 0; c < sem.calls.size(); ++c) {
+      if (sem.calls[c].caller != kNoFunction) {
+        out_calls[m.fn_base[f] + sem.calls[c].caller].push_back(
+            m.call_base[f] + static_cast<std::uint32_t>(c));
+      }
+    }
+  }
+  const auto call_at = [&](std::uint32_t cid)
+      -> std::pair<std::size_t, const CallSite*> {
+    const std::size_t f =
+        static_cast<std::size_t>(
+            std::upper_bound(m.call_base.begin(), m.call_base.end(), cid) -
+            m.call_base.begin()) -
+        1;
+    return {f, &files[f].semantics.calls[cid - m.call_base[f]]};
+  };
+
+  // --- hot-path inference: BFS from annotated regions + entry points --
+  std::vector<std::uint32_t> queue;
+  const auto mark = [&](std::vector<std::string>& reason, std::uint32_t fid,
+                        std::string why) {
+    if (!reason[fid].empty()) return;
+    reason[fid] = std::move(why);
+    queue.push_back(fid);
+  };
+  for (const std::string& entry : options.hot_entries) {
+    const std::size_t sep = entry.find("::");
+    const std::string qual =
+        sep == std::string::npos ? "" : entry.substr(0, sep);
+    const std::string name =
+        sep == std::string::npos ? entry : entry.substr(sep + 2);
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) continue;
+    for (const std::uint32_t fid : it->second) {
+      if (qual.empty() || fn_of(fid).qualifier == qual) {
+        mark(m.hot_reason, fid, "hot entry point '" + entry + "'");
+      }
+    }
+  }
+  for (std::size_t f = 0; f < n; ++f) {
+    const FileSemantics& sem = files[f].semantics;
+    for (std::size_t c = 0; c < sem.calls.size(); ++c) {
+      const CallSite& call = sem.calls[c];
+      if (!files[f].annotations.in_hot_region(call.line)) continue;
+      for (const std::uint32_t callee : m.callees[m.call_base[f] + c]) {
+        mark(m.hot_reason, callee,
+             "called from hot region (" +
+                 location(files[f].source.path, call.line) + ")");
+      }
+    }
+  }
+  const auto propagate = [&](std::vector<std::string>& reason) {
+    // FIFO: the first (shortest) provenance chain wins deterministically.
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::uint32_t fid = queue[head];
+      for (const std::uint32_t cid : out_calls[fid]) {
+        const auto [cf, call] = call_at(cid);
+        const std::string step =
+            "called from '" + fn_of(fid).name + "' (" +
+            location(files[cf].source.path, call->line) + ")";
+        for (const std::uint32_t callee : m.callees[cid]) {
+          mark(reason, callee, chain(step, reason[fid]));
+        }
+      }
+    }
+    queue.clear();
+  };
+  propagate(m.hot_reason);
+
+  // --- task reachability: lambdas at submit-shaped calls, then BFS ----
+  const auto is_task_entry = [&](const CallSite& call) {
+    for (const std::string& entry : options.task_entries) {
+      if (call.name == entry) return true;
+    }
+    return false;
+  };
+  for (std::size_t f = 0; f < n; ++f) {
+    const FileSemantics& sem = files[f].semantics;
+    for (std::size_t l = 0; l < sem.lambdas.size(); ++l) {
+      const LambdaDef& lam = sem.lambdas[l];
+      for (const CallSite& call : sem.calls) {
+        if (!is_task_entry(call)) continue;
+        // The lambda is an argument when it sits entirely between the
+        // call's parens.
+        if (call.token < lam.intro && lam.body_end <= call.end) {
+          m.task_lambdas[f].push_back(SemanticModel::TaskLambda{
+              static_cast<std::uint32_t>(l), call.line, call.name});
+          break;
+        }
+      }
+    }
+    for (const SemanticModel::TaskLambda& tl : m.task_lambdas[f]) {
+      const LambdaDef& lam = sem.lambdas[tl.lambda];
+      for (std::size_t c = 0; c < sem.calls.size(); ++c) {
+        const CallSite& call = sem.calls[c];
+        if (call.token <= lam.body_begin || call.token >= lam.body_end) {
+          continue;
+        }
+        for (const std::uint32_t callee : m.callees[m.call_base[f] + c]) {
+          mark(m.task_reason, callee,
+               "called from a pool task ('" + tl.entry + "' at " +
+                   location(files[f].source.path, tl.line) + ")");
+        }
+      }
+    }
+  }
+  propagate(m.task_reason);
+
+  // --- unordered-parameter propagation to fixpoint --------------------
+  // Sources: file-harvested unordered locals passed as single-identifier
+  // arguments, and (transitively) parameters already marked unordered.
+  // Monotone, so the fixpoint is iteration-order independent.
+  const auto arg_unordered = [&](std::size_t f, const CallSite& call,
+                                 const std::string& arg) {
+    const FileSemantics& sem = files[f].semantics;
+    if (std::binary_search(sem.unordered_vars.begin(),
+                           sem.unordered_vars.end(), arg)) {
+      return true;
+    }
+    if (call.caller == kNoFunction) return false;
+    const FunctionDef& caller = sem.functions[call.caller];
+    for (std::size_t p = 0; p < caller.params.size(); ++p) {
+      if (caller.params[p] == arg &&
+          m.param_unordered[m.fn_base[f] + call.caller][p]) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<std::uint32_t> work;
+  std::vector<bool> queued(num_calls, false);
+  for (std::uint32_t cid = 0; cid < num_calls; ++cid) {
+    if (!m.callees[cid].empty()) {
+      work.push_back(cid);
+      queued[cid] = true;
+    }
+  }
+  while (!work.empty()) {
+    const std::uint32_t cid = work.back();
+    work.pop_back();
+    queued[cid] = false;
+    const auto [f, call] = call_at(cid);
+    for (std::size_t k = 0; k < call->args.size(); ++k) {
+      if (call->args[k].empty() || !arg_unordered(f, *call, call->args[k])) {
+        continue;
+      }
+      for (const std::uint32_t callee : m.callees[cid]) {
+        if (k >= m.param_unordered[callee].size() ||
+            m.param_unordered[callee][k]) {
+          continue;
+        }
+        m.param_unordered[callee][k] = true;
+        // Re-examine the callee's own outgoing calls.
+        for (const std::uint32_t next : out_calls[callee]) {
+          if (!queued[next]) {
+            queued[next] = true;
+            work.push_back(next);
+          }
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace fastsched::analysis::srccheck

@@ -1,0 +1,174 @@
+#pragma once
+
+/// \file semantic.hpp
+/// The semantic layer of `fastsched_check`: a heuristic
+/// declaration/definition parser on top of `source_lexer`, an
+/// include-graph + project-wide call graph, and two transitive
+/// inferences over it — *hot-path* (which functions are reachable from
+/// `// fastsched: hot` regions and the known hot entry points) and
+/// *task-reachability* (which code runs inside lambdas submitted to the
+/// deterministic thread pool).
+///
+/// This is deliberately **not** a C++ parser. It recognizes function
+/// definitions, call expressions and lambdas by brace/paren-balanced
+/// token patterns, resolves calls by (name, arity) within the caller's
+/// include closure, and *degrades* on everything it cannot prove:
+/// an unresolvable call has no callees (no propagation, no finding),
+/// an unrecognizable construct bumps `FileSemantics::unsupported` and
+/// is skipped. The soundness/completeness trade-offs are documented in
+/// DESIGN.md ("what the heuristic parser deliberately gives up").
+///
+/// The hot-path inference lets the H rules fire on allocations *reached
+/// from* hot code instead of only on annotated lines; the T rule family
+/// (src_rules.cpp) checks determinism invariants at and below
+/// `thread_pool::submit` / `parallel_for_index` sites.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/srccheck/source_lexer.hpp"
+
+namespace fastsched::analysis::srccheck {
+
+struct CheckedFile;  // srccheck.hpp (includes this header)
+
+/// "No enclosing function" / "no such function".
+inline constexpr std::uint32_t kNoFunction = 0xffffffffU;
+
+/// Arity upper bound used for parameter packs / C varargs.
+inline constexpr std::uint32_t kVariadicArity = 0xffffffffU;
+
+/// One heuristically parsed function definition. Methods defined out of
+/// line carry the last scope name (`X` of `X::f`) in `qualifier`;
+/// methods defined inside their class body, and functions in namespaces,
+/// carry "" — the parser does not track enclosing scopes.
+struct FunctionDef {
+  std::string name;
+  std::string qualifier;
+  std::uint32_t line = 0;       ///< line of the name token
+  std::uint32_t min_arity = 0;  ///< parameters without defaults
+  std::uint32_t max_arity = 0;  ///< kVariadicArity on packs / `...`
+  std::vector<std::string> params;     ///< declared names, "" when unnamed
+  std::vector<bool> param_unordered;   ///< declared as unordered_* container
+  std::size_t body_begin = 0;          ///< token index of the body '{'
+  std::size_t body_end = 0;            ///< one past the matching '}'
+};
+
+/// One call-shaped expression `name(...)` (definitions excluded).
+struct CallSite {
+  std::string name;
+  std::string qualifier;  ///< `X` of `X::name(`, "" when unqualified/member
+  std::uint32_t line = 0;
+  std::uint32_t arity = 0;
+  std::uint32_t caller = kNoFunction;  ///< index into FileSemantics::functions
+  std::size_t token = 0;               ///< index of the name token
+  std::size_t end = 0;                 ///< one past the matching ')'
+  bool member = false;                 ///< `x.name(` / `x->name(`
+  std::vector<std::string> args;  ///< single-identifier argument names, else ""
+};
+
+/// One lambda expression with a braced body.
+struct LambdaDef {
+  std::uint32_t line = 0;
+  std::uint32_t caller = kNoFunction;  ///< enclosing function
+  bool ref_default = false;            ///< `[&]` / `[&, ...]`
+  bool value_default = false;          ///< `[=]` / `[=, ...]`
+  std::vector<std::string> ref_captures;    ///< explicit `&name`
+  std::vector<std::string> value_captures;  ///< explicit `name` (init-captures
+                                            ///< record the introduced name)
+  std::vector<std::string> params;          ///< declared names, "" when unnamed
+  std::size_t intro = 0;       ///< token index of the capture '['
+  std::size_t body_begin = 0;  ///< token index of the body '{'
+  std::size_t body_end = 0;    ///< one past the matching '}'
+};
+
+/// Heuristic per-file semantic facts, computed once per file (in
+/// parallel under `--jobs`) and shared by every semantic rule.
+struct FileSemantics {
+  std::vector<FunctionDef> functions;  ///< in body-start order
+  std::vector<CallSite> calls;         ///< in token order
+  std::vector<LambdaDef> lambdas;      ///< in token order
+  std::vector<std::string> includes;   ///< quoted #include paths, verbatim
+  std::vector<std::string> unordered_vars;  ///< names declared as
+                                            ///< unordered_* (sorted, unique)
+  std::uint32_t unsupported = 0;  ///< constructs the parser refused to guess
+  bool balanced = true;  ///< braces/brackets matched outside directives
+};
+
+/// Parses `file`'s token stream. Never throws: unparseable constructs
+/// are counted in `unsupported` and skipped.
+[[nodiscard]] FileSemantics parse_semantics(const SourceFile& file);
+
+/// Seeds for the two transitive inferences.
+struct SemanticOptions {
+  /// Hot roots by definition name: `Class::name` (matches qualifier +
+  /// name) or a bare `name` (matches any qualifier). Defaults are the
+  /// evaluator probe, the event-replay probe loop, and the shared
+  /// replay core.
+  std::vector<std::string> hot_entries = {
+      "IncrementalEvaluator::evaluate_move",
+      "EventReplay::replay",
+      "replay_list",
+  };
+  /// Call names whose lambda arguments run as pool tasks.
+  std::vector<std::string> task_entries = {
+      "submit",
+      "parallel_for_index",
+      "run_cells",
+  };
+};
+
+/// The project-wide model the semantic rules consult. Functions are
+/// addressed by *flat id*: `fn_base[file] + local index` in file order,
+/// so every table below is one flat vector. Built deterministically —
+/// identical inputs yield identical reasons and callee lists regardless
+/// of `--jobs`.
+struct SemanticModel {
+  /// Per file: flat id of its first function (plus one trailing entry
+  /// holding the total, so `fn_base[f + 1] - fn_base[f]` is the count).
+  std::vector<std::uint32_t> fn_base;
+  /// Per file: flat id of its first call site (same layout).
+  std::vector<std::uint32_t> call_base;
+
+  /// Per flat function: non-empty iff inferred hot; the string is the
+  /// provenance chain, e.g.
+  /// "called from 'a' (x.cpp:12) <- hot region (y.cpp:30)".
+  std::vector<std::string> hot_reason;
+  /// Per flat function: non-empty iff reachable from a pool task; the
+  /// string names the submitting site.
+  std::vector<std::string> task_reason;
+  /// Per flat function, per parameter: unordered-container-typed, either
+  /// declared or propagated through resolved call arguments.
+  std::vector<std::vector<bool>> param_unordered;
+
+  /// Per flat call: resolved callee flat ids, sorted ascending. Empty
+  /// means "unknown callee" — external, through a function pointer, or
+  /// no (name, arity, visibility) match — and propagates nothing.
+  std::vector<std::vector<std::uint32_t>> callees;
+
+  /// One lambda submitted to the pool.
+  struct TaskLambda {
+    std::uint32_t lambda = 0;  ///< index into FileSemantics::lambdas
+    std::uint32_t line = 0;    ///< line of the submitting call
+    std::string entry;         ///< the task-entry call name
+  };
+  /// Per file: its pool-task lambdas, in lambda order.
+  std::vector<std::vector<TaskLambda>> task_lambdas;
+
+  [[nodiscard]] std::uint32_t flat_fn(std::uint32_t file,
+                                      std::uint32_t fn) const {
+    return fn_base[file] + fn;
+  }
+  [[nodiscard]] std::uint32_t num_functions() const {
+    return fn_base.empty() ? 0 : fn_base.back();
+  }
+};
+
+/// Builds the model over every checked file: include closure, call
+/// resolution, hot-path BFS, task-reachability BFS, unordered-parameter
+/// propagation to fixpoint.
+[[nodiscard]] SemanticModel build_semantic_model(
+    const std::vector<CheckedFile>& files, const SemanticOptions& options = {});
+
+}  // namespace fastsched::analysis::srccheck

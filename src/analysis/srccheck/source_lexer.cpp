@@ -106,6 +106,10 @@ SourceFile lex_source(std::string path, std::string_view content) {
     if (ch == '/' && c.peek(1) == '*') {
       bool own = !c.line_has_code;
       std::uint32_t line = c.line;
+      // Comments are removed before directives are parsed (translation
+      // phase 3), so newlines inside a block comment do not end a
+      // preprocessor line: the directive state must survive the comment.
+      const bool pp = c.in_preprocessor;
       std::size_t begin = c.i + 2;
       c.advance();
       c.advance();
@@ -130,6 +134,7 @@ SourceFile lex_source(std::string path, std::string_view content) {
         }
         c.advance();
       }
+      c.in_preprocessor = pp;
       continue;
     }
 
@@ -144,10 +149,11 @@ SourceFile lex_source(std::string path, std::string_view content) {
       continue;
     }
 
-    // Raw string literal: R"delim( ... )delim".
-    if (ch == 'R' && c.peek(1) == '"') {
-      const std::uint32_t line = c.line;
-      c.advance();  // R
+    // Raw string payload from the opening `"` of R"delim( ... )delim":
+    // consumed verbatim up to the matching close sequence. Shared by the
+    // unprefixed branch below and the encoding-prefixed forms (u8R, uR,
+    // UR, LR) caught in the identifier branch.
+    const auto lex_raw_string = [&](std::uint32_t line) {
       c.advance();  // "
       std::string delim;
       while (!c.done() && c.peek() != '(') {
@@ -161,6 +167,13 @@ SourceFile lex_source(std::string path, std::string_view content) {
       }
       for (std::size_t k = 0; k < close.size() && !c.done(); ++k) c.advance();
       push_token("", TokenKind::kString, line);
+    };
+
+    // Raw string literal: R"delim( ... )delim".
+    if (ch == 'R' && c.peek(1) == '"') {
+      const std::uint32_t line = c.line;
+      c.advance();  // R
+      lex_raw_string(line);
       continue;
     }
 
@@ -182,8 +195,18 @@ SourceFile lex_source(std::string path, std::string_view content) {
       const std::uint32_t line = c.line;
       std::size_t begin = c.i;
       while (!c.done() && is_ident_char(c.peek())) c.advance();
-      push_token(std::string(content.substr(begin, c.i - begin)),
-                 TokenKind::kIdentifier, line);
+      const std::string_view ident = content.substr(begin, c.i - begin);
+      // Encoding-prefixed raw strings (u8R"(...)"sv and friends) reach
+      // this branch because the prefix lexes as an identifier; without
+      // this hand-off the payload would be retokenized as code — across
+      // lines, since the ordinary string branch stops at a newline — and
+      // every downstream rule would see phantom tokens.
+      if (c.peek() == '"' && (ident == "LR" || ident == "uR" ||
+                              ident == "UR" || ident == "u8R")) {
+        lex_raw_string(line);
+        continue;
+      }
+      push_token(std::string(ident), TokenKind::kIdentifier, line);
       continue;
     }
 

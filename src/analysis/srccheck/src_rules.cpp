@@ -288,17 +288,62 @@ void check_float_merge(const SrcCheckInput& input,
   }
 }
 
+/// One function the semantic model inferred something about, with the
+/// provenance chain to quote in findings.
+struct InferredFn {
+  const FunctionDef* def = nullptr;
+  const std::string* why = nullptr;
+};
+
+/// Functions of file `fi` whose entry in `reasons` (hot_reason or
+/// task_reason, flat-indexed) is non-empty. Empty without a model.
+std::vector<InferredFn> inferred_fns(const SrcCheckInput& input,
+                                     std::size_t fi,
+                                     const std::vector<std::string>& reasons) {
+  std::vector<InferredFn> out;
+  if (input.model == nullptr) return out;
+  const SemanticModel& m = *input.model;
+  const FileSemantics& sem = (*input.files)[fi].semantics;
+  for (std::size_t k = 0; k < sem.functions.size(); ++k) {
+    const std::string& why = reasons[m.fn_base[fi] + k];
+    if (!why.empty()) out.push_back({&sem.functions[k], &why});
+  }
+  return out;
+}
+
+/// The innermost entry of `fns` whose body contains token `i`, or
+/// nullptr.
+const InferredFn* innermost_body(const std::vector<InferredFn>& fns,
+                                 std::size_t i) {
+  const InferredFn* best = nullptr;
+  for (const InferredFn& fn : fns) {
+    if (fn.def->body_begin < i && i < fn.def->body_end &&
+        (best == nullptr || fn.def->body_begin > best->def->body_begin)) {
+      best = &fn;
+    }
+  }
+  return best;
+}
+
 // ---------------------------------------------------------------------------
-// H1 hot-alloc: allocation inside a `// fastsched: hot` region. Hot
-// regions mark the per-probe inner loops (evaluator scans, event replay,
-// commit walks) that run millions of times per search; one malloc there
-// dominates the probe cost the paper's complexity argument depends on.
-// push_back/emplace_back/resize are allowed when the same file reserves
-// the container's capacity (amortized O(0) growth in steady state).
+// H1 hot-alloc: allocation inside a `// fastsched: hot` region, or in a
+// function the semantic model (semantic.hpp) infers is reached from one
+// — hot regions mark the per-probe inner loops (evaluator scans, event
+// replay, commit walks) that run millions of times per search; one
+// malloc there dominates the probe cost the paper's complexity argument
+// depends on, and extracting the loop body into a helper must not hide
+// it. push_back/emplace_back/resize are allowed when the same file
+// reserves the container's capacity (amortized O(0) growth in steady
+// state).
 void check_hot_alloc(const SrcCheckInput& input,
                      std::vector<Diagnostic>& out) {
-  for (const CheckedFile& f : *input.files) {
-    if (f.annotations.hot_regions.empty()) continue;
+  for (std::size_t fi = 0; fi < input.files->size(); ++fi) {
+    const CheckedFile& f = (*input.files)[fi];
+    const std::vector<InferredFn> hot =
+        input.model == nullptr
+            ? std::vector<InferredFn>{}
+            : inferred_fns(input, fi, input.model->hot_reason);
+    if (f.annotations.hot_regions.empty() && hot.empty()) continue;
     const Tokens& t = f.source.tokens;
     // Containers with a `.reserve(` anywhere in the file.
     std::unordered_set<std::string> reserved;
@@ -311,10 +356,17 @@ void check_hot_alloc(const SrcCheckInput& input,
     }
     for (std::size_t i = 0; i < t.size(); ++i) {
       if (t[i].preprocessor || t[i].kind != TokenKind::kIdentifier) continue;
-      if (!f.annotations.in_hot_region(t[i].line)) continue;
+      // Explicit regions keep their original wording; inferred bodies
+      // cite the provenance chain so the finding is self-explaining.
+      const bool in_region = f.annotations.in_hot_region(t[i].line);
+      std::string where = "inside a hot region";
+      if (!in_region) {
+        const InferredFn* fn = innermost_body(hot, i);
+        if (fn == nullptr) continue;
+        where = "in '" + fn->def->name + "' (inferred hot: " + *fn->why + ")";
+      }
       if (t[i].text == "new") {
-        add_finding(out, f, t[i].line,
-                    "operator new inside a hot region",
+        add_finding(out, f, t[i].line, "operator new " + where,
                     "preallocate outside the region and reuse the storage");
         continue;
       }
@@ -322,7 +374,7 @@ void check_hot_alloc(const SrcCheckInput& input,
            t[i].text == "realloc") &&
           (is_free_call(t, i) || is_std_call(t, i))) {
         add_finding(out, f, t[i].line,
-                    "call of " + t[i].text + "() inside a hot region",
+                    "call of " + t[i].text + "() " + where,
                     "preallocate outside the region and reuse the storage");
         continue;
       }
@@ -332,9 +384,9 @@ void check_hot_alloc(const SrcCheckInput& input,
           t[i - 2].kind == TokenKind::kIdentifier && i + 1 < t.size() &&
           is_punct(t[i + 1], "(") && reserved.count(t[i - 2].text) == 0) {
         add_finding(out, f, t[i].line,
-                    "'" + t[i - 2].text + "." + t[i].text +
-                        "(...)' inside a hot region with no reserve() for '" +
-                        t[i - 2].text + "' anywhere in this file: growth "
+                    "'" + t[i - 2].text + "." + t[i].text + "(...)' " + where +
+                        " with no reserve() for '" + t[i - 2].text +
+                        "' anywhere in this file: growth "
                         "reallocates on the hot path",
                     "reserve the container's capacity during setup");
       }
@@ -541,6 +593,355 @@ void check_suppression_reason(const SrcCheckInput& input,
   }
 }
 
+// ---------------------------------------------------------------------------
+// The T rule family: deterministic parallelism at thread-pool fan-out
+// sites, backed by the semantic model (semantic.hpp). Every rule is a
+// no-op when `input.model` is absent.
+
+/// Member calls that mutate their receiver (the vocabulary T1 checks on
+/// reference-captured names).
+bool is_mutating_member(const Token& t) {
+  static const std::unordered_set<std::string> kMutators = {
+      "push_back", "emplace_back", "emplace",   "insert",    "erase",
+      "clear",     "resize",       "reserve",   "assign",    "append",
+      "pop_back",  "push",         "pop",       "store",     "fetch_add",
+      "fetch_sub", "fetch_or",     "fetch_and", "fetch_xor", "exchange"};
+  return t.kind == TokenKind::kIdentifier && kMutators.count(t.text) > 0;
+}
+
+/// Is token `j` (an identifier) the target of a write? Matches plain and
+/// compound assignment (`=`, fused `+=` ... plus the two/three-token
+/// spellings `|=`, `<<=` the lexer leaves unfused), increment/decrement,
+/// direct member assignment, and mutating member calls. `W[...]` is
+/// never a write to W itself: the slot-per-task pattern
+/// (`results[i] = ...`) is exactly the sanctioned pool idiom.
+bool is_write_to(const Tokens& t, std::size_t j, std::size_t end) {
+  const auto tok = [&](std::size_t k) -> const Token* {
+    return k < end ? &t[k] : nullptr;
+  };
+  const Token* a = tok(j + 1);
+  if (a == nullptr) return false;
+  if (is_punct(*a, "[")) return false;  // per-slot write, sanctioned
+  const Token* b = tok(j + 2);
+  // `W = x` (but not `W == x`: `==` lexes as two `=` tokens).
+  if (is_punct(*a, "=") && (b == nullptr || !is_punct(*b, "="))) return true;
+  if (is_punct(*a, "+=") || is_punct(*a, "-=") || is_punct(*a, "*=") ||
+      is_punct(*a, "/=")) {
+    return true;
+  }
+  if (b != nullptr && is_punct(*b, "=") &&
+      (is_punct(*a, "|") || is_punct(*a, "&") || is_punct(*a, "^") ||
+       is_punct(*a, "%"))) {
+    return true;
+  }
+  const Token* c = tok(j + 3);
+  if (c != nullptr && is_punct(*c, "=") &&
+      ((is_punct(*a, "<") && is_punct(*b, "<")) ||
+       (is_punct(*a, ">") && is_punct(*b, ">")))) {
+    return true;
+  }
+  // `W++` / `++W` (the lexer emits two '+' tokens).
+  if (b != nullptr && ((is_punct(*a, "+") && is_punct(*b, "+")) ||
+                       (is_punct(*a, "-") && is_punct(*b, "-")))) {
+    return true;
+  }
+  if (j >= 2 && ((is_punct(t[j - 1], "+") && is_punct(t[j - 2], "+")) ||
+                 (is_punct(t[j - 1], "-") && is_punct(t[j - 2], "-")))) {
+    return true;
+  }
+  // `W.member = x` / `W->m(...)` with a mutating member.
+  if ((is_punct(*a, ".") || is_punct(*a, "->")) && b != nullptr &&
+      b->kind == TokenKind::kIdentifier) {
+    if (c != nullptr && is_punct(*c, "=") &&
+        (tok(j + 4) == nullptr || !is_punct(*tok(j + 4), "="))) {
+      return true;
+    }
+    if (is_mutating_member(*b) && c != nullptr && is_punct(*c, "(")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Names declared inside the token range (begin, end): an identifier
+/// preceded (through `&`/`*`/`const`) by a type-looking token
+/// (identifier or `>`), followed by an initializer or declarator end.
+/// Over-collecting here only makes T1 quieter, never noisier.
+std::unordered_set<std::string> local_decls(const Tokens& t, std::size_t begin,
+                                            std::size_t end) {
+  static const std::unordered_set<std::string> kStop = {
+      "return", "new",   "delete", "throw", "goto", "case", "using",
+      "else",   "do",    "if",     "while", "for",  "switch", "sizeof",
+      "co_return", "co_yield", "co_await"};
+  std::unordered_set<std::string> out;
+  for (std::size_t j = begin + 1; j + 1 < end; ++j) {
+    if (t[j].kind != TokenKind::kIdentifier || t[j].preprocessor) continue;
+    const Token& next = t[j + 1];
+    if (!(is_punct(next, "=") || is_punct(next, ";") || is_punct(next, "{") ||
+          is_punct(next, "(") || is_punct(next, ":") || is_punct(next, ","))) {
+      continue;
+    }
+    std::size_t k = j;
+    while (k > begin + 1 &&
+           (is_punct(t[k - 1], "&") || is_punct(t[k - 1], "*") ||
+            is_ident(t[k - 1], "const"))) {
+      --k;
+    }
+    if (k == begin + 1) continue;
+    const Token& prev = t[k - 1];
+    const bool type_like =
+        (prev.kind == TokenKind::kIdentifier && kStop.count(prev.text) == 0) ||
+        is_punct(prev, ">");
+    if (type_like) out.insert(t[j].text);
+  }
+  return out;
+}
+
+// T1 par-ref-mutation: a lambda submitted to the deterministic pool
+// writes to a name it captured by reference. Tasks run concurrently, so
+// a write to shared state is a data race (or, behind a lock, an
+// order-dependent merge) — either way the pool's byte-identity contract
+// is gone. The sanctioned pattern writes to a per-task slot
+// (`results[i] = ...`), which subscripting exempts.
+void check_par_ref_mutation(const SrcCheckInput& input,
+                            std::vector<Diagnostic>& out) {
+  if (input.model == nullptr) return;
+  for (std::size_t fi = 0; fi < input.files->size(); ++fi) {
+    const CheckedFile& f = (*input.files)[fi];
+    const Tokens& t = f.source.tokens;
+    for (const SemanticModel::TaskLambda& tl : input.model->task_lambdas[fi]) {
+      const LambdaDef& lam = f.semantics.lambdas[tl.lambda];
+      std::unordered_set<std::string> locals;
+      if (lam.ref_default) {
+        locals = local_decls(t, lam.body_begin, lam.body_end - 1);
+      }
+      const auto shared_by_ref = [&](const std::string& name) {
+        if (std::find(lam.ref_captures.begin(), lam.ref_captures.end(),
+                      name) != lam.ref_captures.end()) {
+          return true;
+        }
+        if (!lam.ref_default) return false;
+        if (std::find(lam.value_captures.begin(), lam.value_captures.end(),
+                      name) != lam.value_captures.end()) {
+          return false;
+        }
+        if (std::find(lam.params.begin(), lam.params.end(), name) !=
+            lam.params.end()) {
+          return false;
+        }
+        return locals.count(name) == 0;
+      };
+      std::unordered_set<std::string> reported;
+      for (std::size_t j = lam.body_begin + 1; j + 1 < lam.body_end; ++j) {
+        if (t[j].kind != TokenKind::kIdentifier || t[j].preprocessor) continue;
+        // `x.member = ...` writes to x, not to a capture named `member`;
+        // the receiver is handled by is_write_to's member-write case.
+        if (j > 0 && (is_punct(t[j - 1], ".") || is_punct(t[j - 1], "->") ||
+                      is_punct(t[j - 1], "::"))) {
+          continue;
+        }
+        if (reported.count(t[j].text) > 0) continue;
+        if (!is_write_to(t, j, lam.body_end)) continue;
+        if (!shared_by_ref(t[j].text)) continue;
+        reported.insert(t[j].text);
+        add_finding(
+            out, f, t[j].line,
+            "pool task ('" + tl.entry + "' at line " +
+                std::to_string(tl.line) + ") mutates '" + t[j].text +
+                "', captured by reference and shared across tasks: "
+                "concurrent writes race, and even locked writes merge in "
+                "scheduling order",
+            "write to a per-task slot (results[i] = ...) and merge in "
+            "submission order after wait()");
+      }
+    }
+  }
+}
+
+// T2 par-unordered-merge: a function reachable from a pool task iterates
+// a *parameter* that some call site binds to an unordered container —
+// the cross-call-boundary case D2's same-file harvest cannot see. The
+// iteration order is unspecified, and inside a task it additionally
+// interleaves with task scheduling.
+void check_par_unordered_merge(const SrcCheckInput& input,
+                               std::vector<Diagnostic>& out) {
+  if (input.model == nullptr) return;
+  const SemanticModel& m = *input.model;
+  for (std::size_t fi = 0; fi < input.files->size(); ++fi) {
+    const CheckedFile& f = (*input.files)[fi];
+    const Tokens& t = f.source.tokens;
+    const FileSemantics& sem = f.semantics;
+    for (std::size_t k = 0; k < sem.functions.size(); ++k) {
+      const std::string& why = m.task_reason[m.fn_base[fi] + k];
+      if (why.empty()) continue;
+      const FunctionDef& fn = sem.functions[k];
+      const std::vector<bool>& unordered = m.param_unordered[m.fn_base[fi] + k];
+      std::vector<std::string> unames;
+      for (std::size_t p = 0; p < fn.params.size() && p < unordered.size();
+           ++p) {
+        if (unordered[p] && !fn.params[p].empty()) {
+          unames.push_back(fn.params[p]);
+        }
+      }
+      if (unames.empty()) continue;
+      for (std::size_t j = fn.body_begin; j + 1 < fn.body_end; ++j) {
+        if (!is_ident(t[j], "for") || !is_punct(t[j + 1], "(")) continue;
+        std::size_t depth = 1;
+        std::size_t colon = 0;
+        std::size_t e = j + 2;
+        while (e < fn.body_end && depth > 0) {
+          if (is_punct(t[e], "(")) ++depth;
+          if (is_punct(t[e], ")")) --depth;
+          if (depth == 1 && colon == 0 && is_punct(t[e], ":")) colon = e;
+          ++e;
+        }
+        if (colon == 0) continue;
+        for (std::size_t r = colon + 1; r < e; ++r) {
+          if (t[r].kind == TokenKind::kIdentifier &&
+              std::find(unames.begin(), unames.end(), t[r].text) !=
+                  unames.end()) {
+            add_finding(
+                out, f, t[j].line,
+                "iteration over parameter '" + t[r].text + "' of '" +
+                    fn.name + "', which a call site binds to an unordered "
+                    "container: visit order is unspecified, and this "
+                    "function runs inside a pool task (" + why + ")",
+                "sort the keys first or take an ordered container; suppress "
+                "only if the fold is provably order-independent");
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+// T3 par-hot-lock: lock acquisition or an atomic read-modify-write
+// inside hot code (an explicit `// fastsched: hot` region or an
+// inferred-hot function). A contended lock serializes the probe loop the
+// complexity argument counts on, and an atomic RMW in a pool task is a
+// scheduling-order-dependent merge in disguise.
+void check_par_hot_lock(const SrcCheckInput& input,
+                        std::vector<Diagnostic>& out) {
+  static const std::unordered_set<std::string> kGuards = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+  static const std::unordered_set<std::string> kAtomicRmw = {
+      "fetch_add", "fetch_sub", "fetch_or",
+      "fetch_and", "fetch_xor", "exchange",
+      "compare_exchange_weak", "compare_exchange_strong"};
+  for (std::size_t fi = 0; fi < input.files->size(); ++fi) {
+    const CheckedFile& f = (*input.files)[fi];
+    const std::vector<InferredFn> hot =
+        input.model == nullptr
+            ? std::vector<InferredFn>{}
+            : inferred_fns(input, fi, input.model->hot_reason);
+    if (f.annotations.hot_regions.empty() && hot.empty()) continue;
+    const Tokens& t = f.source.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].preprocessor || t[i].kind != TokenKind::kIdentifier) continue;
+      const bool in_region = f.annotations.in_hot_region(t[i].line);
+      std::string where = "inside a hot region";
+      if (!in_region) {
+        const InferredFn* fn = innermost_body(hot, i);
+        if (fn == nullptr) continue;
+        where = "in '" + fn->def->name + "' (inferred hot: " + *fn->why + ")";
+      }
+      if (kGuards.count(t[i].text) > 0) {
+        add_finding(out, f, t[i].line,
+                    "lock acquisition (" + t[i].text + ") " + where +
+                        ": a contended lock serializes the hot loop",
+                    "hoist synchronization out of the hot path; hot code "
+                    "should touch only task-local state");
+        continue;
+      }
+      const bool member =
+          i >= 2 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
+      if (member && i + 1 < t.size() && is_punct(t[i + 1], "(") &&
+          (t[i].text == "lock" || t[i].text == "unlock" ||
+           kAtomicRmw.count(t[i].text) > 0)) {
+        const bool is_lock = t[i].text == "lock" || t[i].text == "unlock";
+        add_finding(out, f, t[i].line,
+                    (is_lock ? "mutex " + t[i].text + "() "
+                             : "atomic RMW " + t[i].text + "() ") +
+                        where +
+                        (is_lock ? ": a contended lock serializes the hot loop"
+                                 : ": the result depends on scheduling order"),
+                    "hoist synchronization out of the hot path; hot code "
+                    "should touch only task-local state");
+      }
+    }
+  }
+}
+
+// T4 par-unsplit-rng: an `Rng` constructed inside pool-task-reachable
+// code without deriving it via `Rng::split`. Two tasks seeding from the
+// same value correlate; seeding from anything index-independent makes
+// the stream depend on which task ran — `split(task_index)` is the one
+// construction that is both deterministic and per-task independent.
+void check_par_unsplit_rng(const SrcCheckInput& input,
+                           std::vector<Diagnostic>& out) {
+  if (input.model == nullptr) return;
+  const SemanticModel& m = *input.model;
+  for (std::size_t fi = 0; fi < input.files->size(); ++fi) {
+    const CheckedFile& f = (*input.files)[fi];
+    const Tokens& t = f.source.tokens;
+    const FileSemantics& sem = f.semantics;
+    // Token ranges running under the pool: submitted lambda bodies plus
+    // the bodies of task-reachable functions.
+    struct TaskRange {
+      std::size_t begin = 0;
+      std::size_t end = 0;
+      std::string why;
+    };
+    std::vector<TaskRange> ranges;
+    for (const SemanticModel::TaskLambda& tl : m.task_lambdas[fi]) {
+      const LambdaDef& lam = sem.lambdas[tl.lambda];
+      ranges.push_back({lam.body_begin, lam.body_end,
+                        "submitted via '" + tl.entry + "' at line " +
+                            std::to_string(tl.line)});
+    }
+    for (std::size_t k = 0; k < sem.functions.size(); ++k) {
+      const std::string& why = m.task_reason[m.fn_base[fi] + k];
+      if (!why.empty()) {
+        ranges.push_back(
+            {sem.functions[k].body_begin, sem.functions[k].body_end, why});
+      }
+    }
+    std::unordered_set<std::string> reported;  // "line:name" dedup
+    for (const TaskRange& range : ranges) {
+      for (std::size_t j = range.begin; j + 2 < range.end; ++j) {
+        if (!is_ident(t[j], "Rng") || t[j].preprocessor) continue;
+        if (t[j + 1].kind != TokenKind::kIdentifier) continue;
+        const Token& open = t[j + 2];
+        if (!(is_punct(open, "(") || is_punct(open, "{") ||
+              is_punct(open, "="))) {
+          continue;
+        }
+        // Scan the initializer (to the statement's ';') for a split().
+        bool split = false;
+        for (std::size_t e = j + 2; e < range.end && e < j + 64; ++e) {
+          if (is_punct(t[e], ";")) break;
+          if (is_ident(t[e], "split")) {
+            split = true;
+            break;
+          }
+        }
+        if (split) continue;
+        const std::string key =
+            std::to_string(t[j].line) + ":" + t[j + 1].text;
+        if (!reported.insert(key).second) continue;
+        add_finding(out, f, t[j].line,
+                    "Rng '" + t[j + 1].text +
+                        "' constructed in pool-task code (" + range.why +
+                        ") without Rng::split: identical seeds correlate "
+                        "streams across tasks, and any other seed breaks "
+                        "worker-count independence",
+                    "derive per-task randomness with rng.split(task_index)");
+      }
+    }
+  }
+}
+
 SrcRuleRegistry build_registry() {
   SrcRuleRegistry registry;
   registry.add({"det-random-source", Severity::kError, false,
@@ -575,6 +976,20 @@ SrcRuleRegistry build_registry() {
   registry.add({"suppression-needs-reason", Severity::kError, false,
                 "NOLINT-fastsched suppression lacking a reason",
                 check_suppression_reason});
+  registry.add({"par-ref-mutation", Severity::kError, false,
+                "pool task mutates state captured by reference and shared "
+                "across tasks",
+                check_par_ref_mutation});
+  registry.add({"par-unordered-merge", Severity::kError, false,
+                "task-reachable code iterates a parameter bound to an "
+                "unordered container",
+                check_par_unordered_merge});
+  registry.add({"par-hot-lock", Severity::kWarning, false,
+                "lock or atomic RMW inside hot code",
+                check_par_hot_lock});
+  registry.add({"par-unsplit-rng", Severity::kError, false,
+                "Rng constructed in pool-task code without Rng::split",
+                check_par_unsplit_rng});
   return registry;
 }
 

@@ -9,6 +9,7 @@
 
 #include "analysis/report_io.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace fastsched::analysis::srccheck {
 
@@ -163,26 +164,37 @@ CheckedFile check_file_from_text(std::string path, std::string_view content) {
   CheckedFile f;
   f.source = lex_source(std::move(path), content);
   f.annotations = parse_annotations(f.source);
+  f.semantics = parse_semantics(f.source);
   return f;
 }
 
 SrcCheckReport src_check(const std::vector<CheckedFile>& files,
-                         const SrcRuleRegistry& registry) {
-  SrcCheckInput input{&files};
+                         const SrcRuleRegistry& registry, std::size_t jobs) {
+  // The model is a cross-file fixpoint — built once, serially, then
+  // shared read-only by every rule.
+  const SemanticModel model = build_semantic_model(files);
+  SrcCheckInput input{&files, &model};
   SrcCheckReport report;
   report.num_files = files.size();
 
   // Same stamping protocol as run_rules (rule_registry.hpp), with one
   // extra stage: findings covered by a NOLINT-fastsched annotation are
-  // dropped before counting, so suppressed findings never gate.
-  std::vector<Diagnostic> raw;
-  for (const SrcRule& rule : registry.rules()) {
-    const std::size_t first = raw.size();
-    rule.check(input, raw);
-    for (std::size_t i = first; i < raw.size(); ++i) {
-      raw[i].rule_id = rule.id;
-      raw[i].severity = rule.severity;
+  // dropped before counting, so suppressed findings never gate. Each
+  // rule fills its own slot; concatenating the slots in registration
+  // order reproduces the serial evaluation byte for byte.
+  const auto& rules = registry.rules();
+  std::vector<std::vector<Diagnostic>> per_rule(rules.size());
+  parallel_for_index(jobs, rules.size(), [&](std::size_t r) {
+    const SrcRule& rule = rules[r];
+    rule.check(input, per_rule[r]);
+    for (Diagnostic& d : per_rule[r]) {
+      d.rule_id = rule.id;
+      d.severity = rule.severity;
     }
+  });
+  std::vector<Diagnostic> raw;
+  for (std::vector<Diagnostic>& chunk : per_rule) {
+    for (Diagnostic& d : chunk) raw.push_back(std::move(d));
   }
 
   for (Diagnostic& d : raw) {
@@ -257,16 +269,20 @@ std::vector<std::string> collect_sources(const std::string& root,
 }
 
 std::vector<CheckedFile> load_sources(const std::string& root,
-                                      const std::vector<std::string>& paths) {
+                                      const std::vector<std::string>& paths,
+                                      std::size_t jobs) {
   const fs::path base = root.empty() ? fs::path(".") : fs::path(root);
-  std::vector<CheckedFile> files;
-  for (const std::string& rel : collect_sources(root, paths)) {
-    std::ifstream in(base / rel, std::ios::binary);
-    FASTSCHED_REQUIRE(in.good(), "fastsched_check: cannot open " + rel);
+  const std::vector<std::string> rels = collect_sources(root, paths);
+  std::vector<CheckedFile> files(rels.size());
+  // Slot-per-file over the sorted path list: the result (and any error,
+  // by the pool's earliest-index contract) is worker-count independent.
+  parallel_for_index(jobs, rels.size(), [&](std::size_t i) {
+    std::ifstream in(base / rels[i], std::ios::binary);
+    FASTSCHED_REQUIRE(in.good(), "fastsched_check: cannot open " + rels[i]);
     std::ostringstream content;
     content << in.rdbuf();
-    files.push_back(check_file_from_text(rel, content.str()));
-  }
+    files[i] = check_file_from_text(rels[i], content.str());
+  });
   return files;
 }
 

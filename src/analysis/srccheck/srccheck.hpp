@@ -22,6 +22,13 @@
 ///        `throw std::runtime_error` (error.hpp owns both).
 ///   S* — the checker's own annotation contract (suppressions need a
 ///        reason).
+///   T* — deterministic parallelism at thread-pool fan-out sites:
+///        shared-state reference captures, unordered merges across call
+///        boundaries, locking in inferred-hot code, unsplit Rng in pool
+///        tasks. Backed by the semantic layer (semantic.hpp): a
+///        heuristic call graph with transitive hot-path and
+///        task-reachability inference, which also extends H* beyond
+///        explicitly annotated regions.
 ///
 /// Suppression: `// NOLINT-fastsched(rule-id): reason` on the offending
 /// line, or alone on the line above. The reason is mandatory (rule
@@ -35,6 +42,7 @@
 
 #include "analysis/diagnostics.hpp"
 #include "analysis/rule_registry.hpp"
+#include "analysis/srccheck/semantic.hpp"
 #include "analysis/srccheck/source_lexer.hpp"
 
 namespace fastsched::analysis::srccheck {
@@ -77,11 +85,15 @@ struct FileAnnotations {
 struct CheckedFile {
   SourceFile source;
   FileAnnotations annotations;
+  FileSemantics semantics;
 };
 
-/// Everything a source-check rule may inspect.
+/// Everything a source-check rule may inspect. `model` is the
+/// project-wide semantic model over `files`; `src_check` always provides
+/// it, and rules must tolerate `nullptr` (unit tests may omit it).
 struct SrcCheckInput {
   const std::vector<CheckedFile>* files = nullptr;
+  const SemanticModel* model = nullptr;
 };
 
 using SrcRule = BasicRule<SrcCheckInput>;
@@ -92,7 +104,9 @@ class SrcRuleRegistry : public BasicRuleRegistry<SrcCheckInput> {
   /// The built-in rules, in documentation order:
   ///   det-random-source, det-unordered-iter, det-float-merge,
   ///   hot-alloc, hot-region-balance, probe-pairing,
-  ///   bare-assert, raw-runtime-error, suppression-needs-reason
+  ///   bare-assert, raw-runtime-error, suppression-needs-reason,
+  ///   par-ref-mutation, par-unordered-merge, par-hot-lock,
+  ///   par-unsplit-rng
   [[nodiscard]] static const SrcRuleRegistry& builtin();
 };
 
@@ -121,10 +135,14 @@ struct SrcCheckReport {
 /// Runs every rule against `files`. Diagnostics are stamped with the
 /// rule's id/severity, filtered through the files' suppressions, and
 /// sorted (file, line, rule) so output is deterministic regardless of
-/// rule registration order.
+/// rule registration order. The semantic model is built first and handed
+/// to every rule. `jobs > 1` evaluates the rules on the deterministic
+/// thread pool — each rule writes its own result slot, concatenated in
+/// registration order, so the report is byte-identical to a serial run.
 [[nodiscard]] SrcCheckReport src_check(const std::vector<CheckedFile>& files,
                                        const SrcRuleRegistry& registry =
-                                           SrcRuleRegistry::builtin());
+                                           SrcRuleRegistry::builtin(),
+                                       std::size_t jobs = 1);
 
 /// Collects the checkable sources (*.cpp, *.hpp, *.h, *.cc, *.hh) under
 /// `paths` (files or directories), resolved relative to `root`. Build
@@ -137,9 +155,13 @@ struct SrcCheckReport {
 [[nodiscard]] std::vector<std::string> collect_sources(
     const std::string& root, const std::vector<std::string>& paths);
 
-/// `collect_sources` + read + lex + annotate.
+/// `collect_sources` + read + lex + annotate + parse semantics. The
+/// per-file work fans out over `jobs` pool workers (1 = inline); each
+/// file lands in its pre-assigned slot of the sorted path list, so the
+/// result is independent of the worker count.
 [[nodiscard]] std::vector<CheckedFile> load_sources(
-    const std::string& root, const std::vector<std::string>& paths);
+    const std::string& root, const std::vector<std::string>& paths,
+    std::size_t jobs = 1);
 
 /// Machine-readable report (schema documented in tools/README.md):
 /// `{"tool": "fastsched_check", "files", "errors", "warnings",

@@ -1,6 +1,7 @@
 #include "fast/incremental_evaluator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <string_view>
 
@@ -71,6 +72,31 @@ IncrementalEvaluator::IncrementalEvaluator(const TaskGraph& g,
   for (NodeId n = 0; n < v; ++n) {
     for (const graph::Adjacency& s : g.successors(n)) {
       max_succ_pos_[n] = std::max(max_succ_pos_[n], pos_[s.node]);
+    }
+  }
+  // Exact successor-cone cardinalities by a blocked bitset sweep: each
+  // pass covers 64 consecutive list positions and walks the list in
+  // reverse topological order, so every node's block mask is the union
+  // of its successors' masks plus their own bits — one OR per edge and
+  // one popcount per node per pass, O((v + e) * v / 64) total. The mask
+  // array is rewritten before it is read within every pass (successors
+  // sit at later positions, visited first), so no per-pass clearing.
+  if (v <= kConeExactNodes && v > 0) {
+    cone_size_.assign(g.num_nodes(), 0);
+    std::vector<std::uint64_t> block_mask(g.num_nodes(), 0);
+    for (std::size_t lo = 0; lo < v; lo += 64) {
+      const std::size_t hi = std::min(v, lo + 64);
+      for (std::size_t i = v; i-- > 0;) {
+        const NodeId n = list_[i];
+        std::uint64_t mask = 0;
+        for (const graph::Adjacency& s : g.successors(n)) {
+          mask |= block_mask[s.node];
+          const std::size_t sp = pos_[s.node];
+          if (sp >= lo && sp < hi) mask |= std::uint64_t{1} << (sp - lo);
+        }
+        block_mask[n] = mask;
+        cone_size_[n] += static_cast<std::uint32_t>(std::popcount(mask));
+      }
     }
   }
   policy_ = resolve_policy(policy);
@@ -170,6 +196,7 @@ detail::ReplayOutcome IncrementalEvaluator::scan_suffix(
   const Cost* seed_ready = checkpoint_ready(cp_restart);
   ++scan_epoch_;
   scan_touched_.clear();
+  scan_changed_ = 0;
   // Max successor position over nodes whose finish changed; once the
   // boundary passes it, no changed value can reach the unscanned suffix.
   std::size_t horizon = 0;
@@ -196,6 +223,7 @@ detail::ReplayOutcome IncrementalEvaluator::scan_suffix(
     scratch_finish_[m] = old;  // undo log
     finish_[m] = fin;
     if (fin != old) {
+      ++scan_changed_;
       horizon = std::max<std::size_t>(horizon, max_succ_pos_[m]);
     }
     if (m == pending_node_) pending_start_ = start;
@@ -252,13 +280,19 @@ bool IncrementalEvaluator::prefer_event(std::size_t suffix, NodeId n) const {
   // (and its convergence exit fires within a couple of chunks), so the
   // worklist — with its heap and chain bookkeeping per processed node —
   // only wins when the suffix dwarfs the expected frontier. The frontier
-  // estimate is the EWMA of pops observed on past event probes, seeded
-  // from the moved node's out-degree before any observation exists.
+  // estimate is the EWMA of affected-node counts observed on past probes
+  // (either engine); before any observation it is seeded from the moved
+  // node's precomputed successor-cone cardinality — an upper bound on
+  // the nodes a transfer can perturb through precedence alone, which
+  // routes wide-cone first probes to the contiguous scan instead of
+  // betting on a frontier the out-degree cannot see. Out-degree remains
+  // the fallback above the cone-exactness cap.
   if (suffix < 2 * interval_) return false;
-  const double expected =
-      ewma_affected_ > 0.0
-          ? ewma_affected_
-          : 8.0 + static_cast<double>(graph_->successors(n).size());
+  const double cone =
+      n < cone_size_.size()
+          ? static_cast<double>(cone_size_[n])
+          : static_cast<double>(graph_->successors(n).size());
+  const double expected = ewma_affected_ > 0.0 ? ewma_affected_ : 8.0 + cone;
   return static_cast<double>(suffix) >
          4.0 * (expected + static_cast<double>(interval_));
 }
@@ -293,6 +327,20 @@ std::optional<Cost> IncrementalEvaluator::evaluate_move(NodeId n, ProcId target,
   assignment_[n] = target;  // visible to the scan only
   const auto out = scan_suffix(restart, bound, pos, lost);
   assignment_[n] = original;  // committed view restored before returning
+
+  // Contiguous probes teach the auto frontier estimate too: the number
+  // of finish times the scan actually changed is (to within replay-order
+  // boundary effects) the frontier the worklist would have popped.
+  // Without this feed, a cone-seeded contiguous start would starve the
+  // EWMA forever and kAuto could never discover that a wide static cone
+  // collapses to a narrow dynamic frontier. Clamped to 1 so a no-op
+  // probe still counts as an observation rather than re-arming the
+  // unset-sentinel (0.0) seed.
+  const double affected =
+      static_cast<double>(std::max<std::uint64_t>(scan_changed_, 1));
+  ewma_affected_ = ewma_affected_ == 0.0
+                       ? affected
+                       : 0.875 * ewma_affected_ + 0.125 * affected;
 
   if (out.aborted) {
     restore_pending();  // short by construction: the bound cut the scan

@@ -43,7 +43,10 @@
 /// (`EventReplay`): a worklist replay that processes only the nodes a
 /// move actually affects instead of the whole suffix, selected per probe
 /// by `ReplayPolicy` (an auto heuristic weighs the suffix length against
-/// the observed frontier size; `FASTSCHED_REPLAY=contiguous|event|auto`
+/// a frontier estimate — seeded per move from the node's precomputed
+/// successor-cone cardinality, then refined online by an EWMA of the
+/// frontiers both engines actually observe;
+/// `FASTSCHED_REPLAY=contiguous|event|auto`
 /// overrides the constructor's choice). Both paths share the undo log,
 /// the bound-based early rejection (optionally sharpened by
 /// `set_reject_tails` backward bounds) and the committed fold tables,
@@ -157,6 +160,15 @@ class IncrementalEvaluator {
   [[nodiscard]] Schedule materialize(std::span<const ProcId> assignment) const;
 
   [[nodiscard]] std::span<const NodeId> list() const noexcept { return list_; }
+
+  /// Per-node successor-cone cardinality (|proper descendants|), the
+  /// static frontier seed for the auto replay policy. Empty when the
+  /// graph exceeds kConeExactNodes (the seed then falls back to the
+  /// out-degree). Exposed for tests and telemetry.
+  [[nodiscard]] std::span<const std::uint32_t> cone_sizes() const noexcept {
+    return cone_size_;
+  }
+
   [[nodiscard]] std::size_t num_procs() const noexcept { return num_procs_; }
   [[nodiscard]] const TaskGraph& graph() const noexcept { return *graph_; }
   [[nodiscard]] std::size_t checkpoint_interval() const noexcept {
@@ -185,6 +197,12 @@ class IncrementalEvaluator {
  private:
   static constexpr Cost kUnbounded =
       std::numeric_limits<Cost>::infinity();
+
+  /// Largest graph for which the constructor computes exact per-node
+  /// successor-cone cardinalities. The 64-position-block bitset sweep is
+  /// O((v + e) * v / 64); at this cap that is a few million word ops,
+  /// negligible next to the O(v + e) reset the evaluator already pays.
+  static constexpr std::size_t kConeExactNodes = 16384;
 
   /// Checkpoint index covering list position `pos`.
   [[nodiscard]] std::size_t checkpoint_of(std::size_t pos) const noexcept {
@@ -223,7 +241,8 @@ class IncrementalEvaluator {
 
   /// True when the auto heuristic routes this probe to the event path:
   /// the contiguous scan would walk `suffix` positions while the event
-  /// frontier is expected to stay near the observed per-probe average.
+  /// frontier is expected to stay near the observed per-probe average
+  /// (or, before any observation, near n's successor-cone cardinality).
   [[nodiscard]] bool prefer_event(std::size_t suffix, NodeId n) const;
 
   /// Folds a completed candidate scan into committed state: suffix
@@ -257,6 +276,9 @@ class IncrementalEvaluator {
   // the node has no successors; position 0 cannot be a successor). Fixed.
   std::vector<std::uint32_t> pos_;
   std::vector<std::uint32_t> max_succ_pos_;
+  // Successor-cone cardinality per node (empty above kConeExactNodes):
+  // the static per-move seed for the auto frontier estimate. Fixed.
+  std::vector<std::uint32_t> cone_size_;
 
   // Candidate scans write finish_ in place; scratch_finish_ is the undo
   // log (prior value of each node in the dirty list range). Ready times
@@ -282,7 +304,12 @@ class IncrementalEvaluator {
   EventReplay event_;
   std::vector<NodeId> sparse_dirty_;
   ReplayPolicy policy_ = ReplayPolicy::kAuto;
-  double ewma_affected_ = 0.0;  ///< EWMA of worklist pops per event probe
+  // Online frontier estimate for the auto policy: EWMA of the per-probe
+  // affected-node counts observed by *both* engines — worklist pops on
+  // the event path, changed finish times on the contiguous path. 0.0
+  // means "no observation yet"; prefer_event then seeds from cone_size_.
+  double ewma_affected_ = 0.0;
+  std::uint64_t scan_changed_ = 0;  ///< finish values the last scan changed
 
   // Backward-bound sharpening for early rejection (set_reject_tails).
   std::vector<Cost> reject_tails_;

@@ -12,6 +12,7 @@ graph::TaskGraph random_layered_dag(const RandomDagParams& params) {
   FASTSCHED_REQUIRE(params.min_weight > 0 &&
                         params.max_weight >= params.min_weight,
                     "invalid weight range");
+  // NOLINT-fastsched(par-unsplit-rng): seed is an explicit per-cell parameter (pure function of the run config, worker-count independent)
   Rng rng(params.seed);
   const std::size_t v = params.num_nodes;
   const double sqrt_v = std::sqrt(static_cast<double>(v));

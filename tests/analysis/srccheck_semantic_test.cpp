@@ -1,0 +1,472 @@
+// Unit tests for the fastsched_check semantic layer (semantic.hpp): the
+// heuristic declaration parser, call resolution (overloads by arity,
+// cycles, function-pointer degradation), the transitive hot-path and
+// task-reachability inferences, the T rule family, and the self-hosted
+// parallel evaluation's byte-identity. Fixture code lives in raw strings
+// so the self-run over src/ never sees the deliberate violations.
+
+#include <sstream>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "analysis/srccheck/semantic.hpp"
+#include "analysis/srccheck/srccheck.hpp"
+
+namespace srccheck = fastsched::analysis::srccheck;
+using fastsched::analysis::Diagnostic;
+
+namespace {
+
+srccheck::SrcCheckReport run_on(std::string_view text,
+                                std::string path = "test.cpp") {
+  std::vector<srccheck::CheckedFile> files;
+  files.push_back(srccheck::check_file_from_text(std::move(path), text));
+  return srccheck::src_check(files);
+}
+
+bool has_rule(const srccheck::SrcCheckReport& report, std::string_view rule,
+              std::uint32_t line = 0) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule_id == rule && (line == 0 || d.line == line)) return true;
+  }
+  return false;
+}
+
+/// Flat id of the function named `name` (optionally with `max_arity`) in
+/// `files`, or kNoFunction.
+std::uint32_t flat_fn(const srccheck::SemanticModel& m,
+                      const std::vector<srccheck::CheckedFile>& files,
+                      std::string_view name,
+                      std::uint32_t max_arity = srccheck::kVariadicArity) {
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const auto& fns = files[f].semantics.functions;
+    for (std::size_t k = 0; k < fns.size(); ++k) {
+      if (fns[k].name == name &&
+          (max_arity == srccheck::kVariadicArity ||
+           fns[k].max_arity == max_arity)) {
+        return m.fn_base[f] + static_cast<std::uint32_t>(k);
+      }
+    }
+  }
+  return srccheck::kNoFunction;
+}
+
+// --- lexer regressions (raw strings, block comments in directives) --------
+
+TEST(SourceLexer, PrefixedRawStringsAreBlankedNotRetokenized) {
+  const auto f = srccheck::check_file_from_text(
+      "t.cpp",
+      "const char* a = u8R\"(rand(); assert(1);)\";\n"
+      "const wchar_t* b = LR\"x(std::random_device rd;)x\";\n"
+      "const char* c = UR\"(time(nullptr))\";\n");
+  for (const srccheck::Token& t : f.source.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "assert");
+    EXPECT_NE(t.text, "random_device");
+    EXPECT_NE(t.text, "time");
+  }
+  // And the identifier-looking prefixes must not survive as identifiers.
+  for (const srccheck::Token& t : f.source.tokens) {
+    EXPECT_NE(t.text, "u8R");
+    EXPECT_NE(t.text, "LR");
+    EXPECT_NE(t.text, "UR");
+  }
+}
+
+TEST(SourceLexer, MultilineRawStringKeepsLineNumbers) {
+  const auto f = srccheck::check_file_from_text(
+      "t.cpp",
+      "const char* s = R\"(\nassert(1);\nclock();\n)\";\nint after = 1;\n");
+  // Nothing from the payload leaks into the token stream...
+  for (const srccheck::Token& t : f.source.tokens) {
+    EXPECT_NE(t.text, "assert");
+    EXPECT_NE(t.text, "clock");
+  }
+  // ...and the declaration after the literal sits on the right line.
+  bool found = false;
+  for (const srccheck::Token& t : f.source.tokens) {
+    if (t.text == "after") {
+      EXPECT_EQ(t.line, 5u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(run_on("const char* s = R\"(\nassert(1);\nclock();\n)\";\n")
+                  .clean());
+}
+
+TEST(SourceLexer, BlockCommentInsideDirectiveKeepsPreprocessorState) {
+  // Comments are removed in translation phase 3, so a block comment
+  // spanning lines does not end the directive: the `assert` stays a
+  // preprocessor token (and must not fire bare-assert), while code after
+  // the directive is ordinary again.
+  const std::string_view text =
+      "#define CHECK(x) /* explanation\n"
+      "   spanning lines */ assert(x)\n"
+      "int f() { return 1; }\n";
+  const auto f = srccheck::check_file_from_text("t.cpp", text);
+  bool saw_assert = false;
+  bool saw_f = false;
+  for (const srccheck::Token& t : f.source.tokens) {
+    if (t.text == "assert") {
+      EXPECT_TRUE(t.preprocessor);
+      saw_assert = true;
+    }
+    if (t.text == "f") {
+      EXPECT_FALSE(t.preprocessor);
+      saw_f = true;
+    }
+  }
+  EXPECT_TRUE(saw_assert);
+  EXPECT_TRUE(saw_f);
+  EXPECT_TRUE(run_on(text).clean());
+}
+
+// --- declaration parser ---------------------------------------------------
+
+TEST(SemanticParser, FunctionDefsWithQualifiersBodiesAndParams) {
+  const auto f = srccheck::check_file_from_text(
+      "t.cpp",
+      "int add(int a, int b) { return a + b; }\n"
+      "struct S { int x; };\n"
+      "S::S(int v) : x(v) {}\n"
+      "auto make() -> int { return 1; }\n"
+      "int declared(int);\n");
+  const auto& fns = f.semantics.functions;
+  ASSERT_EQ(fns.size(), 3u);
+  // Sorted by body start: add, S::S, make.
+  EXPECT_EQ(fns[0].name, "add");
+  EXPECT_EQ(fns[0].min_arity, 2u);
+  EXPECT_EQ(fns[0].max_arity, 2u);
+  ASSERT_EQ(fns[0].params.size(), 2u);
+  EXPECT_EQ(fns[0].params[0], "a");
+  EXPECT_EQ(fns[0].params[1], "b");
+  EXPECT_EQ(fns[1].name, "S");
+  EXPECT_EQ(fns[1].qualifier, "S");
+  EXPECT_EQ(fns[2].name, "make");
+  EXPECT_EQ(fns[2].max_arity, 0u);
+}
+
+TEST(SemanticParser, DeclarationsAndControlFlowAreNotDefs) {
+  const auto f = srccheck::check_file_from_text(
+      "t.cpp",
+      "int declared(int x);\n"
+      "void g() {\n"
+      "  if (declared(1)) { declared(2); }\n"
+      "  while (declared(3)) {}\n"
+      "  switch (declared(4)) { default: break; }\n"
+      "}\n");
+  ASSERT_EQ(f.semantics.functions.size(), 1u);
+  EXPECT_EQ(f.semantics.functions[0].name, "g");
+  // The four uses inside g are calls attributed to g. The file-scope
+  // prototype also records as a call — a documented over-approximation;
+  // its caller is kNoFunction, so nothing propagates through it.
+  std::size_t inside_g = 0;
+  std::size_t at_file_scope = 0;
+  for (const srccheck::CallSite& c : f.semantics.calls) {
+    EXPECT_NE(c.name, "if");
+    EXPECT_NE(c.name, "while");
+    EXPECT_NE(c.name, "switch");
+    if (c.name == "declared") {
+      EXPECT_EQ(c.arity, 1u);
+      if (c.caller == srccheck::kNoFunction) {
+        ++at_file_scope;
+      } else {
+        EXPECT_EQ(c.caller, 0u);
+        ++inside_g;
+      }
+    }
+  }
+  EXPECT_EQ(inside_g, 4u);
+  EXPECT_EQ(at_file_scope, 1u);
+}
+
+TEST(SemanticParser, LambdaCapturesParamsAndDefaults) {
+  const auto f = srccheck::check_file_from_text(
+      "t.cpp",
+      "void h() {\n"
+      "  int a = 0;\n"
+      "  int b = 0;\n"
+      "  auto l1 = [&a, b](int p) { a += p + b; };\n"
+      "  auto l2 = [&]() mutable { a = 1; };\n"
+      "  auto l3 = [=] { return b; };\n"
+      "}\n");
+  const auto& lams = f.semantics.lambdas;
+  ASSERT_EQ(lams.size(), 3u);
+  ASSERT_EQ(lams[0].ref_captures.size(), 1u);
+  EXPECT_EQ(lams[0].ref_captures[0], "a");
+  ASSERT_EQ(lams[0].value_captures.size(), 1u);
+  EXPECT_EQ(lams[0].value_captures[0], "b");
+  ASSERT_EQ(lams[0].params.size(), 1u);
+  EXPECT_EQ(lams[0].params[0], "p");
+  EXPECT_FALSE(lams[0].ref_default);
+  EXPECT_TRUE(lams[1].ref_default);
+  EXPECT_TRUE(lams[2].value_default);
+  for (const auto& lam : lams) EXPECT_EQ(lam.caller, 0u);
+}
+
+TEST(SemanticParser, QuotedIncludesAreHarvestedVerbatim) {
+  const auto f = srccheck::check_file_from_text(
+      "t.cpp",
+      "#include <vector>\n"
+      "#include \"analysis/srccheck/semantic.hpp\"\n"
+      "#  include   \"common/rng.hpp\"\n");
+  ASSERT_EQ(f.semantics.includes.size(), 2u);
+  EXPECT_EQ(f.semantics.includes[0], "analysis/srccheck/semantic.hpp");
+  EXPECT_EQ(f.semantics.includes[1], "common/rng.hpp");
+}
+
+// --- call resolution ------------------------------------------------------
+
+TEST(SemanticModel, OverloadsResolveByArity) {
+  std::vector<srccheck::CheckedFile> files;
+  files.push_back(srccheck::check_file_from_text(
+      "t.cpp",
+      "void sink(int x) {}\n"
+      "void sink(int x, int y) {}\n"
+      "void caller() {\n"
+      "  // fastsched: hot\n"
+      "  sink(1);\n"
+      "  // fastsched: end-hot\n"
+      "}\n"));
+  const srccheck::SemanticModel m = srccheck::build_semantic_model(files);
+  const std::uint32_t sink1 = flat_fn(m, files, "sink", 1);
+  const std::uint32_t sink2 = flat_fn(m, files, "sink", 2);
+  ASSERT_NE(sink1, srccheck::kNoFunction);
+  ASSERT_NE(sink2, srccheck::kNoFunction);
+  // The unary call on the hot line reaches only the unary overload.
+  EXPECT_FALSE(m.hot_reason[sink1].empty());
+  EXPECT_TRUE(m.hot_reason[sink2].empty());
+}
+
+TEST(SemanticModel, MutualRecursionTerminatesAndMarksBoth) {
+  std::vector<srccheck::CheckedFile> files;
+  files.push_back(srccheck::check_file_from_text(
+      "t.cpp",
+      "int even_step(int n);\n"
+      "int odd_step(int n) { return n == 0 ? 0 : even_step(n - 1); }\n"
+      "int even_step(int n) { return n == 0 ? 1 : odd_step(n - 1); }\n"
+      "void probe() {\n"
+      "  // fastsched: hot\n"
+      "  odd_step(3);\n"
+      "  // fastsched: end-hot\n"
+      "}\n"));
+  const srccheck::SemanticModel m = srccheck::build_semantic_model(files);
+  const std::uint32_t odd = flat_fn(m, files, "odd_step");
+  const std::uint32_t even = flat_fn(m, files, "even_step");
+  ASSERT_NE(odd, srccheck::kNoFunction);
+  ASSERT_NE(even, srccheck::kNoFunction);
+  EXPECT_FALSE(m.hot_reason[odd].empty());
+  EXPECT_FALSE(m.hot_reason[even].empty());
+}
+
+TEST(SemanticModel, FunctionPointerCallsDegradeToUnknownCallee) {
+  std::vector<srccheck::CheckedFile> files;
+  files.push_back(srccheck::check_file_from_text(
+      "t.cpp",
+      "int apply(int (*fp)(int), int x) {\n"
+      "  return (*fp)(x) + fp(x);\n"
+      "}\n"
+      "void probe() {\n"
+      "  // fastsched: hot\n"
+      "  apply(nullptr, 1);\n"
+      "  // fastsched: end-hot\n"
+      "}\n"));
+  const srccheck::SemanticModel m = srccheck::build_semantic_model(files);
+  // The fp(x) call resolves to nothing: no def named fp exists, so the
+  // callee list stays empty and nothing propagates through it.
+  for (std::size_t c = 0; c < files[0].semantics.calls.size(); ++c) {
+    if (files[0].semantics.calls[c].name == "fp") {
+      EXPECT_TRUE(m.callees[c].empty());
+    }
+  }
+  // And no false findings surface from the indirection.
+  EXPECT_TRUE(run_on("int apply(int (*fp)(int), int x) {\n"
+                     "  return (*fp)(x) + fp(x);\n"
+                     "}\n")
+                  .clean());
+}
+
+// --- transitive inference -------------------------------------------------
+
+TEST(SemanticModel, HotPathReachesTwoCallsBelowTheRegion) {
+  const srccheck::SrcCheckReport report = run_on(
+      "#include <vector>\n"
+      "void leaf_grow(std::vector<int>& out) { out.push_back(1); }\n"
+      "void mid_step(std::vector<int>& out) { leaf_grow(out); }\n"
+      "void probe(std::vector<int>& out) {\n"
+      "  // fastsched: hot\n"
+      "  mid_step(out);\n"
+      "  // fastsched: end-hot\n"
+      "}\n");
+  ASSERT_TRUE(has_rule(report, "hot-alloc", 2));
+  // The finding carries the provenance chain back to the region.
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule_id == "hot-alloc") {
+      EXPECT_NE(d.message.find("inferred hot"), std::string::npos);
+      EXPECT_NE(d.message.find("hot region"), std::string::npos);
+    }
+  }
+}
+
+TEST(SemanticModel, TaskReachabilityMarksCalleesNotTheSubmitter) {
+  std::vector<srccheck::CheckedFile> files;
+  files.push_back(srccheck::check_file_from_text(
+      "t.cpp",
+      "struct Pool { template <typename F> void submit(F f); };\n"
+      "int helper(int x) { return x; }\n"
+      "void fan_out(Pool& pool) {\n"
+      "  pool.submit([] { helper(1); });\n"
+      "}\n"));
+  const srccheck::SemanticModel m = srccheck::build_semantic_model(files);
+  const std::uint32_t helper = flat_fn(m, files, "helper");
+  const std::uint32_t fan_out = flat_fn(m, files, "fan_out");
+  ASSERT_NE(helper, srccheck::kNoFunction);
+  ASSERT_NE(fan_out, srccheck::kNoFunction);
+  EXPECT_FALSE(m.task_reason[helper].empty());
+  // The function *containing* the submit runs on the caller's thread.
+  EXPECT_TRUE(m.task_reason[fan_out].empty());
+  ASSERT_EQ(m.task_lambdas.at(0).size(), 1u);
+  EXPECT_EQ(m.task_lambdas[0][0].entry, "submit");
+}
+
+TEST(SemanticModel, UnorderedArgumentPropagatesToParameter) {
+  std::vector<srccheck::CheckedFile> files;
+  files.push_back(srccheck::check_file_from_text(
+      "t.cpp",
+      "#include <unordered_map>\n"
+      "template <typename Map> int fold(const Map& table) { return 0; }\n"
+      "int use() {\n"
+      "  std::unordered_map<int, int> scores;\n"
+      "  return fold(scores);\n"
+      "}\n"));
+  const srccheck::SemanticModel m = srccheck::build_semantic_model(files);
+  const std::uint32_t fold = flat_fn(m, files, "fold");
+  ASSERT_NE(fold, srccheck::kNoFunction);
+  ASSERT_EQ(m.param_unordered[fold].size(), 1u);
+  EXPECT_TRUE(m.param_unordered[fold][0]);
+}
+
+// --- the T rule family ----------------------------------------------------
+
+TEST(RuleParRefMutation, FlagsSharedWriteAndAllowsSlotPattern) {
+  const std::string_view racy =
+      "struct Pool { template <typename F> void submit(F f); };\n"
+      "void fan_out(Pool& pool, int n) {\n"
+      "  int total = 0;\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    pool.submit([&total, i] { total += i; });\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(run_on(racy), "par-ref-mutation", 5));
+
+  const std::string_view slot =
+      "struct Pool { template <typename F> void submit(F f); };\n"
+      "void fan_out(Pool& pool, int* results, int n) {\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    pool.submit([results, i] { results[i] = i; });\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(run_on(slot).clean());
+
+  // `x.member = ...` writes to x (task-local here), not to a capture
+  // named `member`.
+  const std::string_view member =
+      "struct Pool { template <typename F> void submit(F f); };\n"
+      "struct Input { int graph; };\n"
+      "void fan_out(Pool& pool) {\n"
+      "  pool.submit([] {\n"
+      "    Input input;\n"
+      "    input.graph = 1;\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(run_on(member).clean());
+}
+
+TEST(RuleParUnorderedMerge, FlagsPropagatedParameterIteration) {
+  const srccheck::SrcCheckReport report = run_on(
+      "#include <unordered_map>\n"
+      "struct Pool { template <typename F> void submit(F f); };\n"
+      "template <typename Map> int fold(const Map& table) {\n"
+      "  int sum = 0;\n"
+      "  for (const auto& kv : table) { sum += kv.second; }\n"
+      "  return sum;\n"
+      "}\n"
+      "void merge(Pool& pool, int* out) {\n"
+      "  std::unordered_map<int, int> scores;\n"
+      "  pool.submit([&scores, out] { out[0] = fold(scores); });\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(report, "par-unordered-merge", 5));
+  // D2 cannot see this: `table` is never declared unordered here.
+  EXPECT_FALSE(has_rule(report, "det-unordered-iter"));
+}
+
+TEST(RuleParHotLock, FlagsLocksInHotCodeOnly) {
+  const std::string_view hot =
+      "#include <mutex>\n"
+      "std::mutex mu;\n"
+      "void probe(int n) {\n"
+      "  // fastsched: hot\n"
+      "  std::lock_guard<std::mutex> guard(mu);\n"
+      "  // fastsched: end-hot\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(run_on(hot), "par-hot-lock", 5));
+
+  const std::string_view cold =
+      "#include <mutex>\n"
+      "std::mutex mu;\n"
+      "void setup() { std::lock_guard<std::mutex> guard(mu); }\n";
+  EXPECT_TRUE(run_on(cold).clean());
+}
+
+TEST(RuleParUnsplitRng, FlagsUnsplitAndAcceptsSplit) {
+  const std::string_view unsplit =
+      "struct Rng { explicit Rng(unsigned s); Rng split(int i) const; };\n"
+      "struct Pool { template <typename F> void submit(F f); };\n"
+      "void fan_out(Pool& pool) {\n"
+      "  pool.submit([] { Rng local(42); });\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(run_on(unsplit), "par-unsplit-rng", 4));
+
+  const std::string_view split =
+      "struct Rng { explicit Rng(unsigned s); Rng split(int i) const; };\n"
+      "struct Pool { template <typename F> void submit(F f); };\n"
+      "void fan_out(Pool& pool, const Rng& base) {\n"
+      "  pool.submit([&base] { Rng derived = base.split(0); });\n"
+      "}\n";
+  EXPECT_TRUE(run_on(split).clean());
+}
+
+// --- self-hosted parallel evaluation --------------------------------------
+
+TEST(SrcCheck, ParallelRuleEvaluationIsByteIdentical) {
+  std::vector<srccheck::CheckedFile> files;
+  files.push_back(srccheck::check_file_from_text(
+      "a.cpp",
+      "unsigned seed() { return static_cast<unsigned>(time(nullptr)); }\n"));
+  files.push_back(srccheck::check_file_from_text(
+      "b.cpp",
+      "#include <vector>\n"
+      "void leaf(std::vector<int>& out) { out.push_back(1); }\n"
+      "void probe(std::vector<int>& out) {\n"
+      "  // fastsched: hot\n"
+      "  leaf(out);\n"
+      "  // fastsched: end-hot\n"
+      "}\n"));
+  files.push_back(srccheck::check_file_from_text(
+      "c.cpp", "void fine() { int x = 1; (void)x; }\n"));
+  const auto& registry = srccheck::SrcRuleRegistry::builtin();
+  const srccheck::SrcCheckReport serial =
+      srccheck::src_check(files, registry, 1);
+  const srccheck::SrcCheckReport parallel =
+      srccheck::src_check(files, registry, 8);
+  std::ostringstream a;
+  std::ostringstream b;
+  srccheck::write_json(a, serial);
+  srccheck::write_json(b, parallel);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_GT(serial.num_errors, 0u);  // the comparison is not vacuous
+}
+
+}  // namespace

@@ -357,6 +357,30 @@ TEST(IncrementalEvaluator, EventPolicyLifecycleMatchesOracle) {
   EXPECT_GT(inc.counters().event_processed, 0u);
 }
 
+TEST(IncrementalEvaluator, ConeSizesMatchBruteForceReachability) {
+  const TaskGraph g = testing::small_random(329, 120, 1.0, 3.0);
+  IncrementalEvaluator inc(g, topo_list(g), 4);
+  const auto cones = inc.cone_sizes();
+  ASSERT_EQ(cones.size(), g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    // |proper descendants| by a plain DFS.
+    std::vector<char> seen(g.num_nodes(), 0);
+    std::vector<NodeId> stack{n};
+    std::size_t reached = 0;
+    while (!stack.empty()) {
+      const NodeId m = stack.back();
+      stack.pop_back();
+      for (const graph::Adjacency& s : g.successors(m)) {
+        if (seen[s.node] != 0) continue;
+        seen[s.node] = 1;
+        ++reached;
+        stack.push_back(s.node);
+      }
+    }
+    EXPECT_EQ(cones[n], reached) << "node " << n;
+  }
+}
+
 TEST(IncrementalEvaluator, AutoPicksEventOnSparseGraphs) {
   // Sparse, wide graph: a front-of-list move leaves a long suffix but
   // touches few nodes, exactly the regime the auto heuristic targets.

@@ -1,0 +1,18 @@
+// Fixture: H1 hot-alloc through the call graph — the allocation sits two
+// calls below the annotated region, so only the semantic layer's
+// transitive hot-path inference can see it. Never compiled — lexed only.
+#include <vector>
+
+void leaf_grow(std::vector<int>& out) {
+  out.push_back(1);
+}
+
+void mid_step(std::vector<int>& out) {
+  leaf_grow(out);
+}
+
+void probe(std::vector<int>& out) {
+  // fastsched: hot
+  mid_step(out);
+  // fastsched: end-hot
+}

@@ -1,0 +1,13 @@
+// Fixture: a block comment spanning lines *inside* a preprocessor
+// directive — comments are removed in translation phase 3, so the
+// directive continues after the comment and its tokens stay flagged as
+// preprocessor (the `assert` below must not fire A1).
+// Expected findings: none. Never compiled — lexed only.
+
+#define CHECK_FIXTURE(x) /* explanatory comment
+   spanning two lines */ assert(x)
+
+int use_check(int v) {
+  CHECK_FIXTURE(v > 0);
+  return v;
+}

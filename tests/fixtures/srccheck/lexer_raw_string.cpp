@@ -1,0 +1,16 @@
+// Fixture: raw-string-literal lexing — every payload below contains text
+// that would trip D1/A1 if the lexer retokenized it as code (the
+// multi-line and encoding-prefixed forms are the regression cases).
+// Expected findings: none. Never compiled — lexed only.
+
+const char* plain = R"(assert(1); std::random_device rd;)";
+
+const char* delimited = R"x(time(nullptr) and rand() inside )" too)x";
+
+const char* multiline = R"(
+  std::this_thread::get_id();
+  clock();
+)";
+
+const char* prefixed = u8R"(srand(42);)";
+const wchar_t* wide = LR"y(std::chrono::system_clock::now())y";

@@ -1,0 +1,42 @@
+// Fixture: T1 par-ref-mutation — a pool task mutating state captured by
+// reference (explicit capture and [&] default), one suppressed case, and
+// the sanctioned slot-per-task pattern. Never compiled — lexed only.
+#include <vector>
+
+struct Pool {
+  template <typename F>
+  void submit(F f);
+};
+
+int cost_of(int i);
+
+void racy_sum(Pool& pool, int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    pool.submit([&total, i] { total += cost_of(i); });
+  }
+}
+
+void racy_default_capture(Pool& pool, std::vector<int>& log) {
+  pool.submit([&] {
+    int local = 0;      // task-local: writes to it are fine
+    local += 1;
+    log.push_back(local);
+  });
+}
+
+void locked_merge(Pool& pool, int n) {
+  int merged = 0;
+  for (int i = 0; i < n; ++i) {
+    pool.submit([&merged, i] {
+      // NOLINT-fastsched(par-ref-mutation): single-task pool in this test harness, no concurrency by construction
+      merged += cost_of(i);
+    });
+  }
+}
+
+void slot_per_task(Pool& pool, std::vector<int>& results, int n) {
+  for (int i = 0; i < n; ++i) {
+    pool.submit([&results, i] { results[i] = cost_of(i); });
+  }
+}

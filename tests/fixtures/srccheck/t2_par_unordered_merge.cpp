@@ -1,0 +1,55 @@
+// Fixture: T2 par-unordered-merge — task-reachable functions iterating a
+// parameter bound to an unordered container: one declared as unordered
+// (where D2 also fires — T2 generalizes it), one reached only through
+// argument propagation (invisible to D2), a suppressed fold and an
+// ordered-parameter clean case. Never compiled — lexed only.
+#include <unordered_map>
+#include <vector>
+
+struct Pool {
+  template <typename F>
+  void submit(F f);
+};
+
+int fold_declared(const std::unordered_map<int, int>& items) {
+  int sum = 0;
+  for (const auto& kv : items) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+template <typename Map>
+int fold_generic(const Map& table) {
+  int sum = 0;
+  for (const auto& kv : table) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+int fold_waived(const std::unordered_map<int, int>& counts) {
+  int sum = 0;
+  // NOLINT-fastsched(par-unordered-merge, det-unordered-iter): integer addition is commutative and associative, the fold is order-independent
+  for (const auto& kv : counts) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+int fold_ordered(const std::vector<int>& ranked) {
+  int sum = 0;
+  for (const int v : ranked) {
+    sum += v;
+  }
+  return sum;
+}
+
+void merge_results(Pool& pool, std::vector<int>& out) {
+  std::unordered_map<int, int> scores;
+  pool.submit([&out, &scores] {
+    out[0] = fold_declared(scores);
+    out[1] = fold_generic(scores);
+    out[2] = fold_waived(scores);
+  });
+}

@@ -1,0 +1,34 @@
+// Fixture: T3 par-hot-lock — a lock guard inside an explicit hot region,
+// an atomic RMW in a function *inferred* hot (called from the region),
+// a suppressed stats counter, and a lock on a cold path left alone.
+// Never compiled — lexed only.
+#include <atomic>
+#include <mutex>
+
+std::mutex mu;
+std::atomic<int> visits;
+std::atomic<int> stats;
+
+void bump_visits() {
+  visits.fetch_add(1);
+}
+
+void bump_stats() {
+  // NOLINT-fastsched(par-hot-lock): relaxed stats counter, value never feeds a scheduling decision
+  stats.fetch_add(1);
+}
+
+void probe_loop(int n) {
+  // fastsched: hot
+  for (int i = 0; i < n; ++i) {
+    std::lock_guard<std::mutex> guard(mu);
+    bump_visits();
+    bump_stats();
+  }
+  // fastsched: end-hot
+}
+
+void cold_setup() {
+  std::lock_guard<std::mutex> guard(mu);
+  visits.fetch_add(1);
+}

@@ -1,0 +1,33 @@
+// Fixture: T4 par-unsplit-rng — Rng constructed inside a submitted task,
+// and in a helper reached from one; the split-derived construction and a
+// suppressed fixed-seed case stay clean. Never compiled — lexed only.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed);
+  Rng split(std::size_t index) const;
+  double uniform();
+};
+
+struct Pool {
+  template <typename F>
+  void submit(F f);
+};
+
+double jitter(std::uint64_t seed) {
+  Rng local(seed);
+  return local.uniform();
+}
+
+void fan_out(Pool& pool, const Rng& base, double* results) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    pool.submit([&base, results, i] {
+      Rng task_rng(12345);
+      Rng derived = base.split(i);
+      // NOLINT-fastsched(par-unsplit-rng): fixture-pinned seed, stream equality across tasks is the point of this test
+      Rng pinned(99);
+      results[i] = task_rng.uniform() + derived.uniform() + pinned.uniform() +
+                   jitter(7);
+    });
+  }
+}

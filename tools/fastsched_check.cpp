@@ -16,11 +16,44 @@
 #include "analysis/srccheck/srccheck.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace {
 
 using namespace fastsched;
 namespace srccheck = analysis::srccheck;
+
+/// GitHub Actions workflow-command escaping: data and property values
+/// use %-encoding for the characters the runner parses structurally.
+std::string gh_escape(const std::string& s, bool property) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      case ':': out += property ? "%3A" : ":"; break;
+      case ',': out += property ? "%2C" : ","; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// One `::error`/`::warning` workflow command per diagnostic: the runner
+/// turns these into inline PR annotations at the finding's file:line.
+void write_github_annotations(std::ostream& os,
+                              const srccheck::SrcCheckReport& report) {
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    os << (d.severity == analysis::Severity::kError ? "::error" : "::warning")
+       << " file=" << gh_escape(d.file, true) << ",line=" << d.line
+       << ",title=" << gh_escape(d.rule_id, true)
+       << "::" << gh_escape(d.message, false);
+    if (!d.fix_hint.empty()) os << gh_escape(" (fix: " + d.fix_hint + ")", false);
+    os << '\n';
+  }
+}
 
 int run(int argc, char** argv) {
   CliParser cli(
@@ -37,7 +70,13 @@ int run(int argc, char** argv) {
                  "do not fail the run");
   cli.add_option("write-baseline", "", "write the current findings as a "
                  "baseline file and exit 0");
+  cli.add_option("jobs", "", "worker threads for loading and rule "
+                 "evaluation; output is byte-identical for every value "
+                 "(default: FASTSCHED_JOBS, else 1; 0 = all hardware "
+                 "threads)");
   cli.add_flag("json", "emit the report as JSON instead of text");
+  cli.add_flag("github", "also emit GitHub Actions workflow commands "
+               "(::error/::warning annotations) on stdout");
   cli.add_flag("warnings-as-errors", "exit nonzero on warnings too");
   cli.add_flag("quiet", "suppress output; use the exit status only");
   cli.add_flag("list-rules", "print every registered rule and exit");
@@ -55,9 +94,11 @@ int run(int argc, char** argv) {
   std::vector<std::string> paths = cli.positional();
   if (paths.empty()) paths = {"src", "tools", "bench"};
 
+  const std::size_t jobs = resolve_jobs(cli.get("jobs"), /*fallback=*/1);
   const std::vector<srccheck::CheckedFile> files =
-      srccheck::load_sources(cli.get("root"), paths);
-  srccheck::SrcCheckReport report = srccheck::src_check(files);
+      srccheck::load_sources(cli.get("root"), paths, jobs);
+  srccheck::SrcCheckReport report =
+      srccheck::src_check(files, srccheck::SrcRuleRegistry::builtin(), jobs);
 
   if (!cli.get("write-baseline").empty()) {
     const std::string path = cli.get("write-baseline");
@@ -102,6 +143,11 @@ int run(int argc, char** argv) {
       }
       std::cout << '\n';
     }
+  }
+  // Annotations are machine-directed: emitted even under --quiet so CI
+  // can gate silently yet still decorate the diff.
+  if (cli.get_flag("github")) {
+    write_github_annotations(std::cout, report);
   }
   return report.ok(cli.get_flag("warnings-as-errors")) ? 0 : 1;
 }
