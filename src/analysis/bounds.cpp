@@ -74,24 +74,42 @@ Cost min_overlap(Cost e, Cost l, Cost w, Cost a, Cost b) {
   return std::max(Cost{0}, w - before - after);
 }
 
+// The Fernández/Bussell interval-density bound. Every task must execute
+// inside its window [est[n], t0 − tail[n]] in any schedule meeting the
+// reference makespan t0 (the window is at least w(n) long because t0 is
+// itself at least the comm-cp-tail certificate est + w + tail). If some
+// interval [a, b) must contain more mandatory work than p·(b − a), no
+// schedule of length t0 exists, and the relaxed excess lifts the bound.
+//
+// With `opt.density_endpoints == 0` the search is exact: it examines
+// every (release, deadline) endpoint pair — the classical sufficient
+// candidate set — via a per-`a` sorted-breakpoint sweep. For fixed a,
+// task n's mandatory overlap as a function of b is 0 until
+// s_n = l_n − x_n (x_n = w(n) minus the room before a), then grows with
+// slope 1 until it saturates at x_n when b ≥ l_n; so prefix sums over
+// the breakpoints sorted by s_n and by l_n give density and contributor
+// count in O(1) amortized per b. A positive cap samples the endpoint set
+// first (the retired legacy behavior, never stronger than the exact
+// search since it maximizes over a subset of the same intervals).
 void add_interval_density_bound(const TaskGraph& g, const BoundOptions& opt,
                                 const std::vector<Cost>& est,
-                                const std::vector<Cost>& sl, Cost t0,
+                                const std::vector<Cost>& tail, Cost t0,
                                 BoundSet& out) {
   const std::size_t v = g.num_nodes();
   const Cost p = static_cast<Cost>(opt.num_procs);
+  const bool exact = opt.density_endpoints == 0;
 
-  // Candidate interval endpoints: every window boundary, sampled down to
-  // the cap (a maximum over fewer intervals stays a valid bound).
+  // Candidate interval endpoints: every release est[n] and every deadline
+  // t0 − tail[n].
   std::vector<Cost> points;
   points.reserve(2 * v);
   for (NodeId n = 0; n < v; ++n) {
     points.push_back(est[n]);
-    points.push_back(t0 - (sl[n] - g.weight(n)));
+    points.push_back(t0 - tail[n]);
   }
   std::sort(points.begin(), points.end());
   points.erase(std::unique(points.begin(), points.end()), points.end());
-  if (points.size() > opt.density_endpoints) {
+  if (!exact && points.size() > opt.density_endpoints) {
     std::vector<Cost> sampled;
     sampled.reserve(opt.density_endpoints);
     const std::size_t last = points.size() - 1;
@@ -102,47 +120,99 @@ void add_interval_density_bound(const TaskGraph& g, const BoundOptions& opt,
     points = std::move(sampled);
   }
 
+  // Per-`a` breakpoint scratch: overlap onset s_n ascending, and
+  // (deadline, residual, onset) sorted by deadline. Fully-ordered sort
+  // keys keep the prefix-sum folds bit-identical run to run.
+  struct Deadline {
+    Cost l, x, s;
+  };
+  std::vector<Cost> onsets;
+  std::vector<Deadline> deadlines;
+  onsets.reserve(v);
+  deadlines.reserve(v);
+
   Cost best_value = t0;
   TimeWindow best_interval{};
   Cost best_density = 0;
-  std::vector<NodeId> best_witness;
-  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
-    for (std::size_t j = i + 1; j < points.size(); ++j) {
-      const Cost a = points[i];
-      const Cost b = points[j];
-      const Cost capacity = p * (b - a);
-      Cost density = 0;
-      std::size_t contributors = 0;
-      for (NodeId n = 0; n < v; ++n) {
-        const Cost l = t0 - (sl[n] - g.weight(n));
-        const Cost overlap = min_overlap(est[n], l, g.weight(n), a, b);
-        if (overlap <= 0) continue;
-        // det-ok: fixed-order — sequential fold over ascending NodeId
-        density += overlap;
-        ++contributors;
+  for (std::size_t ai = 0; ai + 1 < points.size(); ++ai) {
+    const Cost a = points[ai];
+    onsets.clear();
+    deadlines.clear();
+    for (NodeId n = 0; n < v; ++n) {
+      const Cost x =
+          g.weight(n) - std::max(Cost{0}, a - est[n]);  // residual past a
+      const Cost l = t0 - tail[n];
+      // Drop residuals below the float tolerance (relative to the
+      // deadline's magnitude): they add nothing to the density, and a
+      // sub-ulp x makes l − x round back to l, which would let the
+      // saturated count overtake the onset count at b == l.
+      if (x <= 1e-9 * std::max(Cost{1}, l)) continue;
+      onsets.push_back(l - x);
+      deadlines.push_back({l, x, l - x});
+    }
+    if (onsets.empty()) continue;
+    std::sort(onsets.begin(), onsets.end());
+    std::sort(deadlines.begin(), deadlines.end(),
+              [](const Deadline& d1, const Deadline& d2) {
+                if (d1.l != d2.l) return d1.l < d2.l;
+                if (d1.s != d2.s) return d1.s < d2.s;
+                return d1.x < d2.x;
+              });
+    std::size_t onset_count = 0;     // tasks with s_n < b (contributors)
+    std::size_t saturated_count = 0; // tasks with l_n <= b
+    Cost onset_sum = 0;              // Σ s_n over contributors
+    Cost saturated_x = 0;            // Σ x_n over saturated tasks
+    Cost saturated_s = 0;            // Σ s_n over saturated tasks
+    for (std::size_t bi = ai + 1; bi < points.size(); ++bi) {
+      const Cost b = points[bi];
+      while (onset_count < onsets.size() && onsets[onset_count] < b) {
+        // det-ok: fixed-order — sequential fold over the sorted onsets
+        onset_sum += onsets[onset_count];
+        ++onset_count;
       }
-      if (!definitely_less(capacity, density) || contributors == 0) continue;
+      while (saturated_count < deadlines.size() &&
+             deadlines[saturated_count].l <= b) {
+        // det-ok: fixed-order — sequential fold over the sorted deadlines
+        saturated_x += deadlines[saturated_count].x;
+        saturated_s += deadlines[saturated_count].s;  // det-ok: fixed-order
+        ++saturated_count;
+      }
+      if (onset_count == 0) continue;
+      // Saturated tasks contribute x_n; the rest of the contributors are
+      // still on the slope and contribute b − s_n each. Signed casts:
+      // the counts are subtracted, and an unsigned wrap would turn a
+      // rounding slip into an astronomical density.
+      const Cost density =
+          saturated_x +
+          (static_cast<Cost>(onset_count) - static_cast<Cost>(saturated_count)) *
+              b -
+          (onset_sum - saturated_s);
+      const Cost capacity = p * (b - a);
+      if (!definitely_less(capacity, density)) continue;
       // Growing the makespan by δ widens every window's tail by δ, so the
       // density falls by at most `contributors`·δ: feasibility needs at
       // least the relaxed excess on top of the reference makespan.
       const Cost value =
-          t0 + (density - capacity) / static_cast<Cost>(contributors);
+          t0 + (density - capacity) / static_cast<Cost>(onset_count);
       if (value <= best_value) continue;
       best_value = value;
       best_interval = {a, b};
       best_density = density;
-      best_witness.clear();
-      for (NodeId n = 0; n < v && best_witness.size() < 12; ++n) {
-        const Cost l = t0 - (sl[n] - g.weight(n));
-        if (min_overlap(est[n], l, g.weight(n), a, b) > 0) {
-          best_witness.push_back(n);
-        }
+    }
+  }
+
+  std::vector<NodeId> best_witness;
+  if (best_value > t0) {
+    for (NodeId n = 0; n < v && best_witness.size() < 12; ++n) {
+      if (min_overlap(est[n], t0 - tail[n], g.weight(n), best_interval.begin,
+                      best_interval.end) > 0) {
+        best_witness.push_back(n);
       }
     }
   }
 
   BoundCertificate cert;
-  cert.id = "interval-density";
+  cert.id = exact ? "fernandez" : "interval-density";
   cert.value = best_value;
   cert.num_procs = opt.num_procs;
   cert.interval = best_interval;
@@ -154,10 +224,10 @@ void add_interval_density_bound(const TaskGraph& g, const BoundOptions& opt,
                   std::to_string(opt.num_procs) + " processors fit only " +
                   num(p * (best_interval.end - best_interval.begin));
   } else {
-    cert.detail =
-        "no sampled interval exceeds processor capacity at the reference "
-        "makespan " +
-        num(t0);
+    cert.detail = std::string(exact ? "no" : "no sampled") +
+                  " interval exceeds processor capacity at the reference "
+                  "makespan " +
+                  num(t0);
   }
   out.certificates.push_back(std::move(cert));
 }
@@ -285,6 +355,7 @@ BoundSet compute_bounds(const TaskGraph& g, const BoundOptions& options) {
 
   const std::vector<Cost> sl = graph::compute_static_levels(g);
   const std::vector<Cost> est = comm_aware_est(g);
+  const std::vector<Cost> tail = comm_aware_tail(g);
 
   // cp-comp: the longest computation-only chain.
   {
@@ -319,7 +390,6 @@ BoundSet compute_bounds(const TaskGraph& g, const BoundOptions& options) {
   // n; tail >= sl − w makes this dominate comm-cp in value (ties keep
   // comm-cp binding — BoundSet::binding prefers the earlier certificate).
   {
-    const std::vector<Cost> tail = comm_aware_tail(g);
     NodeId arg = 0;
     Cost value = 0;
     for (NodeId n = 0; n < g.num_nodes(); ++n) {
@@ -352,7 +422,7 @@ BoundSet compute_bounds(const TaskGraph& g, const BoundOptions& options) {
       out.certificates.push_back(std::move(cert));
     }
     if (options.interval_density) {
-      add_interval_density_bound(g, options, est, sl, out.best(), out);
+      add_interval_density_bound(g, options, est, tail, out.best(), out);
     }
   }
   return out;

@@ -27,13 +27,20 @@
 ///    forward-only certificate stays independently checkable.
 ///  * `work` — total computation divided by the processor pool: p
 ///    processors cannot burn work faster than p units per time step.
-///  * `interval-density` — a Fernández/Graham-style bound: fixing a
-///    reference makespan T₀ (the best of the bounds above) gives every
-///    task an execution window [earliest start, T₀ − tail]; if some
+///  * `fernandez` — the exact Fernández/Bussell interval-density bound:
+///    fixing a reference makespan T₀ (the best of the bounds above) gives
+///    every task an execution window [earliest start, T₀ − tail]; if some
 ///    interval [a, b) must contain more mandatory work than p·(b − a),
-///    the makespan provably exceeds T₀ by the (relaxed) excess. Catches
-///    width bottlenecks that neither the path nor the average-work bound
-///    sees.
+///    the makespan provably exceeds T₀ by the (relaxed) excess. The
+///    search examines *every* (release, deadline) endpoint pair — the
+///    classical sufficient set — via a sorted-breakpoint sweep that is
+///    O(1) amortized per pair. Catches width bottlenecks that neither the
+///    path nor the average-work bound sees, and is what the exact
+///    branch-and-bound solver (src/exact) uses as its static floor.
+///  * `interval-density` — the retired endpoint-sampling variant of the
+///    same bound, kept behind `BoundOptions::density_endpoints > 0` as an
+///    escape hatch for very large graphs. Never stronger than
+///    `fernandez` (it maximizes over a subset of the same intervals).
 
 #include <cstddef>
 #include <string>
@@ -64,15 +71,19 @@ struct BoundCertificate {
 /// Knobs for `compute_bounds`.
 struct BoundOptions {
   /// Processor-pool size for the pool-dependent bounds (work,
-  /// interval-density); 0 emits only the pool-independent certificates.
+  /// fernandez); 0 emits only the pool-independent certificates.
   std::size_t num_procs = 0;
-  /// The interval-density bound costs O(k² v) for k sampled window
-  /// endpoints; turn it off on hot paths that only want the O(v + e)
-  /// bounds.
+  /// The density bound costs O(v² log v) for the exact interval search;
+  /// turn it off on hot paths that only want the O(v + e) bounds.
   bool interval_density = true;
-  /// Endpoint-sampling cap k for the density bound. Sampling only weakens
-  /// the bound (a maximum over fewer intervals), never unsounds it.
-  std::size_t density_endpoints = 48;
+  /// 0 (the default) runs the exact Fernández search over every
+  /// (release, deadline) endpoint pair and emits the `fernandez`
+  /// certificate. A positive value k samples the endpoint set down to k
+  /// points first and emits the legacy `interval-density` certificate —
+  /// sampling only weakens the bound (a maximum over fewer intervals),
+  /// never unsounds it; use it for very large graphs where O(v² log v)
+  /// is too hot.
+  std::size_t density_endpoints = 0;
 };
 
 /// The certificates computed for one graph.

@@ -246,6 +246,9 @@ void check_bound_violation(const LintInput& in, std::vector<Diagnostic>& out) {
   BoundOptions options;
   options.num_procs = s.num_procs();
   options.interval_density = g.num_nodes() <= 4096;
+  // Exact Fernández search is O(v² log v); past 1k nodes lint falls back
+  // to the sampled variant (weaker, still sound) to stay responsive.
+  options.density_endpoints = g.num_nodes() <= 1024 ? 0 : 96;
   const BoundSet bounds = compute_bounds(g, options);
   for (const BoundCertificate& cert : bounds.certificates) {
     if (!definitely_less(makespan, cert.value)) continue;

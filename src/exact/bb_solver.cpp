@@ -1,0 +1,624 @@
+#include "exact/bb_solver.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "fast/fast.hpp"
+#include "graph/task_graph.hpp"
+
+namespace fastsched::exact {
+namespace {
+
+using graph::TaskGraph;
+using sched::kUnassignedProc;
+
+constexpr std::uint64_t kUnlimited = std::numeric_limits<std::uint64_t>::max();
+constexpr Cost kInfinity = std::numeric_limits<Cost>::infinity();
+
+/// Running aggregates of one partial schedule, copied down the DFS path
+/// (four scalars) so backtracking never recomputes them.
+struct Agg {
+  Cost path_lb = 0;    ///< max certificate floor seen along this path
+  Cost work_rem = 0;   ///< computation not yet placed
+  Cost ready_sum = 0;  ///< Σ_p ready[p] (committed idle-or-busy horizon)
+  Cost cur_len = 0;    ///< makespan of the placed prefix
+};
+
+/// One raised earliest-start floor, undone on backtrack.
+struct LbUndo {
+  NodeId node = 0;
+  Cost old_value = 0;
+};
+
+/// Everything `apply_move` changed that `undo_move` cannot rederive.
+struct Applied {
+  Cost fin = 0;
+  Cost old_ready = 0;
+  std::size_t lb_mark = 0;
+};
+
+/// Mutable search context: one per subtree task, so parallel subtrees
+/// share nothing. All vectors are sized (and the undo log reserved) at
+/// construction; the search itself never allocates.
+struct Ctx {
+  const TaskGraph* g = nullptr;
+  const std::vector<Cost>* tail = nullptr;
+  std::size_t procs = 1;
+
+  std::vector<ProcId> assign;          ///< kUnassignedProc = unscheduled
+  std::vector<Cost> finish;            ///< valid where assigned
+  std::vector<std::uint32_t> pending;  ///< unscheduled predecessor count
+  std::vector<Cost> lb_start;          ///< earliest-start floor per node
+  std::vector<Cost> ready;             ///< per-processor ready time
+  std::vector<std::uint32_t> load;     ///< tasks per processor
+  std::vector<LbUndo> lb_undo;
+
+  std::vector<NodeId> order;      ///< order[0..depth): the DFS path
+  std::vector<ProcId> path_proc;  ///< processor per path position
+
+  // Incumbent local to this (sub)search; seeded from the wave snapshot.
+  Cost best_len = 0;
+  bool improved = false;
+  std::vector<NodeId> best_order;
+  std::vector<ProcId> best_assign;
+
+  std::uint64_t budget = kUnlimited;  ///< expansions left
+  bool capped = false;
+  BBCounters counters;
+};
+
+Ctx make_ctx(const TaskGraph& g, std::size_t procs,
+             const std::vector<Cost>& tail, const std::vector<Cost>& est) {
+  const std::size_t v = g.num_nodes();
+  Ctx c;
+  c.g = &g;
+  c.tail = &tail;
+  c.procs = procs;
+  c.assign.assign(v, kUnassignedProc);
+  c.finish.assign(v, 0);
+  c.pending.assign(v, 0);
+  for (NodeId n = 0; n < v; ++n) {
+    c.pending[n] = static_cast<std::uint32_t>(g.in_degree(n));
+  }
+  c.lb_start = est;
+  c.ready.assign(procs, 0);
+  c.load.assign(procs, 0);
+  // One entry per edge out of a scheduled node, at most, along any path.
+  c.lb_undo.reserve(g.num_edges() + 1);
+  c.order.assign(v, 0);
+  c.path_proc.assign(v, 0);
+  c.best_order.assign(v, 0);
+  c.best_assign.assign(v, kUnassignedProc);
+  return c;
+}
+
+/// Start time of `n` on `q` under the ready-time recurrence. Every
+/// predecessor is scheduled (pending[n] == 0).
+Cost compute_start(const Ctx& c, NodeId n, ProcId q) {
+  Cost start = c.ready[q];
+  for (const graph::Adjacency& pred : c.g->predecessors(n)) {
+    const Cost arrival =
+        c.finish[pred.node] +
+        (c.assign[pred.node] == q ? Cost(0) : pred.cost);
+    start = std::max(start, arrival);
+  }
+  return start;
+}
+
+/// Places `n` on `q` finishing at `fin`, updating state and aggregates.
+/// Raised successor floors also raise the path bound: start(s) >= fin in
+/// every completion (co-located or paying the message, either way not
+/// before n finishes), so fin + w(s) + tail(s) is a certified floor.
+Applied apply_move(Ctx& c, NodeId n, ProcId q, Cost fin, Agg& a) {
+  const TaskGraph& g = *c.g;
+  Applied ap;
+  ap.fin = fin;
+  ap.old_ready = c.ready[q];
+  ap.lb_mark = c.lb_undo.size();
+  c.assign[n] = q;
+  c.finish[n] = fin;
+  c.ready[q] = fin;
+  ++c.load[q];
+  a.cur_len = std::max(a.cur_len, fin);
+  a.work_rem -= g.weight(n);
+  a.ready_sum = a.ready_sum + (fin - ap.old_ready);
+  a.path_lb = std::max(a.path_lb, fin + (*c.tail)[n]);
+  for (const graph::Adjacency& succ : g.successors(n)) {
+    --c.pending[succ.node];
+    if (fin > c.lb_start[succ.node]) {
+      c.lb_undo.push_back({succ.node, c.lb_start[succ.node]});
+      c.lb_start[succ.node] = fin;
+      a.path_lb = std::max(
+          a.path_lb, fin + g.weight(succ.node) + (*c.tail)[succ.node]);
+    }
+  }
+  return ap;
+}
+
+void undo_move(Ctx& c, NodeId n, ProcId q, const Applied& ap) {
+  while (c.lb_undo.size() > ap.lb_mark) {
+    const LbUndo u = c.lb_undo.back();
+    c.lb_undo.pop_back();
+    c.lb_start[u.node] = u.old_value;
+  }
+  for (const graph::Adjacency& succ : c.g->successors(n)) {
+    ++c.pending[succ.node];
+  }
+  --c.load[q];
+  c.ready[q] = ap.old_ready;
+  c.finish[n] = 0;
+  c.assign[n] = kUnassignedProc;
+}
+
+/// Machine capacity floor: processor p can run remaining work only after
+/// ready[p], so any completion is at least (W_rem + Σ ready) / p long.
+Cost machine_bound(const Ctx& c, const Agg& a) {
+  return (a.work_rem + a.ready_sum) / static_cast<Cost>(c.procs);
+}
+
+void record_incumbent(Ctx& c, Cost len) {
+  c.best_len = len;
+  c.improved = true;
+  ++c.counters.incumbent_updates;
+  c.best_order = c.order;
+  c.best_assign = c.assign;
+}
+
+/// Depth-first search below the current path. Children are enumerated in
+/// canonical (node ascending, processor ascending) order; the loop body
+/// is the per-node inner kernel of the whole solver.
+void dfs(Ctx& c, std::size_t depth, const Agg& agg) {
+  const TaskGraph& g = *c.g;
+  const std::size_t v = g.num_nodes();
+  if (depth == v) {
+    if (graph::definitely_less(agg.cur_len, c.best_len)) {
+      record_incumbent(c, agg.cur_len);
+    }
+    return;
+  }
+  if (c.budget == 0) {
+    c.capped = true;
+    return;
+  }
+  --c.budget;
+  ++c.counters.expanded;
+  // fastsched: hot
+  for (NodeId n = 0; n < v; ++n) {
+    if (c.pending[n] != 0 || c.assign[n] != kUnassignedProc) continue;
+    bool opened_empty = false;
+    for (ProcId q = 0; q < c.procs; ++q) {
+      if (c.load[q] == 0) {
+        // Empty processors are interchangeable: only the first opens.
+        if (opened_empty) {
+          ++c.counters.pruned_symmetry;
+          continue;
+        }
+        opened_empty = true;
+      }
+      ++c.counters.generated;
+      const Cost fin = compute_start(c, n, q) + g.weight(n);
+      // Cheap reject before touching any state: the placed node's own
+      // tail floor against the incumbent.
+      Cost bound = std::max(agg.path_lb, fin + (*c.tail)[n]);
+      if (!graph::definitely_less(std::max(bound, fin), c.best_len)) {
+        ++c.counters.pruned_bound;
+        continue;
+      }
+      Agg child = agg;
+      const Applied ap = apply_move(c, n, q, fin, child);
+      bound = std::max({child.path_lb, machine_bound(c, child),
+                        child.cur_len});
+      if (graph::definitely_less(bound, c.best_len)) {
+        c.order[depth] = n;
+        c.path_proc[depth] = q;
+        dfs(c, depth + 1, child);
+      } else {
+        ++c.counters.pruned_bound;
+      }
+      undo_move(c, n, q, ap);
+      if (c.capped) return;  // fast unwind once the budget is gone
+    }
+  }
+  // fastsched: end-hot
+}
+
+/// One frontier entry: a partial schedule as aligned (node, processor)
+/// prefixes plus the lower bound it was admitted with. The bound is what
+/// an unexplored subtree contributes to the reported global bound.
+struct FrontierState {
+  std::vector<NodeId> order;
+  std::vector<ProcId> procs;
+  Cost bound = 0;
+};
+
+/// Replays a frontier prefix into `c`, returning the aggregates. The
+/// prefix was admitted by the search, so it is topological by
+/// construction. When `log` is given, the applied-move records are
+/// appended so the caller can roll the prefix back in reverse.
+Agg replay_prefix(Ctx& c, const FrontierState& s, const Agg& root,
+                  std::vector<Applied>* log = nullptr) {
+  Agg agg = root;
+  for (std::size_t i = 0; i < s.order.size(); ++i) {
+    const NodeId n = s.order[i];
+    const ProcId q = s.procs[i];
+    const Cost fin = compute_start(c, n, q) + c.g->weight(n);
+    c.order[i] = n;
+    c.path_proc[i] = q;
+    const Applied ap = apply_move(c, n, q, fin, agg);
+    if (log != nullptr) log->push_back(ap);
+  }
+  return agg;
+}
+
+/// Expands one state a single level for the breadth-first frontier
+/// build: same canonical order, same pruning as `dfs`, but open children
+/// are appended to `queue` instead of recursed into.
+void expand_children(Ctx& c, const Agg& agg, std::size_t depth,
+                     std::vector<FrontierState>& queue) {
+  const TaskGraph& g = *c.g;
+  const std::size_t v = g.num_nodes();
+  ++c.counters.expanded;
+  for (NodeId n = 0; n < v; ++n) {
+    if (c.pending[n] != 0 || c.assign[n] != kUnassignedProc) continue;
+    bool opened_empty = false;
+    for (ProcId q = 0; q < c.procs; ++q) {
+      if (c.load[q] == 0) {
+        if (opened_empty) {
+          ++c.counters.pruned_symmetry;
+          continue;
+        }
+        opened_empty = true;
+      }
+      ++c.counters.generated;
+      const Cost fin = compute_start(c, n, q) + g.weight(n);
+      Agg child = agg;
+      const Applied ap = apply_move(c, n, q, fin, child);
+      const Cost bound = std::max({child.path_lb, machine_bound(c, child),
+                                   child.cur_len});
+      if (!graph::definitely_less(bound, c.best_len)) {
+        ++c.counters.pruned_bound;
+      } else if (depth + 1 == v) {
+        if (graph::definitely_less(child.cur_len, c.best_len)) {
+          c.order[depth] = n;
+          c.path_proc[depth] = q;
+          record_incumbent(c, child.cur_len);
+        }
+      } else {
+        c.order[depth] = n;
+        c.path_proc[depth] = q;
+        FrontierState next;
+        next.order.assign(c.order.begin(),
+                          c.order.begin() + static_cast<std::ptrdiff_t>(depth) + 1);
+        next.procs.assign(c.path_proc.begin(),
+                          c.path_proc.begin() + static_cast<std::ptrdiff_t>(depth) + 1);
+        next.bound = bound;
+        queue.push_back(std::move(next));
+      }
+      undo_move(c, n, q, ap);
+    }
+  }
+}
+
+/// What one frontier subtree reports back to the merge barrier.
+struct SubtreeResult {
+  bool pruned = false;  ///< stored bound met the snapshot incumbent
+  bool improved = false;
+  Cost best_len = 0;
+  std::vector<NodeId> order;
+  std::vector<ProcId> assign;
+  std::uint64_t used = 0;
+  bool capped = false;
+  BBCounters counters;
+};
+
+/// Runs one frontier subtree to exhaustion or budget. Pure function of
+/// (graph, state, snapshot, share): tasks share nothing mutable, so the
+/// wave's results are independent of worker count and interleaving.
+SubtreeResult run_subtree(const TaskGraph& g, std::size_t procs,
+                          const std::vector<Cost>& tail,
+                          const std::vector<Cost>& est, const Agg& root,
+                          const FrontierState& s, Cost snapshot,
+                          std::uint64_t share) {
+  SubtreeResult r;
+  r.best_len = snapshot;
+  if (!graph::definitely_less(s.bound, snapshot)) {
+    r.pruned = true;
+    return r;
+  }
+  Ctx c = make_ctx(g, procs, tail, est);
+  c.best_len = snapshot;
+  c.budget = share;
+  const Agg agg = replay_prefix(c, s, root);
+  dfs(c, s.order.size(), agg);
+  r.improved = c.improved;
+  r.best_len = c.best_len;
+  if (c.improved) {
+    r.order = std::move(c.best_order);
+    r.assign = std::move(c.best_assign);
+  }
+  r.used = share == kUnlimited ? 0 : share - c.budget;
+  r.capped = c.capped;
+  r.counters = c.counters;
+  return r;
+}
+
+void add_counters(BBCounters& into, const BBCounters& from) {
+  into.expanded += from.expanded;
+  into.generated += from.generated;
+  into.pruned_bound += from.pruned_bound;
+  into.pruned_symmetry += from.pruned_symmetry;
+  into.incumbent_updates += from.incumbent_updates;
+  into.capped_subtrees += from.capped_subtrees;
+}
+
+/// Shared replay: schedule length of (order, assignment), optionally
+/// materialized into `out`. Validates that the order is a topological
+/// permutation and the placement in range.
+Cost replay_into(const TaskGraph& g, const std::vector<NodeId>& order,
+                 const std::vector<ProcId>& assignment, std::size_t num_procs,
+                 sched::Schedule* out) {
+  const std::size_t v = g.num_nodes();
+  FASTSCHED_REQUIRE(order.size() == v,
+                    "exact replay: order must cover every node exactly once");
+  FASTSCHED_REQUIRE(assignment.size() == v,
+                    "exact replay: one processor per node required");
+  std::vector<Cost> finish(v, 0);
+  std::vector<char> placed(v, 0);
+  std::vector<Cost> ready(std::max<std::size_t>(num_procs, 1), 0);
+  Cost length = 0;
+  for (const NodeId n : order) {
+    FASTSCHED_REQUIRE(n < v, "exact replay: node id out of range");
+    FASTSCHED_REQUIRE(placed[n] == 0, "exact replay: node placed twice");
+    const ProcId q = assignment[n];
+    FASTSCHED_REQUIRE(q < ready.size(),
+                      "exact replay: processor id out of range");
+    Cost start = ready[q];
+    for (const graph::Adjacency& pred : g.predecessors(n)) {
+      FASTSCHED_REQUIRE(placed[pred.node] != 0,
+                        "exact replay: order is not topological");
+      const Cost arrival =
+          finish[pred.node] + (assignment[pred.node] == q ? Cost(0) : pred.cost);
+      start = std::max(start, arrival);
+    }
+    const Cost fin = start + g.weight(n);
+    finish[n] = fin;
+    ready[q] = fin;
+    placed[n] = 1;
+    length = std::max(length, fin);
+    if (out != nullptr) out->assign(n, q, start, fin);
+  }
+  return length;
+}
+
+}  // namespace
+
+BBSolver::BBSolver(const TaskGraph& g, BBOptions options)
+    : graph_(g), options_(options) {
+  const std::size_t v = g.num_nodes();
+  std::size_t p = options_.num_procs == 0 ? v : options_.num_procs;
+  if (p > v) p = v;  // identical spare processors can never help
+  procs_ = std::max<std::size_t>(p, 1);
+  tail_ = analysis::comm_aware_tail(g);
+  est_ = analysis::comm_aware_est(g);
+  analysis::BoundOptions bound_options;
+  bound_options.num_procs = procs_;
+  bound_options.interval_density = options_.fernandez;
+  bound_options.density_endpoints = 0;
+  const analysis::BoundSet bounds = analysis::compute_bounds(g, bound_options);
+  static_floor_ = bounds.best();
+  if (const analysis::BoundCertificate* binding = bounds.binding()) {
+    floor_id_ = binding->id;
+  }
+}
+
+BBResult BBSolver::solve() const {
+  fast::FastOptions fast_options;
+  fast_options.num_procs = procs_;
+  fast_options.seed = options_.seed;
+  const fast::FastResult fr = fast::run_fast(graph_, fast_options);
+  BBSeed seed;
+  seed.order = fr.list;
+  seed.assignment = fr.assignment;
+  return solve(seed);
+}
+
+BBResult BBSolver::solve(const BBSeed& seed) const {
+  const std::size_t v = graph_.num_nodes();
+  BBResult result;
+  result.static_floor = static_floor_;
+  result.bound_id = floor_id_;
+  if (v == 0) {
+    result.proven = true;
+    result.bound_id = "empty";
+    return result;
+  }
+  result.seed_length = replay_length(graph_, seed.order, seed.assignment,
+                                     procs_);
+  result.best_length = result.seed_length;
+  result.order = seed.order;
+  result.assignment = seed.assignment;
+  // A certificate above a real schedule is an accounting bug somewhere.
+  FASTSCHED_ASSERT_MSG(
+      !graph::definitely_less(result.best_length, static_floor_),
+      "BBSolver: static certificate exceeds a valid schedule's makespan");
+  if (graph::approx_equal(static_floor_, result.best_length)) {
+    // The seed incumbent already meets a static certificate.
+    result.lower_bound = result.best_length;
+    result.proven = true;
+    return result;
+  }
+
+  const bool unlimited = options_.node_budget == 0;
+  std::uint64_t remaining = unlimited ? kUnlimited : options_.node_budget;
+  const std::size_t frontier_target =
+      std::max<std::size_t>(options_.frontier_target, 1);
+  const std::size_t wave_size = std::max<std::size_t>(options_.wave_size, 1);
+
+  Ctx ctx = make_ctx(graph_, procs_, tail_, est_);
+  ctx.best_len = result.best_length;
+  ctx.best_order = result.order;
+  ctx.best_assign = result.assignment;
+  Agg root;
+  root.path_lb = static_floor_;
+  root.work_rem = graph_.total_work();
+  root.ready_sum = 0;
+  root.cur_len = 0;
+
+  // --- Phase 1: serial breadth-first frontier build. ---
+  std::vector<FrontierState> queue;
+  queue.reserve(frontier_target + procs_ * v + 16);
+  {
+    FrontierState root_state;
+    root_state.bound = static_floor_;
+    queue.push_back(std::move(root_state));
+  }
+  std::size_t head = 0;
+  std::vector<Applied> replay_log;
+  replay_log.reserve(v);
+  // The queue may overshoot the target by one expansion's children; the
+  // stop test runs between expansions, keeping the tree shape a pure
+  // function of the instance and the target (never of `jobs`).
+  while (head < queue.size() && queue.size() - head < frontier_target &&
+         remaining > 0) {
+    const FrontierState state = std::move(queue[head]);
+    ++head;
+    if (!graph::definitely_less(state.bound, ctx.best_len)) {
+      ++ctx.counters.pruned_bound;
+      continue;
+    }
+    if (!unlimited) --remaining;
+    // Replay, expand one level, then roll the context back so the next
+    // state starts from the root.
+    replay_log.clear();
+    const Agg agg = replay_prefix(ctx, state, root, &replay_log);
+    expand_children(ctx, agg, state.order.size(), queue);
+    for (std::size_t i = state.order.size(); i > 0; --i) {
+      undo_move(ctx, state.order[i - 1], state.procs[i - 1],
+                replay_log[i - 1]);
+    }
+  }
+
+  // --- Phase 2: frontier subtrees in fixed-size waves. ---
+  // A subtree that exhausts its per-wave budget share is re-queued for
+  // the next round: unused shares flow back into `remaining` at every
+  // barrier, so later rounds (with fewer states left) retry capped
+  // subtrees with larger shares until the tree is exhausted or the
+  // global budget truly runs out. The round/wave structure is a pure
+  // recurrence over (remaining, states) — independent of `jobs`.
+  Cost open_min = kInfinity;
+  std::vector<FrontierState> work(
+      std::make_move_iterator(queue.begin() +
+                              static_cast<std::ptrdiff_t>(head)),
+      std::make_move_iterator(queue.end()));
+  while (!work.empty()) {
+    if (!unlimited && remaining == 0) {
+      // Out of budget: every state still open caps the provable bound
+      // at its admission bound.
+      for (const FrontierState& state : work) {
+        if (graph::definitely_less(state.bound, ctx.best_len)) {
+          open_min = std::min(open_min, state.bound);
+          ++ctx.counters.capped_subtrees;
+        } else {
+          ++ctx.counters.pruned_bound;
+        }
+      }
+      break;
+    }
+    std::vector<FrontierState> reopened;
+    reopened.reserve(work.size());
+    for (std::size_t pos = 0; pos < work.size();) {
+      if (!unlimited && remaining == 0) {
+        // Budget died mid-round: park the rest for the final sweep.
+        for (; pos < work.size(); ++pos) {
+          reopened.push_back(std::move(work[pos]));
+        }
+        break;
+      }
+      const std::size_t left = work.size() - pos;
+      const std::size_t wave = std::min(wave_size, left);
+      // Every state left in this round gets an equal share of the
+      // remaining budget, fixed at the barrier.
+      const std::uint64_t share =
+          unlimited ? kUnlimited
+                    : std::max<std::uint64_t>(1, remaining / left);
+      const Cost snapshot = ctx.best_len;
+      std::vector<SubtreeResult> results(wave);
+      parallel_for_index(options_.jobs, wave, [&](std::size_t i) {
+        results[i] = run_subtree(graph_, procs_, tail_, est_, root,
+                                 work[pos + i], snapshot, share);
+      });
+      // Submission-order merge: the only point where subtree outcomes
+      // touch shared state.
+      for (std::size_t i = 0; i < wave; ++i) {
+        const SubtreeResult& sr = results[i];
+        add_counters(ctx.counters, sr.counters);
+        if (sr.pruned) {
+          ++ctx.counters.pruned_bound;
+          continue;
+        }
+        if (!unlimited) remaining -= std::min(remaining, sr.used);
+        if (sr.capped) {
+          ++ctx.counters.capped_subtrees;
+          reopened.push_back(std::move(work[pos + i]));
+        }
+        if (sr.improved &&
+            graph::definitely_less(sr.best_len, ctx.best_len)) {
+          ctx.best_len = sr.best_len;
+          ctx.best_order = sr.order;
+          ctx.best_assign = sr.assign;
+          ctx.improved = true;
+        }
+      }
+      pos += wave;
+    }
+    work = std::move(reopened);
+  }
+
+  result.best_length = ctx.best_len;
+  if (ctx.improved) {
+    result.order = ctx.best_order;
+    result.assignment = ctx.best_assign;
+  }
+  result.counters = ctx.counters;
+  // A capped subtree whose admission bound still reaches the final
+  // incumbent proves nothing below it — the search is effectively
+  // exhausted despite the cap.
+  if (open_min < kInfinity &&
+      graph::definitely_less(open_min, result.best_length)) {
+    result.lower_bound = std::max(static_floor_, open_min);
+    result.proven = false;
+    if (graph::definitely_less(static_floor_, open_min)) {
+      result.bound_id = "search-frontier";
+    }
+  } else {
+    result.lower_bound = result.best_length;
+    result.proven = true;
+    if (!graph::approx_equal(static_floor_, result.best_length)) {
+      result.bound_id = "search-exhausted";
+    }
+  }
+  return result;
+}
+
+Cost BBSolver::replay_length(const TaskGraph& g,
+                             const std::vector<NodeId>& order,
+                             const std::vector<ProcId>& assignment,
+                             std::size_t num_procs) {
+  return replay_into(g, order, assignment, num_procs, nullptr);
+}
+
+sched::Schedule BBSolver::materialize(const TaskGraph& g, const BBResult& r,
+                                      std::size_t num_procs) {
+  sched::Schedule schedule(g.num_nodes(), num_procs);
+  replay_into(g, r.order, r.assignment, num_procs, &schedule);
+  return schedule;
+}
+
+}  // namespace fastsched::exact

@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file bb_solver.hpp
+/// The exact optimality anchor: a deterministic, parallel depth-first
+/// branch-and-bound solver over partial schedules (Fujita-style; see
+/// PAPERS.md "Analyzing Branch-and-Bound Algorithms for the
+/// Multiprocessor Scheduling Problem").
+///
+/// Search space. A state is a prefix of a topological order with a
+/// processor per placed node, timed under the library's ready-time
+/// replay recurrence (fast/replay_core.hpp): each node starts at
+/// max(processor ready, data arrival) — the left-shifted canonical form.
+/// Any valid schedule left-shifts to such a state (sorting each
+/// processor's tasks by start time yields a topological order whose
+/// greedy replay is pointwise no later), so the minimum over the search
+/// space is the true optimum for the processor count. Extensions are
+/// enumerated in a canonical order — ready nodes ascending by id, then
+/// processors ascending — so the tree shape is a pure function of the
+/// instance.
+///
+/// Pruning. A child is cut when a lower bound on every completion of its
+/// partial schedule fails to beat the incumbent:
+///  * the static certificate floor (analysis/bounds.hpp: cp-comp,
+///    comm-cp, comm-cp-tail, work, and the exact Fernández
+///    interval-density bound), evaluated once at the root;
+///  * the per-path certificate replay: finish(n) + tail(n) for every
+///    placed n, and co-location earliest starts propagated to the placed
+///    nodes' unscheduled successors (the incremental form of the
+///    comm-cp-tail argument on the partial schedule);
+///  * the machine capacity bound (W_remaining + Σ_p ready_p) / p — no
+///    processor can run work before its committed ready time.
+/// Dominance: identical empty processors are interchangeable, so a node
+/// may only open the lowest-indexed empty processor.
+///
+/// Parallelism and determinism. The root is expanded breadth-first until
+/// the frontier reaches a fixed (jobs-independent) size; frontier
+/// subtrees are then explored depth-first in fixed-size waves fanned out
+/// over the deterministic thread pool. Every subtree starts from the
+/// incumbent merged at the previous wave barrier and writes only its own
+/// result slot; incumbents, counters and budget are merged in submission
+/// order at each barrier. Results — schedule, bounds, and every counter
+/// — are therefore byte-identical for every `--jobs` value.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace fastsched::exact {
+
+using graph::Cost;
+using graph::NodeId;
+using sched::ProcId;
+
+/// Knobs for `BBSolver`.
+struct BBOptions {
+  /// Processor budget. 0 = one processor per node (the search caps its
+  /// branching at min(num_procs, v) — identical processors beyond one
+  /// per node can never help).
+  std::size_t num_procs = 0;
+  /// Node-expansion budget for the whole search; 0 = unlimited. When the
+  /// budget runs out the result is an incumbent plus a certified lower
+  /// bound instead of a proven optimum.
+  std::uint64_t node_budget = 20'000'000;
+  /// Worker threads for the frontier waves (0 = FASTSCHED_JOBS /
+  /// hardware concurrency, 1 = inline). Results are byte-identical for
+  /// every value.
+  std::size_t jobs = 1;
+  /// Seed for the FAST run that provides the default incumbent.
+  std::uint64_t seed = 1;
+  /// Include the exact Fernández interval-density certificate in the
+  /// static floor (O(v² log v) once per solve).
+  bool fernandez = true;
+  /// Breadth-first expansion stops once the frontier holds this many
+  /// states. Jobs-independent on purpose: it shapes the search tree, so
+  /// it must not change with the worker count.
+  std::size_t frontier_target = 256;
+  /// Frontier states explored between incumbent merge barriers. Also
+  /// jobs-independent: the wave boundaries decide which incumbent a
+  /// subtree prunes against.
+  std::size_t wave_size = 64;
+};
+
+/// Deterministic search statistics; identical at every `jobs` value.
+struct BBCounters {
+  std::uint64_t expanded = 0;          ///< states branched on
+  std::uint64_t generated = 0;         ///< children considered
+  std::uint64_t pruned_bound = 0;      ///< children cut by a bound
+  std::uint64_t pruned_symmetry = 0;   ///< children cut as proc-symmetric
+  std::uint64_t incumbent_updates = 0; ///< strict improvements found
+  std::uint64_t capped_subtrees = 0;   ///< subtrees that hit their budget
+};
+
+/// An externally supplied incumbent: `order` must be a topological order
+/// of the graph, `assignment` one processor per node.
+struct BBSeed {
+  std::vector<NodeId> order;
+  std::vector<ProcId> assignment;
+};
+
+/// The outcome of one solve.
+struct BBResult {
+  /// Makespan of the best schedule found (always a real, valid
+  /// schedule: the seed incumbent or an improvement on it).
+  Cost best_length = 0;
+  /// Certified lower bound on the optimum: the static floor, raised to
+  /// `best_length` when the search exhausted the tree. `proven` iff the
+  /// two meet.
+  Cost lower_bound = 0;
+  /// True when `lower_bound == best_length`: the incumbent is the
+  /// optimum, proven either by a static certificate or by exhaustion.
+  bool proven = false;
+  /// Binding static certificate id (cp-comp, comm-cp-tail, fernandez,
+  /// ...), or "search-exhausted" when only the exhaustion proves it.
+  std::string bound_id;
+  Cost static_floor = 0;  ///< best static certificate value
+  Cost seed_length = 0;   ///< incumbent length before the search
+  /// The best schedule as (placement order, processor per node).
+  std::vector<NodeId> order;
+  std::vector<ProcId> assignment;
+  BBCounters counters;
+};
+
+/// Exact branch-and-bound solver for one graph. Construction precomputes
+/// the static certificates; `solve()` runs the search.
+class BBSolver {
+ public:
+  BBSolver(const graph::TaskGraph& g, BBOptions options);
+
+  /// Solves with the default incumbent: FAST's schedule for the same
+  /// processor budget (options.seed seeds its local search).
+  [[nodiscard]] BBResult solve() const;
+
+  /// Solves from an explicit incumbent.
+  [[nodiscard]] BBResult solve(const BBSeed& seed) const;
+
+  /// Effective processor count the search branches over:
+  /// min(num_procs == 0 ? v : num_procs, v).
+  [[nodiscard]] std::size_t effective_procs() const noexcept { return procs_; }
+
+  /// Replays (order, assignment) under the ready-time recurrence and
+  /// returns the schedule length. `order` must be topological.
+  [[nodiscard]] static Cost replay_length(
+      const graph::TaskGraph& g, const std::vector<NodeId>& order,
+      const std::vector<ProcId>& assignment, std::size_t num_procs);
+
+  /// Materializes a result into a `sched::Schedule` over `num_procs`
+  /// processors (>= the result's effective processor count).
+  [[nodiscard]] static sched::Schedule materialize(const graph::TaskGraph& g,
+                                                   const BBResult& r,
+                                                   std::size_t num_procs);
+
+ private:
+  const graph::TaskGraph& graph_;
+  BBOptions options_;
+  std::size_t procs_ = 1;
+  std::vector<Cost> tail_;  ///< analysis::comm_aware_tail
+  std::vector<Cost> est_;   ///< analysis::comm_aware_est
+  Cost static_floor_ = 0;
+  std::string floor_id_;
+};
+
+}  // namespace fastsched::exact

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file spec.hpp
+/// Shared textual workload specs ("gauss:8", "fft:64", "rand:200",
+/// "paper") used by the CLI tools, so every tool names exactly the same
+/// instance for the same spec string. Random specs pin their seed to the
+/// size (1996 + N): `rand:2000` is one reproducible graph, not a fresh
+/// sample per invocation.
+
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace fastsched::workloads {
+
+/// A parsed spec: the original text (used as the display label) plus the
+/// constructed graph.
+struct NamedGraph {
+  std::string label;
+  graph::TaskGraph graph;
+};
+
+/// Builds the workload a spec names. Accepted forms: `gauss:N` /
+/// `gaussian:N` (N >= 2), `laplace:N` (N >= 1), `fft:N` (N >= 4),
+/// `paper`, and `rand:N` / `random:N` (N >= 2). Throws Error on an
+/// unknown name or an out-of-range size.
+[[nodiscard]] NamedGraph make_workload(const std::string& spec);
+
+/// Splits a comma-separated spec list ("gauss:8,fft:64") and builds every
+/// entry in order; empty items are skipped.
+[[nodiscard]] std::vector<NamedGraph> parse_workload_list(
+    const std::string& list);
+
+}  // namespace fastsched::workloads

@@ -162,21 +162,87 @@ TEST(Bounds, CommCpTailDominatesCommCp) {
   }
 }
 
-TEST(Bounds, IntervalDensityCatchesWidthBottleneck) {
+TEST(Bounds, FernandezCatchesWidthBottleneck) {
   // a -> {b, c, d} -> e with unit weights and free communication on two
   // processors: both path bounds say 3, but the middle layer squeezes
   // three unit tasks into the width-2 window [1, 2), so the true optimum
   // exceeds 3. The linear relaxation certifies 3 + (3 - 2) / 3.
   const graph::TaskGraph g = fastsched::testing::fork_join(3, 1.0, 0.0);
   const BoundSet bounds = compute_bounds(g, 2);
-  const BoundCertificate* density = bounds.find("interval-density");
+  const BoundCertificate* density = bounds.find("fernandez");
   ASSERT_NE(density, nullptr);
   EXPECT_NEAR(density->value, 3.0 + 1.0 / 3.0, 1e-12);
   EXPECT_DOUBLE_EQ(density->interval.begin, 1.0);
   EXPECT_DOUBLE_EQ(density->interval.end, 2.0);
   EXPECT_FALSE(density->witness.empty());
   ASSERT_NE(bounds.binding(), nullptr);
-  EXPECT_EQ(bounds.binding()->id, "interval-density");
+  EXPECT_EQ(bounds.binding()->id, "fernandez");
+}
+
+TEST(Bounds, FernandezWideLayerClosedForm) {
+  // Five unit tasks between a unit head and tail on two processors,
+  // free communication. Reference makespan t0 = max(path 3, work 7/2)
+  // = 3.5; each middle task is released at 1 with deadline t0 - 1 = 2.5,
+  // so the window [1, 2.5) must hold 5 units of work but 2 processors
+  // fit only 3. The relaxation adds the excess spread over the 5
+  // contributors: 3.5 + (5 - 3) / 5.
+  const graph::TaskGraph g = fastsched::testing::fork_join(5, 1.0, 0.0);
+  const BoundSet bounds = compute_bounds(g, 2);
+  const BoundCertificate* density = bounds.find("fernandez");
+  ASSERT_NE(density, nullptr);
+  EXPECT_NEAR(density->value, 3.5 + 2.0 / 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(density->interval.begin, 1.0);
+  EXPECT_DOUBLE_EQ(density->interval.end, 2.5);
+}
+
+TEST(Bounds, FernandezOnIndependentTasksMatchesWork) {
+  // No precedence at all: every window spans the whole horizon, so no
+  // interval beats the plain work bound and the certificate reports the
+  // reference makespan itself.
+  graph::TaskGraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.add_node(2.0);
+  const graph::TaskGraph g = b.build();
+  const BoundSet bounds = compute_bounds(g, 2);
+  const BoundCertificate* density = bounds.find("fernandez");
+  ASSERT_NE(density, nullptr);
+  EXPECT_DOUBLE_EQ(density->value, 5.0);  // == work bound
+}
+
+TEST(Bounds, FernandezDominatesSampledOnSeededGraphs) {
+  // The exact interval search maximizes over every (release, deadline)
+  // endpoint pair; sampling maximizes over a subset, so exact >= sampled
+  // on every instance — and strictly better on some, or the exact search
+  // would be wasted work. Both stay sound: neither may exceed a real
+  // schedule's makespan (FAST's, here). 1000 seeded layered graphs.
+  std::size_t strictly_better = 0;
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    const double ccr = (seed % 2 == 0) ? 0.5 : 4.0;
+    const graph::TaskGraph g = fastsched::testing::small_random(seed, 24, ccr);
+
+    BoundOptions exact_options;
+    exact_options.num_procs = 3;
+    const BoundSet exact = compute_bounds(g, exact_options);
+    const BoundCertificate* fern = exact.find("fernandez");
+    ASSERT_NE(fern, nullptr) << "seed " << seed;
+
+    BoundOptions sampled_options;
+    sampled_options.num_procs = 3;
+    sampled_options.density_endpoints = 8;
+    const BoundSet sampled = compute_bounds(g, sampled_options);
+    const BoundCertificate* legacy = sampled.find("interval-density");
+    ASSERT_NE(legacy, nullptr) << "seed " << seed;
+
+    EXPECT_GE(fern->value + 1e-9, legacy->value)
+        << "sampling beat the exact interval search on seed " << seed;
+    if (graph::definitely_less(legacy->value, fern->value)) ++strictly_better;
+
+    const sched::Schedule s = baselines::make_scheduler("FAST")->run(
+        g, sched::SchedulerOptions{.num_procs = 3});
+    EXPECT_FALSE(graph::definitely_less(s.length(), fern->value))
+        << "unsound fernandez bound on seed " << seed;
+  }
+  EXPECT_GT(strictly_better, 0u)
+      << "the exact search never beat 8-point sampling on 1000 graphs";
 }
 
 TEST(Bounds, EmptySetHelpers) {

@@ -1,0 +1,224 @@
+/// \file bb_oracle_test.cpp
+/// Exhaustive oracle for the branch-and-bound solver: enumerate EVERY
+/// feasible left-shifted schedule of a tiny instance — all topological
+/// placement orders crossed with all processor assignments — with no
+/// bounds and no pruning, and assert the solver's proven optimum equals
+/// the true minimum. This is the ground-truth layer the rest of the
+/// exact suite (fuzz comparisons, optimality properties) stands on.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exact/bb_solver.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+#include "workloads/paper_example.hpp"
+
+namespace fastsched {
+namespace {
+
+using exact::BBOptions;
+using exact::BBResult;
+using exact::BBSolver;
+using graph::Cost;
+using graph::NodeId;
+using graph::TaskGraph;
+using sched::ProcId;
+
+/// Plain exhaustive enumerator, written independently of the solver:
+/// depth-first over every (ready node, processor) extension under the
+/// ready-time replay recurrence, no bounds, no incumbent pruning. The
+/// one reduction is processor-renaming symmetry — a task may only open
+/// the lowest-indexed empty processor — which relabels schedules without
+/// changing the attainable makespans (processors are identical).
+class Enumerator {
+ public:
+  Enumerator(const TaskGraph& g, std::size_t procs)
+      : g_(g),
+        procs_(procs),
+        assign_(g.num_nodes(), sched::kUnassignedProc),
+        finish_(g.num_nodes(), 0),
+        pending_(g.num_nodes(), 0),
+        ready_(procs, 0),
+        load_(procs, 0) {
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      pending_[n] = g.in_degree(n);
+    }
+  }
+
+  /// Minimum makespan over the full enumeration.
+  Cost optimum() {
+    best_ = std::numeric_limits<Cost>::infinity();
+    leaves_ = 0;
+    recurse(0, 0);
+    return best_;
+  }
+
+  [[nodiscard]] std::uint64_t leaves() const { return leaves_; }
+
+ private:
+  void recurse(std::size_t placed, Cost len) {
+    if (placed == g_.num_nodes()) {
+      ++leaves_;
+      if (len < best_) best_ = len;
+      return;
+    }
+    for (NodeId n = 0; n < g_.num_nodes(); ++n) {
+      if (pending_[n] != 0 || assign_[n] != sched::kUnassignedProc) continue;
+      bool opened_empty = false;
+      for (ProcId q = 0; q < procs_; ++q) {
+        if (load_[q] == 0) {
+          if (opened_empty) continue;
+          opened_empty = true;
+        }
+        Cost start = ready_[q];
+        for (const graph::Adjacency& pred : g_.predecessors(n)) {
+          const Cost arrival =
+              finish_[pred.node] +
+              (assign_[pred.node] == q ? Cost(0) : pred.cost);
+          if (arrival > start) start = arrival;
+        }
+        const Cost fin = start + g_.weight(n);
+        const Cost old_ready = ready_[q];
+        assign_[n] = q;
+        finish_[n] = fin;
+        ready_[q] = fin;
+        ++load_[q];
+        for (const graph::Adjacency& succ : g_.successors(n)) {
+          --pending_[succ.node];
+        }
+        recurse(placed + 1, fin > len ? fin : len);
+        for (const graph::Adjacency& succ : g_.successors(n)) {
+          ++pending_[succ.node];
+        }
+        --load_[q];
+        ready_[q] = old_ready;
+        finish_[n] = 0;
+        assign_[n] = sched::kUnassignedProc;
+      }
+    }
+  }
+
+  const TaskGraph& g_;
+  std::size_t procs_;
+  std::vector<ProcId> assign_;
+  std::vector<Cost> finish_;
+  std::vector<std::size_t> pending_;
+  std::vector<Cost> ready_;
+  std::vector<std::size_t> load_;
+  Cost best_ = 0;
+  std::uint64_t leaves_ = 0;
+};
+
+/// Runs both the oracle and the solver on (g, procs) and cross-checks:
+/// proven optimum, matching makespans, and a valid materialized schedule
+/// that replays to exactly the reported length.
+void expect_matches_oracle(const TaskGraph& g, std::size_t procs,
+                           const std::string& label) {
+  SCOPED_TRACE(label + ", p=" + std::to_string(procs));
+  Enumerator oracle(g, procs);
+  const Cost truth = oracle.optimum();
+  ASSERT_GT(oracle.leaves(), 0u);
+
+  BBOptions options;
+  options.num_procs = procs;
+  options.jobs = 1;
+  const BBSolver solver(g, options);
+  const BBResult result = solver.solve();
+
+  EXPECT_TRUE(result.proven);
+  // The solver's bound-vs-incumbent comparisons use the library's
+  // relative tolerance, so allow the same slack here.
+  EXPECT_NEAR(result.best_length, truth, 1e-6);
+  EXPECT_NEAR(result.lower_bound, result.best_length, 1e-9);
+  EXPECT_LE(result.static_floor, result.best_length + 1e-9);
+  EXPECT_GE(result.seed_length + 1e-9, result.best_length);
+
+  const sched::Schedule schedule = BBSolver::materialize(g, result, procs);
+  EXPECT_TRUE(sched::is_valid(g, schedule));
+  EXPECT_NEAR(schedule.length(), result.best_length, 1e-9);
+}
+
+TEST(BBOracle, Diamond) {
+  const TaskGraph g = testing::diamond();
+  for (std::size_t p = 1; p <= 3; ++p) {
+    expect_matches_oracle(g, p, "diamond");
+  }
+}
+
+TEST(BBOracle, DiamondHeavyComm) {
+  const TaskGraph g = testing::diamond(2.0, 3.0, 10.0);
+  for (std::size_t p = 1; p <= 3; ++p) {
+    expect_matches_oracle(g, p, "diamond comm=10");
+  }
+}
+
+TEST(BBOracle, Chain) {
+  const TaskGraph g = testing::chain(5);
+  for (std::size_t p = 1; p <= 3; ++p) {
+    expect_matches_oracle(g, p, "chain(5)");
+  }
+}
+
+TEST(BBOracle, ForkJoin) {
+  const TaskGraph g = testing::fork_join(3);
+  for (std::size_t p = 1; p <= 3; ++p) {
+    expect_matches_oracle(g, p, "fork_join(3)");
+  }
+}
+
+TEST(BBOracle, ForkJoinCheapComm) {
+  // Zero communication makes spreading free: the optimum needs width.
+  const TaskGraph g = testing::fork_join(4, 1.0, 0.0);
+  for (std::size_t p = 1; p <= 3; ++p) {
+    expect_matches_oracle(g, p, "fork_join(4, comm=0)");
+  }
+}
+
+TEST(BBOracle, TwoChains) {
+  const TaskGraph g = testing::two_chains(3);
+  for (std::size_t p = 1; p <= 3; ++p) {
+    expect_matches_oracle(g, p, "two_chains(3)");
+  }
+}
+
+TEST(BBOracle, SingleNode) {
+  const TaskGraph g = testing::single();
+  for (std::size_t p = 1; p <= 3; ++p) {
+    expect_matches_oracle(g, p, "single");
+  }
+}
+
+TEST(BBOracle, LayeredRandom) {
+  // Every v=8 seeded layered DAG at p in {2, 3}: the full enumeration is
+  // a few hundred thousand leaves per instance at most.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const TaskGraph g = testing::small_random(seed, 8, 1.0, 2.5);
+    for (std::size_t p = 2; p <= 3; ++p) {
+      expect_matches_oracle(g, p, "layered seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(BBOracle, LayeredRandomHighCcr) {
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    const TaskGraph g = testing::small_random(seed, 7, 5.0, 2.0);
+    for (std::size_t p = 2; p <= 3; ++p) {
+      expect_matches_oracle(g, p, "ccr5 seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(BBOracle, PaperExampleTwoProcs) {
+  // The paper's 9-node Figure 1 graph, one node past the oracle's v<=8
+  // floor but still enumerable at p=2.
+  const TaskGraph g = workloads::paper_figure1_dag();
+  expect_matches_oracle(g, 2, "paper figure 1");
+}
+
+}  // namespace
+}  // namespace fastsched

@@ -1,0 +1,177 @@
+/// \file bb_solver_test.cpp
+/// Unit tests for the branch-and-bound solver itself: proven optima on
+/// the paper example, worker-count independence of every output field,
+/// budget-exhaustion semantics, and the degenerate pools.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exact/bb_solver.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+#include "workloads/paper_example.hpp"
+
+namespace fastsched {
+namespace {
+
+using exact::BBOptions;
+using exact::BBResult;
+using exact::BBSolver;
+using graph::Cost;
+using graph::TaskGraph;
+
+void expect_identical(const BBResult& a, const BBResult& b) {
+  EXPECT_EQ(a.best_length, b.best_length);
+  EXPECT_EQ(a.lower_bound, b.lower_bound);
+  EXPECT_EQ(a.proven, b.proven);
+  EXPECT_EQ(a.bound_id, b.bound_id);
+  EXPECT_EQ(a.static_floor, b.static_floor);
+  EXPECT_EQ(a.seed_length, b.seed_length);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.counters.expanded, b.counters.expanded);
+  EXPECT_EQ(a.counters.generated, b.counters.generated);
+  EXPECT_EQ(a.counters.pruned_bound, b.counters.pruned_bound);
+  EXPECT_EQ(a.counters.pruned_symmetry, b.counters.pruned_symmetry);
+  EXPECT_EQ(a.counters.incumbent_updates, b.counters.incumbent_updates);
+  EXPECT_EQ(a.counters.capped_subtrees, b.counters.capped_subtrees);
+}
+
+TEST(BBSolver, ProvenOnPaperExample) {
+  const TaskGraph g = workloads::paper_figure1_dag();
+  for (std::size_t p = 2; p <= 4; ++p) {
+    SCOPED_TRACE("p=" + std::to_string(p));
+    BBOptions options;
+    options.num_procs = p;
+    const BBSolver solver(g, options);
+    const BBResult r = solver.solve();
+    EXPECT_TRUE(r.proven);
+    EXPECT_EQ(r.lower_bound, r.best_length);
+    // FAST reaches 23 on this graph (paper Figure 4(b)); the optimum can
+    // only be at or below the incumbent it seeds.
+    EXPECT_LE(r.best_length, r.seed_length);
+    const sched::Schedule s = BBSolver::materialize(g, r, p);
+    EXPECT_TRUE(sched::is_valid(g, s));
+    EXPECT_EQ(s.length(), r.best_length);
+  }
+}
+
+TEST(BBSolver, ByteIdenticalAcrossJobs) {
+  // The whole result — schedule, bounds, and every counter — must be a
+  // pure function of the instance, never of the worker count. Exercised
+  // on graphs big enough to actually populate the parallel frontier.
+  const std::uint64_t seeds[] = {3, 17, 29};
+  for (const std::uint64_t seed : seeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const TaskGraph g = testing::small_random(seed, 14, 1.0, 3.0);
+    BBOptions options;
+    options.num_procs = 3;
+    options.node_budget = 200'000;
+    options.frontier_target = 32;
+    options.wave_size = 8;
+    options.jobs = 1;
+    const BBResult serial = BBSolver(g, options).solve();
+    options.jobs = 8;
+    const BBResult parallel = BBSolver(g, options).solve();
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(BBSolver, BudgetExhaustionReportsHonestBound) {
+  const TaskGraph g = testing::small_random(7, 20, 1.0, 3.0);
+  BBOptions options;
+  options.num_procs = 3;
+  options.node_budget = 50;  // far too small to exhaust a v=20 tree
+  const BBSolver solver(g, options);
+  const BBResult r = solver.solve();
+  // The incumbent is still a real schedule (the FAST seed or better)...
+  EXPECT_LE(r.best_length, r.seed_length);
+  const sched::Schedule s = BBSolver::materialize(g, r, 3);
+  EXPECT_TRUE(sched::is_valid(g, s));
+  // ...and the bound never overclaims: unproven results keep the bound
+  // strictly below the incumbent, proven ones pin them equal.
+  EXPECT_LE(r.lower_bound, r.best_length);
+  EXPECT_GE(r.lower_bound, r.static_floor);
+  if (r.proven) {
+    EXPECT_EQ(r.lower_bound, r.best_length);
+  } else {
+    EXPECT_GT(r.counters.capped_subtrees, 0u);
+  }
+}
+
+TEST(BBSolver, SingleProcessorIsSerialWork) {
+  // p=1 forbids overlap entirely: the optimum is the serial work, and a
+  // static certificate (work or path) proves it without any search.
+  const TaskGraph g = testing::chain(6);
+  BBOptions options;
+  options.num_procs = 1;
+  const BBResult r = BBSolver(g, options).solve();
+  EXPECT_TRUE(r.proven);
+  EXPECT_DOUBLE_EQ(r.best_length, g.total_work());
+}
+
+TEST(BBSolver, SingleNode) {
+  const TaskGraph g = testing::single(5.0);
+  BBOptions options;
+  options.num_procs = 3;
+  const BBResult r = BBSolver(g, options).solve();
+  EXPECT_TRUE(r.proven);
+  EXPECT_DOUBLE_EQ(r.best_length, 5.0);
+  EXPECT_EQ(BBSolver(g, options).effective_procs(), 1u);
+}
+
+TEST(BBSolver, ZeroProcsMeansOnePerNode) {
+  const TaskGraph g = testing::fork_join(3, 1.0, 0.0);
+  BBOptions options;
+  options.num_procs = 0;
+  const BBSolver solver(g, options);
+  EXPECT_EQ(solver.effective_procs(), g.num_nodes());
+  const BBResult r = solver.solve();
+  EXPECT_TRUE(r.proven);
+  // Free communication and unlimited processors: the critical path.
+  EXPECT_DOUBLE_EQ(r.best_length, 3.0);
+}
+
+TEST(BBSolver, ExternalSeedIsRespected) {
+  const TaskGraph g = testing::diamond();
+  BBOptions options;
+  options.num_procs = 2;
+  const BBSolver solver(g, options);
+  // Serial placement of the diamond on one processor, as a weak seed.
+  exact::BBSeed seed;
+  seed.order = {0, 1, 2, 3};
+  seed.assignment = {0, 0, 0, 0};
+  const BBResult r = solver.solve(seed);
+  EXPECT_DOUBLE_EQ(r.seed_length, g.total_work());
+  EXPECT_TRUE(r.proven);
+  EXPECT_LE(r.best_length, r.seed_length);
+  const BBResult fast_seeded = solver.solve();
+  EXPECT_DOUBLE_EQ(fast_seeded.best_length, r.best_length);
+}
+
+TEST(BBSolver, ReplayRejectsNonTopologicalOrder) {
+  const TaskGraph g = testing::chain(3);
+  const std::vector<graph::NodeId> order = {2, 1, 0};
+  const std::vector<sched::ProcId> assignment = {0, 0, 0};
+  EXPECT_THROW(
+      { (void)BBSolver::replay_length(g, order, assignment, 1); }, Error);
+}
+
+TEST(BBSolver, CertificateShortcutSkipsSearch) {
+  // A chain on one processor is proven by the path certificate alone:
+  // the solver must return without expanding a single state.
+  const TaskGraph g = testing::chain(4);
+  BBOptions options;
+  options.num_procs = 1;
+  const BBResult r = BBSolver(g, options).solve();
+  EXPECT_TRUE(r.proven);
+  EXPECT_EQ(r.counters.expanded, 0u);
+  EXPECT_NE(r.bound_id, "search-exhausted");
+}
+
+}  // namespace
+}  // namespace fastsched

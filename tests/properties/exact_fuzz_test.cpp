@@ -1,0 +1,142 @@
+/// \file exact_fuzz_test.cpp
+/// Differential fuzz between the exact solver, the certificate layer and
+/// every registered scheduler. On seeded layered/Gaussian/FFT instances
+/// the invariant chain is:
+///
+///   static certificates <= solver lower bound <= solver makespan
+///   <= FAST's makespan, and every bounded scheduler's makespan >= the
+///   solver's lower bound.
+///
+/// The solver's schedule must also survive the full schedule-lint rule
+/// set — the same gate every production scheduler's output goes through.
+/// Where the instance is small enough to prove within the budget, the
+/// solver optimum becomes a hard floor for every bounded scheduler.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "analysis/lint.hpp"
+#include "baselines/registry.hpp"
+#include "exact/bb_solver.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/validation.hpp"
+#include "testing/test_graphs.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/gaussian.hpp"
+
+namespace fastsched {
+namespace {
+
+using exact::BBOptions;
+using exact::BBResult;
+using exact::BBSolver;
+using graph::Cost;
+using graph::TaskGraph;
+
+/// Runs the full differential check on one instance. `expect_proven`
+/// additionally requires exhaustion within the budget and turns the
+/// optimum into a floor for every bounded scheduler.
+void check_instance(const TaskGraph& g, std::size_t procs,
+                    std::uint64_t node_budget, bool expect_proven,
+                    const std::string& label) {
+  SCOPED_TRACE(label + ", p=" + std::to_string(procs));
+  BBOptions options;
+  options.num_procs = procs;
+  options.node_budget = node_budget;
+  options.jobs = 1;
+  options.seed = 1;
+  const BBSolver solver(g, options);
+  const BBResult r = solver.solve();
+
+  // Bound sanity: certificates below the solver's bound, bound below the
+  // incumbent, incumbent below (or equal to) the FAST seed.
+  const analysis::BoundSet bounds = analysis::compute_bounds(g, procs);
+  EXPECT_LE(bounds.best(), r.best_length + 1e-9);
+  EXPECT_GE(r.lower_bound + 1e-9, r.static_floor);
+  EXPECT_LE(r.lower_bound, r.best_length + 1e-9);
+  EXPECT_LE(r.best_length, r.seed_length + 1e-9);
+  if (expect_proven) {
+    EXPECT_TRUE(r.proven) << "budget too small for " << label;
+  }
+
+  // The solver's schedule is a real schedule: valid and lint-clean at
+  // its reported makespan.
+  const sched::Schedule schedule = BBSolver::materialize(g, r, procs);
+  EXPECT_TRUE(sched::is_valid(g, schedule));
+  EXPECT_NEAR(schedule.length(), r.best_length, 1e-9);
+  analysis::LintInput lint_input;
+  lint_input.graph = &g;
+  lint_input.schedule = &schedule;
+  lint_input.reported_length = schedule.length();
+  const analysis::LintReport report = analysis::lint(lint_input);
+  EXPECT_TRUE(report.clean()) << label << ": " << report.diagnostics.size()
+                              << " lint diagnostics";
+
+  // Every bounded scheduler's makespan sits at or above the certified
+  // lower bound — and above the proven optimum when we have one. The
+  // unbounded algorithms (MD, DSC, ...) ignore the processor budget, so
+  // their makespans are incomparable on a fixed pool.
+  for (const sched::SchedulerPtr& s : baselines::all_schedulers()) {
+    if (s->unbounded_processors()) continue;
+    sched::SchedulerOptions so;
+    so.num_procs = procs;
+    so.seed = 1;
+    const sched::Schedule out = s->run(g, so);
+    EXPECT_GE(out.length() + 1e-6, r.lower_bound)
+        << s->name() << " beats the certified lower bound on " << label;
+    if (expect_proven && r.proven) {
+      EXPECT_GE(out.length() + 1e-6, r.best_length)
+          << s->name() << " beats the proven optimum on " << label;
+    }
+  }
+}
+
+TEST(ExactFuzz, LayeredSmallProven) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const TaskGraph g = testing::small_random(seed, 12, 1.0, 2.5);
+    check_instance(g, 2, 5'000'000, /*expect_proven=*/true,
+                   "layered v=12 seed=" + std::to_string(seed));
+  }
+}
+
+TEST(ExactFuzz, LayeredMedium) {
+  for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+    const TaskGraph g = testing::small_random(seed, 25, 1.0, 3.0);
+    check_instance(g, 3, 100'000, /*expect_proven=*/false,
+                   "layered v=25 seed=" + std::to_string(seed));
+  }
+}
+
+TEST(ExactFuzz, LayeredWide) {
+  const TaskGraph g = testing::small_random(31, 40, 1.0, 3.5);
+  check_instance(g, 4, 100'000, /*expect_proven=*/false, "layered v=40");
+}
+
+TEST(ExactFuzz, LayeredHighCcr) {
+  for (std::uint64_t seed = 41; seed <= 42; ++seed) {
+    const TaskGraph g = testing::small_random(seed, 18, 8.0, 2.0);
+    check_instance(g, 2, 150'000, /*expect_proven=*/false,
+                   "layered ccr=8 seed=" + std::to_string(seed));
+  }
+}
+
+TEST(ExactFuzz, GaussianElimination) {
+  // N=4: the paper's smallest Gaussian instance, v=20.
+  const TaskGraph g = workloads::gaussian_elimination_dag(4);
+  ASSERT_EQ(g.num_nodes(), 20u);
+  check_instance(g, 3, 200'000, /*expect_proven=*/false, "gauss N=4");
+}
+
+TEST(ExactFuzz, Fft) {
+  // 16 points: the paper's smallest FFT instance, v=14.
+  const TaskGraph g = workloads::fft_dag(16);
+  ASSERT_EQ(g.num_nodes(), 14u);
+  check_instance(g, 3, 300'000, /*expect_proven=*/false, "fft 16");
+}
+
+}  // namespace
+}  // namespace fastsched

@@ -34,11 +34,8 @@
 #include "graph/classification.hpp"
 #include "graph/io.hpp"
 #include "graph/levels.hpp"
-#include "workloads/fft.hpp"
-#include "workloads/gaussian.hpp"
-#include "workloads/laplace.hpp"
-#include "workloads/paper_example.hpp"
-#include "workloads/random_layered.hpp"
+#include "exact/bb_solver.hpp"
+#include "workloads/spec.hpp"
 
 namespace {
 
@@ -47,6 +44,16 @@ using namespace fastsched;
 struct Input {
   std::string label;
   graph::TaskGraph graph;
+};
+
+/// Exact reference for one graph at the shared bounded pool, filled in
+/// only under --opt. `gap_to_opt` is meaningful for runs whose pool
+/// matches `procs` (the unbounded clustering algorithms pick their own
+/// pool, so their makespans are incomparable with this optimum).
+struct OptRef {
+  bool enabled = false;
+  std::size_t procs = 0;
+  exact::BBResult result;
 };
 
 struct Run {
@@ -70,42 +77,6 @@ std::vector<std::string> split(const std::string& text, char sep) {
     if (!part.empty()) parts.push_back(part);
   }
   return parts;
-}
-
-Input make_workload(const std::string& spec) {
-  const auto colon = spec.find(':');
-  const std::string name = spec.substr(0, colon);
-  const int size = colon == std::string::npos
-                       ? 0
-                       : std::stoi(spec.substr(colon + 1));
-  if (name == "gauss" || name == "gaussian") {
-    FASTSCHED_REQUIRE(size >= 2, "gauss workload needs a size >= 2");
-    return {spec, workloads::gaussian_elimination_dag(size)};
-  }
-  if (name == "laplace") {
-    FASTSCHED_REQUIRE(size >= 1, "laplace workload needs a size >= 1");
-    return {spec, workloads::laplace_dag(size)};
-  }
-  if (name == "fft") {
-    FASTSCHED_REQUIRE(size >= 4, "fft workload needs a size >= 4");
-    return {spec, workloads::fft_dag(size)};
-  }
-  if (name == "paper") {
-    return {spec, workloads::paper_figure1_dag()};
-  }
-  if (name == "rand" || name == "random") {
-    // The fig8 setup at a tamer density: seed tied to N the same way, so
-    // rand:2000 always names the same instance.
-    FASTSCHED_REQUIRE(size >= 2, "rand workload needs a size >= 2");
-    workloads::RandomDagParams params;
-    params.num_nodes = static_cast<std::size_t>(size);
-    params.avg_out_degree = 8.0;
-    params.ccr = 1.0;
-    params.seed = 1996 + static_cast<std::uint64_t>(size);
-    return {spec, workloads::random_layered_dag(params)};
-  }
-  throw Error("unknown workload '" + name +
-              "' (expected gauss:N, laplace:N, fft:N, rand:N or paper)");
 }
 
 Run run_one(const std::string& algorithm, const graph::TaskGraph& g,
@@ -135,6 +106,9 @@ Run run_one(const std::string& algorithm, const graph::TaskGraph& g,
 
   analysis::BoundOptions bound_options;
   bound_options.num_procs = s.num_procs();
+  // Exact Fernández interval search up to 1k nodes; the sampled variant
+  // past that keeps the per-run certification cost flat on huge sweeps.
+  bound_options.density_endpoints = g.num_nodes() <= 1024 ? 0 : 96;
   run.bounds = analysis::compute_bounds(g, bound_options);
   run.gap = analysis::optimality_gap(run.bounds, run.makespan);
   return run;
@@ -221,28 +195,55 @@ void print_placement_diff(const Input& input, const std::vector<Run>& runs) {
 }
 
 void print_text(const Input& input, const std::vector<Run>& runs,
-                const std::vector<std::string>& anomalies) {
+                const std::vector<std::string>& anomalies,
+                const OptRef& opt) {
   std::cout << "==== sched_diff: " << input.label << " ("
             << input.graph.num_nodes() << " nodes, "
             << input.graph.num_edges() << " edges, CCR "
             << Table::num(input.graph.ccr(), 2) << ") ====\n";
   Table t;
-  t.add_row({"Algorithm", "Pool", "Used", "Makespan", "Best bound", "Via",
-             "Gap %", "Lint"});
+  std::vector<std::string> header = {"Algorithm", "Pool",       "Used",
+                                     "Makespan",  "Best bound", "Via",
+                                     "Gap %",     "Lint"};
+  if (opt.enabled) {
+    header.insert(header.begin() + 7, {"Opt", "vs Opt %"});
+  }
+  t.add_row(header);
   for (const Run& run : runs) {
     const analysis::BoundCertificate* binding = run.bounds.binding();
-    t.add_row({run.algorithm, std::to_string(run.pool),
-               std::to_string(run.used), Table::num(run.makespan, 2),
-               Table::num(run.bounds.best(), 2),
-               binding != nullptr ? binding->id : "-",
-               Table::num(100.0 * run.gap, 1),
-               run.lint.clean()
-                   ? "clean"
-                   : std::to_string(run.lint.num_errors) + " errors, " +
-                         std::to_string(run.lint.num_warnings) +
-                         " warnings"});
+    std::vector<std::string> row = {
+        run.algorithm, std::to_string(run.pool), std::to_string(run.used),
+        Table::num(run.makespan, 2), Table::num(run.bounds.best(), 2),
+        binding != nullptr ? binding->id : "-",
+        Table::num(100.0 * run.gap, 1),
+        run.lint.clean()
+            ? "clean"
+            : std::to_string(run.lint.num_errors) + " errors, " +
+                  std::to_string(run.lint.num_warnings) + " warnings"};
+    if (opt.enabled) {
+      // The exact reference is pinned to the bounded pool: unbounded
+      // clusterings get a dash instead of a bogus comparison.
+      const bool comparable = run.pool == opt.procs;
+      const graph::Cost best = opt.result.best_length;
+      const std::string vs =
+          comparable && best > 0
+              ? Table::num(100.0 * (run.makespan - best) / best, 1)
+              : "-";
+      row.insert(row.begin() + 7,
+                 {comparable ? Table::num(best, 2) : "-", vs});
+    }
+    t.add_row(row);
   }
   std::cout << t << '\n';
+  if (opt.enabled) {
+    std::cout << "exact reference (pool " << opt.procs << "): "
+              << (opt.result.proven ? "proven optimum "
+                                    : "best known ")
+              << Table::num(opt.result.best_length, 2) << ", lower bound "
+              << Table::num(opt.result.lower_bound, 2) << " via "
+              << opt.result.bound_id << ", " << opt.result.counters.expanded
+              << " states expanded\n";
+  }
   for (const Run& run : runs) {
     for (const analysis::Diagnostic& d : run.lint.diagnostics) {
       std::cout << run.algorithm << ": " << analysis::format(d, &input.graph)
@@ -257,13 +258,27 @@ void print_text(const Input& input, const std::vector<Run>& runs,
 
 void print_json(std::ostream& os, const std::vector<Input>& inputs,
                 const std::vector<std::vector<Run>>& all_runs,
-                const std::vector<std::vector<std::string>>& all_anomalies) {
+                const std::vector<std::vector<std::string>>& all_anomalies,
+                const std::vector<OptRef>& all_opts) {
   os << "{\n  \"tool\": \"sched_diff\",\n  \"graphs\": [";
   for (std::size_t gi = 0; gi < inputs.size(); ++gi) {
+    const OptRef& opt = all_opts[gi];
     os << (gi == 0 ? "\n" : ",\n") << "    {\"graph\": \""
        << analysis::json_escape(inputs[gi].label) << "\", \"nodes\": "
        << inputs[gi].graph.num_nodes() << ", \"edges\": "
-       << inputs[gi].graph.num_edges() << ",\n     \"schedules\": [";
+       << inputs[gi].graph.num_edges();
+    if (opt.enabled) {
+      // Add-only schema: the "opt" object and per-run "gap_to_opt" only
+      // appear under --opt, so existing consumers are unaffected.
+      os << ",\n     \"opt\": {\"procs\": " << opt.procs
+         << ", \"best\": " << opt.result.best_length
+         << ", \"lower_bound\": " << opt.result.lower_bound
+         << ", \"proven\": " << (opt.result.proven ? "true" : "false")
+         << ", \"bound_id\": \""
+         << analysis::json_escape(opt.result.bound_id)
+         << "\", \"expanded\": " << opt.result.counters.expanded << "}";
+    }
+    os << ",\n     \"schedules\": [";
     const std::vector<Run>& runs = all_runs[gi];
     for (std::size_t ri = 0; ri < runs.size(); ++ri) {
       const Run& run = runs[ri];
@@ -273,7 +288,14 @@ void print_json(std::ostream& os, const std::vector<Input>& inputs,
          << ", \"pool\": " << run.pool << ", \"used\": " << run.used
          << ", \"makespan\": " << run.makespan
          << ", \"best_bound\": " << run.bounds.best()
-         << ", \"gap\": " << run.gap << ", \"errors\": "
+         << ", \"gap\": " << run.gap;
+      if (opt.enabled && run.pool == opt.procs &&
+          opt.result.best_length > 0) {
+        os << ", \"gap_to_opt\": "
+           << (run.makespan - opt.result.best_length) /
+                  opt.result.best_length;
+      }
+      os << ", \"errors\": "
          << run.lint.num_errors << ", \"warnings\": "
          << run.lint.num_warnings << ", \"bounds\": [";
       for (std::size_t bi = 0; bi < run.bounds.certificates.size(); ++bi) {
@@ -297,7 +319,7 @@ void print_json(std::ostream& os, const std::vector<Input>& inputs,
   os << "\n  ]\n}\n";
 }
 
-int run(int argc, char** argv) {
+int run_tool(int argc, char** argv) {
   CliParser cli(
       "sched_diff: run several schedulers on the same graphs, lint every "
       "schedule, and check every makespan against the certified "
@@ -315,14 +337,21 @@ int run(int argc, char** argv) {
                  "worker threads for the (graph x scheduler) matrix "
                  "(default: $FASTSCHED_JOBS or all cores; output is "
                  "byte-identical for every value)");
+  cli.add_flag("opt",
+               "also run the exact branch-and-bound solver per graph at "
+               "the bounded pool and report opt / gap-to-opt columns");
+  cli.add_option("opt-budget", "2000000",
+                 "search-node budget for --opt (unproven past it; the "
+                 "report says which)");
   cli.add_flag("json", "emit the report as JSON instead of tables");
   cli.add_flag("warnings-as-errors", "exit nonzero on lint warnings too");
   cli.add_flag("quiet", "suppress output; use the exit status only");
   if (!cli.parse(argc, argv)) return 0;
 
   std::vector<Input> inputs;
-  for (const std::string& spec : split(cli.get("workloads"), ',')) {
-    inputs.push_back(make_workload(spec));
+  for (workloads::NamedGraph& w :
+       workloads::parse_workload_list(cli.get("workloads"))) {
+    inputs.push_back({w.label, std::move(w.graph)});
   }
   for (const std::string& path : cli.positional()) {
     std::ifstream in(path);
@@ -357,6 +386,24 @@ int run(int argc, char** argv) {
         all_runs[gi][ai] = run_one(algorithms[ai], inputs[gi].graph, procs);
       });
 
+  // The exact reference runs after the heuristic matrix: the solver
+  // parallelizes internally (and is byte-identical for every --jobs), so
+  // the graphs go one at a time.
+  std::vector<OptRef> all_opts(inputs.size());
+  if (cli.get_flag("opt")) {
+    for (std::size_t gi = 0; gi < inputs.size(); ++gi) {
+      exact::BBOptions options;
+      options.num_procs = procs;
+      options.node_budget =
+          static_cast<std::uint64_t>(cli.get_int("opt-budget"));
+      options.jobs = jobs;
+      all_opts[gi].enabled = true;
+      const exact::BBSolver solver(inputs[gi].graph, options);
+      all_opts[gi].procs = solver.effective_procs();
+      all_opts[gi].result = solver.solve();
+    }
+  }
+
   std::vector<std::vector<std::string>> all_anomalies;
   std::size_t schedules = 0;
   std::size_t dirty = 0;
@@ -372,10 +419,10 @@ int run(int argc, char** argv) {
 
   const bool quiet = cli.get_flag("quiet");
   if (!quiet && cli.get_flag("json")) {
-    print_json(std::cout, inputs, all_runs, all_anomalies);
+    print_json(std::cout, inputs, all_runs, all_anomalies, all_opts);
   } else if (!quiet) {
     for (std::size_t gi = 0; gi < inputs.size(); ++gi) {
-      print_text(inputs[gi], all_runs[gi], all_anomalies[gi]);
+      print_text(inputs[gi], all_runs[gi], all_anomalies[gi], all_opts[gi]);
     }
     std::cout << "sched_diff: " << inputs.size() << " graphs, " << schedules
               << " schedules, ";
@@ -395,7 +442,7 @@ int run(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   try {
-    return run(argc, argv);
+    return run_tool(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "sched_diff: " << e.what() << '\n';
     return 2;

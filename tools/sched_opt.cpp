@@ -1,0 +1,174 @@
+// sched_opt: the exact-optimality front end. Runs the parallel
+// branch-and-bound solver on each input graph, seeded by FAST and
+// floored by the certificate layer (including the exact Fernandez
+// interval bound), and reports a proven optimum or an honest
+// [lower bound, best known] bracket when the node budget runs out.
+// Output — including every search counter — is byte-identical for every
+// --jobs value; the determinism regression tests pin exactly this.
+//
+//   $ sched_opt --workloads paper,fft:16 --procs 2
+//   $ sched_opt --procs 3 --budget 500000 my_graph.txt
+//
+// Exit status: 0 when every instance was proven optimal within the
+// budget, 1 when at least one result is an unproven bracket, 2 on usage
+// or I/O problems.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report_io.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "exact/bb_solver.hpp"
+#include "graph/io.hpp"
+#include "sched/validation.hpp"
+#include "workloads/spec.hpp"
+
+namespace {
+
+using namespace fastsched;
+
+struct Result {
+  std::string label;
+  std::size_t nodes = 0;
+  std::size_t procs = 0;
+  exact::BBResult r;
+};
+
+void print_text(const std::vector<Result>& results) {
+  Table t;
+  t.add_row({"Graph", "Nodes", "Procs", "Optimum", "Lower bound", "Proven",
+             "Via", "FAST seed", "Seed gap %", "Expanded"});
+  for (const Result& res : results) {
+    const graph::Cost best = res.r.best_length;
+    const std::string seed_gap =
+        best > 0 ? Table::num(100.0 * (res.r.seed_length - best) / best, 1)
+                 : "-";
+    t.add_row({res.label, std::to_string(res.nodes),
+               std::to_string(res.procs), Table::num(best, 4),
+               Table::num(res.r.lower_bound, 4),
+               res.r.proven ? "yes" : "no", res.r.bound_id,
+               Table::num(res.r.seed_length, 4), seed_gap,
+               std::to_string(res.r.counters.expanded)});
+  }
+  std::cout << t;
+}
+
+void print_json(std::ostream& os, const std::vector<Result>& results) {
+  os << "{\n  \"tool\": \"sched_opt\",\n  \"graphs\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& res = results[i];
+    const exact::BBCounters& c = res.r.counters;
+    os << (i == 0 ? "\n" : ",\n") << "    {\"graph\": \""
+       << analysis::json_escape(res.label) << "\", \"nodes\": " << res.nodes
+       << ", \"procs\": " << res.procs
+       << ", \"best\": " << res.r.best_length
+       << ", \"lower_bound\": " << res.r.lower_bound
+       << ", \"proven\": " << (res.r.proven ? "true" : "false")
+       << ", \"bound_id\": \"" << analysis::json_escape(res.r.bound_id)
+       << "\",\n     \"static_floor\": " << res.r.static_floor
+       << ", \"seed_length\": " << res.r.seed_length
+       << ",\n     \"counters\": {\"expanded\": " << c.expanded
+       << ", \"generated\": " << c.generated
+       << ", \"pruned_bound\": " << c.pruned_bound
+       << ", \"pruned_symmetry\": " << c.pruned_symmetry
+       << ", \"incumbent_updates\": " << c.incumbent_updates
+       << ", \"capped_subtrees\": " << c.capped_subtrees << "}}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+int run_tool(int argc, char** argv) {
+  CliParser cli(
+      "sched_opt: prove (or bracket) the optimal makespan of each input "
+      "graph with the exact branch-and-bound solver.\n"
+      "usage: sched_opt [options] [graph files...]");
+  cli.add_option("workloads", "",
+                 "comma list of built-in workloads (gauss:N, laplace:N, "
+                 "fft:N, rand:N, paper)");
+  cli.add_option("procs", "0",
+                 "processor budget (0 = one per task)");
+  cli.add_option("budget", "20000000",
+                 "search-node budget per graph; results past it are "
+                 "honest brackets, not optima");
+  cli.add_option("jobs", "",
+                 "worker threads for the subtree waves (default: "
+                 "$FASTSCHED_JOBS or all cores; output is byte-identical "
+                 "for every value)");
+  cli.add_option("seed", "1", "seed for the FAST incumbent run");
+  cli.add_flag("json", "emit the report as JSON instead of a table");
+  cli.add_flag("quiet", "suppress output; use the exit status only");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::vector<workloads::NamedGraph> inputs =
+      workloads::parse_workload_list(cli.get("workloads"));
+  for (const std::string& path : cli.positional()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "sched_opt: cannot open graph file '" << path << "'\n";
+      return 2;
+    }
+    inputs.push_back({path, graph::read_text(in)});
+  }
+  if (inputs.empty()) {
+    std::cerr << "sched_opt: need at least one graph file or --workloads\n"
+              << cli.usage();
+    return 2;
+  }
+
+  exact::BBOptions options;
+  options.num_procs = static_cast<std::size_t>(cli.get_int("procs"));
+  options.node_budget = static_cast<std::uint64_t>(cli.get_int("budget"));
+  options.jobs = resolve_jobs(cli.get("jobs"), /*fallback=*/0);
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::vector<Result> results;
+  results.reserve(inputs.size());
+  bool all_proven = true;
+  for (const workloads::NamedGraph& input : inputs) {
+    Result res;
+    res.label = input.label;
+    res.nodes = input.graph.num_nodes();
+    const exact::BBSolver solver(input.graph, options);
+    res.procs = solver.effective_procs();
+    res.r = solver.solve();
+    // The reported optimum must be a real schedule before it is allowed
+    // to anchor anything downstream.
+    const sched::Schedule s =
+        exact::BBSolver::materialize(input.graph, res.r, options.num_procs);
+    FASTSCHED_REQUIRE(sched::is_valid(input.graph, s),
+                      "sched_opt: solver produced an invalid schedule on " +
+                          input.label);
+    all_proven = all_proven && res.r.proven;
+    results.push_back(std::move(res));
+  }
+
+  if (!cli.get_flag("quiet")) {
+    if (cli.get_flag("json")) {
+      print_json(std::cout, results);
+    } else {
+      print_text(results);
+      std::cout << "sched_opt: " << results.size() << " graphs, "
+                << (all_proven
+                        ? "all proven optimal"
+                        : "at least one unproven bracket (raise --budget)")
+                << '\n';
+    }
+  }
+  return all_proven ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_tool(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "sched_opt: " << e.what() << '\n';
+    return 2;
+  }
+}
