@@ -11,6 +11,14 @@
 // replay almost the whole list, back moves almost none of it), CCR, and
 // the checkpoint interval K. The CI smoke step persists the JSON output
 // as BENCH_evaluator.json; EXPERIMENTS.md analyses a full run.
+//
+// The Scale section (v in {1e5, 3e5, 1e6}) additionally reports
+// bytes-touched-per-probe and an effective-bandwidth estimate derived
+// from the evaluator's work counters, quantifying how close the SoA
+// hot-state layout gets to being memory-bound. Scale fixtures skip the
+// full-scan differential preflight (an O(v * moves) oracle pass would
+// dwarf the benchmark itself); bit-identity at these shapes is pinned by
+// the ReplayTrioFuzz suite instead.
 
 #include <benchmark/benchmark.h>
 
@@ -376,6 +384,162 @@ void BM_IncrementalBoundedCcr(benchmark::State& state) {
   set_labels(state, fix.g, kUniform);
 }
 BENCHMARK(BM_IncrementalBoundedCcr)->Arg(1)->Arg(10)->Arg(100);
+
+// ---------------------------------------------------------------------------
+// Scale sweep: v in {1e5, 3e5, 1e6}. Same probe loops as above, plus
+// bytes-touched and effective-bandwidth counters derived from the
+// evaluator's work counters. The per-position / per-edge byte costs are
+// the hot-state reads and writes one replayed list slot performs:
+//
+//   position:  list id + assignment proc + finish read/write + the
+//              moved processor's ready-row slot
+//   edge:      one packed stream entry (parent id + edge cost) + the
+//              parent's finish time
+//
+// This deliberately counts only the streaming hot state (not code, not
+// the fold tables, whose refresh is O(v/K) per commit), so the bandwidth
+// figure is a lower-bound estimate of what the probe actually moves.
+// The per-edge cost reflects the contiguous replay's position-indexed
+// stream; the event path still reads full Adjacency records, so for it
+// the estimate undercounts by sizeof(Adjacency) - 12 bytes per edge.
+constexpr double kBytesPerPosition = sizeof(graph::NodeId) +
+                                     sizeof(sched::ProcId) +
+                                     3 * sizeof(graph::Cost);
+constexpr double kBytesPerEdge =
+    sizeof(graph::NodeId) + 2 * sizeof(graph::Cost);
+
+/// Bytes the contiguous/event replay touched, from counter deltas.
+double bytes_touched(const fast::IncrementalEvaluator::Counters& before,
+                     const fast::IncrementalEvaluator::Counters& after,
+                     double avg_in_degree) {
+  const double slots =
+      static_cast<double>((after.positions_scanned - before.positions_scanned) +
+                          (after.event_processed - before.event_processed));
+  return slots * (kBytesPerPosition + avg_in_degree * kBytesPerEdge);
+}
+
+void set_scale_counters(benchmark::State& state, const Fixture& fix,
+                        const fast::IncrementalEvaluator::Counters& before,
+                        const fast::IncrementalEvaluator::Counters& after) {
+  const double avg_in =
+      static_cast<double>(fix.g.num_edges()) / static_cast<double>(fix.g.num_nodes());
+  const double bytes = bytes_touched(before, after, avg_in);
+  const double iters = static_cast<double>(state.iterations());
+  const double slots =
+      static_cast<double>((after.positions_scanned - before.positions_scanned) +
+                          (after.event_processed - before.event_processed));
+  state.counters["bytes_per_probe"] = benchmark::Counter(bytes / iters);
+  state.counters["slots_per_probe"] = benchmark::Counter(slots / iters);
+  // Rate counter: google-benchmark divides by the measured wall time,
+  // yielding bytes/s the probe streamed through the SoA hot state.
+  state.counters["eff_bandwidth"] =
+      benchmark::Counter(bytes, benchmark::Counter::kIsRate,
+                         benchmark::Counter::kIs1024);
+}
+
+const char* policy_name(std::int64_t p) {
+  switch (p) {
+    case 1: return "event";
+    case 2: return "auto";
+    default: return "contig";
+  }
+}
+
+fast::ReplayPolicy policy_of(std::int64_t p) {
+  switch (p) {
+    case 1: return fast::ReplayPolicy::kEvent;
+    case 2: return fast::ReplayPolicy::kAuto;
+    default: return fast::ReplayPolicy::kContiguous;
+  }
+}
+
+/// Scale probe: unbounded evaluate + revert per move, at v large enough
+/// that the fixture no longer fits in cache. Arg order: {v, regime,
+/// policy}.
+void BM_ScaleProbePerMove(benchmark::State& state) {
+  const Fixture& fix = fixture(state.range(0));
+  const auto moves = fix.moves(state.range(1));
+  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs,
+                                  fast::IncrementalEvaluator::kAutoInterval,
+                                  policy_of(state.range(2)));
+  eval.reset(fix.assignment);
+  const auto before = eval.counters();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Move& m = moves[i++ % kNumMoves];
+    benchmark::DoNotOptimize(eval.evaluate_move(m.node, m.target));
+    eval.revert();
+  }
+  set_scale_counters(state, fix, before, eval.counters());
+  state.SetLabel(std::string(regime_name(state.range(1))) + "/" +
+                 policy_name(state.range(2)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fix.g.num_edges()));
+}
+BENCHMARK(BM_ScaleProbePerMove)
+    ->Args({100000, kUniform, 0})
+    ->Args({100000, kUniform, 1})
+    ->Args({100000, kUniform, 2})
+    ->Args({100000, kBack, 2})
+    ->Args({300000, kUniform, 2})
+    ->Args({300000, kBack, 2})
+    ->Args({1000000, kUniform, 2})
+    ->Args({1000000, kBack, 2})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Scale bounded probe: the hill climb's actual rejection-heavy loop.
+void BM_ScaleBoundedPerMove(benchmark::State& state) {
+  const Fixture& fix = fixture(state.range(0));
+  const auto moves = fix.moves(kUniform);
+  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs,
+                                  fast::IncrementalEvaluator::kAutoInterval,
+                                  fast::ReplayPolicy::kAuto);
+  const graph::Cost incumbent = eval.reset(fix.assignment);
+  const auto before = eval.counters();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Move& m = moves[i++ % kNumMoves];
+    benchmark::DoNotOptimize(eval.evaluate_move(m.node, m.target, incumbent));
+    eval.revert();
+  }
+  set_scale_counters(state, fix, before, eval.counters());
+  set_labels(state, fix.g, kUniform);
+}
+BENCHMARK(BM_ScaleBoundedPerMove)
+    ->Arg(100000)
+    ->Arg(300000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Scale commit: probe + commit pairs (out and back), exercising the
+/// bounded checkpoint-refresh walk and the O(1) target-pool update that
+/// replaced the per-accept O(v) rebuilds.
+void BM_ScaleCommitPerMove(benchmark::State& state) {
+  const Fixture& fix = fixture(state.range(0));
+  const auto moves = fix.moves(kUniform);
+  fast::IncrementalEvaluator eval(fix.g, fix.list, kProcs,
+                                  fast::IncrementalEvaluator::kAutoInterval,
+                                  fast::ReplayPolicy::kAuto);
+  eval.reset(fix.assignment);
+  const auto before = eval.counters();
+  std::size_t i = 0;
+  bool outbound = true;
+  for (auto _ : state) {
+    const Move& m = moves[i % kNumMoves];
+    const sched::ProcId to = outbound ? m.target : fix.assignment[m.node];
+    benchmark::DoNotOptimize(eval.evaluate_move(m.node, to));
+    benchmark::DoNotOptimize(eval.commit());
+    if (!outbound) ++i;
+    outbound = !outbound;
+  }
+  set_scale_counters(state, fix, before, eval.counters());
+  set_labels(state, fix.g, kUniform);
+}
+BENCHMARK(BM_ScaleCommitPerMove)
+    ->Arg(100000)
+    ->Arg(300000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
 
 /// Differential preflight: before timing anything, the incremental
 /// evaluator must agree with the full scan to the bit on the exact move

@@ -411,6 +411,158 @@ void check_hot_balance(const SrcCheckInput& input,
 }
 
 // ---------------------------------------------------------------------------
+// H3 hot-nested-container: a nested dynamic container declared as a data
+// member (`vector<vector<...>>`, map-of-vector, ...) in a file inside
+// the forward include closure of hot code. Each inner container is its
+// own heap block, so walking the member costs one pointer chase — and
+// likely one cache miss — per element; at v ~ 10^6 that layout dominates
+// probe cost (the SoA/slot-pool refactor of sched::Schedule exists
+// precisely to retire this shape from the hot state). Members that are
+// provably cold (built once, never walked per probe) may waive with
+// `NOLINT-fastsched(hot-nested-container): <why>`.
+
+/// `inc` names `path` as a path suffix at a '/' boundary (same contract
+/// as the semantic model's include resolution).
+bool include_names_path(const std::string& inc, const std::string& path) {
+  if (path == inc) return true;
+  if (path.size() <= inc.size()) return false;
+  return path.compare(path.size() - inc.size(), inc.size(), inc) == 0 &&
+         path[path.size() - inc.size() - 1] == '/';
+}
+
+void check_hot_nested_container(const SrcCheckInput& input,
+                                std::vector<Diagnostic>& out) {
+  static const std::unordered_set<std::string> kContainers = {
+      "vector",        "deque",         "list",
+      "forward_list",  "map",           "multimap",
+      "set",           "multiset",      "unordered_map",
+      "unordered_set", "unordered_multimap", "unordered_multiset"};
+  const std::vector<CheckedFile>& files = *input.files;
+  const std::size_t n = files.size();
+
+  // Hot roots: files with an explicit `// fastsched: hot` region, plus
+  // (when the semantic model is present) files holding an inferred-hot
+  // function. `via[f]` records the root that pulled f in, for the
+  // finding's provenance.
+  std::vector<std::string> via(n);
+  std::vector<std::size_t> queue;
+  for (std::size_t f = 0; f < n; ++f) {
+    bool hot = !files[f].annotations.hot_regions.empty();
+    if (!hot && input.model != nullptr) {
+      const SemanticModel& m = *input.model;
+      for (std::uint32_t k = m.fn_base[f]; k < m.fn_base[f + 1]; ++k) {
+        if (!m.hot_reason[k].empty()) {
+          hot = true;
+          break;
+        }
+      }
+    }
+    if (hot) {
+      via[f] = files[f].source.path;
+      queue.push_back(f);
+    }
+  }
+  // Forward include closure: a type only reaches hot code through a
+  // header some hot file (transitively) includes.
+  while (!queue.empty()) {
+    const std::size_t f = queue.back();
+    queue.pop_back();
+    for (const std::string& inc : files[f].semantics.includes) {
+      for (std::size_t g = 0; g < n; ++g) {
+        if (via[g].empty() && include_names_path(inc, files[g].source.path)) {
+          via[g] = via[f];
+          queue.push_back(g);
+        }
+      }
+    }
+  }
+
+  for (std::size_t f = 0; f < n; ++f) {
+    if (via[f].empty()) continue;
+    const Tokens& t = files[f].source.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].preprocessor ||
+          !(is_ident(t[i], "class") || is_ident(t[i], "struct"))) {
+        continue;
+      }
+      // Find the type body's '{'; a ';'/')'/'>'/','/'=' first means this
+      // was a forward declaration or a template-parameter keyword.
+      std::size_t j = i + 1;
+      std::size_t angle = 0;
+      std::size_t open = 0;
+      while (j < t.size()) {
+        if (is_punct(t[j], "<")) ++angle;
+        if (is_punct(t[j], ">") && angle > 0) --angle;
+        if (angle == 0) {
+          if (is_punct(t[j], "{")) {
+            open = j;
+            break;
+          }
+          if (is_punct(t[j], ";") || is_punct(t[j], ")") ||
+              is_punct(t[j], ">") || is_punct(t[j], ",") ||
+              is_punct(t[j], "=")) {
+            break;
+          }
+        }
+        ++j;
+      }
+      if (open == 0) continue;
+      // Member declarations sit at brace depth 1 of the body; member
+      // function bodies (depth >= 2) are skipped wholesale.
+      std::size_t depth = 1;
+      for (std::size_t k = open + 1; k < t.size() && depth > 0; ++k) {
+        if (is_punct(t[k], "{")) ++depth;
+        if (is_punct(t[k], "}")) --depth;
+        if (depth != 1 || t[k].preprocessor ||
+            t[k].kind != TokenKind::kIdentifier ||
+            kContainers.count(t[k].text) == 0 || k + 1 >= t.size() ||
+            !is_punct(t[k + 1], "<")) {
+          continue;
+        }
+        // Scan the template argument list for an inner container head.
+        std::size_t a = k + 2;
+        std::size_t nest = 1;
+        std::string inner;
+        while (a < t.size() && nest > 0) {
+          if (is_punct(t[a], "<")) ++nest;
+          if (is_punct(t[a], ">")) --nest;
+          if (nest > 0 && inner.empty() &&
+              t[a].kind == TokenKind::kIdentifier &&
+              kContainers.count(t[a].text) > 0 && a + 1 < t.size() &&
+              is_punct(t[a + 1], "<")) {
+            inner = t[a].text;
+          }
+          ++a;
+        }
+        if (inner.empty() || a >= t.size()) {
+          k = a > k ? a - 1 : k;
+          continue;
+        }
+        // Declarator: `> name ;` / `{` / `=` is a data member; a `(`
+        // next means `name` was a function's return type.
+        if (t[a].kind != TokenKind::kIdentifier || a + 1 >= t.size() ||
+            !(is_punct(t[a + 1], ";") || is_punct(t[a + 1], "{") ||
+              is_punct(t[a + 1], "="))) {
+          k = a - 1;
+          continue;
+        }
+        add_finding(
+            out, files[f], t[k].line,
+            "nested dynamic container member '" + t[a].text + "' (" +
+                t[k].text + "<..." + inner + "<...>...>) in a file reachable "
+                "from hot code (via " + via[f] + "): every inner " + inner +
+                " is a separate heap block, one pointer chase per element "
+                "on the hot path",
+            "flatten to offsets into one backing array (slot pool), or "
+            "suppress with a reason if the member is never walked per "
+            "probe");
+        k = a - 1;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // P1 probe-pairing: a function that calls `evaluate_move(` must also call
 // `revert(`, `commit(` or `rescore(` — a probe left pending poisons the
 // next probe's undo log (evaluate_move documents that it replaces an
@@ -962,6 +1114,10 @@ SrcRuleRegistry build_registry() {
   registry.add({"hot-region-balance", Severity::kError, false,
                 "unbalanced '// fastsched: hot' region markers",
                 check_hot_balance});
+  registry.add({"hot-nested-container", Severity::kError, false,
+                "nested dynamic-container data member in the include "
+                "closure of hot code",
+                check_hot_nested_container});
   registry.add({"probe-pairing", Severity::kWarning, false,
                 "evaluate_move() probe neither committed nor reverted in "
                 "the same function",

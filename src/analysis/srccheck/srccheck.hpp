@@ -103,7 +103,7 @@ class SrcRuleRegistry : public BasicRuleRegistry<SrcCheckInput> {
  public:
   /// The built-in rules, in documentation order:
   ///   det-random-source, det-unordered-iter, det-float-merge,
-  ///   hot-alloc, hot-region-balance, probe-pairing,
+  ///   hot-alloc, hot-region-balance, hot-nested-container, probe-pairing,
   ///   bare-assert, raw-runtime-error, suppression-needs-reason,
   ///   par-ref-mutation, par-unordered-merge, par-hot-lock,
   ///   par-unsplit-rng

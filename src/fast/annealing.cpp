@@ -57,7 +57,7 @@ AnnealingStats anneal(IncrementalEvaluator& evaluator,
       if (!downhill && delta > 0) ++stats.uphill_accepted;
       length = evaluator.commit();
       assignment[n] = target;
-      targets.rebuild(assignment);
+      targets.apply_transfer(original, target);
       if (graph::definitely_less(length, stats.best_length)) {
         stats.best_length = length;
         best = assignment;

@@ -38,13 +38,19 @@ std::vector<NodeId> build_cpn_dominate_list(
   const AncestorPriority prio{levels};
 
   // Pre-sort each node's parents by inclusion priority once, so the
-  // "largest b-level unlisted parent" query is a cursor advance.
-  std::vector<std::vector<NodeId>> sorted_parents(v);
+  // "largest b-level unlisted parent" query is a cursor advance. Flat
+  // CSR storage: per-node vectors would pay one heap allocation per
+  // node, which dominates list construction at v ~ 10^6.
+  std::vector<std::size_t> parent_off(v + 1, 0);
   for (NodeId n = 0; n < v; ++n) {
-    auto& ps = sorted_parents[n];
-    ps.reserve(g.in_degree(n));
-    for (const Adjacency& a : g.predecessors(n)) ps.push_back(a.node);
-    std::sort(ps.begin(), ps.end(), prio);
+    parent_off[n + 1] = parent_off[n] + g.in_degree(n);
+  }
+  std::vector<NodeId> sorted_parents(parent_off[v]);
+  for (NodeId n = 0; n < v; ++n) {
+    std::size_t o = parent_off[n];
+    for (const Adjacency& a : g.predecessors(n)) sorted_parents[o++] = a.node;
+    std::sort(sorted_parents.begin() + static_cast<std::ptrdiff_t>(parent_off[n]),
+              sorted_parents.begin() + static_cast<std::ptrdiff_t>(o), prio);
   }
   std::vector<std::size_t> cursor(v, 0);
 
@@ -70,9 +76,10 @@ std::vector<NodeId> build_cpn_dominate_list(
         continue;
       }
       auto& cur = cursor[n];
-      const auto& ps = sorted_parents[n];
-      while (cur < ps.size() && in_list[ps[cur]]) ++cur;
-      if (cur == ps.size()) {
+      const std::size_t degree = parent_off[n + 1] - parent_off[n];
+      const NodeId* ps = sorted_parents.data() + parent_off[n];
+      while (cur < degree && in_list[ps[cur]]) ++cur;
+      if (cur == degree) {
         place(n);
         stack.pop_back();
       } else {

@@ -73,6 +73,12 @@ class EventReplay {
   void apply_transfer(NodeId n, ProcId from, ProcId to,
                       std::span<const ProcId> assignment);
 
+  /// The node after `n` on its processor's committed chain
+  /// (kInvalidNode at the tail). Only meaningful while ready(); the
+  /// evaluator's bounded commit walk reads it to find how far checkpoint
+  /// staleness can reach.
+  [[nodiscard]] NodeId next_on_proc(NodeId n) const { return proc_next_[n]; }
+
   /// Committed fold tables borrowed from the evaluator (chunk granularity
   /// `interval`): prefix running max before each checkpoint, max finish
   /// within each chunk, and max finish at or beyond each checkpoint.

@@ -7,9 +7,23 @@
 
 #include "fast/cpn_dominate.hpp"
 
+/// Best-effort cache-line prefetch hint; a no-op on compilers without
+/// the builtin. Only ever a hint — correctness never depends on it.
+#if defined(__GNUC__) || defined(__clang__)
+#define FASTSCHED_PREFETCH(addr) __builtin_prefetch((addr))
+#else
+#define FASTSCHED_PREFETCH(addr) ((void)sizeof(addr))
+#endif
+
 namespace fastsched::fast {
 
 namespace {
+
+/// How many list positions ahead the hot scans prefetch the per-node
+/// state they are about to read. Deep enough to cover DRAM latency at a
+/// few nanoseconds per position of scan work, shallow enough that the
+/// lines are still resident when the scan arrives.
+constexpr std::size_t kPrefetchAhead = 8;
 
 /// K = max(32, ceil(p / 8)): checkpoint construction then stores at most
 /// ~8 doubles per list position, so reset() stays O(v + e) in spirit even
@@ -99,6 +113,19 @@ IncrementalEvaluator::IncrementalEvaluator(const TaskGraph& g,
       }
     }
   }
+  // Position-indexed predecessor stream (doc at the member): one pass,
+  // O(v + e), copying each node's predecessors in predecessor order.
+  epos_off_.resize(v + 1);
+  epos_off_[0] = 0;
+  epos_node_.reserve(g.num_edges());
+  epos_cost_.reserve(g.num_edges());
+  for (std::size_t i = 0; i < v; ++i) {
+    for (const graph::Adjacency& q : g.predecessors(list_[i])) {
+      epos_node_.push_back(q.node);
+      epos_cost_.push_back(q.cost);
+    }
+    epos_off_[i + 1] = epos_node_.size();
+  }
   policy_ = resolve_policy(policy);
   event_.attach(graph_, list_, pos_, num_procs_, interval_);
   sparse_dirty_.reserve(64);
@@ -116,8 +143,7 @@ Cost IncrementalEvaluator::reset(std::span<const ProcId> assignment) {
   FASTSCHED_ASSERT(assignment.size() == graph_->num_nodes());
   assignment_.assign(assignment.begin(), assignment.end());
   pending_ = Pending::kNone;
-  dirty_begin_ = dirty_end_ = 0;  // every finish is rewritten below
-  sparse_dirty_.clear();
+  sparse_dirty_.clear();  // every finish is rewritten below
   event_.invalidate();  // chains rebuilt lazily by the next event probe
 
   // Full scan, pausing at each checkpoint boundary to snapshot the ready
@@ -155,14 +181,8 @@ Cost IncrementalEvaluator::reset(std::span<const ProcId> assignment) {
 }
 
 void IncrementalEvaluator::restore_pending() noexcept {
-  for (std::size_t i = dirty_begin_; i < dirty_end_; ++i) {
-    const NodeId m = list_[i];
-    finish_[m] = scratch_finish_[m];
-  }
-  dirty_begin_ = dirty_end_ = 0;
-  // Event-path probes log sparsely (node ids, not a list range); both
-  // logs share scratch_finish_ as the prior-value store, and at most one
-  // is non-empty at a time.
+  // Both replay paths log only the nodes whose finish they changed, so
+  // a revert costs O(changed) — not O(scanned).
   for (const NodeId m : sparse_dirty_) finish_[m] = scratch_finish_[m];
   sparse_dirty_.clear();
 }
@@ -190,7 +210,7 @@ bool IncrementalEvaluator::ready_matches(std::size_t cp_restart,
 detail::ReplayOutcome IncrementalEvaluator::scan_suffix(
     std::size_t restart, Cost bound, std::size_t converge_after,
     std::span<const ProcId> lost_procs) {
-  FASTSCHED_ASSERT(dirty_begin_ == dirty_end_);
+  FASTSCHED_ASSERT(sparse_dirty_.empty());
   const std::size_t v = list_.size();
   const std::size_t cp_restart = checkpoint_of(restart);
   const Cost* seed_ready = checkpoint_ready(cp_restart);
@@ -202,6 +222,26 @@ detail::ReplayOutcome IncrementalEvaluator::scan_suffix(
   std::size_t horizon = 0;
   // fastsched: hot — per-probe suffix replay; these lambdas run once per
   // edge and per node for every evaluate_move probe.
+  //
+  // Edge metadata comes from the position-indexed stream (epos_), so the
+  // scan's sequential walk reads it sequentially; the remaining random
+  // reads — each predecessor's finish and assignment — are prefetched
+  // kPrefetchAhead positions early through the same stream. A parent
+  // whose finish is rewritten between hint and use just turns the hint
+  // into a no-op (the line is resident either way); values and order
+  // are untouched, so the replay stays bit-identical to the oracle.
+  const auto preds_of = [&](std::size_t idx, NodeId) {
+    const std::size_t pf = idx + kPrefetchAhead;
+    if (pf < v) {
+      for (std::size_t k = epos_off_[pf]; k < epos_off_[pf + 1]; ++k) {
+        FASTSCHED_PREFETCH(&finish_[epos_node_[k]]);
+        FASTSCHED_PREFETCH(&assignment_[epos_node_[k]]);
+      }
+    }
+    const std::size_t lo = epos_off_[idx];
+    return detail::EdgeStream{epos_node_.data() + lo, epos_cost_.data() + lo,
+                              epos_off_[idx + 1] - lo};
+  };
   const auto proc_of = [&](NodeId m) { return assignment_[m]; };
   // Positions >= restart are rewritten in place by this scan before any
   // successor reads them (the list is topological); earlier positions
@@ -220,9 +260,11 @@ detail::ReplayOutcome IncrementalEvaluator::scan_suffix(
   };
   const auto emit = [&](std::size_t, NodeId m, ProcId, Cost start, Cost fin) {
     const Cost old = finish_[m];
-    scratch_finish_[m] = old;  // undo log
-    finish_[m] = fin;
     if (fin != old) {
+      scratch_finish_[m] = old;  // sparse undo log: changed nodes only
+      // NOLINT-fastsched(hot-alloc): sparse_dirty_ is reserved and keeps its capacity across probes
+      sparse_dirty_.push_back(m);
+      finish_[m] = fin;
       ++scan_changed_;
       horizon = std::max<std::size_t>(horizon, max_succ_pos_[m]);
     }
@@ -242,12 +284,11 @@ detail::ReplayOutcome IncrementalEvaluator::scan_suffix(
   while (i < v) {
     const std::size_t chunk_end =
         std::min(v, (checkpoint_of(i) + 1) * interval_);
-    const auto out = detail::replay_list(*graph_, list_, i, chunk_end, running,
-                                         bound, proc_of, finish_of, ready_ref,
-                                         emit, tail_of);
+    const auto out = detail::replay_list_edges(*graph_, list_, i, chunk_end,
+                                               running, bound, preds_of,
+                                               proc_of, finish_of, ready_ref,
+                                               emit, tail_of);
     running = out.length;
-    dirty_begin_ = restart;
-    dirty_end_ = out.stopped_at;
     if (out.aborted) {
       counters_.positions_scanned += out.stopped_at - restart;
       return out;
@@ -404,9 +445,8 @@ std::optional<Cost> IncrementalEvaluator::evaluate_move_event(NodeId n,
   pending_target_ = target;
   pending_original_ = original;
   pending_restart_ = cp_restart * interval_;
-  // Checkpoint ready rows past the last changed position can still be
-  // stale (the processor that lost n changes its ready progression), so
-  // the commit walk must run to the end of the list.
+  // Fallback commit-walk horizon; commit() tightens it to the chain-gap
+  // bound past the changed nodes when the committed chains are live.
   pending_stop_ = list_.size();
   pending_length_ = out.length;
   pending_start_ = out.moved_start;
@@ -427,14 +467,43 @@ Cost IncrementalEvaluator::commit() {
   FASTSCHED_ASSERT(pending_ != Pending::kNone);
   assignment_[pending_node_] = pending_target_;
   const ProcId lost[] = {pending_original_};
-  // Adopt the in-place candidate values: drop both undo logs.
-  dirty_begin_ = dirty_end_ = 0;
-  sparse_dirty_.clear();
-  commit_scan(pending_restart_, pending_stop_, lost, pending_length_);
+  std::size_t stop = pending_stop_;
+  // The next node on the losing chain, read before the splice: rows for
+  // the losing processor are stale up to there.
+  const NodeId from_next = event_.ready()
+                               ? event_.next_on_proc(pending_node_)
+                               : graph::kInvalidNode;
   // Keep the event engine's slot chains in sync with the committed
   // assignment (O(gap) splice; no-op when stale or on-processor).
   event_.apply_transfer(pending_node_, pending_original_, pending_target_,
                         assignment_);
+  if (pending_ == Pending::kEventMove && event_.ready()) {
+    // Bounded commit walk: a checkpoint ready row is stale only for a
+    // processor whose ready *progression* changed before it, and a
+    // transfer perturbs a processor's progression only between a changed
+    // node (or a splice point) and the next node on the same chain —
+    // that node's unchanged finish re-anchors every later row. Fold that
+    // horizon over the losing chain, the moved node's new chain, and
+    // every changed node, then round up to a checkpoint boundary so the
+    // walked chunk maxima stay whole-chunk. Chunks at or past the stop
+    // hold no changed finish (every change is at most at a changed
+    // node's own position, strictly below its chain bound), so the walk
+    // — formerly O(v) per accepted event move — ends at the horizon.
+    const std::size_t v = list_.size();
+    std::size_t req = static_cast<std::size_t>(pos_[pending_node_]) + 1;
+    const auto fold_next = [&](NodeId nx) {
+      req = std::max(req, nx == graph::kInvalidNode
+                              ? v
+                              : static_cast<std::size_t>(pos_[nx]) + 1);
+    };
+    fold_next(from_next);
+    fold_next(event_.next_on_proc(pending_node_));
+    for (const NodeId m : sparse_dirty_) fold_next(event_.next_on_proc(m));
+    stop = std::min(v, ((req + interval_ - 1) / interval_) * interval_);
+  }
+  // Adopt the in-place candidate values: drop the undo log.
+  sparse_dirty_.clear();
+  commit_scan(pending_restart_, stop, lost, pending_length_);
   pending_ = Pending::kNone;
   ++counters_.commits;
   return length_;
@@ -473,6 +542,14 @@ void IncrementalEvaluator::commit_scan(std::size_t restart, std::size_t stop,
   Cost running = cp_prefix_len_[cp_restart];
   Cost chunk_running = 0.0;
   for (std::size_t i = restart; i < stop; ++i) {
+    // The walk reads two node-indexed arrays through a list-ordered
+    // stream; hint the lines a few positions ahead (pure prefetch —
+    // never affects the folded values).
+    if (i + kPrefetchAhead < stop) {
+      const NodeId ahead = list_[i + kPrefetchAhead];
+      FASTSCHED_PREFETCH(&assignment_[ahead]);
+      FASTSCHED_PREFETCH(&finish_[ahead]);
+    }
     if (i != restart && i % interval_ == 0) {
       const std::size_t cp = i / interval_;
       chunk_max_[cp - 1] = chunk_running;
@@ -491,15 +568,25 @@ void IncrementalEvaluator::commit_scan(std::size_t restart, std::size_t stop,
     chunk_running = std::max(chunk_running, fin);
     running = std::max(running, fin);
   }
-  chunk_max_[checkpoint_of(stop - 1)] = chunk_running;
+  const std::size_t last_walked = checkpoint_of(stop - 1);
+  chunk_max_[last_walked] = chunk_running;
   // Prefix lengths follow from the chunk maxima (std::max folds are
   // exact, so this matches a position-by-position walk to the bit).
+  // Chunk maxima past the walk are untouched, so once a recomputed
+  // entry reproduces its stored value every later entry would too —
+  // the rebuild stops there instead of running O(v / K) to the end.
   for (std::size_t cp = cp_restart + 1; cp < num_checkpoints_; ++cp) {
-    cp_prefix_len_[cp] = std::max(cp_prefix_len_[cp - 1], chunk_max_[cp - 1]);
+    const Cost value = std::max(cp_prefix_len_[cp - 1], chunk_max_[cp - 1]);
+    if (cp > last_walked + 1 && value == cp_prefix_len_[cp]) break;
+    cp_prefix_len_[cp] = value;
   }
-  suffix_max_[num_checkpoints_] = 0.0;
-  for (std::size_t cp = num_checkpoints_; cp-- > 0;) {
-    suffix_max_[cp] = std::max(suffix_max_[cp + 1], chunk_max_[cp]);
+  // Same for the suffix maxima, downward: entries past the last walked
+  // chunk cover only unchanged chunks, and below the restart the fold
+  // stabilizes the first time a value reproduces.
+  for (std::size_t cp = last_walked + 1; cp-- > 0;) {
+    const Cost value = std::max(suffix_max_[cp + 1], chunk_max_[cp]);
+    if (cp < cp_restart && value == suffix_max_[cp]) break;
+    suffix_max_[cp] = value;
   }
   // fastsched: end-hot
   // The walk folds the same values in the same order as the candidate
@@ -534,12 +621,14 @@ Cost IncrementalEvaluator::rescore(std::span<const ProcId> assignment) {
   const std::size_t v = list_.size();
   std::size_t first = v;
   std::size_t last = 0;
-  std::vector<ProcId> lost;  // procs that lose nodes: stale checkpoints
+  // Procs that lose nodes (stale checkpoints); member scratch so
+  // rescore-heavy callers (sched_diff sweeps) never re-allocate.
+  rescore_lost_.clear();
   for (NodeId m = 0; m < assignment.size(); ++m) {
     if (assignment[m] != assignment_[m]) {
       first = std::min<std::size_t>(first, pos_[m]);
       last = std::max<std::size_t>(last, pos_[m]);
-      lost.push_back(assignment_[m]);
+      rescore_lost_.push_back(assignment_[m]);
     }
   }
   if (first == v) {
@@ -551,10 +640,10 @@ Cost IncrementalEvaluator::rescore(std::span<const ProcId> assignment) {
   assignment_.assign(assignment.begin(), assignment.end());
   event_.invalidate();  // bulk placement change; rebuilt lazily
   pending_node_ = graph::kInvalidNode;  // no single moved node to track
-  const auto out = scan_suffix(restart, kUnbounded, last, lost);
+  const auto out = scan_suffix(restart, kUnbounded, last, rescore_lost_);
   FASTSCHED_ASSERT(!out.aborted);
-  dirty_begin_ = dirty_end_ = 0;  // adopt the in-place values
-  commit_scan(restart, out.stopped_at, lost, out.length);
+  sparse_dirty_.clear();  // adopt the in-place values
+  commit_scan(restart, out.stopped_at, rescore_lost_, out.length);
   begin_phase();
   return length_;
 }

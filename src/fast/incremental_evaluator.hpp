@@ -27,13 +27,15 @@
 ///    early-exit) — making the typical probe O(perturbation), not O(v).
 ///
 /// Candidate scans update the finish array *in place*, logging the
-/// prior value of every touched node: the hot recurrence then reads a
+/// prior value of every node whose finish actually *changed* (a sparse
+/// log shared with the event path): the hot recurrence then reads a
 /// single array with no committed-vs-in-scan branch (a per-edge branch
 /// on the restart position is unpredictable and measurably dominates
-/// the scan). `revert()` replays the log — cost bounded by the scan
-/// that produced it — and `commit()` adopts the in-place values without
-/// re-simulation. Processor ready times go through epoch-stamped
-/// scratch. All replayed values are produced by the same `replay_list`
+/// the scan), and unchanged positions — the vast majority of a
+/// converging scan — cost neither an undo store nor a restore.
+/// `revert()` replays the log — O(changed), not O(scanned) — and
+/// `commit()` adopts the in-place values without re-simulation.
+/// Processor ready times go through epoch-stamped scratch. All replayed values are produced by the same `replay_list`
 /// core as the full scan, in the same order, so committed finish times,
 /// schedule lengths, and accept/reject decisions are bit-identical to
 /// the full-scan oracle — the differential fuzz suite and the
@@ -230,8 +232,9 @@ class IncrementalEvaluator {
   [[nodiscard]] bool ready_matches(std::size_t cp_restart, std::size_t cp_b,
                                    std::span<const ProcId> extra) const;
 
-  /// Restores finish_ from the undo log — the contiguous dirty range or
-  /// the event path's sparse touched list (no-op when nothing is dirty).
+  /// Restores finish_ from the sparse undo log (no-op when clean). Both
+  /// replay paths log the same way: node ids in sparse_dirty_, prior
+  /// values in scratch_finish_.
   void restore_pending() noexcept;
 
   /// Event-path evaluate_move body: worklist replay instead of the
@@ -276,16 +279,30 @@ class IncrementalEvaluator {
   // the node has no successors; position 0 cannot be a successor). Fixed.
   std::vector<std::uint32_t> pos_;
   std::vector<std::uint32_t> max_succ_pos_;
+  // Position-indexed predecessor stream: the predecessors of list_[i]
+  // copied to [epos_off_[i], epos_off_[i+1]) in predecessor order, so
+  // the contiguous suffix scan — which walks positions in list order —
+  // reads its edge metadata sequentially instead of chasing the graph
+  // CSR through node-id space. Split into parallel node/cost arrays
+  // (12 B per edge versus 24 for an Adjacency copy with its unused edge
+  // id and padding: the scan is bandwidth-bound, so stream bytes are
+  // cost). The only random reads left in the scan (finish_ and
+  // assignment_ of each predecessor) are prefetched a few positions
+  // ahead through the same stream. Values are bytewise copies of
+  // g.predecessors(list_[i]) in the same order, so the replay stays
+  // bit-identical to the graph-CSR path. Fixed (list and graph are).
+  std::vector<std::size_t> epos_off_;
+  std::vector<NodeId> epos_node_;
+  std::vector<Cost> epos_cost_;
   // Successor-cone cardinality per node (empty above kConeExactNodes):
   // the static per-move seed for the auto frontier estimate. Fixed.
   std::vector<std::uint32_t> cone_size_;
 
-  // Candidate scans write finish_ in place; scratch_finish_ is the undo
-  // log (prior value of each node in the dirty list range). Ready times
-  // use epoch-stamped scratch to avoid O(p) clears per scan.
+  // Candidate scans write finish_ in place; scratch_finish_ holds the
+  // prior value of every *changed* node, keyed by the ids in
+  // sparse_dirty_ (the shared undo log). Ready times use epoch-stamped
+  // scratch to avoid O(p) clears per scan.
   std::vector<Cost> scratch_finish_;
-  std::size_t dirty_begin_ = 0;  ///< list range of in-place candidate
-  std::size_t dirty_end_ = 0;    ///< finish values awaiting commit/revert
   std::vector<Cost> scratch_ready_;
   std::vector<std::uint64_t> ready_stamp_;
   std::vector<ProcId> scan_touched_;  ///< procs seeded by the live scan
@@ -296,13 +313,14 @@ class IncrementalEvaluator {
   std::vector<ProcId> touched_;
   std::uint64_t touch_epoch_ = 0;
 
-  // Event-driven replay engine (tentpole): per-processor slot chains +
+  // Event-driven replay engine: per-processor slot chains +
   // position-ordered worklist. Chains go stale on reset()/rescore() and
   // are rebuilt lazily by the next event probe. sparse_dirty_ is the
-  // event path's undo log (node ids whose finish_ it overwrote, with
-  // prior values in scratch_finish_).
+  // undo log both replay paths append to (node ids whose finish_ they
+  // overwrote, with prior values in scratch_finish_).
   EventReplay event_;
   std::vector<NodeId> sparse_dirty_;
+  std::vector<ProcId> rescore_lost_;  ///< rescore() scratch (no per-call alloc)
   ReplayPolicy policy_ = ReplayPolicy::kAuto;
   // Online frontier estimate for the auto policy: EWMA of the per-probe
   // affected-node counts observed by *both* engines — worklist pops on
@@ -315,8 +333,9 @@ class IncrementalEvaluator {
   std::vector<Cost> reject_tails_;
   Cost static_floor_ = 0;
 
-  // Pending candidate. kMove restored via the contiguous dirty range,
-  // kEventMove via the sparse touched list.
+  // Pending candidate. Both kinds restore via the sparse undo log; the
+  // distinction feeds the commit walk (an event move's walk horizon is
+  // bounded by the chain gaps past its changed nodes).
   enum class Pending : std::uint8_t { kNone, kMove, kEventMove };
   Pending pending_ = Pending::kNone;
   NodeId pending_node_ = 0;

@@ -75,7 +75,7 @@ LocalSearchStats local_search(IncrementalEvaluator& evaluator,
       length = evaluator.commit();
       assignment[n] = target;
       ++stats.improvements;
-      targets.rebuild(assignment);
+      targets.apply_transfer(original, target);
     } else {
       evaluator.revert();
     }

@@ -47,8 +47,54 @@ struct ReplayOutcome {
   bool aborted = false;
 };
 
-/// Replays list positions [begin, end) of `list`.
+/// Predecessor range over parallel node/cost arrays — the shape a
+/// caller's own edge copy takes when it streams metadata to
+/// `replay_list_edges` (12 bytes per edge versus 24 for Adjacency
+/// copies; the hot scans are bandwidth-bound, so stream bytes are
+/// cost). Iteration yields values with `.node` and `.cost`, mirroring
+/// the graph::Adjacency fields the recurrence reads.
+struct EdgeStream {
+  struct Entry {
+    graph::NodeId node;
+    graph::Cost cost;
+  };
+  struct Iterator {
+    const graph::NodeId* node;
+    const graph::Cost* cost;
+    Entry operator*() const { return {*node, *cost}; }
+    Iterator& operator++() {
+      ++node;
+      ++cost;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const {
+      return node != other.node;
+    }
+  };
+  const graph::NodeId* node;
+  const graph::Cost* cost;
+  std::size_t count;
+  [[nodiscard]] Iterator begin() const { return {node, cost}; }
+  [[nodiscard]] Iterator end() const { return {node + count, cost + count}; }
+};
+
+/// Replays list positions [begin, end) of `list`. This edge-source
+/// overload is the one instantiation of the recurrence; `replay_list`
+/// below forwards to it with the graph's own predecessor CSR.
 ///
+///  * `preds_of(i, n)` -> range of predecessor entries of node `n` (each
+///                       with `.node` and `.cost` members, in the same
+///                       order `g.predecessors(n)` yields them). The
+///                       position `i` lets a caller substitute a
+///                       list-position-indexed copy of the edge metadata
+///                       — the `IncrementalEvaluator` streams one so its
+///                       per-probe suffix scan reads edges sequentially
+///                       instead of chasing the graph CSR through
+///                       node-id space — and software-prefetch the state
+///                       a few positions ahead. The entries must be
+///                       value-identical to `g.predecessors(n)`, in the
+///                       same order, or bit-identity across consumers is
+///                       lost.
 ///  * `proc_of(n)`    -> ProcId of node `n` under the candidate assignment.
 ///  * `finish_of(n)`  -> finish time of predecessor `n` (the caller decides
 ///                       whether that reads committed or in-scan state).
@@ -71,15 +117,16 @@ struct ReplayOutcome {
 /// lower bounds on the final length, and `definitely_less` is monotone in
 /// its first argument, so tails can only reject *earlier*, never change
 /// the accept/reject decision.
-template <class ProcOf, class FinishOf, class ReadyRef, class Emit,
-          class TailOf>
-inline ReplayOutcome replay_list(const graph::TaskGraph& g,
-                                 std::span<const graph::NodeId> list,
-                                 std::size_t begin, std::size_t end,
-                                 graph::Cost seed_length, graph::Cost bound,
-                                 ProcOf&& proc_of, FinishOf&& finish_of,
-                                 ReadyRef&& ready_ref, Emit&& emit,
-                                 TailOf&& reject_tail_of) {
+template <class PredsOf, class ProcOf, class FinishOf, class ReadyRef,
+          class Emit, class TailOf>
+inline ReplayOutcome replay_list_edges(const graph::TaskGraph& g,
+                                       std::span<const graph::NodeId> list,
+                                       std::size_t begin, std::size_t end,
+                                       graph::Cost seed_length,
+                                       graph::Cost bound, PredsOf&& preds_of,
+                                       ProcOf&& proc_of, FinishOf&& finish_of,
+                                       ReadyRef&& ready_ref, Emit&& emit,
+                                       TailOf&& reject_tail_of) {
   // fastsched: hot — the innermost timing recurrence; every probe of
   // every consumer runs through this loop.
   graph::Cost running = seed_length;
@@ -90,7 +137,7 @@ inline ReplayOutcome replay_list(const graph::TaskGraph& g,
     const graph::NodeId n = list[i];
     const sched::ProcId p = proc_of(n);
     graph::Cost dat = 0.0;
-    for (const graph::Adjacency& q : g.predecessors(n)) {
+    for (const auto& q : preds_of(i, n)) {
       const graph::Cost arrival =
           finish_of(q.node) + (proc_of(q.node) == p ? 0.0 : q.cost);
       dat = std::max(dat, arrival);
@@ -110,6 +157,24 @@ inline ReplayOutcome replay_list(const graph::TaskGraph& g,
   }
   return {running, end, false};
   // fastsched: end-hot
+}
+
+/// Graph-CSR adapter: the canonical entry point for every consumer that
+/// does not maintain its own edge copy. Same recurrence, same order —
+/// `replay_list_edges` with `preds_of` reading `g.predecessors(n)`.
+template <class ProcOf, class FinishOf, class ReadyRef, class Emit,
+          class TailOf>
+inline ReplayOutcome replay_list(const graph::TaskGraph& g,
+                                 std::span<const graph::NodeId> list,
+                                 std::size_t begin, std::size_t end,
+                                 graph::Cost seed_length, graph::Cost bound,
+                                 ProcOf&& proc_of, FinishOf&& finish_of,
+                                 ReadyRef&& ready_ref, Emit&& emit,
+                                 TailOf&& reject_tail_of) {
+  return replay_list_edges(
+      g, list, begin, end, seed_length, bound,
+      [&g](std::size_t, graph::NodeId n) { return g.predecessors(n); },
+      proc_of, finish_of, ready_ref, emit, reject_tail_of);
 }
 
 /// Tail-less overload: the abort test degenerates to the running max

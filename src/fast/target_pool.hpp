@@ -6,10 +6,19 @@
 /// one fresh processor. Drawing from the full pool would dilute the
 /// search with indistinguishable empty processors when the budget is
 /// generous ("more than enough processors", paper §5) — any single fresh
-/// target stands for all of them. Rebuilt after each accepted move; the
-/// scratch buffer is owned by the pool so rebuilds never allocate.
+/// target stands for all of them.
+///
+/// Maintenance is incremental: an accepted transfer updates per-processor
+/// counts in O(1), and the pool itself only changes when a processor
+/// empties or the fresh processor gains its first node — then a single
+/// sorted insert/erase plus a fresh-pointer advance, never the former
+/// O(v) assignment walk per accepted move (which dominated the accept
+/// path at v >= 10^5). The pool contents are a pure function of the
+/// used-processor set, so the incremental path is value-identical to
+/// rebuild() — a unit test pins this over random move sequences.
 
 #include <algorithm>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -19,26 +28,37 @@ namespace fastsched::fast {
 
 class TransferTargets {
  public:
-  explicit TransferTargets(std::size_t num_procs) : used_(num_procs, 0) {
+  explicit TransferTargets(std::size_t num_procs) : count_(num_procs, 0) {
     targets_.reserve(num_procs);
   }
 
   /// Recomputes the pool for `assignment`: used processors in ascending
   /// order, then the lowest-numbered unused one (if any).
   void rebuild(std::span<const sched::ProcId> assignment) {
+    std::fill(count_.begin(), count_.end(), std::uint32_t{0});
+    for (const sched::ProcId p : assignment) ++count_[p];
     targets_.clear();
-    std::fill(used_.begin(), used_.end(), char{0});
-    for (const sched::ProcId p : assignment) used_[p] = 1;
-    const auto num_procs = static_cast<sched::ProcId>(used_.size());
-    sched::ProcId fresh = sched::kUnassignedProc;
+    const auto num_procs = static_cast<sched::ProcId>(count_.size());
+    fresh_ = sched::kUnassignedProc;
     for (sched::ProcId p = 0; p < num_procs; ++p) {
-      if (used_[p] != 0) {
+      if (count_[p] != 0) {
         targets_.push_back(p);
-      } else if (fresh == sched::kUnassignedProc) {
-        fresh = p;
+      } else if (fresh_ == sched::kUnassignedProc) {
+        fresh_ = p;
       }
     }
-    if (fresh != sched::kUnassignedProc) targets_.push_back(fresh);
+    if (fresh_ != sched::kUnassignedProc) targets_.push_back(fresh_);
+  }
+
+  /// Folds one committed transfer (`from` loses a node, `to` gains one)
+  /// into the pool. O(1) unless the used set itself changed.
+  void apply_transfer(sched::ProcId from, sched::ProcId to) {
+    if (from == to) return;
+    FASTSCHED_ASSERT(count_[from] > 0);
+    --count_[from];
+    ++count_[to];
+    if (count_[to] == 1) activate(to);
+    if (count_[from] == 0) deactivate(from);
   }
 
   [[nodiscard]] std::span<const sched::ProcId> procs() const noexcept {
@@ -50,8 +70,36 @@ class TransferTargets {
   }
 
  private:
+  // Invariant: targets_ holds the used processors in ascending order,
+  // followed by fresh_ (the lowest-numbered unused processor) when one
+  // exists.
+
+  void activate(sched::ProcId p) {
+    const bool was_fresh = p == fresh_;
+    if (fresh_ != sched::kUnassignedProc) targets_.pop_back();
+    if (was_fresh) {
+      // Every id below the old fresh pointer is used, so the new lowest
+      // unused id is strictly above it; advance (amortized O(p) across a
+      // whole search, typically a couple of steps).
+      const auto num_procs = static_cast<sched::ProcId>(count_.size());
+      sched::ProcId f = p;
+      while (++f < num_procs && count_[f] != 0) {}
+      fresh_ = f < num_procs ? f : sched::kUnassignedProc;
+    }
+    targets_.insert(std::lower_bound(targets_.begin(), targets_.end(), p), p);
+    if (fresh_ != sched::kUnassignedProc) targets_.push_back(fresh_);
+  }
+
+  void deactivate(sched::ProcId p) {
+    if (fresh_ != sched::kUnassignedProc) targets_.pop_back();
+    targets_.erase(std::lower_bound(targets_.begin(), targets_.end(), p));
+    if (fresh_ == sched::kUnassignedProc || p < fresh_) fresh_ = p;
+    targets_.push_back(fresh_);
+  }
+
   std::vector<sched::ProcId> targets_;
-  std::vector<char> used_;  // scratch: avoids re-allocating per rebuild
+  std::vector<std::uint32_t> count_;  ///< nodes per processor
+  sched::ProcId fresh_ = sched::kUnassignedProc;
 };
 
 }  // namespace fastsched::fast

@@ -9,7 +9,6 @@ namespace fastsched::graph {
 
 void TaskGraphBuilder::reserve(std::size_t nodes, std::size_t edges) {
   weights_.reserve(nodes);
-  names_.reserve(nodes);
   edge_src_.reserve(edges);
   edge_dst_.reserve(edges);
   edge_cost_.reserve(edges);
@@ -20,8 +19,12 @@ NodeId TaskGraphBuilder::add_node(Cost weight, std::string name) {
                     "node weight must be finite and non-negative");
   const auto id = static_cast<NodeId>(weights_.size());
   weights_.push_back(weight);
-  if (name.empty()) name = "n" + std::to_string(id + 1);
-  names_.push_back(std::move(name));
+  // Names are lazy: only store names that differ from the implicit
+  // "n<i+1>", so round-tripping a graph through a builder (transform,
+  // io) keeps default-named nodes string-free.
+  if (!name.empty() && name != default_node_name(id)) {
+    named_.emplace_back(id, std::move(name));
+  }
   return id;
 }
 
@@ -49,7 +52,7 @@ TaskGraph TaskGraphBuilder::build() const {
 
   TaskGraph g;
   g.weights_ = weights_;
-  g.names_ = names_;
+  g.named_ = named_;
   g.edge_src_ = edge_src_;
   g.edge_dst_ = edge_dst_;
   g.edge_cost_ = edge_cost_;
@@ -122,6 +125,14 @@ TaskGraph TaskGraphBuilder::build() const {
   for (const Cost w : g.weights_) g.total_work_ += w;
   for (const Cost c : g.edge_cost_) g.total_comm_ += c;
   return g;
+}
+
+std::string TaskGraph::name(NodeId n) const {
+  const auto it = std::lower_bound(
+      named_.begin(), named_.end(), n,
+      [](const auto& entry, NodeId id) { return entry.first < id; });
+  if (it != named_.end() && it->first == n) return it->second;
+  return default_node_name(n);
 }
 
 std::optional<Cost> TaskGraph::find_edge_cost(NodeId src, NodeId dst) const {

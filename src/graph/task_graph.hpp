@@ -15,6 +15,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -29,6 +30,13 @@ using EdgeId = std::uint32_t;
 using Cost = double;
 
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// The implicit display name of node `n`: "n<i+1>", matching the paper's
+/// n1..n9. Nodes keep this name lazily — it is generated on demand and
+/// never stored, so a million-node graph pays no per-node string.
+[[nodiscard]] inline std::string default_node_name(NodeId n) {
+  return "n" + std::to_string(n + 1);
+}
 
 /// Tolerance used when comparing derived cost sums (t-level + b-level
 /// against the critical-path length, schedule lengths, ...). Costs are
@@ -91,7 +99,11 @@ class TaskGraphBuilder {
  private:
   friend class TaskGraph;
   std::vector<Cost> weights_;
-  std::vector<std::string> names_;
+  /// Sparse explicit names, ascending by node id (ids are handed out in
+  /// order, so plain appends keep it sorted). Nodes without an entry use
+  /// `default_node_name`; explicit names equal to it are dropped at
+  /// add_node so graph copies through builders stay sparse.
+  std::vector<std::pair<NodeId, std::string>> named_;
   std::vector<NodeId> edge_src_;
   std::vector<NodeId> edge_dst_;
   std::vector<Cost> edge_cost_;
@@ -110,8 +122,9 @@ class TaskGraph {
   /// Computation cost w(n).
   [[nodiscard]] Cost weight(NodeId n) const { return weights_[n]; }
 
-  /// Display name.
-  [[nodiscard]] const std::string& name(NodeId n) const { return names_[n]; }
+  /// Display name: the sparse explicit name if one was given, otherwise
+  /// `default_node_name(n)` generated on demand (returned by value).
+  [[nodiscard]] std::string name(NodeId n) const;
 
   /// Outgoing adjacencies (children) of `n`, in deterministic (insertion)
   /// order.
@@ -172,7 +185,7 @@ class TaskGraph {
   TaskGraph() = default;
 
   std::vector<Cost> weights_;
-  std::vector<std::string> names_;
+  std::vector<std::pair<NodeId, std::string>> named_;  ///< sparse, sorted
   std::vector<NodeId> edge_src_;
   std::vector<NodeId> edge_dst_;
   std::vector<Cost> edge_cost_;

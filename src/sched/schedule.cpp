@@ -5,30 +5,46 @@
 namespace fastsched::sched {
 
 Schedule::Schedule(std::size_t num_nodes, std::size_t num_procs)
-    : placements_(num_nodes), proc_tasks_(num_procs) {}
+    : proc_(num_nodes, kUnassignedProc),
+      start_(num_nodes, 0.0),
+      finish_(num_nodes, 0.0),
+      slots_(num_procs) {}
+
+void Schedule::grow_slots(ProcId p) {
+  ProcSlots& s = slots_[p];
+  const std::uint32_t new_cap = std::max<std::uint32_t>(4, 2 * s.capacity);
+  const std::size_t new_off = pool_.size();
+  pool_.resize(new_off + new_cap);
+  std::copy_n(pool_.begin() + static_cast<std::ptrdiff_t>(s.offset), s.count,
+              pool_.begin() + static_cast<std::ptrdiff_t>(new_off));
+  s.offset = new_off;
+  s.capacity = new_cap;
+}
 
 void Schedule::assign(NodeId n, ProcId p, Cost start, Cost finish) {
-  FASTSCHED_REQUIRE(n < placements_.size(), "node out of range");
-  FASTSCHED_REQUIRE(p < proc_tasks_.size(), "processor out of range");
+  FASTSCHED_REQUIRE(n < proc_.size(), "node out of range");
+  FASTSCHED_REQUIRE(p < slots_.size(), "processor out of range");
   FASTSCHED_REQUIRE(!is_assigned(n), "node assigned twice");
   FASTSCHED_REQUIRE(start >= 0 && finish >= start,
                     "invalid start/finish interval");
-  placements_[n] = Placement{p, start, finish};
-  proc_tasks_[p].push_back(n);
+  proc_[n] = p;
+  start_[n] = start;
+  finish_[n] = finish;
+  if (slots_[p].count == slots_[p].capacity) grow_slots(p);
+  ProcSlots& s = slots_[p];
+  pool_[s.offset + s.count++] = n;
   length_ = std::max(length_, finish);
 }
 
 std::size_t Schedule::procs_used() const {
   return static_cast<std::size_t>(
-      std::count_if(proc_tasks_.begin(), proc_tasks_.end(),
-                    [](const auto& tasks) { return !tasks.empty(); }));
+      std::count_if(slots_.begin(), slots_.end(),
+                    [](const ProcSlots& s) { return s.count > 0; }));
 }
 
 bool Schedule::is_complete() const {
-  return std::all_of(placements_.begin(), placements_.end(),
-                     [](const Placement& pl) {
-                       return pl.proc != kUnassignedProc;
-                     });
+  return std::all_of(proc_.begin(), proc_.end(),
+                     [](ProcId p) { return p != kUnassignedProc; });
 }
 
 }  // namespace fastsched::sched

@@ -3,6 +3,20 @@
 /// \file schedule.hpp
 /// The output of a DAG scheduling algorithm: a placement (processor, start
 /// time, finish time) for every task, plus per-processor task sequences.
+///
+/// Layout (million-node pass): placements are stored struct-of-arrays —
+/// parallel `proc_` / `start_` / `finish_` vectors — so makespan folds,
+/// completeness checks, and finish scans stride over exactly the field
+/// they read instead of pulling interleaved cold fields through the
+/// cache. Per-processor sequences live in one flat slot-pool (`pool_`)
+/// addressed by per-processor {offset, count, capacity} headers: a
+/// processor's block grows geometrically by relocating to the pool tail
+/// (amortized O(1) appends, dead blocks are simply abandoned), so a
+/// schedule performs O(p · log(v/p)) small copies total and zero
+/// per-processor heap allocations — where the previous
+/// vector-of-vectors paid one allocation chain per non-empty processor.
+/// `tasks_on()` still returns a contiguous span in assignment order; the
+/// accessor API is unchanged, callers recompile as-is.
 
 #include <cstdint>
 #include <limits>
@@ -21,7 +35,8 @@ using ProcId = std::uint32_t;
 
 inline constexpr ProcId kUnassignedProc = std::numeric_limits<ProcId>::max();
 
-/// Where and when one task runs.
+/// Where and when one task runs. Assembled on demand from the SoA
+/// columns; returned by value.
 struct Placement {
   ProcId proc = kUnassignedProc;
   Cost start = 0;
@@ -41,27 +56,29 @@ class Schedule {
   void assign(NodeId n, ProcId p, Cost start, Cost finish);
 
   [[nodiscard]] bool is_assigned(NodeId n) const {
-    return placements_[n].proc != kUnassignedProc;
+    return proc_[n] != kUnassignedProc;
   }
 
-  [[nodiscard]] const Placement& placement(NodeId n) const {
-    return placements_[n];
+  [[nodiscard]] Placement placement(NodeId n) const {
+    return Placement{proc_[n], start_[n], finish_[n]};
   }
 
-  [[nodiscard]] Cost start(NodeId n) const { return placements_[n].start; }
-  [[nodiscard]] Cost finish(NodeId n) const { return placements_[n].finish; }
-  [[nodiscard]] ProcId proc(NodeId n) const { return placements_[n].proc; }
+  [[nodiscard]] Cost start(NodeId n) const { return start_[n]; }
+  [[nodiscard]] Cost finish(NodeId n) const { return finish_[n]; }
+  [[nodiscard]] ProcId proc(NodeId n) const { return proc_[n]; }
 
   [[nodiscard]] std::size_t num_nodes() const noexcept {
-    return placements_.size();
+    return proc_.size();
   }
   [[nodiscard]] std::size_t num_procs() const noexcept {
-    return proc_tasks_.size();
+    return slots_.size();
   }
 
-  /// Tasks on processor `p` in assignment order.
+  /// Tasks on processor `p` in assignment order (a contiguous view into
+  /// the slot-pool; invalidated by the next assign()).
   [[nodiscard]] std::span<const NodeId> tasks_on(ProcId p) const {
-    return proc_tasks_[p];
+    const ProcSlots& s = slots_[p];
+    return {pool_.data() + s.offset, s.count};
   }
 
   /// Largest finish time across all assigned tasks (the schedule length /
@@ -75,8 +92,27 @@ class Schedule {
   [[nodiscard]] bool is_complete() const;
 
  private:
-  std::vector<Placement> placements_;
-  std::vector<std::vector<NodeId>> proc_tasks_;
+  /// One processor's block in the slot-pool. Invariants: the live block
+  /// is pool_[offset, offset + count); count <= capacity; blocks of
+  /// distinct processors never overlap; a relocated (grown) block leaves
+  /// its predecessor bytes in place but unreachable.
+  struct ProcSlots {
+    std::size_t offset = 0;
+    std::uint32_t count = 0;
+    std::uint32_t capacity = 0;
+  };
+
+  /// Relocates processor `p`'s block to the pool tail with doubled
+  /// capacity (amortized O(1) per assign).
+  void grow_slots(ProcId p);
+
+  // Placement columns (SoA).
+  std::vector<ProcId> proc_;
+  std::vector<Cost> start_;
+  std::vector<Cost> finish_;
+  // Per-processor sequences: flat slot-pool + headers.
+  std::vector<ProcSlots> slots_;
+  std::vector<NodeId> pool_;
   Cost length_ = 0;
 };
 

@@ -33,6 +33,10 @@ graph::TaskGraph fft_dag(int points, const TimingDatabase& db) {
   const double block = static_cast<double>(points) / lanes;
 
   graph::TaskGraphBuilder builder;
+  // scatter/gather fan edges + one edge per lane per stage pair.
+  builder.reserve(fft_task_count(points),
+                  2 * static_cast<std::size_t>(lanes) *
+                      (static_cast<std::size_t>(stages) + 1));
   const graph::NodeId scatter =
       builder.add_node(db.compute_cost(2.0 * points), "scatter");
 

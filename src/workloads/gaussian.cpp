@@ -8,6 +8,12 @@ namespace fastsched::workloads {
 graph::TaskGraph gaussian_elimination_dag(int n, const TimingDatabase& db) {
   FASTSCHED_REQUIRE(n >= 2, "matrix dimension must be >= 2");
   graph::TaskGraphBuilder builder;
+  {
+    // Sum over layers of (n + 2 - k) nodes; each layer contributes one
+    // broadcast edge per update task plus a full handoff to the next.
+    const auto nn = static_cast<std::size_t>(n);
+    builder.reserve((nn + 1) * (nn + 4) / 2, (nn + 1) * (nn + 2));
+  }
 
   // layer k (k = 0..n) has (n + 2 - k) tasks: index 0 is the pivot task,
   // indices 1..n+1-k are row-update tasks.

@@ -8,6 +8,11 @@ namespace fastsched::workloads {
 graph::TaskGraph laplace_dag(int n, const TimingDatabase& db) {
   FASTSCHED_REQUIRE(n >= 1, "grid dimension must be >= 1");
   graph::TaskGraphBuilder builder;
+  {
+    // n^2 cells + source/sink; ~2 halo edges per cell + boundary fans.
+    const auto nn = static_cast<std::size_t>(n);
+    builder.reserve(nn * nn + 2, 2 * nn * nn + 4 * nn);
+  }
 
   // A cell update averages its four neighbours: ~5 flops per point; each
   // cell task owns a block of boundary points proportional to n, so costs

@@ -80,7 +80,12 @@ graph::TaskGraph random_layered_dag(const RandomDagParams& params) {
     return rng.uniform_real(0.5 * target_edge_mean, 1.5 * target_edge_mean);
   };
 
+  // Edges stream straight into the builder as they are drawn — the only
+  // side structure is this dedupe set, sized up front so a million-node
+  // generation never rehashes (insert-only: no det-unordered-iter hazard).
   std::unordered_set<std::uint64_t> used;
+  used.reserve(2 * static_cast<std::size_t>(params.avg_out_degree *
+                                            static_cast<double>(v)));
   const auto key = [](graph::NodeId a, graph::NodeId b) {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   };

@@ -1,0 +1,73 @@
+#include "fast/target_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fastsched::fast {
+namespace {
+
+using sched::ProcId;
+
+std::vector<ProcId> pool_of(const TransferTargets& t) {
+  return {t.procs().begin(), t.procs().end()};
+}
+
+TEST(TransferTargets, RebuildListsUsedProcsThenFresh) {
+  TransferTargets t(5);
+  const std::vector<ProcId> assignment = {3, 0, 3, 0};
+  t.rebuild(assignment);
+  EXPECT_EQ(pool_of(t), (std::vector<ProcId>{0, 3, 1}));
+}
+
+TEST(TransferTargets, NoFreshWhenAllUsed) {
+  TransferTargets t(2);
+  const std::vector<ProcId> assignment = {1, 0};
+  t.rebuild(assignment);
+  EXPECT_EQ(pool_of(t), (std::vector<ProcId>{0, 1}));
+}
+
+// The pin promised in target_pool.hpp: the pool contents are a pure
+// function of the used-processor set, so folding committed transfers
+// one at a time (apply_transfer) must stay value-identical to a
+// from-scratch rebuild() after every single move — including the
+// interesting transitions (a processor emptying, the fresh processor
+// gaining its first node, the fresh pointer advancing past a run of
+// used ids, and transfers onto the current fresh target).
+TEST(TransferTargets, IncrementalMatchesRebuildUnderRandomMoves) {
+  Rng rng(97);
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t num_procs = 2 + rng.uniform(10);
+    const std::size_t num_nodes = 1 + rng.uniform(40);
+    std::vector<ProcId> assignment(num_nodes);
+    for (auto& p : assignment) {
+      p = static_cast<ProcId>(rng.uniform(num_procs));
+    }
+    TransferTargets incremental(num_procs);
+    incremental.rebuild(assignment);
+    TransferTargets fresh(num_procs);
+
+    for (int move = 0; move < 200; ++move) {
+      const auto n = static_cast<std::size_t>(rng.uniform(num_nodes));
+      // Bias targets toward the current pool so empty->used and
+      // used->empty transitions actually happen; occasionally pick an
+      // arbitrary processor to exercise fresh-pointer jumps.
+      const ProcId to =
+          rng.uniform(4) != 0 && incremental.size() > 0
+              ? incremental[static_cast<std::size_t>(
+                    rng.uniform(incremental.size()))]
+              : static_cast<ProcId>(rng.uniform(num_procs));
+      const ProcId from = assignment[n];
+      assignment[n] = to;
+      incremental.apply_transfer(from, to);
+      fresh.rebuild(assignment);
+      ASSERT_EQ(pool_of(incremental), pool_of(fresh))
+          << "round " << round << " move " << move;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastsched::fast

@@ -1,0 +1,23 @@
+// Fixture: H3 hot-nested-container — nested dynamic containers stored
+// as data members in a file with hot code. One true positive, one
+// justified suppression, and two shapes the rule must ignore: a member
+// whose inner type is not a tracked container (std::string), and an
+// inline member function *returning* a nested container. Never
+// compiled — lexed only.
+#include <string>
+#include <utility>
+#include <vector>
+
+struct ProbeState {
+  std::vector<std::vector<double>> per_proc_rows;
+  // NOLINT-fastsched(hot-nested-container): built once at setup, never walked per probe
+  std::vector<std::vector<int>> cold_histogram;
+  std::vector<std::pair<int, std::string>> named_rows;
+  std::vector<std::vector<int>> copy_rows() { return cold_histogram; }
+};
+
+void probe_loop(ProbeState& state) {
+  // fastsched: hot
+  state.per_proc_rows.back().pop_back();
+  // fastsched: end-hot
+}

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
 namespace fastsched::sched {
 namespace {
 
@@ -67,6 +72,67 @@ TEST(Schedule, RejectsInvalidInterval) {
   Schedule s(1, 1);
   EXPECT_THROW(s.assign(0, 0, 5.0, 4.0), Error);
   EXPECT_THROW(s.assign(0, 0, -1.0, 4.0), Error);
+}
+
+// Accessor-semantics fuzz across the slot-pool grow paths: random
+// assignment orders with a skewed processor distribution force many
+// block relocations (growth is geometric per processor, so hot
+// processors relocate repeatedly while cold ones sit between them in
+// the pool). Every accessor must agree with a naive vector-of-vectors
+// reference model at every step — this is the contract the SoA/slot-
+// pool layout preserves from the old representation.
+TEST(Schedule, SlotPoolFuzzMatchesReferenceModel) {
+  Rng rng(2026);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t num_nodes = 1 + rng.uniform(500);
+    const std::size_t num_procs = 1 + rng.uniform(9);
+    Schedule s(num_nodes, num_procs);
+    std::vector<std::vector<NodeId>> ref_seq(num_procs);
+    std::vector<Placement> ref_place(num_nodes);
+    std::vector<bool> ref_assigned(num_nodes, false);
+    Cost ref_length = 0.0;
+
+    // Random assignment order over all nodes.
+    std::vector<NodeId> order(num_nodes);
+    for (NodeId n = 0; n < num_nodes; ++n) order[n] = n;
+    std::shuffle(order.begin(), order.end(), rng);
+
+    for (std::size_t step = 0; step < num_nodes; ++step) {
+      const NodeId n = order[step];
+      // Skew: processor 0 takes about half the nodes, so its block
+      // relocates through the pool many times while others interleave.
+      const ProcId p = rng.uniform(2) == 0
+                           ? 0
+                           : static_cast<ProcId>(rng.uniform(num_procs));
+      const Cost start = rng.uniform_real(0.0, 100.0);
+      const Cost finish = start + rng.uniform_real(0.0, 10.0);
+      s.assign(n, p, start, finish);
+      ref_seq[p].push_back(n);
+      ref_place[n] = {p, start, finish};
+      ref_assigned[n] = true;
+      ref_length = std::max(ref_length, finish);
+
+      ASSERT_EQ(s.length(), ref_length);
+      ASSERT_EQ(s.is_complete(), step + 1 == num_nodes);
+      for (NodeId m = 0; m < num_nodes; ++m) {
+        ASSERT_EQ(s.is_assigned(m), ref_assigned[m]);
+        if (!ref_assigned[m]) continue;
+        ASSERT_EQ(s.proc(m), ref_place[m].proc);
+        ASSERT_EQ(s.start(m), ref_place[m].start);
+        ASSERT_EQ(s.finish(m), ref_place[m].finish);
+      }
+      std::size_t used = 0;
+      for (ProcId q = 0; q < num_procs; ++q) {
+        const auto tasks = s.tasks_on(q);
+        ASSERT_EQ(tasks.size(), ref_seq[q].size());
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+          ASSERT_EQ(tasks[i], ref_seq[q][i]);
+        }
+        if (!tasks.empty()) ++used;
+      }
+      ASSERT_EQ(s.procs_used(), used);
+    }
+  }
 }
 
 }  // namespace

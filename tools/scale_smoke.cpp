@@ -1,0 +1,171 @@
+// scale_smoke: the million-node end-to-end memory gate. Generates a
+// random layered DAG at --nodes, runs the full FAST pipeline on it
+// (CPN-Dominate list -> initial schedule -> local search), materializes
+// and lints the result, and reports wall time plus the process's peak
+// resident set (VmHWM). CI runs it at v = 1e5 with --max-rss-mb as a
+// regression ceiling; the EXPERIMENTS.md scale section uses the v = 1e6
+// run to demonstrate the SoA hot-state layout holds a million-node
+// pipeline in memory.
+//
+//   $ scale_smoke --nodes 100000 --procs 64 --max-rss-mb 512
+//   $ scale_smoke --nodes 1000000 --procs 64 --json
+//
+// Exit status: 0 on a lint-clean run within the RSS ceiling, 1 when the
+// ceiling is exceeded or the lint finds errors, 2 on usage problems.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/lint.hpp"
+#include "analysis/report_io.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "fast/fast.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+#include "workloads/random_layered.hpp"
+
+namespace {
+
+using namespace fastsched;
+
+/// Peak resident set size in KiB (Linux VmHWM), or 0 when the platform
+/// does not expose it. The smoke gate treats 0 as "cannot check" and
+/// skips the ceiling rather than failing spuriously.
+std::size_t peak_rss_kib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      std::size_t kib = 0;
+      fields >> kib;
+      return kib;
+    }
+  }
+  return 0;
+}
+
+/// Per-phase stopwatch over the sanctioned Timer: lap() returns the
+/// milliseconds since the previous lap and restarts the clock.
+struct PhaseClock {
+  Timer timer;
+  double lap() {
+    const double ms = timer.millis();
+    timer.reset();
+    return ms;
+  }
+};
+
+int run_tool(int argc, char** argv) {
+  CliParser cli(
+      "scale_smoke: run generate -> FAST -> local search -> lint on one "
+      "random layered DAG and report peak RSS.\n"
+      "usage: scale_smoke [options]");
+  cli.add_option("nodes", "100000", "graph size v");
+  cli.add_option("procs", "64", "processor budget");
+  cli.add_option("max-steps", "64", "local-search step budget (MAXSTEP)");
+  cli.add_option("seed", "42", "workload + search seed");
+  cli.add_option("out-degree", "8", "average out-degree of the DAG");
+  cli.add_option("max-rss-mb", "0",
+                 "fail when peak RSS exceeds this many MiB (0 = report "
+                 "only)");
+  cli.add_flag("json", "emit the report as JSON instead of text");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t v = static_cast<std::size_t>(cli.get_int("nodes"));
+  const std::size_t procs = static_cast<std::size_t>(cli.get_int("procs"));
+  const std::size_t ceiling_mb =
+      static_cast<std::size_t>(cli.get_int("max-rss-mb"));
+
+  PhaseClock clock;
+
+  workloads::RandomDagParams params;
+  params.num_nodes = v;
+  params.avg_out_degree = static_cast<double>(cli.get_int("out-degree"));
+  params.ccr = 1.0;
+  params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const graph::TaskGraph g = workloads::random_layered_dag(params);
+  const double generate_ms = clock.lap();
+
+  fast::FastOptions options;
+  options.num_procs = procs;
+  options.max_steps = static_cast<int>(cli.get_int("max-steps"));
+  options.seed = params.seed;
+  const fast::FastResult result = fast::run_fast(g, options);
+  const double fast_ms = clock.lap();
+
+  const sched::Schedule schedule = fast::to_schedule(g, result, procs);
+  analysis::LintInput input;
+  input.graph = &g;
+  input.schedule = &schedule;
+  input.list = &result.list;
+  input.reported_length = result.final_length;
+  const analysis::LintReport report = analysis::lint(input);
+  const double lint_ms = clock.lap();
+
+  const std::size_t rss_kib = peak_rss_kib();
+  const double rss_mib = static_cast<double>(rss_kib) / 1024.0;
+  // Per-node footprint of the whole pipeline: graph + list + schedule +
+  // evaluator state, everything the run kept resident at once.
+  const double bytes_per_node =
+      v > 0 ? static_cast<double>(rss_kib) * 1024.0 / static_cast<double>(v)
+            : 0.0;
+  const bool over_ceiling =
+      ceiling_mb > 0 && rss_kib > 0 && rss_mib > static_cast<double>(ceiling_mb);
+  const bool lint_ok = report.ok();
+
+  if (cli.get_flag("json")) {
+    std::cout << "{\n  \"tool\": \"scale_smoke\",\n"
+              << "  \"nodes\": " << g.num_nodes()
+              << ", \"edges\": " << g.num_edges() << ", \"procs\": " << procs
+              << ",\n  \"initial_length\": " << result.initial_length
+              << ", \"final_length\": " << result.final_length
+              << ",\n  \"generate_ms\": " << generate_ms
+              << ", \"fast_ms\": " << fast_ms << ", \"lint_ms\": " << lint_ms
+              << ",\n  \"peak_rss_mib\": " << rss_mib
+              << ", \"bytes_per_node\": " << bytes_per_node
+              << ",\n  \"lint_errors\": " << report.num_errors
+              << ", \"lint_warnings\": " << report.num_warnings
+              << ",\n  \"rss_ceiling_mib\": " << ceiling_mb
+              << ", \"over_ceiling\": " << (over_ceiling ? "true" : "false")
+              << "\n}\n";
+  } else {
+    std::cout << "scale_smoke: v=" << g.num_nodes() << " e=" << g.num_edges()
+              << " procs=" << procs << '\n'
+              << "  makespan   " << result.initial_length << " -> "
+              << result.final_length << '\n'
+              << "  phases     generate " << generate_ms << " ms, FAST "
+              << fast_ms << " ms, lint " << lint_ms << " ms\n"
+              << "  peak RSS   " << rss_mib << " MiB ("
+              << bytes_per_node << " B/node)\n"
+              << "  lint       " << report.num_errors << " errors, "
+              << report.num_warnings << " warnings\n";
+    if (over_ceiling) {
+      std::cout << "scale_smoke: FAIL peak RSS " << rss_mib
+                << " MiB exceeds ceiling " << ceiling_mb << " MiB\n";
+    }
+    if (rss_kib == 0 && ceiling_mb > 0) {
+      std::cout << "scale_smoke: VmHWM unavailable on this platform; "
+                   "ceiling not enforced\n";
+    }
+  }
+  for (const auto& d : report.diagnostics) {
+    std::cerr << "scale_smoke: lint: " << analysis::format(d, &g) << '\n';
+  }
+  return (over_ceiling || !lint_ok) ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_tool(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "scale_smoke: " << e.what() << '\n';
+    return 2;
+  }
+}
