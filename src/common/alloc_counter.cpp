@@ -1,0 +1,8 @@
+#include "common/alloc_counter.hpp"
+
+namespace fastsched::detail {
+
+std::atomic<std::uint64_t> g_heap_allocs{0};
+std::atomic<bool> g_heap_alloc_hook{false};
+
+}  // namespace fastsched::detail

@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file alloc_counter.hpp
+/// A process-wide heap allocation counter for the zero-malloc serving
+/// contract.
+///
+/// The serve loop promises that a steady-state cached request performs
+/// zero heap allocation. That claim is only worth anything if it is
+/// *measured*, so binaries that care (sched_server, the serve allocation
+/// test) compile `FASTSCHED_DEFINE_COUNTING_NEW()` into exactly one
+/// translation unit: it replaces the global `operator new`/`delete`
+/// family with versions that bump a relaxed atomic counter around plain
+/// malloc/free. The counter is always linked (it lives in
+/// fastsched_common) but stays at zero unless a binary opted in —
+/// `heap_alloc_counting_enabled()` tells report code which case it is
+/// in, so stats can print "not measured" instead of a misleading 0.
+///
+/// The hook costs one relaxed atomic increment per allocation; it is
+/// not compiled into the library or the ordinary tools, so nothing else
+/// pays for it.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fastsched {
+
+namespace detail {
+extern std::atomic<std::uint64_t> g_heap_allocs;
+extern std::atomic<bool> g_heap_alloc_hook;
+}  // namespace detail
+
+/// Number of heap allocations (operator new / malloc through the hook)
+/// performed by this process so far; 0 when the binary did not compile
+/// the counting hook in.
+[[nodiscard]] inline std::uint64_t heap_alloc_count() noexcept {
+  return detail::g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+/// True when this binary replaced operator new with the counting hook.
+[[nodiscard]] inline bool heap_alloc_counting_enabled() noexcept {
+  return detail::g_heap_alloc_hook.load(std::memory_order_relaxed);
+}
+
+}  // namespace fastsched
+
+// AddressSanitizer interposes the allocation functions itself and tags
+// every block with how it was obtained (new vs malloc). Layering the
+// malloc-backed counting replacements on top makes library-internal
+// allocations cross those categories — ASan aborts with
+// alloc-dealloc-mismatch — so under ASan the macro expands to nothing:
+// heap_alloc_counting_enabled() stays false and callers report "not
+// measured" (or skip) instead of fighting the sanitizer runtime.
+#if defined(__SANITIZE_ADDRESS__)
+#define FASTSCHED_ALLOC_COUNTING_SUPPORTED 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FASTSCHED_ALLOC_COUNTING_SUPPORTED 0
+#else
+#define FASTSCHED_ALLOC_COUNTING_SUPPORTED 1
+#endif
+#else
+#define FASTSCHED_ALLOC_COUNTING_SUPPORTED 1
+#endif
+
+#if !FASTSCHED_ALLOC_COUNTING_SUPPORTED
+
+#define FASTSCHED_DEFINE_COUNTING_NEW() \
+  namespace fastsched_alloc_hook_detail {}
+
+#else
+
+/// Expands to replacement definitions of the global allocation functions
+/// that count through fastsched::heap_alloc_count(). Place in exactly one
+/// .cpp of a binary (never a library): the replacements are
+/// program-wide.
+#define FASTSCHED_DEFINE_COUNTING_NEW()                                       \
+  namespace fastsched_alloc_hook_detail {                                     \
+  inline void* counted_alloc(std::size_t size) {                              \
+    ::fastsched::detail::g_heap_allocs.fetch_add(1,                           \
+                                                 std::memory_order_relaxed);  \
+    void* p = std::malloc(size == 0 ? 1 : size);                              \
+    if (p == nullptr) throw std::bad_alloc();                                 \
+    return p;                                                                 \
+  }                                                                           \
+  inline void* counted_alloc(std::size_t size, std::align_val_t align_val) {  \
+    ::fastsched::detail::g_heap_allocs.fetch_add(1,                           \
+                                                 std::memory_order_relaxed);  \
+    const auto align = static_cast<std::size_t>(align_val);                   \
+    if (size == 0) size = align;                                              \
+    size = (size + align - 1) / align * align; /* C11 aligned_alloc rule */   \
+    void* p = std::aligned_alloc(align, size);                                \
+    if (p == nullptr) throw std::bad_alloc();                                 \
+    return p;                                                                 \
+  }                                                                           \
+  struct HookMarker {                                                         \
+    HookMarker() noexcept {                                                   \
+      ::fastsched::detail::g_heap_alloc_hook.store(                           \
+          true, std::memory_order_relaxed);                                   \
+    }                                                                         \
+  };                                                                          \
+  const HookMarker g_hook_marker;                                             \
+  }                                                                           \
+  void* operator new(std::size_t size) {                                      \
+    return fastsched_alloc_hook_detail::counted_alloc(size);                  \
+  }                                                                           \
+  void* operator new[](std::size_t size) {                                    \
+    return fastsched_alloc_hook_detail::counted_alloc(size);                  \
+  }                                                                           \
+  void* operator new(std::size_t size, std::align_val_t align) {              \
+    return fastsched_alloc_hook_detail::counted_alloc(size, align);           \
+  }                                                                           \
+  void* operator new[](std::size_t size, std::align_val_t align) {            \
+    return fastsched_alloc_hook_detail::counted_alloc(size, align);           \
+  }                                                                           \
+  void operator delete(void* p) noexcept { std::free(p); }                    \
+  void operator delete[](void* p) noexcept { std::free(p); }                  \
+  void operator delete(void* p, std::size_t) noexcept { std::free(p); }       \
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }     \
+  void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }  \
+  void operator delete[](void* p, std::align_val_t) noexcept {                \
+    std::free(p);                                                             \
+  }                                                                           \
+  void operator delete(void* p, std::size_t, std::align_val_t) noexcept {     \
+    std::free(p);                                                             \
+  }                                                                           \
+  void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {   \
+    std::free(p);                                                             \
+  }
+
+#endif  // FASTSCHED_ALLOC_COUNTING_SUPPORTED

@@ -1,0 +1,94 @@
+#include "common/arena.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace fastsched {
+
+namespace {
+
+constexpr std::size_t kMinChunk = 1024;
+
+std::size_t align_up(std::size_t value, std::size_t align) noexcept {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t first_chunk_bytes)
+    : first_chunk_bytes_(first_chunk_bytes < kMinChunk ? kMinChunk
+                                                       : first_chunk_bytes) {}
+
+Arena::~Arena() {
+  Chunk* c = head_;
+  while (c != nullptr) {
+    Chunk* next = c->next;
+    ::operator delete(static_cast<void*>(c));
+    c = next;
+  }
+}
+
+void Arena::grow(std::size_t bytes) {
+  // Reuse the next retained chunk when it is big enough; skip (but keep)
+  // retained chunks that are too small for this request — they will serve
+  // smaller allocations after the next reset.
+  while (current_ != nullptr && current_->next != nullptr) {
+    current_ = current_->next;
+    if (current_->size >= bytes) {
+      cursor_ = reinterpret_cast<std::byte*>(current_ + 1);
+      limit_ = cursor_ + current_->size;
+      return;
+    }
+  }
+  std::size_t size = current_ == nullptr ? first_chunk_bytes_
+                                         : current_->size * 2;
+  if (size < bytes) size = bytes;
+  auto* chunk = static_cast<Chunk*>(::operator new(sizeof(Chunk) + size));  // NOLINT-fastsched(hot-alloc): warmup-only — reset() retains chunks, so steady-state windows never reach this line
+  chunk->next = nullptr;
+  chunk->size = size;
+  if (current_ == nullptr) {
+    head_ = chunk;
+  } else {
+    current_->next = chunk;
+  }
+  current_ = chunk;
+  cursor_ = reinterpret_cast<std::byte*>(chunk + 1);
+  limit_ = cursor_ + size;
+  reserved_ += size;
+  ++chunk_allocs_;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  FASTSCHED_ASSERT_MSG(align != 0 && (align & (align - 1)) == 0,
+                       "arena alignment must be a power of two");
+  if (bytes == 0) bytes = 1;
+  // fastsched: hot
+  auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+  const std::size_t pad = align_up(addr, align) - addr;
+  if (cursor_ == nullptr ||
+      pad + bytes > static_cast<std::size_t>(limit_ - cursor_)) {
+    grow(bytes + align);
+    addr = reinterpret_cast<std::uintptr_t>(cursor_);
+    cursor_ += align_up(addr, align) - addr;
+  } else {
+    cursor_ += pad;
+  }
+  void* out = cursor_;
+  cursor_ += bytes;
+  used_ += bytes;
+  if (used_ > high_water_) high_water_ = used_;
+  return out;
+  // fastsched: end-hot
+}
+
+void Arena::reset() noexcept {
+  current_ = head_;
+  if (current_ != nullptr) {
+    cursor_ = reinterpret_cast<std::byte*>(current_ + 1);
+    limit_ = cursor_ + current_->size;
+  }
+  used_ = 0;
+}
+
+}  // namespace fastsched

@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file arena.hpp
+/// A monotonic bump allocator for request-scoped scratch.
+///
+/// The serving layer (src/serve) answers a stream of scheduling requests;
+/// each request needs dynamic scratch (parse vectors, window indices)
+/// whose size varies per request but whose lifetime is strictly bounded
+/// by the window it arrives in. An `Arena` carves that scratch out of a
+/// small list of geometrically-grown chunks with pointer-bump
+/// allocation, and `reset()` rewinds to the start of the chunk list
+/// *without releasing the chunks* — so after the first few windows warm
+/// the arena up to its high-water mark, steady-state serving performs
+/// zero heap allocation for scratch, no matter how requests vary.
+///
+/// `ArenaAllocator<T>` adapts an Arena to the std allocator interface so
+/// ordinary containers (`std::vector<T, ArenaAllocator<T>>`) can live in
+/// it. Deallocation is a no-op (memory is reclaimed wholesale by
+/// `reset()`), which is exactly the right trade for request scratch and
+/// exactly the wrong one for anything long-lived — long-lived state (the
+/// result cache, retained response slots) stays on the heap.
+///
+/// A default-constructed (null-arena) `ArenaAllocator` falls back to
+/// `operator new`/`delete`, giving the serving layer a one-flag
+/// "arena off" mode that exercises identical code paths with a plain
+/// heap allocation per growth — the baseline the BENCH_serve comparison
+/// quantifies against.
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace fastsched {
+
+/// Monotonic bump allocator. Not thread-safe: each consumer owns its own
+/// arena (the serve loop allocates only from the request thread).
+class Arena {
+ public:
+  /// `first_chunk_bytes` sizes the initial chunk; later chunks double.
+  explicit Arena(std::size_t first_chunk_bytes = 64 * 1024);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Bump-allocates from the current chunk; moves to the next retained
+  /// chunk or mallocs a new one (doubling) only when the current chunk
+  /// is exhausted.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Rewinds to the first chunk, retaining every chunk for reuse. After
+  /// the arena has grown to the high-water footprint of one window,
+  /// reset + reallocate performs zero heap allocation.
+  void reset() noexcept;
+
+  /// Bytes handed out since the last reset().
+  [[nodiscard]] std::size_t bytes_used() const noexcept { return used_; }
+  /// Largest bytes_used() ever observed (across resets).
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+  /// Total bytes of chunk storage owned (retained across resets).
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    return reserved_;
+  }
+  /// Number of chunk mallocs performed over the arena's lifetime; stable
+  /// across steady-state windows once warmed up.
+  [[nodiscard]] std::size_t chunk_allocations() const noexcept {
+    return chunk_allocs_;
+  }
+
+ private:
+  struct Chunk {
+    Chunk* next = nullptr;
+    std::size_t size = 0;  ///< usable bytes following the header
+  };
+
+  /// Advances to a chunk with at least `bytes` free (reusing retained
+  /// chunks, allocating a new one only at the tail).
+  void grow(std::size_t bytes);
+
+  Chunk* head_ = nullptr;     ///< first chunk (allocation restarts here)
+  Chunk* current_ = nullptr;  ///< chunk being bumped
+  std::byte* cursor_ = nullptr;
+  std::byte* limit_ = nullptr;
+  std::size_t first_chunk_bytes_;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t reserved_ = 0;
+  std::size_t chunk_allocs_ = 0;
+};
+
+/// std-compatible allocator over an Arena. With a null arena it forwards
+/// to the global heap, so the same container type serves both the
+/// arena-backed and the heap-baseline configurations.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept  // NOLINT(google-explicit-constructor): allocator rebind requires converting construction
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(bytes, alignof(T)));
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    // Arena memory is reclaimed wholesale by Arena::reset().
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ == o.arena();
+  }
+  template <typename U>
+  [[nodiscard]] bool operator!=(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ != o.arena();
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace fastsched

@@ -1,0 +1,32 @@
+#include "serve/fingerprint.hpp"
+
+#include <cstring>
+
+namespace fastsched::serve {
+
+void Fingerprint::bytes(const void* data, std::size_t n) noexcept {
+  // fastsched: hot
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = hash_;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  hash_ = h;
+  // fastsched: end-hot
+}
+
+void Fingerprint::f64(double v) noexcept {
+  if (v == 0.0) v = 0.0;  // collapse -0.0
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+std::string_view normalize_workload_name(std::string_view name) noexcept {
+  if (name == "random") return "rand";
+  if (name == "gaussian") return "gauss";
+  return name;
+}
+
+}  // namespace fastsched::serve

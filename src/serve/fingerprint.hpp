@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file fingerprint.hpp
+/// Content-addressed cache keys for scheduling requests.
+///
+/// The result cache (result_cache.hpp) is keyed by a 64-bit FNV-1a
+/// fingerprint of everything that determines a response byte-for-byte:
+/// the problem instance plus the normalized scheduling options
+/// (algorithm, processor budget, seed, step budget, response shape).
+/// Two requests with equal fingerprints receive identical response
+/// payloads, so a hit can skip scheduling entirely.
+///
+/// Key derivation (also documented in DESIGN.md §6):
+///  - Workload-spec requests (`"workload": "rand:200"`) hash the
+///    *normalized* spec — alias spellings (`random`/`rand`,
+///    `gaussian`/`gauss`) collapse to one canonical name, so every
+///    spelling of the same built-in instance hits the same entry. The
+///    graph itself is never built on the hit path: the spec names a
+///    reproducible instance (spec.hpp pins the seed to the size), so
+///    hashing the normalized name is exactly as collision-free as
+///    hashing the generated CSR, at O(spec length) instead of O(v + e).
+///  - Inline-graph requests hash the node weight array and the edge
+///    triples in request order. Edge order is deliberately part of the
+///    key: adjacency order feeds scheduler tie-breaking, so two
+///    orderings of the same edge set are distinct instances.
+///  - Options are hashed with defaults filled in, so an omitted field
+///    and its explicit default produce the same key.
+///
+/// FNV-1a is not cryptographic; a user who *wants* collisions can make
+/// them. The cache serves trusted traffic (the threat model is load, not
+/// adversarial inputs), and a collision costs a wrong answer for one
+/// poisoned key, never memory unsafety. The collision-resistance smoke
+/// tests (tests/serve/fingerprint_test.cpp) pin the properties that
+/// matter in practice: structural permutations, weight edits, and every
+/// option knob each move the key.
+
+#include <cstdint>
+#include <string_view>
+
+namespace fastsched::serve {
+
+/// Incremental FNV-1a 64-bit hasher.
+class Fingerprint {
+ public:
+  /// Folds raw bytes into the state.
+  void bytes(const void* data, std::size_t n) noexcept;
+
+  void str(std::string_view s) noexcept {
+    bytes(s.data(), s.size());
+    u64(s.size());  // length-prefix: "ab"+"c" != "a"+"bc"
+  }
+
+  void u64(std::uint64_t v) noexcept { bytes(&v, sizeof(v)); }
+
+  /// Doubles are hashed by bit pattern; -0.0 is normalized to 0.0 so the
+  /// two spellings of zero cost coincide.
+  void f64(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ULL;  ///< FNV offset basis
+};
+
+/// Normalizes a workload-spec name: alias spellings collapse
+/// ("random" -> "rand", "gaussian" -> "gauss"); anything else is
+/// returned unchanged (unknown names fail later, when the workload is
+/// built).
+[[nodiscard]] std::string_view normalize_workload_name(
+    std::string_view name) noexcept;
+
+}  // namespace fastsched::serve

@@ -1,0 +1,49 @@
+#include "serve/histogram.hpp"
+
+#include <cmath>
+
+namespace fastsched::serve {
+
+namespace {
+// 1 / ln(kRatio), precomputed so record() is one log + one multiply.
+const double kInvLogRatio = 1.0 / std::log(1.05);
+}  // namespace
+
+void LatencyHistogram::record(double seconds) noexcept {
+  if (!(seconds > 0)) seconds = kMin;  // also catches NaN
+  if (seconds > max_) max_ = seconds;
+  sum_ += seconds;
+  ++count_;
+  double idx = std::floor(std::log(seconds / kMin) * kInvLogRatio);
+  if (idx < 0) idx = 0;
+  std::size_t b = static_cast<std::size_t>(idx);
+  if (b >= kBuckets) b = kBuckets - 1;
+  ++counts_[b];
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= target && counts_[b] > 0) {
+      // Upper edge of bucket b; never above the exact max.
+      const double edge = kMin * std::pow(kRatio, static_cast<double>(b + 1));
+      return edge < max_ ? edge : max_;
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+}  // namespace fastsched::serve

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file histogram.hpp
+/// A log-bucketed latency histogram (HDR-histogram style).
+///
+/// Fixed storage, no allocation after construction, O(1) record: latency
+/// samples land in geometrically-spaced buckets (~5% relative width)
+/// spanning 1 ns .. ~1000 s, so p50/p90/p99/max are read with bounded
+/// relative error without keeping every sample. sched_client uses one
+/// histogram per traffic class (cold / cached) to produce the
+/// BENCH_serve.json percentiles.
+
+#include <array>
+#include <cstdint>
+
+namespace fastsched::serve {
+
+class LatencyHistogram {
+ public:
+  /// Adds one latency sample (seconds; clamped to the bucket range).
+  void record(double seconds) noexcept;
+
+  /// The value at quantile `q` in [0, 1]: the upper edge of the bucket
+  /// containing the q-th sample (so the estimate errs high by at most
+  /// one bucket width, ~5%). 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Largest exact sample seen (not bucketed).
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Sum of exact samples (for mean latency / utilization).
+  [[nodiscard]] double total() const noexcept { return sum_; }
+
+  void merge(const LatencyHistogram& other) noexcept;
+
+ private:
+  // 1.05^680 > 1e14, so the range [1 ns, ~100 ks] fits in 680 buckets.
+  static constexpr double kMin = 1e-9;
+  static constexpr double kRatio = 1.05;
+  static constexpr std::size_t kBuckets = 680;
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace fastsched::serve

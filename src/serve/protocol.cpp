@@ -1,0 +1,346 @@
+#include "serve/protocol.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <system_error>
+
+#include "serve/fingerprint.hpp"
+
+namespace fastsched::serve {
+
+namespace {
+
+struct Cursor {
+  const char* p;
+  const char* end;
+};
+
+void skip_ws(Cursor& c) noexcept {
+  while (c.p != c.end && (*c.p == ' ' || *c.p == '\t' || *c.p == '\r')) ++c.p;
+}
+
+bool eat(Cursor& c, char ch) noexcept {
+  skip_ws(c);
+  if (c.p != c.end && *c.p == ch) {
+    ++c.p;
+    return true;
+  }
+  return false;
+}
+
+bool parse_string(Cursor& c, std::string_view& out, std::string_view& err) {
+  skip_ws(c);
+  if (c.p == c.end || *c.p != '"') {
+    err = "expected a string";
+    return false;
+  }
+  ++c.p;
+  const char* begin = c.p;
+  while (c.p != c.end && *c.p != '"') {
+    if (*c.p == '\\') {
+      err = "string escapes are not supported";
+      return false;
+    }
+    ++c.p;
+  }
+  if (c.p == c.end) {
+    err = "unterminated string";
+    return false;
+  }
+  out = std::string_view(begin, static_cast<std::size_t>(c.p - begin));
+  ++c.p;
+  return true;
+}
+
+bool parse_u64(Cursor& c, std::uint64_t& out, std::string_view& err) {
+  skip_ws(c);
+  const auto [ptr, ec] = std::from_chars(c.p, c.end, out);
+  if (ec != std::errc()) {
+    err = "expected an unsigned integer";
+    return false;
+  }
+  c.p = ptr;
+  return true;
+}
+
+bool parse_f64(Cursor& c, double& out, std::string_view& err) {
+  skip_ws(c);
+  const auto [ptr, ec] = std::from_chars(c.p, c.end, out);
+  if (ec != std::errc()) {
+    err = "expected a number";
+    return false;
+  }
+  c.p = ptr;
+  return true;
+}
+
+bool parse_bool(Cursor& c, bool& out, std::string_view& err) {
+  skip_ws(c);
+  const std::size_t left = static_cast<std::size_t>(c.end - c.p);
+  if (left >= 4 && std::string_view(c.p, 4) == "true") {
+    out = true;
+    c.p += 4;
+    return true;
+  }
+  if (left >= 5 && std::string_view(c.p, 5) == "false") {
+    out = false;
+    c.p += 5;
+    return true;
+  }
+  err = "expected true or false";
+  return false;
+}
+
+}  // namespace
+
+void parse_request(std::string_view line, Request& req) {
+  req.kind = RequestKind::kInvalid;
+  req.error = {};
+  Cursor c{line.data(), line.data() + line.size()};
+  std::string_view err;
+  bool is_stats = false;
+  bool saw_cmd = false;
+  bool saw_field = false;
+
+  if (!eat(c, '{')) {
+    req.error = "request must be a JSON object";
+    return;
+  }
+  // fastsched: hot
+  if (!eat(c, '}')) {
+    while (true) {
+      std::string_view key;
+      if (!parse_string(c, key, err)) {
+        req.error = err;
+        return;
+      }
+      if (!eat(c, ':')) {
+        req.error = "expected ':' after field name";
+        return;
+      }
+      saw_field = true;
+      if (key == "id") {
+        if (!parse_u64(c, req.id, err)) {
+          req.error = err;
+          return;
+        }
+        req.has_id = true;
+      } else if (key == "cmd") {
+        std::string_view cmd;
+        if (!parse_string(c, cmd, err)) {
+          req.error = err;
+          return;
+        }
+        if (cmd != "stats") {
+          req.error = "unknown cmd (only \"stats\")";
+          return;
+        }
+        saw_cmd = true;
+        is_stats = true;
+      } else if (key == "workload") {
+        if (!parse_string(c, req.workload, err)) {
+          req.error = err;
+          return;
+        }
+      } else if (key == "algorithm") {
+        if (!parse_string(c, req.algorithm, err)) {
+          req.error = err;
+          return;
+        }
+      } else if (key == "procs") {
+        std::uint64_t v = 0;
+        if (!parse_u64(c, v, err)) {
+          req.error = err;
+          return;
+        }
+        req.procs = static_cast<std::size_t>(v);
+      } else if (key == "seed") {
+        if (!parse_u64(c, req.seed, err)) {
+          req.error = err;
+          return;
+        }
+      } else if (key == "max_steps") {
+        std::uint64_t v = 0;
+        if (!parse_u64(c, v, err)) {
+          req.error = err;
+          return;
+        }
+        if (v > 1000000000ULL) {
+          req.error = "max_steps too large";
+          return;
+        }
+        req.max_steps = static_cast<int>(v);
+      } else if (key == "nodes") {
+        if (!eat(c, '[')) {
+          req.error = "nodes must be an array of weights";
+          return;
+        }
+        req.has_inline_nodes = true;
+        req.node_weights.clear();
+        if (!eat(c, ']')) {
+          while (true) {
+            double w = 0;
+            if (!parse_f64(c, w, err)) {
+              req.error = err;
+              return;
+            }
+            req.node_weights.push_back(w);  // NOLINT-fastsched(hot-alloc): grows in the request arena, reclaimed wholesale at the window reset — no heap traffic once the arena is warm
+            if (eat(c, ',')) continue;
+            if (eat(c, ']')) break;
+            req.error = "expected ',' or ']' in nodes";
+            return;
+          }
+        }
+      } else if (key == "edges") {
+        if (!eat(c, '[')) {
+          req.error = "edges must be an array of [src,dst,cost]";
+          return;
+        }
+        req.edges.clear();
+        if (!eat(c, ']')) {
+          while (true) {
+            Edge e;
+            std::uint64_t src = 0;
+            std::uint64_t dst = 0;
+            if (!eat(c, '[') || !parse_u64(c, src, err) || !eat(c, ',') ||
+                !parse_u64(c, dst, err) || !eat(c, ',') ||
+                !parse_f64(c, e.cost, err) || !eat(c, ']')) {
+              req.error =
+                  err.empty() ? std::string_view("edge must be [src,dst,cost]")
+                              : err;
+              return;
+            }
+            if (src > 0xFFFFFFFFULL || dst > 0xFFFFFFFFULL) {
+              req.error = "edge endpoint out of range";
+              return;
+            }
+            e.src = static_cast<std::uint32_t>(src);
+            e.dst = static_cast<std::uint32_t>(dst);
+            req.edges.push_back(e);  // NOLINT-fastsched(hot-alloc): grows in the request arena, reclaimed wholesale at the window reset — no heap traffic once the arena is warm
+            if (eat(c, ',')) continue;
+            if (eat(c, ']')) break;
+            req.error = "expected ',' or ']' in edges";
+            return;
+          }
+        }
+      } else if (key == "schedule") {
+        if (!parse_bool(c, req.want_schedule, err)) {
+          req.error = err;
+          return;
+        }
+      } else if (key == "cache") {
+        bool use = true;
+        if (!parse_bool(c, use, err)) {
+          req.error = err;
+          return;
+        }
+        req.no_cache = !use;
+      } else {
+        req.error = "unknown request field (see tools/README.md)";
+        return;
+      }
+      if (eat(c, ',')) continue;
+      if (eat(c, '}')) break;
+      req.error = "expected ',' or '}' after field";
+      return;
+    }
+  }
+  // fastsched: end-hot
+  skip_ws(c);
+  if (c.p != c.end) {
+    req.error = "trailing bytes after request object";
+    return;
+  }
+  if (!saw_field) {
+    req.error = "empty request";
+    return;
+  }
+
+  if (is_stats) {
+    if (!req.workload.empty() || req.has_inline_nodes || !req.edges.empty()) {
+      req.error = "stats request takes only an id";
+      return;
+    }
+    (void)saw_cmd;
+    req.kind = RequestKind::kStats;
+    return;
+  }
+  if (!req.workload.empty() && req.has_inline_nodes) {
+    req.error = "request has both workload and inline nodes";
+    return;
+  }
+  if (req.workload.empty() && !req.has_inline_nodes) {
+    req.error = "request needs workload or nodes";
+    return;
+  }
+  if (!req.edges.empty() && !req.has_inline_nodes) {
+    req.error = "edges require inline nodes";
+    return;
+  }
+  req.kind = RequestKind::kSchedule;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+void append_f64(std::string& out, double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+void append_error_payload(std::string& out, std::string_view msg) {
+  out += "{\"status\":\"error\",\"error\":\"";
+  out += msg;
+  out += "\"}";
+}
+
+std::uint64_t fingerprint_request(const Request& req) {
+  Fingerprint fp;
+  fp.str(req.algorithm.empty() ? std::string_view("FAST") : req.algorithm);
+  if (!req.workload.empty()) {
+    fp.u64(1);  // domain tag: workload-spec instance
+    const std::size_t colon = req.workload.find(':');
+    if (colon == std::string_view::npos) {
+      fp.str(normalize_workload_name(req.workload));
+      fp.str(std::string_view());
+    } else {
+      fp.str(normalize_workload_name(req.workload.substr(0, colon)));
+      fp.str(req.workload.substr(colon));
+    }
+  } else {
+    fp.u64(2);  // domain tag: inline graph
+    fp.u64(req.node_weights.size());
+    for (const double w : req.node_weights) fp.f64(w);
+    fp.u64(req.edges.size());
+    for (const Edge& e : req.edges) {
+      fp.u64(e.src);
+      fp.u64(e.dst);
+      fp.f64(e.cost);
+    }
+  }
+  // Options with defaults filled in: an omitted field and its explicit
+  // default land on the same key.
+  fp.u64(req.procs);
+  fp.u64(req.seed);
+  fp.u64(static_cast<std::uint64_t>(req.max_steps));
+  fp.u64(req.want_schedule ? 1 : 0);
+  return fp.value();
+}
+
+void append_normalized_spec(std::string& out, std::string_view spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    out += normalize_workload_name(spec);
+  } else {
+    out += normalize_workload_name(spec.substr(0, colon));
+    out += spec.substr(colon);
+  }
+}
+
+}  // namespace fastsched::serve

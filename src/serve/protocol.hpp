@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The sched_server line protocol: one JSON object per input line, one
+/// JSON object per output line (tools/README.md documents the wire
+/// format; DESIGN.md §6 the architecture around it).
+///
+/// Requests name a problem either by built-in workload spec
+/// (`{"workload":"rand:200","procs":8}`) or inline
+/// (`{"nodes":[1,2,3],"edges":[[0,1,1.5],[1,2,2]],"procs":2}`), plus
+/// scheduling options. `{"cmd":"stats"}` asks for server counters.
+///
+/// The parser is deliberately a hand-rolled subset of JSON — objects of
+/// scalar/array fields, no nesting beyond the edge triples, no string
+/// escapes — because it sits on the per-request hot path and must not
+/// allocate: field strings are `string_view`s into the input line (valid
+/// until the next line replaces the buffer), and the variable-size
+/// vectors (inline node weights, edge triples) grow in the request
+/// arena. A malformed line yields `RequestKind::kInvalid` plus a static
+/// error message; it never throws and never kills the server.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.hpp"
+
+namespace fastsched::serve {
+
+/// One inline-graph edge, as it appears on the wire: `[src, dst, cost]`.
+struct Edge {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  double cost = 0;
+};
+
+enum class RequestKind : std::uint8_t {
+  kSchedule,  ///< schedule a workload-spec or inline graph
+  kStats,     ///< report server counters
+  kInvalid,   ///< malformed; `error` says why
+};
+
+/// One parsed request line. Views point into the caller's line buffer;
+/// vectors live in the request arena (or the heap when constructed with
+/// a null arena) — either way the Request is scratch for one window.
+struct Request {
+  explicit Request(Arena* arena)
+      : node_weights(ArenaAllocator<double>(arena)),
+        edges(ArenaAllocator<Edge>(arena)) {}
+
+  RequestKind kind = RequestKind::kInvalid;
+  bool has_id = false;
+  std::uint64_t id = 0;
+
+  std::string_view workload;   ///< built-in spec, empty for inline graphs
+  std::string_view algorithm;  ///< empty = "FAST"
+  std::vector<double, ArenaAllocator<double>> node_weights;
+  std::vector<Edge, ArenaAllocator<Edge>> edges;
+  bool has_inline_nodes = false;
+
+  std::size_t procs = 0;      ///< 0 = one processor per node
+  std::uint64_t seed = 1;
+  int max_steps = 64;         ///< FAST local-search budget
+  bool want_schedule = false; ///< include per-node [proc,start,finish]
+  bool no_cache = false;      ///< bypass the result cache for this request
+
+  std::string_view error;     ///< static message when kind == kInvalid
+};
+
+/// Parses one line into `req` (which the caller constructed against the
+/// right arena). On failure `req.kind == kInvalid` and `req.error` holds
+/// a static description. Never throws, never allocates on the heap when
+/// the arena is live.
+void parse_request(std::string_view line, Request& req);
+
+/// Appends `v` to `out` via std::to_chars (no locale, no allocation
+/// beyond `out`'s own growth — callers keep `out`'s capacity warm).
+void append_u64(std::string& out, std::uint64_t v);
+
+/// Appends the shortest round-trip decimal form of `v` — the same bytes
+/// for the same double everywhere, which the byte-identity tests rely
+/// on.
+void append_f64(std::string& out, double v);
+
+/// Appends a complete error-response payload:
+/// `{"status":"error","error":"<msg>"}` (msg must not need escaping —
+/// all protocol error strings are static ASCII).
+void append_error_payload(std::string& out, std::string_view msg);
+
+/// The content-addressed cache key for a schedule request: everything
+/// that determines the response payload byte-for-byte (fingerprint.hpp
+/// documents the derivation). Zero-alloc.
+[[nodiscard]] std::uint64_t fingerprint_request(const Request& req);
+
+/// Appends the canonical spelling of a workload spec ("random:200" ->
+/// "rand:200"); responses echo this form so alias spellings of one
+/// instance produce byte-identical payloads.
+void append_normalized_spec(std::string& out, std::string_view spec);
+
+}  // namespace fastsched::serve

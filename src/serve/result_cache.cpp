@@ -1,0 +1,152 @@
+#include "serve/result_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace fastsched::serve {
+
+namespace {
+
+/// Murmur3 finalizer: the table index must not inherit any structure the
+/// FNV fold left in the low bits.
+std::uint64_t mix(std::uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t max_entries, std::size_t max_bytes)
+    : max_entries_(max_entries), max_bytes_(max_bytes) {
+  FASTSCHED_REQUIRE(max_entries >= 1, "result cache needs max_entries >= 1");
+  // Power-of-two table at load factor <= 1/4: probe chains stay short for
+  // the whole life of the cache, and the table never rehashes.
+  std::size_t table = 4;
+  while (table < 4 * max_entries_) table *= 2;
+  table_.assign(table, kNil);
+  table_mask_ = table - 1;
+  slab_.resize(max_entries_);
+  free_.reserve(max_entries_);
+  for (std::size_t i = max_entries_; i-- > 0;) {
+    free_.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+std::size_t ResultCache::probe(std::uint64_t key) const noexcept {
+  // fastsched: hot
+  std::size_t s = mix(key) & table_mask_;
+  while (table_[s] != kNil && slab_[table_[s]].key != key) {
+    s = (s + 1) & table_mask_;
+  }
+  return s;
+  // fastsched: end-hot
+}
+
+void ResultCache::unlink(std::uint32_t e) noexcept {
+  Entry& entry = slab_[e];
+  if (entry.prev == kNil) {
+    head_ = entry.next;
+  } else {
+    slab_[entry.prev].next = entry.next;
+  }
+  if (entry.next == kNil) {
+    tail_ = entry.prev;
+  } else {
+    slab_[entry.next].prev = entry.prev;
+  }
+  entry.prev = entry.next = kNil;
+}
+
+void ResultCache::push_front(std::uint32_t e) noexcept {
+  Entry& entry = slab_[e];
+  entry.prev = kNil;
+  entry.next = head_;
+  if (head_ != kNil) slab_[head_].prev = e;
+  head_ = e;
+  if (tail_ == kNil) tail_ = e;
+}
+
+const std::string* ResultCache::find(std::uint64_t key) noexcept {
+  // fastsched: hot
+  const std::size_t s = probe(key);
+  if (table_[s] == kNil) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  const std::uint32_t e = table_[s];
+  if (head_ != e) {
+    unlink(e);
+    push_front(e);
+  }
+  ++stats_.hits;
+  return &slab_[e].payload;
+  // fastsched: end-hot
+}
+
+void ResultCache::evict_lru() {
+  FASTSCHED_ASSERT(tail_ != kNil);
+  const std::uint32_t e = tail_;
+  unlink(e);
+  stats_.payload_bytes -= slab_[e].payload.size();
+  slab_[e].payload.clear();
+  slab_[e].payload.shrink_to_fit();
+  --stats_.entries;
+  ++stats_.evictions;
+  free_.push_back(e);
+
+  // Backward-shift deletion keeps linear probing tombstone-free: refill
+  // the vacated slot with any later chain member whose home position
+  // allows the move, repeating from the new hole.
+  std::size_t hole = probe(slab_[e].key);
+  FASTSCHED_ASSERT(table_[hole] == e);
+  table_[hole] = kNil;
+  std::size_t j = hole;
+  while (true) {
+    j = (j + 1) & table_mask_;
+    if (table_[j] == kNil) break;
+    const std::size_t home = mix(slab_[table_[j]].key) & table_mask_;
+    if (((j - home) & table_mask_) >= ((j - hole) & table_mask_)) {
+      table_[hole] = table_[j];
+      table_[j] = kNil;
+      hole = j;
+    }
+  }
+}
+
+void ResultCache::insert(std::uint64_t key, std::string&& payload) {
+  const std::size_t s = probe(key);
+  if (table_[s] != kNil) {
+    // Replace in place (same key, e.g. re-inserted after a bypassed run).
+    Entry& entry = slab_[table_[s]];
+    stats_.payload_bytes -= entry.payload.size();
+    entry.payload = std::move(payload);
+    stats_.payload_bytes += entry.payload.size();
+    if (head_ != table_[s]) {
+      unlink(table_[s]);
+      push_front(table_[s]);
+    }
+    ++stats_.insertions;
+  } else {
+    if (free_.empty()) evict_lru();
+    const std::uint32_t e = free_.back();
+    free_.pop_back();
+    Entry& entry = slab_[e];
+    entry.key = key;
+    entry.payload = std::move(payload);
+    stats_.payload_bytes += entry.payload.size();
+    ++stats_.entries;
+    ++stats_.insertions;
+    table_[probe(key)] = e;
+    push_front(e);
+  }
+  if (max_bytes_ > 0) {
+    while (stats_.payload_bytes > max_bytes_ && stats_.entries > 1) {
+      evict_lru();
+    }
+  }
+}
+
+}  // namespace fastsched::serve

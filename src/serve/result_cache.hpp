@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file result_cache.hpp
+/// Content-addressed LRU cache of serialized responses.
+///
+/// Maps a request fingerprint (fingerprint.hpp) to the exact response
+/// payload bytes the server would produce cold, so repeated requests —
+/// the common case under heavy traffic — are answered in O(1) with a
+/// byte-identical reply. The cache is bounded two ways (entry count and
+/// total payload bytes); eviction is strict LRU.
+///
+/// Allocation discipline: `find()` is on the steady-state hot path and
+/// performs zero heap allocation — the index is an open-addressing table
+/// sized at construction, entries live in a fixed slab, and the LRU list
+/// is intrusive (prev/next indices in the slab). Only `insert()` (the
+/// cold path, once per distinct request) allocates: it takes ownership
+/// of the payload string it is given and recycles evicted slots through
+/// a free list. Not thread-safe: the serve loop does all cache traffic
+/// from the request thread, in request order, which also makes eviction
+/// deterministic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastsched::serve {
+
+class ResultCache {
+ public:
+  /// At most `max_entries` payloads (>= 1) and, when `max_bytes` > 0, at
+  /// most `max_bytes` of summed payload bytes.
+  explicit ResultCache(std::size_t max_entries, std::size_t max_bytes = 0);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached payload for `key`, or nullptr. A hit moves the entry to
+  /// the front of the LRU order. Counts one hit or one miss.
+  [[nodiscard]] const std::string* find(std::uint64_t key) noexcept;
+
+  /// Inserts (or replaces) the payload for `key`, evicting
+  /// least-recently-used entries while over either bound. The payload is
+  /// moved in.
+  void insert(std::uint64_t key, std::string&& payload);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;        ///< live entries right now
+    std::size_t payload_bytes = 0;  ///< summed payload sizes right now
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] std::size_t max_entries() const noexcept {
+    return max_entries_;
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFU;
+
+  struct Entry {
+    std::uint64_t key = 0;
+    std::string payload;
+    std::uint32_t prev = kNil;  ///< LRU list toward most-recent
+    std::uint32_t next = kNil;  ///< LRU list toward least-recent
+  };
+
+  /// Index of `key`'s table slot (occupied or the insertion point).
+  [[nodiscard]] std::size_t probe(std::uint64_t key) const noexcept;
+  void unlink(std::uint32_t e) noexcept;
+  void push_front(std::uint32_t e) noexcept;
+  void evict_lru();
+
+  std::size_t max_entries_;
+  std::size_t max_bytes_;
+  std::vector<Entry> slab_;             ///< capacity fixed at construction
+  std::vector<std::uint32_t> free_;     ///< recycled slab slots
+  std::vector<std::uint32_t> table_;    ///< open addressing: slab index or kNil
+  std::size_t table_mask_ = 0;
+  std::uint32_t head_ = kNil;  ///< most recently used
+  std::uint32_t tail_ = kNil;  ///< least recently used
+  Stats stats_;
+};
+
+}  // namespace fastsched::serve

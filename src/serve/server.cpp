@@ -1,0 +1,347 @@
+#include "serve/server.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "analysis/bounds.hpp"
+#include "analysis/report_io.hpp"
+#include "baselines/registry.hpp"
+#include "common/alloc_counter.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "fast/fast.hpp"
+#include "graph/task_graph.hpp"
+#include "serve/fingerprint.hpp"
+#include "workloads/spec.hpp"
+
+namespace fastsched::serve {
+
+namespace {
+
+constexpr std::string_view kOkPrefix = "{\"status\":\"ok\"";
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      cache_(options.cache_entries > 0 ? options.cache_entries : 1,
+             options.cache_bytes) {
+  FASTSCHED_REQUIRE(options_.batch >= 1, "server batch must be >= 1");
+  // Every per-window container gets its full capacity here, so the
+  // steady-state loop never grows one.
+  line_slots_.resize(options_.batch);
+  window_.reserve(options_.batch);
+  emit_kind_.reserve(options_.batch);
+  emit_ref_.reserve(options_.batch);
+  hit_payload_.reserve(options_.batch);
+  fingerprints_.reserve(options_.batch);
+  cold_.reserve(options_.batch);
+  cold_cacheable_.reserve(options_.batch);
+  response_slots_.resize(options_.batch);
+}
+
+void Server::submit_line(std::string_view line, std::string& out) {
+  const std::size_t k = window_.size();
+  // The line is copied into a retained slot: Request string_views must
+  // survive until the window flushes, and the caller reuses its buffer.
+  line_slots_[k].assign(line.data(), line.size());
+  window_.emplace_back(options_.use_arena ? &arena_ : nullptr);
+  parse_request(line_slots_[k], window_.back());
+
+  if (window_.back().kind == RequestKind::kStats) {
+    const bool has_id = window_.back().has_id;
+    const std::uint64_t id = window_.back().id;
+    window_.pop_back();
+    // Flush first: the counters deterministically cover every request
+    // that precedes this one on the wire.
+    flush(out);
+    ++stats_.stats_requests;
+    error_scratch_.clear();
+    append_stats_payload(error_scratch_);
+    emit_response(out, has_id, id, error_scratch_);
+    return;
+  }
+  if (window_.size() == options_.batch) flush_window(out);
+}
+
+void Server::flush(std::string& out) {
+  if (!window_.empty()) flush_window(out);
+}
+
+void Server::flush_window(std::string& out) {
+  const std::size_t n = window_.size();
+  emit_kind_.clear();
+  emit_ref_.clear();
+  hit_payload_.clear();
+  fingerprints_.clear();
+  cold_.clear();
+  cold_cacheable_.clear();
+
+  // Serial pre-pass, in request order: fingerprint, cache lookup,
+  // within-window dedupe. Serial and order-fixed is what makes hit/miss
+  // accounting and LRU motion identical at any --jobs.
+  // fastsched: hot
+  for (std::size_t k = 0; k < n; ++k) {
+    const Request& req = window_[k];
+    if (req.kind == RequestKind::kInvalid) {
+      ++stats_.errors;
+      emit_kind_.push_back(Emit::kError);
+      emit_ref_.push_back(0);
+      hit_payload_.push_back(nullptr);
+      fingerprints_.push_back(0);
+      continue;
+    }
+    ++stats_.requests;
+    const std::uint64_t fp = fingerprint_request(req);
+    fingerprints_.push_back(fp);
+    hit_payload_.push_back(nullptr);
+    const bool cacheable = options_.use_cache && !req.no_cache;
+    if (cacheable) {
+      if (const std::string* hit = cache_.find(fp)) {
+        ++stats_.hits;
+        emit_kind_.push_back(Emit::kHit);
+        emit_ref_.push_back(0);
+        hit_payload_.back() = hit;
+        continue;
+      }
+      // A duplicate of an earlier not-yet-computed request in this
+      // window is served from that request's fresh result: one compute,
+      // two responses, counted as a hit. Linear scan: windows are small.
+      std::size_t dup_of = cold_.size();
+      for (std::size_t ci = 0; ci < cold_.size(); ++ci) {
+        if (fingerprints_[cold_[ci]] == fp) {
+          dup_of = ci;
+          break;
+        }
+      }
+      if (dup_of != cold_.size()) {
+        ++stats_.hits;
+        ++stats_.window_dedupe_hits;
+        emit_kind_.push_back(Emit::kDup);
+        emit_ref_.push_back(dup_of);
+        continue;
+      }
+    }
+    ++stats_.misses;
+    emit_kind_.push_back(Emit::kCold);
+    emit_ref_.push_back(cold_.size());
+    cold_.push_back(k);
+    cold_cacheable_.push_back(cacheable);
+  }
+  // fastsched: end-hot
+
+  // Cold uniques fan out; slot-per-task writes keep the merge trivially
+  // deterministic. compute_cold never throws (errors become payloads).
+  const std::size_t ncold = cold_.size();
+  if (ncold > 0) {
+    parallel_for_index(options_.jobs, ncold, [this](std::size_t ci) {
+      compute_cold(window_[cold_[ci]], ci);
+    });
+  }
+
+  // Ordered emit. Hit payloads stay valid: nothing is inserted into the
+  // cache (so nothing can be evicted) until every response is out.
+  // fastsched: hot
+  for (std::size_t k = 0; k < n; ++k) {
+    const Request& req = window_[k];
+    switch (emit_kind_[k]) {
+      case Emit::kError:
+        error_scratch_.clear();
+        append_error_payload(error_scratch_, req.error);
+        emit_response(out, req.has_id, req.id, error_scratch_);
+        break;
+      case Emit::kHit:
+        emit_response(out, req.has_id, req.id, *hit_payload_[k]);
+        break;
+      case Emit::kCold:
+      case Emit::kDup:
+        emit_response(out, req.has_id, req.id, response_slots_[emit_ref_[k]]);
+        break;
+      case Emit::kStats:
+        break;  // stats never enters a window
+    }
+  }
+  // fastsched: end-hot
+
+  // Ordered cache inserts (cold path: the payload copy may allocate).
+  // Error payloads are not cached: they are cheap to recompute and a
+  // transient failure must not become sticky.
+  for (std::size_t ci = 0; ci < ncold; ++ci) {
+    if (cold_cacheable_[ci] &&
+        response_slots_[ci].compare(0, kOkPrefix.size(), kOkPrefix) == 0) {
+      cache_.insert(fingerprints_[cold_[ci]], std::string(response_slots_[ci]));
+    }
+  }
+
+  window_.clear();
+  arena_.reset();
+}
+
+void Server::compute_cold(const Request& req, std::size_t slot) {
+  std::string& out = response_slots_[slot];
+  out.clear();
+  try {
+    std::string label;
+    const graph::TaskGraph g = [&] {
+      if (!req.workload.empty()) {
+        append_normalized_spec(label, req.workload);
+        return workloads::make_workload(label).graph;
+      }
+      label = "inline";
+      graph::TaskGraphBuilder b;
+      b.reserve(req.node_weights.size(), req.edges.size());
+      for (const double w : req.node_weights) b.add_node(w);
+      for (const Edge& e : req.edges) b.add_edge(e.src, e.dst, e.cost);
+      return b.build();
+    }();
+
+    const std::string algo =
+        req.algorithm.empty() ? "FAST" : std::string(req.algorithm);
+    const sched::SchedulerOptions sopts{req.procs, req.seed};
+    const sched::Schedule schedule = [&] {
+      if (algo == "FAST") {
+        // Direct construction so the request's max_steps is honored.
+        fast::FastOptions fo;
+        fo.num_procs = req.procs;
+        fo.max_steps = req.max_steps;
+        fo.seed = req.seed;
+        return fast::FastScheduler(fo).run(g, sopts);
+      }
+      return baselines::make_scheduler(algo)->run(g, sopts);
+    }();
+
+    // The certificate line: the cheap O(v + e) bound families only —
+    // the exact Fernandez search is far too hot for a serving path.
+    analysis::BoundOptions bo;
+    bo.num_procs = sched::effective_procs(g, sopts);
+    bo.interval_density = false;
+    const analysis::BoundSet bounds = analysis::compute_bounds(g, bo);
+    const analysis::BoundCertificate* binding = bounds.binding();
+
+    out += kOkPrefix;
+    out += ",\"algorithm\":\"";
+    out += algo;
+    out += "\",\"workload\":\"";
+    out += label;
+    out += "\",\"nodes\":";
+    append_u64(out, g.num_nodes());
+    out += ",\"edges\":";
+    append_u64(out, g.num_edges());
+    out += ",\"procs\":";
+    append_u64(out, sched::effective_procs(g, sopts));
+    out += ",\"procs_used\":";
+    append_u64(out, schedule.procs_used());
+    out += ",\"makespan\":";
+    append_f64(out, schedule.length());
+    out += ",\"best_bound\":";
+    append_f64(out, bounds.best());
+    out += ",\"bound_id\":\"";
+    out += binding != nullptr ? binding->id : "";
+    out += "\",\"gap\":";
+    append_f64(out, analysis::optimality_gap(bounds, schedule.length()));
+    if (req.want_schedule) {
+      out += ",\"schedule\":[";
+      for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+        const auto node = static_cast<graph::NodeId>(v);
+        if (v > 0) out += ',';
+        out += '[';
+        append_u64(out, schedule.proc(node));
+        out += ',';
+        append_f64(out, schedule.start(node));
+        out += ',';
+        append_f64(out, schedule.finish(node));
+        out += ']';
+      }
+      out += ']';
+    }
+    out += '}';
+  } catch (const std::exception& e) {
+    out.clear();
+    out += "{\"status\":\"error\",\"error\":\"";
+    out += analysis::json_escape(e.what());
+    out += "\"}";
+  }
+}
+
+void Server::append_stats_payload(std::string& out) const {
+  const ResultCache::Stats& cs = cache_.stats();
+  out += kOkPrefix;
+  out += ",\"stats\":{\"requests\":";
+  append_u64(out, stats_.requests);
+  out += ",\"errors\":";
+  append_u64(out, stats_.errors);
+  out += ",\"stats_requests\":";
+  append_u64(out, stats_.stats_requests);
+  // No window_dedupe_hits here: whether a duplicate was served by the
+  // window dedupe or by the cache depends on --batch, and the stats
+  // response must be identical for any window size. The split lives on
+  // the diag line with the other configuration-dependent counters.
+  out += ",\"hits\":";
+  append_u64(out, stats_.hits);
+  out += ",\"misses\":";
+  append_u64(out, stats_.misses);
+  out += ",\"insertions\":";
+  append_u64(out, cs.insertions);
+  out += ",\"evictions\":";
+  append_u64(out, cs.evictions);
+  out += ",\"entries\":";
+  append_u64(out, cs.entries);
+  out += ",\"payload_bytes\":";
+  append_u64(out, cs.payload_bytes);
+  out += "}}";
+}
+
+void Server::emit_response(std::string& out, bool has_id, std::uint64_t id,
+                           const std::string& payload) const {
+  // The id is prefixed *outside* the payload, so cached bytes are
+  // id-free and a hit is byte-identical to the cold response.
+  if (has_id) {
+    out += "{\"id\":";
+    append_u64(out, id);
+    out += ',';
+    out.append(payload.data() + 1, payload.size() - 1);
+  } else {
+    out += payload;
+  }
+  out += '\n';
+}
+
+int Server::serve(std::istream& in, std::ostream& out, std::ostream& log) {
+  std::string line;
+  std::string outbuf;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    outbuf.clear();
+    submit_line(line, outbuf);
+    if (!outbuf.empty()) {
+      out.write(outbuf.data(), static_cast<std::streamsize>(outbuf.size()));
+      out.flush();
+    }
+  }
+  outbuf.clear();
+  flush(outbuf);
+  if (!outbuf.empty()) {
+    out.write(outbuf.data(), static_cast<std::streamsize>(outbuf.size()));
+  }
+  out.flush();
+
+  // Configuration-dependent diagnostics go to the log stream, never to
+  // stdout: stdout must be byte-identical at any --jobs or --batch (the
+  // arena counters scale with the window size, so they live here too).
+  log << "{\"diag\":{\"jobs\":" << options_.jobs << ",\"batch\":"
+      << options_.batch << ",\"cache\":" << (options_.use_cache ? 1 : 0)
+      << ",\"arena\":" << (options_.use_arena ? 1 : 0)
+      << ",\"requests\":" << stats_.requests << ",\"hits\":" << stats_.hits
+      << ",\"window_dedupe_hits\":" << stats_.window_dedupe_hits
+      << ",\"misses\":" << stats_.misses
+      << ",\"arena_reserved\":" << arena_.bytes_reserved()
+      << ",\"arena_high_water\":" << arena_.high_water()
+      << ",\"arena_chunk_allocs\":" << arena_.chunk_allocations()
+      << ",\"alloc_counting\":" << (heap_alloc_counting_enabled() ? 1 : 0)
+      << ",\"heap_allocs\":" << heap_alloc_count() << "}}" << std::endl;
+  return 0;
+}
+
+}  // namespace fastsched::serve

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file server.hpp
+/// The sched_server request loop: long-lived, line-oriented, batched.
+///
+/// Requests are processed in fixed-size windows (`ServerOptions::batch`
+/// requests; the window size is independent of `jobs`, so output bytes
+/// and cache statistics are identical at any worker count). One window:
+///
+///   1. serial pre-pass, in request order: parse (scratch in the request
+///      arena), fingerprint, result-cache lookup, and within-window
+///      dedupe (a later duplicate of a not-yet-computed request counts
+///      as a hit — it is served from the first copy's fresh result);
+///   2. cold uniques fan out over `parallel_for_index` into per-request
+///      retained response slots (slot-per-task writes, no shared state);
+///   3. responses are emitted in request order — a cache hit emits the
+///      cached bytes verbatim, so hit and cold responses for the same
+///      request are byte-identical (the per-request `id` is prefixed
+///      outside the cached payload);
+///   4. cold payloads are inserted into the cache in request order
+///      (after all emits, so eviction can never invalidate a payload a
+///      later response in the same window still references), and the
+///      arena is reset.
+///
+/// Steady state — warm arena, warm retained buffers, cache hit — runs
+/// the whole loop with zero heap allocation; the allocation-counting
+/// hook (alloc_counter.hpp) measures it in sched_server and in
+/// tests/serve/serve_alloc_test.cpp.
+///
+/// A `{"cmd":"stats"}` request flushes the pending window first, so its
+/// counters deterministically reflect every request before it.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+
+namespace fastsched::serve {
+
+struct ServerOptions {
+  std::size_t jobs = 1;           ///< workers for cold-request fan-out
+  std::size_t batch = 32;         ///< window size (requests); >= 1
+  std::size_t cache_entries = 1024;
+  std::size_t cache_bytes = 0;    ///< 0 = no byte bound
+  bool use_cache = true;
+  bool use_arena = true;          ///< false = heap-baseline request scratch
+};
+
+/// Deterministic serving counters (identical at any `jobs`).
+struct ServerStats {
+  std::uint64_t requests = 0;      ///< valid schedule requests
+  std::uint64_t errors = 0;        ///< lines answered with a parse/run error
+  std::uint64_t stats_requests = 0;
+  std::uint64_t hits = 0;          ///< cache hits + window-dedupe hits
+  std::uint64_t window_dedupe_hits = 0;
+  std::uint64_t misses = 0;        ///< cold computations
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Buffers one request line; when the window fills, flushes it and
+  /// appends the response lines (each '\n'-terminated) to `out`.
+  void submit_line(std::string_view line, std::string& out);
+
+  /// Flushes a partially-filled window.
+  void flush(std::string& out);
+
+  /// Drives the full loop: read lines from `in` until EOF, reply on
+  /// `out`, then emit one diagnostic JSON line (allocation counters,
+  /// jobs — the environment-dependent half of the stats) on `log`.
+  /// Returns the process exit code (0 on clean EOF).
+  int serve(std::istream& in, std::ostream& out, std::ostream& log);
+
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ResultCache::Stats& cache_stats() const noexcept {
+    return cache_.stats();
+  }
+  [[nodiscard]] const Arena& arena() const noexcept { return arena_; }
+
+ private:
+  enum class Emit : std::uint8_t { kHit, kCold, kDup, kError, kStats };
+
+  /// Serial pre-pass + fan-out + ordered emit + ordered cache insert.
+  void flush_window(std::string& out);
+  /// Computes one cold request into `response_slots_[slot]`.
+  void compute_cold(const Request& req, std::size_t slot);
+  /// Appends the stats-response payload (deterministic counters only).
+  void append_stats_payload(std::string& out) const;
+  void emit_response(std::string& out, bool has_id, std::uint64_t id,
+                     const std::string& payload) const;
+
+  ServerOptions options_;
+  Arena arena_;
+  ResultCache cache_;
+  ServerStats stats_;
+
+  // Per-window state; all capacity is retained across windows.
+  std::vector<std::string> line_slots_;    ///< request text (views point here)
+  std::vector<Request> window_;
+  std::vector<Emit> emit_kind_;
+  std::vector<std::size_t> emit_ref_;      ///< cold: slot; dup: target slot
+  std::vector<const std::string*> hit_payload_;
+  std::vector<std::uint64_t> fingerprints_;
+  std::vector<std::size_t> cold_;          ///< window indices of cold uniques
+  std::vector<bool> cold_cacheable_;       ///< per cold unique: insert after emit
+  std::vector<std::string> response_slots_;
+  std::string error_scratch_;
+};
+
+}  // namespace fastsched::serve

@@ -1,0 +1,26 @@
+// Fixture: H1 coverage of the serving request loop — a steady-state
+// window pre-pass with an allocation smuggled into the hot region. The
+// shape mirrors src/serve/server.cpp's flush_window: parse, fingerprint,
+// cache lookup, emit. Never compiled — lexed only.
+#include <string>
+#include <vector>
+
+struct ServeRequest {
+  unsigned long long fingerprint;
+  std::string line;
+};
+
+void serve_window(std::vector<ServeRequest>& window,
+                  std::vector<std::string>& responses) {
+  responses.reserve(window.size());
+  // fastsched: hot
+  for (const ServeRequest& req : window) {
+    // The smuggled allocation: a per-request heap string on the
+    // zero-malloc path. H1 must flag this even though everything
+    // around it is reserve()-backed.
+    std::string* payload = new std::string(req.line);
+    responses.push_back(*payload);
+    delete payload;
+  }
+  // fastsched: end-hot
+}

@@ -1,0 +1,100 @@
+// Unit tests for the monotonic request arena (common/arena.hpp): bump
+// allocation, alignment, and the reset-retains-chunks contract the
+// zero-malloc serving path is built on.
+
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace fastsched {
+namespace {
+
+TEST(Arena, HandsOutDistinctWritableAlignedBlocks) {
+  Arena arena;
+  void* a = arena.allocate(16, 8);
+  void* b = arena.allocate(32, 8);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  std::memset(a, 0xAB, 16);
+  std::memset(b, 0xCD, 32);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[15], 0xAB);
+  EXPECT_EQ(static_cast<unsigned char*>(b)[0], 0xCD);
+}
+
+TEST(Arena, RespectsLargeAlignment) {
+  Arena arena;
+  (void)arena.allocate(1, 1);  // misalign the cursor
+  void* p = arena.allocate(64, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+}
+
+TEST(Arena, TracksUsageAndHighWater) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  (void)arena.allocate(100, 8);
+  EXPECT_EQ(arena.bytes_used(), 100u);
+  (void)arena.allocate(50, 1);
+  EXPECT_EQ(arena.bytes_used(), 150u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_GE(arena.high_water(), 150u);
+}
+
+TEST(Arena, ResetRetainsChunksSoSteadyStateNeverGrows) {
+  Arena arena(1024);
+  // Warm up: force several chunk allocations.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 64; ++i) (void)arena.allocate(256, 8);
+    arena.reset();
+  }
+  const std::size_t warm_chunks = arena.chunk_allocations();
+  const std::size_t warm_reserved = arena.bytes_reserved();
+  // Steady state: the same allocation pattern must reuse the retained
+  // chunks — zero new chunk mallocs across many windows.
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 64; ++i) (void)arena.allocate(256, 8);
+    arena.reset();
+  }
+  EXPECT_EQ(arena.chunk_allocations(), warm_chunks);
+  EXPECT_EQ(arena.bytes_reserved(), warm_reserved);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnChunk) {
+  Arena arena(1024);
+  void* big = arena.allocate(1 << 20, 8);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0, 1 << 20);
+  EXPECT_GE(arena.bytes_reserved(), std::size_t{1} << 20);
+}
+
+TEST(ArenaAllocator, VectorGrowsInArenaAndSurvivesUntilReset) {
+  Arena arena;
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i);
+  EXPECT_GE(arena.bytes_used(), 1000 * sizeof(int));
+}
+
+TEST(ArenaAllocator, NullArenaFallsBackToHeap) {
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(nullptr)};
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.back(), 99);
+}
+
+TEST(ArenaAllocator, EqualityFollowsTheArena) {
+  Arena a;
+  Arena b;
+  EXPECT_TRUE(ArenaAllocator<int>(&a) == ArenaAllocator<int>(&a));
+  EXPECT_TRUE(ArenaAllocator<int>(&a) != ArenaAllocator<int>(&b));
+  EXPECT_TRUE(ArenaAllocator<int>(&a) != ArenaAllocator<double>(&b));
+}
+
+}  // namespace
+}  // namespace fastsched

@@ -1,0 +1,115 @@
+// Cache-key correctness for the serving layer: the fingerprint must
+// collapse exactly the request variations that produce identical
+// response bytes (alias spellings, omitted-vs-explicit defaults) and
+// separate everything else (permuted node ids, every option knob).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/fingerprint.hpp"
+#include "serve/protocol.hpp"
+
+namespace fastsched::serve {
+namespace {
+
+std::uint64_t key_of(std::string_view line) {
+  Request req(nullptr);
+  parse_request(line, req);
+  EXPECT_EQ(req.kind, RequestKind::kSchedule) << line;
+  return fingerprint_request(req);
+}
+
+TEST(Fingerprint, AliasSpellingsOfOneWorkloadCollide) {
+  EXPECT_EQ(key_of(R"({"workload":"rand:200"})"),
+            key_of(R"({"workload":"random:200"})"));
+  EXPECT_EQ(key_of(R"({"workload":"gauss:64"})"),
+            key_of(R"({"workload":"gaussian:64"})"));
+}
+
+TEST(Fingerprint, OmittedFieldsEqualExplicitDefaults) {
+  EXPECT_EQ(key_of(R"({"workload":"rand:200"})"),
+            key_of(R"({"workload":"rand:200","algorithm":"FAST","procs":0,)"
+                   R"("seed":1,"max_steps":64,"schedule":false})"));
+}
+
+TEST(Fingerprint, CacheDirectiveDoesNotEnterTheKey) {
+  // cache:false changes handling, not the response bytes.
+  EXPECT_EQ(key_of(R"({"workload":"rand:200"})"),
+            key_of(R"({"workload":"rand:200","cache":false})"));
+}
+
+TEST(Fingerprint, EveryOptionKnobMovesTheKey) {
+  const std::uint64_t base = key_of(R"({"workload":"rand:200"})");
+  EXPECT_NE(base, key_of(R"({"workload":"rand:201"})"));
+  EXPECT_NE(base, key_of(R"({"workload":"gauss:200"})"));
+  EXPECT_NE(base, key_of(R"({"workload":"rand:200","procs":8})"));
+  EXPECT_NE(base, key_of(R"({"workload":"rand:200","seed":2})"));
+  EXPECT_NE(base, key_of(R"({"workload":"rand:200","max_steps":128})"));
+  EXPECT_NE(base, key_of(R"({"workload":"rand:200","schedule":true})"));
+  EXPECT_NE(base, key_of(R"({"workload":"rand:200","algorithm":"ETF"})"));
+}
+
+TEST(Fingerprint, PermutedNodeIdsAreDistinctInstances) {
+  // The same abstract graph under two node labelings: weights [1,2,3]
+  // with edge 0->1 vs weights [2,1,3] with edge 1->0. Adjacency order
+  // feeds scheduler tie-breaking, so these must NOT share a key.
+  const std::uint64_t a =
+      key_of(R"({"nodes":[1,2,3],"edges":[[0,1,1.5]]})");
+  const std::uint64_t b =
+      key_of(R"({"nodes":[2,1,3],"edges":[[1,0,1.5]]})");
+  EXPECT_NE(a, b);
+}
+
+TEST(Fingerprint, EdgeOrderWeightsAndCostsAllMoveTheKey) {
+  const std::uint64_t base =
+      key_of(R"({"nodes":[1,2,3],"edges":[[0,1,1],[0,2,2]]})");
+  EXPECT_NE(base, key_of(R"({"nodes":[1,2,3],"edges":[[0,2,2],[0,1,1]]})"));
+  EXPECT_NE(base, key_of(R"({"nodes":[1,2,4],"edges":[[0,1,1],[0,2,2]]})"));
+  EXPECT_NE(base, key_of(R"({"nodes":[1,2,3],"edges":[[0,1,1],[0,2,3]]})"));
+  EXPECT_NE(base, key_of(R"({"nodes":[1,2,3],"edges":[[0,1,1]]})"));
+}
+
+TEST(Fingerprint, WorkloadAndInlineDomainsNeverCollideTrivially) {
+  // A workload spec and an inline graph are tagged into disjoint key
+  // domains, whatever their contents.
+  EXPECT_NE(key_of(R"({"workload":"rand:200"})"),
+            key_of(R"({"nodes":[1],"edges":[]})"));
+}
+
+TEST(Fingerprint, NegativeZeroWeightCollapsesToZero) {
+  EXPECT_EQ(key_of(R"({"nodes":[0],"edges":[]})"),
+            key_of(R"({"nodes":[-0.0],"edges":[]})"));
+}
+
+TEST(Fingerprint, StringHashingIsLengthPrefixed) {
+  Fingerprint a;
+  a.str("ab");
+  a.str("c");
+  Fingerprint b;
+  b.str("a");
+  b.str("bc");
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(NormalizeWorkloadName, CollapsesAliasesOnly) {
+  EXPECT_EQ(normalize_workload_name("random"), "rand");
+  EXPECT_EQ(normalize_workload_name("gaussian"), "gauss");
+  EXPECT_EQ(normalize_workload_name("rand"), "rand");
+  EXPECT_EQ(normalize_workload_name("fft"), "fft");
+  EXPECT_EQ(normalize_workload_name("laplace"), "laplace");
+}
+
+TEST(NormalizeSpec, AppendsCanonicalSpelling) {
+  std::string out;
+  append_normalized_spec(out, "random:200");
+  EXPECT_EQ(out, "rand:200");
+  out.clear();
+  append_normalized_spec(out, "paper");
+  EXPECT_EQ(out, "paper");
+}
+
+}  // namespace
+}  // namespace fastsched::serve

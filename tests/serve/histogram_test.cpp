@@ -1,0 +1,68 @@
+// Unit tests for the log-bucketed latency histogram: bounded relative
+// error on quantiles, exact max, merge.
+
+#include "serve/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastsched::serve {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleWithinBucketError) {
+  LatencyHistogram h;
+  h.record(0.010);  // 10 ms
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 0.010);
+  EXPECT_NEAR(h.quantile(0.5), 0.010, 0.010 * 0.06);
+  EXPECT_NEAR(h.quantile(0.99), 0.010, 0.010 * 0.06);
+}
+
+TEST(LatencyHistogram, QuantilesOfAUniformRamp) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-3);  // 1ms .. 1000ms
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.quantile(0.50), 0.500, 0.500 * 0.06);
+  EXPECT_NEAR(h.quantile(0.90), 0.900, 0.900 * 0.06);
+  EXPECT_NEAR(h.quantile(0.99), 0.990, 0.990 * 0.06);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);  // capped at the exact max
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+}
+
+TEST(LatencyHistogram, QuantileNeverExceedsExactMax) {
+  LatencyHistogram h;
+  h.record(0.001);
+  h.record(0.001);
+  EXPECT_LE(h.quantile(0.99), h.max());
+}
+
+TEST(LatencyHistogram, OutOfRangeSamplesAreClamped) {
+  LatencyHistogram h;
+  h.record(0.0);    // clamps to the bottom bucket
+  h.record(-5.0);   // ditto (and no crash)
+  h.record(1e6);    // clamps to the top bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e6);
+}
+
+TEST(LatencyHistogram, MergeCombinesCountsAndMax) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 10; ++i) a.record(0.001);
+  for (int i = 0; i < 10; ++i) b.record(0.100);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_DOUBLE_EQ(a.max(), 0.100);
+  EXPECT_NEAR(a.quantile(0.25), 0.001, 0.001 * 0.06);
+  EXPECT_NEAR(a.quantile(0.95), 0.100, 0.100 * 0.06);
+  EXPECT_NEAR(a.total(), 10 * 0.001 + 10 * 0.100, 1e-9);
+}
+
+}  // namespace
+}  // namespace fastsched::serve

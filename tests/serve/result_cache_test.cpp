@@ -1,0 +1,103 @@
+// Unit tests for the content-addressed LRU result cache: hit/miss
+// accounting, strict LRU eviction, both capacity bounds, and index
+// integrity across heavy insert/evict churn (the open-addressing table
+// uses backward-shift deletion, which these tests exercise hard).
+
+#include "serve/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fastsched::serve {
+namespace {
+
+TEST(ResultCache, FindMissThenInsertThenHit) {
+  ResultCache cache(4);
+  EXPECT_EQ(cache.find(42), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  cache.insert(42, "payload-42");
+  const std::string* hit = cache.find(42);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "payload-42");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().payload_bytes, std::string("payload-42").size());
+}
+
+TEST(ResultCache, EvictsStrictlyLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.insert(1, "one");
+  cache.insert(2, "two");
+  ASSERT_NE(cache.find(1), nullptr);  // 1 is now most recent
+  cache.insert(3, "three");           // evicts 2, not 1
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCache, ReplacingAKeyUpdatesPayloadAndBytes) {
+  ResultCache cache(2);
+  cache.insert(7, "short");
+  cache.insert(7, "a-much-longer-payload");
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().payload_bytes,
+            std::string("a-much-longer-payload").size());
+  EXPECT_EQ(*cache.find(7), "a-much-longer-payload");
+}
+
+TEST(ResultCache, ByteBoundEvictsUntilUnder) {
+  ResultCache cache(100, 25);
+  cache.insert(1, std::string(10, 'a'));
+  cache.insert(2, std::string(10, 'b'));
+  cache.insert(3, std::string(10, 'c'));  // 30 bytes > 25: evicts key 1
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_NE(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+  EXPECT_LE(cache.stats().payload_bytes, 25u);
+}
+
+TEST(ResultCache, ChurnKeepsIndexConsistent) {
+  // 8 slots, 500 inserts: every probe chain gets built, shifted and
+  // rebuilt many times. The 8 most recent keys must all be present and
+  // correct; everything older must miss.
+  ResultCache cache(8);
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    cache.insert(k * 0x9E3779B97F4A7C15ULL, "p" + std::to_string(k));
+  }
+  EXPECT_EQ(cache.stats().entries, 8u);
+  EXPECT_EQ(cache.stats().evictions, 492u);
+  for (std::uint64_t k = 493; k <= 500; ++k) {
+    const std::string* hit = cache.find(k * 0x9E3779B97F4A7C15ULL);
+    ASSERT_NE(hit, nullptr) << "key " << k;
+    EXPECT_EQ(*hit, "p" + std::to_string(k));
+  }
+  for (std::uint64_t k = 1; k <= 16; ++k) {
+    EXPECT_EQ(cache.find(k * 0x9E3779B97F4A7C15ULL), nullptr);
+  }
+}
+
+TEST(ResultCache, AdjacentKeysProbeCorrectlyAfterEviction) {
+  // Sequential keys stress linear-probe adjacency: after evictions the
+  // backward-shift must keep every surviving chain reachable.
+  ResultCache cache(4);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    cache.insert(k, std::to_string(k));
+    // Touch an older survivor every step to churn the LRU order too.
+    if (k >= 2) (void)cache.find(k - 2);
+  }
+  std::size_t present = 0;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    const std::string* hit = cache.find(k);
+    if (hit != nullptr) {
+      ++present;
+      EXPECT_EQ(*hit, std::to_string(k));
+    }
+  }
+  EXPECT_EQ(present, 4u);
+}
+
+}  // namespace
+}  // namespace fastsched::serve

@@ -1,0 +1,305 @@
+// End-to-end tests for the in-process serve loop: response correctness,
+// cold-vs-hit byte identity, determinism across worker counts, window
+// dedupe, cache bypass, and error handling.
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fast/fast.hpp"
+#include "graph/task_graph.hpp"
+
+namespace fastsched::serve {
+namespace {
+
+struct RunResult {
+  std::string out;
+  std::string log;
+  ServerStats stats;
+  ResultCache::Stats cache;
+  int rc = -1;
+};
+
+RunResult run_server(const ServerOptions& options, const std::string& input) {
+  Server server(options);
+  std::istringstream in(input);
+  std::ostringstream out;
+  std::ostringstream log;
+  RunResult r;
+  r.rc = server.serve(in, out, log);
+  r.out = out.str();
+  r.log = log.str();
+  r.stats = server.stats();
+  r.cache = server.cache_stats();
+  return r;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    const std::size_t nl = text.find('\n', begin);
+    const std::size_t end = nl == std::string::npos ? text.size() : nl;
+    lines.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+/// The number after `"key":`, as text (empty when absent).
+std::string field_of(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return {};
+  std::size_t end = at + needle.size();
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(at + needle.size(), end - (at + needle.size()));
+}
+
+TEST(Serve, WorkloadResponseCarriesScheduleAndCertificateLine) {
+  const RunResult r = run_server(
+      {}, "{\"id\":1,\"workload\":\"fft:16\",\"procs\":4}\n");
+  EXPECT_EQ(r.rc, 0);
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& resp = lines[0];
+  EXPECT_NE(resp.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_EQ(field_of(resp, "id"), "1");
+  EXPECT_GT(std::atoi(field_of(resp, "nodes").c_str()), 0);
+  EXPECT_EQ(field_of(resp, "procs"), "4");
+  EXPECT_FALSE(field_of(resp, "makespan").empty());
+  EXPECT_FALSE(field_of(resp, "best_bound").empty());
+  EXPECT_NE(resp.find("\"bound_id\":\""), std::string::npos);
+  EXPECT_FALSE(field_of(resp, "gap").empty());
+  // makespan must respect the certificate.
+  EXPECT_GE(std::atof(field_of(resp, "makespan").c_str()),
+            std::atof(field_of(resp, "best_bound").c_str()));
+}
+
+TEST(Serve, CacheHitBytesAreIdenticalToColdBytes) {
+  ServerOptions options;
+  options.batch = 1;
+  const std::string req = "{\"workload\":\"rand:100\",\"procs\":4}\n";
+  const RunResult r = run_server(options, req + req + req);
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], lines[1]);
+  EXPECT_EQ(lines[0], lines[2]);
+  EXPECT_EQ(r.stats.misses, 1u);
+  EXPECT_EQ(r.stats.hits, 2u);
+}
+
+TEST(Serve, IdIsPrefixedOutsideTheCachedPayload) {
+  ServerOptions options;
+  options.batch = 1;
+  const RunResult r = run_server(
+      options,
+      "{\"id\":7,\"workload\":\"rand:100\",\"procs\":4}\n"
+      "{\"id\":8,\"workload\":\"rand:100\",\"procs\":4}\n");
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(r.stats.hits, 1u);
+  // Strip the id prefix; the remainder (the cached payload) is identical.
+  EXPECT_EQ(lines[0].substr(lines[0].find(',')),
+            lines[1].substr(lines[1].find(',')));
+  EXPECT_EQ(field_of(lines[0], "id"), "7");
+  EXPECT_EQ(field_of(lines[1], "id"), "8");
+}
+
+TEST(Serve, AliasSpellingsHitTheSameEntryWithIdenticalBytes) {
+  ServerOptions options;
+  options.batch = 1;
+  const RunResult r = run_server(
+      options,
+      "{\"workload\":\"rand:100\",\"procs\":4}\n"
+      "{\"workload\":\"random:100\",\"procs\":4}\n"
+      "{\"workload\":\"gaussian:32\",\"procs\":2}\n"
+      "{\"workload\":\"gauss:32\",\"procs\":2}\n");
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], lines[1]);
+  EXPECT_EQ(lines[2], lines[3]);
+  EXPECT_EQ(r.stats.hits, 2u);
+  EXPECT_EQ(r.stats.misses, 2u);
+  // Responses echo the canonical spelling either way.
+  EXPECT_NE(lines[1].find("\"workload\":\"rand:100\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"workload\":\"gauss:32\""), std::string::npos);
+}
+
+TEST(Serve, StdoutAndCountersAreIdenticalAcrossJobs) {
+  const std::string input =
+      "{\"id\":1,\"workload\":\"rand:100\",\"procs\":4}\n"
+      "{\"id\":2,\"workload\":\"gauss:32\",\"procs\":2}\n"
+      "{\"id\":3,\"nodes\":[1,2,3,4],\"edges\":[[0,1,1],[1,2,2],[0,3,1]],"
+      "\"procs\":2,\"schedule\":true}\n"
+      "{\"id\":4,\"workload\":\"fft:16\",\"procs\":4,\"algorithm\":\"ETF\"}\n"
+      "{\"not\":\"valid\"}\n"
+      "{\"id\":6,\"workload\":\"rand:100\",\"procs\":4}\n"
+      "{\"id\":7,\"workload\":\"laplace:8\"}\n"
+      "{\"id\":8,\"cmd\":\"stats\"}\n";
+  ServerOptions a;
+  a.jobs = 1;
+  a.batch = 4;
+  ServerOptions b;
+  b.jobs = 8;
+  b.batch = 4;
+  const RunResult ra = run_server(a, input);
+  const RunResult rb = run_server(b, input);
+  EXPECT_EQ(ra.out, rb.out);
+  EXPECT_EQ(ra.rc, 0);
+  EXPECT_EQ(rb.rc, 0);
+  EXPECT_EQ(ra.stats.hits, rb.stats.hits);
+  EXPECT_EQ(ra.stats.misses, rb.stats.misses);
+  EXPECT_EQ(ra.cache.insertions, rb.cache.insertions);
+  EXPECT_EQ(ra.cache.evictions, rb.cache.evictions);
+}
+
+TEST(Serve, WindowDuplicateCountsAsHitWithOneComputation) {
+  ServerOptions options;
+  options.batch = 8;  // both copies land in one window
+  const RunResult r = run_server(
+      options,
+      "{\"workload\":\"rand:100\",\"procs\":4}\n"
+      "{\"workload\":\"rand:100\",\"procs\":4}\n");
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], lines[1]);
+  EXPECT_EQ(r.stats.misses, 1u);
+  EXPECT_EQ(r.stats.hits, 1u);
+  EXPECT_EQ(r.stats.window_dedupe_hits, 1u);
+  EXPECT_EQ(r.cache.insertions, 1u);
+}
+
+TEST(Serve, DisabledCacheRecomputesButBytesStayIdentical) {
+  ServerOptions options;
+  options.batch = 1;
+  options.use_cache = false;
+  const std::string req = "{\"workload\":\"rand:100\",\"procs\":4}\n";
+  const RunResult r = run_server(options, req + req);
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], lines[1]);
+  EXPECT_EQ(r.stats.hits, 0u);
+  EXPECT_EQ(r.stats.misses, 2u);
+  EXPECT_EQ(r.cache.insertions, 0u);
+}
+
+TEST(Serve, PerRequestCacheBypassForcesRecomputation) {
+  ServerOptions options;
+  options.batch = 1;
+  const std::string req =
+      "{\"workload\":\"rand:100\",\"procs\":4,\"cache\":false}\n";
+  const RunResult r = run_server(options, req + req);
+  EXPECT_EQ(r.stats.hits, 0u);
+  EXPECT_EQ(r.stats.misses, 2u);
+  EXPECT_EQ(r.cache.insertions, 0u);
+}
+
+TEST(Serve, MalformedLinesGetErrorResponsesAndServingContinues) {
+  const RunResult r = run_server(
+      {},
+      "this is not json\n"
+      "{\"workload\":\"rand:100\",\"procs\":4,\"unknown_field\":1}\n"
+      "{\"nodes\":[1],\"workload\":\"rand:100\"}\n"
+      "{\"id\":4,\"workload\":\"fft:16\"}\n");
+  EXPECT_EQ(r.rc, 0);
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[1].find("unknown request field"), std::string::npos);
+  EXPECT_NE(lines[2].find("both workload and inline"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_EQ(r.stats.errors, 3u);
+  EXPECT_EQ(r.stats.requests, 1u);
+}
+
+TEST(Serve, UnknownWorkloadIsAnErrorResponseNotACrash) {
+  const RunResult r = run_server(
+      {},
+      "{\"id\":1,\"workload\":\"bogus:9\"}\n"
+      "{\"id\":2,\"workload\":\"fft:16\"}\n");
+  EXPECT_EQ(r.rc, 0);
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"status\":\"ok\""), std::string::npos);
+  // The failed run is not cached.
+  EXPECT_EQ(r.cache.insertions, 1u);
+}
+
+TEST(Serve, InlineGraphMakespanMatchesADirectSchedulerRun) {
+  graph::TaskGraphBuilder b;
+  b.add_node(2.0);
+  b.add_node(3.0);
+  b.add_node(4.0);
+  b.add_node(1.0);
+  b.add_edge(0, 1, 1.5);
+  b.add_edge(0, 2, 2.0);
+  b.add_edge(1, 3, 1.0);
+  b.add_edge(2, 3, 0.5);
+  const graph::TaskGraph g = b.build();
+  fast::FastOptions fo;
+  fo.num_procs = 2;
+  fo.seed = 5;
+  const sched::Schedule direct =
+      fast::FastScheduler(fo).run(g, sched::SchedulerOptions{2, 5});
+
+  const RunResult r = run_server(
+      {},
+      "{\"nodes\":[2,3,4,1],\"edges\":[[0,1,1.5],[0,2,2],[1,3,1],[2,3,0.5]],"
+      "\"procs\":2,\"seed\":5}\n");
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::atof(field_of(lines[0], "makespan").c_str()),
+                   direct.length());
+}
+
+TEST(Serve, StatsRequestFlushesThePendingWindowFirst) {
+  ServerOptions options;
+  options.batch = 32;  // far larger than the request count
+  const RunResult r = run_server(
+      options,
+      "{\"id\":1,\"workload\":\"fft:16\"}\n"
+      "{\"id\":2,\"workload\":\"fft:16\"}\n"
+      "{\"id\":3,\"workload\":\"gauss:8\"}\n"
+      "{\"id\":9,\"cmd\":\"stats\"}\n");
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 4u);
+  // Responses precede the stats line, and the stats cover all three.
+  EXPECT_NE(lines[3].find("\"stats\":{"), std::string::npos);
+  EXPECT_EQ(field_of(lines[3], "id"), "9");
+  EXPECT_EQ(field_of(lines[3], "requests"), "3");
+  EXPECT_EQ(field_of(lines[3], "hits"), "1");
+  EXPECT_EQ(field_of(lines[3], "misses"), "2");
+}
+
+TEST(Serve, EofFlushesAPartialWindow) {
+  ServerOptions options;
+  options.batch = 32;
+  const RunResult r = run_server(options,
+                                 "{\"id\":1,\"workload\":\"fft:16\"}\n"
+                                 "{\"id\":2,\"workload\":\"gauss:8\"}\n");
+  EXPECT_EQ(lines_of(r.out).size(), 2u);
+  EXPECT_EQ(r.rc, 0);
+}
+
+TEST(Serve, BlankLinesAreIgnored) {
+  const RunResult r = run_server({}, "\n\n{\"workload\":\"fft:16\"}\n\n");
+  EXPECT_EQ(lines_of(r.out).size(), 1u);
+  EXPECT_EQ(r.stats.errors, 0u);
+}
+
+TEST(Serve, DiagnosticLineGoesToTheLogStreamOnly) {
+  const RunResult r = run_server({}, "{\"workload\":\"fft:16\"}\n");
+  EXPECT_EQ(r.out.find("\"diag\""), std::string::npos);
+  EXPECT_NE(r.log.find("\"diag\""), std::string::npos);
+  EXPECT_NE(r.log.find("\"heap_allocs\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastsched::serve

@@ -13,6 +13,7 @@
 // Exit status: 0 on a lint-clean run within the RSS ceiling, 1 when the
 // ceiling is exceeded or the lint finds errors, 2 on usage problems.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -78,8 +79,20 @@ int run_tool(int argc, char** argv) {
 
   const std::size_t v = static_cast<std::size_t>(cli.get_int("nodes"));
   const std::size_t procs = static_cast<std::size_t>(cli.get_int("procs"));
-  const std::size_t ceiling_mb =
-      static_cast<std::size_t>(cli.get_int("max-rss-mb"));
+  std::size_t ceiling_mb = static_cast<std::size_t>(cli.get_int("max-rss-mb"));
+  // FASTSCHED_RSS_LIMIT_MB overrides the checked-in ceiling, so a CI lane
+  // (or a machine with a different allocator) can tighten or relax the
+  // gate without editing the workflow's command line.
+  bool ceiling_from_env = false;
+  if (const char* env = std::getenv("FASTSCHED_RSS_LIMIT_MB")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    FASTSCHED_REQUIRE(end != env && *end == '\0',
+                      "FASTSCHED_RSS_LIMIT_MB expects a non-negative "
+                      "integer (MiB)");
+    ceiling_mb = static_cast<std::size_t>(parsed);
+    ceiling_from_env = true;
+  }
 
   PhaseClock clock;
 
@@ -151,6 +164,10 @@ int run_tool(int argc, char** argv) {
     if (rss_kib == 0 && ceiling_mb > 0) {
       std::cout << "scale_smoke: VmHWM unavailable on this platform; "
                    "ceiling not enforced\n";
+    }
+    if (ceiling_from_env) {
+      std::cout << "scale_smoke: RSS ceiling " << ceiling_mb
+                << " MiB taken from FASTSCHED_RSS_LIMIT_MB\n";
     }
   }
   for (const auto& d : report.diagnostics) {

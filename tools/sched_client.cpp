@@ -1,0 +1,447 @@
+// sched_client: load generator and latency benchmark for sched_server.
+// Generates a deterministic request mix (--requests total, --repeat-ratio
+// of which repeat an earlier request and should therefore hit the result
+// cache), drives a freshly-spawned server over pipes in closed-loop or
+// fixed-rate mode, and reports throughput plus HDR-style latency
+// percentiles (p50/p90/p99/max) separately for cold (first-occurrence)
+// and cached (repeat) traffic. `--json-out` writes the BENCH_serve.json
+// record EXPERIMENTS.md quotes; `--min-hit-rate` turns the report into a
+// CI gate.
+//
+//   $ sched_client --server build/tools/sched_server --requests 200 \
+//       --repeat-ratio 0.5 --min-hit-rate 0.4 --json-out BENCH_serve.json
+//   $ sched_client --emit --requests 50 > requests.jsonl
+//
+// Exit status: 0 on success, 1 when --min-hit-rate is not met, 2 on
+// usage problems, 3 when the server fails (nonzero exit, truncated
+// responses).
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "serve/histogram.hpp"
+
+namespace {
+
+using namespace fastsched;
+
+struct RequestPlan {
+  std::string line;   ///< the wire bytes (no trailing newline)
+  bool repeat = false;  ///< duplicates an earlier request (expected hit)
+};
+
+/// A small random layered DAG as an inline edge-list request: a random
+/// spanning tree (each node's parent drawn from its predecessors) plus
+/// extra forward edges, deduplicated so the builder never sees a
+/// repeated pair. Inline requests are the arena-backed parse path, so
+/// the mix must contain some for --no-arena comparisons to mean anything.
+std::string make_inline_request(Rng& rng, std::size_t procs,
+                                const std::string& algorithm,
+                                std::size_t unique_index) {
+  const std::size_t n = 24 + rng.uniform(16);
+  std::string line = "{\"nodes\":[";
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v > 0) line += ',';
+    line += std::to_string(1 + rng.uniform(9));
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t v = 1; v < n; ++v) edges.emplace_back(rng.uniform(v), v);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const std::size_t u = rng.uniform(n - 1);
+    edges.emplace_back(u, u + 1 + rng.uniform(n - 1 - u));
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  line += "],\"edges\":[";
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    if (k > 0) line += ',';
+    line += '[' + std::to_string(edges[k].first) + ',' +
+            std::to_string(edges[k].second) + ',' +
+            std::to_string(1 + rng.uniform(9)) + ']';
+  }
+  line += "],\"procs\":" + std::to_string(procs) +
+          ",\"seed\":" + std::to_string(1 + unique_index) +
+          ",\"algorithm\":\"" + algorithm + "\"}";
+  return line;
+}
+
+/// The deterministic request mix: uniques cycle the workload list with a
+/// distinct seed field each (an --inline-ratio fraction of them carry a
+/// random inline edge list instead), repeats re-send a uniformly-drawn
+/// earlier unique. Same flags -> same byte stream, so runs are comparable.
+std::vector<RequestPlan> build_plan(std::size_t total, double repeat_ratio,
+                                    double inline_ratio,
+                                    const std::vector<std::string>& workloads,
+                                    std::size_t procs,
+                                    const std::string& algorithm,
+                                    std::uint64_t seed) {
+  std::vector<RequestPlan> plan;
+  plan.reserve(total);
+  std::vector<std::size_t> uniques;  // plan indices of unique requests
+  Rng rng(seed);
+  for (std::size_t i = 0; i < total; ++i) {
+    RequestPlan r;
+    if (!uniques.empty() && rng.uniform01() < repeat_ratio) {
+      r.line = plan[uniques[rng.uniform(uniques.size())]].line;
+      r.repeat = true;
+    } else {
+      const std::size_t u = uniques.size();
+      if (rng.uniform01() < inline_ratio) {
+        r.line = make_inline_request(rng, procs, algorithm, u);
+      } else {
+        r.line = "{\"workload\":\"" + workloads[u % workloads.size()] +
+                 "\",\"procs\":" + std::to_string(procs) + ",\"seed\":" +
+                 std::to_string(1 + u) + ",\"algorithm\":\"" + algorithm +
+                 "\"}";
+      }
+      uniques.push_back(i);
+    }
+    plan.push_back(std::move(r));
+  }
+  // Ids are per-send (a repeat gets its own id), prefixed here so the
+  // repeated payload bytes above stay identical for cache hits.
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    plan[i].line = "{\"id\":" + std::to_string(i) + "," + plan[i].line.substr(1);
+  }
+  return plan;
+}
+
+struct ServerProc {
+  pid_t pid = -1;
+  FILE* to_server = nullptr;    ///< our writes -> server stdin
+  FILE* from_server = nullptr;  ///< server stdout -> our reads
+  int err_fd = -1;              ///< server stderr (diag line at EOF)
+};
+
+ServerProc spawn_server(const std::string& path,
+                        const std::vector<std::string>& args) {
+  int in_pipe[2];
+  int out_pipe[2];
+  int err_pipe[2];
+  FASTSCHED_REQUIRE(
+      pipe(in_pipe) == 0 && pipe(out_pipe) == 0 && pipe(err_pipe) == 0,
+      "pipe() failed");
+  const pid_t pid = fork();
+  FASTSCHED_REQUIRE(pid >= 0, "fork() failed");
+  if (pid == 0) {
+    dup2(in_pipe[0], STDIN_FILENO);
+    dup2(out_pipe[1], STDOUT_FILENO);
+    dup2(err_pipe[1], STDERR_FILENO);
+    close(in_pipe[0]);
+    close(in_pipe[1]);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    close(err_pipe[0]);
+    close(err_pipe[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(path.c_str()));
+    for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    execv(path.c_str(), argv.data());
+    std::perror("sched_client: execv");
+    _exit(127);
+  }
+  close(in_pipe[0]);
+  close(out_pipe[1]);
+  close(err_pipe[1]);
+  ServerProc p;
+  p.pid = pid;
+  p.to_server = fdopen(in_pipe[1], "w");
+  p.from_server = fdopen(out_pipe[0], "r");
+  p.err_fd = err_pipe[0];
+  FASTSCHED_REQUIRE(p.to_server != nullptr && p.from_server != nullptr,
+                    "fdopen() failed");
+  return p;
+}
+
+/// Reads one '\n'-terminated line; false on EOF.
+bool read_line(FILE* f, std::string& out) {
+  out.clear();
+  int ch = 0;
+  while ((ch = std::fgetc(f)) != EOF) {
+    if (ch == '\n') return true;
+    out.push_back(static_cast<char>(ch));
+  }
+  return !out.empty();
+}
+
+/// Extracts the integer after `"key":` in a JSON line; -1 when absent.
+long long json_u64_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::atoll(line.c_str() + at + needle.size());
+}
+
+void append_hist(std::string& json, const char* name,
+                 const serve::LatencyHistogram& h) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s\": {\"count\": %llu, \"p50_ms\": %.6f, \"p90_ms\": "
+                "%.6f, \"p99_ms\": %.6f, \"max_ms\": %.6f}",
+                name, static_cast<unsigned long long>(h.count()),
+                h.quantile(0.50) * 1e3, h.quantile(0.90) * 1e3,
+                h.quantile(0.99) * 1e3, h.max() * 1e3);
+  json += buf;
+}
+
+int run_tool(int argc, char** argv) {
+  CliParser cli(
+      "sched_client: drive sched_server with a deterministic request mix "
+      "and report throughput, latency percentiles and cache hit rate.\n"
+      "usage: sched_client [options]");
+  cli.add_option("server", "", "path to the sched_server binary");
+  cli.add_option("requests", "200", "total requests to send");
+  cli.add_option("repeat-ratio", "0.5",
+                 "fraction of requests that repeat an earlier one");
+  cli.add_option("inline-ratio", "0.25",
+                 "fraction of unique requests sent as inline edge lists "
+                 "(the arena-backed parse path) instead of workload specs");
+  cli.add_option("workloads", "rand:200,gauss:64,fft:64",
+                 "comma-separated workload specs to cycle through");
+  cli.add_option("procs", "8", "processor budget per request");
+  cli.add_option("algorithm", "FAST", "scheduler to request");
+  cli.add_option("seed", "7", "request-mix seed");
+  cli.add_option("rate", "0",
+                 "fixed-rate mode: send this many requests/second "
+                 "(0 = closed loop: wait for each response)");
+  cli.add_option("jobs", "1", "forwarded to the server");
+  cli.add_option("server-batch", "1", "forwarded to the server (--batch)");
+  cli.add_option("min-hit-rate", "-1",
+                 "exit 1 when hits/requests falls below this fraction "
+                 "(-1 = report only)");
+  cli.add_option("json-out", "", "write the benchmark record to this file");
+  cli.add_flag("no-cache", "run the server with --no-cache");
+  cli.add_flag("no-arena", "run the server with --no-arena");
+  cli.add_flag("emit", "print the request lines to stdout and exit");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto total = static_cast<std::size_t>(cli.get_int("requests"));
+  const double repeat_ratio = std::atof(cli.get("repeat-ratio").c_str());
+  const double inline_ratio = std::atof(cli.get("inline-ratio").c_str());
+  FASTSCHED_REQUIRE(total >= 1, "--requests must be >= 1");
+  FASTSCHED_REQUIRE(repeat_ratio >= 0.0 && repeat_ratio <= 1.0,
+                    "--repeat-ratio must be in [0, 1]");
+  FASTSCHED_REQUIRE(inline_ratio >= 0.0 && inline_ratio <= 1.0,
+                    "--inline-ratio must be in [0, 1]");
+  std::vector<std::string> workloads;
+  {
+    const std::string list = cli.get("workloads");
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+      const std::size_t comma = list.find(',', begin);
+      const std::size_t end = comma == std::string::npos ? list.size() : comma;
+      if (end > begin) workloads.push_back(list.substr(begin, end - begin));
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+    FASTSCHED_REQUIRE(!workloads.empty(), "--workloads must name a spec");
+  }
+
+  const std::vector<RequestPlan> plan = build_plan(
+      total, repeat_ratio, inline_ratio, workloads,
+      static_cast<std::size_t>(cli.get_int("procs")), cli.get("algorithm"),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  if (cli.get_flag("emit")) {
+    for (const RequestPlan& r : plan) std::cout << r.line << '\n';
+    return 0;
+  }
+
+  const std::string server_path = cli.get("server");
+  FASTSCHED_REQUIRE(!server_path.empty(),
+                    "--server must point at the sched_server binary");
+  std::vector<std::string> server_args = {
+      "--jobs", cli.get("jobs"), "--batch", cli.get("server-batch")};
+  if (cli.get_flag("no-cache")) server_args.emplace_back("--no-cache");
+  if (cli.get_flag("no-arena")) server_args.emplace_back("--no-arena");
+  ServerProc server = spawn_server(server_path, server_args);
+
+  const double rate = std::atof(cli.get("rate").c_str());
+  serve::LatencyHistogram cold_hist;
+  serve::LatencyHistogram cached_hist;
+  std::string response;
+  Timer wall;
+  bool protocol_ok = true;
+
+  if (rate <= 0) {
+    // Closed loop: one request in flight; the latency sample is the full
+    // round trip.
+    for (const RequestPlan& r : plan) {
+      Timer t;
+      std::fputs(r.line.c_str(), server.to_server);
+      std::fputc('\n', server.to_server);
+      std::fflush(server.to_server);
+      if (!read_line(server.from_server, response)) {
+        protocol_ok = false;
+        break;
+      }
+      (r.repeat ? cached_hist : cold_hist).record(t.seconds());
+    }
+  } else {
+    // Fixed rate: a reader thread drains responses (the server replies
+    // in request order) while the main thread paces sends; the latency
+    // sample is response time minus *scheduled* send time, so queueing
+    // delay counts — the standard way to avoid coordinated omission.
+    std::vector<double> done(plan.size(), -1.0);
+    std::thread reader([&] {
+      std::string resp;
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        if (!read_line(server.from_server, resp)) break;
+        done[i] = wall.seconds();
+      }
+    });
+    const double interval = 1.0 / rate;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const double target = static_cast<double>(i) * interval;
+      const double now = wall.seconds();
+      if (now < target) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(target - now));
+      }
+      std::fputs(plan[i].line.c_str(), server.to_server);
+      std::fputc('\n', server.to_server);
+      std::fflush(server.to_server);
+    }
+    reader.join();
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (done[i] < 0) {
+        protocol_ok = false;
+        break;
+      }
+      const double scheduled = static_cast<double>(i) * interval;
+      (plan[i].repeat ? cached_hist : cold_hist)
+          .record(done[i] - scheduled);
+    }
+  }
+  const double wall_s = wall.seconds();
+
+  // Stats snapshot, then EOF -> clean shutdown -> stderr diag line.
+  std::string stats_line;
+  if (protocol_ok) {
+    std::fputs("{\"cmd\":\"stats\"}\n", server.to_server);
+    std::fflush(server.to_server);
+    protocol_ok = read_line(server.from_server, stats_line);
+  }
+  std::fclose(server.to_server);
+  while (read_line(server.from_server, response)) {
+  }
+  std::fclose(server.from_server);
+  std::string diag;
+  {
+    char buf[4096];
+    ssize_t n = 0;
+    while ((n = read(server.err_fd, buf, sizeof(buf))) > 0) {
+      diag.append(buf, static_cast<std::size_t>(n));
+    }
+    close(server.err_fd);
+  }
+  int status = 0;
+  waitpid(server.pid, &status, 0);
+  const bool server_ok =
+      WIFEXITED(status) && WEXITSTATUS(status) == 0 && protocol_ok;
+  if (!server_ok) {
+    std::cerr << "sched_client: server failed (exit status " << status
+              << ", protocol_ok=" << protocol_ok << ")\n"
+              << diag;
+    return 3;
+  }
+
+  const long long hits = json_u64_field(stats_line, "hits");
+  const long long requests = json_u64_field(stats_line, "requests");
+  const long long heap_allocs = json_u64_field(diag, "heap_allocs");
+  const long long alloc_counting = json_u64_field(diag, "alloc_counting");
+  const double hit_rate =
+      requests > 0 ? static_cast<double>(hits) / static_cast<double>(requests)
+                   : 0.0;
+  const double throughput = wall_s > 0 ? static_cast<double>(total) / wall_s : 0;
+  const double allocs_per_request =
+      requests > 0 && alloc_counting == 1
+          ? static_cast<double>(heap_allocs) / static_cast<double>(requests)
+          : -1.0;
+
+  std::string json = "{\n  \"tool\": \"sched_client\",\n  \"requests\": ";
+  json += std::to_string(total);
+  json += ",\n  \"repeat_ratio\": " + cli.get("repeat-ratio");
+  json += ",\n  \"inline_ratio\": " + cli.get("inline-ratio");
+  json += ",\n  \"workloads\": \"" + cli.get("workloads") + "\"";
+  json += ",\n  \"procs\": " + cli.get("procs");
+  json += ",\n  \"algorithm\": \"" + cli.get("algorithm") + "\"";
+  json += ",\n  \"mode\": \"";
+  json += rate <= 0 ? "closed-loop" : "fixed-rate";
+  json += "\",\n  \"rate_rps\": " + cli.get("rate");
+  json += ",\n  \"cache\": ";
+  json += cli.get_flag("no-cache") ? "false" : "true";
+  json += ",\n  \"arena\": ";
+  json += cli.get_flag("no-arena") ? "false" : "true";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), ",\n  \"wall_s\": %.6f", wall_s);
+  json += buf;
+  std::snprintf(buf, sizeof(buf), ",\n  \"throughput_rps\": %.2f", throughput);
+  json += buf;
+  json += ",\n";
+  append_hist(json, "cold", cold_hist);
+  json += ",\n";
+  append_hist(json, "cached", cached_hist);
+  std::snprintf(buf, sizeof(buf), ",\n  \"hit_rate\": %.4f", hit_rate);
+  json += buf;
+  json += ",\n  \"hits\": " + std::to_string(hits);
+  json += ",\n  \"server_requests\": " + std::to_string(requests);
+  json += ",\n  \"heap_allocs\": " + std::to_string(heap_allocs);
+  json += ",\n  \"alloc_counting\": ";
+  json += alloc_counting == 1 ? "true" : "false";
+  std::snprintf(buf, sizeof(buf), ",\n  \"allocs_per_request\": %.2f",
+                allocs_per_request);
+  json += buf;
+  if (cold_hist.count() > 0 && cached_hist.count() > 0 &&
+      cached_hist.quantile(0.5) > 0) {
+    std::snprintf(buf, sizeof(buf), ",\n  \"p50_speedup\": %.2f",
+                  cold_hist.quantile(0.5) / cached_hist.quantile(0.5));
+    json += buf;
+  }
+  json += "\n}\n";
+
+  std::cout << json;
+  const std::string json_out = cli.get("json-out");
+  if (!json_out.empty()) {
+    std::ofstream f(json_out);
+    FASTSCHED_REQUIRE(f.good(), "cannot write --json-out file: " + json_out);
+    f << json;
+  }
+
+  const double min_hit_rate = std::atof(cli.get("min-hit-rate").c_str());
+  if (min_hit_rate >= 0 && hit_rate < min_hit_rate) {
+    std::cerr << "sched_client: FAIL hit rate " << hit_rate
+              << " below --min-hit-rate " << min_hit_rate << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_tool(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "sched_client: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -1,0 +1,91 @@
+// sched_server: a long-lived scheduling daemon over a line protocol.
+// Reads one JSON request per line from stdin (or --input FILE), replies
+// with one JSON response per line on stdout, and exits 0 on EOF; the
+// wire format is documented in tools/README.md and the architecture in
+// DESIGN.md §6. Two layers make steady-state serving cheap: a
+// content-addressed result cache (repeated requests are answered with
+// the cached bytes, no scheduling) and a per-request arena (request
+// scratch performs zero heap allocation once warm). This binary compiles
+// in the allocation-counting operator new, so the EOF diagnostic line on
+// stderr reports real heap_allocs — the zero-malloc contract is
+// measured, not asserted.
+//
+//   $ printf '%s\n' '{"id":1,"workload":"rand:200","procs":8}' | sched_server
+//   $ sched_server --input requests.jsonl --jobs 8
+//
+// Exit status: 0 on clean EOF, 2 on usage problems (unreadable --input,
+// bad flags).
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+
+#include "common/alloc_counter.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "serve/server.hpp"
+
+FASTSCHED_DEFINE_COUNTING_NEW()
+
+namespace {
+
+using namespace fastsched;
+
+int run_tool(int argc, char** argv) {
+  CliParser cli(
+      "sched_server: serve scheduling requests over a JSON line protocol "
+      "(one request per input line, one response per output line; EOF "
+      "shuts the server down cleanly).\n"
+      "usage: sched_server [options]");
+  cli.add_option("jobs", "",
+                 "workers for cold-request fan-out (default "
+                 "FASTSCHED_JOBS or 1; 0 = all hardware threads)");
+  cli.add_option("batch", "32",
+                 "request window size; output bytes are identical at any "
+                 "--jobs for a fixed --batch");
+  cli.add_option("cache-entries", "1024", "result cache capacity (entries)");
+  cli.add_option("cache-bytes", "0",
+                 "result cache payload-byte bound (0 = entries bound only)");
+  cli.add_option("input", "",
+                 "read requests from this file instead of stdin");
+  cli.add_flag("no-cache", "disable the result cache (every request cold)");
+  cli.add_flag("no-arena",
+               "use plain heap allocation for request scratch (the "
+               "baseline the arena is benchmarked against)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  serve::ServerOptions options;
+  options.jobs = resolve_jobs(cli.get("jobs"), 1);
+  options.batch = static_cast<std::size_t>(cli.get_int("batch"));
+  options.cache_entries =
+      static_cast<std::size_t>(cli.get_int("cache-entries"));
+  options.cache_bytes = static_cast<std::size_t>(cli.get_int("cache-bytes"));
+  options.use_cache = !cli.get_flag("no-cache");
+  options.use_arena = !cli.get_flag("no-arena");
+  FASTSCHED_REQUIRE(options.batch >= 1, "--batch must be >= 1");
+  FASTSCHED_REQUIRE(options.cache_entries >= 1,
+                    "--cache-entries must be >= 1");
+
+  serve::Server server(options);
+  const std::string input = cli.get("input");
+  if (!input.empty()) {
+    std::ifstream in(input);
+    FASTSCHED_REQUIRE(in.good(), "cannot open --input file: " + input);
+    return server.serve(in, std::cout, std::cerr);
+  }
+  return server.serve(std::cin, std::cout, std::cerr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_tool(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "sched_server: " << e.what() << '\n';
+    return 2;
+  }
+}
